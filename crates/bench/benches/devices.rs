@@ -1,0 +1,38 @@
+//! Microbenchmarks: device evaluation and full-circuit assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfsim_circuits::{BalancedMixer, BalancedMixerParams};
+use rfsim_numerics::sparse::Triplets;
+
+fn bench_assembly(c: &mut Criterion) {
+    let mixer = BalancedMixer::build(BalancedMixerParams::default()).expect("build");
+    let n = mixer.circuit.num_unknowns();
+    let x = vec![0.5; n];
+    let mut f = vec![0.0; n];
+    let mut q = vec![0.0; n];
+
+    c.bench_function("circuit_eval_f_residual_only", |b| {
+        b.iter(|| mixer.circuit.eval_f(&x, &mut f, None))
+    });
+    c.bench_function("circuit_eval_f_with_jacobian", |b| {
+        let mut jac = Triplets::with_capacity(n, n, 16 * n);
+        b.iter(|| {
+            jac.clear();
+            mixer.circuit.eval_f(&x, &mut f, Some(&mut jac));
+        })
+    });
+    c.bench_function("circuit_eval_q_with_jacobian", |b| {
+        let mut jac = Triplets::with_capacity(n, n, 16 * n);
+        b.iter(|| {
+            jac.clear();
+            mixer.circuit.eval_q(&x, &mut q, Some(&mut jac));
+        })
+    });
+    c.bench_function("circuit_eval_b_bivariate", |b| {
+        let mut bvec = vec![0.0; n];
+        b.iter(|| mixer.circuit.eval_b_bi(1e-9, 1e-5, &mut bvec).expect("bi"))
+    });
+}
+
+criterion_group!(benches, bench_assembly);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Microbenchmarks: FFT kernels (radix-2 vs Bluestein) and the single-bin
+//! extractor used for gain/distortion measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfsim_numerics::fft::{fft, goertzel, Complex};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for n in [64usize, 256, 1024, 30, 300] {
+        let x: Vec<Complex> = (0..n)
+            .map(|k| Complex::new((k as f64 * 0.37).sin(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
+            b.iter(|| fft(x))
+        });
+    }
+    group.finish();
+
+    let samples: Vec<f64> = (0..1200).map(|k| (k as f64 * 0.01).sin()).collect();
+    c.bench_function("goertzel_harmonic_extraction", |b| {
+        b.iter(|| goertzel(&samples, 3))
+    });
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

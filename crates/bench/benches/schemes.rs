@@ -1,0 +1,85 @@
+//! Ablation: differentiation schemes and initial-guess strategies for the
+//! MPDE solve (the DESIGN.md design-choice benches).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfsim_bench::paper::scaled_mixer;
+use rfsim_mpde::solver::{solve_mpde, InitialGuess, MpdeOptions};
+use rfsim_numerics::diff::DiffScheme;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mixer = scaled_mixer(10e6, 200.0);
+    let mut group = c.benchmark_group("mpde_ablations");
+    group.sample_size(10);
+
+    for (name, s1, s2) in [
+        ("be_be", DiffScheme::BackwardEuler, DiffScheme::BackwardEuler),
+        ("bdf2_be", DiffScheme::Bdf2, DiffScheme::BackwardEuler),
+        ("central_central", DiffScheme::Central2, DiffScheme::Central2),
+    ] {
+        group.bench_function(format!("scheme_{name}"), |b| {
+            b.iter(|| {
+                solve_mpde(
+                    &mixer.circuit,
+                    mixer.params.t1_period(),
+                    mixer.params.t2_period(),
+                    MpdeOptions {
+                        n1: 24,
+                        n2: 12,
+                        scheme1: s1,
+                        scheme2: s2,
+                        ..Default::default()
+                    },
+                )
+                .expect("solve")
+            })
+        });
+    }
+
+    for (name, guess) in [
+        ("guess_dc", InitialGuess::DcReplicate),
+        ("guess_envelope", InitialGuess::EnvelopeFollowing { sweeps: 1 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                solve_mpde(
+                    &mixer.circuit,
+                    mixer.params.t1_period(),
+                    mixer.params.t2_period(),
+                    MpdeOptions {
+                        n1: 24,
+                        n2: 12,
+                        initial_guess: guess.clone(),
+                        ..Default::default()
+                    },
+                )
+                .expect("solve")
+            })
+        });
+    }
+
+    for (name, reuse) in [("full_newton", 0usize), ("chord_newton_2", 2), ("chord_newton_4", 4)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                solve_mpde(
+                    &mixer.circuit,
+                    mixer.params.t1_period(),
+                    mixer.params.t2_period(),
+                    MpdeOptions {
+                        n1: 24,
+                        n2: 12,
+                        newton: rfsim_circuit::newton::NewtonOptions {
+                            jacobian_reuse: reuse,
+                            ..Default::default()
+                        },
+                        ..Default::default()
+                    },
+                )
+                .expect("solve")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E7 (criterion form): MPDE grid solve vs single-time shooting at a fixed
+//! modest disparity. The full disparity sweep is the `speedup_table` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfsim_bench::paper::scaled_mixer;
+use rfsim_mpde::solver::{solve_mpde, MpdeOptions};
+use rfsim_shooting::{difference_period_steps, shooting_pss, ShootingOptions};
+
+fn bench_methods(c: &mut Criterion) {
+    let mixer = scaled_mixer(10e6, 100.0);
+    let mut group = c.benchmark_group("steady_state_methods");
+    group.sample_size(10);
+
+    group.bench_function("mpde_40x30", |b| {
+        b.iter(|| {
+            solve_mpde(
+                &mixer.circuit,
+                mixer.params.t1_period(),
+                mixer.params.t2_period(),
+                MpdeOptions::default(),
+            )
+            .expect("mpde")
+        })
+    });
+
+    let steps = difference_period_steps(mixer.params.f_lo, mixer.params.fd, 10);
+    group.bench_function("shooting_10_per_lo", |b| {
+        b.iter(|| {
+            shooting_pss(
+                &mixer.circuit,
+                mixer.params.t2_period(),
+                None,
+                ShootingOptions {
+                    steps_per_period: steps,
+                    max_outer: 10,
+                    ..Default::default()
+                },
+            )
+            .expect("shooting")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! E10: the paper's robustness observation — "In cases where
+//! Newton-Raphson did not converge, using continuation reliably obtained
+//! solutions in 10–20 m" (vs 1 m 3 s for Newton with a good guess).
+//!
+//! We overdrive the LO so that cold-started global Newton struggles, and
+//! compare: (a) Newton from the replicated DC point, (b) Newton from an
+//! envelope-following guess, (c) source-ramping continuation.
+
+use rfsim_bench::paper::scaled_mixer;
+use rfsim_circuits::{BalancedMixer, BalancedMixerParams};
+use rfsim_mpde::solver::{solve_mpde, InitialGuess, MpdeOptions, MpdeStrategy};
+use std::time::Instant;
+
+fn attempt(name: &str, mixer: &BalancedMixer, options: MpdeOptions) {
+    let t0 = Instant::now();
+    match solve_mpde(
+        &mixer.circuit,
+        mixer.params.t1_period(),
+        mixer.params.t2_period(),
+        options,
+    ) {
+        Ok(sol) => println!(
+            "{name:>28}: converged in {:.2?} — {:?}, {} total Newton iterations, \
+             {} continuation steps",
+            t0.elapsed(),
+            sol.stats.strategy,
+            sol.stats.total_newton_iterations,
+            sol.stats.continuation_steps
+        ),
+        Err(e) => println!("{name:>28}: FAILED after {:.2?} ({e})", t0.elapsed()),
+    }
+}
+
+fn main() {
+    // Hard drive: LO swings far beyond the bias, deep switching.
+    let hard = BalancedMixerParams {
+        lo_amplitude: 1.2,
+        rf_amplitude: 0.15,
+        ..scaled_mixer(10e6, 500.0).params
+    };
+    let mixer = BalancedMixer::build(hard).expect("build");
+    println!("overdriven balanced mixer (LO amplitude 1.2 V, deep switching):\n");
+
+    // (a) plain Newton, cold start, no fallback, tight budget.
+    attempt(
+        "Newton (DC guess)",
+        &mixer,
+        MpdeOptions {
+            newton: rfsim_circuit::newton::NewtonOptions {
+                max_iters: 25,
+                jacobian_reuse: 2,
+                ..Default::default()
+            },
+            continuation_fallback: false,
+            ..Default::default()
+        },
+    );
+    // (b) Newton from an envelope-following sweep ("good starting guess").
+    attempt(
+        "Newton (envelope guess)",
+        &mixer,
+        MpdeOptions {
+            initial_guess: InitialGuess::EnvelopeFollowing { sweeps: 1 },
+            continuation_fallback: false,
+            ..Default::default()
+        },
+    );
+    // (c) continuation (λ-ramped sources).
+    let t0 = Instant::now();
+    let sol = solve_mpde(
+        &mixer.circuit,
+        mixer.params.t1_period(),
+        mixer.params.t2_period(),
+        MpdeOptions {
+            newton: rfsim_circuit::newton::NewtonOptions {
+                max_iters: 12, // force the fallback path quickly
+                jacobian_reuse: 2,
+                ..Default::default()
+            },
+            continuation_fallback: true,
+            ..Default::default()
+        },
+    )
+    .expect("continuation must succeed");
+    println!(
+        "{:>28}: converged in {:.2?} — {:?}, {} Newton iterations across {} λ steps",
+        "continuation",
+        t0.elapsed(),
+        sol.stats.strategy,
+        sol.stats.total_newton_iterations,
+        sol.stats.continuation_steps
+    );
+    assert_eq!(sol.stats.strategy, MpdeStrategy::Continuation);
+    println!(
+        "\npaper: Newton with a good guess 1 m 3 s (26 iterations); \
+         continuation 10–20 m when Newton fails — same qualitative ladder."
+    );
+}

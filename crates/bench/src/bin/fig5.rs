@@ -1,0 +1,34 @@
+//! Figure 5: multitime voltage at the MOSFET (common) sources of the
+//! balanced mixer — the sharp waveforms created by the frequency doubler,
+//! the paper's showcase for time-domain (vs Fourier) representations.
+
+use rfsim_bench::output::{ascii_surface, write_surface_csv};
+use rfsim_bench::paper::solve_paper_mixer;
+use rfsim_hb::spectrum::harmonics_for_energy_fraction;
+
+fn main() {
+    let (mixer, sol, _) = solve_paper_mixer(vec![true, false, true, true]);
+    let (n1, n2) = sol.grid.shape();
+    let surf = sol.solution.surface(mixer.common);
+    let path = write_surface_csv(
+        "fig5_source_voltage.csv",
+        &surf,
+        n1,
+        n2,
+        sol.grid.t1_period(),
+        sol.grid.t2_period(),
+    )
+    .expect("write CSV");
+    println!("Figure 5: voltage at the MOSFET common-source node");
+    println!("(doubled-frequency waveform: two peaks per LO period)\n");
+    ascii_surface(&surf, n1, n2, 24, 60);
+    println!("CSV: {}", path.display());
+
+    // Sharpness diagnostics along the fast axis.
+    let row = sol.solution.t1_slice(mixer.common, 0);
+    let k99 = harmonics_for_energy_fraction(&row, 0.999);
+    let h1 = rfsim_numerics::fft::harmonic_amplitude(&row, 1);
+    let h2 = rfsim_numerics::fft::harmonic_amplitude(&row, 2);
+    println!("\nfast-axis harmonics: |f_LO| = {h1:.4}, |2·f_LO| = {h2:.4} (doubling: h2 ≫ h1)");
+    println!("harmonics for 99.9% of AC energy: {k99} (sharp waveform ⇒ slow Fourier decay)");
+}

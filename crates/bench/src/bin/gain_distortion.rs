@@ -1,0 +1,77 @@
+//! E8: down-conversion gain and distortion with pure-tone excitations
+//! (the paper's §1/§3 measurement), swept over RF drive.
+
+use rfsim_bench::output::write_csv;
+use rfsim_circuits::{BalancedMixer, BalancedMixerParams};
+use rfsim_mpde::solver::MpdeOptions;
+use rfsim_rf::measure::{conversion_gain_db, hd_dbc, thd};
+use rfsim_rf::sweep::amplitude_sweep;
+
+fn main() {
+    // 45 MHz-LO version keeps the sweep fast; mixing physics is unchanged.
+    let base = BalancedMixerParams {
+        f_lo: 45e6,
+        fd: 15e3,
+        rf_bits: vec![],
+        ..Default::default()
+    };
+    let probe = BalancedMixer::build(base.clone()).expect("probe build");
+    let amps: Vec<f64> = (0..10).map(|k| 0.005 * 1.6f64.powi(k)).collect();
+    let base_c = base.clone();
+    let points = amplitude_sweep(
+        &amps,
+        1.0 / base.f_lo,
+        1.0 / base.fd,
+        MpdeOptions {
+            n1: 40,
+            n2: 20,
+            ..Default::default()
+        },
+        move |a| {
+            Ok(BalancedMixer::build(BalancedMixerParams {
+                rf_amplitude: a,
+                ..base_c.clone()
+            })?
+            .circuit)
+        },
+    )
+    .expect("sweep");
+
+    println!("== Down-conversion gain & distortion vs RF amplitude ==\n");
+    println!(
+        "{:>9} | {:>9} | {:>9} | {:>9} | {:>8}",
+        "A_rf (V)", "gain (dB)", "HD2 (dBc)", "HD3 (dBc)", "THD"
+    );
+    let mut rows = Vec::new();
+    let mut g0: Option<f64> = None;
+    let mut p1db: Option<f64> = None;
+    for p in &points {
+        let s = &p.solution.solution;
+        let g = conversion_gain_db(s, probe.out_p, Some(probe.out_n), p.value);
+        let hd2 = hd_dbc(s, probe.out_p, Some(probe.out_n), 2);
+        let hd3 = hd_dbc(s, probe.out_p, Some(probe.out_n), 3);
+        let t = thd(s, probe.out_p, Some(probe.out_n), 5);
+        println!(
+            "{:>9.4} | {:>9.2} | {:>9.1} | {:>9.1} | {:>8.4}",
+            p.value, g, hd2, hd3, t
+        );
+        if g0.is_none() {
+            g0 = Some(g);
+        }
+        if p1db.is_none() && g < g0.expect("set") - 1.0 {
+            p1db = Some(p.value);
+        }
+        rows.push(vec![p.value, g, hd2, hd3, t]);
+    }
+    let path = write_csv("gain_distortion.csv", "a_rf,gain_db,hd2_dbc,hd3_dbc,thd", rows)
+        .expect("write CSV");
+    println!("\nCSV: {}", path.display());
+    println!(
+        "small-signal gain: {:.2} dB; balanced topology ⇒ HD2 deeply suppressed",
+        g0.expect("at least one point")
+    );
+    match p1db {
+        Some(a) => println!("≈1 dB compression at A_rf ≈ {a:.3} V"),
+        None => println!("no compression in swept range"),
+    }
+}

@@ -1,0 +1,120 @@
+//! The paper's §3 "Computational speedup" analysis, regenerated.
+//!
+//! * MPDE cost is grid-bound: 40×30 = 1200 points regardless of tone
+//!   spacing (the paper: 26 Newton iterations, 1 m 3 s in 2002).
+//! * Single-time shooting resolves one *difference* period at ≥10 steps per
+//!   LO period: ~300 000 steps for 450 MHz / 15 kHz — an equation system
+//!   "more than 250× larger", for ">two orders of magnitude" more CPU.
+//! * Speedup grows roughly linearly with the disparity f_LO/fd; the paper
+//!   quotes an implementation-dependent break-even near 200.
+//!
+//! This binary sweeps the disparity on a 10 MHz-LO version of the balanced
+//! mixer (so the shooting baseline stays affordable), measures both
+//! methods, and extrapolates the shooting cost to the paper's full scale.
+
+use rfsim_bench::output::write_csv;
+use rfsim_bench::paper::{scaled_mixer, solve_paper_mixer};
+use rfsim_mpde::solver::{solve_mpde, MpdeOptions};
+use rfsim_shooting::{difference_period_steps, shooting_pss, ShootingOptions};
+use std::time::Instant;
+
+fn main() {
+    println!("== Speedup vs frequency disparity (f_LO = 10 MHz balanced mixer) ==\n");
+    println!(
+        "{:>9} | {:>9} | {:>11} | {:>11} | {:>8} | {:>9}",
+        "disparity", "steps", "t_mpde", "t_shoot", "speedup", "size ratio"
+    );
+    let mut rows = Vec::new();
+    for disparity in [50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0] {
+        let mixer = scaled_mixer(10e6, disparity);
+        // MPDE on the paper's 40×30 grid.
+        let t0 = Instant::now();
+        let sol = solve_mpde(
+            &mixer.circuit,
+            mixer.params.t1_period(),
+            mixer.params.t2_period(),
+            MpdeOptions::default(),
+        )
+        .expect("MPDE solve");
+        let t_mpde = t0.elapsed().as_secs_f64();
+        // Shooting across the difference period, 10 steps per LO period
+        // (the paper's accounting).
+        let steps = difference_period_steps(mixer.params.f_lo, mixer.params.fd, 10);
+        let t0 = Instant::now();
+        let shot = shooting_pss(
+            &mixer.circuit,
+            mixer.params.t2_period(),
+            None,
+            ShootingOptions {
+                steps_per_period: steps,
+                max_outer: 10,
+                ..Default::default()
+            },
+        )
+        .expect("shooting");
+        let t_shoot = t0.elapsed().as_secs_f64();
+        let n = mixer.circuit.num_unknowns();
+        let size_ratio = (steps * n) as f64 / sol.stats.system_size as f64;
+        println!(
+            "{:>9} | {:>9} | {:>10.2}s | {:>10.2}s | {:>7.2}x | {:>9.1}",
+            disparity as u64,
+            steps,
+            t_mpde,
+            t_shoot,
+            t_shoot / t_mpde,
+            size_ratio
+        );
+        rows.push(vec![
+            disparity,
+            steps as f64,
+            t_mpde,
+            t_shoot,
+            t_shoot / t_mpde,
+            size_ratio,
+            shot.outer_iterations as f64,
+            sol.stats.total_newton_iterations as f64,
+        ]);
+    }
+    let path = write_csv(
+        "speedup_table.csv",
+        "disparity,shoot_steps,t_mpde_s,t_shoot_s,speedup,size_ratio,shoot_outer,mpde_newton",
+        rows.clone(),
+    )
+    .expect("write CSV");
+    println!("\nCSV: {}", path.display());
+
+    // Fit speedup ≈ a·disparity to report the observed break-even.
+    let (mut num, mut den) = (0.0, 0.0);
+    for r in &rows {
+        num += r[0] * r[4];
+        den += r[0] * r[0];
+    }
+    let slope = num / den;
+    println!(
+        "\nspeedup ≈ {slope:.2e}·disparity  →  observed break-even ≈ {:.0}",
+        1.0 / slope
+    );
+    println!("(paper: break-even ≈ 200, 'strongly dependent on implementation')");
+
+    // Full paper scale: measure MPDE, extrapolate shooting from per-step cost.
+    println!("\n== Paper scale: 450 MHz LO, 15 kHz baseband ==");
+    let (_, sol, t_mpde) = solve_paper_mixer(vec![]);
+    let steps_450 = difference_period_steps(450e6, 15e3, 10);
+    // Per-step shooting cost from the largest measured sweep point.
+    let last = rows.last().expect("rows nonempty");
+    let per_step = last[3] / (last[1] * last[6]);
+    let t_shoot_est = per_step * steps_450 as f64 * 2.0; // ≥2 outer iterations
+    println!(
+        "MPDE measured: {:.2}s ({} Newton iterations; paper: 63 s, 26 iterations)",
+        t_mpde.as_secs_f64(),
+        sol.stats.total_newton_iterations
+    );
+    println!(
+        "shooting at 10 steps/LO period: {steps_450} steps (paper: 300 000); \
+         estimated {t_shoot_est:.0} s from measured per-step cost"
+    );
+    println!(
+        "estimated full-scale speedup: {:.0}× (paper: >100×)",
+        t_shoot_est / t_mpde.as_secs_f64()
+    );
+}

@@ -1,0 +1,77 @@
+//! CSV/console output helpers shared by the figure binaries.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Directory where figure data lands (created on demand).
+pub fn out_dir() -> PathBuf {
+    let p = PathBuf::from("target/repro");
+    let _ = fs::create_dir_all(&p);
+    p
+}
+
+/// Writes a CSV file with a header row; returns the path written.
+pub fn write_csv(
+    name: &str,
+    header: &str,
+    rows: impl IntoIterator<Item = Vec<f64>>,
+) -> std::io::Result<PathBuf> {
+    let path = out_dir().join(name);
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{header}")?;
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.9e}")).collect();
+        writeln!(f, "{}", line.join(","))?;
+    }
+    Ok(path)
+}
+
+/// Writes a surface (row-major `[j][i]`) as CSV with t1/t2 coordinates.
+pub fn write_surface_csv(
+    name: &str,
+    surface: &[f64],
+    n1: usize,
+    n2: usize,
+    t1_period: f64,
+    t2_period: f64,
+) -> std::io::Result<PathBuf> {
+    let rows = (0..n2).flat_map(move |j| {
+        let surface = surface.to_vec();
+        (0..n1).map(move |i| {
+            vec![
+                t1_period * i as f64 / n1 as f64,
+                t2_period * j as f64 / n2 as f64,
+                surface[j * n1 + i],
+            ]
+        }).collect::<Vec<_>>()
+    });
+    write_csv(name, "t1,t2,value", rows)
+}
+
+/// Prints an ASCII preview of a surface for terminal inspection.
+pub fn ascii_surface(surface: &[f64], n1: usize, n2: usize, max_rows: usize, max_cols: usize) {
+    let lo = surface.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = surface.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let chars = b" .:-=+*#%@";
+    let rows = n2.min(max_rows);
+    let cols = n1.min(max_cols);
+    for jr in 0..rows {
+        let j = jr * n2 / rows;
+        let mut line = String::new();
+        for ir in 0..cols {
+            let i = ir * n1 / cols;
+            let v = surface[j * n1 + i];
+            let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.5 };
+            let idx = ((t * 9.0).round() as usize).min(9);
+            line.push(chars[idx] as char);
+        }
+        println!("{line}");
+    }
+    println!("range: [{lo:.4}, {hi:.4}]");
+}
+
+/// Checks a path exists (test helper).
+pub fn exists(p: &Path) -> bool {
+    p.exists()
+}

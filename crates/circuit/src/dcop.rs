@@ -1,0 +1,330 @@
+//! DC operating-point analysis with gmin and source stepping.
+//!
+//! Solves `f(x) + b(0) = 0`. The robustness ladder mirrors SPICE:
+//! plain Newton → gmin stepping (a shrinking shunt conductance from every
+//! node voltage to ground) → source stepping (ramping the excitation from
+//! zero). The same continuation ideas reappear at the MPDE level (the paper
+//! reports "using continuation reliably obtained solutions").
+
+use rfsim_numerics::sparse::Triplets;
+
+use crate::circuit::{Circuit, UnknownKind};
+use crate::newton::{newton_solve, NewtonOptions, NewtonStats, NewtonSystem};
+use crate::{CircuitError, Result};
+
+/// Options for [`dc_operating_point`].
+#[derive(Debug, Clone, Copy)]
+pub struct DcOptions {
+    /// Newton options for each inner solve.
+    pub newton: NewtonOptions,
+    /// Initial gmin for gmin stepping (S).
+    pub gmin_start: f64,
+    /// Final gmin left in place during analysis (0 = removed).
+    pub gmin_final: f64,
+    /// Decades per gmin step.
+    pub gmin_steps_per_decade: usize,
+    /// Maximum source-stepping substeps.
+    pub max_source_steps: usize,
+}
+
+impl Default for DcOptions {
+    fn default() -> Self {
+        DcOptions {
+            // Junction exponentials converge one thermal voltage per Newton
+            // iteration until the quadratic regime: give DC a deep budget
+            // (iterations are cheap at circuit size).
+            newton: NewtonOptions {
+                max_iters: 500,
+                ..Default::default()
+            },
+            gmin_start: 1e-2,
+            gmin_final: 1e-12,
+            gmin_steps_per_decade: 1,
+            max_source_steps: 200,
+        }
+    }
+}
+
+/// Result of a DC operating-point analysis.
+#[derive(Debug, Clone)]
+pub struct DcResult {
+    /// The operating point (node voltages then branch currents).
+    pub solution: Vec<f64>,
+    /// Statistics of the final Newton solve.
+    pub stats: NewtonStats,
+    /// Which strategy succeeded.
+    pub strategy: DcStrategy,
+}
+
+/// Which rung of the robustness ladder produced the solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DcStrategy {
+    /// Plain Newton from the zero vector.
+    Direct,
+    /// Gmin stepping.
+    GminStepping,
+    /// Source stepping.
+    SourceStepping,
+}
+
+/// The DC system `f(x) + λ·b(0) + gmin·x_v = 0`.
+struct DcSystem<'a> {
+    circuit: &'a Circuit,
+    b: Vec<f64>,
+    gmin: f64,
+    lambda: f64,
+}
+
+impl NewtonSystem for DcSystem<'_> {
+    fn dim(&self) -> usize {
+        self.circuit.num_unknowns()
+    }
+
+    fn residual(&self, x: &[f64], out: &mut [f64]) {
+        self.circuit.eval_f(x, out, None);
+        for i in 0..out.len() {
+            out[i] += self.lambda * self.b[i];
+            if self.circuit.unknown_kinds()[i] == UnknownKind::NodeVoltage {
+                out[i] += self.gmin * x[i];
+            }
+        }
+    }
+
+    fn residual_and_jacobian(&self, x: &[f64], out: &mut [f64], jac: &mut Triplets) {
+        self.circuit.eval_f(x, out, Some(jac));
+        for i in 0..out.len() {
+            out[i] += self.lambda * self.b[i];
+            if self.circuit.unknown_kinds()[i] == UnknownKind::NodeVoltage {
+                out[i] += self.gmin * x[i];
+                jac.push(i, i, self.gmin);
+            }
+        }
+    }
+}
+
+/// Computes the DC operating point of a circuit.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::ConvergenceFailure`] if every strategy fails.
+pub fn dc_operating_point(circuit: &Circuit, options: DcOptions) -> Result<DcResult> {
+    let n = circuit.num_unknowns();
+    let mut b = vec![0.0; n];
+    circuit.eval_b(0.0, &mut b);
+    let kinds = circuit.unknown_kinds().to_vec();
+    let x0 = vec![0.0; n];
+
+    // Rung 1: plain Newton with the residual gmin.
+    let sys = DcSystem {
+        circuit,
+        b: b.clone(),
+        gmin: options.gmin_final,
+        lambda: 1.0,
+    };
+    if let Ok((solution, stats)) = newton_solve(&sys, &x0, &kinds, options.newton) {
+        return Ok(DcResult {
+            solution,
+            stats,
+            strategy: DcStrategy::Direct,
+        });
+    }
+
+    // Rung 2: gmin stepping.
+    if let Some(result) = gmin_stepping(circuit, &b, &kinds, &options) {
+        return Ok(result);
+    }
+
+    // Rung 3: source stepping.
+    if let Some(result) = source_stepping(circuit, &b, &kinds, &options) {
+        return Ok(result);
+    }
+
+    Err(CircuitError::ConvergenceFailure {
+        analysis: "dc operating point".into(),
+        iterations: options.newton.max_iters,
+        residual: f64::NAN,
+    })
+}
+
+fn gmin_stepping(
+    circuit: &Circuit,
+    b: &[f64],
+    kinds: &[UnknownKind],
+    options: &DcOptions,
+) -> Option<DcResult> {
+    let mut x = vec![0.0; circuit.num_unknowns()];
+    let mut gmin = options.gmin_start;
+    let factor = 10f64.powf(1.0 / options.gmin_steps_per_decade.max(1) as f64);
+    loop {
+        let sys = DcSystem {
+            circuit,
+            b: b.to_vec(),
+            gmin,
+            lambda: 1.0,
+        };
+        match newton_solve(&sys, &x, kinds, options.newton) {
+            Ok((sol, _)) => x = sol,
+            Err(_) => return None,
+        }
+        if gmin <= options.gmin_final {
+            break;
+        }
+        gmin = (gmin / factor).max(options.gmin_final);
+    }
+    // Final polish at the residual gmin.
+    let sys = DcSystem {
+        circuit,
+        b: b.to_vec(),
+        gmin: options.gmin_final,
+        lambda: 1.0,
+    };
+    let (solution, stats) = newton_solve(&sys, &x, kinds, options.newton).ok()?;
+    Some(DcResult {
+        solution,
+        stats,
+        strategy: DcStrategy::GminStepping,
+    })
+}
+
+fn source_stepping(
+    circuit: &Circuit,
+    b: &[f64],
+    kinds: &[UnknownKind],
+    options: &DcOptions,
+) -> Option<DcResult> {
+    let mut x = vec![0.0; circuit.num_unknowns()];
+    let mut lambda: f64 = 0.0;
+    let mut step: f64 = 0.1;
+    let mut steps_used = 0;
+    let mut last_stats = None;
+    while lambda < 1.0 {
+        if steps_used >= options.max_source_steps {
+            return None;
+        }
+        let target = (lambda + step).min(1.0);
+        let sys = DcSystem {
+            circuit,
+            b: b.to_vec(),
+            gmin: options.gmin_final,
+            lambda: target,
+        };
+        match newton_solve(&sys, &x, kinds, options.newton) {
+            Ok((sol, stats)) => {
+                x = sol;
+                lambda = target;
+                last_stats = Some(stats);
+                step = (step * 1.5).min(0.25);
+            }
+            Err(_) => {
+                step *= 0.5;
+                if step < 1e-6 {
+                    return None;
+                }
+            }
+        }
+        steps_used += 1;
+    }
+    Some(DcResult {
+        solution: x,
+        stats: last_stats?,
+        strategy: DcStrategy::SourceStepping,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::devices::{DiodeParams, MosfetParams};
+    use crate::node::GROUND;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn voltage_divider() {
+        let mut b = CircuitBuilder::new();
+        let inp = b.node("in");
+        let mid = b.node("mid");
+        b.vsource("V1", inp, GROUND, Waveform::Dc(10.0)).expect("v");
+        b.resistor("R1", inp, mid, 1e3).expect("r1");
+        b.resistor("R2", mid, GROUND, 3e3).expect("r2");
+        let ckt = b.build().expect("build");
+        let op = dc_operating_point(&ckt, DcOptions::default()).expect("dc");
+        assert!((op.solution[0] - 10.0).abs() < 1e-6);
+        assert!((op.solution[1] - 7.5).abs() < 1e-6);
+        // Source branch current: −(10−7.5)/1k = −2.5 mA.
+        assert!((op.solution[2] + 2.5e-3).abs() < 1e-8);
+        assert_eq!(op.strategy, DcStrategy::Direct);
+    }
+
+    #[test]
+    fn diode_resistor_forward_drop() {
+        let mut b = CircuitBuilder::new();
+        let inp = b.node("in");
+        let anode = b.node("a");
+        b.vsource("V1", inp, GROUND, Waveform::Dc(5.0)).expect("v");
+        b.resistor("R1", inp, anode, 1e3).expect("r");
+        b.diode("D1", anode, GROUND, DiodeParams::default()).expect("d");
+        let ckt = b.build().expect("build");
+        let op = dc_operating_point(&ckt, DcOptions::default()).expect("dc");
+        let vd = op.solution[1];
+        assert!(
+            (0.55..0.75).contains(&vd),
+            "silicon diode drop expected, got {vd}"
+        );
+        // KCL: current through R equals diode current.
+        let ir = (5.0 - vd) / 1e3;
+        assert!(ir > 3e-3, "a few mA flows: {ir}");
+    }
+
+    #[test]
+    fn mosfet_common_source_bias() {
+        let mut b = CircuitBuilder::new();
+        let vdd = b.node("vdd");
+        let gate = b.node("g");
+        let drain = b.node("d");
+        b.vsource("VDD", vdd, GROUND, Waveform::Dc(3.0)).expect("vdd");
+        b.vsource("VG", gate, GROUND, Waveform::Dc(1.2)).expect("vg");
+        b.resistor("RD", vdd, drain, 5e3).expect("rd");
+        b.mosfet("M1", drain, gate, GROUND, MosfetParams::default())
+            .expect("m");
+        let ckt = b.build().expect("build");
+        let op = dc_operating_point(&ckt, DcOptions::default()).expect("dc");
+        let vd = op.solution[ckt.unknown_index_of_node(ckt.node_by_name("d").expect("d")).expect("idx")];
+        // With KP=100µ, W/L=20, vgt=0.7: Isat ≈ ½·2m·0.49 ≈ 0.49 mA → drop ≈ 2.45 V.
+        assert!(vd > 0.2 && vd < 1.2, "drain should sit low-ish, got {vd}");
+    }
+
+    #[test]
+    fn floating_node_regularised_by_gmin() {
+        // A node connected only through a capacitor has no DC path: the
+        // final gmin keeps the matrix nonsingular and pins it near 0 V.
+        let mut b = CircuitBuilder::new();
+        let a = b.node("a");
+        let fl = b.node("float");
+        b.vsource("V1", a, GROUND, Waveform::Dc(1.0)).expect("v");
+        b.capacitor("C1", a, fl, 1e-12).expect("c");
+        let ckt = b.build().expect("build");
+        let op = dc_operating_point(&ckt, DcOptions::default()).expect("dc");
+        let vf = op.solution[1];
+        assert!(vf.abs() < 1e-3, "floating node pinned by gmin, got {vf}");
+    }
+
+    #[test]
+    fn series_diode_chain_needs_stepping_but_solves() {
+        // Stacked diodes with a large supply: hard for cold Newton.
+        let mut b = CircuitBuilder::new();
+        let inp = b.node("in");
+        let m1 = b.node("m1");
+        let m2 = b.node("m2");
+        b.vsource("V1", inp, GROUND, Waveform::Dc(30.0)).expect("v");
+        b.resistor("R1", inp, m1, 10.0).expect("r");
+        b.diode("D1", m1, m2, DiodeParams::default()).expect("d1");
+        b.diode("D2", m2, GROUND, DiodeParams::default()).expect("d2");
+        let ckt = b.build().expect("build");
+        let op = dc_operating_point(&ckt, DcOptions::default()).expect("dc");
+        let v1 = op.solution[1] - op.solution[2];
+        let v2 = op.solution[2];
+        assert!((0.6..1.1).contains(&v1), "D1 drop {v1}");
+        assert!((0.6..1.1).contains(&v2), "D2 drop {v2}");
+    }
+}

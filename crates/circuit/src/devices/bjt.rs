@@ -1,0 +1,290 @@
+//! Bipolar junction transistor (Ebers–Moll).
+//!
+//! Rounds out the device library for users porting bipolar RF front-ends;
+//! the paper's circuits are CMOS, but the substrate is general. Transport
+//! formulation with soft-limited exponentials and lumped junction
+//! capacitances.
+
+use super::{soft_exp, Device, VT_300K};
+use crate::stamp::{StampContext, Unknown};
+
+/// BJT polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BjtPolarity {
+    /// NPN device.
+    #[default]
+    Npn,
+    /// PNP device.
+    Pnp,
+}
+
+/// Ebers–Moll BJT parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BjtParams {
+    /// Transport saturation current `Is` (A).
+    pub is: f64,
+    /// Forward current gain `β_F`.
+    pub beta_f: f64,
+    /// Reverse current gain `β_R`.
+    pub beta_r: f64,
+    /// Base–emitter junction capacitance (F, lumped).
+    pub cbe: f64,
+    /// Base–collector junction capacitance (F, lumped).
+    pub cbc: f64,
+    /// Exponent soft-limit (see [`soft_exp`]).
+    pub exp_cap: f64,
+    /// Polarity.
+    pub polarity: BjtPolarity,
+}
+
+impl Default for BjtParams {
+    fn default() -> Self {
+        BjtParams {
+            is: 1e-15,
+            beta_f: 100.0,
+            beta_r: 2.0,
+            cbe: 1e-12,
+            cbc: 0.3e-12,
+            exp_cap: 40.0,
+            polarity: BjtPolarity::Npn,
+        }
+    }
+}
+
+/// A three-terminal BJT (collector, base, emitter).
+#[derive(Debug, Clone)]
+pub struct Bjt {
+    name: String,
+    collector: Unknown,
+    base: Unknown,
+    emitter: Unknown,
+    params: BjtParams,
+}
+
+/// Terminal currents and their derivatives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BjtOperatingPoint {
+    /// Collector current (into the collector).
+    pub ic: f64,
+    /// Base current (into the base).
+    pub ib: f64,
+    /// `∂ic/∂v_be`.
+    pub dic_dvbe: f64,
+    /// `∂ic/∂v_bc`.
+    pub dic_dvbc: f64,
+    /// `∂ib/∂v_be`.
+    pub dib_dvbe: f64,
+    /// `∂ib/∂v_bc`.
+    pub dib_dvbc: f64,
+}
+
+impl Bjt {
+    pub(crate) fn new(
+        name: String,
+        collector: Unknown,
+        base: Unknown,
+        emitter: Unknown,
+        params: BjtParams,
+    ) -> Self {
+        Bjt {
+            name,
+            collector,
+            base,
+            emitter,
+            params,
+        }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &BjtParams {
+        &self.params
+    }
+
+    /// Ebers–Moll transport currents at the given junction voltages
+    /// (NPN-normalised: the caller flips signs for PNP).
+    pub fn operating_point(&self, vbe: f64, vbc: f64) -> BjtOperatingPoint {
+        let p = &self.params;
+        let vt = VT_300K;
+        let (ef, def) = soft_exp(vbe / vt, p.exp_cap);
+        let (er, der) = soft_exp(vbc / vt, p.exp_cap);
+        // Transport current and diode currents.
+        let icc = p.is * (ef - 1.0);
+        let iec = p.is * (er - 1.0);
+        let d_icc = p.is * def / vt;
+        let d_iec = p.is * der / vt;
+        // ic = icc − iec·(1 + 1/βR); ib = icc/βF + iec/βR.
+        let ic = icc - iec * (1.0 + 1.0 / p.beta_r);
+        let ib = icc / p.beta_f + iec / p.beta_r;
+        BjtOperatingPoint {
+            ic,
+            ib,
+            dic_dvbe: d_icc,
+            dic_dvbc: -d_iec * (1.0 + 1.0 / p.beta_r),
+            dib_dvbe: d_icc / p.beta_f,
+            dib_dvbc: d_iec / p.beta_r,
+        }
+    }
+}
+
+impl Device for Bjt {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stamp_resistive(&self, x: &[f64], ctx: &mut StampContext<'_>) {
+        let sign = match self.params.polarity {
+            BjtPolarity::Npn => 1.0,
+            BjtPolarity::Pnp => -1.0,
+        };
+        let vc = StampContext::value(x, self.collector);
+        let vb = StampContext::value(x, self.base);
+        let ve = StampContext::value(x, self.emitter);
+        let vbe = sign * (vb - ve);
+        let vbc = sign * (vb - vc);
+        let op = self.operating_point(vbe, vbc);
+        // KCL rows accumulate the current flowing from each node INTO the
+        // device: +ic at the collector, +ib at the base, −(ic+ib) at the
+        // emitter (forward current exits the device there).
+        let (ic, ib) = (sign * op.ic, sign * op.ib);
+        ctx.add_residual(self.collector, ic);
+        ctx.add_residual(self.base, ib);
+        ctx.add_residual(self.emitter, -(ic + ib));
+        // Derivatives w.r.t. node voltages via the vbe/vbc chain rule; the
+        // sign² from the polarity normalisation cancels.
+        let rows = [
+            (self.collector, op.dic_dvbe, op.dic_dvbc),
+            (self.base, op.dib_dvbe, op.dib_dvbc),
+            (
+                self.emitter,
+                -(op.dic_dvbe + op.dib_dvbe),
+                -(op.dic_dvbc + op.dib_dvbc),
+            ),
+        ];
+        for (row, d_vbe, d_vbc) in rows {
+            // vbe = vb − ve, vbc = vb − vc (in normalised space).
+            ctx.add_jacobian(row, self.base, d_vbe + d_vbc);
+            ctx.add_jacobian(row, self.emitter, -d_vbe);
+            ctx.add_jacobian(row, self.collector, -d_vbc);
+        }
+    }
+
+    fn stamp_reactive(&self, x: &[f64], ctx: &mut StampContext<'_>) {
+        let p = &self.params;
+        if p.cbe != 0.0 {
+            ctx.stamp_conductance(self.base, self.emitter, p.cbe, x);
+        }
+        if p.cbc != 0.0 {
+            ctx.stamp_conductance(self.base, self.collector, p.cbc, x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn npn() -> Bjt {
+        Bjt::new(
+            "Q1".into(),
+            Unknown::Index(0),
+            Unknown::Index(1),
+            Unknown::Index(2),
+            BjtParams::default(),
+        )
+    }
+
+    #[test]
+    fn off_device_carries_no_current() {
+        let op = npn().operating_point(0.0, 0.0);
+        assert_eq!(op.ic, 0.0);
+        assert_eq!(op.ib, 0.0);
+    }
+
+    #[test]
+    fn forward_active_beta() {
+        // vbe = 0.65 V, vbc = −2 V: forward active, ic/ib ≈ βF.
+        let op = npn().operating_point(0.65, -2.0);
+        assert!(op.ic > 1e-5, "collector current flows: {}", op.ic);
+        let beta = op.ic / op.ib;
+        assert!(
+            (beta - 100.0).abs() / 100.0 < 0.05,
+            "current gain ≈ βF: {beta}"
+        );
+    }
+
+    #[test]
+    fn saturation_reduces_gain() {
+        // Both junctions forward: ic/ib drops well below βF.
+        let op = npn().operating_point(0.65, 0.6);
+        let beta = op.ic / op.ib;
+        assert!(beta < 50.0, "saturated beta {beta}");
+    }
+
+    #[test]
+    fn kcl_holds_in_stamps() {
+        let q = npn();
+        let x = vec![2.0, 0.65, 0.0];
+        let mut f = vec![0.0; 3];
+        q.stamp_resistive(&x, &mut StampContext::new(&mut f, None));
+        let sum: f64 = f.iter().sum();
+        assert!(sum.abs() < 1e-18, "terminal currents sum to zero: {sum}");
+    }
+
+    #[test]
+    fn pnp_mirrors_npn() {
+        let mut p = BjtParams::default();
+        p.polarity = BjtPolarity::Pnp;
+        let pnp = Bjt::new(
+            "Q2".into(),
+            Unknown::Index(0),
+            Unknown::Index(1),
+            Unknown::Index(2),
+            p,
+        );
+        let xn = vec![2.0, 0.65, 0.0];
+        let xp = vec![-2.0, -0.65, 0.0];
+        let mut fn_ = vec![0.0; 3];
+        let mut fp = vec![0.0; 3];
+        npn().stamp_resistive(&xn, &mut StampContext::new(&mut fn_, None));
+        pnp.stamp_resistive(&xp, &mut StampContext::new(&mut fp, None));
+        for (a, b) in fn_.iter().zip(&fp) {
+            assert!((a + b).abs() < 1e-18, "PNP mirrors NPN: {a} vs {b}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_stamp_jacobian_matches_fd(vc in -2.0f64..2.0, vb in -0.8f64..0.8, ve in -1.0f64..1.0) {
+            let q = npn();
+            let x0 = vec![vc, vb, ve];
+            let eval = |x: &[f64]| {
+                let mut f = vec![0.0; 3];
+                q.stamp_resistive(x, &mut StampContext::new(&mut f, None));
+                f
+            };
+            let f0 = eval(&x0);
+            let mut jac = rfsim_numerics::sparse::Triplets::new(3, 3);
+            let mut f = vec![0.0; 3];
+            q.stamp_resistive(&x0, &mut StampContext::new(&mut f, Some(&mut jac)));
+            let jm = jac.to_csr();
+            let h = 1e-8;
+            for col in 0..3 {
+                let mut xp = x0.clone();
+                xp[col] += h;
+                let fp = eval(&xp);
+                for row in 0..3 {
+                    let fd = (fp[row] - f0[row]) / h;
+                    let j = jm.get(row, col);
+                    // FD resolution floor: with currents up to |f0| the
+                    // difference quotient can only resolve derivatives down
+                    // to ~|f0|·eps/h; skip entries below that.
+                    let floor = f0[row].abs() * 1e-15 / h + 1e-9;
+                    let tol = (1e-2 * j.abs()).max(5.0 * floor);
+                    prop_assert!((j - fd).abs() < tol,
+                        "J[{row}][{col}] = {j} vs fd {fd} (tol {tol}) at {x0:?}");
+                }
+            }
+        }
+    }
+}

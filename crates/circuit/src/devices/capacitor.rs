@@ -1,0 +1,62 @@
+//! Linear capacitor.
+
+use super::Device;
+use crate::stamp::{StampContext, Unknown};
+
+/// A linear two-terminal capacitor: `q = C·(v_a − v_b)`.
+#[derive(Debug, Clone)]
+pub struct Capacitor {
+    name: String,
+    a: Unknown,
+    b: Unknown,
+    capacitance: f64,
+}
+
+impl Capacitor {
+    pub(crate) fn new(name: String, a: Unknown, b: Unknown, capacitance: f64) -> Self {
+        Capacitor {
+            name,
+            a,
+            b,
+            capacitance,
+        }
+    }
+
+    /// The capacitance in farads.
+    pub fn capacitance(&self) -> f64 {
+        self.capacitance
+    }
+}
+
+impl Device for Capacitor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stamp_resistive(&self, _x: &[f64], _ctx: &mut StampContext<'_>) {}
+
+    fn stamp_reactive(&self, x: &[f64], ctx: &mut StampContext<'_>) {
+        // Same ±C pattern as a conductance, applied to the charge residual.
+        ctx.stamp_conductance(self.a, self.b, self.capacitance, x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsim_numerics::sparse::Triplets;
+
+    #[test]
+    fn stamps_charge_not_current() {
+        let c = Capacitor::new("C1".into(), Unknown::Index(0), Unknown::Ground, 1e-9);
+        let x = vec![2.0];
+        let mut f = vec![0.0; 1];
+        c.stamp_resistive(&x, &mut StampContext::new(&mut f, None));
+        assert_eq!(f[0], 0.0, "no conductive contribution");
+        let mut q = vec![0.0; 1];
+        let mut jq = Triplets::new(1, 1);
+        c.stamp_reactive(&x, &mut StampContext::new(&mut q, Some(&mut jq)));
+        assert!((q[0] - 2e-9).abs() < 1e-21);
+        assert_eq!(jq.to_csr().get(0, 0), 1e-9);
+    }
+}

@@ -1,0 +1,168 @@
+//! Linear controlled sources: VCCS and VCVS.
+
+use super::Device;
+use crate::stamp::{StampContext, Unknown};
+
+/// Voltage-controlled current source:
+/// `i = gm·(v_cp − v_cn)` flowing from `p` through the device to `n`.
+#[derive(Debug, Clone)]
+pub struct Vccs {
+    name: String,
+    p: Unknown,
+    n: Unknown,
+    cp: Unknown,
+    cn: Unknown,
+    gm: f64,
+}
+
+impl Vccs {
+    pub(crate) fn new(
+        name: String,
+        p: Unknown,
+        n: Unknown,
+        cp: Unknown,
+        cn: Unknown,
+        gm: f64,
+    ) -> Self {
+        Vccs {
+            name,
+            p,
+            n,
+            cp,
+            cn,
+            gm,
+        }
+    }
+
+    /// The transconductance in siemens.
+    pub fn gm(&self) -> f64 {
+        self.gm
+    }
+}
+
+impl Device for Vccs {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stamp_resistive(&self, x: &[f64], ctx: &mut StampContext<'_>) {
+        let vc = StampContext::value(x, self.cp) - StampContext::value(x, self.cn);
+        let i = self.gm * vc;
+        ctx.add_residual(self.p, i);
+        ctx.add_residual(self.n, -i);
+        ctx.add_jacobian(self.p, self.cp, self.gm);
+        ctx.add_jacobian(self.p, self.cn, -self.gm);
+        ctx.add_jacobian(self.n, self.cp, -self.gm);
+        ctx.add_jacobian(self.n, self.cn, self.gm);
+    }
+}
+
+/// Voltage-controlled voltage source (adds one branch unknown):
+/// `v_p − v_n = gain·(v_cp − v_cn)`.
+#[derive(Debug, Clone)]
+pub struct Vcvs {
+    name: String,
+    p: Unknown,
+    n: Unknown,
+    cp: Unknown,
+    cn: Unknown,
+    gain: f64,
+    branch: Unknown,
+}
+
+impl Vcvs {
+    pub(crate) fn new(
+        name: String,
+        p: Unknown,
+        n: Unknown,
+        cp: Unknown,
+        cn: Unknown,
+        gain: f64,
+    ) -> Self {
+        Vcvs {
+            name,
+            p,
+            n,
+            cp,
+            cn,
+            gain,
+            branch: Unknown::Ground,
+        }
+    }
+
+    /// The voltage gain.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+}
+
+impl Device for Vcvs {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_branches(&self) -> usize {
+        1
+    }
+
+    fn assign_branches(&mut self, branches: &[usize]) {
+        self.branch = Unknown::Index(branches[0]);
+    }
+
+    fn stamp_resistive(&self, x: &[f64], ctx: &mut StampContext<'_>) {
+        let i = StampContext::value(x, self.branch);
+        ctx.add_residual(self.p, i);
+        ctx.add_residual(self.n, -i);
+        ctx.add_jacobian(self.p, self.branch, 1.0);
+        ctx.add_jacobian(self.n, self.branch, -1.0);
+        // Branch: v_p − v_n − gain·(v_cp − v_cn) = 0.
+        let v = StampContext::value(x, self.p) - StampContext::value(x, self.n)
+            - self.gain * (StampContext::value(x, self.cp) - StampContext::value(x, self.cn));
+        ctx.add_residual(self.branch, v);
+        ctx.add_jacobian(self.branch, self.p, 1.0);
+        ctx.add_jacobian(self.branch, self.n, -1.0);
+        ctx.add_jacobian(self.branch, self.cp, -self.gain);
+        ctx.add_jacobian(self.branch, self.cn, self.gain);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vccs_output_current() {
+        let g = Vccs::new(
+            "G1".into(),
+            Unknown::Index(0),
+            Unknown::Ground,
+            Unknown::Index(1),
+            Unknown::Ground,
+            1e-3,
+        );
+        let x = vec![0.0, 2.0];
+        let mut f = vec![0.0; 2];
+        g.stamp_resistive(&x, &mut StampContext::new(&mut f, None));
+        assert!((f[0] - 2e-3).abs() < 1e-15);
+        assert_eq!(f[1], 0.0, "control node draws no current");
+    }
+
+    #[test]
+    fn vcvs_branch_equation() {
+        let mut e = Vcvs::new(
+            "E1".into(),
+            Unknown::Index(0),
+            Unknown::Ground,
+            Unknown::Index(1),
+            Unknown::Ground,
+            10.0,
+        );
+        e.assign_branches(&[2]);
+        // At a consistent point v_out = 10·v_in the branch residual is 0.
+        let x = vec![5.0, 0.5, 0.01];
+        let mut f = vec![0.0; 3];
+        e.stamp_resistive(&x, &mut StampContext::new(&mut f, None));
+        assert!(f[2].abs() < 1e-15);
+        assert!((f[0] - 0.01).abs() < 1e-15, "output KCL carries branch current");
+    }
+}

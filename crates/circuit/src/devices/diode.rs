@@ -1,0 +1,173 @@
+//! Junction diode with soft-limited exponential.
+
+use super::{soft_exp, Device, VT_300K};
+use crate::stamp::{StampContext, Unknown};
+
+/// Diode model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DiodeParams {
+    /// Saturation current `Is` in amperes.
+    pub is: f64,
+    /// Emission coefficient `n`.
+    pub n: f64,
+    /// Zero-bias junction capacitance in farads (modelled as linear).
+    pub cj0: f64,
+    /// Transit time in seconds (diffusion charge `tt·i_d`).
+    pub tt: f64,
+    /// Exponent soft-limit: arguments beyond this are linearised.
+    pub exp_cap: f64,
+}
+
+impl Default for DiodeParams {
+    fn default() -> Self {
+        DiodeParams {
+            is: 1e-14,
+            n: 1.0,
+            cj0: 0.0,
+            tt: 0.0,
+            exp_cap: 40.0,
+        }
+    }
+}
+
+/// A two-terminal junction diode: `i = Is·(e^{v/(n·Vt)} − 1)` from anode to
+/// cathode, with linear junction capacitance and diffusion charge.
+#[derive(Debug, Clone)]
+pub struct Diode {
+    name: String,
+    anode: Unknown,
+    cathode: Unknown,
+    params: DiodeParams,
+}
+
+impl Diode {
+    pub(crate) fn new(name: String, anode: Unknown, cathode: Unknown, params: DiodeParams) -> Self {
+        Diode {
+            name,
+            anode,
+            cathode,
+            params,
+        }
+    }
+
+    /// Diode current and small-signal conductance at junction voltage `v`.
+    pub fn current(&self, v: f64) -> (f64, f64) {
+        let nvt = self.params.n * VT_300K;
+        let (e, de) = soft_exp(v / nvt, self.params.exp_cap);
+        let i = self.params.is * (e - 1.0);
+        let g = self.params.is * de / nvt;
+        (i, g)
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &DiodeParams {
+        &self.params
+    }
+}
+
+impl Device for Diode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stamp_resistive(&self, x: &[f64], ctx: &mut StampContext<'_>) {
+        let v = StampContext::value(x, self.anode) - StampContext::value(x, self.cathode);
+        let (i, g) = self.current(v);
+        ctx.stamp_current_pair(self.anode, self.cathode, i, g);
+    }
+
+    fn stamp_reactive(&self, x: &[f64], ctx: &mut StampContext<'_>) {
+        let p = &self.params;
+        if p.cj0 == 0.0 && p.tt == 0.0 {
+            return;
+        }
+        let v = StampContext::value(x, self.anode) - StampContext::value(x, self.cathode);
+        let (i, g) = self.current(v);
+        // q = cj0·v + tt·i(v); dq/dv = cj0 + tt·g.
+        let q = p.cj0 * v + p.tt * i;
+        let c = p.cj0 + p.tt * g;
+        ctx.stamp_current_pair(self.anode, self.cathode, q, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn diode() -> Diode {
+        Diode::new(
+            "D1".into(),
+            Unknown::Index(0),
+            Unknown::Ground,
+            DiodeParams::default(),
+        )
+    }
+
+    #[test]
+    fn zero_bias_zero_current() {
+        let (i, g) = diode().current(0.0);
+        assert_eq!(i, 0.0);
+        assert!((g - 1e-14 / VT_300K).abs() < 1e-15);
+    }
+
+    #[test]
+    fn forward_bias_conducts() {
+        let (i, _) = diode().current(0.7);
+        assert!(i > 1e-4, "0.7 V silicon diode should carry real current: {i}");
+    }
+
+    #[test]
+    fn reverse_bias_saturates() {
+        let (i, _) = diode().current(-5.0);
+        assert!((i + 1e-14).abs() < 1e-20, "reverse current ≈ −Is");
+    }
+
+    #[test]
+    fn overshoot_stays_finite() {
+        let (i, g) = diode().current(100.0);
+        assert!(i.is_finite());
+        assert!(g.is_finite());
+    }
+
+    #[test]
+    fn reactive_charge_with_tt() {
+        let d = Diode::new(
+            "D1".into(),
+            Unknown::Index(0),
+            Unknown::Ground,
+            DiodeParams {
+                cj0: 1e-12,
+                tt: 1e-9,
+                ..Default::default()
+            },
+        );
+        let x = vec![0.6];
+        let mut q = vec![0.0; 1];
+        d.stamp_reactive(&x, &mut StampContext::new(&mut q, None));
+        let (i, _) = d.current(0.6);
+        assert!((q[0] - (1e-12 * 0.6 + 1e-9 * i)).abs() < 1e-18);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_conductance_is_derivative(v in -2.0f64..1.0) {
+            let d = diode();
+            let h = 1e-8;
+            let (i0, g) = d.current(v);
+            let (i1, _) = d.current(v + h);
+            let fd = (i1 - i0) / h;
+            // relative tolerance, since current spans many decades
+            let scale = g.abs().max(1e-16);
+            prop_assert!(((g - fd) / scale).abs() < 1e-3, "g {g} vs fd {fd} at v={v}");
+        }
+
+        #[test]
+        fn prop_current_monotone(v1 in -1.0f64..1.0, dv in 0.001f64..0.5) {
+            let d = diode();
+            let (ia, _) = d.current(v1);
+            let (ib, _) = d.current(v1 + dv);
+            prop_assert!(ib >= ia);
+        }
+    }
+}

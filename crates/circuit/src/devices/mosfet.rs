@@ -1,0 +1,321 @@
+//! Level-1 (Shichman–Hodges) MOSFET.
+//!
+//! The switching nonlinearity at the heart of the paper's mixers. Drain
+//! current follows the classic square-law with channel-length modulation;
+//! drain/source are swapped automatically for reverse operation. Gate and
+//! junction capacitances are lumped constants (see DESIGN.md §3: the
+//! time-scale structure the MPDE method addresses is set by the switching
+//! nonlinearity and the node RC constants, both preserved here).
+
+use super::Device;
+use crate::stamp::{StampContext, Unknown};
+
+/// Channel polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MosPolarity {
+    /// N-channel device.
+    #[default]
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+/// Level-1 MOSFET parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MosfetParams {
+    /// Transconductance parameter `KP = µ·Cox` in A/V².
+    pub kp: f64,
+    /// Zero-bias threshold voltage in volts (positive for NMOS).
+    pub vt0: f64,
+    /// Channel-length modulation `λ` in 1/V.
+    pub lambda: f64,
+    /// Channel width in metres.
+    pub w: f64,
+    /// Channel length in metres.
+    pub l: f64,
+    /// Lumped gate–source capacitance in farads.
+    pub cgs: f64,
+    /// Lumped gate–drain capacitance in farads.
+    pub cgd: f64,
+    /// Drain–bulk (ground) junction capacitance in farads.
+    pub cdb: f64,
+    /// Source–bulk (ground) junction capacitance in farads.
+    pub csb: f64,
+    /// Channel polarity.
+    pub polarity: MosPolarity,
+}
+
+impl Default for MosfetParams {
+    fn default() -> Self {
+        MosfetParams {
+            kp: 100e-6,
+            vt0: 0.5,
+            lambda: 0.02,
+            w: 10e-6,
+            l: 0.5e-6,
+            cgs: 20e-15,
+            cgd: 5e-15,
+            cdb: 10e-15,
+            csb: 10e-15,
+            polarity: MosPolarity::Nmos,
+        }
+    }
+}
+
+impl MosfetParams {
+    /// The device transconductance factor `β = KP·W/L`.
+    pub fn beta(&self) -> f64 {
+        self.kp * self.w / self.l
+    }
+}
+
+/// Drain current and derivatives of an NMOS-normalised level-1 device.
+///
+/// Returns `(id, gm, gds)` = `(I_D, ∂I_D/∂v_gs, ∂I_D/∂v_ds)` for
+/// `v_ds ≥ 0`; the caller handles polarity and drain/source swapping.
+fn level1_ids(beta: f64, vt0: f64, lambda: f64, vgs: f64, vds: f64) -> (f64, f64, f64) {
+    let vgt = vgs - vt0;
+    if vgt <= 0.0 {
+        // Cutoff.
+        (0.0, 0.0, 0.0)
+    } else if vds < vgt {
+        // Triode.
+        let clm = 1.0 + lambda * vds;
+        let id = beta * (vgt * vds - 0.5 * vds * vds) * clm;
+        let gm = beta * vds * clm;
+        let gds = beta * (vgt - vds) * clm + beta * (vgt * vds - 0.5 * vds * vds) * lambda;
+        (id, gm, gds)
+    } else {
+        // Saturation.
+        let clm = 1.0 + lambda * vds;
+        let id = 0.5 * beta * vgt * vgt * clm;
+        let gm = beta * vgt * clm;
+        let gds = 0.5 * beta * vgt * vgt * lambda;
+        (id, gm, gds)
+    }
+}
+
+/// A three-terminal (bulk tied to ground rail) level-1 MOSFET.
+#[derive(Debug, Clone)]
+pub struct Mosfet {
+    name: String,
+    drain: Unknown,
+    gate: Unknown,
+    source: Unknown,
+    params: MosfetParams,
+}
+
+impl Mosfet {
+    pub(crate) fn new(
+        name: String,
+        drain: Unknown,
+        gate: Unknown,
+        source: Unknown,
+        params: MosfetParams,
+    ) -> Self {
+        Mosfet {
+            name,
+            drain,
+            gate,
+            source,
+            params,
+        }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &MosfetParams {
+        &self.params
+    }
+
+    /// Terminal currents and Jacobian pieces in *circuit* orientation.
+    ///
+    /// Returns `(id, gm, gds)` where `id` is the current from drain to
+    /// source through the channel (sign follows polarity and operating
+    /// quadrant), `gm = ∂id/∂v_g`, `gds = ∂id/∂v_d` with `∂id/∂v_s =
+    /// −(gm + gds)`.
+    pub fn channel_current(&self, vd: f64, vg: f64, vs: f64) -> (f64, f64, f64) {
+        let p = &self.params;
+        let sign = match p.polarity {
+            MosPolarity::Nmos => 1.0,
+            MosPolarity::Pmos => -1.0,
+        };
+        // Normalise to NMOS voltages.
+        let (vdn, vgn, vsn) = (sign * vd, sign * vg, sign * vs);
+        let beta = p.beta();
+        if vdn >= vsn {
+            // Forward: drain acts as drain.
+            let (id, gm, gds) = level1_ids(beta, p.vt0, p.lambda, vgn - vsn, vdn - vsn);
+            // id flows drain→source (NMOS); in normalised space
+            // ∂id/∂vgn = gm, ∂id/∂vdn = gds, ∂id/∂vsn = −gm − gds.
+            // Chain rule through vXn = sign·vX cancels the overall sign·…
+            (sign * id, gm, gds)
+        } else {
+            // Reverse: swap source/drain roles.
+            let (id, gm, gds) = level1_ids(beta, p.vt0, p.lambda, vgn - vdn, vsn - vdn);
+            // Current flows source→drain in normalised space: id' = −id.
+            // Derivatives w.r.t. original nodes:
+            //   ∂(−id)/∂vgn = −gm
+            //   ∂(−id)/∂vdn = −(−gm − gds) = gm + gds
+            //   ∂(−id)/∂vsn = −gds
+            (-sign * id, -gm, gm + gds)
+        }
+    }
+}
+
+impl Device for Mosfet {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stamp_resistive(&self, x: &[f64], ctx: &mut StampContext<'_>) {
+        let vd = StampContext::value(x, self.drain);
+        let vg = StampContext::value(x, self.gate);
+        let vs = StampContext::value(x, self.source);
+        let (id, gm, gds) = self.channel_current(vd, vg, vs);
+        let gs = -(gm + gds);
+        // Channel current id leaves the drain node and enters the source.
+        ctx.add_residual(self.drain, id);
+        ctx.add_residual(self.source, -id);
+        for (wrt, g) in [(self.drain, gds), (self.gate, gm), (self.source, gs)] {
+            ctx.add_jacobian(self.drain, wrt, g);
+            ctx.add_jacobian(self.source, wrt, -g);
+        }
+    }
+
+    fn stamp_reactive(&self, x: &[f64], ctx: &mut StampContext<'_>) {
+        let p = &self.params;
+        // Lumped linear capacitances: gate-source, gate-drain, junctions.
+        if p.cgs != 0.0 {
+            ctx.stamp_conductance(self.gate, self.source, p.cgs, x);
+        }
+        if p.cgd != 0.0 {
+            ctx.stamp_conductance(self.gate, self.drain, p.cgd, x);
+        }
+        if p.cdb != 0.0 {
+            ctx.stamp_conductance(self.drain, Unknown::Ground, p.cdb, x);
+        }
+        if p.csb != 0.0 {
+            ctx.stamp_conductance(self.source, Unknown::Ground, p.csb, x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn nmos() -> Mosfet {
+        Mosfet::new(
+            "M1".into(),
+            Unknown::Index(0),
+            Unknown::Index(1),
+            Unknown::Index(2),
+            MosfetParams::default(),
+        )
+    }
+
+    #[test]
+    fn cutoff_no_current() {
+        let (id, gm, gds) = nmos().channel_current(1.0, 0.3, 0.0);
+        assert_eq!((id, gm, gds), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn saturation_square_law() {
+        let m = nmos();
+        let p = m.params();
+        let (id, gm, _) = m.channel_current(2.0, 1.5, 0.0);
+        let vgt: f64 = 1.5 - p.vt0;
+        let expect = 0.5 * p.beta() * vgt * vgt * (1.0 + p.lambda * 2.0);
+        assert!((id - expect).abs() < 1e-12);
+        assert!(gm > 0.0);
+    }
+
+    #[test]
+    fn triode_region() {
+        let m = nmos();
+        let p = m.params();
+        // vds = 0.2 < vgt = 1.0: triode.
+        let (id, _, gds) = m.channel_current(0.2, 1.5, 0.0);
+        let clm = 1.0 + p.lambda * 0.2;
+        let expect = p.beta() * (1.0 * 0.2 - 0.5 * 0.04) * clm;
+        assert!((id - expect).abs() < 1e-12);
+        assert!(gds > 0.0, "triode output conductance is large");
+    }
+
+    #[test]
+    fn symmetric_under_terminal_swap() {
+        // Physical symmetry: swapping drain and source negates the current.
+        let m = nmos();
+        let (i_fwd, _, _) = m.channel_current(0.3, 1.5, 0.1);
+        let (i_rev, _, _) = m.channel_current(0.1, 1.5, 0.3);
+        assert!((i_fwd + i_rev).abs() < 1e-15, "{i_fwd} vs {i_rev}");
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let mut p = MosfetParams::default();
+        p.polarity = MosPolarity::Pmos;
+        let pm = Mosfet::new(
+            "M2".into(),
+            Unknown::Index(0),
+            Unknown::Index(1),
+            Unknown::Index(2),
+            p,
+        );
+        let nm = nmos();
+        let (idn, _, _) = nm.channel_current(1.0, 1.2, 0.0);
+        let (idp, _, _) = pm.channel_current(-1.0, -1.2, 0.0);
+        assert!((idn + idp).abs() < 1e-15, "PMOS mirrors NMOS: {idn} vs {idp}");
+    }
+
+    #[test]
+    fn current_continuous_across_triode_saturation() {
+        let m = nmos();
+        let p = m.params();
+        let vgt = 1.0 - p.vt0;
+        let (i1, _, _) = m.channel_current(vgt - 1e-9, 1.0, 0.0);
+        let (i2, _, _) = m.channel_current(vgt + 1e-9, 1.0, 0.0);
+        assert!((i1 - i2).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_jacobian_matches_fd(vd in -1.5f64..1.5, vg in -1.5f64..1.5, vs in -1.5f64..1.5) {
+            let m = nmos();
+            let (id0, gm, gds) = m.channel_current(vd, vg, vs);
+            let gs = -(gm + gds);
+            let h = 1e-7;
+            let checks = [
+                (m.channel_current(vd + h, vg, vs).0, gds),
+                (m.channel_current(vd, vg + h, vs).0, gm),
+                (m.channel_current(vd, vg, vs + h).0, gs),
+            ];
+            for (idp, g) in checks {
+                let fd = (idp - id0) / h;
+                // Skip points within h of a region boundary, where the
+                // one-sided difference straddles the kink.
+                let scale = g.abs().max(1e-6);
+                if ((g - fd) / scale).abs() > 2e-2 {
+                    // Verify we are near a boundary; otherwise fail.
+                    let p = m.params();
+                    let sign = 1.0;
+                    let (vdn, vgn, vsn) = (sign*vd, sign*vg, sign*vs);
+                    let (lo, hi) = if vdn >= vsn { (vsn, vdn) } else { (vdn, vsn) };
+                    let vgt = vgn - lo - p.vt0;
+                    let vds = hi - lo;
+                    let near_boundary = vgt.abs() < 1e-5 || (vds - vgt).abs() < 1e-5 || vds.abs() < 1e-5;
+                    prop_assert!(near_boundary, "J mismatch away from kink: g={g} fd={fd} at ({vd},{vg},{vs})");
+                }
+            }
+        }
+
+        #[test]
+        fn prop_passivity_sign(vd in 0.0f64..2.0, vg in 0.0f64..2.0) {
+            // With source grounded and vds ≥ 0, NMOS current is non-negative.
+            let (id, _, _) = nmos().channel_current(vd, vg, 0.0);
+            prop_assert!(id >= 0.0);
+        }
+    }
+}

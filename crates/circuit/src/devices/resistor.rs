@@ -1,0 +1,72 @@
+//! Linear resistor.
+
+use super::Device;
+use crate::stamp::{StampContext, Unknown};
+
+/// A linear two-terminal resistor: `i = (v_a − v_b)/R`.
+#[derive(Debug, Clone)]
+pub struct Resistor {
+    name: String,
+    a: Unknown,
+    b: Unknown,
+    conductance: f64,
+}
+
+impl Resistor {
+    /// Creates a resistor between resolved unknowns.
+    ///
+    /// The builder validates `resistance > 0` before constructing this.
+    pub(crate) fn new(name: String, a: Unknown, b: Unknown, resistance: f64) -> Self {
+        Resistor {
+            name,
+            a,
+            b,
+            conductance: 1.0 / resistance,
+        }
+    }
+
+    /// The conductance `1/R`.
+    pub fn conductance(&self) -> f64 {
+        self.conductance
+    }
+}
+
+impl Device for Resistor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stamp_resistive(&self, x: &[f64], ctx: &mut StampContext<'_>) {
+        ctx.stamp_conductance(self.a, self.b, self.conductance, x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsim_numerics::sparse::Triplets;
+
+    #[test]
+    fn stamps_symmetric_conductance() {
+        let r = Resistor::new("R1".into(), Unknown::Index(0), Unknown::Index(1), 100.0);
+        let x = vec![1.0, 0.0];
+        let mut f = vec![0.0; 2];
+        let mut j = Triplets::new(2, 2);
+        r.stamp_resistive(&x, &mut StampContext::new(&mut f, Some(&mut j)));
+        assert!((f[0] - 0.01).abs() < 1e-15);
+        assert!((f[1] + 0.01).abs() < 1e-15);
+        let m = j.to_csr();
+        assert_eq!(m.get(0, 0), 0.01);
+        assert_eq!(m.get(1, 1), 0.01);
+        assert_eq!(m.get(0, 1), -0.01);
+    }
+
+    #[test]
+    fn grounded_resistor_single_row() {
+        let r = Resistor::new("R1".into(), Unknown::Index(0), Unknown::Ground, 50.0);
+        let x = vec![2.0];
+        let mut f = vec![0.0; 1];
+        r.stamp_resistive(&x, &mut StampContext::new(&mut f, None));
+        assert!((f[0] - 0.04).abs() < 1e-15);
+    }
+}

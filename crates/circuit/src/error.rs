@@ -1,0 +1,115 @@
+use std::fmt;
+
+/// Errors produced while building or analysing circuits.
+#[derive(Debug, Clone)]
+pub enum CircuitError {
+    /// A device parameter was outside its valid range.
+    InvalidParameter {
+        /// Device name.
+        device: String,
+        /// Explanation of the problem.
+        context: String,
+    },
+    /// Two devices share a name, or a name was not found.
+    BadName {
+        /// The offending name.
+        name: String,
+        /// Explanation.
+        context: String,
+    },
+    /// The nonlinear solve failed to converge.
+    ConvergenceFailure {
+        /// Which analysis failed (e.g. `"dc operating point"`).
+        analysis: String,
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual norm.
+        residual: f64,
+    },
+    /// A source lacks the bivariate (multi-time) description required by an
+    /// MPDE analysis.
+    MissingBivariateSource {
+        /// Device name.
+        device: String,
+    },
+    /// Error bubbled up from the numerical kernels.
+    Numerics(rfsim_numerics::NumericsError),
+    /// Structural problem with the assembled system.
+    Structural {
+        /// Explanation.
+        context: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidParameter { device, context } => {
+                write!(f, "invalid parameter on device '{device}': {context}")
+            }
+            CircuitError::BadName { name, context } => {
+                write!(f, "bad name '{name}': {context}")
+            }
+            CircuitError::ConvergenceFailure {
+                analysis,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{analysis} failed to converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            CircuitError::MissingBivariateSource { device } => write!(
+                f,
+                "source '{device}' has no bivariate (multi-time) waveform; \
+                 attach one with SourceSpec::bi for MPDE analyses"
+            ),
+            CircuitError::Numerics(e) => write!(f, "numerics: {e}"),
+            CircuitError::Structural { context } => write!(f, "structural error: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CircuitError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rfsim_numerics::NumericsError> for CircuitError {
+    fn from(e: rfsim_numerics::NumericsError) -> Self {
+        CircuitError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_device() {
+        let e = CircuitError::InvalidParameter {
+            device: "R1".into(),
+            context: "resistance must be positive".into(),
+        };
+        assert!(e.to_string().contains("R1"));
+    }
+
+    #[test]
+    fn numerics_error_wraps() {
+        let inner = rfsim_numerics::NumericsError::SingularMatrix { index: 0, pivot: 0.0 };
+        let e: CircuitError = inner.into();
+        assert!(e.to_string().contains("singular"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

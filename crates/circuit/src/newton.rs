@@ -1,0 +1,547 @@
+//! Damped Newton–Raphson on sparse nonlinear systems.
+//!
+//! Shared by the DC operating point, the transient integrators, and (via
+//! the same options/statistics types) the steady-state engines. Convergence
+//! follows SPICE practice: the update must satisfy a mixed
+//! relative/absolute tolerance per unknown *kind* (voltage vs current).
+
+use rfsim_numerics::krylov::{gmres, BlockJacobiPrecond, GmresOptions, Ilu0};
+use rfsim_numerics::sparse::Triplets;
+use rfsim_numerics::sparse_lu::{LuOptions, SparseLu};
+use rfsim_numerics::vector::{norm2, wrms_ratio};
+
+use crate::circuit::UnknownKind;
+use crate::{CircuitError, Result};
+
+/// How each Newton linear system `J·dx = −F` is solved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinearSolver {
+    /// Sparse direct LU (Gilbert–Peierls with RCM ordering). The default.
+    Direct,
+    /// Restarted GMRES preconditioned with ILU(0); falls back to the direct
+    /// solver if the preconditioner or iteration breaks down. This is the
+    /// "iterative linear solution methods" configuration of the paper.
+    /// Note: MNA matrices with voltage sources have structurally zero
+    /// diagonals, which ILU(0) rejects — prefer
+    /// [`LinearSolver::GmresBlockJacobi`] for such systems.
+    GmresIlu0 {
+        /// Relative residual tolerance of the inner solve.
+        rtol: f64,
+        /// Restart length.
+        restart: usize,
+        /// Matvec budget.
+        max_iters: usize,
+    },
+    /// Restarted GMRES preconditioned with block-Jacobi over fixed-size
+    /// diagonal blocks. The right choice for MPDE grid Jacobians
+    /// (`block_size` = circuit unknowns per grid point): every block is a
+    /// locally nonsingular circuit matrix even when individual rows have
+    /// zero diagonals. Falls back to the direct solver on breakdown.
+    GmresBlockJacobi {
+        /// Diagonal block size (must divide the system dimension).
+        block_size: usize,
+        /// Relative residual tolerance of the inner solve.
+        rtol: f64,
+        /// Restart length.
+        restart: usize,
+        /// Matvec budget.
+        max_iters: usize,
+    },
+}
+
+impl Default for LinearSolver {
+    fn default() -> Self {
+        LinearSolver::Direct
+    }
+}
+
+impl LinearSolver {
+    /// A reasonable GMRES+ILU(0) configuration.
+    pub fn gmres_default() -> Self {
+        LinearSolver::GmresIlu0 {
+            rtol: 1e-9,
+            restart: 80,
+            max_iters: 2000,
+        }
+    }
+
+    fn solve(&self, jac: &Triplets, rhs: &[f64]) -> Result<Vec<f64>> {
+        match self {
+            LinearSolver::Direct => {
+                let lu = SparseLu::factor(&jac.to_csc(), LuOptions::default())?;
+                Ok(lu.solve(rhs))
+            }
+            LinearSolver::GmresIlu0 {
+                rtol,
+                restart,
+                max_iters,
+            } => {
+                let csr = jac.to_csr();
+                let x0 = vec![0.0; rhs.len()];
+                let opts = GmresOptions {
+                    rtol: *rtol,
+                    restart: *restart,
+                    max_iters: *max_iters,
+                    ..Default::default()
+                };
+                match Ilu0::new(&csr) {
+                    Ok(ilu) => match gmres(&csr, &ilu, rhs, &x0, opts) {
+                        Ok((x, _)) => Ok(x),
+                        Err(_) => {
+                            let lu = SparseLu::factor(&jac.to_csc(), LuOptions::default())?;
+                            Ok(lu.solve(rhs))
+                        }
+                    },
+                    Err(_) => {
+                        let lu = SparseLu::factor(&jac.to_csc(), LuOptions::default())?;
+                        Ok(lu.solve(rhs))
+                    }
+                }
+            }
+            LinearSolver::GmresBlockJacobi {
+                block_size,
+                rtol,
+                restart,
+                max_iters,
+            } => {
+                let csr = jac.to_csr();
+                let x0 = vec![0.0; rhs.len()];
+                let opts = GmresOptions {
+                    rtol: *rtol,
+                    restart: *restart,
+                    max_iters: *max_iters,
+                    ..Default::default()
+                };
+                match BlockJacobiPrecond::new(&csr, *block_size) {
+                    Ok(pre) => match gmres(&csr, &pre, rhs, &x0, opts) {
+                        Ok((x, _)) => Ok(x),
+                        Err(_) => {
+                            let lu = SparseLu::factor(&jac.to_csc(), LuOptions::default())?;
+                            Ok(lu.solve(rhs))
+                        }
+                    },
+                    Err(_) => {
+                        let lu = SparseLu::factor(&jac.to_csc(), LuOptions::default())?;
+                        Ok(lu.solve(rhs))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A nonlinear algebraic system `F(x) = 0` with a sparse Jacobian.
+pub trait NewtonSystem {
+    /// Problem dimension.
+    fn dim(&self) -> usize;
+
+    /// Evaluates `F(x)` into `out`.
+    fn residual(&self, x: &[f64], out: &mut [f64]);
+
+    /// Evaluates `F(x)` into `out` and its Jacobian into `jac`
+    /// (`jac` arrives empty).
+    fn residual_and_jacobian(&self, x: &[f64], out: &mut [f64], jac: &mut Triplets);
+}
+
+/// Options for [`newton_solve`].
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonOptions {
+    /// Maximum Newton iterations.
+    pub max_iters: usize,
+    /// Relative tolerance on the update.
+    pub reltol: f64,
+    /// Absolute tolerance for voltage-like unknowns (volts).
+    pub abstol_v: f64,
+    /// Absolute tolerance for current-like unknowns (amperes).
+    pub abstol_i: f64,
+    /// Smallest damping factor tried before declaring failure of the
+    /// line search (the full step is still taken if the residual grows
+    /// more slowly than this guard).
+    pub min_damping: f64,
+    /// Residual must also drop below `residual_tol` (∞-norm guard against
+    /// converging updates on a stagnated residual). Set generously.
+    pub residual_tol: f64,
+    /// Linear-solver strategy for the Newton updates.
+    pub linear: LinearSolver,
+    /// Chord (modified-Newton) steps: after each fresh Jacobian
+    /// factorisation, reuse the factors for up to this many further
+    /// iterations. Convergence is only declared on a fresh-Jacobian step,
+    /// so accuracy is unaffected; large sparse systems (the MPDE grids)
+    /// typically gain 2–3× wall clock. Only applies to
+    /// [`LinearSolver::Direct`].
+    pub jacobian_reuse: usize,
+    /// Per-iteration clamp on voltage-unknown updates (volts). Plays the
+    /// role of SPICE's junction limiting: exponential devices (diode, BJT)
+    /// otherwise provoke multi-hundred-volt Newton overshoots whose
+    /// backtracked steps cycle without converging. Applied per component
+    /// before the line search; current unknowns are not clamped.
+    pub max_voltage_step: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            max_iters: 100,
+            reltol: 1e-3,
+            abstol_v: 1e-6,
+            abstol_i: 1e-9,
+            min_damping: 1.0 / 1024.0,
+            residual_tol: 1e-6,
+            linear: LinearSolver::Direct,
+            jacobian_reuse: 0,
+            max_voltage_step: 2.0,
+        }
+    }
+}
+
+/// Statistics from a Newton solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonStats {
+    /// Newton iterations performed.
+    pub iterations: usize,
+    /// Final residual 2-norm.
+    pub residual: f64,
+    /// Whether damping was ever engaged.
+    pub damped: bool,
+}
+
+/// Solves `F(x) = 0` by damped Newton with sparse LU linear solves.
+///
+/// `kinds` selects the absolute tolerance per unknown; pass an empty slice
+/// to treat every unknown as voltage-like.
+///
+/// # Errors
+///
+/// * [`CircuitError::ConvergenceFailure`] if the iteration budget is
+///   exhausted.
+/// * [`CircuitError::Numerics`] if the Jacobian is singular.
+pub fn newton_solve<S: NewtonSystem>(
+    system: &S,
+    x0: &[f64],
+    kinds: &[UnknownKind],
+    options: NewtonOptions,
+) -> Result<(Vec<f64>, NewtonStats)> {
+    let n = system.dim();
+    let mut x = x0.to_vec();
+    let mut residual = vec![0.0; n];
+    let mut trial = vec![0.0; n];
+    let mut trial_res = vec![0.0; n];
+    let mut jac = Triplets::with_capacity(n, n, 16 * n);
+    let mut damped = false;
+    let mut stagnant = 0usize;
+    let mut prev_norm = f64::INFINITY;
+
+    // Chord (modified-Newton) state: cached factors of the last fresh
+    // Jacobian, and how many more iterations may reuse them.
+    let chord_enabled = options.jacobian_reuse > 0 && options.linear == LinearSolver::Direct;
+    let mut cached_lu: Option<SparseLu> = None;
+    let mut chord_left = 0usize;
+
+    system.residual(&x, &mut residual);
+    let mut res_norm = norm2(&residual);
+
+    for iter in 1..=options.max_iters {
+        let fresh = !(chord_enabled && chord_left > 0 && cached_lu.is_some());
+        if fresh {
+            jac.clear();
+            system.residual_and_jacobian(&x, &mut residual, &mut jac);
+            if chord_enabled {
+                cached_lu = Some(SparseLu::factor(&jac.to_csc(), LuOptions::default())?);
+                chord_left = options.jacobian_reuse;
+            }
+        } else {
+            system.residual(&x, &mut residual);
+            chord_left -= 1;
+        }
+        res_norm = norm2(&residual);
+
+        // Newton step: J·dx = −F.
+        let neg_f: Vec<f64> = residual.iter().map(|v| -v).collect();
+        let mut dx = if chord_enabled {
+            cached_lu.as_ref().expect("factored above").solve(&neg_f)
+        } else {
+            options.linear.solve(&jac, &neg_f)?
+        };
+        // Voltage-update limiting (junction limiting): clamp per component
+        // so one over-eager exponential cannot poison the whole step.
+        if options.max_voltage_step.is_finite() && !kinds.is_empty() {
+            let lim = options.max_voltage_step;
+            for (d, kind) in dx.iter_mut().zip(kinds) {
+                if *kind == UnknownKind::NodeVoltage {
+                    *d = d.clamp(-lim, lim);
+                }
+            }
+        }
+
+        // Damped backtracking line search on the residual norm. We halve far
+        // below `min_damping` if necessary (stiff exponentials can demand
+        // microscopic first steps); `min_damping` only gates what counts as
+        // an *undamped* step for the convergence test below.
+        let mut alpha: f64 = 1.0;
+        let mut accepted = false;
+        let mut best: Option<(f64, f64)> = None; // (alpha, norm)
+        while alpha >= 1e-15 {
+            for i in 0..n {
+                trial[i] = x[i] + alpha * dx[i];
+            }
+            system.residual(&trial, &mut trial_res);
+            let trial_norm = norm2(&trial_res);
+            if trial_norm.is_finite() {
+                if trial_norm < res_norm || trial_norm < options.residual_tol {
+                    accepted = true;
+                    break;
+                }
+                if best.map_or(true, |(_, bn)| trial_norm < bn) {
+                    best = Some((alpha, trial_norm));
+                }
+            }
+            alpha *= 0.5;
+            damped = true;
+        }
+        if !accepted {
+            if !fresh {
+                // A stale-Jacobian step failed its line search: discard it
+                // and refactor next iteration instead of limping forward.
+                chord_left = 0;
+                continue;
+            }
+            // No improving step found: take the least-bad finite trial to
+            // keep moving (Newton sometimes must climb a residual ridge).
+            alpha = best.map(|(a, _)| a).unwrap_or(options.min_damping);
+            for i in 0..n {
+                trial[i] = x[i] + alpha * dx[i];
+            }
+            system.residual(&trial, &mut trial_res);
+            damped = true;
+        }
+        x.copy_from_slice(&trial);
+        res_norm = norm2(&trial_res);
+
+        // Convergence: weighted update norm ≤ 1, and either the step was
+        // essentially undamped (quadratic regime) or the residual itself is
+        // small. A heavily damped tiny step must not masquerade as
+        // convergence.
+        let scaled_dx: Vec<f64> = dx.iter().map(|d| alpha * d).collect();
+        let ratio = weighted_update_ratio(&scaled_dx, &x, kinds, &options);
+        // Stagnation at the linear-solver noise floor: if the residual sits
+        // below `residual_tol` and stops improving, the update criterion can
+        // chatter forever on ill-scaled unknowns — accept.
+        if res_norm >= 0.999 * prev_norm {
+            stagnant += 1;
+        } else {
+            stagnant = 0;
+        }
+        prev_norm = res_norm;
+        let stagnated_converged = stagnant >= 3 && res_norm <= options.residual_tol;
+        let would_converge = stagnated_converged
+            || (ratio <= 1.0
+                && res_norm.is_finite()
+                && (alpha >= 0.99 || res_norm <= options.residual_tol));
+        if would_converge {
+            if fresh || res_norm <= options.residual_tol {
+                return Ok((
+                    x,
+                    NewtonStats {
+                        iterations: iter,
+                        residual: res_norm,
+                        damped,
+                    },
+                ));
+            }
+            // A chord step looks converged: confirm with a fresh Jacobian.
+            chord_left = 0;
+        }
+    }
+    Err(CircuitError::ConvergenceFailure {
+        analysis: "newton".into(),
+        iterations: options.max_iters,
+        residual: res_norm,
+    })
+}
+
+/// Weighted update ratio with per-kind absolute tolerances.
+fn weighted_update_ratio(
+    dx: &[f64],
+    x: &[f64],
+    kinds: &[UnknownKind],
+    options: &NewtonOptions,
+) -> f64 {
+    if kinds.is_empty() {
+        return wrms_ratio(dx, x, options.reltol, options.abstol_v);
+    }
+    dx.iter()
+        .zip(x)
+        .zip(kinds)
+        .map(|((&d, &xi), kind)| {
+            let abstol = match kind {
+                UnknownKind::NodeVoltage => options.abstol_v,
+                UnknownKind::BranchCurrent => options.abstol_i,
+            };
+            d.abs() / (options.reltol * xi.abs() + abstol)
+        })
+        .fold(0.0_f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar test system: x² − 4 = 0.
+    struct Quadratic;
+
+    impl NewtonSystem for Quadratic {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn residual(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = x[0] * x[0] - 4.0;
+        }
+        fn residual_and_jacobian(&self, x: &[f64], out: &mut [f64], jac: &mut Triplets) {
+            self.residual(x, out);
+            jac.push(0, 0, 2.0 * x[0]);
+        }
+    }
+
+    /// 2-D Rosenbrock-gradient-like system with coupling.
+    struct Coupled;
+
+    impl NewtonSystem for Coupled {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn residual(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = x[0] + x[1] - 3.0;
+            out[1] = x[0] * x[1] - 2.0;
+        }
+        fn residual_and_jacobian(&self, x: &[f64], out: &mut [f64], jac: &mut Triplets) {
+            self.residual(x, out);
+            jac.push(0, 0, 1.0);
+            jac.push(0, 1, 1.0);
+            jac.push(1, 0, x[1]);
+            jac.push(1, 1, x[0]);
+        }
+    }
+
+    #[test]
+    fn solves_quadratic() {
+        let (x, stats) =
+            newton_solve(&Quadratic, &[3.0], &[], NewtonOptions::default()).expect("newton");
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!(stats.iterations < 10);
+    }
+
+    #[test]
+    fn solves_coupled_system() {
+        let (x, _) =
+            newton_solve(&Coupled, &[2.5, 0.1], &[], NewtonOptions::default()).expect("newton");
+        // Roots: (1, 2) or (2, 1). The update-based convergence criterion
+        // guarantees ~reltol·|x| accuracy, not machine precision.
+        let ok = (x[0] - 1.0).abs() < 1e-4 && (x[1] - 2.0).abs() < 1e-4
+            || (x[0] - 2.0).abs() < 1e-4 && (x[1] - 1.0).abs() < 1e-4;
+        assert!(ok, "got {x:?}");
+    }
+
+    #[test]
+    fn quadratic_convergence_rate() {
+        // From a good starting point, Newton on x²−4 should converge in
+        // very few iterations.
+        let (_, stats) =
+            newton_solve(&Quadratic, &[2.1], &[], NewtonOptions::default()).expect("newton");
+        assert!(stats.iterations <= 4, "iterations = {}", stats.iterations);
+        assert!(!stats.damped);
+    }
+
+    #[test]
+    fn iteration_budget_enforced() {
+        let opts = NewtonOptions {
+            max_iters: 1,
+            reltol: 1e-15,
+            abstol_v: 1e-18,
+            ..Default::default()
+        };
+        assert!(matches!(
+            newton_solve(&Quadratic, &[100.0], &[], opts),
+            Err(CircuitError::ConvergenceFailure { .. })
+        ));
+    }
+
+    #[test]
+    fn damping_rescues_overshoot() {
+        // Steep exponential-style system where a full Newton step overshoots.
+        struct Exponential;
+        impl NewtonSystem for Exponential {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn residual(&self, x: &[f64], out: &mut [f64]) {
+                out[0] = x[0].clamp(-700.0, 700.0).exp() - 1.0;
+            }
+            fn residual_and_jacobian(&self, x: &[f64], out: &mut [f64], jac: &mut Triplets) {
+                self.residual(x, out);
+                jac.push(0, 0, x[0].clamp(-700.0, 700.0).exp());
+            }
+        }
+        let (x, _) =
+            newton_solve(&Exponential, &[-30.0], &[], NewtonOptions::default()).expect("newton");
+        assert!(x[0].abs() < 1e-4, "root of e^x−1 is 0, got {}", x[0]);
+    }
+
+    #[test]
+    fn chord_newton_matches_full_newton() {
+        let full = newton_solve(&Coupled, &[2.5, 0.1], &[], NewtonOptions::default())
+            .expect("full newton");
+        let chord = newton_solve(
+            &Coupled,
+            &[2.5, 0.1],
+            &[],
+            NewtonOptions {
+                jacobian_reuse: 3,
+                ..Default::default()
+            },
+        )
+        .expect("chord newton");
+        assert!((full.0[0] - chord.0[0]).abs() < 1e-4);
+        assert!((full.0[1] - chord.0[1]).abs() < 1e-4);
+    }
+
+    #[test]
+    fn chord_newton_solves_stiff_exponential() {
+        struct Exponential;
+        impl NewtonSystem for Exponential {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn residual(&self, x: &[f64], out: &mut [f64]) {
+                out[0] = x[0].clamp(-700.0, 700.0).exp() - 1.0;
+            }
+            fn residual_and_jacobian(&self, x: &[f64], out: &mut [f64], jac: &mut Triplets) {
+                self.residual(x, out);
+                jac.push(0, 0, x[0].clamp(-700.0, 700.0).exp());
+            }
+        }
+        let (x, _) = newton_solve(
+            &Exponential,
+            &[3.0],
+            &[],
+            NewtonOptions {
+                jacobian_reuse: 4,
+                ..Default::default()
+            },
+        )
+        .expect("chord on exponential");
+        assert!(x[0].abs() < 1e-4, "got {}", x[0]);
+    }
+
+    #[test]
+    fn kinds_affect_tolerances() {
+        let kinds = [UnknownKind::BranchCurrent];
+        let opts = NewtonOptions::default();
+        // A 1 µA update on a current unknown is not converged
+        // (abstol_i = 1 nA), though it would be for a voltage unknown.
+        let ratio_i = weighted_update_ratio(&[1e-6], &[0.0], &kinds, &opts);
+        assert!(ratio_i > 1.0);
+        let ratio_v =
+            weighted_update_ratio(&[1e-6], &[0.0], &[UnknownKind::NodeVoltage], &opts);
+        assert!(ratio_v <= 1.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Node identifiers and the ground convention.
+
+/// Identifies a circuit node. Node 0 is ground ([`GROUND`]); all other nodes
+/// carry a voltage unknown in the MNA system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+/// The ground (reference) node: its voltage is identically zero and it
+/// carries no unknown.
+pub const GROUND: NodeId = NodeId(0);
+
+impl NodeId {
+    /// Whether this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw index (0 = ground).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_ground() {
+            write!(f, "gnd")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_is_ground() {
+        assert!(GROUND.is_ground());
+        assert_eq!(GROUND.index(), 0);
+        assert_eq!(GROUND.to_string(), "gnd");
+    }
+
+    #[test]
+    fn display_regular_node() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+    }
+}

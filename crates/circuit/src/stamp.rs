@@ -1,0 +1,154 @@
+//! Stamping context handed to devices during assembly.
+//!
+//! A device contributes to the residuals `f(x)` / `q(x)` and their Jacobians
+//! `G = ∂f/∂x`, `C = ∂q/∂x`. The context hides the "is this node ground?"
+//! bookkeeping: stamps against ground are silently dropped, exactly as in
+//! classical MNA assembly.
+
+use rfsim_numerics::sparse::Triplets;
+
+/// Index of an unknown in the MNA vector, or ground (no unknown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unknown {
+    /// A real unknown at the given index.
+    Index(usize),
+    /// The ground reference: stamps are dropped.
+    Ground,
+}
+
+impl Unknown {
+    /// The index if this is a real unknown.
+    pub fn index(self) -> Option<usize> {
+        match self {
+            Unknown::Index(i) => Some(i),
+            Unknown::Ground => None,
+        }
+    }
+}
+
+/// Mutable assembly state for one residual/Jacobian evaluation.
+///
+/// The same type serves the resistive (`f`, `G`) and reactive (`q`, `C`)
+/// passes; the [`crate::circuit::Circuit`] drives devices twice.
+pub struct StampContext<'a> {
+    residual: &'a mut [f64],
+    jacobian: Option<&'a mut Triplets>,
+}
+
+impl<'a> StampContext<'a> {
+    /// Creates a context writing into `residual` and (optionally) a Jacobian
+    /// triplet builder.
+    pub fn new(residual: &'a mut [f64], jacobian: Option<&'a mut Triplets>) -> Self {
+        StampContext { residual, jacobian }
+    }
+
+    /// Reads the voltage/current value of an unknown from the solution
+    /// vector `x` (0 for ground).
+    #[inline]
+    pub fn value(x: &[f64], u: Unknown) -> f64 {
+        match u {
+            Unknown::Index(i) => x[i],
+            Unknown::Ground => 0.0,
+        }
+    }
+
+    /// Adds `value` to the residual row of `eq`.
+    #[inline]
+    pub fn add_residual(&mut self, eq: Unknown, value: f64) {
+        if let Unknown::Index(i) = eq {
+            self.residual[i] += value;
+        }
+    }
+
+    /// Adds `value` to the Jacobian entry `(eq, wrt)`.
+    #[inline]
+    pub fn add_jacobian(&mut self, eq: Unknown, wrt: Unknown, value: f64) {
+        if let (Some(j), Unknown::Index(r), Unknown::Index(c)) = (self.jacobian.as_deref_mut(), eq, wrt)
+        {
+            j.push(r, c, value);
+        }
+    }
+
+    /// Stamps a conductance-like pair contribution: a flow
+    /// `g·(v_a − v_b)` leaving node `a` and entering node `b`,
+    /// including all four Jacobian entries.
+    pub fn stamp_conductance(&mut self, a: Unknown, b: Unknown, g: f64, x: &[f64]) {
+        let v = Self::value(x, a) - Self::value(x, b);
+        self.add_residual(a, g * v);
+        self.add_residual(b, -g * v);
+        self.add_jacobian(a, a, g);
+        self.add_jacobian(a, b, -g);
+        self.add_jacobian(b, a, -g);
+        self.add_jacobian(b, b, g);
+    }
+
+    /// Stamps a nonlinear two-terminal current `i(v)` with derivative
+    /// `di/dv = g` flowing from `a` to `b`.
+    pub fn stamp_current_pair(&mut self, a: Unknown, b: Unknown, current: f64, g: f64) {
+        self.add_residual(a, current);
+        self.add_residual(b, -current);
+        self.add_jacobian(a, a, g);
+        self.add_jacobian(a, b, -g);
+        self.add_jacobian(b, a, -g);
+        self.add_jacobian(b, b, g);
+    }
+
+    /// Whether a Jacobian is being assembled in this pass.
+    pub fn wants_jacobian(&self) -> bool {
+        self.jacobian.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_stamps_dropped() {
+        let mut r = vec![0.0; 2];
+        let mut j = Triplets::new(2, 2);
+        let mut ctx = StampContext::new(&mut r, Some(&mut j));
+        ctx.add_residual(Unknown::Ground, 5.0);
+        ctx.add_jacobian(Unknown::Ground, Unknown::Index(0), 1.0);
+        ctx.add_jacobian(Unknown::Index(0), Unknown::Ground, 1.0);
+        assert_eq!(r, vec![0.0, 0.0]);
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn conductance_stamp_pattern() {
+        let x = vec![2.0, 0.5];
+        let mut r = vec![0.0; 2];
+        let mut j = Triplets::new(2, 2);
+        {
+            let mut ctx = StampContext::new(&mut r, Some(&mut j));
+            ctx.stamp_conductance(Unknown::Index(0), Unknown::Index(1), 0.1, &x);
+        }
+        // current 0.1·(2.0−0.5) = 0.15 leaves node 0, enters node 1
+        assert!((r[0] - 0.15).abs() < 1e-15);
+        assert!((r[1] + 0.15).abs() < 1e-15);
+        let m = j.to_csr();
+        assert_eq!(m.get(0, 0), 0.1);
+        assert_eq!(m.get(0, 1), -0.1);
+        assert_eq!(m.get(1, 0), -0.1);
+        assert_eq!(m.get(1, 1), 0.1);
+    }
+
+    #[test]
+    fn conductance_to_ground() {
+        let x = vec![3.0];
+        let mut r = vec![0.0; 1];
+        {
+            let mut ctx = StampContext::new(&mut r, None);
+            ctx.stamp_conductance(Unknown::Index(0), Unknown::Ground, 2.0, &x);
+            assert!(!ctx.wants_jacobian());
+        }
+        assert!((r[0] - 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn value_of_ground_is_zero() {
+        assert_eq!(StampContext::value(&[7.0], Unknown::Ground), 0.0);
+        assert_eq!(StampContext::value(&[7.0], Unknown::Index(0)), 7.0);
+    }
+}

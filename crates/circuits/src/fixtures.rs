@@ -1,0 +1,170 @@
+//! Small shared test circuits.
+//!
+//! Used across the workspace's tests, examples and benches so that every
+//! crate exercises identical fixtures.
+
+use rfsim_circuit::{
+    BiWaveform, Circuit, CircuitBuilder, DiodeParams, Envelope, Result, SourceSpec, Waveform,
+    GROUND,
+};
+
+/// An RC low-pass driven by an arbitrary source; returns the circuit and
+/// the output-node unknown index.
+///
+/// # Errors
+///
+/// Propagates builder validation failures.
+pub fn rc_lowpass(
+    r: f64,
+    c: f64,
+    source: impl Into<SourceSpec>,
+) -> Result<(Circuit, usize)> {
+    let mut b = CircuitBuilder::new();
+    let inp = b.node("in");
+    let out = b.node("out");
+    b.vsource("V1", inp, GROUND, source)?;
+    b.resistor("R1", inp, out, r)?;
+    b.capacitor("C1", out, GROUND, c)?;
+    let ckt = b.build()?;
+    let idx = ckt
+        .unknown_index_of_node(ckt.node_by_name("out").expect("out"))
+        .expect("not ground");
+    Ok((ckt, idx))
+}
+
+/// An RC low-pass driven by a sheared carrier (`k = 1`), the standard
+/// linear MPDE test vehicle. Returns `(circuit, out_index)`.
+///
+/// # Errors
+///
+/// Propagates builder validation failures.
+pub fn rc_sheared(r: f64, c: f64, f1: f64, fd: f64, amplitude: f64) -> Result<(Circuit, usize)> {
+    rc_lowpass(
+        r,
+        c,
+        BiWaveform::ShearedCarrier {
+            amplitude,
+            k: 1,
+            f1,
+            fd,
+            phase: 0.0,
+            envelope: Envelope::Unit,
+        },
+    )
+}
+
+/// Half-wave diode rectifier into an RC tank. Returns `(circuit, out_index)`.
+///
+/// # Errors
+///
+/// Propagates builder validation failures.
+pub fn diode_rectifier(freq: f64, amplitude: f64) -> Result<(Circuit, usize)> {
+    let mut b = CircuitBuilder::new();
+    let inp = b.node("in");
+    let out = b.node("out");
+    b.vsource("V1", inp, GROUND, Waveform::sine(amplitude, freq))?;
+    b.diode("D1", inp, out, DiodeParams::default())?;
+    b.resistor("RL", out, GROUND, 10e3)?;
+    b.capacitor("CL", out, GROUND, 1.0 / (freq * 10e3))?;
+    let ckt = b.build()?;
+    let idx = ckt
+        .unknown_index_of_node(ckt.node_by_name("out").expect("out"))
+        .expect("not ground");
+    Ok((ckt, idx))
+}
+
+/// Series RLC tank driven by a step, for ringing/transient tests.
+/// Returns `(circuit, cap_node_index)`.
+///
+/// # Errors
+///
+/// Propagates builder validation failures.
+pub fn rlc_series(r: f64, l: f64, c: f64) -> Result<(Circuit, usize)> {
+    let mut b = CircuitBuilder::new();
+    let inp = b.node("in");
+    let mid = b.node("mid");
+    let cap = b.node("cap");
+    b.vsource(
+        "V1",
+        inp,
+        GROUND,
+        Waveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 1e-12,
+            fall: 1e-12,
+            width: 1.0,
+            period: 0.0,
+        },
+    )?;
+    b.resistor("R1", inp, mid, r)?;
+    b.inductor("L1", mid, cap, l)?;
+    b.capacitor("C1", cap, GROUND, c)?;
+    let ckt = b.build()?;
+    let idx = ckt
+        .unknown_index_of_node(ckt.node_by_name("cap").expect("cap"))
+        .expect("not ground");
+    Ok((ckt, idx))
+}
+
+/// Ideal multiplier mixer: LO on axis 1, sheared RF, product into a load
+/// resistor. Returns `(circuit, out_index)`.
+///
+/// # Errors
+///
+/// Propagates builder validation failures.
+pub fn multiplier_mixer(f1: f64, fd: f64, bits: Vec<bool>) -> Result<(Circuit, usize)> {
+    let mut b = CircuitBuilder::new();
+    let lo = b.node("lo");
+    let rf = b.node("rf");
+    let out = b.node("out");
+    b.vsource("VLO", lo, GROUND, BiWaveform::Axis1(Waveform::cosine(1.0, f1)))?;
+    let envelope = if bits.is_empty() {
+        Envelope::Unit
+    } else {
+        Envelope::bits(bits, 0.05)
+    };
+    b.vsource(
+        "VRF",
+        rf,
+        GROUND,
+        BiWaveform::ShearedCarrier {
+            amplitude: 1.0,
+            k: 1,
+            f1,
+            fd,
+            phase: 0.0,
+            envelope,
+        },
+    )?;
+    b.multiplier("MIX", out, GROUND, lo, GROUND, rf, GROUND, 1e-3)?;
+    b.resistor("RL", out, GROUND, 1e3)?;
+    let ckt = b.build()?;
+    let idx = ckt
+        .unknown_index_of_node(ckt.node_by_name("out").expect("out"))
+        .expect("not ground");
+    Ok((ckt, idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fixtures_build() {
+        assert!(rc_lowpass(1e3, 1e-9, Waveform::Dc(1.0)).is_ok());
+        assert!(rc_sheared(1e3, 1e-9, 1e6, 1e3, 1.0).is_ok());
+        assert!(diode_rectifier(1e6, 2.0).is_ok());
+        assert!(rlc_series(10.0, 1e-3, 1e-9).is_ok());
+        assert!(multiplier_mixer(1e6, 1e3, vec![true, false]).is_ok());
+    }
+
+    #[test]
+    fn sheared_fixture_supports_bivariate() {
+        let (ckt, _) = rc_sheared(1e3, 1e-9, 1e6, 1e3, 1.0).expect("build");
+        assert!(ckt.supports_bivariate());
+        let (ckt2, _) = multiplier_mixer(1e6, 1e3, vec![]).expect("build");
+        assert!(ckt2.supports_bivariate());
+    }
+}

@@ -1,0 +1,19 @@
+//! Reference circuits for the DAC 2002 reproduction.
+//!
+//! * [`balanced_mixer`] — the paper's §3 CMOS balanced LO-doubling
+//!   down-conversion mixer (adapted from Zhang/Chen/Lau, RAWCON 2000):
+//!   a lower MOSFET pair doubles the 450 MHz LO; the doubled current feeds
+//!   an upper differential pair that mixes the ~900 MHz RF down to a 15 kHz
+//!   baseband.
+//! * [`unbalanced_mixer`] — a single-device switching mixer
+//!   (Pihl/Christensen/Braun, ISCAS 2001 style) for the unbalanced
+//!   comparison.
+//! * [`fixtures`] — small linear/nonlinear test circuits shared by tests
+//!   and benches.
+
+pub mod balanced_mixer;
+pub mod fixtures;
+pub mod unbalanced_mixer;
+
+pub use balanced_mixer::{BalancedMixer, BalancedMixerParams};
+pub use unbalanced_mixer::{UnbalancedMixer, UnbalancedMixerParams};

@@ -1,0 +1,165 @@
+//! Unbalanced (single-device) switching mixer.
+//!
+//! A minimal direct down-conversion mixer in the style of
+//! [Pihl/Christensen/Braun, ISCAS 2001]: a single MOSFET switched hard by
+//! the LO chops the RF signal; an RC low-pass keeps the difference
+//! frequency. The paper's §1 mentions both balanced and unbalanced
+//! switching mixers as the target application class; this is the `k = 1`
+//! (no internal doubling) case.
+
+use rfsim_circuit::{
+    BiWaveform, Circuit, CircuitBuilder, Envelope, MosfetParams, Result, Waveform, GROUND,
+};
+
+/// Parameters of the unbalanced switching mixer.
+#[derive(Debug, Clone)]
+pub struct UnbalancedMixerParams {
+    /// LO frequency `f1`.
+    pub f_lo: f64,
+    /// Difference frequency `fd = f1 − f_rf`.
+    pub fd: f64,
+    /// LO gate amplitude (V) — large, to switch the device.
+    pub lo_amplitude: f64,
+    /// LO gate bias (V).
+    pub lo_bias: f64,
+    /// RF source amplitude (V).
+    pub rf_amplitude: f64,
+    /// RF bit pattern (empty = pure tone).
+    pub rf_bits: Vec<bool>,
+    /// RF source resistance (Ω).
+    pub rs: f64,
+    /// Output filter resistance (Ω).
+    pub rl: f64,
+    /// Output filter capacitance (F).
+    pub cl: f64,
+    /// Switch device parameters.
+    pub device: MosfetParams,
+}
+
+impl Default for UnbalancedMixerParams {
+    fn default() -> Self {
+        UnbalancedMixerParams {
+            f_lo: 900e6,
+            fd: 15e3,
+            lo_amplitude: 1.2,
+            lo_bias: 0.6,
+            rf_amplitude: 0.1,
+            rf_bits: Vec::new(),
+            rs: 200.0,
+            rl: 10e3,
+            cl: 5e-12,
+            device: MosfetParams {
+                w: 50e-6,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+impl UnbalancedMixerParams {
+    /// RF carrier `f_rf = f_lo − fd`.
+    pub fn f_rf(&self) -> f64 {
+        self.f_lo - self.fd
+    }
+}
+
+/// The built unbalanced mixer with probe indices.
+#[derive(Debug)]
+pub struct UnbalancedMixer {
+    /// The circuit.
+    pub circuit: Circuit,
+    /// Unknown index of the filtered output node.
+    pub out: usize,
+    /// Unknown index of the switch drain (chopped RF).
+    pub drain: usize,
+    /// The parameters used.
+    pub params: UnbalancedMixerParams,
+}
+
+impl UnbalancedMixer {
+    /// Builds the mixer netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors from the builder.
+    pub fn build(params: UnbalancedMixerParams) -> Result<Self> {
+        let p = &params;
+        let mut b = CircuitBuilder::new();
+        let rf_in = b.node("rf_in");
+        let drain = b.node("drain");
+        let gate = b.node("gate");
+        let out = b.node("out");
+
+        let envelope = if p.rf_bits.is_empty() {
+            Envelope::Unit
+        } else {
+            Envelope::bits(p.rf_bits.clone(), 0.08)
+        };
+        b.vsource(
+            "VRF",
+            rf_in,
+            GROUND,
+            BiWaveform::ShearedCarrier {
+                amplitude: p.rf_amplitude,
+                k: 1,
+                f1: p.f_lo,
+                fd: p.fd,
+                phase: 0.0,
+                envelope,
+            },
+        )?;
+        b.vsource(
+            "VLO",
+            gate,
+            GROUND,
+            BiWaveform::Axis1(Waveform::Sine {
+                amplitude: p.lo_amplitude,
+                freq: p.f_lo,
+                phase: 0.0,
+                offset: p.lo_bias,
+            }),
+        )?;
+        b.resistor("RS", rf_in, drain, p.rs)?;
+        // Switch: drain chopped by the gate LO, source feeds the filter.
+        b.mosfet("M1", drain, gate, out, p.device)?;
+        b.resistor("RL", out, GROUND, p.rl)?;
+        b.capacitor("CL", out, GROUND, p.cl)?;
+
+        let circuit = b.build()?;
+        let idx = |name: &str| {
+            circuit
+                .unknown_index_of_node(circuit.node_by_name(name).expect("node exists"))
+                .expect("not ground")
+        };
+        Ok(UnbalancedMixer {
+            out: idx("out"),
+            drain: idx("drain"),
+            circuit,
+            params,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsim_circuit::dcop::dc_operating_point;
+
+    #[test]
+    fn builds_and_biases() {
+        let m = UnbalancedMixer::build(UnbalancedMixerParams::default()).expect("build");
+        let op = dc_operating_point(&m.circuit, Default::default()).expect("dc");
+        // At DC the RF source is 0 (cos·unit envelope at t=0 gives A… the
+        // DC component of a sheared carrier is 0 by construction), so the
+        // output sits near ground.
+        let v_out = op.solution[m.out];
+        assert!(v_out.abs() < 0.3, "output near ground at DC: {v_out}");
+        assert!(m.circuit.supports_bivariate());
+    }
+
+    #[test]
+    fn rf_frequency_definition() {
+        let p = UnbalancedMixerParams::default();
+        assert!((p.f_rf() - (900e6 - 15e3)).abs() < 1.0);
+    }
+}

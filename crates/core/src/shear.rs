@@ -1,0 +1,248 @@
+//! Time-scale shearing: the paper's key construction (§2).
+//!
+//! The bivariate representation of a two-tone signal is not unique. Given a
+//! scaled representation `ẑs(t1s, t2s)` (1-periodic in both arguments), the
+//! *unsheared* form `ẑ1(t1,t2) = ẑs(f1·t1, f2·t2)` (eq. 9) has two nearly
+//! equal fast periods and carries no difference-frequency information on
+//! either axis. The *sheared* form
+//!
+//! ```text
+//! ẑ2(t1, t2) = ẑs(f1·t1, k·f1·t1 − fd·t2)        (eqs. 11, 13)
+//! ```
+//!
+//! with `fd = k·f1 − f2` keeps `ẑ2(t,t) = z(t)` while making the second
+//! axis a difference-frequency time scale of period `Td = 1/fd`.
+
+use std::f64::consts::PI;
+
+/// A shear map between tone pairs and the (fast, difference) axes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShearMap {
+    /// Fast (LO) frequency `f1` in Hz.
+    pub f1: f64,
+    /// Harmonic multiple `k` of `f1` mixed against the second tone
+    /// (`k = 2` for the LO-doubling mixer of §3).
+    pub k: u32,
+    /// Difference frequency `fd = k·f1 − f2` in Hz (positive).
+    pub fd: f64,
+}
+
+impl ShearMap {
+    /// Builds the shear for tones `(f1, f2)` with internal harmonic `k`,
+    /// i.e. `fd = |k·f1 − f2|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tones coincide exactly (`fd = 0`) or frequencies are
+    /// non-positive.
+    pub fn from_tones(k: u32, f1: f64, f2: f64) -> Self {
+        assert!(f1 > 0.0 && f2 > 0.0, "frequencies must be positive");
+        let fd = (k as f64 * f1 - f2).abs();
+        assert!(fd > 0.0, "tones coincide: difference frequency is zero");
+        ShearMap { f1, k, fd }
+    }
+
+    /// The second tone `f2 = k·f1 − fd`.
+    pub fn f2(&self) -> f64 {
+        self.k as f64 * self.f1 - self.fd
+    }
+
+    /// Fast-axis period `T1 = 1/f1`.
+    pub fn t1_period(&self) -> f64 {
+        1.0 / self.f1
+    }
+
+    /// Difference-axis period `Td = 1/fd`.
+    pub fn t2_period(&self) -> f64 {
+        1.0 / self.fd
+    }
+
+    /// Frequency disparity `f1/fd` — the factor by which single-time methods
+    /// are penalised (the paper quotes break-even near 200).
+    pub fn disparity(&self) -> f64 {
+        self.f1 / self.fd
+    }
+
+    /// Maps multitime coordinates to the scaled (1-periodic) arguments of
+    /// the underlying representation: `(f1·t1, k·f1·t1 − fd·t2)`.
+    pub fn scaled_args(&self, t1: f64, t2: f64) -> (f64, f64) {
+        (
+            self.f1 * t1,
+            self.k as f64 * self.f1 * t1 - self.fd * t2,
+        )
+    }
+}
+
+/// The paper's ideal mixing example (eqs. 5–8): `z(t) = cos(2πf1t)·cos(2πf2t)`
+/// and its two bivariate representations.
+#[derive(Debug, Clone, Copy)]
+pub struct IdealMixing {
+    /// First tone (Hz).
+    pub f1: f64,
+    /// Second tone (Hz), closely spaced to `f1`.
+    pub f2: f64,
+}
+
+impl IdealMixing {
+    /// The paper's running example: `f1 = 1 GHz`, `f2 = f1 − 10 kHz`.
+    pub fn paper_example() -> Self {
+        IdealMixing {
+            f1: 1e9,
+            f2: 1e9 - 10e3,
+        }
+    }
+
+    /// The scaled representation `ẑs(u, v) = cos(2πu)·cos(2πv)` (eq. 8).
+    pub fn zs(u: f64, v: f64) -> f64 {
+        (2.0 * PI * u).cos() * (2.0 * PI * v).cos()
+    }
+
+    /// The one-time signal `z(t)` (eq. 5/6).
+    pub fn z(&self, t: f64) -> f64 {
+        (2.0 * PI * self.f1 * t).cos() * (2.0 * PI * self.f2 * t).cos()
+    }
+
+    /// Unsheared bivariate form `ẑ1(t1,t2) = ẑs(f1·t1, f2·t2)` (eq. 9),
+    /// periodic with the two nearly equal fast periods — Figure 1.
+    pub fn zhat1(&self, t1: f64, t2: f64) -> f64 {
+        Self::zs(self.f1 * t1, self.f2 * t2)
+    }
+
+    /// Sheared bivariate form
+    /// `ẑ2(t1,t2) = ẑs(f1·t1, f1·t1 − fd·t2)` (eq. 11), whose second axis
+    /// is the difference-frequency time scale — Figure 2.
+    pub fn zhat2(&self, t1: f64, t2: f64) -> f64 {
+        let shear = self.shear();
+        let (u, v) = shear.scaled_args(t1, t2);
+        Self::zs(u, v)
+    }
+
+    /// The associated shear map (`k = 1`).
+    pub fn shear(&self) -> ShearMap {
+        ShearMap::from_tones(1, self.f1, self.f2)
+    }
+
+    /// Samples `ẑ1` on an `n1 × n2` grid over `[0,T1]×[0,T2]` (Figure 1
+    /// data; row-major `[j][i]`).
+    pub fn sample_zhat1(&self, n1: usize, n2: usize) -> Vec<f64> {
+        let (p1, p2) = (1.0 / self.f1, 1.0 / self.f2);
+        let mut out = Vec::with_capacity(n1 * n2);
+        for j in 0..n2 {
+            for i in 0..n1 {
+                out.push(self.zhat1(p1 * i as f64 / n1 as f64, p2 * j as f64 / n2 as f64));
+            }
+        }
+        out
+    }
+
+    /// Samples `ẑ2` on an `n1 × n2` grid over `[0,T1]×[0,Td]` (Figure 2
+    /// data; row-major `[j][i]`).
+    pub fn sample_zhat2(&self, n1: usize, n2: usize) -> Vec<f64> {
+        let shear = self.shear();
+        let (p1, pd) = (shear.t1_period(), shear.t2_period());
+        let mut out = Vec::with_capacity(n1 * n2);
+        for j in 0..n2 {
+            for i in 0..n1 {
+                out.push(self.zhat2(p1 * i as f64 / n1 as f64, pd * j as f64 / n2 as f64));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_difference_frequency() {
+        let m = IdealMixing::paper_example();
+        let s = m.shear();
+        assert!((s.fd - 10e3).abs() < 1e-6);
+        assert!((s.t2_period() - 0.1e-3).abs() < 1e-12, "Td = 0.1 ms");
+        assert!((s.disparity() - 1e5).abs() < 1.0);
+    }
+
+    #[test]
+    fn lo_doubling_shear() {
+        // §3: f1 = 450 MHz doubled internally, fd = 15 kHz at baseband.
+        let s = ShearMap::from_tones(2, 450e6, 900e6 - 15e3);
+        assert!((s.fd - 15e3).abs() < 1e-6);
+        assert!((s.f2() - (900e6 - 15e3)).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "coincide")]
+    fn zero_difference_rejected() {
+        let _ = ShearMap::from_tones(1, 1e6, 1e6);
+    }
+
+    #[test]
+    fn zhat2_has_slow_t2_variation() {
+        // Along t2 at fixed t1, ẑ2 oscillates exactly once per Td.
+        let m = IdealMixing::paper_example();
+        let td = m.shear().t2_period();
+        let v0 = m.zhat2(0.0, 0.0);
+        let vq = m.zhat2(0.0, td / 2.0);
+        assert!((v0 - 1.0).abs() < 1e-12);
+        assert!((vq + 1.0).abs() < 1e-12, "half a difference period flips sign");
+    }
+
+    #[test]
+    fn zhat1_has_no_slow_variation() {
+        // ẑ1's axes are both fast: moving t2 by Td/2 (= 5000.25 fast
+        // periods) does NOT track the difference tone.
+        let m = IdealMixing::paper_example();
+        let td = m.shear().t2_period();
+        // ẑ1 is periodic in t2 with period 1/f2 ≈ 1 ns — sample within it.
+        let p2 = 1.0 / m.f2;
+        let samples: Vec<f64> = (0..16).map(|k| m.zhat1(0.0, p2 * k as f64 / 16.0)).collect();
+        // Full swing over a nanosecond-scale period: fast variation only.
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max > 0.9 && min < -0.9);
+        let _ = td;
+    }
+
+    #[test]
+    fn sample_grids_have_right_shape() {
+        let m = IdealMixing::paper_example();
+        assert_eq!(m.sample_zhat1(40, 30).len(), 1200);
+        assert_eq!(m.sample_zhat2(40, 30).len(), 1200);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_diagonal_identity_both_forms(t_ns in 0.0f64..100.0) {
+            // The defining property: ẑ1(t,t) = ẑ2(t,t) = z(t)  (within
+            // rounding of the large arguments involved).
+            let m = IdealMixing::paper_example();
+            let t = t_ns * 1e-9;
+            let z = m.z(t);
+            prop_assert!((m.zhat1(t, t) - z).abs() < 1e-6);
+            prop_assert!((m.zhat2(t, t) - z).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_zhat2_periodicity(t1 in 0.0f64..2e-9, t2 in 0.0f64..2e-4) {
+            let m = IdealMixing::paper_example();
+            let s = m.shear();
+            let a = m.zhat2(t1, t2);
+            let b = m.zhat2(t1 + s.t1_period(), t2);
+            let c = m.zhat2(t1, t2 + s.t2_period());
+            prop_assert!((a - b).abs() < 1e-7);
+            prop_assert!((a - c).abs() < 1e-7);
+        }
+
+        #[test]
+        fn prop_difference_tone_visible_on_t2_axis(frac in 0.0f64..1.0) {
+            // ẑ2(0, t2) = cos(2π·fd·t2): the difference tone, directly.
+            let m = IdealMixing::paper_example();
+            let s = m.shear();
+            let t2 = s.t2_period() * frac;
+            let expect = (2.0 * PI * s.fd * t2).cos();
+            prop_assert!((m.zhat2(0.0, t2) - expect).abs() < 1e-9);
+        }
+    }
+}

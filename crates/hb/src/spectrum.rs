@@ -1,0 +1,144 @@
+//! Fourier-coefficient diagnostics.
+//!
+//! Quantifies the paper's §1 argument: sharp (switching) waveforms have
+//! slowly decaying Fourier coefficients, so truncated Fourier bases ring
+//! (Gibbs). These helpers measure decay rates and overshoot for the E9
+//! comparison experiment.
+
+use rfsim_numerics::fft::{fft_real, Complex};
+
+/// Magnitudes of the one-sided harmonic spectrum of a sampled periodic
+/// signal (`result[k]` = amplitude of harmonic `k`).
+pub fn harmonic_magnitudes(samples: &[f64]) -> Vec<f64> {
+    let n = samples.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let spec = fft_real(samples);
+    let half = n / 2 + 1;
+    (0..half)
+        .map(|k| {
+            let scale = if k == 0 || (n % 2 == 0 && k == n / 2) {
+                1.0 / n as f64
+            } else {
+                2.0 / n as f64
+            };
+            spec[k].abs() * scale
+        })
+        .collect()
+}
+
+/// Index of the smallest harmonic count capturing `fraction` of the total
+/// AC energy — a measure of how compact the Fourier representation is.
+/// Smooth signals need few harmonics; square-ish switching waveforms
+/// need many.
+pub fn harmonics_for_energy_fraction(samples: &[f64], fraction: f64) -> usize {
+    let mags = harmonic_magnitudes(samples);
+    if mags.len() <= 1 {
+        return 0;
+    }
+    let energies: Vec<f64> = mags[1..].iter().map(|m| m * m).collect();
+    let total: f64 = energies.iter().sum();
+    if total == 0.0 {
+        return 0;
+    }
+    let mut acc = 0.0;
+    for (k, e) in energies.iter().enumerate() {
+        acc += e;
+        if acc >= fraction * total {
+            return k + 1;
+        }
+    }
+    energies.len()
+}
+
+/// Reconstructs the signal from its first `k_max` harmonics and returns the
+/// maximum overshoot beyond the original signal's range (the Gibbs
+/// artefact of a truncated Fourier basis).
+pub fn truncation_overshoot(samples: &[f64], k_max: usize) -> f64 {
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut spec = fft_real(samples);
+    for (k, z) in spec.iter_mut().enumerate() {
+        let kk = if k <= n / 2 { k } else { n - k };
+        if kk > k_max {
+            *z = Complex::ZERO;
+        }
+    }
+    let rec = rfsim_numerics::fft::ifft(&spec);
+    let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    rec.iter()
+        .map(|z| {
+            if z.re > hi {
+                z.re - hi
+            } else if z.re < lo {
+                lo - z.re
+            } else {
+                0.0
+            }
+        })
+        .fold(0.0f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn sine(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * PI * i as f64 / n as f64).sin()).collect()
+    }
+
+    fn square(n: usize) -> Vec<f64> {
+        (0..n).map(|i| if i < n / 2 { 1.0 } else { -1.0 }).collect()
+    }
+
+    #[test]
+    fn sine_has_single_harmonic() {
+        let mags = harmonic_magnitudes(&sine(64));
+        assert!((mags[1] - 1.0).abs() < 1e-9);
+        for (k, m) in mags.iter().enumerate() {
+            if k != 1 {
+                assert!(*m < 1e-9, "leakage at {k}: {m}");
+            }
+        }
+        assert_eq!(harmonics_for_energy_fraction(&sine(64), 0.999), 1);
+    }
+
+    #[test]
+    fn square_wave_needs_many_harmonics() {
+        let k_sine = harmonics_for_energy_fraction(&sine(256), 0.999);
+        let k_square = harmonics_for_energy_fraction(&square(256), 0.999);
+        assert!(
+            k_square > 10 * k_sine,
+            "square {k_square} vs sine {k_sine}: switching waveforms decay slowly"
+        );
+    }
+
+    #[test]
+    fn gibbs_overshoot_near_nine_percent() {
+        // Classic result: truncated Fourier series of a square wave
+        // overshoots by ≈ 8.95% of the jump (jump = 2 here).
+        let over = truncation_overshoot(&square(512), 32);
+        assert!(
+            over > 0.12 && over < 0.25,
+            "expected ~0.18 Gibbs overshoot, got {over}"
+        );
+    }
+
+    #[test]
+    fn smooth_signal_no_overshoot() {
+        let over = truncation_overshoot(&sine(128), 8);
+        assert!(over < 1e-9, "band-limited signal reconstructs exactly: {over}");
+    }
+
+    #[test]
+    fn empty_input_handled() {
+        assert!(harmonic_magnitudes(&[]).is_empty());
+        assert_eq!(harmonics_for_energy_fraction(&[], 0.9), 0);
+        assert_eq!(truncation_overshoot(&[], 4), 0.0);
+    }
+}

@@ -1,0 +1,417 @@
+//! Dense matrices with LU factorisation.
+//!
+//! Used for the small systems in this workspace: per-device Jacobian blocks,
+//! shooting monodromy solves, and harmonic-balance blocks. Row-major storage.
+
+use crate::{NumericsError, Result};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `data.len() != rows*cols`.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(NumericsError::DimensionMismatch {
+                context: format!(
+                    "from_row_major: {} entries for {rows}x{cols} matrix",
+                    data.len()
+                ),
+            });
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw row-major data slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// A single row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            y[i] = crate::vector::dot(row, x);
+        }
+        y
+    }
+
+    /// Matrix–matrix product `A·B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        crate::vector::norm2(&self.data)
+    }
+
+    /// In-place LU factorisation with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::SingularMatrix`] if a pivot is exactly zero,
+    /// and [`NumericsError::DimensionMismatch`] for non-square input.
+    pub fn lu(&self) -> Result<DenseLu> {
+        if self.rows != self.cols {
+            return Err(NumericsError::DimensionMismatch {
+                context: format!("lu: matrix is {}x{}", self.rows, self.cols),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivoting: find the largest |a[i][k]| for i >= k.
+            let mut piv_row = k;
+            let mut piv_val = a[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = a[i * n + k].abs();
+                if v > piv_val {
+                    piv_val = v;
+                    piv_row = i;
+                }
+            }
+            if piv_val == 0.0 {
+                return Err(NumericsError::SingularMatrix {
+                    index: k,
+                    pivot: piv_val,
+                });
+            }
+            if piv_row != k {
+                for j in 0..n {
+                    a.swap(k * n + j, piv_row * n + j);
+                }
+                perm.swap(k, piv_row);
+            }
+            let pivot = a[k * n + k];
+            for i in (k + 1)..n {
+                let m = a[i * n + k] / pivot;
+                a[i * n + k] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        a[i * n + j] -= m * a[k * n + j];
+                    }
+                }
+            }
+        }
+        Ok(DenseLu { n, lu: a, perm })
+    }
+
+    /// Solves `A·x = b` via a fresh LU factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorisation errors; see [`DenseMatrix::lu`].
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        Ok(self.lu()?.solve(b))
+    }
+
+    /// Estimates the 1-norm condition number via explicit inverse columns
+    /// (intended for small matrices in tests and diagnostics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorisation errors.
+    pub fn cond1_estimate(&self) -> Result<f64> {
+        let n = self.rows;
+        let lu = self.lu()?;
+        let mut inv_norm1: f64 = 0.0;
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = lu.solve(&e);
+            e[j] = 0.0;
+            inv_norm1 = inv_norm1.max(col.iter().map(|v| v.abs()).sum());
+        }
+        let mut a_norm1: f64 = 0.0;
+        for j in 0..self.cols {
+            let s = (0..self.rows).map(|i| self[(i, j)].abs()).sum();
+            a_norm1 = a_norm1.max(s);
+        }
+        Ok(a_norm1 * inv_norm1)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// LU factors of a dense matrix (`P·A = L·U`, unit lower-triangular `L`).
+#[derive(Debug, Clone)]
+pub struct DenseLu {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+}
+
+impl DenseLu {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "DenseLu::solve: dimension mismatch");
+        let n = self.n;
+        // Apply permutation, then forward/back substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = s / self.lu[i * n + i];
+        }
+        x
+    }
+
+    /// Solves for several right-hand sides given as matrix columns.
+    pub fn solve_matrix(&self, b: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.n, b.cols());
+        let mut col = vec![0.0; self.n];
+        for j in 0..b.cols() {
+            for i in 0..self.n {
+                col[i] = b[(i, j)];
+            }
+            let x = self.solve(&col);
+            for i in 0..self.n {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+
+    /// Determinant of the original matrix (product of pivots with sign).
+    pub fn determinant(&self) -> f64 {
+        let mut det = 1.0;
+        for i in 0..self.n {
+            det *= self.lu[i * self.n + i];
+        }
+        // Permutation parity.
+        let mut perm = self.perm.clone();
+        let mut sign = 1.0;
+        for i in 0..perm.len() {
+            while perm[i] != i {
+                let j = perm[i];
+                perm.swap(i, j);
+                sign = -sign;
+            }
+        }
+        det * sign
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mat(rows: usize, cols: usize, v: &[f64]) -> DenseMatrix {
+        DenseMatrix::from_row_major(rows, cols, v.to_vec()).expect("shape")
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = DenseMatrix::identity(4);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(a.solve(&b).expect("solve"), b);
+    }
+
+    #[test]
+    fn solve_2x2() {
+        let a = mat(2, 2, &[4.0, 1.0, 1.0, 3.0]);
+        let x = a.solve(&[1.0, 2.0]).expect("solve");
+        assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-14);
+        assert!((x[0] + 3.0 * x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = mat(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[3.0, 7.0]).expect("solve");
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_reports_error() {
+        let a = mat(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        match a.lu() {
+            Err(NumericsError::SingularMatrix { .. }) => {}
+            other => panic!("expected SingularMatrix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_square_lu_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            a.lu(),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_of_permutation() {
+        let a = mat(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let det = a.lu().expect("lu").determinant();
+        assert!((det + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = mat(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = DenseMatrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn solve_matrix_columns() {
+        let a = mat(2, 2, &[2.0, 0.0, 0.0, 4.0]);
+        let b = mat(2, 2, &[2.0, 4.0, 4.0, 8.0]);
+        let x = a.lu().expect("lu").solve_matrix(&b);
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-14);
+        assert!((x[(1, 1)] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cond_of_identity_is_one() {
+        let c = DenseMatrix::identity(5).cond1_estimate().expect("cond");
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lu_solve_residual(seed in 0u64..1000) {
+            // Build a diagonally dominant random matrix: always solvable.
+            let n = 6;
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            };
+            let mut a = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = next();
+                }
+                a[(i, i)] += n as f64; // dominance
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x = a.solve(&b).expect("solve");
+            let r = crate::vector::sub(&a.matvec(&x), &b);
+            prop_assert!(crate::vector::norm_inf(&r) < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Complex arithmetic and fast Fourier transforms.
+//!
+//! Provides an iterative radix-2 FFT, a Bluestein chirp-z fallback for
+//! arbitrary lengths, and a single-bin DFT ([`goertzel`]) used to extract
+//! individual harmonics (conversion gain, HD2/HD3) from sampled waveforms.
+
+use std::f64::consts::PI;
+
+use crate::{NumericsError, Result};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from rectangular components.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase) in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl std::ops::Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+impl std::ops::Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// In-place radix-2 decimation-in-time FFT.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] if the length is not a power
+/// of two (use [`fft`] for arbitrary lengths).
+pub fn fft_pow2(data: &mut [Complex], inverse: bool) -> Result<()> {
+    let n = data.len();
+    if n == 0 {
+        return Ok(());
+    }
+    if !n.is_power_of_two() {
+        return Err(NumericsError::InvalidArgument {
+            context: format!("fft_pow2: length {n} is not a power of two"),
+        });
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::from_polar(1.0, ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let s = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = *z * s;
+        }
+    }
+    Ok(())
+}
+
+/// Forward FFT of arbitrary length (radix-2 when possible, Bluestein
+/// otherwise). Returns the unnormalised spectrum
+/// `X_k = Σ_j x_j e^{-2πi jk/N}`.
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut data = input.to_vec();
+        fft_pow2(&mut data, false).expect("power of two checked");
+        return data;
+    }
+    bluestein(input, false)
+}
+
+/// Inverse FFT of arbitrary length, normalised by `1/N`.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut data = input.to_vec();
+        fft_pow2(&mut data, true).expect("power of two checked");
+        return data;
+    }
+    bluestein(input, true)
+}
+
+/// Bluestein's chirp-z algorithm: expresses an arbitrary-length DFT as a
+/// convolution, evaluated with a zero-padded power-of-two FFT.
+fn bluestein(input: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = input.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let m = (2 * n - 1).next_power_of_two();
+    // chirp[k] = e^{sign·πi k²/n}
+    let mut chirp = vec![Complex::ZERO; n];
+    for k in 0..n {
+        // k² mod 2n avoids precision loss for large k.
+        let k2 = (k as u64 * k as u64) % (2 * n as u64);
+        chirp[k] = Complex::from_polar(1.0, sign * PI * k2 as f64 / n as f64);
+    }
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        b[k] = chirp[k].conj();
+        b[m - k] = chirp[k].conj();
+    }
+    fft_pow2(&mut a, false).expect("m is a power of two");
+    fft_pow2(&mut b, false).expect("m is a power of two");
+    for k in 0..m {
+        a[k] = a[k] * b[k];
+    }
+    fft_pow2(&mut a, true).expect("m is a power of two");
+    let norm = if inverse { 1.0 / n as f64 } else { 1.0 };
+    (0..n).map(|k| a[k] * chirp[k] * norm).collect()
+}
+
+/// Forward FFT of a real signal; returns the full complex spectrum.
+pub fn fft_real(input: &[f64]) -> Vec<Complex> {
+    let data: Vec<Complex> = input.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fft(&data)
+}
+
+/// Single-bin DFT at integer harmonic `k` of a uniformly sampled period:
+/// returns `(2/N)·Σ_j x_j e^{-2πi jk/N}` — i.e. the *amplitude-scaled*
+/// Fourier coefficient such that `x(t) ≈ Σ_k |c_k| cos(2πkt/T + arg c_k)`.
+///
+/// For `k = 0` the plain mean is returned.
+pub fn goertzel(samples: &[f64], k: usize) -> Complex {
+    let n = samples.len();
+    if n == 0 {
+        return Complex::ZERO;
+    }
+    let mut acc = Complex::ZERO;
+    for (j, &x) in samples.iter().enumerate() {
+        let ang = -2.0 * PI * (k * j) as f64 / n as f64;
+        acc = acc + Complex::from_polar(1.0, ang) * x;
+    }
+    let scale = if k == 0 { 1.0 / n as f64 } else { 2.0 / n as f64 };
+    acc * scale
+}
+
+/// Amplitude of harmonic `k` in a uniformly sampled periodic signal.
+pub fn harmonic_amplitude(samples: &[f64], k: usize) -> f64 {
+    goertzel(samples, k).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_complex_close(a: Complex, b: Complex, tol: f64) {
+        assert!(
+            (a - b).abs() < tol,
+            "complex mismatch: {a:?} vs {b:?} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        let y = fft(&x);
+        for v in y {
+            assert_complex_close(v, Complex::ONE, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_cosine_has_two_bins() {
+        let n = 64;
+        let x: Vec<Complex> = (0..n)
+            .map(|j| Complex::new((2.0 * PI * 5.0 * j as f64 / n as f64).cos(), 0.0))
+            .collect();
+        let y = fft(&x);
+        assert!((y[5].abs() - n as f64 / 2.0).abs() < 1e-9);
+        assert!((y[n - 5].abs() - n as f64 / 2.0).abs() < 1e-9);
+        for (k, v) in y.iter().enumerate() {
+            if k != 5 && k != n - 5 {
+                assert!(v.abs() < 1e-9, "leakage at bin {k}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft_pow2() {
+        let x: Vec<Complex> = (0..16)
+            .map(|j| Complex::new(j as f64, (j as f64).sin()))
+            .collect();
+        let y = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&y) {
+            assert_complex_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft_arbitrary_length() {
+        for n in [3usize, 5, 6, 7, 12, 30, 40] {
+            let x: Vec<Complex> = (0..n)
+                .map(|j| Complex::new((j as f64 * 0.7).cos(), (j as f64 * 1.3).sin()))
+                .collect();
+            let y = ifft(&fft(&x));
+            for (a, b) in x.iter().zip(&y) {
+                assert_complex_close(*a, *b, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft() {
+        let n = 30; // the paper's t2 grid size — not a power of two
+        let x: Vec<Complex> = (0..n)
+            .map(|j| Complex::new((j as f64 * 0.3).sin(), 0.0))
+            .collect();
+        let y = fft(&x);
+        for k in 0..n {
+            let mut acc = Complex::ZERO;
+            for (j, xj) in x.iter().enumerate() {
+                acc = acc + *xj * Complex::from_polar(1.0, -2.0 * PI * (j * k) as f64 / n as f64);
+            }
+            assert_complex_close(y[k], acc, 1e-9);
+        }
+    }
+
+    #[test]
+    fn goertzel_extracts_amplitude_and_phase() {
+        let n = 120;
+        let amp = 0.75;
+        let phase = 0.4;
+        let x: Vec<f64> = (0..n)
+            .map(|j| amp * (2.0 * PI * 3.0 * j as f64 / n as f64 + phase).cos() + 2.0)
+            .collect();
+        let c3 = goertzel(&x, 3);
+        assert!((c3.abs() - amp).abs() < 1e-10);
+        assert!((c3.arg() - phase).abs() < 1e-10);
+        let c0 = goertzel(&x, 0);
+        assert!((c0.re - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn goertzel_empty_is_zero() {
+        assert_eq!(goertzel(&[], 1), Complex::ZERO);
+    }
+
+    #[test]
+    fn fft_pow2_rejects_non_power() {
+        let mut x = vec![Complex::ZERO; 6];
+        assert!(fft_pow2(&mut x, false).is_err());
+    }
+
+    #[test]
+    fn parseval_for_real_signal() {
+        let n = 32;
+        let x: Vec<f64> = (0..n).map(|j| ((j * j) as f64 * 0.1).sin()).collect();
+        let spec = fft_real(&x);
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.abs() * c.abs()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fft_linearity(n in 4usize..32, alpha in -2.0f64..2.0, seed in 0u64..100) {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+            let mut next = move || {
+                state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+            };
+            let x: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+            let y: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+            let combo: Vec<Complex> = x.iter().zip(&y).map(|(a, b)| *a * alpha + *b).collect();
+            let lhs = fft(&combo);
+            let fx = fft(&x);
+            let fy = fft(&y);
+            for k in 0..n {
+                let rhs = fx[k] * alpha + fy[k];
+                prop_assert!((lhs[k] - rhs).abs() < 1e-7);
+            }
+        }
+
+        #[test]
+        fn prop_roundtrip_any_length(n in 1usize..50, seed in 0u64..100) {
+            let mut state = seed.wrapping_add(1).wrapping_mul(0x2545F4914F6CDD1D);
+            let mut next = move || {
+                state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+            };
+            let x: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+            let y = ifft(&fft(&x));
+            for (a, b) in x.iter().zip(&y) {
+                prop_assert!((*a - *b).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Periodic interpolation in one and two dimensions.
+//!
+//! Used to evaluate multitime grid solutions off-grid: the diagonal
+//! reconstruction `x(t) = x̂(t mod T1, t mod T2)` of the MPDE method samples
+//! the bivariate grid along a dense line, which needs periodic bilinear (or
+//! bicubic) interpolation.
+
+use crate::{NumericsError, Result};
+
+/// Wraps `t` into `[0, period)`.
+#[inline]
+pub fn wrap(t: f64, period: f64) -> f64 {
+    let r = t % period;
+    if r < 0.0 {
+        r + period
+    } else {
+        r
+    }
+}
+
+/// Periodic linear interpolation of uniform samples over `[0, period)`.
+///
+/// `samples[i]` is the value at `t = i·period/len`.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] for empty samples or a
+/// non-positive period.
+pub fn periodic_lerp(samples: &[f64], period: f64, t: f64) -> Result<f64> {
+    let n = samples.len();
+    if n == 0 {
+        return Err(NumericsError::InvalidArgument {
+            context: "periodic_lerp: empty samples".into(),
+        });
+    }
+    if period <= 0.0 {
+        return Err(NumericsError::InvalidArgument {
+            context: format!("periodic_lerp: period {period}"),
+        });
+    }
+    let pos = wrap(t, period) / period * n as f64;
+    let i0 = pos.floor() as usize % n;
+    let i1 = (i0 + 1) % n;
+    let frac = pos - pos.floor();
+    Ok(samples[i0] * (1.0 - frac) + samples[i1] * frac)
+}
+
+/// Periodic cubic (Catmull–Rom) interpolation of uniform samples.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] for fewer than 4 samples or a
+/// non-positive period.
+pub fn periodic_cubic(samples: &[f64], period: f64, t: f64) -> Result<f64> {
+    let n = samples.len();
+    if n < 4 {
+        return Err(NumericsError::InvalidArgument {
+            context: format!("periodic_cubic: need ≥4 samples, got {n}"),
+        });
+    }
+    if period <= 0.0 {
+        return Err(NumericsError::InvalidArgument {
+            context: format!("periodic_cubic: period {period}"),
+        });
+    }
+    let pos = wrap(t, period) / period * n as f64;
+    let i1 = pos.floor() as usize % n;
+    let s = pos - pos.floor();
+    let i0 = (i1 + n - 1) % n;
+    let i2 = (i1 + 1) % n;
+    let i3 = (i1 + 2) % n;
+    let (p0, p1, p2, p3) = (samples[i0], samples[i1], samples[i2], samples[i3]);
+    Ok(p1 + 0.5
+        * s
+        * (p2 - p0
+            + s * (2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3 + s * (3.0 * (p1 - p2) + p3 - p0))))
+}
+
+/// Periodic bilinear interpolation on a uniform 2-D grid.
+///
+/// `values` is laid out row-major as `values[j * n1 + i]` for grid point
+/// `(t1_i, t2_j)` with `t1_i = i·period1/n1`, `t2_j = j·period2/n2`.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] on shape/period problems.
+pub fn periodic_bilinear(
+    values: &[f64],
+    n1: usize,
+    n2: usize,
+    period1: f64,
+    period2: f64,
+    t1: f64,
+    t2: f64,
+) -> Result<f64> {
+    if n1 == 0 || n2 == 0 || values.len() != n1 * n2 {
+        return Err(NumericsError::InvalidArgument {
+            context: format!(
+                "periodic_bilinear: {} values for {n1}x{n2} grid",
+                values.len()
+            ),
+        });
+    }
+    if period1 <= 0.0 || period2 <= 0.0 {
+        return Err(NumericsError::InvalidArgument {
+            context: format!("periodic_bilinear: periods {period1}, {period2}"),
+        });
+    }
+    let p1 = wrap(t1, period1) / period1 * n1 as f64;
+    let p2 = wrap(t2, period2) / period2 * n2 as f64;
+    let i0 = p1.floor() as usize % n1;
+    let j0 = p2.floor() as usize % n2;
+    let i1 = (i0 + 1) % n1;
+    let j1 = (j0 + 1) % n2;
+    let fx = p1 - p1.floor();
+    let fy = p2 - p2.floor();
+    let v00 = values[j0 * n1 + i0];
+    let v10 = values[j0 * n1 + i1];
+    let v01 = values[j1 * n1 + i0];
+    let v11 = values[j1 * n1 + i1];
+    Ok(v00 * (1.0 - fx) * (1.0 - fy) + v10 * fx * (1.0 - fy) + v01 * (1.0 - fx) * fy
+        + v11 * fx * fy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn wrap_handles_negatives() {
+        assert!((wrap(-0.25, 1.0) - 0.75).abs() < 1e-15);
+        assert!((wrap(2.5, 1.0) - 0.5).abs() < 1e-15);
+        assert_eq!(wrap(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn lerp_hits_grid_points() {
+        let s = vec![1.0, 2.0, 3.0, 4.0];
+        for (i, &v) in s.iter().enumerate() {
+            let t = i as f64 / 4.0;
+            assert!((periodic_lerp(&s, 1.0, t).expect("lerp") - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn lerp_wraps_around_the_seam() {
+        let s = vec![0.0, 10.0];
+        // halfway between last sample (10 at t=0.5) and first (0 at t=1≡0)
+        let v = periodic_lerp(&s, 1.0, 0.75).expect("lerp");
+        assert!((v - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cubic_reproduces_smooth_function_better_than_lerp() {
+        let n = 16;
+        let s: Vec<f64> = (0..n).map(|i| (2.0 * PI * i as f64 / n as f64).sin()).collect();
+        let mut err_lin = 0.0f64;
+        let mut err_cub = 0.0f64;
+        for k in 0..200 {
+            let t = k as f64 / 200.0;
+            let exact = (2.0 * PI * t).sin();
+            err_lin = err_lin.max((periodic_lerp(&s, 1.0, t).expect("l") - exact).abs());
+            err_cub = err_cub.max((periodic_cubic(&s, 1.0, t).expect("c") - exact).abs());
+        }
+        assert!(err_cub < err_lin / 5.0, "cubic {err_cub} vs linear {err_lin}");
+    }
+
+    #[test]
+    fn bilinear_separable_product() {
+        // f(t1,t2) = a(t1)·b(t2) with a, b linear-in-cell: exact for bilinear.
+        let (n1, n2) = (4, 3);
+        let mut v = vec![0.0; n1 * n2];
+        for j in 0..n2 {
+            for i in 0..n1 {
+                v[j * n1 + i] = (i as f64) * (j as f64 + 1.0);
+            }
+        }
+        let got = periodic_bilinear(&v, n1, n2, 1.0, 1.0, 0.125, 1.0 / 6.0).expect("bilinear");
+        // halfway between i=0,1 (values scale i) and j=0,1: a = 0.5, b = 1.5
+        assert!((got - 0.5 * 1.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn bilinear_rejects_bad_shape() {
+        assert!(periodic_bilinear(&[1.0; 5], 2, 3, 1.0, 1.0, 0.0, 0.0).is_err());
+        assert!(periodic_bilinear(&[1.0; 6], 2, 3, 0.0, 1.0, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn empty_samples_rejected() {
+        assert!(periodic_lerp(&[], 1.0, 0.0).is_err());
+        assert!(periodic_cubic(&[1.0, 2.0, 3.0], 1.0, 0.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lerp_periodicity(t in -5.0f64..5.0, seed in 0u64..50) {
+            let mut state = seed.wrapping_add(3).wrapping_mul(0x9E3779B97F4A7C15);
+            let mut next = move || {
+                state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let s: Vec<f64> = (0..8).map(|_| next()).collect();
+            let a = periodic_lerp(&s, 1.0, t).expect("a");
+            let b = periodic_lerp(&s, 1.0, t + 3.0).expect("b");
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+
+        #[test]
+        fn prop_lerp_bounded_by_extremes(t in 0.0f64..1.0, seed in 0u64..50) {
+            let mut state = seed.wrapping_add(17).wrapping_mul(0x2545F4914F6CDD1D);
+            let mut next = move || {
+                state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+            };
+            let s: Vec<f64> = (0..6).map(|_| next()).collect();
+            let v = periodic_lerp(&s, 1.0, t).expect("lerp");
+            let lo = s.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+
+        #[test]
+        fn prop_bilinear_matches_lerp_on_axis(t1 in 0.0f64..1.0, seed in 0u64..30) {
+            // With n2 = 1 the grid is constant along t2: bilinear == 1-D lerp.
+            let mut state = seed.wrapping_add(29).wrapping_mul(0x9E3779B97F4A7C15);
+            let mut next = move || {
+                state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let s: Vec<f64> = (0..8).map(|_| next()).collect();
+            let a = periodic_bilinear(&s, 8, 1, 1.0, 1.0, t1, 0.37).expect("2d");
+            let b = periodic_lerp(&s, 1.0, t1).expect("1d");
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

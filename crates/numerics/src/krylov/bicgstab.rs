@@ -1,0 +1,206 @@
+//! BiCGStab: a short-recurrence alternative to GMRES for nonsymmetric
+//! systems, useful when restart memory is a concern.
+
+use super::{LinearOperator, Preconditioner};
+use crate::vector::{dot, norm2};
+use crate::{NumericsError, Result};
+
+/// Options for [`bicgstab`].
+#[derive(Debug, Clone, Copy)]
+pub struct BiCgStabOptions {
+    /// Relative residual tolerance: converged when `‖r‖ ≤ rtol·‖b‖ + atol`.
+    pub rtol: f64,
+    /// Absolute residual tolerance.
+    pub atol: f64,
+    /// Maximum iterations (each uses two matvecs).
+    pub max_iters: usize,
+}
+
+impl Default for BiCgStabOptions {
+    fn default() -> Self {
+        BiCgStabOptions {
+            rtol: 1e-10,
+            atol: 1e-300,
+            max_iters: 2000,
+        }
+    }
+}
+
+/// Solves `A·x = b` with right-preconditioned BiCGStab starting from `x0`.
+///
+/// # Errors
+///
+/// * [`NumericsError::NotConverged`] on stagnation/budget exhaustion.
+/// * [`NumericsError::DimensionMismatch`] on shape mismatch.
+pub fn bicgstab<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
+    a: &A,
+    m: &M,
+    b: &[f64],
+    x0: &[f64],
+    options: BiCgStabOptions,
+) -> Result<(Vec<f64>, usize)> {
+    let n = a.dim();
+    if b.len() != n || x0.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            context: format!("bicgstab: dim {} vs b {} / x0 {}", n, b.len(), x0.len()),
+        });
+    }
+    let bnorm = norm2(b);
+    let target = options.rtol * bnorm + options.atol;
+
+    let mut x = x0.to_vec();
+    let mut r = vec![0.0; n];
+    a.apply(&x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let r_hat = r.clone();
+    let mut rho = 1.0;
+    let mut alpha = 1.0;
+    let mut omega = 1.0;
+    let mut v = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut phat = vec![0.0; n];
+    let mut shat = vec![0.0; n];
+    let mut t = vec![0.0; n];
+
+    let mut rnorm = norm2(&r);
+    if rnorm <= target {
+        return Ok((x, 0));
+    }
+
+    for iter in 1..=options.max_iters {
+        let rho_new = dot(&r_hat, &r);
+        if rho_new.abs() < 1e-300 {
+            return Err(NumericsError::NotConverged {
+                iterations: iter,
+                residual: rnorm,
+                tolerance: target,
+            });
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        m.apply(&p, &mut phat);
+        a.apply(&phat, &mut v);
+        alpha = rho / dot(&r_hat, &v);
+        // s = r − alpha·v (reuse r)
+        for i in 0..n {
+            r[i] -= alpha * v[i];
+        }
+        if norm2(&r) <= target {
+            for i in 0..n {
+                x[i] += alpha * phat[i];
+            }
+            return Ok((x, iter));
+        }
+        m.apply(&r, &mut shat);
+        a.apply(&shat, &mut t);
+        let tt = dot(&t, &t);
+        if tt == 0.0 {
+            return Err(NumericsError::NotConverged {
+                iterations: iter,
+                residual: norm2(&r),
+                tolerance: target,
+            });
+        }
+        omega = dot(&t, &r) / tt;
+        for i in 0..n {
+            x[i] += alpha * phat[i] + omega * shat[i];
+            r[i] -= omega * t[i];
+        }
+        rnorm = norm2(&r);
+        if rnorm <= target {
+            return Ok((x, iter));
+        }
+        if omega == 0.0 {
+            break;
+        }
+    }
+    Err(NumericsError::NotConverged {
+        iterations: options.max_iters,
+        residual: rnorm,
+        tolerance: target,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::krylov::{IdentityPrecond, Ilu0, JacobiPrecond};
+    use crate::sparse::Triplets;
+    use crate::vector::{norm_inf, sub};
+
+    fn band_matrix(n: usize) -> crate::sparse::CsrMatrix {
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0);
+            if i > 0 {
+                t.push(i, i - 1, -1.2);
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -0.8);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn solves_banded_system() {
+        let a = band_matrix(30);
+        let b: Vec<f64> = (0..30).map(|i| (i as f64 * 0.4).sin()).collect();
+        let (x, _) =
+            bicgstab(&a, &IdentityPrecond, &b, &vec![0.0; 30], BiCgStabOptions::default())
+                .expect("bicgstab");
+        let r = sub(&a.matvec(&x), &b);
+        assert!(norm_inf(&r) < 1e-8, "residual {}", norm_inf(&r));
+    }
+
+    #[test]
+    fn preconditioned_variants_agree() {
+        let a = band_matrix(25);
+        let b = vec![1.0; 25];
+        let x0 = vec![0.0; 25];
+        let (x1, _) = bicgstab(&a, &IdentityPrecond, &b, &x0, BiCgStabOptions::default())
+            .expect("identity");
+        let (x2, _) = bicgstab(&a, &JacobiPrecond::new(&a), &b, &x0, BiCgStabOptions::default())
+            .expect("jacobi");
+        let ilu = Ilu0::new(&a).expect("ilu");
+        let (x3, it3) = bicgstab(&a, &ilu, &b, &x0, BiCgStabOptions::default()).expect("ilu");
+        assert!(norm_inf(&sub(&x1, &x2)) < 1e-6);
+        assert!(norm_inf(&sub(&x1, &x3)) < 1e-6);
+        assert!(it3 <= 3, "ILU(0) on tridiagonal should be ~exact");
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = band_matrix(5);
+        let (x, iters) = bicgstab(
+            &a,
+            &IdentityPrecond,
+            &[0.0; 5],
+            &[0.0; 5],
+            BiCgStabOptions::default(),
+        )
+        .expect("bicgstab");
+        assert_eq!(iters, 0);
+        assert!(norm_inf(&x) == 0.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let a = band_matrix(40);
+        let b = vec![1.0; 40];
+        let opts = BiCgStabOptions {
+            max_iters: 1,
+            rtol: 1e-15,
+            ..Default::default()
+        };
+        assert!(matches!(
+            bicgstab(&a, &IdentityPrecond, &b, &vec![0.0; 40], opts),
+            Err(NumericsError::NotConverged { .. })
+        ));
+    }
+}

@@ -1,0 +1,53 @@
+//! Hand-rolled numerical kernels for the `rfsim` workspace.
+//!
+//! This crate supplies every numerical primitive the RF steady-state engine
+//! needs, built from scratch (no external linear-algebra or FFT crates):
+//!
+//! * [`dense`] — dense matrices with LU (partial pivoting) solves.
+//! * [`sparse`] — triplet/CSR/CSC sparse matrices.
+//! * [`sparse_lu`] — left-looking sparse LU (Gilbert–Peierls) with partial
+//!   pivoting and fill-reducing ordering (reverse Cuthill–McKee).
+//! * [`krylov`] — restarted GMRES and BiCGStab with pluggable
+//!   preconditioners (identity, Jacobi, ILU(0)).
+//! * [`fft`] — complex arithmetic, radix-2 and Bluestein FFTs, single-bin
+//!   DFT for harmonic extraction.
+//! * [`diff`] — periodic differentiation stencils (backward Euler, central,
+//!   BDF2) and spectral differentiation: the discrete `∂/∂t1`, `∂/∂t2`
+//!   operators of the MPDE method.
+//! * [`interp`] — periodic 1-D and 2-D interpolation.
+//!
+//! # Example
+//!
+//! ```
+//! use rfsim_numerics::sparse::Triplets;
+//! use rfsim_numerics::sparse_lu::SparseLu;
+//!
+//! # fn main() -> Result<(), rfsim_numerics::NumericsError> {
+//! let mut t = Triplets::new(2, 2);
+//! t.push(0, 0, 4.0);
+//! t.push(0, 1, 1.0);
+//! t.push(1, 0, 1.0);
+//! t.push(1, 1, 3.0);
+//! let a = t.to_csc();
+//! let lu = SparseLu::factor(&a, Default::default())?;
+//! let x = lu.solve(&[1.0, 2.0]);
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dense;
+pub mod diff;
+pub mod fft;
+pub mod interp;
+pub mod krylov;
+pub mod sparse;
+pub mod sparse_lu;
+pub mod vector;
+
+mod error;
+
+pub use error::NumericsError;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NumericsError>;

@@ -1,0 +1,521 @@
+//! Sparse matrix containers: triplet builder, CSR and CSC forms.
+//!
+//! The circuit stamps assemble into [`Triplets`] (duplicates allowed and
+//! summed), which convert to [`CsrMatrix`] for matvecs/ILU and [`CscMatrix`]
+//! for the sparse LU factorisation.
+
+use crate::{NumericsError, Result};
+
+/// Coordinate-format (COO) builder for sparse matrices.
+///
+/// Duplicate `(row, col)` entries are *summed* on conversion, which is
+/// exactly the semantics MNA device stamping wants.
+#[derive(Debug, Clone, Default)]
+pub struct Triplets {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Triplets {
+    /// Creates an empty builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Triplets {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty builder with pre-allocated capacity.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        Triplets {
+            rows,
+            cols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of raw (pre-dedup) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`. Duplicates are summed on conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "Triplets::push: ({row},{col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        if value != 0.0 {
+            self.entries.push((row, col, value));
+        }
+    }
+
+    /// Removes all entries but keeps the allocation (for re-assembly).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Converts to compressed-sparse-row form, summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let (indptr, indices, data) = compress(self.rows, &self.entries, |&(r, c, v)| (r, c, v));
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Converts to compressed-sparse-column form, summing duplicates.
+    pub fn to_csc(&self) -> CscMatrix {
+        let (indptr, indices, data) = compress(self.cols, &self.entries, |&(r, c, v)| (c, r, v));
+        CscMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+}
+
+/// Shared compression kernel: groups entries by `major`, sorts by `minor`,
+/// sums duplicates.
+fn compress<F>(majors: usize, entries: &[(usize, usize, f64)], proj: F) -> (Vec<usize>, Vec<usize>, Vec<f64>)
+where
+    F: Fn(&(usize, usize, f64)) -> (usize, usize, f64),
+{
+    // Counting sort by major index.
+    let mut counts = vec![0usize; majors + 1];
+    for e in entries {
+        counts[proj(e).0 + 1] += 1;
+    }
+    for m in 0..majors {
+        counts[m + 1] += counts[m];
+    }
+    let mut order = vec![0usize; entries.len()];
+    {
+        let mut cursor = counts.clone();
+        for (k, e) in entries.iter().enumerate() {
+            let (maj, _, _) = proj(e);
+            order[cursor[maj]] = k;
+            cursor[maj] += 1;
+        }
+    }
+    let mut indptr = Vec::with_capacity(majors + 1);
+    let mut indices = Vec::with_capacity(entries.len());
+    let mut data = Vec::with_capacity(entries.len());
+    indptr.push(0);
+    let mut scratch: Vec<(usize, f64)> = Vec::new();
+    for m in 0..majors {
+        scratch.clear();
+        for &k in &order[counts[m]..counts[m + 1]] {
+            let (_, min, v) = proj(&entries[k]);
+            scratch.push((min, v));
+        }
+        scratch.sort_unstable_by_key(|&(min, _)| min);
+        let mut i = 0;
+        while i < scratch.len() {
+            let (min, mut v) = scratch[i];
+            let mut j = i + 1;
+            while j < scratch.len() && scratch[j].0 == min {
+                v += scratch[j].1;
+                j += 1;
+            }
+            indices.push(min);
+            data.push(v);
+            i = j;
+        }
+        indptr.push(indices.len());
+    }
+    (indptr, indices, data)
+}
+
+/// Compressed sparse row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Row pointer array (length `rows + 1`).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column indices, row by row.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Stored values, row by row.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable stored values (pattern is fixed).
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Column indices and values of row `i`.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        (&self.indices[lo..hi], &self.data[lo..hi])
+    }
+
+    /// Value at `(i, j)`, or 0 if not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix–vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: x dimension");
+        assert_eq!(y.len(), self.rows, "matvec: y dimension");
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let mut s = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                s += v * x[*c];
+            }
+            y[i] = s;
+        }
+    }
+
+    /// Matrix–vector product returning a fresh vector.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Converts to CSC form.
+    pub fn to_csc(&self) -> CscMatrix {
+        let mut t = Triplets::with_capacity(self.rows, self.cols, self.nnz());
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                t.push(i, *c, *v);
+            }
+        }
+        t.to_csc()
+    }
+
+    /// Converts to a dense matrix (diagnostics and tests).
+    pub fn to_dense(&self) -> crate::dense::DenseMatrix {
+        let mut m = crate::dense::DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                m[(i, *c)] += *v;
+            }
+        }
+        m
+    }
+
+    /// Maximum absolute entry.
+    pub fn norm_max(&self) -> f64 {
+        crate::vector::norm_inf(&self.data)
+    }
+}
+
+/// Compressed sparse column matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Column pointer array (length `cols + 1`).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Row indices, column by column.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Stored values, column by column.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Row indices and values of column `j`.
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let lo = self.indptr[j];
+        let hi = self.indptr[j + 1];
+        (&self.indices[lo..hi], &self.data[lo..hi])
+    }
+
+    /// Value at `(i, j)`, or 0 if not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (rows, vals) = self.col(j);
+        match rows.binary_search(&i) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix–vector product `y = A·x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: x dimension");
+        let mut y = vec![0.0; self.rows];
+        for j in 0..self.cols {
+            let xj = x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            let (rows, vals) = self.col(j);
+            for (r, v) in rows.iter().zip(vals) {
+                y[*r] += v * xj;
+            }
+        }
+        y
+    }
+
+    /// Converts to CSR form.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut t = Triplets::with_capacity(self.rows, self.cols, self.nnz());
+        for j in 0..self.cols {
+            let (rows, vals) = self.col(j);
+            for (r, v) in rows.iter().zip(vals) {
+                t.push(*r, j, *v);
+            }
+        }
+        t.to_csr()
+    }
+
+    /// Converts to a dense matrix (diagnostics and tests).
+    pub fn to_dense(&self) -> crate::dense::DenseMatrix {
+        self.to_csr().to_dense()
+    }
+
+    /// Checks the structural symmetry of the pattern of `A + Aᵀ`
+    /// adjacency — returns the undirected adjacency lists used by ordering
+    /// algorithms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] for non-square matrices.
+    pub fn symmetrized_adjacency(&self) -> Result<Vec<Vec<usize>>> {
+        if self.rows != self.cols {
+            return Err(NumericsError::DimensionMismatch {
+                context: format!("symmetrized_adjacency: {}x{}", self.rows, self.cols),
+            });
+        }
+        let n = self.rows;
+        let mut adj = vec![Vec::new(); n];
+        for j in 0..n {
+            let (rows, _) = self.col(j);
+            for &i in rows {
+                if i != j {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+            l.dedup();
+        }
+        Ok(adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn example() -> Triplets {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(0, 2, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 0, 4.0);
+        t.push(2, 2, 5.0);
+        t
+    }
+
+    #[test]
+    fn csr_roundtrip_values() {
+        let a = example().to_csr();
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 0, 2.5);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 0), 3.5);
+        let b = t.to_csc();
+        assert_eq!(b.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn zero_entries_skipped() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 1, 0.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn csr_matvec_matches_dense() {
+        let a = example().to_csr();
+        let x = vec![1.0, 2.0, 3.0];
+        let y = a.matvec(&x);
+        assert_eq!(y, vec![7.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn csc_matvec_matches_csr() {
+        let t = example();
+        let x = vec![-1.0, 0.5, 2.0];
+        assert_eq!(t.to_csr().matvec(&x), t.to_csc().matvec(&x));
+    }
+
+    #[test]
+    fn csr_csc_roundtrip() {
+        let a = example().to_csr();
+        let back = a.to_csc().to_csr();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn adjacency_symmetrizes() {
+        // Asymmetric pattern: (0,2) present, (2,0) absent.
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 2, 1.0);
+        t.push(1, 1, 1.0);
+        let adj = t.to_csc().symmetrized_adjacency().expect("square");
+        assert_eq!(adj[0], vec![2]);
+        assert_eq!(adj[2], vec![0]);
+        assert!(adj[1].is_empty()); // diagonal ignored
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut t = Triplets::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_csr_csc_same_dense(entries in proptest::collection::vec(
+            (0usize..8, 0usize..8, -10.0f64..10.0), 0..40)) {
+            let mut t = Triplets::new(8, 8);
+            for (r, c, v) in entries {
+                t.push(r, c, v);
+            }
+            let d1 = t.to_csr().to_dense();
+            let d2 = t.to_csc().to_dense();
+            for i in 0..8 {
+                for j in 0..8 {
+                    prop_assert!((d1[(i, j)] - d2[(i, j)]).abs() < 1e-12);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_matvec_linear(entries in proptest::collection::vec(
+            (0usize..6, 0usize..6, -5.0f64..5.0), 0..30),
+            x in proptest::collection::vec(-3.0f64..3.0, 6),
+            alpha in -2.0f64..2.0) {
+            let mut t = Triplets::new(6, 6);
+            for (r, c, v) in entries {
+                t.push(r, c, v);
+            }
+            let a = t.to_csr();
+            let ax = a.matvec(&x);
+            let sx: Vec<f64> = x.iter().map(|v| alpha * v).collect();
+            let asx = a.matvec(&sx);
+            for i in 0..6 {
+                prop_assert!((asx[i] - alpha * ax[i]).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,618 @@
+//! Left-looking sparse LU factorisation (Gilbert–Peierls) with threshold
+//! partial pivoting and a reverse Cuthill–McKee fill-reducing ordering.
+//!
+//! This is the direct solver behind both the circuit Newton iterations and
+//! the large MPDE grid Jacobians (`n·N1·N2` unknowns). The algorithm follows
+//! the classic CSparse `cs_lu` structure: for each column, a depth-first
+//! reach over the partially built `L` determines the pattern of the sparse
+//! triangular solve, after which a pivot row is chosen among the not yet
+//! pivoted rows.
+
+use crate::sparse::CscMatrix;
+use crate::{NumericsError, Result};
+
+const NONE: usize = usize::MAX;
+
+/// Column ordering strategy applied before factorisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ordering {
+    /// Use columns in their natural order.
+    Natural,
+    /// Reverse Cuthill–McKee on the symmetrised pattern: reduces bandwidth,
+    /// and therefore fill, for grid-structured Jacobians.
+    #[default]
+    Rcm,
+}
+
+/// Options controlling [`SparseLu::factor`].
+#[derive(Debug, Clone, Copy)]
+pub struct LuOptions {
+    /// Column ordering strategy.
+    pub ordering: Ordering,
+    /// Diagonal preference threshold in `[0, 1]`: the diagonal entry is
+    /// accepted as pivot if its magnitude is at least `pivot_threshold`
+    /// times the column maximum. `1.0` forces strict partial pivoting.
+    pub pivot_threshold: f64,
+    /// Pivots smaller than this magnitude are treated as singular.
+    pub pivot_abs_min: f64,
+}
+
+impl Default for LuOptions {
+    fn default() -> Self {
+        LuOptions {
+            ordering: Ordering::Rcm,
+            pivot_threshold: 0.1,
+            pivot_abs_min: 1e-300,
+        }
+    }
+}
+
+/// Sparse LU factors `P·A·Q = L·U` with unit lower-triangular `L`.
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    // L: strictly lower entries, CSC, row indices in factor (pivot) space.
+    lp: Vec<usize>,
+    li: Vec<usize>,
+    lx: Vec<f64>,
+    // U: strictly upper entries, CSC, row indices in factor space.
+    up: Vec<usize>,
+    ui: Vec<usize>,
+    ux: Vec<f64>,
+    udiag: Vec<f64>,
+    /// `p[k]` = original row sitting in factor row `k`.
+    p: Vec<usize>,
+    /// `q[k]` = original column sitting in factor column `k`.
+    q: Vec<usize>,
+}
+
+impl SparseLu {
+    /// Factors a square sparse matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::DimensionMismatch`] for non-square input.
+    /// * [`NumericsError::SingularMatrix`] if no acceptable pivot exists in
+    ///   some column.
+    pub fn factor(a: &CscMatrix, options: LuOptions) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(NumericsError::DimensionMismatch {
+                context: format!("SparseLu: matrix is {}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let q = match options.ordering {
+            Ordering::Natural => (0..n).collect::<Vec<_>>(),
+            Ordering::Rcm => rcm_ordering(a)?,
+        };
+
+        let mut pinv = vec![NONE; n];
+        let nnz_guess = 4 * a.nnz() + n;
+        let mut lp = Vec::with_capacity(n + 1);
+        let mut li: Vec<usize> = Vec::with_capacity(nnz_guess);
+        let mut lx: Vec<f64> = Vec::with_capacity(nnz_guess);
+        let mut up = Vec::with_capacity(n + 1);
+        let mut ui: Vec<usize> = Vec::with_capacity(nnz_guess);
+        let mut ux: Vec<f64> = Vec::with_capacity(nnz_guess);
+        let mut udiag = vec![0.0; n];
+        lp.push(0);
+        up.push(0);
+
+        // Dense workspace and DFS state, reused across columns.
+        let mut x = vec![0.0f64; n];
+        let mut mark = vec![0u32; n];
+        let mut generation = 0u32;
+        let mut node_stack: Vec<usize> = Vec::with_capacity(n);
+        let mut edge_stack: Vec<usize> = Vec::with_capacity(n);
+        let mut post: Vec<usize> = Vec::with_capacity(n);
+
+        for k in 0..n {
+            generation += 1;
+            post.clear();
+
+            // --- Symbolic: reach of A[:, q[k]] through the graph of L. ---
+            let (brows, bvals) = a.col(q[k]);
+            for &i in brows {
+                if mark[i] != generation {
+                    dfs_reach(
+                        i,
+                        &lp,
+                        &li,
+                        &pinv,
+                        &mut mark,
+                        generation,
+                        &mut node_stack,
+                        &mut edge_stack,
+                        &mut post,
+                    );
+                }
+            }
+
+            // --- Numeric: sparse triangular solve x = L \ A[:, q[k]]. ---
+            for &i in &post {
+                x[i] = 0.0;
+            }
+            for (&i, &v) in brows.iter().zip(bvals) {
+                x[i] = v;
+            }
+            // `post` is in DFS postorder; topological order is its reverse.
+            for &i in post.iter().rev() {
+                let col = pinv[i];
+                if col == NONE {
+                    continue; // not yet pivoted: belongs to L-part, no elimination
+                }
+                let xi = x[i];
+                if xi == 0.0 {
+                    continue;
+                }
+                for idx in lp[col]..lp[col + 1] {
+                    x[li[idx]] -= lx[idx] * xi;
+                }
+            }
+
+            // --- Pivot selection among unpivoted rows. ---
+            let mut max_val = 0.0f64;
+            let mut max_row = NONE;
+            for &i in &post {
+                if pinv[i] == NONE {
+                    let v = x[i].abs();
+                    if v > max_val {
+                        max_val = v;
+                        max_row = i;
+                    }
+                }
+            }
+            if max_row == NONE || max_val <= options.pivot_abs_min {
+                return Err(NumericsError::SingularMatrix {
+                    index: k,
+                    pivot: max_val,
+                });
+            }
+            // Prefer the "diagonal" row (original row q[k]) when acceptable:
+            // keeps near-symmetric patterns banded under RCM.
+            let diag_row = q[k];
+            let mut piv_row = max_row;
+            if pinv[diag_row] == NONE
+                && x[diag_row].abs() >= options.pivot_threshold * max_val
+                && x[diag_row].abs() > options.pivot_abs_min
+            {
+                piv_row = diag_row;
+            }
+            let piv_val = x[piv_row];
+            pinv[piv_row] = k;
+            udiag[k] = piv_val;
+
+            // --- Scatter into U (pivoted rows) and L (unpivoted rows). ---
+            for &i in &post {
+                let xi = x[i];
+                if i == piv_row || xi == 0.0 {
+                    continue;
+                }
+                let row = pinv[i];
+                if row != NONE {
+                    ui.push(row); // factor-space row, final
+                    ux.push(xi);
+                } else {
+                    li.push(i); // original-space row, remapped after the loop
+                    lx.push(xi / piv_val);
+                }
+            }
+            lp.push(li.len());
+            up.push(ui.len());
+        }
+
+        // Remap L row indices from original space to factor space.
+        for idx in li.iter_mut() {
+            *idx = pinv[*idx];
+        }
+        // Build p from pinv.
+        let mut p = vec![0usize; n];
+        for (orig, &fact) in pinv.iter().enumerate() {
+            p[fact] = orig;
+        }
+        Ok(SparseLu {
+            n,
+            lp,
+            li,
+            lx,
+            up,
+            ui,
+            ux,
+            udiag,
+            p,
+            q,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Total stored entries in `L` and `U` (fill diagnostic).
+    pub fn nnz(&self) -> usize {
+        self.li.len() + self.ui.len() + self.n
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "SparseLu::solve: dimension mismatch");
+        let n = self.n;
+        // x = P·b
+        let mut x: Vec<f64> = self.p.iter().map(|&pi| b[pi]).collect();
+        // Forward: L·y = x (unit diagonal; column-oriented scatter).
+        for k in 0..n {
+            let xk = x[k];
+            if xk != 0.0 {
+                for idx in self.lp[k]..self.lp[k + 1] {
+                    x[self.li[idx]] -= self.lx[idx] * xk;
+                }
+            }
+        }
+        // Backward: U·z = y.
+        for k in (0..n).rev() {
+            x[k] /= self.udiag[k];
+            let xk = x[k];
+            if xk != 0.0 {
+                for idx in self.up[k]..self.up[k + 1] {
+                    x[self.ui[idx]] -= self.ux[idx] * xk;
+                }
+            }
+        }
+        // Undo column permutation: out[q[k]] = z[k].
+        let mut out = vec![0.0; n];
+        for k in 0..n {
+            out[self.q[k]] = x[k];
+        }
+        out
+    }
+
+    /// Solves in place, overwriting `b` with the solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        let x = self.solve(b);
+        b.copy_from_slice(&x);
+    }
+}
+
+/// Iterative depth-first search over the graph of `L`, collecting reached
+/// nodes in postorder.
+#[allow(clippy::too_many_arguments)]
+fn dfs_reach(
+    start: usize,
+    lp: &[usize],
+    li: &[usize],
+    pinv: &[usize],
+    mark: &mut [u32],
+    generation: u32,
+    node_stack: &mut Vec<usize>,
+    edge_stack: &mut Vec<usize>,
+    post: &mut Vec<usize>,
+) {
+    node_stack.clear();
+    edge_stack.clear();
+    node_stack.push(start);
+    edge_stack.push(0);
+    mark[start] = generation;
+    while let Some(&node) = node_stack.last() {
+        let col = pinv[node];
+        let (lo, hi) = if col == NONE {
+            (0, 0)
+        } else {
+            (lp[col], lp[col + 1])
+        };
+        let e = edge_stack.last_mut().expect("stacks in sync");
+        let mut descended = false;
+        while lo + *e < hi {
+            let child = li[lo + *e];
+            *e += 1;
+            if mark[child] != generation {
+                mark[child] = generation;
+                node_stack.push(child);
+                edge_stack.push(0);
+                descended = true;
+                break;
+            }
+        }
+        if !descended {
+            post.push(node);
+            node_stack.pop();
+            edge_stack.pop();
+        }
+    }
+}
+
+/// Reverse Cuthill–McKee ordering on the symmetrised pattern of `a`.
+///
+/// Returns a permutation `q` such that column `k` of the reordered matrix is
+/// original column `q[k]`. Disconnected components are each started from a
+/// minimum-degree node.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::DimensionMismatch`] for non-square input.
+pub fn rcm_ordering(a: &CscMatrix) -> Result<Vec<usize>> {
+    let adj = a.symmetrized_adjacency()?;
+    let n = adj.len();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut frontier: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    // Nodes sorted by degree: candidate BFS roots.
+    let mut by_degree: Vec<usize> = (0..n).collect();
+    by_degree.sort_by_key(|&i| adj[i].len());
+    for &root in &by_degree {
+        if visited[root] {
+            continue;
+        }
+        visited[root] = true;
+        frontier.push_back(root);
+        while let Some(u) = frontier.pop_front() {
+            order.push(u);
+            let mut children: Vec<usize> = adj[u].iter().copied().filter(|&v| !visited[v]).collect();
+            children.sort_by_key(|&v| adj[v].len());
+            for v in children {
+                visited[v] = true;
+                frontier.push_back(v);
+            }
+        }
+    }
+    order.reverse();
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Triplets;
+    use crate::vector::{norm_inf, sub};
+    use proptest::prelude::*;
+
+    fn solve_and_check(t: &Triplets, b: &[f64], opts: LuOptions) {
+        let a = t.to_csc();
+        let lu = SparseLu::factor(&a, opts).expect("factor");
+        let x = lu.solve(b);
+        let r = sub(&a.matvec(&x), b);
+        let scale = norm_inf(b).max(1.0);
+        assert!(
+            norm_inf(&r) < 1e-9 * scale,
+            "residual too large: {}",
+            norm_inf(&r)
+        );
+    }
+
+    fn tridiag(n: usize) -> Triplets {
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0);
+            if i > 0 {
+                t.push(i, i - 1, -1.0);
+                t.push(i - 1, i, -1.5);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn solves_tridiagonal_natural() {
+        let t = tridiag(50);
+        let b: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin()).collect();
+        solve_and_check(
+            &t,
+            &b,
+            LuOptions {
+                ordering: Ordering::Natural,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn solves_tridiagonal_rcm() {
+        let t = tridiag(50);
+        let b: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).cos()).collect();
+        solve_and_check(&t, &b, LuOptions::default());
+    }
+
+    #[test]
+    fn handles_permutation_matrix() {
+        // Anti-diagonal: needs pivoting away from zero diagonal.
+        let n = 5;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, n - 1 - i, (i + 1) as f64);
+        }
+        let b = vec![1.0; n];
+        solve_and_check(&t, &b, LuOptions::default());
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        // column 2 entirely empty
+        let a = t.to_csc();
+        match SparseLu::factor(&a, LuOptions::default()) {
+            Err(NumericsError::SingularMatrix { .. }) => {}
+            other => panic!("expected singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        // Two identical columns.
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 2.0);
+        t.push(0, 1, 1.0);
+        t.push(1, 1, 2.0);
+        assert!(SparseLu::factor(&t.to_csc(), LuOptions::default()).is_err());
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let t = Triplets::new(2, 3);
+        assert!(matches!(
+            SparseLu::factor(&t.to_csc(), LuOptions::default()),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_laplacian_2d() {
+        // 2-D periodic grid stencil: the structural shape of MPDE Jacobians.
+        let (n1, n2) = (8, 6);
+        let n = n1 * n2;
+        let mut t = Triplets::new(n, n);
+        for j in 0..n2 {
+            for i in 0..n1 {
+                let me = j * n1 + i;
+                t.push(me, me, 4.2);
+                t.push(me, j * n1 + (i + 1) % n1, -1.0);
+                t.push(me, j * n1 + (i + n1 - 1) % n1, -1.0);
+                t.push(me, ((j + 1) % n2) * n1 + i, -1.0);
+                t.push(me, ((j + n2 - 1) % n2) * n1 + i, -1.0);
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|k| ((k * 37 % 11) as f64) - 5.0).collect();
+        solve_and_check(&t, &b, LuOptions::default());
+    }
+
+    #[test]
+    fn rcm_is_permutation() {
+        let a = tridiag(20).to_csc();
+        let q = rcm_ordering(&a).expect("rcm");
+        let mut seen = vec![false; 20];
+        for &c in &q {
+            assert!(!seen[c], "duplicate column in ordering");
+            seen[c] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_on_shuffled_band() {
+        // A banded matrix with shuffled labels: RCM should recover a narrow band.
+        let n = 30;
+        let shuffle: Vec<usize> = (0..n).map(|i| (i * 17) % n).collect();
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(shuffle[i], shuffle[i], 4.0);
+            if i > 0 {
+                t.push(shuffle[i], shuffle[i - 1], -1.0);
+                t.push(shuffle[i - 1], shuffle[i], -1.0);
+            }
+        }
+        let a = t.to_csc();
+        let lu_nat = SparseLu::factor(
+            &a,
+            LuOptions {
+                ordering: Ordering::Natural,
+                ..Default::default()
+            },
+        )
+        .expect("factor natural");
+        let lu_rcm = SparseLu::factor(&a, LuOptions::default()).expect("factor rcm");
+        assert!(
+            lu_rcm.nnz() <= lu_nat.nnz(),
+            "rcm fill {} > natural fill {}",
+            lu_rcm.nnz(),
+            lu_nat.nnz()
+        );
+    }
+
+    #[test]
+    fn strict_partial_pivoting_works() {
+        let t = tridiag(30);
+        let b = vec![1.0; 30];
+        solve_and_check(
+            &t,
+            &b,
+            LuOptions {
+                pivot_threshold: 1.0,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve() {
+        let t = tridiag(10);
+        let a = t.to_csc();
+        let lu = SparseLu::factor(&a, LuOptions::default()).expect("factor");
+        let b: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let x = lu.solve(&b);
+        let mut y = b.clone();
+        lu.solve_in_place(&mut y);
+        assert_eq!(x, y);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_random_dominant_systems(seed in 0u64..500) {
+            let n = 25;
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let mut t = Triplets::new(n, n);
+            for i in 0..n {
+                let mut offdiag_sum = 0.0;
+                for _ in 0..4 {
+                    let j = (next() * n as f64) as usize % n;
+                    if j != i {
+                        let v = next() * 2.0 - 1.0;
+                        t.push(i, j, v);
+                        offdiag_sum += v.abs();
+                    }
+                }
+                t.push(i, i, offdiag_sum + 1.0 + next());
+            }
+            let b: Vec<f64> = (0..n).map(|_| next() * 2.0 - 1.0).collect();
+            let a = t.to_csc();
+            let lu = SparseLu::factor(&a, LuOptions::default()).expect("factor");
+            let x = lu.solve(&b);
+            let r = sub(&a.matvec(&x), &b);
+            prop_assert!(norm_inf(&r) < 1e-9);
+        }
+
+        #[test]
+        fn prop_matches_dense_solver(seed in 0u64..200) {
+            let n = 8;
+            let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(99);
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+            };
+            let mut t = Triplets::new(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    if next() > 0.2 {
+                        t.push(i, j, next());
+                    }
+                }
+                t.push(i, i, 5.0);
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let a = t.to_csc();
+            let sparse_x = SparseLu::factor(&a, LuOptions::default()).expect("factor").solve(&b);
+            let dense_x = a.to_dense().solve(&b).expect("dense solve");
+            for i in 0..n {
+                prop_assert!((sparse_x[i] - dense_x[i]).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Eye diagrams and inter-symbol-interference metrics.
+//!
+//! The paper's conclusion: "The new method is well-suited for estimating
+//! effects such as ISI and ACI in communication symbol streams." These
+//! helpers fold a baseband envelope into bit slots and quantify the eye
+//! opening.
+
+/// An eye diagram: envelope samples folded onto a single bit slot.
+#[derive(Debug, Clone)]
+pub struct EyeDiagram {
+    /// Traces, one per bit, each `samples_per_bit` long (antipodal traces
+    /// for `false` bits are *negated* so the eye is single-polarity).
+    pub traces: Vec<Vec<f64>>,
+    /// Samples per bit slot.
+    pub samples_per_bit: usize,
+}
+
+impl EyeDiagram {
+    /// Folds a one-period envelope carrying `num_bits` symbols.
+    ///
+    /// The envelope is resampled so each bit slot has the same number of
+    /// points. Bits are classified by the sign at the slot centre and
+    /// normalised to positive polarity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bits` is zero or the envelope is empty.
+    pub fn fold(envelope: &[f64], num_bits: usize) -> Self {
+        assert!(num_bits > 0, "num_bits must be positive");
+        assert!(!envelope.is_empty(), "envelope must be non-empty");
+        let n = envelope.len();
+        let spb = (n / num_bits).max(1);
+        let mut traces = Vec::with_capacity(num_bits);
+        for k in 0..num_bits {
+            let mut trace = Vec::with_capacity(spb);
+            for s in 0..spb {
+                // Sample position within the envelope (nearest sample).
+                let pos = (k as f64 + s as f64 / spb as f64) / num_bits as f64;
+                let idx = ((pos * n as f64).round() as usize) % n;
+                trace.push(envelope[idx]);
+            }
+            let centre = trace[spb / 2];
+            if centre < 0.0 {
+                for v in &mut trace {
+                    *v = -*v;
+                }
+            }
+            traces.push(trace);
+        }
+        EyeDiagram {
+            traces,
+            samples_per_bit: spb,
+        }
+    }
+
+    /// Worst-case eye opening: the minimum over the central half of the bit
+    /// slot of the minimum trace value. 1.0 = full swing, ≤ 0 = closed eye.
+    pub fn opening(&self) -> f64 {
+        let spb = self.samples_per_bit;
+        let lo = spb / 4;
+        let hi = (3 * spb / 4).max(lo + 1);
+        let mut worst = f64::INFINITY;
+        for trace in &self.traces {
+            for &v in &trace[lo..hi.min(trace.len())] {
+                worst = worst.min(v);
+            }
+        }
+        worst
+    }
+
+    /// ISI metric: peak-to-peak spread of trace values at the slot centre,
+    /// normalised by the mean centre level. 0 = no ISI.
+    pub fn isi(&self) -> f64 {
+        let centre = self.samples_per_bit / 2;
+        let centres: Vec<f64> = self.traces.iter().map(|t| t[centre]).collect();
+        let mean = centres.iter().sum::<f64>() / centres.len() as f64;
+        if mean == 0.0 {
+            return f64::INFINITY;
+        }
+        let max = centres.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = centres.iter().cloned().fold(f64::INFINITY, f64::min);
+        (max - min) / mean.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_envelope(bits: &[bool], spb: usize) -> Vec<f64> {
+        bits.iter()
+            .flat_map(|&b| std::iter::repeat(if b { 1.0 } else { -1.0 }).take(spb))
+            .collect()
+    }
+
+    #[test]
+    fn clean_bits_have_open_eye() {
+        let env = clean_envelope(&[true, false, true, true], 32);
+        let eye = EyeDiagram::fold(&env, 4);
+        assert!((eye.opening() - 1.0).abs() < 1e-12, "opening {}", eye.opening());
+        assert!(eye.isi() < 1e-12);
+    }
+
+    #[test]
+    fn attenuated_bit_reduces_opening() {
+        let mut env = clean_envelope(&[true, true, false, true], 32);
+        // ISI-like droop on the third bit.
+        for v in env.iter_mut().skip(64).take(32) {
+            *v *= 0.5;
+        }
+        let eye = EyeDiagram::fold(&env, 4);
+        assert!((eye.opening() - 0.5).abs() < 1e-9);
+        assert!(eye.isi() > 0.3);
+    }
+
+    #[test]
+    fn closed_eye_detected() {
+        // One bit flipped halfway through its slot: a trace crosses zero in
+        // the central region.
+        let mut env = clean_envelope(&[true, false], 64);
+        for v in env.iter_mut().skip(80).take(20) {
+            *v = 0.05;
+        }
+        let eye = EyeDiagram::fold(&env, 2);
+        assert!(eye.opening() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_bits")]
+    fn zero_bits_rejected() {
+        let _ = EyeDiagram::fold(&[1.0], 0);
+    }
+}

@@ -1,0 +1,14 @@
+//! RF measurement layer for the DAC 2002 reproduction.
+//!
+//! Post-processing the paper's evaluation needs on top of MPDE solutions:
+//!
+//! * [`bits`] — PRBS generators and bit-envelope construction.
+//! * [`measure`] — conversion gain, harmonic distortion (HD2/HD3/THD),
+//!   dB/dBm helpers, adjacent-channel power.
+//! * [`eye`] — eye diagrams and ISI metrics over baseband envelopes.
+//! * [`sweep`] — warm-started parameter sweeps (amplitude → compression).
+
+pub mod bits;
+pub mod eye;
+pub mod measure;
+pub mod sweep;

@@ -1,0 +1,108 @@
+//! Warm-started parameter sweeps.
+//!
+//! Steady-state solutions vary smoothly with source amplitude, so each
+//! sweep point seeds the next solve — the standard way to trace gain
+//! compression curves cheaply.
+
+use rfsim_circuit::{Circuit, Result};
+use rfsim_mpde::solver::{solve_mpde, InitialGuess, MpdeOptions};
+use rfsim_mpde::MpdeSolution;
+
+/// One point of an amplitude sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept value (e.g. RF amplitude in volts).
+    pub value: f64,
+    /// The MPDE solution at this point.
+    pub solution: MpdeSolution,
+}
+
+/// Sweeps a circuit-family parameter, rebuilding the circuit per point via
+/// `make_circuit` and warm-starting each MPDE solve from the previous
+/// solution.
+///
+/// # Errors
+///
+/// Propagates the first failed solve.
+pub fn amplitude_sweep<F>(
+    values: &[f64],
+    t1_period: f64,
+    t2_period: f64,
+    base_options: MpdeOptions,
+    mut make_circuit: F,
+) -> Result<Vec<SweepPoint>>
+where
+    F: FnMut(f64) -> Result<Circuit>,
+{
+    let mut out: Vec<SweepPoint> = Vec::with_capacity(values.len());
+    let mut prev_data: Option<Vec<f64>> = None;
+    for &value in values {
+        let circuit = make_circuit(value)?;
+        let mut options = base_options.clone();
+        if let Some(data) = prev_data.take() {
+            options.initial_guess = InitialGuess::Samples(data);
+        }
+        let solution = solve_mpde(&circuit, t1_period, t2_period, options)?;
+        prev_data = Some(solution.solution.data.clone());
+        out.push(SweepPoint { value, solution });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsim_circuit::{BiWaveform, CircuitBuilder, Envelope, Waveform, GROUND};
+
+    #[test]
+    fn sweep_scales_linearly_for_linear_circuit() {
+        let (f1, fd) = (1e6, 10e3);
+        let amps = [0.1, 0.2, 0.4];
+        let points = amplitude_sweep(
+            &amps,
+            1.0 / f1,
+            1.0 / fd,
+            MpdeOptions {
+                n1: 16,
+                n2: 8,
+                ..Default::default()
+            },
+            |a| {
+                let mut b = CircuitBuilder::new();
+                let inp = b.node("in");
+                let out = b.node("out");
+                b.vsource(
+                    "VRF",
+                    inp,
+                    GROUND,
+                    BiWaveform::ShearedCarrier {
+                        amplitude: a,
+                        k: 1,
+                        f1,
+                        fd,
+                        phase: 0.0,
+                        envelope: Envelope::Unit,
+                    },
+                )?;
+                b.resistor("R1", inp, out, 1e3)?;
+                b.capacitor("C1", out, GROUND, 160e-12)?;
+                b.build()
+            },
+        )
+        .expect("sweep");
+        assert_eq!(points.len(), 3);
+        // Output scales with input for a linear circuit.
+        let peak = |p: &SweepPoint| {
+            p.solution
+                .solution
+                .surface(1)
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()))
+        };
+        let (p0, p1, p2) = (peak(&points[0]), peak(&points[1]), peak(&points[2]));
+        assert!((p1 / p0 - 2.0).abs() < 0.05, "{p0} {p1}");
+        assert!((p2 / p1 - 2.0).abs() < 0.05, "{p1} {p2}");
+        // Warm starts make later points cheap.
+        let _ = Waveform::Dc(0.0);
+    }
+}

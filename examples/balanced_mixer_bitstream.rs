@@ -1,0 +1,72 @@
+//! The paper's §3 headline experiment: recover a baseband bit stream from
+//! the balanced LO-doubling mixer with a single 40×30 MPDE solve.
+//!
+//! Run with: `cargo run --release --example balanced_mixer_bitstream`
+
+use rfsim::circuits::{BalancedMixer, BalancedMixerParams};
+use rfsim::mpde::solver::{solve_mpde, MpdeOptions};
+use rfsim::rf::bits::decode_bpsk_envelope;
+use std::error::Error;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let sent = vec![true, false, true, true];
+    let params = BalancedMixerParams {
+        rf_bits: sent.clone(),
+        ..Default::default()
+    };
+    println!(
+        "balanced mixer: LO {} MHz (doubled internally), RF {} MHz, baseband {} kHz",
+        params.f_lo / 1e6,
+        params.f_rf() / 1e6,
+        params.fd / 1e3
+    );
+    let mixer = BalancedMixer::build(params)?;
+
+    let t0 = Instant::now();
+    let sol = solve_mpde(
+        &mixer.circuit,
+        mixer.params.t1_period(),
+        mixer.params.t2_period(),
+        MpdeOptions::default(), // the paper's 40×30 grid
+    )?;
+    println!(
+        "MPDE solve: {} unknowns, {} Newton iterations, {:.2?} wall clock ({:?})",
+        sol.stats.system_size,
+        sol.stats.total_newton_iterations,
+        t0.elapsed(),
+        sol.stats.strategy
+    );
+
+    // Differential baseband envelope: the bit stream on the 15 kHz carrier.
+    let env: Vec<f64> = sol
+        .solution
+        .envelope(mixer.out_p)
+        .iter()
+        .zip(sol.solution.envelope(mixer.out_n))
+        .map(|(p, n)| p - n)
+        .collect();
+    println!("\nbaseband differential output (one 66.7 µs difference period):");
+    for (j, v) in env.iter().enumerate() {
+        let bar = (((v + 0.15) / 0.3 * 60.0).clamp(0.0, 60.0)) as usize;
+        println!("  {:>5.1} µs {:+8.4} V |{}", 66.67 * j as f64 / env.len() as f64, v, "·".repeat(bar));
+    }
+
+    let decoded = decode_bpsk_envelope(&env, sent.len());
+    let inverted: Vec<bool> = decoded.iter().map(|b| !b).collect();
+    println!("\nsent bits:    {sent:?}");
+    println!("decoded bits: {decoded:?}");
+    if decoded == sent || inverted == sent {
+        println!("bit stream recovered (up to BPSK polarity) ✓");
+    } else {
+        println!("bit stream NOT recovered ✗");
+    }
+
+    // The sharp doubler waveform at the MOSFET common-source node (Fig. 5).
+    let common = sol.solution.t1_slice(mixer.common, 0);
+    let hi = common.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let lo = common.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("\ncommon-source node over one LO period: swing [{lo:.3}, {hi:.3}] V");
+    println!("(two peaks per LO period — the frequency doubler at work)");
+    Ok(())
+}

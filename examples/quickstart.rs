@@ -1,0 +1,69 @@
+//! Quickstart: solve a two-tone problem with the sheared-MPDE method and
+//! read the difference-frequency envelope straight off the slow axis.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rfsim::circuit::{BiWaveform, CircuitBuilder, Envelope, Waveform, GROUND};
+use rfsim::mpde::solver::{solve_mpde, MpdeOptions};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Two tones 10 kHz apart at 1 MHz, mixed by an ideal multiplier: the
+    // paper's eq. (5) as an actual circuit.
+    let (f1, fd) = (1e6, 10e3);
+
+    let mut b = CircuitBuilder::new();
+    let lo = b.node("lo");
+    let rf = b.node("rf");
+    let out = b.node("out");
+    // LO lives on the fast axis t1.
+    b.vsource("VLO", lo, GROUND, BiWaveform::Axis1(Waveform::cosine(1.0, f1)))?;
+    // RF at f2 = f1 − fd, written in sheared form so the slow axis is the
+    // difference-frequency time scale.
+    b.vsource(
+        "VRF",
+        rf,
+        GROUND,
+        BiWaveform::ShearedCarrier {
+            amplitude: 1.0,
+            k: 1,
+            f1,
+            fd,
+            phase: 0.0,
+            envelope: Envelope::Unit,
+        },
+    )?;
+    b.multiplier("MIX", out, GROUND, lo, GROUND, rf, GROUND, 1e-3)?;
+    b.resistor("RL", out, GROUND, 1e3)?;
+    let circuit = b.build()?;
+
+    let sol = solve_mpde(
+        &circuit,
+        1.0 / f1,
+        1.0 / fd,
+        MpdeOptions {
+            n1: 32,
+            n2: 16,
+            ..Default::default()
+        },
+    )?;
+    println!(
+        "solved {} unknowns in {} Newton iterations",
+        sol.stats.system_size, sol.stats.total_newton_iterations
+    );
+
+    // The down-converted 10 kHz tone, directly on the slow axis — no
+    // Fourier analysis, no 100-period transient.
+    let out_idx = circuit
+        .unknown_index_of_node(circuit.node_by_name("out").expect("out"))
+        .expect("out is not ground");
+    let envelope = sol.solution.envelope(out_idx);
+    println!("\nbaseband envelope over one difference period (Td = {} µs):", 1e6 / fd);
+    for (j, v) in envelope.iter().enumerate() {
+        let bar_len = ((v + 0.55) * 40.0).clamp(0.0, 79.0) as usize;
+        println!("t2 = {:5.1} µs  {:+.4} V  {}", 1e6 / fd * j as f64 / 16.0, v, "▃".repeat(bar_len));
+    }
+    let h1 = sol.solution.baseband_harmonic(out_idx, 1).abs();
+    println!("\ndifference-tone amplitude: {h1:.4} V (ideal: 0.5·K·R·A² = 0.5 V)");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! # rfsim — time-domain RF steady state for closely spaced tones
+//!
+//! A from-scratch Rust reproduction of Roychowdhury, *"A Time-domain RF
+//! Steady-State Method for Closely Spaced Tones"* (DAC 2002): the sheared
+//! multi-time PDE (MPDE) method, the SPICE-class circuit substrate it runs
+//! on, the shooting and harmonic-balance baselines it is compared against,
+//! and the RF measurement layer used in the paper's evaluation.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`numerics`] | `rfsim-numerics` | dense/sparse LA, sparse LU, GMRES/BiCGStab, FFT, periodic differentiation |
+//! | [`circuit`] | `rfsim-circuit` | MNA, device models, DC operating point, transient |
+//! | [`shooting`] | `rfsim-shooting` | Newton/Krylov shooting, periodic FD collocation |
+//! | [`hb`] | `rfsim-hb` | single- and two-tone harmonic balance |
+//! | [`mpde`] | `rfsim-mpde` | **the paper's method**: sheared MPDE grids, FDTD Newton, continuation, envelope following |
+//! | [`rf`] | `rfsim-rf` | PRBS, conversion gain, distortion, eye/ISI |
+//! | [`circuits`] | `rfsim-circuits` | balanced LO-doubling mixer, unbalanced mixer, fixtures |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rfsim::circuit::{BiWaveform, CircuitBuilder, Envelope, GROUND};
+//! use rfsim::mpde::solver::{solve_mpde, MpdeOptions};
+//!
+//! # fn main() -> Result<(), rfsim::circuit::CircuitError> {
+//! // An RC filter driven by a carrier 1 kHz below 1 MHz: the MPDE grid
+//! // spans one carrier period × one difference period.
+//! let (f1, fd) = (1e6, 1e3);
+//! let mut b = CircuitBuilder::new();
+//! let inp = b.node("in");
+//! let out = b.node("out");
+//! b.vsource("VRF", inp, GROUND, BiWaveform::ShearedCarrier {
+//!     amplitude: 1.0, k: 1, f1, fd, phase: 0.0, envelope: Envelope::Unit,
+//! })?;
+//! b.resistor("R1", inp, out, 1e3)?;
+//! b.capacitor("C1", out, GROUND, 1e-9)?;
+//! let circuit = b.build()?;
+//! let sol = solve_mpde(&circuit, 1.0 / f1, 1.0 / fd,
+//!     MpdeOptions { n1: 16, n2: 8, ..Default::default() })?;
+//! println!("solved {} unknowns in {} Newton iterations",
+//!     sol.stats.system_size, sol.stats.total_newton_iterations);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use rfsim_circuit as circuit;
+pub use rfsim_circuits as circuits;
+pub use rfsim_hb as hb;
+pub use rfsim_mpde as mpde;
+pub use rfsim_numerics as numerics;
+pub use rfsim_rf as rf;
+pub use rfsim_shooting as shooting;

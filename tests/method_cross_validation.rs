@@ -1,0 +1,184 @@
+//! Cross-method validation: the same physical problem solved by transient,
+//! shooting, periodic FD collocation, harmonic balance and the sheared
+//! MPDE must agree. These are the strongest correctness checks in the
+//! repository — every engine is hand-rolled, so agreement is meaningful.
+
+use rfsim::circuit::transient::{transient, Integrator, TransientOptions};
+use rfsim::circuits::fixtures::{multiplier_mixer, rc_sheared};
+use rfsim::hb::hb2::{hb2_solve, Hb2Options};
+use rfsim::mpde::solver::{solve_mpde, MpdeOptions};
+use rfsim::numerics::diff::DiffScheme;
+use rfsim::shooting::{periodic_fd_pss, shooting_pss, PeriodicFdOptions, ShootingOptions};
+use std::f64::consts::PI;
+
+/// RC low-pass response magnitude at frequency `f`.
+fn rc_mag(r: f64, c: f64, f: f64) -> f64 {
+    let w = 2.0 * PI * f * r * c;
+    1.0 / (1.0 + w * w).sqrt()
+}
+
+#[test]
+fn mpde_matches_analytic_and_hb_on_linear_circuit() {
+    let (f1, fd) = (1e6, 10e3);
+    let (r, c) = (1e3, 160e-12);
+    let (ckt, out) = rc_sheared(r, c, f1, fd, 1.0).expect("build");
+    let mag = rc_mag(r, c, f1 - fd);
+
+    let mpde = solve_mpde(
+        &ckt,
+        1.0 / f1,
+        1.0 / fd,
+        MpdeOptions {
+            n1: 64,
+            n2: 16,
+            scheme1: DiffScheme::Central2,
+            scheme2: DiffScheme::Central2,
+            ..Default::default()
+        },
+    )
+    .expect("mpde");
+    let a_mpde = mpde.solution.fast_harmonic_magnitude(out, 1);
+    assert!(
+        (a_mpde - mag).abs() < 0.02,
+        "MPDE amplitude {a_mpde} vs analytic {mag}"
+    );
+
+    // HB on the same grid sizes is spectrally exact for this linear problem.
+    let hb = hb2_solve(
+        &ckt,
+        1.0 / f1,
+        1.0 / fd,
+        None,
+        Hb2Options {
+            n1: 8,
+            n2: 8,
+            ..Default::default()
+        },
+    )
+    .expect("hb2");
+    let row: Vec<f64> = (0..8).map(|i| hb.state(i, 0)[out]).collect();
+    let a_hb = rfsim::numerics::fft::harmonic_amplitude(&row, 1);
+    assert!(
+        (a_hb - mag).abs() < 1e-4,
+        "HB amplitude {a_hb} vs analytic {mag}"
+    );
+}
+
+#[test]
+fn shooting_and_periodic_fd_agree_on_nonlinear_circuit() {
+    let (ckt, out) = rfsim::circuits::fixtures::diode_rectifier(1e6, 2.0).expect("build");
+    let shoot = shooting_pss(
+        &ckt,
+        1e-6,
+        None,
+        ShootingOptions {
+            steps_per_period: 512,
+            ..Default::default()
+        },
+    )
+    .expect("shooting");
+    let fd_pss = periodic_fd_pss(
+        &ckt,
+        1e-6,
+        None,
+        PeriodicFdOptions {
+            n_samples: 256,
+            scheme: DiffScheme::Bdf2,
+            ..Default::default()
+        },
+    )
+    .expect("periodic fd");
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let m1 = mean(&shoot.signal(out));
+    let m2 = mean(&fd_pss.signal(out));
+    assert!((m1 - m2).abs() < 0.02, "shooting {m1} vs collocation {m2}");
+}
+
+#[test]
+fn mpde_diagonal_matches_transient_steady_state() {
+    // Ideal multiplier mixer at small disparity: a full transient to steady
+    // state is affordable, and the MPDE diagonal must match it.
+    let (f1, fd) = (1e5, 1e4);
+    let (ckt, out) = multiplier_mixer(f1, fd, vec![]).expect("build");
+    let sol = solve_mpde(
+        &ckt,
+        1.0 / f1,
+        1.0 / fd,
+        MpdeOptions {
+            n1: 64,
+            n2: 32,
+            scheme1: DiffScheme::Central2,
+            scheme2: DiffScheme::Central2,
+            ..Default::default()
+        },
+    )
+    .expect("mpde");
+    let tr = transient(
+        &ckt,
+        TransientOptions {
+            t_stop: 2.0 / fd,
+            dt_init: 0.01 / f1,
+            dt_max: 0.02 / f1,
+            integrator: Integrator::Trapezoidal,
+            ..Default::default()
+        },
+    )
+    .expect("transient");
+    // The mixer is memoryless + resistive load: steady state is immediate.
+    let mut worst = 0.0f64;
+    for k in 0..150 {
+        let t = 1.0 / fd + (1.0 / fd) * k as f64 / 150.0;
+        let v_mpde = sol.solution.interpolate(out, t, t);
+        let v_tr = tr.sample(out, t);
+        worst = worst.max((v_mpde - v_tr).abs());
+    }
+    assert!(worst < 0.02, "diagonal vs transient: worst {worst}");
+}
+
+#[test]
+fn mpde_envelope_matches_shooting_over_difference_period() {
+    // The paper's central quantitative claim, in miniature: MPDE baseband
+    // content equals what single-time shooting over the (expensive)
+    // difference period produces.
+    let (f1, fd) = (1e6, 2e4); // disparity 50: shooting affordable in tests
+    let (ckt, out) = multiplier_mixer(f1, fd, vec![]).expect("build");
+    let sol = solve_mpde(
+        &ckt,
+        1.0 / f1,
+        1.0 / fd,
+        MpdeOptions {
+            n1: 32,
+            n2: 16,
+            scheme1: DiffScheme::Central2,
+            scheme2: DiffScheme::Central2,
+            ..Default::default()
+        },
+    )
+    .expect("mpde");
+    let h_mpde = sol.solution.baseband_harmonic(out, 1).abs();
+
+    let steps = rfsim::shooting::difference_period_steps(f1, fd, 20);
+    let shot = shooting_pss(
+        &ckt,
+        1.0 / fd,
+        None,
+        ShootingOptions {
+            steps_per_period: steps,
+            ..Default::default()
+        },
+    )
+    .expect("shooting");
+    // Baseband fundamental of the shooting waveform: average fast content
+    // out by decimating to one sample per LO period, then take harmonic 1.
+    let sig = shot.signal(out);
+    let per_lo = 20;
+    let slow: Vec<f64> = sig
+        .chunks(per_lo)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    let h_shoot = rfsim::numerics::fft::harmonic_amplitude(&slow[..50], 1);
+    assert!(
+        (h_mpde - h_shoot).abs() < 0.05 * h_mpde.max(h_shoot),
+        "MPDE baseband {h_mpde} vs shooting baseband {h_shoot}"
+    );
+}
