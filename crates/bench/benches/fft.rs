@@ -10,9 +10,7 @@ fn bench_fft(c: &mut Criterion) {
         let x: Vec<Complex> = (0..n)
             .map(|k| Complex::new((k as f64 * 0.37).sin(), 0.0))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
-            b.iter(|| fft(x))
-        });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| b.iter(|| fft(x)));
     }
     group.finish();
 

@@ -16,8 +16,8 @@ fn bench_linear(c: &mut Criterion) {
     let sys = MpdeSystem::new(&mixer.circuit, grid, Default::default(), Default::default())
         .expect("system");
     let dim = sys.dim();
-    let op = rfsim_circuit::dcop::dc_operating_point(&mixer.circuit, Default::default())
-        .expect("dc");
+    let op =
+        rfsim_circuit::dcop::dc_operating_point(&mixer.circuit, Default::default()).expect("dc");
     let mut x0 = Vec::with_capacity(dim);
     for _ in 0..grid.num_points() {
         x0.extend_from_slice(&op.solution);
@@ -71,6 +71,15 @@ fn bench_linear(c: &mut Criterion) {
                 },
             )
             .expect("gmres")
+        })
+    });
+    // The per-Newton-iteration direct cost after the symbolic split:
+    // numeric refactorisation + triangular solves, no ordering/reach/pivot.
+    group.bench_function("lu_refactor_and_solve", |b| {
+        let mut lu = SparseLu::factor(&csc, LuOptions::default()).expect("factor");
+        b.iter(|| {
+            lu.refactor_in_place(&csc).expect("refactor");
+            lu.solve(&rhs)
         })
     });
     group.bench_function("lu_resolve_only", |b| {

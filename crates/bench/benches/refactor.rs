@@ -1,0 +1,137 @@
+//! The symbolic-reuse benchmark: factor-once / refactor-many on the
+//! scaled-mixer MPDE Jacobian, plus the workspace-level wins it unlocks.
+//!
+//! * `factor_full` vs `refactor_numeric` — a full Gilbert–Peierls
+//!   factorisation (RCM + DFS reach + pivot search) against the
+//!   numeric-only `SparseLu::refactor_in_place` on the same matrix: the
+//!   per-Newton-iteration cost before and after this optimisation.
+//! * `to_csc_compress` vs `csc_assembly_scatter` — triplet compression from
+//!   scratch against the cached slot-map scatter.
+//! * `transient_mixer` / `mpde_solve_cold` / `mpde_solve_warm` — end-to-end
+//!   paths whose Newton iterations ride the persistent
+//!   [`rfsim_circuit::newton::LinearSolverWorkspace`]; the warm variant
+//!   additionally reuses it across calls.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfsim_bench::paper::{comparison_grid, scaled_mixer};
+use rfsim_circuit::newton::{LinearSolverWorkspace, NewtonSystem};
+use rfsim_circuit::transient::{transient, Integrator, TransientOptions};
+use rfsim_mpde::fdtd::MpdeSystem;
+use rfsim_mpde::solver::{solve_mpde, solve_mpde_with_workspace, MpdeOptions};
+use rfsim_numerics::sparse::{CscAssembly, Triplets};
+use rfsim_numerics::sparse_lu::{LuOptions, SparseLu};
+
+fn mpde_jacobian(n1: usize, n2: usize) -> Triplets {
+    let mixer = scaled_mixer(10e6, 200.0);
+    let grid = comparison_grid(&mixer, n1, n2);
+    let sys = MpdeSystem::new(&mixer.circuit, grid, Default::default(), Default::default())
+        .expect("system");
+    let dim = sys.dim();
+    let op =
+        rfsim_circuit::dcop::dc_operating_point(&mixer.circuit, Default::default()).expect("dc");
+    let mut x0 = Vec::with_capacity(dim);
+    for _ in 0..grid.num_points() {
+        x0.extend_from_slice(&op.solution);
+    }
+    let mut r = vec![0.0; dim];
+    let mut jac = Triplets::with_capacity(dim, dim, 40 * dim);
+    sys.residual_and_jacobian(&x0, &mut r, &mut jac);
+    jac
+}
+
+fn bench_factor_vs_refactor(c: &mut Criterion) {
+    let jac = mpde_jacobian(24, 16);
+    let csc = jac.to_csc();
+    let mut group = c.benchmark_group("mpde_jacobian_refactor");
+    group.sample_size(10);
+    group.bench_function("factor_full", |b| {
+        b.iter(|| SparseLu::factor(&csc, LuOptions::default()).expect("factor"))
+    });
+    group.bench_function("refactor_numeric", |b| {
+        let mut lu = SparseLu::factor(&csc, LuOptions::default()).expect("factor");
+        b.iter(|| lu.refactor_in_place(&csc).expect("refactor"))
+    });
+    group.finish();
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let jac = mpde_jacobian(24, 16);
+    let mut group = c.benchmark_group("mpde_jacobian_assembly");
+    group.sample_size(10);
+    group.bench_function("to_csc_compress", |b| b.iter(|| jac.to_csc()));
+    group.bench_function("csc_assembly_scatter", |b| {
+        let asm = CscAssembly::new(&jac);
+        let mut csc = asm.zero_matrix();
+        b.iter(|| assert!(asm.scatter(&jac, &mut csc)))
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mixer = scaled_mixer(10e6, 100.0);
+    let mut group = c.benchmark_group("newton_hot_paths");
+    group.sample_size(10);
+    group.bench_function("transient_mixer", |b| {
+        b.iter(|| {
+            transient(
+                &mixer.circuit,
+                TransientOptions {
+                    t_stop: 4.0 * mixer.params.t1_period(),
+                    dt_init: mixer.params.t1_period() / 50.0,
+                    dt_max: mixer.params.t1_period() / 25.0,
+                    integrator: Integrator::Trapezoidal,
+                    ..Default::default()
+                },
+            )
+            .expect("transient")
+        })
+    });
+    let opts = MpdeOptions {
+        n1: 24,
+        n2: 12,
+        ..Default::default()
+    };
+    group.bench_function("mpde_solve_cold", |b| {
+        b.iter(|| {
+            solve_mpde(
+                &mixer.circuit,
+                mixer.params.t1_period(),
+                mixer.params.t2_period(),
+                opts.clone(),
+            )
+            .expect("mpde")
+        })
+    });
+    group.bench_function("mpde_solve_warm", |b| {
+        let mut ws = LinearSolverWorkspace::new();
+        // Prime the workspace so the measurement shows the steady state of
+        // a warm-started sweep.
+        solve_mpde_with_workspace(
+            &mixer.circuit,
+            mixer.params.t1_period(),
+            mixer.params.t2_period(),
+            opts.clone(),
+            &mut ws,
+        )
+        .expect("prime");
+        b.iter(|| {
+            solve_mpde_with_workspace(
+                &mixer.circuit,
+                mixer.params.t1_period(),
+                mixer.params.t2_period(),
+                opts.clone(),
+                &mut ws,
+            )
+            .expect("mpde")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_factor_vs_refactor,
+    bench_assembly,
+    bench_end_to_end
+);
+criterion_main!(benches);

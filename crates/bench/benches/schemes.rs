@@ -12,9 +12,17 @@ fn bench_schemes(c: &mut Criterion) {
     group.sample_size(10);
 
     for (name, s1, s2) in [
-        ("be_be", DiffScheme::BackwardEuler, DiffScheme::BackwardEuler),
+        (
+            "be_be",
+            DiffScheme::BackwardEuler,
+            DiffScheme::BackwardEuler,
+        ),
         ("bdf2_be", DiffScheme::Bdf2, DiffScheme::BackwardEuler),
-        ("central_central", DiffScheme::Central2, DiffScheme::Central2),
+        (
+            "central_central",
+            DiffScheme::Central2,
+            DiffScheme::Central2,
+        ),
     ] {
         group.bench_function(format!("scheme_{name}"), |b| {
             b.iter(|| {
@@ -37,7 +45,10 @@ fn bench_schemes(c: &mut Criterion) {
 
     for (name, guess) in [
         ("guess_dc", InitialGuess::DcReplicate),
-        ("guess_envelope", InitialGuess::EnvelopeFollowing { sweeps: 1 }),
+        (
+            "guess_envelope",
+            InitialGuess::EnvelopeFollowing { sweeps: 1 },
+        ),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
@@ -57,7 +68,11 @@ fn bench_schemes(c: &mut Criterion) {
         });
     }
 
-    for (name, reuse) in [("full_newton", 0usize), ("chord_newton_2", 2), ("chord_newton_4", 4)] {
+    for (name, reuse) in [
+        ("full_newton", 0usize),
+        ("chord_newton_2", 2),
+        ("chord_newton_4", 4),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 solve_mpde(

@@ -29,7 +29,11 @@ fn main() {
     )
     .expect("write CSV");
     println!("\nFigure 3: differential output v(out_p) − v(out_n) over");
-    println!("LO time scale (t1, {} ns) × baseband time scale (t2, {} ms):", 1e9 / 450e6, 1e3 / 15e3);
+    println!(
+        "LO time scale (t1, {} ns) × baseband time scale (t2, {} ms):",
+        1e9 / 450e6,
+        1e3 / 15e3
+    );
     ascii_surface(&diff, n1, n2, 24, 60);
     println!("CSV: {}", path.display());
     // The bit-stream shape is the t2 variation: report per-row means.

@@ -22,10 +22,18 @@ fn main() {
     let path = write_csv("fig4_baseband.csv", "t2,v_baseband", rows).expect("write CSV");
 
     println!("Figure 4: baseband differential output over one difference period");
-    println!("(Td = {:.3} ms; the transmitted bits modulate the 15 kHz tone)\n", td * 1e3);
+    println!(
+        "(Td = {:.3} ms; the transmitted bits modulate the 15 kHz tone)\n",
+        td * 1e3
+    );
     for (j, v) in env.iter().enumerate() {
         let bar = (((v + 0.16) / 0.32 * 56.0).clamp(0.0, 56.0)) as usize;
-        println!("{:7.2} µs {:+8.4} V |{}", td * 1e6 * j as f64 / n2 as f64, v, "█".repeat(bar));
+        println!(
+            "{:7.2} µs {:+8.4} V |{}",
+            td * 1e6 * j as f64 / n2 as f64,
+            v,
+            "█".repeat(bar)
+        );
     }
     let decoded = decode_bpsk_envelope(&env, sent.len());
     let inverted: Vec<bool> = decoded.iter().map(|b| !b).collect();
@@ -33,7 +41,11 @@ fn main() {
     println!("decoded : {decoded:?}");
     println!(
         "recovered: {}",
-        if decoded == sent || inverted == sent { "yes (up to BPSK polarity)" } else { "NO" }
+        if decoded == sent || inverted == sent {
+            "yes (up to BPSK polarity)"
+        } else {
+            "NO"
+        }
     );
     println!("CSV: {}", path.display());
 }

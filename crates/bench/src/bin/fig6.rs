@@ -22,7 +22,10 @@ fn main() {
     )
     .expect("write CSV");
     println!("Figure 6: v(common sources) over 5 LO periods from t = 2.223 µs");
-    let hi = pts.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+    let hi = pts
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::NEG_INFINITY, f64::max);
     let lo = pts.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
     println!("swing: [{lo:.3}, {hi:.3}] V; 10 peaks expected (doubled LO)\n");
     // Terminal sketch.

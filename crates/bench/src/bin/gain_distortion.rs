@@ -63,8 +63,12 @@ fn main() {
         }
         rows.push(vec![p.value, g, hd2, hd3, t]);
     }
-    let path = write_csv("gain_distortion.csv", "a_rf,gain_db,hd2_dbc,hd3_dbc,thd", rows)
-        .expect("write CSV");
+    let path = write_csv(
+        "gain_distortion.csv",
+        "a_rf,gain_db,hd2_dbc,hd3_dbc,thd",
+        rows,
+    )
+    .expect("write CSV");
     println!("\nCSV: {}", path.display());
     println!(
         "small-signal gain: {:.2} dB; balanced topology ⇒ HD2 deeply suppressed",

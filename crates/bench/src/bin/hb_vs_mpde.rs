@@ -32,7 +32,10 @@ fn main() {
 
     println!("== Fourier compactness of mixer waveforms (fast axis, 64 samples) ==\n");
     let mut rows = Vec::new();
-    for (name, unknown) in [("common sources (doubler)", mixer.common), ("output (filtered)", mixer.out_p)] {
+    for (name, unknown) in [
+        ("common sources (doubler)", mixer.common),
+        ("output (filtered)", mixer.out_p),
+    ] {
         let wave = sol.solution.t1_slice(unknown, 0);
         let k999 = harmonics_for_energy_fraction(&wave, 0.999);
         let k99 = harmonics_for_energy_fraction(&wave, 0.99);
@@ -46,8 +49,12 @@ fn main() {
         );
         rows.push(vec![unknown as f64, k99 as f64, k999 as f64, gibbs8, swing]);
     }
-    write_csv("hb_vs_mpde_compactness.csv", "unknown,k99,k999,gibbs8,swing", rows)
-        .expect("write CSV");
+    write_csv(
+        "hb_vs_mpde_compactness.csv",
+        "unknown,k99,k999,gibbs8,swing",
+        rows,
+    )
+    .expect("write CSV");
 
     // HB2 at matched resolution, warm-started from the MPDE solution (cold
     // HB Newton is fragile on switching circuits — itself a finding).

@@ -38,13 +38,15 @@ pub fn write_surface_csv(
 ) -> std::io::Result<PathBuf> {
     let rows = (0..n2).flat_map(move |j| {
         let surface = surface.to_vec();
-        (0..n1).map(move |i| {
-            vec![
-                t1_period * i as f64 / n1 as f64,
-                t2_period * j as f64 / n2 as f64,
-                surface[j * n1 + i],
-            ]
-        }).collect::<Vec<_>>()
+        (0..n1)
+            .map(move |i| {
+                vec![
+                    t1_period * i as f64 / n1 as f64,
+                    t2_period * j as f64 / n2 as f64,
+                    surface[j * n1 + i],
+                ]
+            })
+            .collect::<Vec<_>>()
     });
     write_csv(name, "t1,t2,value", rows)
 }

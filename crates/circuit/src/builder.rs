@@ -8,8 +8,8 @@ use std::collections::HashMap;
 
 use crate::circuit::{Circuit, UnknownKind};
 use crate::devices::{
-    Bjt, BjtParams, Capacitor, Device, Diode, DiodeParams, Inductor, Isource, Mosfet,
-    MosfetParams, Multiplier, Resistor, Vccs, Vcvs, Vsource,
+    Bjt, BjtParams, Capacitor, Device, Diode, DiodeParams, Inductor, Isource, Mosfet, MosfetParams,
+    Multiplier, Resistor, Vccs, Vcvs, Vsource,
 };
 use crate::node::{NodeId, GROUND};
 use crate::stamp::Unknown;
@@ -63,7 +63,8 @@ impl CircuitBuilder {
                 context: "device name already in use".into(),
             });
         }
-        self.device_names.insert(name.to_string(), self.devices.len());
+        self.device_names
+            .insert(name.to_string(), self.devices.len());
         Ok(())
     }
 
@@ -103,7 +104,13 @@ impl CircuitBuilder {
     /// # Errors
     ///
     /// Rejects negative or non-finite capacitance and duplicate names.
-    pub fn capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> Result<&mut Self> {
+    pub fn capacitor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+    ) -> Result<&mut Self> {
         if !(farads >= 0.0 && farads.is_finite()) {
             return Err(CircuitError::InvalidParameter {
                 device: name.to_string(),
@@ -125,7 +132,13 @@ impl CircuitBuilder {
     /// # Errors
     ///
     /// Rejects non-positive inductance and duplicate names.
-    pub fn inductor(&mut self, name: &str, a: NodeId, b: NodeId, henries: f64) -> Result<&mut Self> {
+    pub fn inductor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        henries: f64,
+    ) -> Result<&mut Self> {
         if !(henries > 0.0 && henries.is_finite()) {
             return Err(CircuitError::InvalidParameter {
                 device: name.to_string(),
@@ -286,7 +299,10 @@ impl CircuitBuilder {
         if !(params.is > 0.0 && params.n > 0.0) {
             return Err(CircuitError::InvalidParameter {
                 device: name.to_string(),
-                context: format!("Is and n must be positive, got Is={} n={}", params.is, params.n),
+                context: format!(
+                    "Is and n must be positive, got Is={} n={}",
+                    params.is, params.n
+                ),
             });
         }
         self.register_name(name)?;
@@ -388,7 +404,15 @@ impl CircuitBuilder {
                 dev.assign_branches(&branches);
                 for k in 0..nb {
                     kinds.push(UnknownKind::BranchCurrent);
-                    names.push(format!("i({}){}", dev.name(), if nb > 1 { format!("#{k}") } else { String::new() }));
+                    names.push(format!(
+                        "i({}){}",
+                        dev.name(),
+                        if nb > 1 {
+                            format!("#{k}")
+                        } else {
+                            String::new()
+                        }
+                    ));
                 }
                 next += nb;
             }
@@ -433,7 +457,16 @@ mod tests {
         assert!(b.capacitor("C1", n, GROUND, -1e-12).is_err());
         assert!(b.inductor("L1", n, GROUND, 0.0).is_err());
         assert!(b
-            .mosfet("M1", n, n, GROUND, MosfetParams { kp: -1.0, ..Default::default() })
+            .mosfet(
+                "M1",
+                n,
+                n,
+                GROUND,
+                MosfetParams {
+                    kp: -1.0,
+                    ..Default::default()
+                }
+            )
             .is_err());
     }
 

@@ -244,7 +244,8 @@ mod tests {
     fn bivariate_rejected_for_plain_sine() {
         let mut b = CircuitBuilder::new();
         let n = b.node("a");
-        b.vsource("V1", n, GROUND, Waveform::sine(1.0, 1e6)).expect("v");
+        b.vsource("V1", n, GROUND, Waveform::sine(1.0, 1e6))
+            .expect("v");
         b.resistor("R1", n, GROUND, 1e3).expect("r");
         let ckt = b.build().expect("build");
         assert!(!ckt.supports_bivariate());
@@ -254,13 +255,8 @@ mod tests {
     fn bivariate_supported_with_bi_sources() {
         let mut b = CircuitBuilder::new();
         let n = b.node("a");
-        b.vsource(
-            "V1",
-            n,
-            GROUND,
-            BiWaveform::Axis1(Waveform::sine(1.0, 1e6)),
-        )
-        .expect("v");
+        b.vsource("V1", n, GROUND, BiWaveform::Axis1(Waveform::sine(1.0, 1e6)))
+            .expect("v");
         b.resistor("R1", n, GROUND, 1e3).expect("r");
         let ckt = b.build().expect("build");
         assert!(ckt.supports_bivariate());

@@ -9,7 +9,9 @@
 use rfsim_numerics::sparse::Triplets;
 
 use crate::circuit::{Circuit, UnknownKind};
-use crate::newton::{newton_solve, NewtonOptions, NewtonStats, NewtonSystem};
+use crate::newton::{
+    newton_solve_with_workspace, LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem,
+};
 use crate::{CircuitError, Result};
 
 /// Options for [`dc_operating_point`].
@@ -113,6 +115,10 @@ pub fn dc_operating_point(circuit: &Circuit, options: DcOptions) -> Result<DcRes
     circuit.eval_b(0.0, &mut b);
     let kinds = circuit.unknown_kinds().to_vec();
     let x0 = vec![0.0; n];
+    // The DC system's Jacobian pattern is identical across every rung of
+    // the ladder (gmin and λ scale values, never structure), so one
+    // workspace carries the symbolic factorisation through all of them.
+    let mut workspace = LinearSolverWorkspace::new();
 
     // Rung 1: plain Newton with the residual gmin.
     let sys = DcSystem {
@@ -121,7 +127,9 @@ pub fn dc_operating_point(circuit: &Circuit, options: DcOptions) -> Result<DcRes
         gmin: options.gmin_final,
         lambda: 1.0,
     };
-    if let Ok((solution, stats)) = newton_solve(&sys, &x0, &kinds, options.newton) {
+    if let Ok((solution, stats)) =
+        newton_solve_with_workspace(&sys, &x0, &kinds, options.newton, &mut workspace)
+    {
         return Ok(DcResult {
             solution,
             stats,
@@ -130,12 +138,12 @@ pub fn dc_operating_point(circuit: &Circuit, options: DcOptions) -> Result<DcRes
     }
 
     // Rung 2: gmin stepping.
-    if let Some(result) = gmin_stepping(circuit, &b, &kinds, &options) {
+    if let Some(result) = gmin_stepping(circuit, &b, &kinds, &options, &mut workspace) {
         return Ok(result);
     }
 
     // Rung 3: source stepping.
-    if let Some(result) = source_stepping(circuit, &b, &kinds, &options) {
+    if let Some(result) = source_stepping(circuit, &b, &kinds, &options, &mut workspace) {
         return Ok(result);
     }
 
@@ -151,6 +159,7 @@ fn gmin_stepping(
     b: &[f64],
     kinds: &[UnknownKind],
     options: &DcOptions,
+    workspace: &mut LinearSolverWorkspace,
 ) -> Option<DcResult> {
     let mut x = vec![0.0; circuit.num_unknowns()];
     let mut gmin = options.gmin_start;
@@ -162,7 +171,7 @@ fn gmin_stepping(
             gmin,
             lambda: 1.0,
         };
-        match newton_solve(&sys, &x, kinds, options.newton) {
+        match newton_solve_with_workspace(&sys, &x, kinds, options.newton, workspace) {
             Ok((sol, _)) => x = sol,
             Err(_) => return None,
         }
@@ -178,7 +187,8 @@ fn gmin_stepping(
         gmin: options.gmin_final,
         lambda: 1.0,
     };
-    let (solution, stats) = newton_solve(&sys, &x, kinds, options.newton).ok()?;
+    let (solution, stats) =
+        newton_solve_with_workspace(&sys, &x, kinds, options.newton, workspace).ok()?;
     Some(DcResult {
         solution,
         stats,
@@ -191,6 +201,7 @@ fn source_stepping(
     b: &[f64],
     kinds: &[UnknownKind],
     options: &DcOptions,
+    workspace: &mut LinearSolverWorkspace,
 ) -> Option<DcResult> {
     let mut x = vec![0.0; circuit.num_unknowns()];
     let mut lambda: f64 = 0.0;
@@ -208,7 +219,7 @@ fn source_stepping(
             gmin: options.gmin_final,
             lambda: target,
         };
-        match newton_solve(&sys, &x, kinds, options.newton) {
+        match newton_solve_with_workspace(&sys, &x, kinds, options.newton, workspace) {
             Ok((sol, stats)) => {
                 x = sol;
                 lambda = target;
@@ -263,7 +274,8 @@ mod tests {
         let anode = b.node("a");
         b.vsource("V1", inp, GROUND, Waveform::Dc(5.0)).expect("v");
         b.resistor("R1", inp, anode, 1e3).expect("r");
-        b.diode("D1", anode, GROUND, DiodeParams::default()).expect("d");
+        b.diode("D1", anode, GROUND, DiodeParams::default())
+            .expect("d");
         let ckt = b.build().expect("build");
         let op = dc_operating_point(&ckt, DcOptions::default()).expect("dc");
         let vd = op.solution[1];
@@ -282,14 +294,18 @@ mod tests {
         let vdd = b.node("vdd");
         let gate = b.node("g");
         let drain = b.node("d");
-        b.vsource("VDD", vdd, GROUND, Waveform::Dc(3.0)).expect("vdd");
-        b.vsource("VG", gate, GROUND, Waveform::Dc(1.2)).expect("vg");
+        b.vsource("VDD", vdd, GROUND, Waveform::Dc(3.0))
+            .expect("vdd");
+        b.vsource("VG", gate, GROUND, Waveform::Dc(1.2))
+            .expect("vg");
         b.resistor("RD", vdd, drain, 5e3).expect("rd");
         b.mosfet("M1", drain, gate, GROUND, MosfetParams::default())
             .expect("m");
         let ckt = b.build().expect("build");
         let op = dc_operating_point(&ckt, DcOptions::default()).expect("dc");
-        let vd = op.solution[ckt.unknown_index_of_node(ckt.node_by_name("d").expect("d")).expect("idx")];
+        let vd = op.solution[ckt
+            .unknown_index_of_node(ckt.node_by_name("d").expect("d"))
+            .expect("idx")];
         // With KP=100µ, W/L=20, vgt=0.7: Isat ≈ ½·2m·0.49 ≈ 0.49 mA → drop ≈ 2.45 V.
         assert!(vd > 0.2 && vd < 1.2, "drain should sit low-ish, got {vd}");
     }
@@ -319,7 +335,8 @@ mod tests {
         b.vsource("V1", inp, GROUND, Waveform::Dc(30.0)).expect("v");
         b.resistor("R1", inp, m1, 10.0).expect("r");
         b.diode("D1", m1, m2, DiodeParams::default()).expect("d1");
-        b.diode("D2", m2, GROUND, DiodeParams::default()).expect("d2");
+        b.diode("D2", m2, GROUND, DiodeParams::default())
+            .expect("d2");
         let ckt = b.build().expect("build");
         let op = dc_operating_point(&ckt, DcOptions::default()).expect("dc");
         let v1 = op.solution[1] - op.solution[2];

@@ -233,8 +233,10 @@ mod tests {
 
     #[test]
     fn pnp_mirrors_npn() {
-        let mut p = BjtParams::default();
-        p.polarity = BjtPolarity::Pnp;
+        let p = BjtParams {
+            polarity: BjtPolarity::Pnp,
+            ..Default::default()
+        };
         let pnp = Bjt::new(
             "Q2".into(),
             Unknown::Index(0),

@@ -116,7 +116,8 @@ impl Device for Vcvs {
         ctx.add_jacobian(self.p, self.branch, 1.0);
         ctx.add_jacobian(self.n, self.branch, -1.0);
         // Branch: v_p − v_n − gain·(v_cp − v_cn) = 0.
-        let v = StampContext::value(x, self.p) - StampContext::value(x, self.n)
+        let v = StampContext::value(x, self.p)
+            - StampContext::value(x, self.n)
             - self.gain * (StampContext::value(x, self.cp) - StampContext::value(x, self.cn));
         ctx.add_residual(self.branch, v);
         ctx.add_jacobian(self.branch, self.p, 1.0);
@@ -163,6 +164,9 @@ mod tests {
         let mut f = vec![0.0; 3];
         e.stamp_resistive(&x, &mut StampContext::new(&mut f, None));
         assert!(f[2].abs() < 1e-15);
-        assert!((f[0] - 0.01).abs() < 1e-15, "output KCL carries branch current");
+        assert!(
+            (f[0] - 0.01).abs() < 1e-15,
+            "output KCL carries branch current"
+        );
     }
 }

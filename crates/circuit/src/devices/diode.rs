@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn forward_bias_conducts() {
         let (i, _) = diode().current(0.7);
-        assert!(i > 1e-4, "0.7 V silicon diode should carry real current: {i}");
+        assert!(
+            i > 1e-4,
+            "0.7 V silicon diode should carry real current: {i}"
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub use capacitor::Capacitor;
 pub use controlled::{Vccs, Vcvs};
 pub use diode::{Diode, DiodeParams};
 pub use inductor::Inductor;
-pub use mosfet::{Mosfet, MosfetParams, MosPolarity};
+pub use mosfet::{MosPolarity, Mosfet, MosfetParams};
 pub use multiplier::Multiplier;
 pub use resistor::Resistor;
 pub use sources::{Isource, Vsource};
@@ -127,7 +127,10 @@ mod tests {
         let (v1, d1) = soft_exp(6.0, cap);
         let (v2, _) = soft_exp(7.0, cap);
         assert!((d1 - cap.exp()).abs() < 1e-12);
-        assert!(((v2 - v1) - cap.exp()).abs() < 1e-9, "slope constant above cap");
+        assert!(
+            ((v2 - v1) - cap.exp()).abs() < 1e-9,
+            "slope constant above cap"
+        );
         assert!(v2.is_finite());
     }
 

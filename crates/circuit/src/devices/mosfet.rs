@@ -255,8 +255,10 @@ mod tests {
 
     #[test]
     fn pmos_mirrors_nmos() {
-        let mut p = MosfetParams::default();
-        p.polarity = MosPolarity::Pmos;
+        let p = MosfetParams {
+            polarity: MosPolarity::Pmos,
+            ..Default::default()
+        };
         let pm = Mosfet::new(
             "M2".into(),
             Unknown::Index(0),
@@ -267,7 +269,10 @@ mod tests {
         let nm = nmos();
         let (idn, _, _) = nm.channel_current(1.0, 1.2, 0.0);
         let (idp, _, _) = pm.channel_current(-1.0, -1.2, 0.0);
-        assert!((idn + idp).abs() < 1e-15, "PMOS mirrors NMOS: {idn} vs {idp}");
+        assert!(
+            (idn + idp).abs() < 1e-15,
+            "PMOS mirrors NMOS: {idn} vs {idp}"
+        );
     }
 
     #[test]

@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn numerics_error_wraps() {
-        let inner = rfsim_numerics::NumericsError::SingularMatrix { index: 0, pivot: 0.0 };
+        let inner = rfsim_numerics::NumericsError::SingularMatrix {
+            index: 0,
+            pivot: 0.0,
+        };
         let e: CircuitError = inner.into();
         assert!(e.to_string().contains("singular"));
         use std::error::Error;

@@ -4,9 +4,23 @@
 //! the same options/statistics types) the steady-state engines. Convergence
 //! follows SPICE practice: the update must satisfy a mixed
 //! relative/absolute tolerance per unknown *kind* (voltage vs current).
+//!
+//! # Linear-solver state reuse
+//!
+//! The Jacobian sparsity pattern of a circuit is fixed for its lifetime, so
+//! all per-structure work — triplet compression order, RCM ordering, the
+//! Gilbert–Peierls symbolic reach, the pivot order — is computed once and
+//! cached in a [`LinearSolverWorkspace`]. Every subsequent Newton iteration
+//! assembles in place through the cached slot maps and runs a numeric-only
+//! [`SparseLu::refactor_in_place`]. Callers that solve many same-structure
+//! systems in sequence (transient timesteps, gmin/source stepping,
+//! MPDE continuation, shooting, parameter sweeps) should create one
+//! workspace and pass it to [`newton_solve_with_workspace`] so the cache
+//! also persists *across* Newton solves; [`newton_solve`] is the
+//! convenience wrapper that scopes the workspace to a single solve.
 
 use rfsim_numerics::krylov::{gmres, BlockJacobiPrecond, GmresOptions, Ilu0};
-use rfsim_numerics::sparse::Triplets;
+use rfsim_numerics::sparse::{CscAssembly, CscMatrix, CsrAssembly, CsrMatrix, Triplets};
 use rfsim_numerics::sparse_lu::{LuOptions, SparseLu};
 use rfsim_numerics::vector::{norm2, wrms_ratio};
 
@@ -14,9 +28,10 @@ use crate::circuit::UnknownKind;
 use crate::{CircuitError, Result};
 
 /// How each Newton linear system `J·dx = −F` is solved.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LinearSolver {
     /// Sparse direct LU (Gilbert–Peierls with RCM ordering). The default.
+    #[default]
     Direct,
     /// Restarted GMRES preconditioned with ILU(0); falls back to the direct
     /// solver if the preconditioner or iteration breaks down. This is the
@@ -49,12 +64,6 @@ pub enum LinearSolver {
     },
 }
 
-impl Default for LinearSolver {
-    fn default() -> Self {
-        LinearSolver::Direct
-    }
-}
-
 impl LinearSolver {
     /// A reasonable GMRES+ILU(0) configuration.
     pub fn gmres_default() -> Self {
@@ -65,36 +74,39 @@ impl LinearSolver {
         }
     }
 
-    fn solve(&self, jac: &Triplets, rhs: &[f64]) -> Result<Vec<f64>> {
+    fn solve_with(
+        &self,
+        ws: &mut LinearSolverWorkspace,
+        jac: &Triplets,
+        rhs: &[f64],
+    ) -> Result<Vec<f64>> {
         match self {
-            LinearSolver::Direct => {
-                let lu = SparseLu::factor(&jac.to_csc(), LuOptions::default())?;
-                Ok(lu.solve(rhs))
-            }
+            LinearSolver::Direct => ws.solve_direct(jac, rhs),
             LinearSolver::GmresIlu0 {
                 rtol,
                 restart,
                 max_iters,
             } => {
-                let csr = jac.to_csr();
-                let x0 = vec![0.0; rhs.len()];
                 let opts = GmresOptions {
                     rtol: *rtol,
                     restart: *restart,
                     max_iters: *max_iters,
                     ..Default::default()
                 };
-                match Ilu0::new(&csr) {
-                    Ok(ilu) => match gmres(&csr, &ilu, rhs, &x0, opts) {
-                        Ok((x, _)) => Ok(x),
-                        Err(_) => {
-                            let lu = SparseLu::factor(&jac.to_csc(), LuOptions::default())?;
-                            Ok(lu.solve(rhs))
-                        }
-                    },
-                    Err(_) => {
-                        let lu = SparseLu::factor(&jac.to_csc(), LuOptions::default())?;
-                        Ok(lu.solve(rhs))
+                let csr = ws.assemble_csr(jac);
+                let x0 = vec![0.0; rhs.len()];
+                let solved = match Ilu0::new(csr) {
+                    Ok(ilu) => gmres(csr, &ilu, rhs, &x0, opts).ok(),
+                    Err(_) => None,
+                };
+                match solved {
+                    Some((x, _)) => {
+                        ws.stats.iterative_solves += 1;
+                        Ok(x)
+                    }
+                    None => {
+                        ws.stats.direct_fallbacks += 1;
+                        ws.solve_direct(jac, rhs)
                     }
                 }
             }
@@ -104,29 +116,136 @@ impl LinearSolver {
                 restart,
                 max_iters,
             } => {
-                let csr = jac.to_csr();
-                let x0 = vec![0.0; rhs.len()];
                 let opts = GmresOptions {
                     rtol: *rtol,
                     restart: *restart,
                     max_iters: *max_iters,
                     ..Default::default()
                 };
-                match BlockJacobiPrecond::new(&csr, *block_size) {
-                    Ok(pre) => match gmres(&csr, &pre, rhs, &x0, opts) {
-                        Ok((x, _)) => Ok(x),
-                        Err(_) => {
-                            let lu = SparseLu::factor(&jac.to_csc(), LuOptions::default())?;
-                            Ok(lu.solve(rhs))
-                        }
-                    },
-                    Err(_) => {
-                        let lu = SparseLu::factor(&jac.to_csc(), LuOptions::default())?;
-                        Ok(lu.solve(rhs))
+                let csr = ws.assemble_csr(jac);
+                let x0 = vec![0.0; rhs.len()];
+                let solved = match BlockJacobiPrecond::new(csr, *block_size) {
+                    Ok(pre) => gmres(csr, &pre, rhs, &x0, opts).ok(),
+                    Err(_) => None,
+                };
+                match solved {
+                    Some((x, _)) => {
+                        ws.stats.iterative_solves += 1;
+                        Ok(x)
+                    }
+                    None => {
+                        ws.stats.direct_fallbacks += 1;
+                        ws.solve_direct(jac, rhs)
                     }
                 }
             }
         }
+    }
+}
+
+/// Counters describing how much structural work a
+/// [`LinearSolverWorkspace`] avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Full factorisations (ordering + symbolic reach + pivot search).
+    pub full_factorizations: usize,
+    /// Numeric-only refactorisations through the cached symbolic structure.
+    pub refactorizations: usize,
+    /// Times the assembly slot maps had to be (re)built because the stamp
+    /// sequence changed (once per structure in the steady state).
+    pub pattern_rebuilds: usize,
+    /// Chord (modified-Newton) solves reusing the last factors outright.
+    pub cached_solves: usize,
+    /// Successful preconditioned-Krylov solves.
+    pub iterative_solves: usize,
+    /// Krylov breakdowns recovered by the shared direct path.
+    pub direct_fallbacks: usize,
+}
+
+/// Reusable linear-solver state for Newton iterations over a fixed-pattern
+/// Jacobian.
+///
+/// Owns the cached triplet→CSC/CSR slot maps, the in-place-assembled
+/// matrices, and the sparse LU factors whose symbolic structure is reused
+/// by numeric-only refactorisation. Safe for *any* sequence of systems: a
+/// structural change is detected (the slot map verifies every stamp
+/// position, the factor stores and compares the exact pattern) and
+/// answered by a
+/// transparent rebuild rather than a wrong solve.
+#[derive(Debug, Default)]
+pub struct LinearSolverWorkspace {
+    csc_assembly: Option<CscAssembly>,
+    csc: Option<CscMatrix>,
+    lu: Option<SparseLu>,
+    csr_assembly: Option<CsrAssembly>,
+    csr: Option<CsrMatrix>,
+    /// Reuse counters (diagnostics; cheap to read, never reset internally).
+    pub stats: WorkspaceStats,
+}
+
+impl LinearSolverWorkspace {
+    /// Creates an empty workspace; caches fill in on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assembles `jac` into the cached CSC matrix through the slot map,
+    /// rebuilding both on structural change.
+    fn assemble_csc(&mut self, jac: &Triplets) -> &CscMatrix {
+        if CscAssembly::assemble_cached(&mut self.csc_assembly, &mut self.csc, jac) {
+            self.stats.pattern_rebuilds += 1;
+            // The factor's symbolic structure describes the old pattern.
+            self.lu = None;
+        }
+        self.csc.as_ref().expect("assembled above")
+    }
+
+    /// Assembles `jac` into the cached CSR matrix (Krylov path: matvecs and
+    /// preconditioner construction), rebuilding on structural change.
+    fn assemble_csr(&mut self, jac: &Triplets) -> &CsrMatrix {
+        if CsrAssembly::assemble_cached(&mut self.csr_assembly, &mut self.csr, jac) {
+            self.stats.pattern_rebuilds += 1;
+        }
+        self.csr.as_ref().expect("assembled above")
+    }
+
+    /// The shared direct-LU path: in-place assembly, numeric-only
+    /// refactorisation when the cached symbolic structure still applies,
+    /// full factorisation otherwise. Used by [`LinearSolver::Direct`] and
+    /// as the fallback of both Krylov configurations.
+    fn solve_direct(&mut self, jac: &Triplets, rhs: &[f64]) -> Result<Vec<f64>> {
+        self.assemble_csc(jac);
+        let csc = self.csc.as_ref().expect("assembled above");
+        match &mut self.lu {
+            Some(lu) => {
+                if lu.refactor_in_place(csc).is_ok() {
+                    self.stats.refactorizations += 1;
+                } else {
+                    // Vanished pivot (or stale structure): fall back to a
+                    // full factorisation, free to repivot.
+                    *lu = SparseLu::factor(csc, LuOptions::default())?;
+                    self.stats.full_factorizations += 1;
+                }
+            }
+            None => {
+                self.lu = Some(SparseLu::factor(csc, LuOptions::default())?);
+                self.stats.full_factorizations += 1;
+            }
+        }
+        Ok(self.lu.as_ref().expect("factored above").solve(rhs))
+    }
+
+    /// Solves against the *last* factorisation without refactoring
+    /// (chord/modified-Newton steps). `None` if nothing is factored yet.
+    fn solve_cached(&mut self, rhs: &[f64]) -> Option<Vec<f64>> {
+        let lu = self.lu.as_ref()?;
+        self.stats.cached_solves += 1;
+        Some(lu.solve(rhs))
+    }
+
+    /// Whether a direct factorisation is available for chord reuse.
+    pub fn has_factors(&self) -> bool {
+        self.lu.is_some()
     }
 }
 
@@ -221,6 +340,29 @@ pub fn newton_solve<S: NewtonSystem>(
     kinds: &[UnknownKind],
     options: NewtonOptions,
 ) -> Result<(Vec<f64>, NewtonStats)> {
+    let mut workspace = LinearSolverWorkspace::new();
+    newton_solve_with_workspace(system, x0, kinds, options, &mut workspace)
+}
+
+/// [`newton_solve`] with caller-owned linear-solver state.
+///
+/// Passing the same [`LinearSolverWorkspace`] to a sequence of solves over
+/// the same circuit structure (transient timesteps, gmin/source-stepping
+/// rungs, continuation steps, shooting sweeps) reuses the assembly slot
+/// maps and the symbolic LU across *all* of them: after the very first
+/// iteration of the first solve, every direct linear solve is a numeric
+/// refactorisation.
+///
+/// # Errors
+///
+/// Same contract as [`newton_solve`].
+pub fn newton_solve_with_workspace<S: NewtonSystem>(
+    system: &S,
+    x0: &[f64],
+    kinds: &[UnknownKind],
+    options: NewtonOptions,
+    workspace: &mut LinearSolverWorkspace,
+) -> Result<(Vec<f64>, NewtonStats)> {
     let n = system.dim();
     let mut x = x0.to_vec();
     let mut residual = vec![0.0; n];
@@ -231,22 +373,20 @@ pub fn newton_solve<S: NewtonSystem>(
     let mut stagnant = 0usize;
     let mut prev_norm = f64::INFINITY;
 
-    // Chord (modified-Newton) state: cached factors of the last fresh
-    // Jacobian, and how many more iterations may reuse them.
+    // Chord (modified-Newton) state: how many more iterations may reuse
+    // the workspace's last factorisation outright.
     let chord_enabled = options.jacobian_reuse > 0 && options.linear == LinearSolver::Direct;
-    let mut cached_lu: Option<SparseLu> = None;
     let mut chord_left = 0usize;
 
     system.residual(&x, &mut residual);
     let mut res_norm = norm2(&residual);
 
     for iter in 1..=options.max_iters {
-        let fresh = !(chord_enabled && chord_left > 0 && cached_lu.is_some());
+        let fresh = !(chord_enabled && chord_left > 0 && workspace.has_factors());
         if fresh {
             jac.clear();
             system.residual_and_jacobian(&x, &mut residual, &mut jac);
             if chord_enabled {
-                cached_lu = Some(SparseLu::factor(&jac.to_csc(), LuOptions::default())?);
                 chord_left = options.jacobian_reuse;
             }
         } else {
@@ -257,10 +397,12 @@ pub fn newton_solve<S: NewtonSystem>(
 
         // Newton step: J·dx = −F.
         let neg_f: Vec<f64> = residual.iter().map(|v| -v).collect();
-        let mut dx = if chord_enabled {
-            cached_lu.as_ref().expect("factored above").solve(&neg_f)
+        let mut dx = if fresh {
+            options.linear.solve_with(workspace, &jac, &neg_f)?
         } else {
-            options.linear.solve(&jac, &neg_f)?
+            workspace
+                .solve_cached(&neg_f)
+                .expect("chord step requires existing factors")
         };
         // Voltage-update limiting (junction limiting): clamp per component
         // so one over-eager exponential cannot poison the whole step.
@@ -291,7 +433,7 @@ pub fn newton_solve<S: NewtonSystem>(
                     accepted = true;
                     break;
                 }
-                if best.map_or(true, |(_, bn)| trial_norm < bn) {
+                if best.is_none_or(|(_, bn)| trial_norm < bn) {
                     best = Some((alpha, trial_norm));
                 }
             }
@@ -533,6 +675,84 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuses_symbolic_across_solves() {
+        let mut ws = LinearSolverWorkspace::new();
+        let (x1, _) = newton_solve_with_workspace(
+            &Coupled,
+            &[2.5, 0.1],
+            &[],
+            NewtonOptions::default(),
+            &mut ws,
+        )
+        .expect("first solve");
+        // One structural setup, then numeric-only refactorisations.
+        assert_eq!(ws.stats.full_factorizations, 1);
+        assert_eq!(ws.stats.pattern_rebuilds, 1);
+        assert!(ws.stats.refactorizations >= 1);
+        let refactors_after_first = ws.stats.refactorizations;
+        let (x2, _) = newton_solve_with_workspace(
+            &Coupled,
+            &[2.0, 0.5],
+            &[],
+            NewtonOptions::default(),
+            &mut ws,
+        )
+        .expect("second solve");
+        assert_eq!(
+            ws.stats.full_factorizations, 1,
+            "second solve must not redo symbolic work"
+        );
+        assert_eq!(ws.stats.pattern_rebuilds, 1);
+        assert!(ws.stats.refactorizations > refactors_after_first);
+        // Both solves land on a root.
+        for x in [&x1, &x2] {
+            let ok = (x[0] - 1.0).abs() < 1e-3 && (x[1] - 2.0).abs() < 1e-3
+                || (x[0] - 2.0).abs() < 1e-3 && (x[1] - 1.0).abs() < 1e-3;
+            assert!(ok, "got {x:?}");
+        }
+    }
+
+    #[test]
+    fn workspace_chord_counts_cached_solves() {
+        let mut ws = LinearSolverWorkspace::new();
+        let opts = NewtonOptions {
+            jacobian_reuse: 3,
+            ..Default::default()
+        };
+        let (x, _) = newton_solve_with_workspace(&Coupled, &[2.5, 0.1], &[], opts, &mut ws)
+            .expect("chord newton");
+        let ok = (x[0] - 1.0).abs() < 1e-3 && (x[1] - 2.0).abs() < 1e-3
+            || (x[0] - 2.0).abs() < 1e-3 && (x[1] - 1.0).abs() < 1e-3;
+        assert!(ok, "got {x:?}");
+        assert!(
+            ws.stats.cached_solves >= 1,
+            "chord steps should reuse factors: {:?}",
+            ws.stats
+        );
+    }
+
+    #[test]
+    fn workspace_survives_structural_change() {
+        // Solving a different system with the same workspace must rebuild
+        // the caches transparently and still converge.
+        let mut ws = LinearSolverWorkspace::new();
+        newton_solve_with_workspace(
+            &Coupled,
+            &[2.5, 0.1],
+            &[],
+            NewtonOptions::default(),
+            &mut ws,
+        )
+        .expect("coupled");
+        let (x, _) =
+            newton_solve_with_workspace(&Quadratic, &[3.0], &[], NewtonOptions::default(), &mut ws)
+                .expect("quadratic after coupled");
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert_eq!(ws.stats.pattern_rebuilds, 2);
+        assert_eq!(ws.stats.full_factorizations, 2);
+    }
+
+    #[test]
     fn kinds_affect_tolerances() {
         let kinds = [UnknownKind::BranchCurrent];
         let opts = NewtonOptions::default();
@@ -540,8 +760,7 @@ mod tests {
         // (abstol_i = 1 nA), though it would be for a voltage unknown.
         let ratio_i = weighted_update_ratio(&[1e-6], &[0.0], &kinds, &opts);
         assert!(ratio_i > 1.0);
-        let ratio_v =
-            weighted_update_ratio(&[1e-6], &[0.0], &[UnknownKind::NodeVoltage], &opts);
+        let ratio_v = weighted_update_ratio(&[1e-6], &[0.0], &[UnknownKind::NodeVoltage], &opts);
         assert!(ratio_v <= 1.0);
     }
 }

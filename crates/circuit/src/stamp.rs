@@ -63,7 +63,8 @@ impl<'a> StampContext<'a> {
     /// Adds `value` to the Jacobian entry `(eq, wrt)`.
     #[inline]
     pub fn add_jacobian(&mut self, eq: Unknown, wrt: Unknown, value: f64) {
-        if let (Some(j), Unknown::Index(r), Unknown::Index(c)) = (self.jacobian.as_deref_mut(), eq, wrt)
+        if let (Some(j), Unknown::Index(r), Unknown::Index(c)) =
+            (self.jacobian.as_deref_mut(), eq, wrt)
         {
             j.push(r, c, value);
         }

@@ -11,7 +11,9 @@ use rfsim_numerics::sparse::Triplets;
 
 use crate::circuit::Circuit;
 use crate::dcop::{dc_operating_point, DcOptions};
-use crate::newton::{newton_solve, NewtonOptions, NewtonSystem};
+use crate::newton::{
+    newton_solve_with_workspace, LinearSolverWorkspace, NewtonOptions, NewtonSystem,
+};
 use crate::{CircuitError, Result};
 
 /// Implicit integration scheme.
@@ -186,7 +188,13 @@ impl NewtonSystem for StepSystem<'_> {
 /// Propagates DC and Newton failures; fails if the controller cannot make
 /// progress at `dt_min`.
 pub fn transient(circuit: &Circuit, options: TransientOptions) -> Result<TransientResult> {
-    let op = dc_operating_point(circuit, DcOptions { newton: options.newton, ..Default::default() })?;
+    let op = dc_operating_point(
+        circuit,
+        DcOptions {
+            newton: options.newton,
+            ..Default::default()
+        },
+    )?;
     transient_from(circuit, op.solution, options)
 }
 
@@ -228,6 +236,10 @@ pub fn transient_from(
     let mut x = initial_state;
     let mut t = 0.0;
     let mut dt = options.dt_init.min(dt_max);
+    // One linear-solver workspace for the whole run: the step system's
+    // Jacobian pattern is fixed, so after the first step every timestep's
+    // Newton iterations are in-place assemblies + numeric refactorisations.
+    let mut workspace = LinearSolverWorkspace::new();
 
     // History state for the integrators.
     let mut q_prev = vec![0.0; n];
@@ -304,12 +316,16 @@ pub fn transient_from(
         let prediction: Vec<f64> = match &x_prev {
             Some((xp, dtp)) => {
                 let r = dt / dtp;
-                x.iter().zip(xp).map(|(xc, xo)| xc + (xc - xo) * r).collect()
+                x.iter()
+                    .zip(xp)
+                    .map(|(xc, xo)| xc + (xc - xo) * r)
+                    .collect()
             }
             None => x.clone(),
         };
 
-        match newton_solve(&sys, &prediction, &kinds, options.newton) {
+        match newton_solve_with_workspace(&sys, &prediction, &kinds, options.newton, &mut workspace)
+        {
             Ok((x_new, stats)) => {
                 result.newton_iterations += stats.iterations;
                 // LTE estimate: deviation from the predictor in weighted units.
@@ -380,7 +396,9 @@ mod tests {
         b.resistor("R1", inp, out, r).expect("r");
         b.capacitor("C1", out, GROUND, c).expect("c");
         let ckt = b.build().expect("build");
-        let out_idx = ckt.unknown_index_of_node(ckt.node_by_name("out").expect("out")).expect("idx");
+        let out_idx = ckt
+            .unknown_index_of_node(ckt.node_by_name("out").expect("out"))
+            .expect("idx");
         (ckt, out_idx)
     }
 
@@ -505,7 +523,11 @@ mod tests {
                 crossings.push(res.times[k - 1] + frac * (res.times[k] - res.times[k - 1]));
             }
         }
-        assert!(crossings.len() >= 2, "need 2 crossings, got {}", crossings.len());
+        assert!(
+            crossings.len() >= 2,
+            "need 2 crossings, got {}",
+            crossings.len()
+        );
         let period = crossings[1] - crossings[0];
         let f_meas = 1.0 / period;
         assert!(

@@ -123,7 +123,11 @@ impl Waveform {
                 } else if tau < rise + width {
                     *v2
                 } else if tau < rise + width + fall {
-                    let frac = if *fall > 0.0 { (tau - rise - width) / fall } else { 1.0 };
+                    let frac = if *fall > 0.0 {
+                        (tau - rise - width) / fall
+                    } else {
+                        1.0
+                    };
                     v2 + (v1 - v2) * frac
                 } else {
                     *v1
@@ -219,7 +223,11 @@ impl Envelope {
                 }
                 // Raised-cosine blend from the previous bit at slot start...
                 if frac < ef {
-                    let prev = if pattern[(slot + nb - 1) % nb] { 1.0 } else { -1.0 };
+                    let prev = if pattern[(slot + nb - 1) % nb] {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     let s = 0.5 * (1.0 - (PI * frac / ef).cos());
                     return prev + (cur - prev) * s;
                 }
@@ -435,7 +443,10 @@ mod tests {
         let e = Envelope::bits(vec![true, false], 0.2);
         // Halfway through the transition into bit 1 (u=0.5..0.5+0.1):
         let mid = e.eval(0.5 + 0.05);
-        assert!(mid.abs() < 1e-12, "raised cosine midpoint should be 0, got {mid}");
+        assert!(
+            mid.abs() < 1e-12,
+            "raised cosine midpoint should be 0, got {mid}"
+        );
     }
 
     #[test]

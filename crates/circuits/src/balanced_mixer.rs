@@ -78,10 +78,7 @@ impl Default for BalancedMixerParams {
             csb: 8e-15,
             ..Default::default()
         };
-        let lower = MosfetParams {
-            w: 60e-6,
-            ..upper
-        };
+        let lower = MosfetParams { w: 60e-6, ..upper };
         BalancedMixerParams {
             f_lo: 450e6,
             fd: 15e3,

@@ -14,11 +14,7 @@ use rfsim_circuit::{
 /// # Errors
 ///
 /// Propagates builder validation failures.
-pub fn rc_lowpass(
-    r: f64,
-    c: f64,
-    source: impl Into<SourceSpec>,
-) -> Result<(Circuit, usize)> {
+pub fn rc_lowpass(r: f64, c: f64, source: impl Into<SourceSpec>) -> Result<(Circuit, usize)> {
     let mut b = CircuitBuilder::new();
     let inp = b.node("in");
     let out = b.node("out");
@@ -119,7 +115,12 @@ pub fn multiplier_mixer(f1: f64, fd: f64, bits: Vec<bool>) -> Result<(Circuit, u
     let lo = b.node("lo");
     let rf = b.node("rf");
     let out = b.node("out");
-    b.vsource("VLO", lo, GROUND, BiWaveform::Axis1(Waveform::cosine(1.0, f1)))?;
+    b.vsource(
+        "VLO",
+        lo,
+        GROUND,
+        BiWaveform::Axis1(Waveform::cosine(1.0, f1)),
+    )?;
     let envelope = if bits.is_empty() {
         Envelope::Unit
     } else {

@@ -7,7 +7,7 @@
 //! replicated DC operating point) to the full bivariate excitation
 //! (`λ = 1`), with adaptive step control and warm-started Newton solves.
 
-use rfsim_circuit::newton::{newton_solve, NewtonOptions};
+use rfsim_circuit::newton::{newton_solve_with_workspace, LinearSolverWorkspace, NewtonOptions};
 use rfsim_circuit::{CircuitError, Result};
 
 use crate::fdtd::MpdeSystem;
@@ -68,6 +68,26 @@ pub fn continuation_solve(
     x0: &[f64],
     options: ContinuationOptions,
 ) -> Result<(Vec<f64>, ContinuationStats)> {
+    let mut workspace = LinearSolverWorkspace::new();
+    continuation_solve_with_workspace(system, x0, options, &mut workspace)
+}
+
+/// [`continuation_solve`] with caller-owned linear-solver state.
+///
+/// λ scales the excitation, never the Jacobian structure, so every Newton
+/// solve along the homotopy shares one symbolic factorisation: pass the
+/// workspace that already served the plain-Newton attempt and the whole
+/// continuation runs on numeric-only refactorisations.
+///
+/// # Errors
+///
+/// See [`continuation_solve`].
+pub fn continuation_solve_with_workspace(
+    system: &mut MpdeSystem<'_>,
+    x0: &[f64],
+    options: ContinuationOptions,
+    workspace: &mut LinearSolverWorkspace,
+) -> Result<(Vec<f64>, ContinuationStats)> {
     let kinds = system.kinds().to_vec();
     let mut stats = ContinuationStats {
         accepted_steps: 0,
@@ -77,7 +97,7 @@ pub fn continuation_solve(
 
     // λ = 0 anchor.
     system.set_lambda(0.0);
-    let (mut x, s0) = newton_solve(system, x0, &kinds, options.newton)?;
+    let (mut x, s0) = newton_solve_with_workspace(system, x0, &kinds, options.newton, workspace)?;
     stats.newton_iterations += s0.iterations;
 
     let mut lambda: f64 = 0.0;
@@ -93,7 +113,7 @@ pub fn continuation_solve(
         }
         let target = (lambda + step).min(1.0);
         system.set_lambda(target);
-        match newton_solve(system, &x, &kinds, options.newton) {
+        match newton_solve_with_workspace(system, &x, &kinds, options.newton, workspace) {
             Ok((x_new, s)) => {
                 stats.newton_iterations += s.iterations;
                 stats.accepted_steps += 1;
@@ -136,7 +156,8 @@ mod tests {
         let vdd = b.node("vdd");
         let gate = b.node("g");
         let drain = b.node("d");
-        b.vsource("VDD", vdd, GROUND, Waveform::Dc(2.0)).expect("vdd");
+        b.vsource("VDD", vdd, GROUND, Waveform::Dc(2.0))
+            .expect("vdd");
         b.vsource(
             "VLO",
             gate,

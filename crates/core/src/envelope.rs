@@ -9,7 +9,9 @@
 //! (dissipative) circuits. The global-Newton solver uses a sweep or two as
 //! a high-quality initial guess.
 
-use rfsim_circuit::newton::{newton_solve, NewtonOptions, NewtonSystem};
+use rfsim_circuit::newton::{
+    newton_solve_with_workspace, LinearSolverWorkspace, NewtonOptions, NewtonSystem,
+};
 use rfsim_circuit::{Circuit, Result, UnknownKind};
 use rfsim_numerics::diff::DiffScheme;
 use rfsim_numerics::sparse::Triplets;
@@ -85,9 +87,8 @@ impl NewtonSystem for RowSystem<'_> {
             }
             self.circuit.eval_f(xi, &mut f, None);
             for u in 0..n {
-                out[src + u] += f[u]
-                    + self.b_row[src + u]
-                    + self.inv_h2 * (q[u] - self.q_prev[src + u]);
+                out[src + u] +=
+                    f[u] + self.b_row[src + u] + self.inv_h2 * (q[u] - self.q_prev[src + u]);
             }
         }
     }
@@ -135,9 +136,8 @@ impl NewtonSystem for RowSystem<'_> {
                 }
             }
             for u in 0..n {
-                out[src + u] += f[u]
-                    + self.b_row[src + u]
-                    + self.inv_h2 * (q[u] - self.q_prev[src + u]);
+                out[src + u] +=
+                    f[u] + self.b_row[src + u] + self.inv_h2 * (q[u] - self.q_prev[src + u]);
             }
         }
     }
@@ -189,7 +189,11 @@ pub fn envelope_follow(
         q_prev: vec![0.0; n1 * n],
         b_row: b_rows[0].clone(),
     };
-    let (mut row, _) = newton_solve(&sys0, &row_guess, &kinds, options.newton)?;
+    // All row systems share one Jacobian structure (inv_h2 only scales
+    // values): one workspace serves the whole sweep.
+    let mut workspace = LinearSolverWorkspace::new();
+    let (mut row, _) =
+        newton_solve_with_workspace(&sys0, &row_guess, &kinds, options.newton, &mut workspace)?;
 
     let mut data = vec![0.0; n1 * n2 * n];
     let mut q_prev = row_charge(circuit, &row, n1);
@@ -207,7 +211,13 @@ pub fn envelope_follow(
                     q_prev: q_prev.clone(),
                     b_row: b_rows[j].clone(),
                 };
-                let (new_row, _) = newton_solve(&sys, &row, &kinds, options.newton)?;
+                let (new_row, _) = newton_solve_with_workspace(
+                    &sys,
+                    &row,
+                    &kinds,
+                    options.newton,
+                    &mut workspace,
+                )?;
                 row = new_row;
                 q_prev = row_charge(circuit, &row, n1);
             }
@@ -235,7 +245,7 @@ fn row_charge(circuit: &Circuit, row: &[f64], n1: usize) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfsim_circuit::{BiWaveform, CircuitBuilder, Envelope, Waveform, GROUND};
+    use rfsim_circuit::{BiWaveform, CircuitBuilder, Envelope, GROUND};
     use std::f64::consts::PI;
 
     #[test]
@@ -282,10 +292,7 @@ mod tests {
         let slice = sol.t2_slice(out_idx, 0);
         for (j, v) in slice.iter().enumerate() {
             let expect = (2.0 * PI * j as f64 / 16.0).cos();
-            assert!(
-                (v - expect).abs() < 0.12,
-                "j={j}: got {v}, expect {expect}"
-            );
+            assert!((v - expect).abs() < 0.12, "j={j}: got {v}, expect {expect}");
         }
     }
 

@@ -222,7 +222,7 @@ impl NewtonSystem for MpdeSystem<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfsim_circuit::{BiWaveform, CircuitBuilder, Envelope, Waveform, GROUND};
+    use rfsim_circuit::{BiWaveform, CircuitBuilder, Envelope, GROUND};
     use rfsim_numerics::vector::norm_inf;
 
     fn rc_sheared(f1: f64, fd: f64) -> Circuit {
@@ -252,10 +252,17 @@ mod tests {
     fn jacobian_matches_finite_difference() {
         let ckt = rc_sheared(1e6, 1e3);
         let grid = MultitimeGrid::new(4, 3, 1e-6, 1e-3);
-        let sys = MpdeSystem::new(&ckt, grid, DiffScheme::BackwardEuler, DiffScheme::BackwardEuler)
-            .expect("system");
+        let sys = MpdeSystem::new(
+            &ckt,
+            grid,
+            DiffScheme::BackwardEuler,
+            DiffScheme::BackwardEuler,
+        )
+        .expect("system");
         let dim = sys.dim();
-        let x0: Vec<f64> = (0..dim).map(|k| ((k * 13 % 7) as f64) * 0.1 - 0.3).collect();
+        let x0: Vec<f64> = (0..dim)
+            .map(|k| ((k * 13 % 7) as f64) * 0.1 - 0.3)
+            .collect();
         let mut f0 = vec![0.0; dim];
         let mut jac = Triplets::new(dim, dim);
         sys.residual_and_jacobian(&x0, &mut f0, &mut jac);
@@ -298,9 +305,13 @@ mod tests {
     fn lambda_zero_removes_ac_excitation() {
         let ckt = rc_sheared(1e6, 1e3);
         let grid = MultitimeGrid::new(4, 4, 1e-6, 1e-3);
-        let mut sys =
-            MpdeSystem::new(&ckt, grid, DiffScheme::BackwardEuler, DiffScheme::BackwardEuler)
-                .expect("system");
+        let mut sys = MpdeSystem::new(
+            &ckt,
+            grid,
+            DiffScheme::BackwardEuler,
+            DiffScheme::BackwardEuler,
+        )
+        .expect("system");
         sys.set_lambda(0.0);
         // With λ=0 the excitation is DC (here: zero) → x = 0 solves exactly.
         let dim = sys.dim();
@@ -314,9 +325,13 @@ mod tests {
     fn gmin_adds_diagonal_on_voltage_rows() {
         let ckt = rc_sheared(1e6, 1e3);
         let grid = MultitimeGrid::new(2, 2, 1e-6, 1e-3);
-        let mut sys =
-            MpdeSystem::new(&ckt, grid, DiffScheme::BackwardEuler, DiffScheme::BackwardEuler)
-                .expect("system");
+        let mut sys = MpdeSystem::new(
+            &ckt,
+            grid,
+            DiffScheme::BackwardEuler,
+            DiffScheme::BackwardEuler,
+        )
+        .expect("system");
         sys.set_gmin(1e-3);
         sys.set_lambda(0.0);
         let dim = sys.dim();

@@ -163,9 +163,7 @@ impl MultitimeSolution {
     pub fn envelope(&self, unknown: usize) -> Vec<f64> {
         let (n1, n2) = self.grid.shape();
         (0..n2)
-            .map(|j| {
-                (0..n1).map(|i| self.value(unknown, i, j)).sum::<f64>() / n1 as f64
-            })
+            .map(|j| (0..n1).map(|i| self.value(unknown, i, j)).sum::<f64>() / n1 as f64)
             .collect()
     }
 
@@ -255,7 +253,10 @@ impl MultitimeSolution {
     /// Panics if shapes differ.
     pub fn rms_difference(&self, other: &MultitimeSolution) -> f64 {
         assert_eq!(self.grid, other.grid, "grids differ");
-        assert_eq!(self.num_unknowns, other.num_unknowns, "unknown counts differ");
+        assert_eq!(
+            self.num_unknowns, other.num_unknowns,
+            "unknown counts differ"
+        );
         let d: Vec<f64> = self
             .data
             .iter()
@@ -378,10 +379,7 @@ mod tests {
         let pts = s.reconstruct_diagonal(0, 0.0, 2e-6, 41);
         for &(t, v) in &pts {
             let expect = (2.0 * PI * t / 1e-6).cos() * (2.0 * PI * t / 1e-3).cos();
-            assert!(
-                (v - expect).abs() < 5e-3,
-                "t={t}: got {v}, expect {expect}"
-            );
+            assert!((v - expect).abs() < 5e-3, "t={t}: got {v}, expect {expect}");
         }
     }
 

@@ -66,10 +66,7 @@ impl ShearMap {
     /// Maps multitime coordinates to the scaled (1-periodic) arguments of
     /// the underlying representation: `(f1·t1, k·f1·t1 − fd·t2)`.
     pub fn scaled_args(&self, t1: f64, t2: f64) -> (f64, f64) {
-        (
-            self.f1 * t1,
-            self.k as f64 * self.f1 * t1 - self.fd * t2,
-        )
+        (self.f1 * t1, self.k as f64 * self.f1 * t1 - self.fd * t2)
     }
 }
 
@@ -186,7 +183,10 @@ mod tests {
         let v0 = m.zhat2(0.0, 0.0);
         let vq = m.zhat2(0.0, td / 2.0);
         assert!((v0 - 1.0).abs() < 1e-12);
-        assert!((vq + 1.0).abs() < 1e-12, "half a difference period flips sign");
+        assert!(
+            (vq + 1.0).abs() < 1e-12,
+            "half a difference period flips sign"
+        );
     }
 
     #[test]
@@ -197,7 +197,9 @@ mod tests {
         let td = m.shear().t2_period();
         // ẑ1 is periodic in t2 with period 1/f2 ≈ 1 ns — sample within it.
         let p2 = 1.0 / m.f2;
-        let samples: Vec<f64> = (0..16).map(|k| m.zhat1(0.0, p2 * k as f64 / 16.0)).collect();
+        let samples: Vec<f64> = (0..16)
+            .map(|k| m.zhat1(0.0, p2 * k as f64 / 16.0))
+            .collect();
         // Full swing over a nanosecond-scale period: fast variation only.
         let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);

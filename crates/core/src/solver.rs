@@ -6,11 +6,13 @@
 //! "good starting guess" can be the replicated DC operating point or a few
 //! envelope-following sweeps.
 
-use rfsim_circuit::newton::{newton_solve, NewtonOptions, NewtonSystem};
+use rfsim_circuit::newton::{
+    newton_solve_with_workspace, LinearSolverWorkspace, NewtonOptions, NewtonSystem,
+};
 use rfsim_circuit::{Circuit, Result};
 use rfsim_numerics::diff::DiffScheme;
 
-use crate::continuation::{continuation_solve, ContinuationOptions};
+use crate::continuation::{continuation_solve_with_workspace, ContinuationOptions};
 use crate::envelope::{envelope_follow, EnvelopeOptions};
 use crate::fdtd::MpdeSystem;
 use crate::grid::{MultitimeGrid, MultitimeSolution};
@@ -123,6 +125,28 @@ pub fn solve_mpde(
     t2_period: f64,
     options: MpdeOptions,
 ) -> Result<MpdeSolution> {
+    let mut workspace = LinearSolverWorkspace::new();
+    solve_mpde_with_workspace(circuit, t1_period, t2_period, options, &mut workspace)
+}
+
+/// [`solve_mpde`] with caller-owned linear-solver state.
+///
+/// The grid Jacobian's structure depends only on the circuit and the grid,
+/// so warm-started parameter sweeps (same circuit, same `n1 × n2`) that
+/// pass one workspace across calls pay for the RCM ordering, symbolic
+/// reach and pivot search exactly once; the workspace is also shared with
+/// the continuation fallback inside each call.
+///
+/// # Errors
+///
+/// See [`solve_mpde`].
+pub fn solve_mpde_with_workspace(
+    circuit: &Circuit,
+    t1_period: f64,
+    t2_period: f64,
+    options: MpdeOptions,
+    workspace: &mut LinearSolverWorkspace,
+) -> Result<MpdeSolution> {
     let grid = MultitimeGrid::new(options.n1, options.n2, t1_period, t2_period);
     let n = circuit.num_unknowns();
     let mut system = MpdeSystem::new(circuit, grid, options.scheme1, options.scheme2)?;
@@ -152,7 +176,7 @@ pub fn solve_mpde(
         InitialGuess::Samples(s) => s.clone(),
     };
 
-    match newton_solve(&system, &x0, &kinds, options.newton) {
+    match newton_solve_with_workspace(&system, &x0, &kinds, options.newton, workspace) {
         Ok((data, stats)) => Ok(MpdeSolution {
             grid,
             solution: MultitimeSolution::new(grid, n, data),
@@ -168,7 +192,12 @@ pub fn solve_mpde(
             if !options.continuation_fallback {
                 return Err(newton_err);
             }
-            let (data, cstats) = continuation_solve(&mut system, &x0, options.continuation)?;
+            let (data, cstats) = continuation_solve_with_workspace(
+                &mut system,
+                &x0,
+                options.continuation,
+                workspace,
+            )?;
             Ok(MpdeSolution {
                 grid,
                 solution: MultitimeSolution::new(grid, n, data),
@@ -260,8 +289,13 @@ mod tests {
         let lo = b.node("lo");
         let rf = b.node("rf");
         let out = b.node("out");
-        b.vsource("VLO", lo, GROUND, BiWaveform::Axis1(Waveform::cosine(1.0, f1)))
-            .expect("vlo");
+        b.vsource(
+            "VLO",
+            lo,
+            GROUND,
+            BiWaveform::Axis1(Waveform::cosine(1.0, f1)),
+        )
+        .expect("vlo");
         b.vsource(
             "VRF",
             rf,
@@ -324,8 +358,13 @@ mod tests {
         let lo = b.node("lo");
         let rf = b.node("rf");
         let out = b.node("out");
-        b.vsource("VLO", lo, GROUND, BiWaveform::Axis1(Waveform::cosine(1.0, f1)))
-            .expect("vlo");
+        b.vsource(
+            "VLO",
+            lo,
+            GROUND,
+            BiWaveform::Axis1(Waveform::cosine(1.0, f1)),
+        )
+        .expect("vlo");
         b.vsource(
             "VRF",
             rf,

@@ -209,7 +209,8 @@ mod tests {
         let mut b = CircuitBuilder::new();
         let inp = b.node("in");
         let out = b.node("out");
-        b.vsource("V1", inp, GROUND, Waveform::sine(1.0, f)).expect("v");
+        b.vsource("V1", inp, GROUND, Waveform::sine(1.0, f))
+            .expect("v");
         b.resistor("R1", inp, out, r).expect("r");
         b.capacitor("C1", out, GROUND, c).expect("c");
         let ckt = b.build().expect("build");
@@ -244,7 +245,8 @@ mod tests {
         let mut b = CircuitBuilder::new();
         let inp = b.node("in");
         let out = b.node("out");
-        b.vsource("V1", inp, GROUND, Waveform::sine(1.5, 1e6)).expect("v");
+        b.vsource("V1", inp, GROUND, Waveform::sine(1.5, 1e6))
+            .expect("v");
         b.resistor("R1", inp, out, 1e3).expect("r");
         b.diode("D1", out, GROUND, Default::default()).expect("d");
         let ckt = b.build().expect("build");

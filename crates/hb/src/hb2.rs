@@ -8,7 +8,9 @@
 //! converge spectrally; switching waveforms suffer Gibbs oscillation and
 //! slow coefficient decay (the paper's §1 argument against HB).
 
-use rfsim_circuit::newton::{newton_solve, NewtonOptions, NewtonStats, NewtonSystem};
+use rfsim_circuit::newton::{
+    newton_solve_with_workspace, LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem,
+};
 use rfsim_circuit::{Circuit, Result, UnknownKind};
 use rfsim_numerics::diff::spectral_weights;
 use rfsim_numerics::sparse::Triplets;
@@ -112,7 +114,8 @@ impl NewtonSystem for Hb2System<'_> {
                 self.circuit.eval_q(xj, &mut q, None);
                 // ∂/∂t1: scatter along the row (same j).
                 for i2 in 0..self.n1 {
-                    let d = self.w1[(i2 as isize - i as isize).rem_euclid(self.n1 as isize) as usize];
+                    let d =
+                        self.w1[(i2 as isize - i as isize).rem_euclid(self.n1 as isize) as usize];
                     if d != 0.0 {
                         let dst = self.gp(i2, j) * n;
                         for u in 0..n {
@@ -122,7 +125,8 @@ impl NewtonSystem for Hb2System<'_> {
                 }
                 // ∂/∂t2: scatter along the column (same i).
                 for j2 in 0..self.n2 {
-                    let d = self.w2[(j2 as isize - j as isize).rem_euclid(self.n2 as isize) as usize];
+                    let d =
+                        self.w2[(j2 as isize - j as isize).rem_euclid(self.n2 as isize) as usize];
                     if d != 0.0 {
                         let dst = self.gp(i, j2) * n;
                         for u in 0..n {
@@ -165,13 +169,15 @@ impl NewtonSystem for Hb2System<'_> {
                     }
                 };
                 for i2 in 0..self.n1 {
-                    let d = self.w1[(i2 as isize - i as isize).rem_euclid(self.n1 as isize) as usize];
+                    let d =
+                        self.w1[(i2 as isize - i as isize).rem_euclid(self.n1 as isize) as usize];
                     if d != 0.0 {
                         scatter(self.gp(i2, j), d, out, jac);
                     }
                 }
                 for j2 in 0..self.n2 {
-                    let d = self.w2[(j2 as isize - j as isize).rem_euclid(self.n2 as isize) as usize];
+                    let d =
+                        self.w2[(j2 as isize - j as isize).rem_euclid(self.n2 as isize) as usize];
                     if d != 0.0 {
                         scatter(self.gp(i, j2), d, out, jac);
                     }
@@ -205,6 +211,32 @@ pub fn hb2_solve(
     period2: f64,
     initial_guess: Option<&[f64]>,
     options: Hb2Options,
+) -> Result<Hb2Result> {
+    let mut workspace = LinearSolverWorkspace::new();
+    hb2_solve_with_workspace(
+        circuit,
+        period1,
+        period2,
+        initial_guess,
+        options,
+        &mut workspace,
+    )
+}
+
+/// [`hb2_solve`] with caller-owned linear-solver state: the dense spectral
+/// coupling makes the HB Jacobian expensive to analyse, so warm-started
+/// re-solves on the same grid shape should share one workspace.
+///
+/// # Errors
+///
+/// See [`hb2_solve`].
+pub fn hb2_solve_with_workspace(
+    circuit: &Circuit,
+    period1: f64,
+    period2: f64,
+    initial_guess: Option<&[f64]>,
+    options: Hb2Options,
+    workspace: &mut LinearSolverWorkspace,
 ) -> Result<Hb2Result> {
     let n = circuit.num_unknowns();
     let (n1, n2) = (options.n1.max(4), options.n2.max(4));
@@ -242,7 +274,8 @@ pub fn hb2_solve(
     for _ in 0..n1 * n2 {
         kinds.extend_from_slice(circuit.unknown_kinds());
     }
-    let (samples, stats) = newton_solve(&sys, &x0, &kinds, options.newton)?;
+    let (samples, stats) =
+        newton_solve_with_workspace(&sys, &x0, &kinds, options.newton, workspace)?;
     Ok(Hb2Result {
         period1,
         period2,
@@ -266,11 +299,21 @@ mod tests {
         let in1 = b.node("in1");
         let mid = b.node("mid");
         let out = b.node("out");
-        b.vsource("V1", in1, GROUND, BiWaveform::Axis1(Waveform::sine(1.0, f1)))
-            .expect("v1");
+        b.vsource(
+            "V1",
+            in1,
+            GROUND,
+            BiWaveform::Axis1(Waveform::sine(1.0, f1)),
+        )
+        .expect("v1");
         // Second tone on the t2 axis, injected via a separate source & summing R.
-        b.vsource("V2", mid, GROUND, BiWaveform::Axis2(Waveform::sine(0.5, f2)))
-            .expect("v2");
+        b.vsource(
+            "V2",
+            mid,
+            GROUND,
+            BiWaveform::Axis2(Waveform::sine(0.5, f2)),
+        )
+        .expect("v2");
         b.resistor("R1", in1, out, 1e3).expect("r1");
         b.resistor("R2", mid, out, 1e3).expect("r2");
         b.capacitor("C1", out, GROUND, 100e-12).expect("c");
@@ -360,10 +403,20 @@ mod tests {
         let x = b.node("x");
         let y = b.node("y");
         let out = b.node("out");
-        b.vsource("VX", x, GROUND, BiWaveform::Axis1(Waveform::cosine(1.0, 1e6)))
-            .expect("vx");
-        b.vsource("VY", y, GROUND, BiWaveform::Axis2(Waveform::cosine(1.0, 0.9e6)))
-            .expect("vy");
+        b.vsource(
+            "VX",
+            x,
+            GROUND,
+            BiWaveform::Axis1(Waveform::cosine(1.0, 1e6)),
+        )
+        .expect("vx");
+        b.vsource(
+            "VY",
+            y,
+            GROUND,
+            BiWaveform::Axis2(Waveform::cosine(1.0, 0.9e6)),
+        )
+        .expect("vy");
         b.multiplier("MUL", out, GROUND, x, GROUND, y, GROUND, 1e-3)
             .expect("mul");
         b.resistor("RL", out, GROUND, 1e3).expect("rl");
@@ -440,6 +493,9 @@ mod tests {
         .expect("hb2");
         let surf = res.surface(out_idx);
         let peak = surf.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-        assert!(peak > 0.1 && peak < 1.0, "plausible filtered amplitude: {peak}");
+        assert!(
+            peak > 0.1 && peak < 1.0,
+            "plausible filtered amplitude: {peak}"
+        );
     }
 }

@@ -18,7 +18,7 @@ pub fn harmonic_magnitudes(samples: &[f64]) -> Vec<f64> {
     let half = n / 2 + 1;
     (0..half)
         .map(|k| {
-            let scale = if k == 0 || (n % 2 == 0 && k == n / 2) {
+            let scale = if k == 0 || (n.is_multiple_of(2) && k == n / 2) {
                 1.0 / n as f64
             } else {
                 2.0 / n as f64
@@ -89,7 +89,9 @@ mod tests {
     use std::f64::consts::PI;
 
     fn sine(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * i as f64 / n as f64).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * i as f64 / n as f64).sin())
+            .collect()
     }
 
     fn square(n: usize) -> Vec<f64> {
@@ -132,7 +134,10 @@ mod tests {
     #[test]
     fn smooth_signal_no_overshoot() {
         let over = truncation_overshoot(&sine(128), 8);
-        assert!(over < 1e-9, "band-limited signal reconstructs exactly: {over}");
+        assert!(
+            over < 1e-9,
+            "band-limited signal reconstructs exactly: {over}"
+        );
     }
 
     #[test]

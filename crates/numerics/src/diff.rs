@@ -107,9 +107,17 @@ pub fn spectral_derivative(samples: &[f64], period: f64) -> Result<Vec<f64>> {
     let mut spec = fft(&data);
     for (k, z) in spec.iter_mut().enumerate() {
         // Signed frequency index in [-n/2, n/2).
-        let kk = if k <= n / 2 { k as isize } else { k as isize - n as isize };
+        let kk = if k <= n / 2 {
+            k as isize
+        } else {
+            k as isize - n as isize
+        };
         // Nyquist bin derivative is ambiguous for even n; zero it (standard).
-        let kk = if n % 2 == 0 && k == n / 2 { 0 } else { kk };
+        let kk = if n.is_multiple_of(2) && k == n / 2 {
+            0
+        } else {
+            kk
+        };
         let omega = 2.0 * PI * kk as f64 / period;
         *z = Complex::new(-z.im, z.re) * omega; // multiply by i·omega
     }
@@ -128,7 +136,7 @@ pub fn spectral_weights(n: usize, period: f64) -> Vec<f64> {
     }
     let h = 2.0 * PI / n as f64;
     for (k, wk) in w.iter_mut().enumerate().skip(1) {
-        let val = if n % 2 == 0 {
+        let val = if n.is_multiple_of(2) {
             // Even n: w_k = (-1)^k / 2 · cot(k·h/2)
             0.5 * (-1.0f64).powi(k as i32) / (k as f64 * h / 2.0).tan()
         } else {
@@ -182,7 +190,11 @@ mod tests {
 
     #[test]
     fn derivative_of_constant_is_zero() {
-        for scheme in [DiffScheme::BackwardEuler, DiffScheme::Central2, DiffScheme::Bdf2] {
+        for scheme in [
+            DiffScheme::BackwardEuler,
+            DiffScheme::Central2,
+            DiffScheme::Bdf2,
+        ] {
             let d = apply_periodic(scheme, &[3.0; 16], 2.0).expect("apply");
             assert!(crate::vector::norm_inf(&d) < 1e-12, "{scheme:?}");
         }
@@ -230,7 +242,10 @@ mod tests {
         for n in [8usize, 9, 16, 15] {
             let period = 2.0;
             let x: Vec<f64> = (0..n)
-                .map(|i| (2.0 * PI * i as f64 / n as f64).cos() + 0.3 * (4.0 * PI * i as f64 / n as f64).sin())
+                .map(|i| {
+                    (2.0 * PI * i as f64 / n as f64).cos()
+                        + 0.3 * (4.0 * PI * i as f64 / n as f64).sin()
+                })
                 .collect();
             let via_fft = spectral_derivative(&x, period).expect("fft path");
             let w = spectral_weights(n, period);
@@ -249,7 +264,11 @@ mod tests {
     #[test]
     fn stencil_weights_sum_to_zero() {
         // Required so the derivative of a constant vanishes.
-        for scheme in [DiffScheme::BackwardEuler, DiffScheme::Central2, DiffScheme::Bdf2] {
+        for scheme in [
+            DiffScheme::BackwardEuler,
+            DiffScheme::Central2,
+            DiffScheme::Bdf2,
+        ] {
             let sum: f64 = scheme.stencil().iter().map(|&(_, w)| w).sum();
             assert!(sum.abs() < 1e-15, "{scheme:?}");
         }
@@ -258,12 +277,12 @@ mod tests {
     #[test]
     fn stencil_first_moment_is_one() {
         // Σ w_k·k = 1 makes the stencil a consistent first derivative.
-        for scheme in [DiffScheme::BackwardEuler, DiffScheme::Central2, DiffScheme::Bdf2] {
-            let m1: f64 = scheme
-                .stencil()
-                .iter()
-                .map(|&(o, w)| w * o as f64)
-                .sum();
+        for scheme in [
+            DiffScheme::BackwardEuler,
+            DiffScheme::Central2,
+            DiffScheme::Bdf2,
+        ] {
+            let m1: f64 = scheme.stencil().iter().map(|&(o, w)| w * o as f64).sum();
             assert!((m1 - 1.0).abs() < 1e-15, "{scheme:?}: moment {m1}");
         }
     }

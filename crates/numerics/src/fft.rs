@@ -234,7 +234,11 @@ pub fn goertzel(samples: &[f64], k: usize) -> Complex {
         let ang = -2.0 * PI * (k * j) as f64 / n as f64;
         acc = acc + Complex::from_polar(1.0, ang) * x;
     }
-    let scale = if k == 0 { 1.0 / n as f64 } else { 2.0 / n as f64 };
+    let scale = if k == 0 {
+        1.0 / n as f64
+    } else {
+        2.0 / n as f64
+    };
     acc * scale
 }
 

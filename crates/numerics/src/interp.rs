@@ -70,10 +70,11 @@ pub fn periodic_cubic(samples: &[f64], period: f64, t: f64) -> Result<f64> {
     let i2 = (i1 + 1) % n;
     let i3 = (i1 + 2) % n;
     let (p0, p1, p2, p3) = (samples[i0], samples[i1], samples[i2], samples[i3]);
-    Ok(p1 + 0.5
-        * s
-        * (p2 - p0
-            + s * (2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3 + s * (3.0 * (p1 - p2) + p3 - p0))))
+    Ok(p1
+        + 0.5
+            * s
+            * (p2 - p0
+                + s * (2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3 + s * (3.0 * (p1 - p2) + p3 - p0))))
 }
 
 /// Periodic bilinear interpolation on a uniform 2-D grid.
@@ -118,7 +119,9 @@ pub fn periodic_bilinear(
     let v10 = values[j0 * n1 + i1];
     let v01 = values[j1 * n1 + i0];
     let v11 = values[j1 * n1 + i1];
-    Ok(v00 * (1.0 - fx) * (1.0 - fy) + v10 * fx * (1.0 - fy) + v01 * (1.0 - fx) * fy
+    Ok(v00 * (1.0 - fx) * (1.0 - fy)
+        + v10 * fx * (1.0 - fy)
+        + v01 * (1.0 - fx) * fy
         + v11 * fx * fy)
 }
 
@@ -155,7 +158,9 @@ mod tests {
     #[test]
     fn cubic_reproduces_smooth_function_better_than_lerp() {
         let n = 16;
-        let s: Vec<f64> = (0..n).map(|i| (2.0 * PI * i as f64 / n as f64).sin()).collect();
+        let s: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * i as f64 / n as f64).sin())
+            .collect();
         let mut err_lin = 0.0f64;
         let mut err_cub = 0.0f64;
         for k in 0..200 {
@@ -164,7 +169,10 @@ mod tests {
             err_lin = err_lin.max((periodic_lerp(&s, 1.0, t).expect("l") - exact).abs());
             err_cub = err_cub.max((periodic_cubic(&s, 1.0, t).expect("c") - exact).abs());
         }
-        assert!(err_cub < err_lin / 5.0, "cubic {err_cub} vs linear {err_lin}");
+        assert!(
+            err_cub < err_lin / 5.0,
+            "cubic {err_cub} vs linear {err_lin}"
+        );
     }
 
     #[test]

@@ -151,9 +151,14 @@ mod tests {
     fn solves_banded_system() {
         let a = band_matrix(30);
         let b: Vec<f64> = (0..30).map(|i| (i as f64 * 0.4).sin()).collect();
-        let (x, _) =
-            bicgstab(&a, &IdentityPrecond, &b, &vec![0.0; 30], BiCgStabOptions::default())
-                .expect("bicgstab");
+        let (x, _) = bicgstab(
+            &a,
+            &IdentityPrecond,
+            &b,
+            &vec![0.0; 30],
+            BiCgStabOptions::default(),
+        )
+        .expect("bicgstab");
         let r = sub(&a.matvec(&x), &b);
         assert!(norm_inf(&r) < 1e-8, "residual {}", norm_inf(&r));
     }
@@ -163,10 +168,16 @@ mod tests {
         let a = band_matrix(25);
         let b = vec![1.0; 25];
         let x0 = vec![0.0; 25];
-        let (x1, _) = bicgstab(&a, &IdentityPrecond, &b, &x0, BiCgStabOptions::default())
-            .expect("identity");
-        let (x2, _) = bicgstab(&a, &JacobiPrecond::new(&a), &b, &x0, BiCgStabOptions::default())
-            .expect("jacobi");
+        let (x1, _) =
+            bicgstab(&a, &IdentityPrecond, &b, &x0, BiCgStabOptions::default()).expect("identity");
+        let (x2, _) = bicgstab(
+            &a,
+            &JacobiPrecond::new(&a),
+            &b,
+            &x0,
+            BiCgStabOptions::default(),
+        )
+        .expect("jacobi");
         let ilu = Ilu0::new(&a).expect("ilu");
         let (x3, it3) = bicgstab(&a, &ilu, &b, &x0, BiCgStabOptions::default()).expect("ilu");
         assert!(norm_inf(&sub(&x1, &x2)) < 1e-6);

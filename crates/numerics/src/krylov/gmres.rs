@@ -214,8 +214,14 @@ mod tests {
             }
         });
         let b = vec![1.0, 4.0, 9.0, 16.0];
-        let (x, stats) =
-            gmres(&op, &IdentityPrecond, &b, &[0.0; 4], GmresOptions::default()).expect("gmres");
+        let (x, stats) = gmres(
+            &op,
+            &IdentityPrecond,
+            &b,
+            &[0.0; 4],
+            GmresOptions::default(),
+        )
+        .expect("gmres");
         for i in 0..4 {
             assert!((x[i] - (i + 1) as f64).abs() < 1e-8, "x = {x:?}");
         }
@@ -226,9 +232,14 @@ mod tests {
     fn solves_grid_unpreconditioned() {
         let a = grid_matrix(7, 7);
         let b = vec![1.0; a.rows()];
-        let (x, _) =
-            gmres(&a, &IdentityPrecond, &b, &vec![0.0; a.rows()], GmresOptions::default())
-                .expect("gmres");
+        let (x, _) = gmres(
+            &a,
+            &IdentityPrecond,
+            &b,
+            &vec![0.0; a.rows()],
+            GmresOptions::default(),
+        )
+        .expect("gmres");
         let r = sub(&a.matvec(&x), &b);
         assert!(norm_inf(&r) < 1e-8);
     }
@@ -260,8 +271,8 @@ mod tests {
         let a = grid_matrix(5, 5);
         let b = vec![2.0; a.rows()];
         let m = JacobiPrecond::new(&a);
-        let (x, _) = gmres(&a, &m, &b, &vec![0.0; a.rows()], GmresOptions::default())
-            .expect("gmres jacobi");
+        let (x, _) =
+            gmres(&a, &m, &b, &vec![0.0; a.rows()], GmresOptions::default()).expect("gmres jacobi");
         let r = sub(&a.matvec(&x), &b);
         assert!(norm_inf(&r) < 1e-8);
     }
@@ -322,8 +333,14 @@ mod tests {
         }
         let a = t.to_csr();
         let b = vec![1.0; n];
-        let (x, _) = gmres(&a, &IdentityPrecond, &b, &vec![0.0; n], GmresOptions::default())
-            .expect("gmres");
+        let (x, _) = gmres(
+            &a,
+            &IdentityPrecond,
+            &b,
+            &vec![0.0; n],
+            GmresOptions::default(),
+        )
+        .expect("gmres");
         let r = sub(&a.matvec(&x), &b);
         assert!(norm_inf(&r) < 1e-8);
     }

@@ -11,7 +11,7 @@ mod precond;
 
 pub use bicgstab::{bicgstab, BiCgStabOptions};
 pub use gmres::{gmres, GmresOptions, GmresStats};
-pub use precond::{BlockJacobiPrecond, Ilu0, IdentityPrecond, JacobiPrecond, Preconditioner};
+pub use precond::{BlockJacobiPrecond, IdentityPrecond, Ilu0, JacobiPrecond, Preconditioner};
 
 use crate::sparse::CsrMatrix;
 

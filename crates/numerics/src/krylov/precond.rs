@@ -189,7 +189,7 @@ impl BlockJacobiPrecond {
     /// * [`NumericsError::SingularMatrix`] if a diagonal block is singular.
     pub fn new(a: &CsrMatrix, block_size: usize) -> Result<Self> {
         let n = a.rows();
-        if block_size == 0 || n % block_size != 0 {
+        if block_size == 0 || !n.is_multiple_of(block_size) {
             return Err(NumericsError::DimensionMismatch {
                 context: format!("BlockJacobi: dim {n} not a multiple of block {block_size}"),
             });

@@ -4,11 +4,19 @@
 //! needs, built from scratch (no external linear-algebra or FFT crates):
 //!
 //! * [`dense`] — dense matrices with LU (partial pivoting) solves.
-//! * [`sparse`] — triplet/CSR/CSC sparse matrices.
+//! * [`sparse`] — triplet/CSR/CSC sparse matrices, plus the
+//!   [`sparse::CscAssembly`]/[`sparse::CsrAssembly`] pattern caches that
+//!   map triplet slots to compressed value slots so fixed-structure
+//!   Jacobians re-assemble by in-place scatter (no sort/dedup/alloc).
 //! * [`sparse_lu`] — left-looking sparse LU (Gilbert–Peierls) with partial
-//!   pivoting and fill-reducing ordering (reverse Cuthill–McKee).
+//!   pivoting and fill-reducing ordering (reverse Cuthill–McKee), split
+//!   KLU-style into a one-time symbolic analysis
+//!   ([`sparse_lu::SymbolicLu`]: permutations, pivot order, elimination
+//!   patterns) and numeric-only refactorisation
+//!   ([`sparse_lu::SparseLu::refactor_in_place`]) for the
+//!   pattern-invariant matrices of Newton hot paths.
 //! * [`krylov`] — restarted GMRES and BiCGStab with pluggable
-//!   preconditioners (identity, Jacobi, ILU(0)).
+//!   preconditioners (identity, Jacobi, ILU(0), block-Jacobi).
 //! * [`fft`] — complex arithmetic, radix-2 and Bluestein FFTs, single-bin
 //!   DFT for harmonic extraction.
 //! * [`diff`] — periodic differentiation stencils (backward Euler, central,

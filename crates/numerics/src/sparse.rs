@@ -1,8 +1,19 @@
-//! Sparse matrix containers: triplet builder, CSR and CSC forms.
+//! Sparse matrix containers: triplet builder, CSR and CSC forms, and
+//! pattern-caching assemblers.
 //!
 //! The circuit stamps assemble into [`Triplets`] (duplicates allowed and
 //! summed), which convert to [`CsrMatrix`] for matvecs/ILU and [`CscMatrix`]
 //! for the sparse LU factorisation.
+//!
+//! MNA and MPDE Jacobians have a sparsity pattern that is fixed for the life
+//! of a circuit while their *values* change every Newton iteration.
+//! [`CscAssembly`] and [`CsrAssembly`] exploit this: built once from a
+//! representative [`Triplets`], they record the mapping from each triplet
+//! slot to its compressed value slot, so every subsequent assembly is a
+//! single allocation-free scatter pass (no counting sort, no per-column
+//! sort, no dedup). The scatter verifies the `(row, col)` sequence as it
+//! goes and reports a mismatch instead of producing a wrong matrix, so
+//! callers can rebuild the cache on the rare pattern change.
 
 use crate::{NumericsError, Result};
 
@@ -58,6 +69,12 @@ impl Triplets {
 
     /// Adds `value` at `(row, col)`. Duplicates are summed on conversion.
     ///
+    /// Exact zeros are kept as structural entries: device stamps always
+    /// contribute their full pattern, so the Jacobian sparsity structure —
+    /// and with it every [`CscAssembly`] slot map and cached symbolic LU —
+    /// stays identical across Newton iterations even when a conductance
+    /// passes through 0 (a MOSFET entering cutoff, a ramped source at 0).
+    ///
     /// # Panics
     ///
     /// Panics if the position is out of bounds.
@@ -69,9 +86,7 @@ impl Triplets {
             self.rows,
             self.cols
         );
-        if value != 0.0 {
-            self.entries.push((row, col, value));
-        }
+        self.entries.push((row, col, value));
     }
 
     /// Removes all entries but keeps the allocation (for re-assembly).
@@ -106,7 +121,11 @@ impl Triplets {
 
 /// Shared compression kernel: groups entries by `major`, sorts by `minor`,
 /// sums duplicates.
-fn compress<F>(majors: usize, entries: &[(usize, usize, f64)], proj: F) -> (Vec<usize>, Vec<usize>, Vec<f64>)
+fn compress<F>(
+    majors: usize,
+    entries: &[(usize, usize, f64)],
+    proj: F,
+) -> (Vec<usize>, Vec<usize>, Vec<f64>)
 where
     F: Fn(&(usize, usize, f64)) -> (usize, usize, f64),
 {
@@ -396,6 +415,297 @@ impl CscMatrix {
     }
 }
 
+/// Builds a compressed pattern from projected `(major, minor)` entry
+/// positions and records, for each original entry, the value slot it folds
+/// into. Shared by [`CscAssembly`] (major = column) and [`CsrAssembly`]
+/// (major = row).
+fn build_slot_map<F>(
+    majors: usize,
+    entries: &[(usize, usize, f64)],
+    proj: F,
+) -> (Vec<usize>, Vec<usize>, Vec<usize>)
+where
+    F: Fn(&(usize, usize, f64)) -> (usize, usize),
+{
+    // Counting sort by major index (same structure as `compress`, but
+    // keeping track of which original entry lands where).
+    let mut counts = vec![0usize; majors + 1];
+    for e in entries {
+        counts[proj(e).0 + 1] += 1;
+    }
+    for m in 0..majors {
+        counts[m + 1] += counts[m];
+    }
+    let mut order = vec![0usize; entries.len()];
+    {
+        let mut cursor = counts.clone();
+        for (k, e) in entries.iter().enumerate() {
+            let (maj, _) = proj(e);
+            order[cursor[maj]] = k;
+            cursor[maj] += 1;
+        }
+    }
+    let mut indptr = Vec::with_capacity(majors + 1);
+    let mut indices = Vec::new();
+    let mut slot = vec![0usize; entries.len()];
+    indptr.push(0);
+    let mut scratch: Vec<(usize, usize)> = Vec::new(); // (minor, entry index)
+    for m in 0..majors {
+        scratch.clear();
+        for &k in &order[counts[m]..counts[m + 1]] {
+            scratch.push((proj(&entries[k]).1, k));
+        }
+        scratch.sort_unstable_by_key(|&(min, _)| min);
+        let mut i = 0;
+        while i < scratch.len() {
+            let min = scratch[i].0;
+            let s = indices.len();
+            indices.push(min);
+            while i < scratch.len() && scratch[i].0 == min {
+                slot[scratch[i].1] = s;
+                i += 1;
+            }
+        }
+        indptr.push(indices.len());
+    }
+    (indptr, indices, slot)
+}
+
+/// Shared core of [`CscAssembly`] and [`CsrAssembly`]: the compressed
+/// pattern, the recorded triplet positions, and the verified value scatter.
+#[derive(Debug, Clone)]
+struct SlotMap {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    /// `(row, col)` of each triplet slot at build time, for verification.
+    positions: Vec<(usize, usize)>,
+    /// Compressed data slot each triplet slot folds into.
+    slot: Vec<usize>,
+}
+
+impl SlotMap {
+    fn new<F>(t: &Triplets, majors: usize, proj: F) -> Self
+    where
+        F: Fn(&(usize, usize, f64)) -> (usize, usize),
+    {
+        let (indptr, indices, slot) = build_slot_map(majors, &t.entries, proj);
+        SlotMap {
+            rows: t.rows,
+            cols: t.cols,
+            indptr,
+            indices,
+            positions: t.entries.iter().map(|&(r, c, _)| (r, c)).collect(),
+            slot,
+        }
+    }
+
+    fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    fn matches(&self, t: &Triplets) -> bool {
+        t.rows == self.rows
+            && t.cols == self.cols
+            && t.entries.len() == self.positions.len()
+            && t.entries
+                .iter()
+                .zip(&self.positions)
+                .all(|(&(r, c, _), &(pr, pc))| r == pr && c == pc)
+    }
+
+    /// Scatters `t`'s values into `data` (duplicates summed), verifying the
+    /// slot sequence entry by entry. `false` — with `data` unspecified — on
+    /// the first mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` does not have this pattern's nnz.
+    fn scatter_values(&self, t: &Triplets, data: &mut [f64]) -> bool {
+        assert_eq!(data.len(), self.nnz(), "SlotMap::scatter_values: nnz");
+        if t.entries.len() != self.positions.len() || t.rows != self.rows || t.cols != self.cols {
+            return false;
+        }
+        data.fill(0.0);
+        for (k, &(r, c, v)) in t.entries.iter().enumerate() {
+            let (pr, pc) = self.positions[k];
+            if r != pr || c != pc {
+                return false;
+            }
+            data[self.slot[k]] += v;
+        }
+        true
+    }
+}
+
+/// Pattern-caching CSC assembler: maps triplet slots to CSC value slots so
+/// repeated Jacobian assemblies scatter in place with no sort, dedup or
+/// allocation.
+///
+/// Build it once from a representative assembly, then call
+/// [`CscAssembly::scatter`] with each fresh [`Triplets`] of the *same stamp
+/// sequence*. The scatter verifies every entry's `(row, col)` against the
+/// recorded sequence and returns `false` on the first mismatch (leaving the
+/// output contents unspecified), so a caller can detect structural changes
+/// and rebuild.
+#[derive(Debug, Clone)]
+pub struct CscAssembly {
+    map: SlotMap,
+}
+
+impl CscAssembly {
+    /// Records the pattern and slot map of `t`.
+    pub fn new(t: &Triplets) -> Self {
+        CscAssembly {
+            map: SlotMap::new(t, t.cols, |&(r, c, _)| (c, r)),
+        }
+    }
+
+    /// Stored entries in the compressed pattern (after summing duplicates).
+    pub fn nnz(&self) -> usize {
+        self.map.nnz()
+    }
+
+    /// Number of triplet slots the map was built from.
+    pub fn num_slots(&self) -> usize {
+        self.map.slot.len()
+    }
+
+    /// A zero-valued matrix with this pattern, ready for [`Self::scatter`].
+    pub fn zero_matrix(&self) -> CscMatrix {
+        CscMatrix {
+            rows: self.map.rows,
+            cols: self.map.cols,
+            indptr: self.map.indptr.clone(),
+            indices: self.map.indices.clone(),
+            data: vec![0.0; self.map.nnz()],
+        }
+    }
+
+    /// Whether `t` still has the exact `(row, col)` slot sequence the map
+    /// was built from.
+    pub fn matches(&self, t: &Triplets) -> bool {
+        self.map.matches(t)
+    }
+
+    /// Scatters `t`'s values into `out` in place (duplicates summed).
+    ///
+    /// Returns `false` — leaving `out`'s values unspecified — if `t`'s slot
+    /// sequence no longer matches the recorded pattern; the caller should
+    /// rebuild the assembly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` was not produced from this assembly's pattern
+    /// (dimension or nnz mismatch).
+    pub fn scatter(&self, t: &Triplets, out: &mut CscMatrix) -> bool {
+        assert_eq!(out.rows, self.map.rows, "CscAssembly::scatter: rows");
+        assert_eq!(out.cols, self.map.cols, "CscAssembly::scatter: cols");
+        self.map.scatter_values(t, &mut out.data)
+    }
+
+    /// The scatter-or-rebuild idiom in one place: scatters `t` through the
+    /// cached assembly into the cached matrix, rebuilding both on
+    /// structural change (or first use). Returns `true` when a rebuild
+    /// happened, so callers can invalidate anything derived from the old
+    /// pattern (a cached factorisation, a preconditioner).
+    pub fn assemble_cached(
+        cache: &mut Option<CscAssembly>,
+        matrix: &mut Option<CscMatrix>,
+        t: &Triplets,
+    ) -> bool {
+        let scattered = match (&*cache, matrix.as_mut()) {
+            (Some(asm), Some(m)) => asm.scatter(t, m),
+            _ => false,
+        };
+        if !scattered {
+            let asm = CscAssembly::new(t);
+            let mut m = asm.zero_matrix();
+            let ok = asm.scatter(t, &mut m);
+            debug_assert!(ok, "fresh assembly must accept its own triplets");
+            *cache = Some(asm);
+            *matrix = Some(m);
+        }
+        !scattered
+    }
+}
+
+/// Pattern-caching CSR assembler: the row-major sibling of [`CscAssembly`],
+/// used for the Krylov path (matvecs and ILU(0)/block-Jacobi
+/// preconditioners consume CSR).
+#[derive(Debug, Clone)]
+pub struct CsrAssembly {
+    map: SlotMap,
+}
+
+impl CsrAssembly {
+    /// Records the pattern and slot map of `t`.
+    pub fn new(t: &Triplets) -> Self {
+        CsrAssembly {
+            map: SlotMap::new(t, t.rows, |&(r, c, _)| (r, c)),
+        }
+    }
+
+    /// Stored entries in the compressed pattern (after summing duplicates).
+    pub fn nnz(&self) -> usize {
+        self.map.nnz()
+    }
+
+    /// A zero-valued matrix with this pattern, ready for [`Self::scatter`].
+    pub fn zero_matrix(&self) -> CsrMatrix {
+        CsrMatrix {
+            rows: self.map.rows,
+            cols: self.map.cols,
+            indptr: self.map.indptr.clone(),
+            indices: self.map.indices.clone(),
+            data: vec![0.0; self.map.nnz()],
+        }
+    }
+
+    /// Whether `t` still has the exact `(row, col)` slot sequence the map
+    /// was built from.
+    pub fn matches(&self, t: &Triplets) -> bool {
+        self.map.matches(t)
+    }
+
+    /// Scatters `t`'s values into `out` in place (duplicates summed).
+    ///
+    /// Returns `false` — leaving `out`'s values unspecified — on slot
+    /// sequence mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` was not produced from this assembly's pattern.
+    pub fn scatter(&self, t: &Triplets, out: &mut CsrMatrix) -> bool {
+        assert_eq!(out.rows, self.map.rows, "CsrAssembly::scatter: rows");
+        assert_eq!(out.cols, self.map.cols, "CsrAssembly::scatter: cols");
+        self.map.scatter_values(t, &mut out.data)
+    }
+
+    /// Row-major sibling of [`CscAssembly::assemble_cached`]; returns
+    /// `true` when the caches were rebuilt.
+    pub fn assemble_cached(
+        cache: &mut Option<CsrAssembly>,
+        matrix: &mut Option<CsrMatrix>,
+        t: &Triplets,
+    ) -> bool {
+        let scattered = match (&*cache, matrix.as_mut()) {
+            (Some(asm), Some(m)) => asm.scatter(t, m),
+            _ => false,
+        };
+        if !scattered {
+            let asm = CsrAssembly::new(t);
+            let mut m = asm.zero_matrix();
+            let ok = asm.scatter(t, &mut m);
+            debug_assert!(ok, "fresh assembly must accept its own triplets");
+            *cache = Some(asm);
+            *matrix = Some(m);
+        }
+        !scattered
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,10 +746,15 @@ mod tests {
     }
 
     #[test]
-    fn zero_entries_skipped() {
+    fn zero_entries_kept_as_structural() {
+        // Explicit zeros stay in the pattern: assembly-slot caches and
+        // symbolic factorisations rely on a value-independent structure.
         let mut t = Triplets::new(2, 2);
         t.push(0, 1, 0.0);
-        assert!(t.is_empty());
+        assert_eq!(t.len(), 1);
+        let a = t.to_csc();
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 1), 0.0);
     }
 
     #[test]
@@ -481,6 +796,97 @@ mod tests {
     fn push_out_of_bounds_panics() {
         let mut t = Triplets::new(2, 2);
         t.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn csc_assembly_matches_to_csc() {
+        let mut t = example();
+        t.push(2, 0, -1.5); // duplicate of (2,0): must fold into one slot
+        let asm = CscAssembly::new(&t);
+        assert_eq!(asm.num_slots(), 6);
+        assert_eq!(asm.nnz(), 5);
+        let mut m = asm.zero_matrix();
+        assert!(asm.scatter(&t, &mut m));
+        assert_eq!(m, t.to_csc());
+    }
+
+    #[test]
+    fn csc_assembly_rescatter_new_values() {
+        let mut t = example();
+        let asm = CscAssembly::new(&t);
+        let mut m = asm.zero_matrix();
+        // Re-stamp the same pattern with different values (one of them 0).
+        t.clear();
+        t.push(0, 0, 7.0);
+        t.push(0, 2, 0.0);
+        t.push(1, 1, -3.0);
+        t.push(2, 0, 1.0);
+        t.push(2, 2, 2.0);
+        assert!(asm.matches(&t));
+        assert!(asm.scatter(&t, &mut m));
+        assert_eq!(m, t.to_csc());
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.nnz(), 5); // the zero stays structural
+    }
+
+    #[test]
+    fn csc_assembly_detects_pattern_change() {
+        let t = example();
+        let asm = CscAssembly::new(&t);
+        let mut m = asm.zero_matrix();
+        // Different length.
+        let mut t2 = example();
+        t2.push(1, 0, 1.0);
+        assert!(!asm.matches(&t2));
+        assert!(!asm.scatter(&t2, &mut m));
+        // Same length, different position sequence.
+        let mut t3 = Triplets::new(3, 3);
+        t3.push(0, 0, 1.0);
+        t3.push(0, 2, 2.0);
+        t3.push(1, 1, 3.0);
+        t3.push(2, 0, 4.0);
+        t3.push(2, 1, 5.0); // was (2,2)
+        assert!(!asm.matches(&t3));
+        assert!(!asm.scatter(&t3, &mut m));
+    }
+
+    #[test]
+    fn csr_assembly_matches_to_csr() {
+        let mut t = example();
+        t.push(0, 0, 0.5); // duplicate
+        let asm = CsrAssembly::new(&t);
+        let mut m = asm.zero_matrix();
+        assert!(asm.scatter(&t, &mut m));
+        assert_eq!(m, t.to_csr());
+        // New values, same pattern.
+        t.clear();
+        t.push(0, 0, 1.0);
+        t.push(0, 2, 1.0);
+        t.push(1, 1, 1.0);
+        t.push(2, 0, 1.0);
+        t.push(2, 2, 1.0);
+        t.push(0, 0, 2.0);
+        assert!(asm.scatter(&t, &mut m));
+        assert_eq!(m.get(0, 0), 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_assembly_equals_compression(entries in proptest::collection::vec(
+            (0usize..8, 0usize..8, -10.0f64..10.0), 0..40)) {
+            let mut t = Triplets::new(8, 8);
+            for (r, c, v) in entries {
+                t.push(r, c, v);
+            }
+            let csc_asm = CscAssembly::new(&t);
+            let mut csc = csc_asm.zero_matrix();
+            prop_assert!(csc_asm.scatter(&t, &mut csc));
+            prop_assert!(csc == t.to_csc());
+            let csr_asm = CsrAssembly::new(&t);
+            let mut csr = csr_asm.zero_matrix();
+            prop_assert!(csr_asm.scatter(&t, &mut csr));
+            prop_assert!(csr == t.to_csr());
+        }
     }
 
     proptest! {

@@ -1,5 +1,6 @@
 //! Left-looking sparse LU factorisation (Gilbert–Peierls) with threshold
-//! partial pivoting and a reverse Cuthill–McKee fill-reducing ordering.
+//! partial pivoting, a reverse Cuthill–McKee fill-reducing ordering, and a
+//! KLU-style symbolic/numeric split for pattern-invariant refactorisation.
 //!
 //! This is the direct solver behind both the circuit Newton iterations and
 //! the large MPDE grid Jacobians (`n·N1·N2` unknowns). The algorithm follows
@@ -7,6 +8,31 @@
 //! reach over the partially built `L` determines the pattern of the sparse
 //! triangular solve, after which a pivot row is chosen among the not yet
 //! pivoted rows.
+//!
+//! # Symbolic reuse
+//!
+//! MNA/MPDE Jacobians keep a fixed sparsity pattern for the life of a
+//! circuit while their values change every Newton iteration. A full
+//! [`SparseLu::factor`] therefore wastes most of its time rediscovering
+//! structure: the RCM ordering, the per-column DFS reach, and the pivot
+//! order. The split captures that structure once in a [`SymbolicLu`]
+//! (row/column permutations plus the exact `L`/`U` elimination patterns)
+//! and re-runs only the numeric sparse triangular solves on new values:
+//!
+//! * [`SymbolicLu::analyze`] — one-time analysis of a representative matrix
+//!   (internally a full factorisation whose values are discarded).
+//! * [`SymbolicLu::refactor`] — numeric-only factorisation of a same-pattern
+//!   matrix, allocating a fresh [`SparseLu`].
+//! * [`SparseLu::refactor_in_place`] — the hot path: overwrite this factor's
+//!   values from a same-pattern matrix with **zero** allocation, no DFS and
+//!   no pivot search.
+//!
+//! Refactorisation reuses the recorded pivot order, so a value change that
+//! drives a recorded pivot to (near) zero is reported as
+//! [`NumericsError::SingularMatrix`]; callers fall back to a fresh
+//! [`SparseLu::factor`], which is free to pick a different pivot order.
+
+use std::sync::Arc;
 
 use crate::sparse::CscMatrix;
 use crate::{NumericsError, Result};
@@ -47,23 +73,130 @@ impl Default for LuOptions {
     }
 }
 
+/// The structure of a sparse LU factorisation, independent of values: the
+/// fill-reducing column ordering, the pivot order chosen on the analysed
+/// matrix, and the exact `L`/`U` elimination patterns.
+///
+/// Built by [`SymbolicLu::analyze`] (or captured from a full
+/// [`SparseLu::factor`] via [`SparseLu::symbolic`]); consumed by
+/// [`SymbolicLu::refactor`] and [`SparseLu::refactor_in_place`], which redo
+/// only the numeric work on a same-pattern matrix.
+#[derive(Debug, Clone)]
+pub struct SymbolicLu {
+    n: usize,
+    /// Pivots below this magnitude fail refactorisation.
+    pivot_abs_min: f64,
+    /// The analysed matrix's pattern (column pointers and row indices);
+    /// refactorisation requires an exact match. Stored outright — a
+    /// fingerprint would admit silent wrong-matrix factorisation on
+    /// collision — and shared via the factor's `Arc`.
+    a_indptr: Vec<usize>,
+    a_indices: Vec<usize>,
+    // L: strictly lower pattern, CSC, row indices in factor (pivot) space.
+    lp: Vec<usize>,
+    li: Vec<usize>,
+    // U: strictly upper pattern, CSC, factor-space rows, ascending per
+    // column (the refactor elimination order).
+    up: Vec<usize>,
+    ui: Vec<usize>,
+    /// `p[k]` = original row sitting in factor row `k`.
+    p: Vec<usize>,
+    /// `pinv[i]` = factor row of original row `i`.
+    pinv: Vec<usize>,
+    /// `q[k]` = original column sitting in factor column `k`.
+    q: Vec<usize>,
+}
+
+impl SymbolicLu {
+    /// Analyses a representative matrix: computes the fill-reducing
+    /// ordering, pivot order and elimination patterns that every
+    /// same-pattern matrix can then reuse.
+    ///
+    /// This is a full Gilbert–Peierls factorisation whose numeric factors
+    /// are discarded — pivoting is value-driven, so the analysis needs a
+    /// matrix with representative values (for Newton hot paths: the first
+    /// assembled Jacobian).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`SparseLu::factor`].
+    pub fn analyze(a: &CscMatrix, options: LuOptions) -> Result<Self> {
+        let sym = SparseLu::factor(a, options)?.sym;
+        // The factor just dropped its other fields; this Arc is unique.
+        Ok(Arc::try_unwrap(sym).unwrap_or_else(|shared| (*shared).clone()))
+    }
+
+    /// Numeric-only factorisation of `a`, which must have exactly the
+    /// analysed pattern. Allocates a fresh factor (copying this structure
+    /// once — loops producing many factors should hold an
+    /// `Arc<SymbolicLu>` and call [`SymbolicLu::refactor_shared`]); use
+    /// [`SparseLu::refactor_in_place`] to reuse one factor across
+    /// iterations instead.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::InvalidArgument`] if `a`'s pattern differs from
+    ///   the analysed pattern.
+    /// * [`NumericsError::SingularMatrix`] if a recorded pivot vanishes for
+    ///   the new values.
+    pub fn refactor(&self, a: &CscMatrix) -> Result<SparseLu> {
+        Arc::new(self.clone()).refactor_shared(a)
+    }
+
+    /// [`SymbolicLu::refactor`] without copying the structure: the returned
+    /// factor shares this `Arc`, so only the numeric arrays are allocated.
+    /// This is the right call in loops that keep many factors alive over
+    /// one structure (e.g. per-timestep sensitivity operators).
+    ///
+    /// # Errors
+    ///
+    /// See [`SymbolicLu::refactor`].
+    pub fn refactor_shared(self: &Arc<Self>, a: &CscMatrix) -> Result<SparseLu> {
+        let mut lu = SparseLu {
+            sym: Arc::clone(self),
+            lx: vec![0.0; self.li.len()],
+            ux: vec![0.0; self.ui.len()],
+            udiag: vec![0.0; self.n],
+            scratch: vec![0.0; self.n],
+        };
+        lu.refactor_in_place(a)?;
+        Ok(lu)
+    }
+
+    /// Dimension of the analysed matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Stored entries in the `L`/`U` patterns, diagonal included
+    /// (fill diagnostic).
+    pub fn nnz(&self) -> usize {
+        self.li.len() + self.ui.len() + self.n
+    }
+
+    /// Whether `a` has exactly the pattern this analysis was built from
+    /// (dimensions, column pointers and row indices; a slice compare, so
+    /// cheap next to the numeric work it gates).
+    pub fn matches(&self, a: &CscMatrix) -> bool {
+        a.rows() == self.n
+            && a.cols() == self.n
+            && a.indptr() == &self.a_indptr[..]
+            && a.indices() == &self.a_indices[..]
+    }
+}
+
 /// Sparse LU factors `P·A·Q = L·U` with unit lower-triangular `L`.
 #[derive(Debug, Clone)]
 pub struct SparseLu {
-    n: usize,
-    // L: strictly lower entries, CSC, row indices in factor (pivot) space.
-    lp: Vec<usize>,
-    li: Vec<usize>,
+    /// The structure: permutations and `L`/`U` patterns, shareable between
+    /// factors of the same pattern.
+    sym: Arc<SymbolicLu>,
     lx: Vec<f64>,
-    // U: strictly upper entries, CSC, row indices in factor space.
-    up: Vec<usize>,
-    ui: Vec<usize>,
     ux: Vec<f64>,
     udiag: Vec<f64>,
-    /// `p[k]` = original row sitting in factor row `k`.
-    p: Vec<usize>,
-    /// `q[k]` = original column sitting in factor column `k`.
-    q: Vec<usize>,
+    /// Dense accumulator reused by [`Self::refactor_in_place`]
+    /// (kept zeroed between calls).
+    scratch: Vec<f64>,
 }
 
 impl SparseLu {
@@ -169,10 +302,14 @@ impl SparseLu {
                 });
             }
             // Prefer the "diagonal" row (original row q[k]) when acceptable:
-            // keeps near-symmetric patterns banded under RCM.
+            // keeps near-symmetric patterns banded under RCM. The row must
+            // be part of this column's reach (`mark` check): `x` holds
+            // stale values outside `post`, and a stale-valued pivot would
+            // silently produce a factorisation of the wrong matrix.
             let diag_row = q[k];
             let mut piv_row = max_row;
             if pinv[diag_row] == NONE
+                && mark[diag_row] == generation
                 && x[diag_row].abs() >= options.pivot_threshold * max_val
                 && x[diag_row].abs() > options.pivot_abs_min
             {
@@ -183,11 +320,14 @@ impl SparseLu {
             udiag[k] = piv_val;
 
             // --- Scatter into U (pivoted rows) and L (unpivoted rows). ---
+            // Numerically zero entries are kept: the stored pattern must be
+            // the full structural reach so that refactorisation with
+            // different values stays exact.
             for &i in &post {
-                let xi = x[i];
-                if i == piv_row || xi == 0.0 {
+                if i == piv_row {
                     continue;
                 }
+                let xi = x[i];
                 let row = pinv[i];
                 if row != NONE {
                     ui.push(row); // factor-space row, final
@@ -210,28 +350,148 @@ impl SparseLu {
         for (orig, &fact) in pinv.iter().enumerate() {
             p[fact] = orig;
         }
+        // Sort each U column's entries by factor row: ascending row order is
+        // the topological elimination order `refactor_in_place` replays.
+        {
+            let mut perm: Vec<usize> = Vec::new();
+            for k in 0..n {
+                let (lo, hi) = (up[k], up[k + 1]);
+                if hi - lo > 1 {
+                    perm.clear();
+                    perm.extend(0..hi - lo);
+                    perm.sort_unstable_by_key(|&j| ui[lo + j]);
+                    let sorted_i: Vec<usize> = perm.iter().map(|&j| ui[lo + j]).collect();
+                    let sorted_x: Vec<f64> = perm.iter().map(|&j| ux[lo + j]).collect();
+                    ui[lo..hi].copy_from_slice(&sorted_i);
+                    ux[lo..hi].copy_from_slice(&sorted_x);
+                }
+            }
+        }
         Ok(SparseLu {
-            n,
-            lp,
-            li,
+            sym: Arc::new(SymbolicLu {
+                n,
+                pivot_abs_min: options.pivot_abs_min,
+                a_indptr: a.indptr().to_vec(),
+                a_indices: a.indices().to_vec(),
+                lp,
+                li,
+                up,
+                ui,
+                p,
+                pinv,
+                q,
+            }),
             lx,
-            up,
-            ui,
             ux,
             udiag,
-            p,
-            q,
+            scratch: vec![0.0; n],
         })
+    }
+
+    /// Overwrites this factor's values from `a`, which must have exactly
+    /// the pattern of the originally factored matrix. Reuses the recorded
+    /// permutations and elimination patterns: no ordering, no DFS reach, no
+    /// pivot search, and no allocation — only the numeric sparse triangular
+    /// solves. This is the Newton hot path.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::InvalidArgument`] if `a`'s pattern differs from
+    ///   the factored pattern (the factor is left unchanged).
+    /// * [`NumericsError::SingularMatrix`] if a recorded pivot has magnitude
+    ///   at most the original `pivot_abs_min` for the new values — the new
+    ///   matrix may still be factorable under a different pivot order, so
+    ///   callers should retry with a full [`SparseLu::factor`]. The factor's
+    ///   values are unspecified after this error.
+    pub fn refactor_in_place(&mut self, a: &CscMatrix) -> Result<()> {
+        if !self.sym.matches(a) {
+            return Err(NumericsError::InvalidArgument {
+                context: format!(
+                    "SparseLu::refactor_in_place: pattern of {}x{} matrix (nnz {}) differs \
+                     from the factored pattern",
+                    a.rows(),
+                    a.cols(),
+                    a.nnz()
+                ),
+            });
+        }
+        let sym = &self.sym;
+        let n = sym.n;
+        let x = &mut self.scratch;
+        debug_assert!(x.iter().all(|&v| v == 0.0), "scratch not cleared");
+        for k in 0..n {
+            // Scatter A[:, q[k]] into factor space. Every position lies in
+            // {k} ∪ U-pattern(k) ∪ L-pattern(k): the stored pattern is the
+            // full structural reach of this column.
+            let (rows, vals) = a.col(sym.q[k]);
+            for (&i, &v) in rows.iter().zip(vals) {
+                x[sym.pinv[i]] += v;
+            }
+            // Left-looking elimination over the recorded U pattern.
+            // Ascending factor-row order is topological (L is strictly
+            // lower), so each x[i] is final when read.
+            for t in sym.up[k]..sym.up[k + 1] {
+                let i = sym.ui[t];
+                let xi = x[i];
+                self.ux[t] = xi;
+                if xi != 0.0 {
+                    for idx in sym.lp[i]..sym.lp[i + 1] {
+                        x[sym.li[idx]] -= self.lx[idx] * xi;
+                    }
+                }
+            }
+            let piv = x[k];
+            if piv.abs() <= sym.pivot_abs_min || piv.is_nan() {
+                // Clear the touched entries so the scratch stays zeroed for
+                // the next attempt, then report the vanished pivot.
+                x[k] = 0.0;
+                for t in sym.up[k]..sym.up[k + 1] {
+                    x[sym.ui[t]] = 0.0;
+                }
+                for idx in sym.lp[k]..sym.lp[k + 1] {
+                    x[sym.li[idx]] = 0.0;
+                }
+                return Err(NumericsError::SingularMatrix {
+                    index: k,
+                    pivot: piv.abs(),
+                });
+            }
+            self.udiag[k] = piv;
+            for idx in sym.lp[k]..sym.lp[k + 1] {
+                self.lx[idx] = x[sym.li[idx]] / piv;
+            }
+            // Re-zero the touched entries for the next column.
+            x[k] = 0.0;
+            for t in sym.up[k]..sym.up[k + 1] {
+                x[sym.ui[t]] = 0.0;
+            }
+            for idx in sym.lp[k]..sym.lp[k + 1] {
+                x[sym.li[idx]] = 0.0;
+            }
+        }
+        Ok(())
+    }
+
+    /// The symbolic structure of this factorisation.
+    pub fn symbolic(&self) -> &SymbolicLu {
+        &self.sym
+    }
+
+    /// A shared handle to the symbolic structure, for spawning further
+    /// same-pattern factors without copying it
+    /// (see [`SymbolicLu::refactor_shared`]).
+    pub fn symbolic_shared(&self) -> Arc<SymbolicLu> {
+        Arc::clone(&self.sym)
     }
 
     /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
-        self.n
+        self.sym.n
     }
 
     /// Total stored entries in `L` and `U` (fill diagnostic).
     pub fn nnz(&self) -> usize {
-        self.li.len() + self.ui.len() + self.n
+        self.sym.nnz()
     }
 
     /// Solves `A·x = b` using the stored factors.
@@ -240,16 +500,17 @@ impl SparseLu {
     ///
     /// Panics if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        assert_eq!(b.len(), self.n, "SparseLu::solve: dimension mismatch");
-        let n = self.n;
+        let sym = &self.sym;
+        assert_eq!(b.len(), sym.n, "SparseLu::solve: dimension mismatch");
+        let n = sym.n;
         // x = P·b
-        let mut x: Vec<f64> = self.p.iter().map(|&pi| b[pi]).collect();
+        let mut x: Vec<f64> = sym.p.iter().map(|&pi| b[pi]).collect();
         // Forward: L·y = x (unit diagonal; column-oriented scatter).
         for k in 0..n {
             let xk = x[k];
             if xk != 0.0 {
-                for idx in self.lp[k]..self.lp[k + 1] {
-                    x[self.li[idx]] -= self.lx[idx] * xk;
+                for idx in sym.lp[k]..sym.lp[k + 1] {
+                    x[sym.li[idx]] -= self.lx[idx] * xk;
                 }
             }
         }
@@ -258,15 +519,15 @@ impl SparseLu {
             x[k] /= self.udiag[k];
             let xk = x[k];
             if xk != 0.0 {
-                for idx in self.up[k]..self.up[k + 1] {
-                    x[self.ui[idx]] -= self.ux[idx] * xk;
+                for idx in sym.up[k]..sym.up[k + 1] {
+                    x[sym.ui[idx]] -= self.ux[idx] * xk;
                 }
             }
         }
         // Undo column permutation: out[q[k]] = z[k].
         let mut out = vec![0.0; n];
         for k in 0..n {
-            out[self.q[k]] = x[k];
+            out[sym.q[k]] = x[k];
         }
         out
     }
@@ -355,7 +616,8 @@ pub fn rcm_ordering(a: &CscMatrix) -> Result<Vec<usize>> {
         frontier.push_back(root);
         while let Some(u) = frontier.pop_front() {
             order.push(u);
-            let mut children: Vec<usize> = adj[u].iter().copied().filter(|&v| !visited[v]).collect();
+            let mut children: Vec<usize> =
+                adj[u].iter().copied().filter(|&v| !visited[v]).collect();
             children.sort_by_key(|&v| adj[v].len());
             for v in children {
                 visited[v] = true;
@@ -489,7 +751,7 @@ mod tests {
     fn rcm_is_permutation() {
         let a = tridiag(20).to_csc();
         let q = rcm_ordering(&a).expect("rcm");
-        let mut seen = vec![false; 20];
+        let mut seen = [false; 20];
         for &c in &q {
             assert!(!seen[c], "duplicate column in ordering");
             seen[c] = true;
@@ -554,8 +816,242 @@ mod tests {
         assert_eq!(x, y);
     }
 
+    /// Asserts that a numeric-only refactorisation of `t2` (same pattern as
+    /// `t1`) solves as accurately as a from-scratch factorisation.
+    fn check_refactor_equivalence(t1: &Triplets, t2: &Triplets, b: &[f64]) {
+        let a1 = t1.to_csc();
+        let a2 = t2.to_csc();
+        let mut lu = SparseLu::factor(&a1, LuOptions::default()).expect("factor a1");
+        let fresh = SparseLu::factor(&a2, LuOptions::default()).expect("factor a2");
+        lu.refactor_in_place(&a2).expect("refactor");
+        let x_re = lu.solve(b);
+        let x_fresh = fresh.solve(b);
+        let scale = norm_inf(&x_fresh).max(1.0);
+        for (xr, xf) in x_re.iter().zip(&x_fresh) {
+            assert!(
+                (xr - xf).abs() < 1e-12 * scale,
+                "refactor vs factor solutions differ: {xr} vs {xf}"
+            );
+        }
+        // And the refactored solve truly solves A2.
+        let r = sub(&a2.matvec(&x_re), b);
+        assert!(norm_inf(&r) < 1e-9 * norm_inf(b).max(1.0));
+        // The symbolic API produces the same numeric factor.
+        let sym = SymbolicLu::analyze(&a1, LuOptions::default()).expect("analyze");
+        let from_sym = sym.refactor(&a2).expect("symbolic refactor");
+        let x_sym = from_sym.solve(b);
+        for (xs, xr) in x_sym.iter().zip(&x_re) {
+            assert!((xs - xr).abs() < 1e-14 * scale);
+        }
+    }
+
+    /// Same positions as `t`, values transformed by `f(row, col, v)`.
+    fn remap_values(t: &Triplets, f: impl Fn(usize, usize, f64) -> f64) -> Triplets {
+        let mut out = Triplets::new(t.rows(), t.cols());
+        let csr = t.to_csr();
+        for i in 0..t.rows() {
+            let (cols, vals) = csr.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                out.push(i, *c, f(i, *c, *v));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn refactor_matches_factor_tridiagonal() {
+        let t1 = tridiag(60);
+        let t2 = remap_values(&t1, |i, j, v| v * (1.0 + 0.05 * ((i + 2 * j) as f64).sin()));
+        let b: Vec<f64> = (0..60).map(|i| (i as f64 * 0.9).cos()).collect();
+        check_refactor_equivalence(&t1, &t2, &b);
+    }
+
+    #[test]
+    fn refactor_matches_factor_shuffled_band() {
+        let n = 40;
+        let shuffle: Vec<usize> = (0..n).map(|i| (i * 17) % n).collect();
+        let mut t1 = Triplets::new(n, n);
+        for i in 0..n {
+            t1.push(shuffle[i], shuffle[i], 4.0 + 0.1 * i as f64);
+            if i > 0 {
+                t1.push(shuffle[i], shuffle[i - 1], -1.0);
+                t1.push(shuffle[i - 1], shuffle[i], -1.3);
+            }
+        }
+        let t2 = remap_values(&t1, |i, _, v| v + 0.01 * (i as f64 + 1.0));
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+        check_refactor_equivalence(&t1, &t2, &b);
+    }
+
+    /// MNA-style system with structurally zero diagonals (voltage-source
+    /// branch rows): refactor must reproduce the off-diagonal pivoting.
+    fn mna_zero_diag(g: f64, scale: f64) -> Triplets {
+        // Nodes 0,1 with conductances, branch current unknown 2 enforcing
+        // v0 = V via a source row with zero diagonal.
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, g);
+        t.push(0, 1, -g);
+        t.push(1, 0, -g);
+        t.push(1, 1, g + 0.5 * scale);
+        t.push(0, 2, 1.0); // branch current into node 0
+        t.push(2, 0, 1.0); // v0 = V row, zero diagonal
+        t
+    }
+
+    #[test]
+    fn refactor_matches_factor_mna_zero_diagonal() {
+        let t1 = mna_zero_diag(1e-3, 1.0);
+        let t2 = mna_zero_diag(2.7e-3, 3.0);
+        let b = vec![0.0, 1e-3, 5.0];
+        check_refactor_equivalence(&t1, &t2, &b);
+    }
+
+    #[test]
+    fn refactor_matches_factor_grid_value_change() {
+        // Same-pattern, value-changed 2-D periodic grid (the MPDE shape).
+        let (n1, n2) = (8, 6);
+        let n = n1 * n2;
+        let mut t1 = Triplets::new(n, n);
+        for j in 0..n2 {
+            for i in 0..n1 {
+                let me = j * n1 + i;
+                t1.push(me, me, 4.2);
+                t1.push(me, j * n1 + (i + 1) % n1, -1.0);
+                t1.push(me, j * n1 + (i + n1 - 1) % n1, -1.0);
+                t1.push(me, ((j + 1) % n2) * n1 + i, -1.0);
+                t1.push(me, ((j + n2 - 1) % n2) * n1 + i, -1.0);
+            }
+        }
+        let t2 = remap_values(&t1, |i, j, v| {
+            if i == j {
+                v + 1.0 + (i as f64 * 0.1).sin()
+            } else {
+                v * 0.8
+            }
+        });
+        let b: Vec<f64> = (0..n).map(|k| ((k * 37 % 11) as f64) - 5.0).collect();
+        check_refactor_equivalence(&t1, &t2, &b);
+    }
+
+    #[test]
+    fn refactor_repeated_reuse_stays_exact() {
+        // Many refactor cycles on one factor object: no state leaks between
+        // calls (the scratch accumulator must come back zeroed).
+        let t = tridiag(30);
+        let a0 = t.to_csc();
+        let mut lu = SparseLu::factor(&a0, LuOptions::default()).expect("factor");
+        let b: Vec<f64> = (0..30).map(|i| (i as f64).sin()).collect();
+        for step in 1..6 {
+            let tk = remap_values(&t, |i, _, v| {
+                v * (1.0 + 0.1 * step as f64 + 0.01 * i as f64)
+            });
+            let ak = tk.to_csc();
+            lu.refactor_in_place(&ak).expect("refactor");
+            let x = lu.solve(&b);
+            let r = sub(&ak.matvec(&x), &b);
+            assert!(
+                norm_inf(&r) < 1e-9,
+                "step {step}: residual {}",
+                norm_inf(&r)
+            );
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_different_pattern() {
+        let t1 = tridiag(10);
+        let mut lu = SparseLu::factor(&t1.to_csc(), LuOptions::default()).expect("factor");
+        let mut t2 = tridiag(10);
+        t2.push(0, 9, 0.5); // extra entry: different pattern
+        assert!(matches!(
+            lu.refactor_in_place(&t2.to_csc()),
+            Err(NumericsError::InvalidArgument { .. })
+        ));
+        // The factor is untouched and still solves the original system.
+        let b = vec![1.0; 10];
+        let x = lu.solve(&b);
+        let r = sub(&t1.to_csc().matvec(&x), &b);
+        assert!(norm_inf(&r) < 1e-9);
+    }
+
+    #[test]
+    fn refactor_reports_vanished_pivot() {
+        // Same pattern, but the new values make the matrix singular under
+        // the recorded pivot order: refactor must error cleanly (and the
+        // object must survive for a subsequent full factor).
+        let mut t1 = Triplets::new(2, 2);
+        t1.push(0, 0, 1.0);
+        t1.push(0, 1, 2.0);
+        t1.push(1, 0, 3.0);
+        t1.push(1, 1, 4.0);
+        let mut lu = SparseLu::factor(&t1.to_csc(), LuOptions::default()).expect("factor");
+        // Rank-1 values on the same pattern.
+        let mut t2 = Triplets::new(2, 2);
+        t2.push(0, 0, 1.0);
+        t2.push(0, 1, 2.0);
+        t2.push(1, 0, 2.0);
+        t2.push(1, 1, 4.0);
+        match lu.refactor_in_place(&t2.to_csc()) {
+            Err(NumericsError::SingularMatrix { pivot, .. }) => {
+                assert!(pivot.abs() < 1e-12, "vanished pivot reported: {pivot}");
+            }
+            other => panic!("expected SingularMatrix, got {other:?}"),
+        }
+        // Recovery path: refactor with good values works again.
+        lu.refactor_in_place(&t1.to_csc()).expect("refactor back");
+        let x = lu.solve(&[5.0, 11.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symbolic_analyze_reports_structure() {
+        let t = tridiag(20);
+        let a = t.to_csc();
+        let sym = SymbolicLu::analyze(&a, LuOptions::default()).expect("analyze");
+        assert_eq!(sym.dim(), 20);
+        assert!(sym.matches(&a));
+        assert!(sym.nnz() >= a.nnz());
+        let other = tridiag(21).to_csc();
+        assert!(!sym.matches(&other));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_refactor_matches_factor(seed in 0u64..200) {
+            let n = 20;
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let mut t1 = Triplets::new(n, n);
+            for i in 0..n {
+                let mut offdiag = 0.0;
+                for _ in 0..3 {
+                    let j = (next() * n as f64) as usize % n;
+                    if j != i {
+                        let v = next() * 2.0 - 1.0;
+                        t1.push(i, j, v);
+                        offdiag += v.abs();
+                    }
+                }
+                t1.push(i, i, offdiag + 1.0 + next());
+            }
+            let t2 = remap_values(&t1, |i, j, v| {
+                if i == j { v + 0.5 } else { v * 0.9 }
+            });
+            let b: Vec<f64> = (0..n).map(|_| next() * 2.0 - 1.0).collect();
+            let a2 = t2.to_csc();
+            let mut lu = SparseLu::factor(&t1.to_csc(), LuOptions::default()).expect("factor");
+            lu.refactor_in_place(&a2).expect("refactor");
+            let x = lu.solve(&b);
+            let r = sub(&a2.matvec(&x), &b);
+            prop_assert!(norm_inf(&r) < 1e-9);
+        }
+
         #[test]
         fn prop_random_dominant_systems(seed in 0u64..500) {
             let n = 25;
@@ -614,5 +1110,86 @@ mod tests {
                 prop_assert!((sparse_x[i] - dense_x[i]).abs() < 1e-8);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod mna_pivot_regression {
+    use super::*;
+    use crate::sparse::Triplets;
+    use crate::vector::{norm_inf, sub};
+
+    /// The balanced-mixer DC Jacobian that exposed a pivoting bug: with
+    /// threshold diagonal preference, the preferred row must be part of the
+    /// column's reach — the dense workspace holds stale values outside it,
+    /// and a stale-valued pivot silently factors the wrong matrix.
+    fn mixer_dc_jacobian() -> Triplets {
+        let entries: &[(usize, usize, f64)] = &[
+            (0, 0, 2.0e-3),
+            (1, 0, -1.0e-3),
+            (2, 0, -1.0e-3),
+            (9, 0, 1.0),
+            (0, 1, -1.0e-3),
+            (1, 1, 1.0424e-3),
+            (3, 1, -4.239969e-5),
+            (0, 2, -1.0e-3),
+            (2, 2, 1.021714e-3),
+            (3, 2, -2.171433e-5),
+            (1, 3, -5.108931e-3),
+            (2, 3, -3.720911e-3),
+            (3, 3, 8.894128e-3),
+            (3, 4, 5.425287e-3),
+            (10, 4, 1.0),
+            (3, 5, 5.425287e-3),
+            (11, 5, 1.0),
+            (1, 6, 5.066531e-3),
+            (3, 6, -5.066531e-3),
+            (13, 6, 1.0),
+            (2, 7, 3.699197e-3),
+            (3, 7, -3.699197e-3),
+            (14, 7, 1.0),
+            (12, 8, 1.0),
+            (13, 8, -1.0),
+            (14, 8, -1.0),
+            (0, 9, 1.0),
+            (4, 10, 1.0),
+            (5, 11, 1.0),
+            (8, 12, 1.0),
+            (6, 13, 1.0),
+            (8, 13, -1.0),
+            (7, 14, 1.0),
+            (8, 14, -1.0),
+        ];
+        let mut t = Triplets::new(15, 15);
+        for &(r, c, v) in entries {
+            t.push(r, c, v);
+        }
+        t
+    }
+
+    #[test]
+    fn factor_is_exact_on_mna_with_unreachable_diagonal() {
+        let a = mixer_dc_jacobian().to_csc();
+        let lu = SparseLu::factor(&a, LuOptions::default()).expect("factor");
+        let b: Vec<f64> = (0..15).map(|i| (i as f64 * 0.3).sin()).collect();
+        let x = lu.solve(&b);
+        let r = sub(&a.matvec(&x), &b);
+        assert!(
+            norm_inf(&r) < 1e-12,
+            "factorisation must reproduce A exactly, residual {}",
+            norm_inf(&r)
+        );
+    }
+
+    #[test]
+    fn refactor_is_exact_on_mna_with_unreachable_diagonal() {
+        let a = mixer_dc_jacobian().to_csc();
+        let mut lu = SparseLu::factor(&a, LuOptions::default()).expect("factor");
+        lu.refactor_in_place(&a)
+            .expect("refactor of identical values");
+        let b: Vec<f64> = (0..15).map(|i| (i as f64 * 0.7).cos()).collect();
+        let x = lu.solve(&b);
+        let r = sub(&a.matvec(&x), &b);
+        assert!(norm_inf(&r) < 1e-12, "residual {}", norm_inf(&r));
     }
 }

@@ -120,7 +120,7 @@ pub fn decode_bpsk_envelope(samples: &[f64], num_bits: usize) -> Vec<bool> {
         let phi = std::f64::consts::PI * step as f64 / 32.0;
         let corr = correlate(phi);
         let score: f64 = corr.iter().map(|c| c.abs()).sum();
-        if best.as_ref().map_or(true, |(s, _)| score > *s) {
+        if best.as_ref().is_none_or(|(s, _)| score > *s) {
             best = Some((score, corr));
         }
     }

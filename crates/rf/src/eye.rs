@@ -89,7 +89,7 @@ mod tests {
 
     fn clean_envelope(bits: &[bool], spb: usize) -> Vec<f64> {
         bits.iter()
-            .flat_map(|&b| std::iter::repeat(if b { 1.0 } else { -1.0 }).take(spb))
+            .flat_map(|&b| std::iter::repeat_n(if b { 1.0 } else { -1.0 }, spb))
             .collect()
     }
 
@@ -97,7 +97,11 @@ mod tests {
     fn clean_bits_have_open_eye() {
         let env = clean_envelope(&[true, false, true, true], 32);
         let eye = EyeDiagram::fold(&env, 4);
-        assert!((eye.opening() - 1.0).abs() < 1e-12, "opening {}", eye.opening());
+        assert!(
+            (eye.opening() - 1.0).abs() < 1e-12,
+            "opening {}",
+            eye.opening()
+        );
         assert!(eye.isi() < 1e-12);
     }
 

@@ -44,12 +44,7 @@ pub fn differential_baseband_harmonic(
 }
 
 /// Harmonic distortion of order `m` in dBc: `|env_m| / |env_1|`.
-pub fn hd_dbc(
-    solution: &MultitimeSolution,
-    out_p: usize,
-    out_n: Option<usize>,
-    m: usize,
-) -> f64 {
+pub fn hd_dbc(solution: &MultitimeSolution, out_p: usize, out_n: Option<usize>, m: usize) -> f64 {
     let fund = differential_baseband_harmonic(solution, out_p, out_n, 1);
     let harm = differential_baseband_harmonic(solution, out_p, out_n, m);
     ratio_to_db(harm / fund)
@@ -85,7 +80,7 @@ pub fn band_power(samples: &[f64], k_lo: usize, k_hi: usize) -> f64 {
     let half = n / 2;
     let mut acc = 0.0;
     for k in k_lo..=k_hi.min(half) {
-        let scale = if k == 0 || (n % 2 == 0 && k == half) {
+        let scale = if k == 0 || (n.is_multiple_of(2) && k == half) {
             1.0 / n as f64
         } else {
             2.0 / n as f64
@@ -143,11 +138,7 @@ mod tests {
     #[test]
     fn hd_of_distorted_envelope() {
         // env = cos + 0.1·cos(2·) → HD2 = −20 dBc.
-        let sol = envelope_solution(
-            |u| (2.0 * PI * u).cos() + 0.1 * (4.0 * PI * u).cos(),
-            4,
-            64,
-        );
+        let sol = envelope_solution(|u| (2.0 * PI * u).cos() + 0.1 * (4.0 * PI * u).cos(), 4, 64);
         let hd2 = hd_dbc(&sol, 0, None, 2);
         assert!((hd2 + 20.0).abs() < 0.1, "HD2 = {hd2}");
         let t = thd(&sol, 0, None, 5);
@@ -174,7 +165,9 @@ mod tests {
     #[test]
     fn band_power_parseval_slice() {
         // cos with amplitude 2: power = 2²/2 = 2 in harmonic 1.
-        let samples: Vec<f64> = (0..64).map(|k| 2.0 * (2.0 * PI * k as f64 / 64.0).cos()).collect();
+        let samples: Vec<f64> = (0..64)
+            .map(|k| 2.0 * (2.0 * PI * k as f64 / 64.0).cos())
+            .collect();
         assert!((band_power(&samples, 1, 1) - 2.0).abs() < 1e-9);
         assert!(band_power(&samples, 2, 10) < 1e-12);
     }

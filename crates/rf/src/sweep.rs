@@ -4,8 +4,9 @@
 //! sweep point seeds the next solve — the standard way to trace gain
 //! compression curves cheaply.
 
+use rfsim_circuit::newton::LinearSolverWorkspace;
 use rfsim_circuit::{Circuit, Result};
-use rfsim_mpde::solver::{solve_mpde, InitialGuess, MpdeOptions};
+use rfsim_mpde::solver::{solve_mpde_with_workspace, InitialGuess, MpdeOptions};
 use rfsim_mpde::MpdeSolution;
 
 /// One point of an amplitude sweep.
@@ -36,13 +37,18 @@ where
 {
     let mut out: Vec<SweepPoint> = Vec::with_capacity(values.len());
     let mut prev_data: Option<Vec<f64>> = None;
+    // All sweep points share the circuit topology and grid shape, hence one
+    // Jacobian structure: the workspace makes every solve after the first a
+    // sequence of numeric-only refactorisations.
+    let mut workspace = LinearSolverWorkspace::new();
     for &value in values {
         let circuit = make_circuit(value)?;
         let mut options = base_options.clone();
         if let Some(data) = prev_data.take() {
             options.initial_guess = InitialGuess::Samples(data);
         }
-        let solution = solve_mpde(&circuit, t1_period, t2_period, options)?;
+        let solution =
+            solve_mpde_with_workspace(&circuit, t1_period, t2_period, options, &mut workspace)?;
         prev_data = Some(solution.solution.data.clone());
         out.push(SweepPoint { value, solution });
     }

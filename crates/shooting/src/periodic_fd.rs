@@ -11,7 +11,9 @@
 //! solver — the MPDE engine in `rfsim-mpde` extends the same structure with
 //! a second (difference-frequency) axis.
 
-use rfsim_circuit::newton::{newton_solve, NewtonOptions, NewtonStats, NewtonSystem};
+use rfsim_circuit::newton::{
+    newton_solve_with_workspace, LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem,
+};
 use rfsim_circuit::{Circuit, Result, UnknownKind};
 use rfsim_numerics::diff::DiffScheme;
 use rfsim_numerics::sparse::Triplets;
@@ -168,6 +170,24 @@ pub fn periodic_fd_pss(
     initial_guess: Option<&[f64]>,
     options: PeriodicFdOptions,
 ) -> Result<PeriodicFdResult> {
+    let mut workspace = LinearSolverWorkspace::new();
+    periodic_fd_pss_with_workspace(circuit, period, initial_guess, options, &mut workspace)
+}
+
+/// [`periodic_fd_pss`] with caller-owned linear-solver state: warm-started
+/// re-solves (parameter sweeps, refinement studies on the same `n_samples`)
+/// reuse the collocation Jacobian's symbolic factorisation across calls.
+///
+/// # Errors
+///
+/// See [`periodic_fd_pss`].
+pub fn periodic_fd_pss_with_workspace(
+    circuit: &Circuit,
+    period: f64,
+    initial_guess: Option<&[f64]>,
+    options: PeriodicFdOptions,
+    workspace: &mut LinearSolverWorkspace,
+) -> Result<PeriodicFdResult> {
     let n = circuit.num_unknowns();
     let ns = options.n_samples.max(options.scheme.min_points());
     let times: Vec<f64> = (0..ns).map(|i| period * i as f64 / ns as f64).collect();
@@ -206,7 +226,8 @@ pub fn periodic_fd_pss(
     }
     let kinds: Vec<UnknownKind> = kinds;
 
-    let (samples, stats) = newton_solve(&sys, &x0, &kinds, options.newton)?;
+    let (samples, stats) =
+        newton_solve_with_workspace(&sys, &x0, &kinds, options.newton, workspace)?;
     Ok(PeriodicFdResult {
         times,
         samples,
@@ -225,7 +246,8 @@ mod tests {
         let mut b = CircuitBuilder::new();
         let inp = b.node("in");
         let out = b.node("out");
-        b.vsource("V1", inp, GROUND, Waveform::sine(amp, freq)).expect("v");
+        b.vsource("V1", inp, GROUND, Waveform::sine(amp, freq))
+            .expect("v");
         b.resistor("R1", inp, out, r).expect("r");
         b.capacitor("C1", out, GROUND, c).expect("c");
         let ckt = b.build().expect("build");
@@ -290,7 +312,10 @@ mod tests {
         let (mag, _) = rc_response(r, c, f);
         let e_coarse = (amp_with(32) - mag).abs();
         let e_fine = (amp_with(256) - mag).abs();
-        assert!(e_fine < e_coarse / 4.0, "BE refines: {e_coarse} -> {e_fine}");
+        assert!(
+            e_fine < e_coarse / 4.0,
+            "BE refines: {e_coarse} -> {e_fine}"
+        );
     }
 
     #[test]
@@ -328,7 +353,8 @@ mod tests {
         let mut b = CircuitBuilder::new();
         let inp = b.node("in");
         let out = b.node("out");
-        b.vsource("V1", inp, GROUND, Waveform::sine(2.0, 1e6)).expect("v");
+        b.vsource("V1", inp, GROUND, Waveform::sine(2.0, 1e6))
+            .expect("v");
         b.diode("D1", inp, out, Default::default()).expect("d");
         b.resistor("RL", out, GROUND, 10e3).expect("r");
         b.capacitor("CL", out, GROUND, 1e-9).expect("c");

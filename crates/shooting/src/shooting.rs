@@ -12,13 +12,16 @@
 //! is what the sheared-MPDE method's 1200-point grid replaces.
 
 use rfsim_circuit::dcop::dc_operating_point;
-use rfsim_circuit::newton::{newton_solve, NewtonOptions, NewtonSystem};
+use rfsim_circuit::newton::{
+    newton_solve_with_workspace, LinearSolverWorkspace, NewtonOptions, NewtonSystem,
+};
 use rfsim_circuit::{Circuit, CircuitError, Result, UnknownKind};
 use rfsim_numerics::dense::DenseMatrix;
 use rfsim_numerics::krylov::{gmres, FnOperator, GmresOptions, IdentityPrecond};
-use rfsim_numerics::sparse::{CsrMatrix, Triplets};
-use rfsim_numerics::sparse_lu::{LuOptions, SparseLu};
+use rfsim_numerics::sparse::{CscAssembly, CscMatrix, CsrAssembly, CsrMatrix, Triplets};
+use rfsim_numerics::sparse_lu::{LuOptions, SparseLu, SymbolicLu};
 use rfsim_numerics::vector::wrms_ratio;
+use std::sync::Arc;
 
 /// How the shooting update equation `(M − I)·δ = −r` is solved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -148,6 +151,19 @@ struct PeriodSweep {
     inner_iterations: usize,
 }
 
+/// Caches carried across every time step (and outer iteration) of a
+/// shooting run: the sensitivity Jacobian and `C/h` operators share one
+/// structure for the whole run, so slot maps and the symbolic
+/// factorisation are built once and every step is an in-place scatter plus
+/// a numeric-only refactorisation.
+#[derive(Default)]
+struct SensitivityCache {
+    jac_assembly: Option<CscAssembly>,
+    jac_csc: Option<CscMatrix>,
+    symbolic: Option<Arc<SymbolicLu>>,
+    c_assembly: Option<CsrAssembly>,
+}
+
 fn integrate_period(
     circuit: &Circuit,
     x0: &[f64],
@@ -156,6 +172,8 @@ fn integrate_period(
     kinds: &[UnknownKind],
     newton: NewtonOptions,
     keep_ops: bool,
+    workspace: &mut LinearSolverWorkspace,
+    cache: &mut SensitivityCache,
 ) -> Result<PeriodSweep> {
     let n = circuit.num_unknowns();
     let h = period / steps as f64;
@@ -169,10 +187,13 @@ fn integrate_period(
     let mut inner_iterations = 0;
     let mut q_prev = vec![0.0; n];
     let mut b_new = vec![0.0; n];
+    let mut res = vec![0.0; n];
+    let mut jac = Triplets::with_capacity(n, n, 16 * n);
+    let mut c_prev = Triplets::with_capacity(n, n, 8 * n);
 
     for k in 0..steps {
         let t_new = period * (k + 1) as f64 / steps as f64;
-        let mut c_prev = Triplets::with_capacity(n, n, 8 * n);
+        c_prev.clear();
         circuit.eval_q(&x, &mut q_prev, Some(&mut c_prev));
         let q_prev_over_h: Vec<f64> = q_prev.iter().map(|q| q * inv_h).collect();
         circuit.eval_b(t_new, &mut b_new);
@@ -182,25 +203,51 @@ fn integrate_period(
             q_prev_over_h: &q_prev_over_h,
             b_new: &b_new,
         };
-        let (x_new, stats) = newton_solve(&sys, &x, kinds, newton)?;
+        let (x_new, stats) = newton_solve_with_workspace(&sys, &x, kinds, newton, workspace)?;
         inner_iterations += stats.iterations;
 
         if keep_ops {
             // Jacobian at the accepted point, factored for sensitivity use.
-            let mut res = vec![0.0; n];
-            let mut jac = Triplets::with_capacity(n, n, 16 * n);
+            // Every step shares one structure: slot maps and the symbolic
+            // factorisation are built on the first step; later steps scatter
+            // in place and refactor numerically (falling back to a full
+            // factorisation if the step's values defeat the recorded pivot
+            // order).
+            jac.clear();
             sys.residual_and_jacobian(&x_new, &mut res, &mut jac);
-            let lu = SparseLu::factor(&jac.to_csc(), LuOptions::default())?;
-            // C_prev/h as an explicit operator.
-            let mut scaled = Triplets::with_capacity(n, n, 8 * n);
-            let cm = c_prev.to_csr();
-            for r in 0..n {
-                let (cols, vals) = cm.row(r);
-                for (cc, v) in cols.iter().zip(vals) {
-                    scaled.push(r, *cc, inv_h * v);
-                }
+            if CscAssembly::assemble_cached(&mut cache.jac_assembly, &mut cache.jac_csc, &jac) {
+                cache.symbolic = None;
             }
-            step_ops.push((lu, scaled.to_csr()));
+            let csc = cache.jac_csc.as_ref().expect("assembled above");
+            let lu = match cache
+                .symbolic
+                .as_ref()
+                .and_then(|sym| sym.refactor_shared(csc).ok())
+            {
+                Some(lu) => lu,
+                None => {
+                    let lu = SparseLu::factor(csc, LuOptions::default())?;
+                    cache.symbolic = Some(lu.symbolic_shared());
+                    lu
+                }
+            };
+            // C_prev/h as an explicit operator (each step keeps its own
+            // copy in step_ops; only the compression order is cached).
+            if !cache
+                .c_assembly
+                .as_ref()
+                .is_some_and(|asm| asm.matches(&c_prev))
+            {
+                cache.c_assembly = Some(CsrAssembly::new(&c_prev));
+            }
+            let c_asm = cache.c_assembly.as_ref().expect("built above");
+            let mut c_over_h = c_asm.zero_matrix();
+            let ok = c_asm.scatter(&c_prev, &mut c_over_h);
+            debug_assert!(ok, "matching assembly must scatter");
+            for v in c_over_h.data_mut() {
+                *v *= inv_h;
+            }
+            step_ops.push((lu, c_over_h));
         }
 
         x = x_new;
@@ -247,6 +294,10 @@ pub fn shooting_pss(
     };
     let mut total_steps = 0;
     let mut inner_newton = 0;
+    // Shared across every time step of every outer iteration: the BE step
+    // Jacobian has one structure for the whole shooting run.
+    let mut workspace = LinearSolverWorkspace::new();
+    let mut sensitivity_cache = SensitivityCache::default();
 
     for outer in 1..=options.max_outer {
         let sweep = integrate_period(
@@ -257,6 +308,8 @@ pub fn shooting_pss(
             &kinds,
             options.newton,
             true,
+            &mut workspace,
+            &mut sensitivity_cache,
         )?;
         total_steps += options.steps_per_period;
         inner_newton += sweep.inner_iterations;
@@ -340,7 +393,8 @@ mod tests {
         let mut b = CircuitBuilder::new();
         let inp = b.node("in");
         let out = b.node("out");
-        b.vsource("V1", inp, GROUND, Waveform::sine(amp, freq)).expect("v");
+        b.vsource("V1", inp, GROUND, Waveform::sine(amp, freq))
+            .expect("v");
         b.resistor("R1", inp, out, r).expect("r");
         b.capacitor("C1", out, GROUND, c).expect("c");
         let ckt = b.build().expect("build");
@@ -453,7 +507,8 @@ mod tests {
         let mut b = CircuitBuilder::new();
         let inp = b.node("in");
         let out = b.node("out");
-        b.vsource("V1", inp, GROUND, Waveform::sine(2.0, 1e6)).expect("v");
+        b.vsource("V1", inp, GROUND, Waveform::sine(2.0, 1e6))
+            .expect("v");
         b.diode("D1", inp, out, Default::default()).expect("d");
         b.resistor("RL", out, GROUND, 10e3).expect("r");
         b.capacitor("CL", out, GROUND, 1e-9).expect("c");

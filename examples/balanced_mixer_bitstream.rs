@@ -49,7 +49,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\nbaseband differential output (one 66.7 µs difference period):");
     for (j, v) in env.iter().enumerate() {
         let bar = (((v + 0.15) / 0.3 * 60.0).clamp(0.0, 60.0)) as usize;
-        println!("  {:>5.1} µs {:+8.4} V |{}", 66.67 * j as f64 / env.len() as f64, v, "·".repeat(bar));
+        println!(
+            "  {:>5.1} µs {:+8.4} V |{}",
+            66.67 * j as f64 / env.len() as f64,
+            v,
+            "·".repeat(bar)
+        );
     }
 
     let decoded = decode_bpsk_envelope(&env, sent.len());

@@ -47,7 +47,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("-----------+-----------+-----------+----------");
     let mut small_signal_gain = None;
     for p in &points {
-        let g = conversion_gain_db(&p.solution.solution, probe.out_p, Some(probe.out_n), p.value);
+        let g = conversion_gain_db(
+            &p.solution.solution,
+            probe.out_p,
+            Some(probe.out_n),
+            p.value,
+        );
         let hd2 = hd_dbc(&p.solution.solution, probe.out_p, Some(probe.out_n), 2);
         let hd3 = hd_dbc(&p.solution.solution, probe.out_p, Some(probe.out_n), 3);
         if small_signal_gain.is_none() {
@@ -58,7 +63,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 1 dB compression estimate.
     let g0 = small_signal_gain.expect("at least one point");
     let p1db = points.iter().find(|p| {
-        conversion_gain_db(&p.solution.solution, probe.out_p, Some(probe.out_n), p.value) < g0 - 1.0
+        conversion_gain_db(
+            &p.solution.solution,
+            probe.out_p,
+            Some(probe.out_n),
+            p.value,
+        ) < g0 - 1.0
     });
     match p1db {
         Some(p) => println!(

@@ -17,7 +17,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let rf = b.node("rf");
     let out = b.node("out");
     // LO lives on the fast axis t1.
-    b.vsource("VLO", lo, GROUND, BiWaveform::Axis1(Waveform::cosine(1.0, f1)))?;
+    b.vsource(
+        "VLO",
+        lo,
+        GROUND,
+        BiWaveform::Axis1(Waveform::cosine(1.0, f1)),
+    )?;
     // RF at f2 = f1 − fd, written in sheared form so the slow axis is the
     // difference-frequency time scale.
     b.vsource(
@@ -58,10 +63,18 @@ fn main() -> Result<(), Box<dyn Error>> {
         .unknown_index_of_node(circuit.node_by_name("out").expect("out"))
         .expect("out is not ground");
     let envelope = sol.solution.envelope(out_idx);
-    println!("\nbaseband envelope over one difference period (Td = {} µs):", 1e6 / fd);
+    println!(
+        "\nbaseband envelope over one difference period (Td = {} µs):",
+        1e6 / fd
+    );
     for (j, v) in envelope.iter().enumerate() {
         let bar_len = ((v + 0.55) * 40.0).clamp(0.0, 79.0) as usize;
-        println!("t2 = {:5.1} µs  {:+.4} V  {}", 1e6 / fd * j as f64 / 16.0, v, "▃".repeat(bar_len));
+        println!(
+            "t2 = {:5.1} µs  {:+.4} V  {}",
+            1e6 / fd * j as f64 / 16.0,
+            v,
+            "▃".repeat(bar_len)
+        );
     }
     let h1 = sol.solution.baseband_harmonic(out_idx, 1).abs();
     println!("\ndifference-tone amplitude: {h1:.4} V (ideal: 0.5·K·R·A² = 0.5 V)");

@@ -75,7 +75,10 @@ fn balanced_mixer_recovers_prbs_bits() {
         let inverted = (0..nb).all(|k| decoded[(k + shift) % nb] != sent[k]);
         direct || inverted
     });
-    assert!(synced, "decoded {decoded:?} not within 1 slot of sent {sent:?}");
+    assert!(
+        synced,
+        "decoded {decoded:?} not within 1 slot of sent {sent:?}"
+    );
 }
 
 #[test]
@@ -187,7 +190,10 @@ fn unbalanced_mixer_downconverts() {
     // Unbalanced topology: no HD2 cancellation — distortion higher than
     // the balanced mixer's (structural contrast from the paper's §1).
     let hd2 = hd_dbc(&sol.solution, mixer.out, None, 2);
-    assert!(hd2 > -60.0, "unbalanced HD2 {hd2} dBc should NOT be deeply suppressed");
+    assert!(
+        hd2 > -60.0,
+        "unbalanced HD2 {hd2} dBc should NOT be deeply suppressed"
+    );
 }
 
 #[test]

@@ -2,9 +2,9 @@
 //! through public APIs only (what a downstream user of the workspace sees).
 
 use rfsim::circuit::dcop::{dc_operating_point, DcOptions};
+use rfsim::circuit::devices::BjtParams;
 use rfsim::circuit::newton::{LinearSolver, NewtonOptions};
 use rfsim::circuit::transient::{transient, Integrator, TransientOptions};
-use rfsim::circuit::devices::BjtParams;
 use rfsim::circuit::{CircuitBuilder, DiodeParams, MosfetParams, Waveform, GROUND};
 use rfsim::circuits::fixtures::{rc_lowpass, rlc_series};
 use rfsim::numerics::sparse::Triplets;
@@ -129,12 +129,14 @@ fn bjt_common_emitter_amplifier_bias() {
     // limiting (pnjlim), which this Newton does not implement — the global
     // voltage clamp converges one thermal voltage per iteration instead
     // (documented limitation, DESIGN.md §6).
-    b.vsource("VCC", vcc, GROUND, Waveform::Dc(5.0)).expect("vcc");
+    b.vsource("VCC", vcc, GROUND, Waveform::Dc(5.0))
+        .expect("vcc");
     b.resistor("RB1", vcc, base, 27e3).expect("rb1");
     b.resistor("RB2", base, GROUND, 10e3).expect("rb2");
     b.resistor("RC", vcc, coll, 4.7e3).expect("rc");
     b.resistor("RE", emit, GROUND, 1e3).expect("re");
-    b.bjt("Q1", coll, base, emit, BjtParams::default()).expect("q1");
+    b.bjt("Q1", coll, base, emit, BjtParams::default())
+        .expect("q1");
     let ckt = b.build().expect("build");
     let op = dc_operating_point(&ckt, DcOptions::default()).expect("dc");
     let idx = |n: &str| {
@@ -162,16 +164,21 @@ fn mosfet_inverter_transfer_curve() {
         let vdd = b.node("vdd");
         let g = b.node("g");
         let d = b.node("d");
-        b.vsource("VDD", vdd, GROUND, Waveform::Dc(3.0)).expect("vdd");
+        b.vsource("VDD", vdd, GROUND, Waveform::Dc(3.0))
+            .expect("vdd");
         b.vsource("VIN", g, GROUND, Waveform::Dc(vin)).expect("vin");
         b.resistor("RD", vdd, d, 10e3).expect("rd");
-        b.mosfet("M1", d, g, GROUND, MosfetParams::default()).expect("m");
+        b.mosfet("M1", d, g, GROUND, MosfetParams::default())
+            .expect("m");
         let ckt = b.build().expect("build");
         let op = dc_operating_point(&ckt, DcOptions::default()).expect("dc");
         let vd = op.solution[ckt
             .unknown_index_of_node(ckt.node_by_name("d").expect("d"))
             .expect("idx")];
-        assert!(vd <= prev + 1e-9, "inverter must be monotone: {vd} after {prev}");
+        assert!(
+            vd <= prev + 1e-9,
+            "inverter must be monotone: {vd} after {prev}"
+        );
         assert!(vd > -0.1 && vd < 3.1, "output within rails: {vd}");
         prev = vd;
     }

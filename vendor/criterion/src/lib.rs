@@ -1,0 +1,312 @@
+//! Offline, API-compatible subset of [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! small wall-clock benchmarking harness exposing the criterion API surface
+//! used by `rfsim-bench`: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], `BenchmarkGroup::{bench_function,
+//! bench_with_input, sample_size, finish}`, [`BenchmarkId`], [`black_box`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple: per benchmark it runs a warm-up
+//! call, sizes an inner iteration batch so one sample takes a few
+//! milliseconds, collects `sample_size` samples, and reports
+//! min/median/mean per-iteration times. When the `CRITERION_LITE_OUT`
+//! environment variable names a file, one JSON object per benchmark is
+//! appended to it (used to produce the committed `BENCH_*.json` records).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendering only the parameter (criterion's
+    /// `from_parameter`).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Creates a `function_name/parameter` id.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    name: String,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Top-level benchmark driver (subset of criterion's `Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    records: Vec<BenchRecord>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            records: Vec::new(),
+        }
+    }
+}
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) -> BenchRecord {
+    // Warm-up: one single-iteration sample to size the batches.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let iters_per_sample = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+    let samples = sample_size.max(2);
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min_ns = per_iter_ns[0];
+    let median_ns = per_iter_ns[samples / 2];
+    let mean_ns = per_iter_ns.iter().sum::<f64>() / samples as f64;
+    let rec = BenchRecord {
+        name: name.to_string(),
+        mean_ns,
+        median_ns,
+        min_ns,
+        samples,
+        iters_per_sample,
+    };
+    println!(
+        "{:<48} time: [min {} median {} mean {}]",
+        rec.name,
+        fmt_ns(min_ns),
+        fmt_ns(median_ns),
+        fmt_ns(mean_ns)
+    );
+    rec
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let rec = run_benchmark(&id.into_id(), self.sample_size, f);
+        self.records.push(rec);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Writes the JSON-lines export if `CRITERION_LITE_OUT` is set.
+    /// Called by `criterion_group!` after all targets have run.
+    pub fn final_summary(&self) {
+        let Ok(path) = std::env::var("CRITERION_LITE_OUT") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        use std::io::Write;
+        let mut out = match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("criterion-lite: cannot open {path}: {e}");
+                return;
+            }
+        };
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{{\"name\":\"{}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+                r.name.replace('"', "'"),
+                r.mean_ns,
+                r.median_ns,
+                r.min_ns,
+                r.samples,
+                r.iters_per_sample
+            );
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let rec = run_benchmark(&name, n, f);
+        self.criterion.records.push(rec);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Defines a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_groups_run() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.bench_function("inner", |b| b.iter(|| black_box(2) * 2));
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+                b.iter(|| n * n)
+            });
+            g.finish();
+        }
+        assert_eq!(c.records.len(), 3);
+        assert!(c.records.iter().all(|r| r.mean_ns >= 0.0));
+        assert_eq!(c.records[1].name, "grp/inner");
+        assert_eq!(c.records[2].name, "grp/7");
+    }
+}
