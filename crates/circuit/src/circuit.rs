@@ -179,6 +179,39 @@ impl Circuit {
         self.eval_q(x, &mut scratch, Some(&mut c));
         (g, c)
     }
+
+    /// Fingerprint of this circuit's MNA Jacobian structure: the CSC
+    /// pattern of `G + C` (conductive plus charge stamps), which is what
+    /// every Newton linear system over this circuit — DC, transient,
+    /// collocation, MPDE — draws its per-grid-point blocks from.
+    ///
+    /// Device stamps push their full pattern with exact zeros kept, so the
+    /// fingerprint is independent of device *values* and of the evaluation
+    /// point: two circuits with identical element connectivity fingerprint
+    /// identically, while a topology change (an added element coupling new
+    /// node pairs, an added unknown) changes it. Used by the sweep engine
+    /// to group operating-point families that can share cached
+    /// linear-solver workspaces; it is a routing key, not a correctness
+    /// check (see [`rfsim_numerics::sparse::PatternFingerprint`]).
+    pub fn jacobian_fingerprint(&self) -> rfsim_numerics::sparse::PatternFingerprint {
+        let zeros = vec![0.0; self.num_unknowns()];
+        let (mut g, c) = self.jacobians_at(&zeros);
+        // Union of both stamp patterns, in one compressed structure.
+        merge_triplets(&mut g, &c);
+        g.pattern_fingerprint()
+    }
+}
+
+/// Appends `src`'s entries onto `dst` (the duplicate-summing conversion
+/// folds shared positions, so this is the pattern union).
+fn merge_triplets(dst: &mut Triplets, src: &Triplets) {
+    let csr = src.to_csr();
+    for i in 0..src.rows() {
+        let (cols, vals) = csr.row(i);
+        for (c, v) in cols.iter().zip(vals) {
+            dst.push(i, *c, *v);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +220,7 @@ mod tests {
     use crate::builder::CircuitBuilder;
     use crate::node::GROUND;
     use crate::waveform::{BiWaveform, Waveform};
+    use proptest::prelude::*;
 
     /// Voltage divider: V1 = 10 V across R1 (1k) + R2 (1k).
     fn divider() -> Circuit {
@@ -276,5 +310,54 @@ mod tests {
         assert_eq!(ckt.unknown_index_of_node(GROUND), None);
         assert!(ckt.node_by_name("nope").is_none());
         assert_eq!(ckt.unknown_names()[2], "i(V1)");
+    }
+
+    /// The mixer-shaped fixture used by the fingerprint property tests:
+    /// source → R → diode → RC tank, with every element value drawn from
+    /// the property's random stream.
+    fn diode_filter(amp: f64, r1: f64, r2: f64, c: f64, extra_cap: Option<f64>) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let inp = b.node("in");
+        let mid = b.node("mid");
+        let out = b.node("out");
+        b.vsource("V1", inp, GROUND, Waveform::sine(amp, 1e6))
+            .expect("v");
+        b.resistor("R1", inp, mid, r1).expect("r1");
+        b.diode("D1", mid, out, crate::DiodeParams::default())
+            .expect("d1");
+        b.resistor("R2", out, GROUND, r2).expect("r2");
+        b.capacitor("C1", out, GROUND, c).expect("c1");
+        if let Some(ce) = extra_cap {
+            // Perturbed topology: a feedthrough capacitor couples the
+            // previously unconnected (in, out) node pair.
+            b.capacitor("CX", inp, out, ce).expect("cx");
+        }
+        b.build().expect("build")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_fingerprint_keys_topology_not_values(
+            amp in 0.1f64..10.0,
+            r1 in 10.0f64..1e6,
+            r2 in 10.0f64..1e6,
+            c in 1e-12f64..1e-6,
+            ce in 1e-12f64..1e-6,
+        ) {
+            // Satellite property: two circuits built from the same topology
+            // produce identical CSC Jacobian fingerprints regardless of
+            // element values…
+            let a = diode_filter(amp, r1, r2, c, None);
+            let b = diode_filter(1.0, 1e3, 2e3, 1e-9, None);
+            prop_assert_eq!(a.jacobian_fingerprint(), b.jacobian_fingerprint());
+            // …and a perturbed topology (one extra element) produces a
+            // different one.
+            let p = diode_filter(amp, r1, r2, c, Some(ce));
+            prop_assert_ne!(a.jacobian_fingerprint(), p.jacobian_fingerprint());
+            // Perturbed circuits again agree among themselves.
+            let q = diode_filter(2.0 * amp, r1, 0.5 * r2, c, Some(1e-9));
+            prop_assert_eq!(p.jacobian_fingerprint(), q.jacobian_fingerprint());
+        }
     }
 }

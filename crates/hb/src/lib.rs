@@ -18,4 +18,6 @@ pub mod hb2;
 pub mod spectrum;
 
 pub use hb1::{hb1_pss, Hb1Options, Hb1Result};
-pub use hb2::{hb2_solve, Hb2Options, Hb2Result};
+pub use hb2::{
+    hb2_jacobian_fingerprint, hb2_solve, hb2_solve_with_workspace, Hb2Options, Hb2Result,
+};

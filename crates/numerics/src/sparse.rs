@@ -17,6 +17,76 @@
 
 use crate::{NumericsError, Result};
 
+/// A 64-bit hash of a sparse matrix's *structure* — dimensions, column (or
+/// row) pointers and index arrays — independent of the stored values.
+///
+/// Fingerprints are cache **keys**, not proofs of equality: two different
+/// patterns hashing to the same value is astronomically unlikely (FNV-1a
+/// over the full index arrays) but not impossible, so anything keyed by a
+/// fingerprint must still verify the pattern before trusting it. Every
+/// consumer in this workspace does: [`CscAssembly::scatter`] checks each
+/// stamp position and [`crate::sparse_lu::SymbolicLu::matches`] compares
+/// the stored pattern outright, so a collision costs a transparent rebuild,
+/// never a wrong solve.
+///
+/// Obtain one from [`CscMatrix::pattern_fingerprint`],
+/// [`CsrMatrix::pattern_fingerprint`], [`Triplets::pattern_fingerprint`] or
+/// [`CscAssembly::pattern_fingerprint`]; combine domain context (grid
+/// shape, scheme identity) into a key with [`PatternFingerprint::mix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternFingerprint(u64);
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+#[inline]
+fn fnv1a_u64(mut h: u64, v: u64) -> u64 {
+    for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+        h ^= (v >> shift) & 0xff;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl PatternFingerprint {
+    /// Hashes a compressed pattern: dimensions, then both index arrays.
+    pub(crate) fn of_parts(rows: usize, cols: usize, indptr: &[usize], indices: &[usize]) -> Self {
+        let mut h = FNV_OFFSET;
+        h = fnv1a_u64(h, rows as u64);
+        h = fnv1a_u64(h, cols as u64);
+        h = fnv1a_u64(h, indptr.len() as u64);
+        for &p in indptr {
+            h = fnv1a_u64(h, p as u64);
+        }
+        h = fnv1a_u64(h, indices.len() as u64);
+        for &i in indices {
+            h = fnv1a_u64(h, i as u64);
+        }
+        PatternFingerprint(h)
+    }
+
+    /// Folds extra context (a grid dimension, a scheme discriminant, a
+    /// sibling fingerprint's [`PatternFingerprint::as_u64`]) into this
+    /// fingerprint, producing a new key. Order matters: `a.mix(b) ≠
+    /// b.mix(a)` in general.
+    #[must_use]
+    pub fn mix(self, context: u64) -> Self {
+        PatternFingerprint(fnv1a_u64(self.0, context))
+    }
+
+    /// The raw hash value (for display/diagnostics and for
+    /// [`PatternFingerprint::mix`]).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PatternFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
 /// Coordinate-format (COO) builder for sparse matrices.
 ///
 /// Duplicate `(row, col)` entries are *summed* on conversion, which is
@@ -116,6 +186,15 @@ impl Triplets {
             indices,
             data,
         }
+    }
+
+    /// Fingerprint of the *compressed CSC structure* these entries produce:
+    /// duplicates fold into one slot and exact-zero entries stay structural,
+    /// so any two triplet sequences yielding the same CSC pattern — however
+    /// the stamps were ordered — fingerprint identically.
+    pub fn pattern_fingerprint(&self) -> PatternFingerprint {
+        let (indptr, indices, _) = build_slot_map(self.cols, &self.entries, |&(r, c, _)| (c, r));
+        PatternFingerprint::of_parts(self.rows, self.cols, &indptr, &indices)
     }
 }
 
@@ -290,6 +369,13 @@ impl CsrMatrix {
     pub fn norm_max(&self) -> f64 {
         crate::vector::norm_inf(&self.data)
     }
+
+    /// Fingerprint of this matrix's structure (dimensions, row pointers and
+    /// column indices), independent of the stored values. Note that CSR and
+    /// CSC fingerprints of the same matrix differ — key caches by one form.
+    pub fn pattern_fingerprint(&self) -> PatternFingerprint {
+        PatternFingerprint::of_parts(self.rows, self.cols, &self.indptr, &self.indices)
+    }
 }
 
 /// Compressed sparse column matrix.
@@ -412,6 +498,13 @@ impl CscMatrix {
             l.dedup();
         }
         Ok(adj)
+    }
+
+    /// Fingerprint of this matrix's structure (dimensions, column pointers
+    /// and row indices), independent of the stored values. This is the key
+    /// the sweep engine's workspace cache routes by.
+    pub fn pattern_fingerprint(&self) -> PatternFingerprint {
+        PatternFingerprint::of_parts(self.rows, self.cols, &self.indptr, &self.indices)
     }
 }
 
@@ -570,6 +663,17 @@ impl CscAssembly {
     /// Number of triplet slots the map was built from.
     pub fn num_slots(&self) -> usize {
         self.map.slot.len()
+    }
+
+    /// Fingerprint of the compressed CSC pattern this assembly scatters
+    /// into (equal to the fingerprint of any matrix it produces).
+    pub fn pattern_fingerprint(&self) -> PatternFingerprint {
+        PatternFingerprint::of_parts(
+            self.map.rows,
+            self.map.cols,
+            &self.map.indptr,
+            &self.map.indices,
+        )
     }
 
     /// A zero-valued matrix with this pattern, ready for [`Self::scatter`].
@@ -868,6 +972,47 @@ mod tests {
         t.push(0, 0, 2.0);
         assert!(asm.scatter(&t, &mut m));
         assert_eq!(m.get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn fingerprint_is_value_independent() {
+        let t1 = example();
+        // Same positions, different values, different push order.
+        let mut t2 = Triplets::new(3, 3);
+        t2.push(2, 2, -5.0);
+        t2.push(1, 1, 0.0);
+        t2.push(0, 0, 9.0);
+        t2.push(2, 0, 4.5);
+        t2.push(0, 2, 2.0);
+        assert_eq!(t1.pattern_fingerprint(), t2.pattern_fingerprint());
+        assert_eq!(
+            t1.to_csc().pattern_fingerprint(),
+            t2.to_csc().pattern_fingerprint()
+        );
+        // Duplicates fold into the same compressed slot.
+        let mut t3 = example();
+        t3.push(0, 0, 3.0);
+        assert_eq!(t1.pattern_fingerprint(), t3.pattern_fingerprint());
+        // Assembly, CSC matrix and triplets all agree on the fingerprint.
+        let asm = CscAssembly::new(&t1);
+        assert_eq!(asm.pattern_fingerprint(), t1.to_csc().pattern_fingerprint());
+        assert_eq!(asm.pattern_fingerprint(), t1.pattern_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_patterns() {
+        let t1 = example();
+        let mut t2 = example();
+        t2.push(1, 0, 1.0); // extra structural entry
+        assert_ne!(t1.pattern_fingerprint(), t2.pattern_fingerprint());
+        // Different dimensions, same (empty) entry set.
+        let e1 = Triplets::new(3, 3);
+        let e2 = Triplets::new(3, 4);
+        assert_ne!(e1.pattern_fingerprint(), e2.pattern_fingerprint());
+        // `mix` derives distinct keys from the same base pattern.
+        let f = t1.pattern_fingerprint();
+        assert_ne!(f.mix(16), f.mix(8));
+        assert_ne!(f.mix(16).mix(8), f.mix(8).mix(16));
     }
 
     proptest! {

@@ -183,6 +183,17 @@ impl SymbolicLu {
             && a.indptr() == &self.a_indptr[..]
             && a.indices() == &self.a_indices[..]
     }
+
+    /// Fingerprint of the analysed matrix's CSC pattern — equal to
+    /// [`crate::sparse::CscMatrix::pattern_fingerprint`] of any matrix this
+    /// analysis accepts. A cache key only: [`SymbolicLu::matches`] remains
+    /// the authority on whether a matrix actually fits (see
+    /// [`crate::sparse::PatternFingerprint`] on collision semantics).
+    pub fn pattern_fingerprint(&self) -> crate::sparse::PatternFingerprint {
+        // Reconstruct through a borrowed CSC view? The pattern hash only
+        // needs dims + indptr + indices, which we store verbatim.
+        crate::sparse::PatternFingerprint::of_parts(self.n, self.n, &self.a_indptr, &self.a_indices)
+    }
 }
 
 /// Sparse LU factors `P·A·Q = L·U` with unit lower-triangular `L`.
@@ -1004,6 +1015,26 @@ mod tests {
     }
 
     #[test]
+    fn symbolic_structures_are_send_and_sync() {
+        // The sweep engine moves workspaces (and with them factors and
+        // shared symbolic structures) across worker threads; this must
+        // stay true by construction.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SymbolicLu>();
+        assert_send_sync::<Arc<SymbolicLu>>();
+        assert_send_sync::<SparseLu>();
+    }
+
+    #[test]
+    fn symbolic_fingerprint_matches_matrix_fingerprint() {
+        let a = tridiag(25).to_csc();
+        let sym = SymbolicLu::analyze(&a, LuOptions::default()).expect("analyze");
+        assert_eq!(sym.pattern_fingerprint(), a.pattern_fingerprint());
+        let other = tridiag(26).to_csc();
+        assert_ne!(sym.pattern_fingerprint(), other.pattern_fingerprint());
+    }
+
+    #[test]
     fn symbolic_analyze_reports_structure() {
         let t = tridiag(20);
         let a = t.to_csc();
@@ -1013,6 +1044,108 @@ mod tests {
         assert!(sym.nnz() >= a.nnz());
         let other = tridiag(21).to_csc();
         assert!(!sym.matches(&other));
+    }
+
+    /// Random diagonally dominant matrix with a dense first column (so a
+    /// vanished leading pivot always leaves an alternative pivot row) and a
+    /// deterministic value stream for refreshes.
+    fn random_dominant_full_col0(seed: u64, n: usize) -> (Triplets, impl FnMut() -> f64) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(13);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            let mut offdiag = 0.0;
+            if i > 0 {
+                let v = next() - 0.5;
+                t.push(i, 0, v);
+                offdiag += v.abs();
+            }
+            for _ in 0..3 {
+                let j = 1 + (next() * (n - 1) as f64) as usize % (n - 1);
+                if j != i {
+                    let v = next() * 2.0 - 1.0;
+                    t.push(i, j, v);
+                    offdiag += v.abs();
+                }
+            }
+            t.push(i, i, offdiag + 1.0 + next());
+        }
+        (t, next)
+    }
+
+    /// `x_re` must match `x_fresh` to 1e-12 relative to the solution scale.
+    fn assert_solutions_match_1e12(x_re: &[f64], x_fresh: &[f64]) {
+        let scale = norm_inf(x_fresh).max(1.0);
+        for (r, f) in x_re.iter().zip(x_fresh) {
+            assert!(
+                (r - f).abs() < 1e-12 * scale,
+                "refactor vs fresh factor differ beyond 1e-12: {r} vs {f}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_refactor_tracks_fresh_factor_across_refreshes(seed in 0u64..10_000) {
+            // Satellite property: over a fixed pattern, every random value
+            // refresh refactored in place must solve within 1e-12 of a
+            // from-scratch factorisation of the same values — and a refresh
+            // that vanishes the recorded pivot must take the documented
+            // error + full-refactor fallback path and then keep working.
+            let n = 18;
+            let (t1, mut next) = random_dominant_full_col0(seed, n);
+            // Natural ordering pins factor column 0 to original column 0,
+            // whose recorded pivot is the dominant diagonal — so zeroing
+            // (0,0) later vanishes that pivot deterministically.
+            let opts = LuOptions {
+                ordering: Ordering::Natural,
+                ..Default::default()
+            };
+            let mut lu = SparseLu::factor(&t1.to_csc(), opts).expect("factor");
+            let b: Vec<f64> = (0..n).map(|_| next() * 2.0 - 1.0).collect();
+            for _refresh in 0..4 {
+                let shift = next() + 0.5;
+                let gain = 0.5 + next();
+                let tk = remap_values(&t1, |i, j, v| {
+                    if i == j { v * gain + shift } else { v * gain }
+                });
+                let ak = tk.to_csc();
+                lu.refactor_in_place(&ak).expect("refactor");
+                let fresh = SparseLu::factor(&ak, opts).expect("fresh factor");
+                assert_solutions_match_1e12(&lu.solve(&b), &fresh.solve(&b));
+            }
+            // Vanishing-pivot refresh: kill the recorded column-0 pivot.
+            let tv = remap_values(&t1, |i, j, v| if i == 0 && j == 0 { 0.0 } else { v });
+            let av = tv.to_csc();
+            match lu.refactor_in_place(&av) {
+                Err(NumericsError::SingularMatrix { index, pivot }) => {
+                    prop_assert_eq!(index, 0);
+                    prop_assert!(pivot.abs() < 1e-300);
+                }
+                other => panic!("expected vanished pivot, got {other:?}"),
+            }
+            // The fallback a caller performs: full factorisation, free to
+            // repivot away from the vanished diagonal.
+            lu = SparseLu::factor(&av, opts).expect("fallback full factor");
+            let x = lu.solve(&b);
+            let r = sub(&av.matvec(&x), &b);
+            prop_assert!(norm_inf(&r) < 1e-9 * norm_inf(&b).max(1.0));
+            // And the recovered factor keeps tracking fresh factorisations
+            // on its (new) recorded pattern through further refreshes.
+            let tb = remap_values(&tv, |i, j, v| {
+                if i == j { v * 1.25 + 0.25 } else { v * 0.75 }
+            });
+            let ab = tb.to_csc();
+            lu.refactor_in_place(&ab).expect("refactor after fallback");
+            let fresh = SparseLu::factor(&ab, opts).expect("fresh factor");
+            assert_solutions_match_1e12(&lu.solve(&b), &fresh.solve(&b));
+        }
     }
 
     proptest! {

@@ -6,9 +6,14 @@
 //! * [`measure`] — conversion gain, harmonic distortion (HD2/HD3/THD),
 //!   dB/dBm helpers, adjacent-channel power.
 //! * [`eye`] — eye diagrams and ISI metrics over baseband envelopes.
-//! * [`sweep`] — warm-started parameter sweeps (amplitude → compression).
+//! * [`sweep`] — warm-started parameter sweeps (amplitude → compression)
+//!   and the batched multi-topology [`sweep::SweepEngine`]: a
+//!   fingerprint-keyed workspace cache with warm-start chaining per
+//!   topology group, executed on a hand-rolled worker pool.
+//! * [`pool`] — the fixed-thread [`pool::WorkerPool`] behind the engine.
 
 pub mod bits;
 pub mod eye;
 pub mod measure;
+pub mod pool;
 pub mod sweep;

@@ -11,7 +11,10 @@
 pub mod periodic_fd;
 pub mod shooting;
 
-pub use periodic_fd::{periodic_fd_pss, PeriodicFdOptions, PeriodicFdResult};
+pub use periodic_fd::{
+    periodic_fd_jacobian_fingerprint, periodic_fd_pss, periodic_fd_pss_with_workspace,
+    PeriodicFdOptions, PeriodicFdResult,
+};
 pub use shooting::{
     difference_period_steps, shooting_pss, ShootingMethod, ShootingOptions, ShootingResult,
 };

@@ -4,10 +4,15 @@
 //! repository — every engine is hand-rolled, so agreement is meaningful.
 
 use rfsim::circuit::transient::{transient, Integrator, TransientOptions};
+use rfsim::circuit::{
+    BiWaveform, Circuit, CircuitBuilder, CircuitError, Envelope, Waveform, GROUND,
+};
 use rfsim::circuits::fixtures::{multiplier_mixer, rc_sheared};
 use rfsim::hb::hb2::{hb2_solve, Hb2Options};
 use rfsim::mpde::solver::{solve_mpde, MpdeOptions};
 use rfsim::numerics::diff::DiffScheme;
+use rfsim::rf::pool::WorkerPool;
+use rfsim::rf::sweep::{amplitude_sweep, MpdeGridSweep, MpdeSweepJob, SweepEngine};
 use rfsim::shooting::{periodic_fd_pss, shooting_pss, PeriodicFdOptions, ShootingOptions};
 use std::f64::consts::PI;
 
@@ -133,6 +138,220 @@ fn mpde_diagonal_matches_transient_steady_state() {
         worst = worst.max((v_mpde - v_tr).abs());
     }
     assert!(worst < 0.02, "diagonal vs transient: worst {worst}");
+}
+
+/// Amplitude-parameterised sheared-RC family (one topology per `(r, c)`).
+fn rc_family(
+    f1: f64,
+    fd: f64,
+    r: f64,
+    c: f64,
+) -> impl Fn(f64) -> Result<Circuit, CircuitError> + Send + Sync + 'static {
+    move |a: f64| Ok(rc_sheared(r, c, f1, fd, a)?.0)
+}
+
+/// Amplitude-parameterised multiplier-mixer family (distinct topology from
+/// the RC filters: extra nodes, a nonlinear element, two sources).
+fn mixer_family(
+    f1: f64,
+    fd: f64,
+) -> impl Fn(f64) -> Result<Circuit, CircuitError> + Send + Sync + 'static {
+    move |a: f64| {
+        let mut b = CircuitBuilder::new();
+        let lo = b.node("lo");
+        let rf = b.node("rf");
+        let out = b.node("out");
+        b.vsource(
+            "VLO",
+            lo,
+            GROUND,
+            BiWaveform::Axis1(Waveform::cosine(1.0, f1)),
+        )?;
+        b.vsource(
+            "VRF",
+            rf,
+            GROUND,
+            BiWaveform::ShearedCarrier {
+                amplitude: a,
+                k: 1,
+                f1,
+                fd,
+                phase: 0.0,
+                envelope: Envelope::Unit,
+            },
+        )?;
+        b.multiplier("MIX", out, GROUND, lo, GROUND, rf, GROUND, 1e-3)?;
+        b.resistor("RL", out, GROUND, 1e3)?;
+        b.build()
+    }
+}
+
+#[test]
+fn batched_engine_bit_identical_to_sequential_per_topology_sweeps() {
+    // The engine's contract: a batch over distinct topologies is exactly a
+    // set of per-topology `amplitude_sweep` runs — same workspaces state
+    // sequence, same warm-start chain, bit-identical solutions — just
+    // routed through the fingerprint cache and the worker pool.
+    let (f1, fd) = (1e6, 10e3);
+    let opts = MpdeOptions {
+        n1: 16,
+        n2: 8,
+        ..Default::default()
+    };
+    let amps = vec![0.1, 0.25, 0.5];
+    let jobs = vec![
+        MpdeSweepJob::new(
+            "rc-fast",
+            amps.clone(),
+            1.0 / f1,
+            1.0 / fd,
+            opts.clone(),
+            rc_family(f1, fd, 1e3, 160e-12),
+        ),
+        MpdeSweepJob::new(
+            "rc-slow",
+            amps.clone(),
+            1.0 / f1,
+            1.0 / fd,
+            opts.clone(),
+            rc_family(f1, fd, 4.7e3, 330e-12),
+        ),
+        MpdeSweepJob::new(
+            "mixer",
+            amps.clone(),
+            1.0 / f1,
+            1.0 / fd,
+            opts.clone(),
+            mixer_family(f1, fd),
+        ),
+    ];
+    let engine = SweepEngine::with_pool(WorkerPool::new(3));
+    let batch = engine.run_mpde_batch(&jobs);
+
+    // Note: rc-fast and rc-slow share one topology, so they form one
+    // group; bit-identity for the *second* group member additionally
+    // relies on group chaining being semantics-preserving only within
+    // tolerance. Compare the group leaders bit-for-bit and the follower
+    // against a chained sequential baseline.
+    let sequential: Vec<Vec<rfsim::rf::sweep::SweepPoint>> = vec![
+        amplitude_sweep(
+            &amps,
+            1.0 / f1,
+            1.0 / fd,
+            opts.clone(),
+            rc_family(f1, fd, 1e3, 160e-12),
+        )
+        .expect("rc-fast sequential"),
+        amplitude_sweep(
+            &amps,
+            1.0 / f1,
+            1.0 / fd,
+            opts.clone(),
+            rc_family(f1, fd, 4.7e3, 330e-12),
+        )
+        .expect("rc-slow sequential"),
+        amplitude_sweep(&amps, 1.0 / f1, 1.0 / fd, opts, mixer_family(f1, fd))
+            .expect("mixer sequential"),
+    ];
+    // Group leaders (first job of each fingerprint group) are bit-identical.
+    for (label, job_idx) in [("rc-fast", 0), ("mixer", 2)] {
+        let b = batch[job_idx].as_ref().expect("batch job");
+        for (bp, sp) in b.iter().zip(&sequential[job_idx]) {
+            assert_eq!(
+                bp.solution.solution.data, sp.solution.solution.data,
+                "{label}: batched and sequential solutions must be bit-identical"
+            );
+        }
+    }
+    // The chained group follower agrees to solver tolerance.
+    let b = batch[1].as_ref().expect("rc-slow batch");
+    for (bp, sp) in b.iter().zip(&sequential[1]) {
+        let d: f64 = bp
+            .solution
+            .solution
+            .data
+            .iter()
+            .zip(&sp.solution.solution.data)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max);
+        assert!(d < 1e-4, "rc-slow: chained vs sequential differ by {d}");
+    }
+
+    // With chaining disabled every job is independent: the whole batch is
+    // bit-identical to the sequential runs, followers included.
+    let strict = SweepEngine::with_pool(WorkerPool::new(2)).chain_topology_groups(false);
+    let strict_batch = strict.run_mpde_batch(&jobs);
+    for (job_idx, seq) in sequential.iter().enumerate() {
+        let b = strict_batch[job_idx].as_ref().expect("strict batch job");
+        assert_eq!(b.len(), seq.len());
+        for (bp, sp) in b.iter().zip(seq) {
+            assert_eq!(
+                bp.solution.solution.data, sp.solution.solution.data,
+                "job {job_idx}: unchained batch must be bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn hb2_matches_mpde_across_amplitude_spacing_grid() {
+    // Multi-parameter cross-validation: at every (amplitude × tone
+    // spacing) grid point, the sheared-MPDE fast-axis response must match
+    // two-tone HB (spectrally exact on this linear circuit) and the
+    // analytic RC response at the diagonal frequency f1 − fd.
+    let f1 = 1e6;
+    let (r, c) = (1e3, 160e-12);
+    let amplitudes = vec![0.5, 1.0];
+    let spacings = vec![10e3, 25e3];
+    let sweep = MpdeGridSweep::new(
+        "rc-grid",
+        amplitudes.clone(),
+        spacings.clone(),
+        1.0 / f1,
+        MpdeOptions {
+            n1: 64,
+            n2: 16,
+            scheme1: DiffScheme::Central2,
+            scheme2: DiffScheme::Central2,
+            ..Default::default()
+        },
+        move |a, fd| Ok(rc_sheared(r, c, f1, fd, a)?.0),
+    );
+    let engine = SweepEngine::with_pool(WorkerPool::new(2));
+    let points = engine.run_mpde_grid(&sweep).expect("grid");
+    assert_eq!(points.len(), amplitudes.len() * spacings.len());
+    // One Jacobian structure serves the whole grid.
+    assert_eq!(engine.cache_stats().patterns, 1);
+    for p in &points {
+        let fd = p.spacing;
+        let (ckt, out) = rc_sheared(r, c, f1, fd, p.amplitude).expect("build");
+        let a_mpde = p.solution.solution.fast_harmonic_magnitude(out, 1);
+        let a_ana = p.amplitude * rc_mag(r, c, f1 - fd);
+        assert!(
+            (a_mpde - a_ana).abs() < 0.02 * p.amplitude,
+            "({}, {fd}): MPDE {a_mpde} vs analytic {a_ana}",
+            p.amplitude
+        );
+        let hb = hb2_solve(
+            &ckt,
+            1.0 / f1,
+            1.0 / fd,
+            None,
+            Hb2Options {
+                n1: 8,
+                n2: 8,
+                ..Default::default()
+            },
+        )
+        .expect("hb2");
+        let row: Vec<f64> = (0..8).map(|i| hb.state(i, 0)[out]).collect();
+        let a_hb = rfsim::numerics::fft::harmonic_amplitude(&row, 1);
+        assert!(
+            (a_mpde - a_hb).abs() < 0.02 * p.amplitude,
+            "({}, {fd}): MPDE {a_mpde} vs HB {a_hb}",
+            p.amplitude
+        );
+    }
 }
 
 #[test]
