@@ -11,33 +11,24 @@
 //!   paths whose Newton iterations ride the persistent
 //!   [`rfsim_circuit::newton::LinearSolverWorkspace`]; the warm variant
 //!   additionally reuses it across calls.
+//! * `drifting_operating_point/*` — a pivot-stressing value sequence
+//!   (every refresh kills the current pivot entry of one block's leading
+//!   column): `restricted_pivot` repairs in-pattern; `full_fallback`
+//!   disables the repair so every detected kill pays a full
+//!   re-factorisation — the cost the repair avoids (not the pre-PR-3
+//!   code, whose absolute detection would have silently accepted the
+//!   tiny pivots). The in-pattern hit rate vs full-fallback rate prints
+//!   alongside the wall times (and is gated in CI by `bench_gate`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rfsim_bench::paper::{comparison_grid, scaled_mixer};
-use rfsim_circuit::newton::{LinearSolverWorkspace, NewtonSystem};
+use rfsim_bench::gate::{drift_scenario, drift_sequence, mpde_jacobian, DRIFT_STEPS};
+use rfsim_circuit::newton::LinearSolverWorkspace;
 use rfsim_circuit::transient::{transient, Integrator, TransientOptions};
-use rfsim_mpde::fdtd::MpdeSystem;
 use rfsim_mpde::solver::{solve_mpde, solve_mpde_with_workspace, MpdeOptions};
-use rfsim_numerics::sparse::{CscAssembly, Triplets};
+use rfsim_numerics::sparse::CscAssembly;
 use rfsim_numerics::sparse_lu::{LuOptions, SparseLu};
 
-fn mpde_jacobian(n1: usize, n2: usize) -> Triplets {
-    let mixer = scaled_mixer(10e6, 200.0);
-    let grid = comparison_grid(&mixer, n1, n2);
-    let sys = MpdeSystem::new(&mixer.circuit, grid, Default::default(), Default::default())
-        .expect("system");
-    let dim = sys.dim();
-    let op =
-        rfsim_circuit::dcop::dc_operating_point(&mixer.circuit, Default::default()).expect("dc");
-    let mut x0 = Vec::with_capacity(dim);
-    for _ in 0..grid.num_points() {
-        x0.extend_from_slice(&op.solution);
-    }
-    let mut r = vec![0.0; dim];
-    let mut jac = Triplets::with_capacity(dim, dim, 40 * dim);
-    sys.residual_and_jacobian(&x0, &mut r, &mut jac);
-    jac
-}
+use rfsim_bench::paper::scaled_mixer;
 
 fn bench_factor_vs_refactor(c: &mut Criterion) {
     let jac = mpde_jacobian(24, 16);
@@ -128,10 +119,40 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_drifting_operating_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drifting_operating_point");
+    group.sample_size(10);
+    group.bench_function("restricted_pivot", |b| {
+        b.iter(|| {
+            let (repairs, _) = drift_sequence(true);
+            assert!(
+                repairs * 10 >= DRIFT_STEPS * 9,
+                "drift left the pattern: {repairs}/{DRIFT_STEPS} in-pattern"
+            );
+            repairs
+        })
+    });
+    group.bench_function("full_fallback", |b| b.iter(|| drift_sequence(false)));
+    group.finish();
+    let outcome = drift_scenario(3);
+    eprintln!(
+        "drifting_operating_point: {} pivot-stress refreshes/sequence, \
+         in-pattern hit rate {:.0}%, full-fallback rate {:.0}%, \
+         restricted {:.2} ms vs full-fallback {:.2} ms ({:.2}x)",
+        outcome.stressed_refreshes / 3,
+        100.0 * outcome.hit_rate(),
+        100.0 * outcome.fallback_rate(),
+        outcome.restricted_ns / 1e6,
+        outcome.fallback_ns / 1e6,
+        outcome.fallback_ns / outcome.restricted_ns,
+    );
+}
+
 criterion_group!(
     benches,
     bench_factor_vs_refactor,
     bench_assembly,
-    bench_end_to_end
+    bench_end_to_end,
+    bench_drifting_operating_point
 );
 criterion_main!(benches);

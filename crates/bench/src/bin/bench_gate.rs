@@ -1,0 +1,202 @@
+//! The CI bench-regression gate.
+//!
+//! Measures the refactor and batched-sweep scenarios in-process, writes
+//! the results as `BENCH_pr3.json`, and compares the machine-portable
+//! speedup *ratios* against the committed baseline JSON within a relative
+//! tolerance (see `docs/benching.md` for the schema and the rationale).
+//! Exit code 0 = every ratio within tolerance; 1 = regression.
+//!
+//! ```text
+//! cargo run --release -p rfsim-bench --bin bench_gate -- \
+//!     --baseline BENCH_pr2.json --out BENCH_pr3.json --tolerance 0.15
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use rfsim_bench::gate::{
+    drift_scenario, evaluate, mpde_warm_vs_cold, refactor_vs_full, GateCheck, Json,
+};
+
+struct Args {
+    baseline: String,
+    out: String,
+    tolerance: f64,
+    reps: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        baseline: "BENCH_pr2.json".into(),
+        out: "BENCH_pr3.json".into(),
+        tolerance: 0.15,
+        reps: 7,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--baseline" => args.baseline = value("--baseline"),
+            "--out" => args.out = value("--out"),
+            "--tolerance" => args.tolerance = value("--tolerance").parse().expect("tolerance"),
+            "--reps" => args.reps = value("--reps").parse().expect("reps"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    println!("bench_gate: measuring ({} reps per scenario)…", args.reps);
+    let (refactor_ns, full_factor_ns) = refactor_vs_full(args.reps);
+    let refactor_speedup = full_factor_ns / refactor_ns;
+    println!(
+        "  refactor {refactor_ns:.0} ns vs full factor {full_factor_ns:.0} ns \
+         → {refactor_speedup:.2}x"
+    );
+
+    let drift = drift_scenario(args.reps);
+    let drift_speedup = drift.fallback_ns / drift.restricted_ns;
+    println!(
+        "  drift: restricted {:.0} ns vs full-fallback {:.0} ns → {:.2}x, \
+         hit rate {:.0}%, fallback rate {:.0}%",
+        drift.restricted_ns,
+        drift.fallback_ns,
+        drift_speedup,
+        100.0 * drift.hit_rate(),
+        100.0 * drift.fallback_rate()
+    );
+
+    let (warm_ns, cold_ns) = mpde_warm_vs_cold(args.reps);
+    let warm_speedup = cold_ns / warm_ns;
+    println!("  mpde warm {warm_ns:.0} ns vs cold {cold_ns:.0} ns → {warm_speedup:.2}x");
+
+    // ------------------------------------------------------------------
+    // Emit BENCH_pr3.json.
+    // ------------------------------------------------------------------
+    let json = format!(
+        r#"{{
+  "pr": 3,
+  "title": "Resilient in-pattern refactorisation: restricted pivoting, in-place preconditioner refresh, parallel numeric refactor",
+  "machine_note": "emitted by `cargo run --release -p rfsim-bench --bin bench_gate`; absolute ns are machine-bound, the `ratios` section is what the CI gate compares (see docs/benching.md)",
+  "benchmarks": [
+    {{
+      "name": "refactor/refactor_numeric",
+      "median_ns": {refactor_ns:.1}
+    }},
+    {{
+      "name": "refactor/factor_full",
+      "median_ns": {full_factor_ns:.1}
+    }},
+    {{
+      "name": "drift/restricted_pivot_sequence",
+      "median_ns": {restricted_ns:.1}
+    }},
+    {{
+      "name": "drift/full_fallback_sequence",
+      "median_ns": {fallback_ns:.1}
+    }},
+    {{
+      "name": "mpde/solve_warm_workspace",
+      "median_ns": {warm_ns:.1}
+    }},
+    {{
+      "name": "mpde/solve_cold_workspace",
+      "median_ns": {cold_ns:.1}
+    }}
+  ],
+  "drift": {{
+    "stressed_refreshes": {stressed},
+    "in_pattern_repairs": {repairs},
+    "full_fallbacks": {fallbacks},
+    "hit_rate": {hit_rate:.4},
+    "fallback_rate": {fallback_rate:.4}
+  }},
+  "ratios": {{
+    "refactor_vs_full_factor": {refactor_speedup:.3},
+    "drift_restricted_vs_full_fallback": {drift_speedup:.3},
+    "mpde_warm_vs_cold_workspace": {warm_speedup:.3}
+  }}
+}}
+"#,
+        restricted_ns = drift.restricted_ns,
+        fallback_ns = drift.fallback_ns,
+        stressed = drift.stressed_refreshes,
+        repairs = drift.in_pattern_repairs,
+        fallbacks = drift.full_fallbacks,
+        hit_rate = drift.hit_rate(),
+        fallback_rate = drift.fallback_rate(),
+    );
+    std::fs::File::create(&args.out)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    println!("bench_gate: wrote {}", args.out);
+
+    // Sanity-check that what we wrote is valid against our own reader.
+    Json::parse(&json).expect("bench_gate emitted invalid JSON");
+
+    // ------------------------------------------------------------------
+    // Gate against the committed baseline.
+    // ------------------------------------------------------------------
+    let baseline_text = std::fs::read_to_string(&args.baseline)
+        .unwrap_or_else(|e| panic!("reading baseline {}: {e}", args.baseline));
+    let baseline = Json::parse(&baseline_text)
+        .unwrap_or_else(|e| panic!("parsing baseline {}: {e}", args.baseline));
+
+    // BENCH_pr2.json predates the `ratios` section; derive its
+    // refactor-adjacent ratios from the component costs it does carry, and
+    // fall back to `ratios.*` for any future baseline that has them.
+    let baseline_warm_vs_cold = baseline
+        .number_at("ratios.mpde_warm_vs_cold_workspace")
+        .or_else(|| {
+            let warm = baseline.number_at("component_costs_ns.solve_warm_workspace_cold_guess")?;
+            let cold = baseline.number_at("component_costs_ns.solve_cold_workspace_cold_guess")?;
+            Some(cold / warm)
+        });
+    let baseline_refactor = baseline.number_at("ratios.refactor_vs_full_factor");
+    let baseline_drift = baseline.number_at("ratios.drift_restricted_vs_full_fallback");
+
+    let checks = vec![
+        GateCheck {
+            name: "refactor_vs_full_factor".into(),
+            measured: refactor_speedup,
+            baseline: baseline_refactor,
+            // The symbolic split has to stay clearly worth it.
+            floor: 2.0,
+        },
+        GateCheck {
+            name: "drift_restricted_vs_full_fallback".into(),
+            measured: drift_speedup,
+            baseline: baseline_drift,
+            // Restricted pivoting must never lose to full fallbacks.
+            floor: 1.0,
+        },
+        GateCheck {
+            name: "drift_in_pattern_hit_rate".into(),
+            measured: drift.hit_rate(),
+            baseline: None,
+            // Acceptance criterion: >= 90% of pivot stresses in-pattern.
+            floor: 0.9,
+        },
+        GateCheck {
+            name: "mpde_warm_vs_cold_workspace".into(),
+            measured: warm_speedup,
+            baseline: baseline_warm_vs_cold,
+            floor: 1.1,
+        },
+    ];
+    println!(
+        "bench_gate: comparing against {} (tolerance ±{:.0}%)",
+        args.baseline,
+        100.0 * args.tolerance
+    );
+    if evaluate(&checks, args.tolerance) {
+        println!("bench_gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("bench_gate: FAIL — speedup regression against the committed baseline");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,588 @@
+//! Bench-regression gate: the measurement scenarios, JSON schema helpers
+//! and comparison rules behind the `bench_gate` binary and the CI
+//! `bench-gate` job (see `docs/benching.md`).
+//!
+//! Absolute wall times are machine-bound, so the gate compares
+//! machine-portable **ratios** (speedup of the optimised path over its
+//! baseline path, both measured in the same process seconds apart)
+//! against the ratios committed in the previous PR's `BENCH_*.json`,
+//! within a relative tolerance. A ratio may improve freely; it fails the
+//! gate when it drops more than `tolerance` below its baseline.
+
+use std::time::Instant;
+
+use rfsim_circuit::newton::{LinearSolverWorkspace, NewtonSystem};
+use rfsim_mpde::fdtd::MpdeSystem;
+use rfsim_mpde::solver::{solve_mpde_with_workspace, MpdeOptions};
+use rfsim_numerics::sparse::Triplets;
+use rfsim_numerics::sparse_lu::{LuOptions, Ordering, SparseLu};
+
+use crate::paper::{comparison_grid, scaled_mixer};
+
+/// Median of a sample of nanosecond measurements.
+fn median_ns(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Times `reps` runs of `f` and returns the median nanoseconds.
+pub fn time_median_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    let samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    median_ns(samples)
+}
+
+/// The scaled-mixer MPDE grid Jacobian used by the refactor benchmarks
+/// (assembled once at the DC operating point).
+pub fn mpde_jacobian(n1: usize, n2: usize) -> Triplets {
+    let mixer = scaled_mixer(10e6, 200.0);
+    let grid = comparison_grid(&mixer, n1, n2);
+    let sys = MpdeSystem::new(&mixer.circuit, grid, Default::default(), Default::default())
+        .expect("system");
+    let dim = sys.dim();
+    let op =
+        rfsim_circuit::dcop::dc_operating_point(&mixer.circuit, Default::default()).expect("dc");
+    let mut x0 = Vec::with_capacity(dim);
+    for _ in 0..grid.num_points() {
+        x0.extend_from_slice(&op.solution);
+    }
+    let mut r = vec![0.0; dim];
+    let mut jac = Triplets::with_capacity(dim, dim, 40 * dim);
+    sys.residual_and_jacobian(&x0, &mut r, &mut jac);
+    jac
+}
+
+/// `refactor_in_place` vs full `factor` medians (ns) on the scaled-mixer
+/// MPDE Jacobian — the per-Newton-iteration cost after/before symbolic
+/// reuse.
+pub fn refactor_vs_full(reps: usize) -> (f64, f64) {
+    let csc = mpde_jacobian(24, 16).to_csc();
+    let mut lu = SparseLu::factor(&csc, LuOptions::default()).expect("factor");
+    let refactor = time_median_ns(reps, || {
+        lu.refactor_in_place(&csc).expect("refactor");
+    });
+    let full = time_median_ns(reps, || {
+        SparseLu::factor(&csc, LuOptions::default()).expect("factor");
+    });
+    (refactor, full)
+}
+
+/// Outcome of the drifting-operating-point scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftOutcome {
+    /// Median ns for the full drift sequence with restricted pivoting.
+    pub restricted_ns: f64,
+    /// Median ns for the same sequence with restricted pivoting disabled
+    /// (every stressed refresh pays a full re-factorisation).
+    pub fallback_ns: f64,
+    /// Pivot-stressing refreshes per sequence.
+    pub stressed_refreshes: usize,
+    /// Stressed refreshes the restricted-pivoting run repaired in-pattern.
+    pub in_pattern_repairs: usize,
+    /// Stressed refreshes that still fell back to a full factorisation.
+    pub full_fallbacks: usize,
+}
+
+impl DriftOutcome {
+    /// Fraction of pivot-stressing refreshes kept in-pattern.
+    pub fn hit_rate(&self) -> f64 {
+        self.in_pattern_repairs as f64 / self.stressed_refreshes as f64
+    }
+
+    /// Fraction that fell back to a full factorisation.
+    pub fn fallback_rate(&self) -> f64 {
+        self.full_fallbacks as f64 / self.stressed_refreshes as f64
+    }
+}
+
+/// Dense diagonally dominant `bs × bs` blocks — the per-grid-point circuit
+/// blocks of an MPDE Jacobian, where every in-block row exchange is
+/// structurally admissible.
+pub fn dense_block_matrix(seed: u64, nblocks: usize, bs: usize) -> Triplets {
+    let mut state = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(0x2545F4914F6CDD1D);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let n = nblocks * bs;
+    let mut t = Triplets::new(n, n);
+    for blk in 0..nblocks {
+        let base = blk * bs;
+        for i in 0..bs {
+            let mut offdiag = 0.0;
+            for j in 0..bs {
+                if i != j {
+                    let v = next() * 2.0 - 1.0;
+                    t.push(base + i, base + j, v);
+                    offdiag += v.abs();
+                }
+            }
+            t.push(base + i, base + i, offdiag + 1.0 + next());
+        }
+    }
+    t
+}
+
+/// Same positions as `t`, values transformed by `f(row, col, v)`.
+fn remap(t: &Triplets, f: impl Fn(usize, usize, f64) -> f64) -> Triplets {
+    let mut out = Triplets::new(t.rows(), t.cols());
+    let csr = t.to_csr();
+    for i in 0..t.rows() {
+        let (cols, vals) = csr.row(i);
+        for (c, v) in cols.iter().zip(vals) {
+            out.push(i, *c, f(i, *c, *v));
+        }
+    }
+    out
+}
+
+/// Pivot-stressing refreshes per [`drift_sequence`] run.
+pub const DRIFT_STEPS: usize = 12;
+
+/// One run of the drifting-operating-point sequence: value refreshes on a
+/// block Jacobian where every step kills the *current* pivot entry of one
+/// block's leading column (the sharpest drift a sweep can produce) and
+/// jitters everything else. With `restricted` pivoting the stressed
+/// refreshes repair in-pattern; with the repair disabled
+/// (`restricted = false`) each detected kill costs a full
+/// re-factorisation. (Note this baseline is *repair disabled*, not the
+/// pre-PR-3 code: the old absolute `pivot_abs_min` detection would have
+/// silently accepted these ~1e-13 pivots and kept refactoring on a
+/// numerically degraded factor — the comparison here is between the two
+/// honest responses to a detected kill.) Returns
+/// `(in_pattern_repairs, full_fallbacks)` over the [`DRIFT_STEPS`]
+/// stressed refreshes.
+pub fn drift_sequence(restricted: bool) -> (usize, usize) {
+    let (nblocks, bs) = (48, 8);
+    let t0 = dense_block_matrix(42, nblocks, bs);
+    let a0 = t0.to_csc();
+    let opts = LuOptions {
+        ordering: Ordering::Natural,
+        restricted_pivoting: restricted,
+        ..Default::default()
+    };
+    let (mut repairs, mut fallbacks) = (0usize, 0usize);
+    let mut lu = SparseLu::factor(&a0, opts).expect("factor");
+    for step in 0..DRIFT_STEPS {
+        let victim_col = (step % nblocks) * bs;
+        let victim = lu.current_row_permutation()[victim_col];
+        let gain = 1.0 + 0.02 * ((step + 1) as f64).sin();
+        let tk = remap(&t0, |i, j, v| {
+            if i == victim && j == victim_col {
+                v * 1e-13
+            } else {
+                v * gain
+            }
+        });
+        let ak = tk.to_csc();
+        match lu.refactor_in_place(&ak) {
+            Ok(report) => {
+                if report.pivot_exchanges > 0 {
+                    repairs += 1;
+                }
+            }
+            Err(_) => {
+                fallbacks += 1;
+                lu = SparseLu::factor(&ak, opts).expect("fallback factor");
+            }
+        }
+    }
+    (repairs, fallbacks)
+}
+
+/// Times [`drift_sequence`] under both pivoting modes and aggregates the
+/// in-pattern/fallback counts of the restricted runs.
+pub fn drift_scenario(reps: usize) -> DriftOutcome {
+    let (mut repairs, mut fallbacks) = (0usize, 0usize);
+    let restricted_ns = time_median_ns(reps, || {
+        let (r, f) = drift_sequence(true);
+        repairs += r;
+        fallbacks += f;
+    });
+    let fallback_ns = time_median_ns(reps, || {
+        drift_sequence(false);
+    });
+    DriftOutcome {
+        restricted_ns,
+        fallback_ns,
+        stressed_refreshes: reps * DRIFT_STEPS,
+        in_pattern_repairs: repairs,
+        full_fallbacks: fallbacks,
+    }
+}
+
+/// MPDE warm-workspace vs cold-workspace solve medians (ns) on the
+/// balanced mixer — the per-point reuse lever the sweep engine multiplies
+/// across batches (a leaner stand-in for the full `batched_sweep` bench,
+/// sized for a CI gate).
+pub fn mpde_warm_vs_cold(reps: usize) -> (f64, f64) {
+    let mixer = scaled_mixer(10e6, 100.0);
+    let opts = MpdeOptions {
+        n1: 24,
+        n2: 12,
+        ..Default::default()
+    };
+    let cold = time_median_ns(reps, || {
+        let mut ws = LinearSolverWorkspace::new();
+        solve_mpde_with_workspace(
+            &mixer.circuit,
+            mixer.params.t1_period(),
+            mixer.params.t2_period(),
+            opts.clone(),
+            &mut ws,
+        )
+        .expect("cold solve");
+    });
+    let mut ws = LinearSolverWorkspace::new();
+    solve_mpde_with_workspace(
+        &mixer.circuit,
+        mixer.params.t1_period(),
+        mixer.params.t2_period(),
+        opts.clone(),
+        &mut ws,
+    )
+    .expect("prime");
+    let warm = time_median_ns(reps, || {
+        solve_mpde_with_workspace(
+            &mixer.circuit,
+            mixer.params.t1_period(),
+            mixer.params.t2_period(),
+            opts.clone(),
+            &mut ws,
+        )
+        .expect("warm solve");
+    });
+    (warm, cold)
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value reader (the container has no serde; BENCH_*.json is
+// machine-written, so a small strict parser suffices).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value — just enough structure to read `BENCH_*.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (read as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, insertion-ordered.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Follows a dotted path (`"headline.speedup"`) through nested
+    /// objects.
+    pub fn path(&self, dotted: &str) -> Option<&Json> {
+        dotted.split('.').try_fold(self, |v, key| v.get(key))
+    }
+
+    /// The number at a dotted path, if present.
+    pub fn number_at(&self, dotted: &str) -> Option<f64> {
+        match self.path(dotted) {
+            Some(Json::Number(x)) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect_byte(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Number)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(bytes, pos, b'"')?;
+    // Accumulate raw bytes and validate once at the end, so multi-byte
+    // UTF-8 content passes through intact.
+    let mut out: Vec<u8> = Vec::new();
+    let mut char_buf = [0u8; 4];
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => {
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".to_string())
+            }
+            b'\\' => {
+                let esc = bytes.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                let unescaped = match esc {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'/' => '/',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'b' => '\u{8}',
+                    b'f' => '\u{c}',
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("invalid \\u escape")?;
+                        *pos += 4;
+                        char::from_u32(hex).unwrap_or('\u{fffd}')
+                    }
+                    other => return Err(format!("unknown escape '\\{}'", other as char)),
+                };
+                out.extend_from_slice(unescaped.encode_utf8(&mut char_buf).as_bytes());
+            }
+            _ => out.push(b),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// One gated ratio: the measured value against its committed baseline.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// Which ratio this row gates.
+    pub name: String,
+    /// The freshly measured ratio.
+    pub measured: f64,
+    /// The committed baseline ratio (`None` = new metric, floor-gated
+    /// only).
+    pub baseline: Option<f64>,
+    /// Hard floor the measured value must clear regardless of baseline.
+    pub floor: f64,
+}
+
+impl GateCheck {
+    /// Whether this check passes under `tolerance` (relative slack below
+    /// the baseline).
+    pub fn passes(&self, tolerance: f64) -> bool {
+        let above_floor = self.measured >= self.floor;
+        let within_baseline = match self.baseline {
+            Some(base) => self.measured >= base * (1.0 - tolerance),
+            None => true,
+        };
+        above_floor && within_baseline
+    }
+}
+
+/// Evaluates all checks, printing a verdict line per check; returns `true`
+/// when every check passes.
+pub fn evaluate(checks: &[GateCheck], tolerance: f64) -> bool {
+    let mut ok = true;
+    for check in checks {
+        let pass = check.passes(tolerance);
+        ok &= pass;
+        let baseline = check
+            .baseline
+            .map_or("none (new metric)".to_string(), |b| format!("{b:.3}"));
+        println!(
+            "[{}] {}: measured {:.3}, baseline {}, floor {:.3}",
+            if pass { "PASS" } else { "FAIL" },
+            check.name,
+            check.measured,
+            baseline,
+            check.floor,
+        );
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parses_bench_schema() {
+        let doc = r#"{
+            "pr": 2,
+            "note": "a \"quoted\" machine — naïve UTF-8 survives",
+            "benchmarks": [
+                {"name": "x", "median_ns": 12.5},
+                {"name": "y", "median_ns": 2e3, "ok": true}
+            ],
+            "headline": {"speedup": 1.63, "nested": {"deep": -4}}
+        }"#;
+        let json = Json::parse(doc).expect("parse");
+        assert_eq!(
+            json.path("note"),
+            Some(&Json::String(
+                "a \"quoted\" machine — naïve UTF-8 survives".into()
+            ))
+        );
+        assert_eq!(json.number_at("pr"), Some(2.0));
+        assert_eq!(json.number_at("headline.speedup"), Some(1.63));
+        assert_eq!(json.number_at("headline.nested.deep"), Some(-4.0));
+        assert_eq!(json.number_at("headline.missing"), None);
+        match json.path("benchmarks") {
+            Some(Json::Array(items)) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[0].number_at("median_ns"), Some(12.5));
+                assert_eq!(items[1].number_at("median_ns"), Some(2000.0));
+                assert_eq!(items[1].get("ok"), Some(&Json::Bool(true)));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert!(Json::parse("{\"a\": 1,}").is_err());
+        assert!(Json::parse("[1, 2] trailing").is_err());
+    }
+
+    #[test]
+    fn gate_check_tolerance_semantics() {
+        let check = |measured, baseline, floor| GateCheck {
+            name: "r".into(),
+            measured,
+            baseline,
+            floor,
+        };
+        // Within 15% of baseline: pass; below: fail; improvements pass.
+        assert!(check(1.40, Some(1.63), 0.0).passes(0.15));
+        assert!(!check(1.38, Some(1.63), 0.0).passes(0.15));
+        assert!(check(2.0, Some(1.63), 0.0).passes(0.15));
+        // Floor applies even without a baseline.
+        assert!(check(0.95, None, 0.9).passes(0.15));
+        assert!(!check(0.85, None, 0.9).passes(0.15));
+    }
+
+    #[test]
+    fn drift_scenario_stays_in_pattern() {
+        // One cheap reprise of the acceptance criterion: >= 90% of
+        // pivot-stress refreshes repaired in-pattern (the dense-block
+        // drift is 100% by construction).
+        let outcome = drift_scenario(1);
+        assert_eq!(outcome.stressed_refreshes, 12);
+        assert!(
+            outcome.hit_rate() >= 0.9,
+            "hit rate {:.2} below the 90% acceptance floor",
+            outcome.hit_rate()
+        );
+        assert_eq!(outcome.full_fallbacks, 0);
+    }
+}

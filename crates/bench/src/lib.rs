@@ -7,5 +7,6 @@
 //! in `target/repro/`. The experiment-to-binary map is in `DESIGN.md` §4
 //! and measured results are recorded in `EXPERIMENTS.md`.
 
+pub mod gate;
 pub mod output;
 pub mod paper;

@@ -20,6 +20,7 @@
 //! convenience wrapper that scopes the workspace to a single solve.
 
 use rfsim_numerics::krylov::{gmres, BlockJacobiPrecond, GmresOptions, Ilu0};
+use rfsim_numerics::pool::WorkerPool;
 use rfsim_numerics::sparse::{
     CscAssembly, CscMatrix, CsrAssembly, CsrMatrix, PatternFingerprint, Triplets,
 };
@@ -28,6 +29,28 @@ use rfsim_numerics::vector::{norm2, wrms_ratio};
 
 use crate::circuit::UnknownKind;
 use crate::{CircuitError, Result};
+
+/// How a [`LinearSolverWorkspace`] runs the numeric refactorisation that
+/// dominates every direct Newton iteration after the first.
+///
+/// Both strategies ride the same resilience ladder
+/// (see [`rfsim_numerics::sparse_lu`]): numeric-only refresh of the cached
+/// symbolic structure, KLU-style in-pattern pivot exchange when an
+/// operating-point jump kills a recorded pivot, and a full
+/// re-factorisation only when no in-pattern row qualifies.
+#[derive(Debug, Clone, Default)]
+pub enum RefactorStrategy {
+    /// Refactor on the calling thread. The default, and the right choice
+    /// on single-core hosts or for small circuit Jacobians.
+    #[default]
+    Sequential,
+    /// Pipeline the per-column numeric refactorisation across the pool's
+    /// workers ([`SparseLu::refactor_in_place_parallel`]). Worth it for
+    /// the large MPDE/HB grid Jacobians (`n·N1·N2` unknowns) on
+    /// multi-core hosts; pivot exchanges still run on the sequential
+    /// fallback inside the same call.
+    Parallel(WorkerPool),
+}
 
 /// How each Newton linear system `J·dx = −F` is solved.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -95,10 +118,13 @@ impl LinearSolver {
                     max_iters: *max_iters,
                     ..Default::default()
                 };
-                let csr = ws.assemble_csr(jac);
                 let x0 = vec![0.0; rhs.len()];
-                let solved = match Ilu0::new(csr) {
-                    Ok(ilu) => gmres(csr, &ilu, rhs, &x0, opts).ok(),
+                let solved = match ws.ilu_ready(jac) {
+                    Ok(()) => {
+                        let csr = ws.csr.as_ref().expect("assembled by ilu_ready");
+                        let ilu = ws.ilu.as_ref().expect("refreshed by ilu_ready");
+                        gmres(csr, ilu, rhs, &x0, opts).ok()
+                    }
                     Err(_) => None,
                 };
                 match solved {
@@ -124,10 +150,16 @@ impl LinearSolver {
                     max_iters: *max_iters,
                     ..Default::default()
                 };
-                let csr = ws.assemble_csr(jac);
                 let x0 = vec![0.0; rhs.len()];
-                let solved = match BlockJacobiPrecond::new(csr, *block_size) {
-                    Ok(pre) => gmres(csr, &pre, rhs, &x0, opts).ok(),
+                let solved = match ws.block_jacobi_ready(jac, *block_size) {
+                    Ok(()) => {
+                        let csr = ws.csr.as_ref().expect("assembled by block_jacobi_ready");
+                        let pre = ws
+                            .block_jacobi
+                            .as_ref()
+                            .expect("refreshed by block_jacobi_ready");
+                        gmres(csr, pre, rhs, &x0, opts).ok()
+                    }
                     Err(_) => None,
                 };
                 match solved {
@@ -153,6 +185,17 @@ pub struct WorkspaceStats {
     pub full_factorizations: usize,
     /// Numeric-only refactorisations through the cached symbolic structure.
     pub refactorizations: usize,
+    /// Refactorisations carried by the parallel column pipeline
+    /// ([`RefactorStrategy::Parallel`]); a subset of `refactorizations`.
+    pub parallel_refactorizations: usize,
+    /// KLU-style in-pattern pivot exchanges performed by restricted
+    /// pivoting — operating-point jumps that would previously have cost a
+    /// full re-factorisation each.
+    pub pivot_exchanges: usize,
+    /// Refactorisations that found no admissible in-pattern pivot and fell
+    /// back to a full factorisation (also counted in
+    /// `full_factorizations`).
+    pub full_fallbacks: usize,
     /// Times the assembly slot maps had to be (re)built because the stamp
     /// sequence changed (once per structure in the steady state).
     pub pattern_rebuilds: usize,
@@ -162,6 +205,44 @@ pub struct WorkspaceStats {
     pub iterative_solves: usize,
     /// Krylov breakdowns recovered by the shared direct path.
     pub direct_fallbacks: usize,
+    /// In-place numeric refreshes of a cached ILU(0)/block-Jacobi
+    /// preconditioner over its existing pattern (no allocation).
+    pub precond_refreshes: usize,
+    /// Preconditioner (re)builds from scratch (first use, structural
+    /// change, or recovery from a refresh breakdown).
+    pub precond_rebuilds: usize,
+}
+
+impl WorkspaceStats {
+    /// Adds `other`'s counters into `self` — the aggregation
+    /// [`WorkspaceCache::solver_stats`] and the sweep engine use to roll
+    /// per-workspace counters up to batch level.
+    pub fn absorb(&mut self, other: &WorkspaceStats) {
+        let WorkspaceStats {
+            full_factorizations,
+            refactorizations,
+            parallel_refactorizations,
+            pivot_exchanges,
+            full_fallbacks,
+            pattern_rebuilds,
+            cached_solves,
+            iterative_solves,
+            direct_fallbacks,
+            precond_refreshes,
+            precond_rebuilds,
+        } = other;
+        self.full_factorizations += full_factorizations;
+        self.refactorizations += refactorizations;
+        self.parallel_refactorizations += parallel_refactorizations;
+        self.pivot_exchanges += pivot_exchanges;
+        self.full_fallbacks += full_fallbacks;
+        self.pattern_rebuilds += pattern_rebuilds;
+        self.cached_solves += cached_solves;
+        self.iterative_solves += iterative_solves;
+        self.direct_fallbacks += direct_fallbacks;
+        self.precond_refreshes += precond_refreshes;
+        self.precond_rebuilds += precond_rebuilds;
+    }
 }
 
 /// Reusable linear-solver state for Newton iterations over a fixed-pattern
@@ -181,6 +262,14 @@ pub struct LinearSolverWorkspace {
     lu: Option<SparseLu>,
     csr_assembly: Option<CsrAssembly>,
     csr: Option<CsrMatrix>,
+    /// Cached ILU(0) preconditioner, refreshed in place per solve while
+    /// the CSR pattern holds.
+    ilu: Option<Ilu0>,
+    /// Cached block-Jacobi preconditioner, refreshed in place per solve
+    /// while the dimensions and block size hold.
+    block_jacobi: Option<BlockJacobiPrecond>,
+    /// How direct refactorisations run (sequential or pooled).
+    refactor_strategy: RefactorStrategy,
     /// Reuse counters (diagnostics; cheap to read, never reset internally).
     pub stats: WorkspaceStats,
 }
@@ -189,6 +278,27 @@ impl LinearSolverWorkspace {
     /// Creates an empty workspace; caches fill in on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty workspace running direct refactorisations under
+    /// `strategy`.
+    pub fn with_strategy(strategy: RefactorStrategy) -> Self {
+        LinearSolverWorkspace {
+            refactor_strategy: strategy,
+            ..Default::default()
+        }
+    }
+
+    /// Replaces the refactorisation strategy (cached factors and
+    /// preconditioners are kept — the strategy only changes how the next
+    /// numeric refresh is scheduled).
+    pub fn set_refactor_strategy(&mut self, strategy: RefactorStrategy) {
+        self.refactor_strategy = strategy;
+    }
+
+    /// The current refactorisation strategy.
+    pub fn refactor_strategy(&self) -> &RefactorStrategy {
+        &self.refactor_strategy
     }
 
     /// Assembles `jac` into the cached CSC matrix through the slot map,
@@ -207,26 +317,100 @@ impl LinearSolverWorkspace {
     fn assemble_csr(&mut self, jac: &Triplets) -> &CsrMatrix {
         if CsrAssembly::assemble_cached(&mut self.csr_assembly, &mut self.csr, jac) {
             self.stats.pattern_rebuilds += 1;
+            // Cached preconditioners describe the old pattern.
+            self.ilu = None;
+            self.block_jacobi = None;
         }
         self.csr.as_ref().expect("assembled above")
     }
 
+    /// Assembles `jac` and brings the cached ILU(0) preconditioner up to
+    /// date with it: an in-place numeric refresh while the pattern holds,
+    /// a rebuild otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ILU(0) breakdown (structurally missing diagonal or zero
+    /// pivot); the caller falls back to the direct path.
+    fn ilu_ready(&mut self, jac: &Triplets) -> Result<()> {
+        self.assemble_csr(jac);
+        let csr = self.csr.as_ref().expect("assembled above");
+        match &mut self.ilu {
+            Some(ilu) if ilu.same_pattern(csr) => {
+                if let Err(e) = ilu.refactor_in_place(csr) {
+                    // Breakdown leaves unspecified values: drop the cache
+                    // so the next attempt rebuilds.
+                    self.ilu = None;
+                    return Err(e.into());
+                }
+                self.stats.precond_refreshes += 1;
+            }
+            _ => {
+                self.ilu = Some(Ilu0::new(csr)?);
+                self.stats.precond_rebuilds += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Assembles `jac` and brings the cached block-Jacobi preconditioner
+    /// up to date with it (in-place refresh while dimensions and block
+    /// size hold, rebuild otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a singular diagonal block; the caller falls back to the
+    /// direct path.
+    fn block_jacobi_ready(&mut self, jac: &Triplets, block_size: usize) -> Result<()> {
+        self.assemble_csr(jac);
+        let csr = self.csr.as_ref().expect("assembled above");
+        match &mut self.block_jacobi {
+            Some(bj) if bj.block_size() == block_size && bj.matches(csr) => {
+                if let Err(e) = bj.refactor_in_place(csr) {
+                    self.block_jacobi = None;
+                    return Err(e.into());
+                }
+                self.stats.precond_refreshes += 1;
+            }
+            _ => {
+                self.block_jacobi = Some(BlockJacobiPrecond::new(csr, block_size)?);
+                self.stats.precond_rebuilds += 1;
+            }
+        }
+        Ok(())
+    }
+
     /// The shared direct-LU path: in-place assembly, numeric-only
-    /// refactorisation when the cached symbolic structure still applies,
-    /// full factorisation otherwise. Used by [`LinearSolver::Direct`] and
-    /// as the fallback of both Krylov configurations.
+    /// refactorisation when the cached symbolic structure still applies
+    /// (restricted pivoting repairs vanished pivots in-pattern; the
+    /// strategy decides sequential vs pooled execution), full
+    /// factorisation otherwise. Used by [`LinearSolver::Direct`] and as
+    /// the fallback of both Krylov configurations.
     fn solve_direct(&mut self, jac: &Triplets, rhs: &[f64]) -> Result<Vec<f64>> {
         self.assemble_csc(jac);
         let csc = self.csc.as_ref().expect("assembled above");
         match &mut self.lu {
             Some(lu) => {
-                if lu.refactor_in_place(csc).is_ok() {
-                    self.stats.refactorizations += 1;
-                } else {
-                    // Vanished pivot (or stale structure): fall back to a
-                    // full factorisation, free to repivot.
-                    *lu = SparseLu::factor(csc, LuOptions::default())?;
-                    self.stats.full_factorizations += 1;
+                let refreshed = match &self.refactor_strategy {
+                    RefactorStrategy::Sequential => lu.refactor_in_place(csc),
+                    RefactorStrategy::Parallel(pool) => lu.refactor_in_place_parallel(csc, pool),
+                };
+                match refreshed {
+                    Ok(report) => {
+                        self.stats.refactorizations += 1;
+                        self.stats.pivot_exchanges += report.pivot_exchanges;
+                        if report.parallel {
+                            self.stats.parallel_refactorizations += 1;
+                        }
+                    }
+                    Err(_) => {
+                        // No admissible in-pattern pivot (or stale
+                        // structure): fall back to a full factorisation,
+                        // free to repivot.
+                        *lu = SparseLu::factor(csc, LuOptions::default())?;
+                        self.stats.full_factorizations += 1;
+                        self.stats.full_fallbacks += 1;
+                    }
                 }
             }
             None => {
@@ -291,6 +475,10 @@ impl LinearSolverWorkspace {
 pub struct WorkspaceCache {
     pool: std::collections::HashMap<PatternFingerprint, Vec<LinearSolverWorkspace>>,
     capacity: usize,
+    /// Solver counters inherited from workspaces the cache has dropped
+    /// (capacity overflow or [`WorkspaceCache::clear`]), so
+    /// [`WorkspaceCache::solver_stats`] never loses history.
+    absorbed: WorkspaceStats,
     /// Checkouts that found a warmed workspace.
     pub hits: usize,
     /// Checkouts that had to create a fresh workspace.
@@ -319,6 +507,7 @@ impl WorkspaceCache {
         WorkspaceCache {
             pool: std::collections::HashMap::new(),
             capacity: capacity.max(1),
+            absorbed: WorkspaceStats::default(),
             hits: 0,
             misses: 0,
         }
@@ -361,6 +550,7 @@ impl WorkspaceCache {
     /// pool (see [`WorkspaceCache::capacity`]) drops the workspace instead.
     pub fn checkin(&mut self, key: PatternFingerprint, ws: LinearSolverWorkspace) {
         if self.len() >= self.capacity {
+            self.absorbed.absorb(&ws.stats);
             return;
         }
         let actual = ws.pattern_fingerprint().unwrap_or(key);
@@ -382,9 +572,26 @@ impl WorkspaceCache {
         self.pool.values().filter(|v| !v.is_empty()).count()
     }
 
-    /// Drops all parked workspaces (counters are kept).
+    /// Aggregated solver counters across every workspace this cache has
+    /// seen: the currently parked ones plus everything absorbed from
+    /// dropped workspaces. Workspaces currently checked out report here
+    /// once they are checked back in.
+    pub fn solver_stats(&self) -> WorkspaceStats {
+        let mut total = self.absorbed;
+        for ws in self.pool.values().flatten() {
+            total.absorb(&ws.stats);
+        }
+        total
+    }
+
+    /// Drops all parked workspaces (counters are kept — their solver
+    /// stats fold into [`WorkspaceCache::solver_stats`]).
     pub fn clear(&mut self) {
-        self.pool.clear();
+        for (_, parked) in self.pool.drain() {
+            for ws in parked {
+                self.absorbed.absorb(&ws.stats);
+            }
+        }
     }
 }
 
@@ -967,6 +1174,125 @@ mod tests {
         let _ = cache.checkout(probe(0));
         assert_eq!(cache.num_patterns(), 1);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn parallel_strategy_matches_sequential_and_counts() {
+        // Width-2 pool: even on a single-core host the pipeline threads
+        // run (timeshared), so correctness and counters are testable
+        // everywhere; the speedup itself is covered by the multi-core CI
+        // job.
+        let mut seq_ws = LinearSolverWorkspace::new();
+        let (x_seq, _) = newton_solve_with_workspace(
+            &Coupled,
+            &[2.5, 0.1],
+            &[],
+            NewtonOptions::default(),
+            &mut seq_ws,
+        )
+        .expect("sequential");
+        let mut par_ws =
+            LinearSolverWorkspace::with_strategy(RefactorStrategy::Parallel(WorkerPool::new(2)));
+        assert!(matches!(
+            par_ws.refactor_strategy(),
+            RefactorStrategy::Parallel(_)
+        ));
+        let (x_par, _) = newton_solve_with_workspace(
+            &Coupled,
+            &[2.5, 0.1],
+            &[],
+            NewtonOptions::default(),
+            &mut par_ws,
+        )
+        .expect("parallel");
+        assert_eq!(x_seq, x_par, "pipeline must be bit-identical");
+        assert!(par_ws.stats.refactorizations >= 1);
+        assert_eq!(
+            par_ws.stats.parallel_refactorizations, par_ws.stats.refactorizations,
+            "every refresh of this solve should ride the pipeline"
+        );
+        assert_eq!(seq_ws.stats.parallel_refactorizations, 0);
+        // Strategy can be swapped mid-life without losing the caches.
+        par_ws.set_refactor_strategy(RefactorStrategy::Sequential);
+        let before = par_ws.stats;
+        newton_solve_with_workspace(
+            &Coupled,
+            &[2.0, 0.5],
+            &[],
+            NewtonOptions::default(),
+            &mut par_ws,
+        )
+        .expect("after strategy swap");
+        assert_eq!(par_ws.stats.full_factorizations, before.full_factorizations);
+        assert_eq!(
+            par_ws.stats.parallel_refactorizations,
+            before.parallel_refactorizations
+        );
+    }
+
+    #[test]
+    fn gmres_ilu0_refreshes_cached_preconditioner() {
+        // Two solves over one structure: the first builds the ILU(0)
+        // preconditioner, every later iteration refreshes it in place.
+        let opts = NewtonOptions {
+            linear: LinearSolver::gmres_default(),
+            ..Default::default()
+        };
+        let mut ws = LinearSolverWorkspace::new();
+        newton_solve_with_workspace(&Coupled, &[2.5, 0.1], &[], opts, &mut ws).expect("first");
+        newton_solve_with_workspace(&Coupled, &[2.0, 0.5], &[], opts, &mut ws).expect("second");
+        assert!(ws.stats.iterative_solves >= 2);
+        assert_eq!(
+            ws.stats.precond_rebuilds, 1,
+            "one build, then in-place refreshes: {:?}",
+            ws.stats
+        );
+        assert!(
+            ws.stats.precond_refreshes >= 1,
+            "later iterations must refresh, not rebuild: {:?}",
+            ws.stats
+        );
+        // A structural change rebuilds the preconditioner transparently.
+        newton_solve_with_workspace(&Quadratic, &[3.0], &[], opts, &mut ws)
+            .expect("different structure");
+        assert_eq!(ws.stats.precond_rebuilds, 2);
+    }
+
+    #[test]
+    fn cache_aggregates_solver_stats_across_workspaces() {
+        let probe = |dim: usize| {
+            Triplets::new(dim, dim)
+                .pattern_fingerprint()
+                .mix(dim as u64)
+        };
+        let mut cache = WorkspaceCache::with_capacity(1);
+        let mut ws_a = cache.checkout(probe(2));
+        newton_solve_with_workspace(
+            &Coupled,
+            &[2.5, 0.1],
+            &[],
+            NewtonOptions::default(),
+            &mut ws_a,
+        )
+        .expect("a");
+        let mut ws_b = cache.checkout(probe(1));
+        newton_solve_with_workspace(&Quadratic, &[3.0], &[], NewtonOptions::default(), &mut ws_b)
+            .expect("b");
+        let expect_refactors = ws_a.stats.refactorizations + ws_b.stats.refactorizations;
+        let key_a = ws_a.pattern_fingerprint().expect("warmed");
+        let key_b = ws_b.pattern_fingerprint().expect("warmed");
+        cache.checkin(key_a, ws_a);
+        // Capacity 1: the second check-in is dropped, but its counters are
+        // absorbed rather than lost.
+        cache.checkin(key_b, ws_b);
+        assert_eq!(cache.len(), 1);
+        let stats = cache.solver_stats();
+        assert_eq!(stats.refactorizations, expect_refactors);
+        assert_eq!(stats.full_factorizations, 2);
+        // Clear folds the parked workspace's counters into the absorbed
+        // total as well.
+        cache.clear();
+        assert_eq!(cache.solver_stats().refactorizations, expect_refactors);
     }
 
     #[test]

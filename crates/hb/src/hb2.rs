@@ -534,4 +534,58 @@ mod tests {
             "plausible filtered amplitude: {peak}"
         );
     }
+
+    #[test]
+    fn workspace_symbolic_survives_sharp_drive_jump() {
+        // Two-tone drive into a diode detector: the HB Jacobian's values
+        // swing exponentially with the tone amplitude. A 40× jump on one
+        // workspace must stay on the numeric-refresh path — one full
+        // factorisation total and no restricted-pivoting fallback.
+        let detector = |amp: f64| {
+            let (f1, f2) = (1e6, 1.1e6);
+            let mut b = CircuitBuilder::new();
+            let in1 = b.node("in1");
+            let in2 = b.node("in2");
+            let sum = b.node("sum");
+            let out = b.node("out");
+            b.vsource(
+                "V1",
+                in1,
+                GROUND,
+                BiWaveform::Axis1(Waveform::sine(amp, f1)),
+            )
+            .expect("v1");
+            b.vsource(
+                "V2",
+                in2,
+                GROUND,
+                BiWaveform::Axis2(Waveform::sine(0.5 * amp, f2)),
+            )
+            .expect("v2");
+            b.resistor("R1", in1, sum, 1e3).expect("r1");
+            b.resistor("R2", in2, sum, 1e3).expect("r2");
+            b.diode("D1", sum, out, Default::default()).expect("d");
+            b.resistor("RL", out, GROUND, 10e3).expect("rl");
+            b.capacitor("CL", out, GROUND, 100e-12).expect("cl");
+            (b.build().expect("build"), 1.0 / f1, 1.0 / f2)
+        };
+        let opts = Hb2Options {
+            n1: 8,
+            n2: 4,
+            ..Default::default()
+        };
+        let mut ws = LinearSolverWorkspace::new();
+        let (low_ckt, p1, p2) = detector(0.05);
+        let low = hb2_solve_with_workspace(&low_ckt, p1, p2, None, opts, &mut ws).expect("low");
+        let (high_ckt, p1, p2) = detector(2.0);
+        hb2_solve_with_workspace(&high_ckt, p1, p2, Some(&low.samples), opts, &mut ws)
+            .expect("high");
+        assert_eq!(
+            ws.stats.full_factorizations, 1,
+            "the jump must not discard the symbolic analysis: {:?}",
+            ws.stats
+        );
+        assert_eq!(ws.stats.full_fallbacks, 0, "{:?}", ws.stats);
+        assert!(ws.stats.refactorizations >= 2, "{:?}", ws.stats);
+    }
 }

@@ -142,40 +142,7 @@ impl DenseMatrix {
         let n = self.rows;
         let mut a = self.data.clone();
         let mut perm: Vec<usize> = (0..n).collect();
-        for k in 0..n {
-            // Partial pivoting: find the largest |a[i][k]| for i >= k.
-            let mut piv_row = k;
-            let mut piv_val = a[k * n + k].abs();
-            for i in (k + 1)..n {
-                let v = a[i * n + k].abs();
-                if v > piv_val {
-                    piv_val = v;
-                    piv_row = i;
-                }
-            }
-            if piv_val == 0.0 {
-                return Err(NumericsError::SingularMatrix {
-                    index: k,
-                    pivot: piv_val,
-                });
-            }
-            if piv_row != k {
-                for j in 0..n {
-                    a.swap(k * n + j, piv_row * n + j);
-                }
-                perm.swap(k, piv_row);
-            }
-            let pivot = a[k * n + k];
-            for i in (k + 1)..n {
-                let m = a[i * n + k] / pivot;
-                a[i * n + k] = m;
-                if m != 0.0 {
-                    for j in (k + 1)..n {
-                        a[i * n + j] -= m * a[k * n + j];
-                    }
-                }
-            }
-        }
+        lu_sweep(n, &mut a, &mut perm)?;
         Ok(DenseLu { n, lu: a, perm })
     }
 
@@ -229,6 +196,47 @@ impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
     }
 }
 
+/// The in-place partial-pivoting LU sweep shared by [`DenseMatrix::lu`]
+/// and [`DenseLu::refactor`]: `a` holds the matrix on entry and the packed
+/// `L`/`U` factors on exit; `perm` must arrive as the identity.
+fn lu_sweep(n: usize, a: &mut [f64], perm: &mut [usize]) -> Result<()> {
+    for k in 0..n {
+        // Partial pivoting: find the largest |a[i][k]| for i >= k.
+        let mut piv_row = k;
+        let mut piv_val = a[k * n + k].abs();
+        for i in (k + 1)..n {
+            let v = a[i * n + k].abs();
+            if v > piv_val {
+                piv_val = v;
+                piv_row = i;
+            }
+        }
+        if piv_val == 0.0 {
+            return Err(NumericsError::SingularMatrix {
+                index: k,
+                pivot: piv_val,
+            });
+        }
+        if piv_row != k {
+            for j in 0..n {
+                a.swap(k * n + j, piv_row * n + j);
+            }
+            perm.swap(k, piv_row);
+        }
+        let pivot = a[k * n + k];
+        for i in (k + 1)..n {
+            let m = a[i * n + k] / pivot;
+            a[i * n + k] = m;
+            if m != 0.0 {
+                for j in (k + 1)..n {
+                    a[i * n + j] -= m * a[k * n + j];
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// LU factors of a dense matrix (`P·A = L·U`, unit lower-triangular `L`).
 #[derive(Debug, Clone)]
 pub struct DenseLu {
@@ -243,16 +251,59 @@ impl DenseLu {
         self.n
     }
 
+    /// Refactors in place from a same-dimension matrix, reusing this
+    /// factor's storage: no allocation, fresh partial pivoting. The value
+    /// refresh behind the block-Jacobi preconditioner's in-place numeric
+    /// update.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::DimensionMismatch`] if `m` is not `n × n`.
+    /// * [`NumericsError::SingularMatrix`] if a pivot is exactly zero (the
+    ///   factor's values are unspecified afterwards).
+    pub fn refactor(&mut self, m: &DenseMatrix) -> Result<()> {
+        if m.rows() != self.n || m.cols() != self.n {
+            return Err(NumericsError::DimensionMismatch {
+                context: format!(
+                    "DenseLu::refactor: {}x{} matrix into factor of dim {}",
+                    m.rows(),
+                    m.cols(),
+                    self.n
+                ),
+            });
+        }
+        self.lu.copy_from_slice(m.as_slice());
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        lu_sweep(self.n, &mut self.lu, &mut self.perm)
+    }
+
     /// Solves `A·x = b` using the stored factors.
     ///
     /// # Panics
     ///
     /// Panics if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        assert_eq!(b.len(), self.n, "DenseLu::solve: dimension mismatch");
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solves `A·x = b` into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()` or `out.len() != self.dim()`.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64]) {
+        assert_eq!(b.len(), self.n, "DenseLu::solve_into: dimension mismatch");
+        assert_eq!(out.len(), self.n, "DenseLu::solve_into: output mismatch");
         let n = self.n;
         // Apply permutation, then forward/back substitution.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for (xi, &p) in out.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
+        let x = out;
         for i in 1..n {
             let mut s = x[i];
             for j in 0..i {
@@ -267,7 +318,6 @@ impl DenseLu {
             }
             x[i] = s / self.lu[i * n + i];
         }
-        x
     }
 
     /// Solves for several right-hand sides given as matrix columns.

@@ -66,6 +66,56 @@ pub struct Ilu0 {
     diag_pos: Vec<usize>,
 }
 
+/// The numeric ILU(0) sweep (classic IKJ update) over a fixed pattern:
+/// `data` arrives holding the matrix values and leaves holding the packed
+/// `L`/`U` factors. Shared by [`Ilu0::new`] and [`Ilu0::refactor_in_place`].
+fn ilu0_sweep(
+    n: usize,
+    indptr: &[usize],
+    indices: &[usize],
+    diag_pos: &[usize],
+    data: &mut [f64],
+) -> Result<()> {
+    for i in 0..n {
+        // For each a_ik with k < i (in sparsity pattern):
+        for kk in indptr[i]..indptr[i + 1] {
+            let k = indices[kk];
+            if k >= i {
+                break;
+            }
+            let pivot = data[diag_pos[k]];
+            if pivot == 0.0 {
+                return Err(NumericsError::SingularMatrix {
+                    index: k,
+                    pivot: 0.0,
+                });
+            }
+            let lik = data[kk] / pivot;
+            data[kk] = lik;
+            // Subtract lik * U(k, j) for j > k, restricted to row i's pattern.
+            let mut jj = kk + 1;
+            for kj in diag_pos[k] + 1..indptr[k + 1] {
+                let j = indices[kj];
+                // advance jj in row i to column j if present
+                while jj < indptr[i + 1] && indices[jj] < j {
+                    jj += 1;
+                }
+                if jj < indptr[i + 1] && indices[jj] == j {
+                    let ukj = data[kj];
+                    data[jj] -= lik * ukj;
+                }
+            }
+        }
+        if data[diag_pos[i]] == 0.0 {
+            return Err(NumericsError::SingularMatrix {
+                index: i,
+                pivot: 0.0,
+            });
+        }
+    }
+    Ok(())
+}
+
 impl Ilu0 {
     /// Computes the ILU(0) factorisation of `a`.
     ///
@@ -94,46 +144,47 @@ impl Ilu0 {
                 });
             }
         }
-        let indptr = factors.indptr().to_vec();
-        let indices = factors.indices().to_vec();
-        for i in 0..n {
-            // For each a_ik with k < i (in sparsity pattern):
-            for kk in indptr[i]..indptr[i + 1] {
-                let k = indices[kk];
-                if k >= i {
-                    break;
-                }
-                let pivot = factors.data()[diag_pos[k]];
-                if pivot == 0.0 {
-                    return Err(NumericsError::SingularMatrix {
-                        index: k,
-                        pivot: 0.0,
-                    });
-                }
-                let lik = factors.data()[kk] / pivot;
-                factors.data_mut()[kk] = lik;
-                // Subtract lik * U(k, j) for j > k, restricted to row i's pattern.
-                let mut jj = kk + 1;
-                for kj in diag_pos[k] + 1..indptr[k + 1] {
-                    let j = indices[kj];
-                    // advance jj in row i to column j if present
-                    while jj < indptr[i + 1] && indices[jj] < j {
-                        jj += 1;
-                    }
-                    if jj < indptr[i + 1] && indices[jj] == j {
-                        let ukj = factors.data()[kj];
-                        factors.data_mut()[jj] -= lik * ukj;
-                    }
-                }
-            }
-            if factors.data()[diag_pos[i]] == 0.0 {
-                return Err(NumericsError::SingularMatrix {
-                    index: i,
-                    pivot: 0.0,
-                });
-            }
-        }
+        let (indptr, indices, data) = factors.parts_mut();
+        ilu0_sweep(n, indptr, indices, &diag_pos, data)?;
         Ok(Ilu0 { factors, diag_pos })
+    }
+
+    /// Whether `a` has exactly the pattern this preconditioner was built
+    /// on — the gate for [`Ilu0::refactor_in_place`].
+    pub fn same_pattern(&self, a: &CsrMatrix) -> bool {
+        self.factors.same_pattern(a)
+    }
+
+    /// Refreshes the factorisation in place from a same-pattern matrix:
+    /// copies `a`'s values over the cached CSR pattern and reruns only the
+    /// numeric sweep — no allocation, no diagonal re-location. Produces
+    /// exactly the factors [`Ilu0::new`] would (same arithmetic over the
+    /// same pattern), which is what lets Newton loops refresh their
+    /// preconditioner per iteration instead of rebuilding it.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::InvalidArgument`] if `a`'s pattern differs from
+    ///   the factored pattern (the factors are left unchanged).
+    /// * [`NumericsError::SingularMatrix`] if a pivot becomes zero (the
+    ///   factor values are unspecified afterwards; refresh or rebuild
+    ///   before the next apply).
+    pub fn refactor_in_place(&mut self, a: &CsrMatrix) -> Result<()> {
+        if !self.same_pattern(a) {
+            return Err(NumericsError::InvalidArgument {
+                context: format!(
+                    "Ilu0::refactor_in_place: pattern of {}x{} matrix (nnz {}) differs \
+                     from the factored pattern",
+                    a.rows(),
+                    a.cols(),
+                    a.nnz()
+                ),
+            });
+        }
+        let n = a.rows();
+        let (indptr, indices, data) = self.factors.parts_mut();
+        data.copy_from_slice(a.data());
+        ilu0_sweep(n, indptr, indices, &self.diag_pos, data)
     }
 }
 
@@ -177,6 +228,23 @@ impl Preconditioner for Ilu0 {
 pub struct BlockJacobiPrecond {
     blocks: Vec<DenseLu>,
     block_size: usize,
+    /// Gather buffer reused for every block's values during construction
+    /// and in-place refresh (keeps both allocation-free per block).
+    scratch: DenseMatrix,
+}
+
+/// Gathers diagonal block `b` of `a` into `m` (zeroed first).
+fn gather_block(a: &CsrMatrix, block_size: usize, b: usize, m: &mut DenseMatrix) {
+    let base = b * block_size;
+    m.as_mut_slice().fill(0.0);
+    for r in 0..block_size {
+        let (cols, vals) = a.row(base + r);
+        for (c, v) in cols.iter().zip(vals) {
+            if *c >= base && *c < base + block_size {
+                m[(r, c - base)] += *v;
+            }
+        }
+    }
 }
 
 impl BlockJacobiPrecond {
@@ -196,20 +264,65 @@ impl BlockJacobiPrecond {
         }
         let nb = n / block_size;
         let mut blocks = Vec::with_capacity(nb);
+        let mut scratch = DenseMatrix::zeros(block_size, block_size);
         for b in 0..nb {
-            let base = b * block_size;
-            let mut m = DenseMatrix::zeros(block_size, block_size);
-            for r in 0..block_size {
-                let (cols, vals) = a.row(base + r);
-                for (c, v) in cols.iter().zip(vals) {
-                    if *c >= base && *c < base + block_size {
-                        m[(r, c - base)] += *v;
-                    }
-                }
-            }
-            blocks.push(m.lu()?);
+            gather_block(a, block_size, b, &mut scratch);
+            blocks.push(scratch.lu()?);
         }
-        Ok(BlockJacobiPrecond { blocks, block_size })
+        Ok(BlockJacobiPrecond {
+            blocks,
+            block_size,
+            scratch,
+        })
+    }
+
+    /// The diagonal block size this preconditioner was built with.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Dimension of the preconditioned system.
+    pub fn dim(&self) -> usize {
+        self.blocks.len() * self.block_size
+    }
+
+    /// Whether `a` has the dimensions this preconditioner was built on —
+    /// the gate for [`BlockJacobiPrecond::refactor_in_place`]. (Block
+    /// gathering reads whatever entries fall inside each diagonal block,
+    /// so unlike ILU(0) no exact pattern match is required.)
+    pub fn matches(&self, a: &CsrMatrix) -> bool {
+        a.rows() == self.dim() && a.cols() == self.dim()
+    }
+
+    /// Refreshes every diagonal block's dense LU in place from `a`: the
+    /// blocks are regathered through one cached scratch buffer and
+    /// refactored into their existing storage — no allocation. Produces
+    /// exactly the factors [`BlockJacobiPrecond::new`] would.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::DimensionMismatch`] if `a`'s dimensions differ
+    ///   from the factored system (the factors are left unchanged).
+    /// * [`NumericsError::SingularMatrix`] if a diagonal block became
+    ///   singular (earlier blocks are already refreshed; refresh or
+    ///   rebuild before the next apply).
+    pub fn refactor_in_place(&mut self, a: &CsrMatrix) -> Result<()> {
+        if !self.matches(a) {
+            return Err(NumericsError::DimensionMismatch {
+                context: format!(
+                    "BlockJacobi::refactor_in_place: {}x{} matrix into {} blocks of {}",
+                    a.rows(),
+                    a.cols(),
+                    self.blocks.len(),
+                    self.block_size
+                ),
+            });
+        }
+        for (b, lu) in self.blocks.iter_mut().enumerate() {
+            gather_block(a, self.block_size, b, &mut self.scratch);
+            lu.refactor(&self.scratch)?;
+        }
+        Ok(())
     }
 }
 
@@ -217,8 +330,7 @@ impl Preconditioner for BlockJacobiPrecond {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         let bs = self.block_size;
         for (b, lu) in self.blocks.iter().enumerate() {
-            let sol = lu.solve(&r[b * bs..(b + 1) * bs]);
-            z[b * bs..(b + 1) * bs].copy_from_slice(&sol);
+            lu.solve_into(&r[b * bs..(b + 1) * bs], &mut z[b * bs..(b + 1) * bs]);
         }
     }
 }

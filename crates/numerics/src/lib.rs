@@ -16,7 +16,10 @@
 //!   ([`sparse_lu::SparseLu::refactor_in_place`]) for the
 //!   pattern-invariant matrices of Newton hot paths.
 //! * [`krylov`] — restarted GMRES and BiCGStab with pluggable
-//!   preconditioners (identity, Jacobi, ILU(0), block-Jacobi).
+//!   preconditioners (identity, Jacobi, ILU(0), block-Jacobi), all of
+//!   which support in-place numeric refresh over their cached patterns.
+//! * [`pool`] — the fixed-thread [`pool::WorkerPool`] shared by the sweep
+//!   engine and the parallel numeric refactorisation.
 //! * [`fft`] — complex arithmetic, radix-2 and Bluestein FFTs, single-bin
 //!   DFT for harmonic extraction.
 //! * [`diff`] — periodic differentiation stencils (backward Euler, central,
@@ -49,6 +52,7 @@ pub mod diff;
 pub mod fft;
 pub mod interp;
 pub mod krylov;
+pub mod pool;
 pub mod sparse;
 pub mod sparse_lu;
 pub mod vector;

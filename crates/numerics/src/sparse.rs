@@ -300,6 +300,23 @@ impl CsrMatrix {
         &mut self.data
     }
 
+    /// The structure borrowed immutably alongside the values borrowed
+    /// mutably — `(indptr, indices, data)` — the shape in-place numeric
+    /// refreshes need, where pattern reads drive writes into the values.
+    pub fn parts_mut(&mut self) -> (&[usize], &[usize], &mut [f64]) {
+        (&self.indptr, &self.indices, &mut self.data)
+    }
+
+    /// Whether `other` has exactly this matrix's sparsity pattern
+    /// (dimensions, row pointers and column indices — a slice compare, so
+    /// cheap next to the numeric work it gates).
+    pub fn same_pattern(&self, other: &CsrMatrix) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.indptr == other.indptr
+            && self.indices == other.indices
+    }
+
     /// Column indices and values of row `i`.
     pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
         let lo = self.indptr[i];

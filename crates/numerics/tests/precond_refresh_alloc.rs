@@ -1,0 +1,133 @@
+//! The in-place preconditioner refreshes must be allocation-free and
+//! bit-identical to a rebuild: a counting global allocator wraps the
+//! system allocator, and the single test below (one test per binary, so no
+//! concurrent test thread pollutes the counter) asserts that
+//! `Ilu0::refactor_in_place`, `BlockJacobiPrecond::refactor_in_place` and
+//! both `apply` paths allocate nothing.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rfsim_numerics::krylov::{BlockJacobiPrecond, Ilu0, Preconditioner};
+use rfsim_numerics::sparse::Triplets;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// A block-structured matrix in the shape of an MPDE grid Jacobian:
+/// `nb` diagonal circuit blocks of size `bs` plus inter-block coupling on
+/// the superdiagonal, with every row carrying its diagonal (so both ILU(0)
+/// and block-Jacobi accept it).
+fn grid_like(nb: usize, bs: usize, gain: f64) -> Triplets {
+    let n = nb * bs;
+    let mut t = Triplets::new(n, n);
+    for b in 0..nb {
+        let base = b * bs;
+        for i in 0..bs {
+            for j in 0..bs {
+                let v = if i == j {
+                    4.0 + gain + (base + i) as f64 * 0.01
+                } else {
+                    gain * 0.3 - 0.5
+                };
+                t.push(base + i, base + j, v);
+            }
+            if b + 1 < nb {
+                t.push(base + i, base + bs + i, -0.25 * gain);
+            }
+        }
+    }
+    t
+}
+
+#[test]
+fn precond_refresh_is_allocation_free_and_bit_identical() {
+    let a1 = grid_like(6, 4, 1.0).to_csr();
+    let a2 = grid_like(6, 4, 1.7).to_csr();
+    let n = a1.rows();
+    let r: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+    let mut z_refresh = vec![0.0; n];
+    let mut z_rebuild = vec![0.0; n];
+
+    // --- ILU(0): refresh ≡ rebuild, with zero allocations. ---
+    let mut ilu = Ilu0::new(&a1).expect("ilu new");
+    let before = allocations();
+    ilu.refactor_in_place(&a2).expect("ilu refresh");
+    assert_eq!(
+        allocations(),
+        before,
+        "Ilu0::refactor_in_place must not allocate"
+    );
+    let rebuilt = Ilu0::new(&a2).expect("ilu rebuild");
+    let before = allocations();
+    ilu.apply(&r, &mut z_refresh);
+    assert_eq!(allocations(), before, "Ilu0::apply must not allocate");
+    rebuilt.apply(&r, &mut z_rebuild);
+    assert_eq!(z_refresh, z_rebuild, "ILU(0) refresh must be bit-identical");
+
+    // --- Block-Jacobi: refresh ≡ rebuild, with zero allocations. ---
+    let mut bj = BlockJacobiPrecond::new(&a1, 4).expect("bj new");
+    let before = allocations();
+    bj.refactor_in_place(&a2).expect("bj refresh");
+    assert_eq!(
+        allocations(),
+        before,
+        "BlockJacobiPrecond::refactor_in_place must not allocate"
+    );
+    let rebuilt = BlockJacobiPrecond::new(&a2, 4).expect("bj rebuild");
+    let before = allocations();
+    bj.apply(&r, &mut z_refresh);
+    assert_eq!(
+        allocations(),
+        before,
+        "BlockJacobiPrecond::apply must not allocate"
+    );
+    rebuilt.apply(&r, &mut z_rebuild);
+    assert_eq!(
+        z_refresh, z_rebuild,
+        "block-Jacobi refresh must be bit-identical"
+    );
+
+    // Pattern/dimension gates: a different structure is rejected, factors
+    // left usable.
+    let odd = grid_like(6, 4, 1.0);
+    let mut odd_plus = Triplets::new(24, 24);
+    {
+        let csr = odd.to_csr();
+        for i in 0..24 {
+            let (cols, vals) = csr.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                odd_plus.push(i, *c, *v);
+            }
+        }
+        odd_plus.push(0, 23, 0.125);
+    }
+    assert!(ilu.refactor_in_place(&odd_plus.to_csr()).is_err());
+    assert!(bj
+        .refactor_in_place(&grid_like(5, 4, 1.0).to_csr())
+        .is_err());
+}

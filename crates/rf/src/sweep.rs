@@ -9,9 +9,9 @@
 //!
 //! * **Fingerprint-keyed workspace cache** — every solver Jacobian pattern
 //!   is summarised by a
-//!   [`PatternFingerprint`](rfsim_numerics::sparse::PatternFingerprint)
+//!   [`PatternFingerprint`]
 //!   (a hash of its CSC structure), and a
-//!   [`WorkspaceCache`](rfsim_circuit::newton::WorkspaceCache) pools
+//!   [`WorkspaceCache`] pools
 //!   [`LinearSolverWorkspace`]s under those keys. A batch of circuits with
 //!   mixed topologies routes every solve to a workspace warmed on *its*
 //!   structure, so nothing thrashes: each distinct pattern pays for its
@@ -48,7 +48,9 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-use rfsim_circuit::newton::{LinearSolverWorkspace, WorkspaceCache};
+use rfsim_circuit::newton::{
+    LinearSolverWorkspace, RefactorStrategy, WorkspaceCache, WorkspaceStats,
+};
 use rfsim_circuit::{Circuit, Result};
 use rfsim_hb::hb2::{hb2_jacobian_fingerprint, hb2_solve_with_workspace, Hb2Options, Hb2Result};
 use rfsim_mpde::solver::{
@@ -494,6 +496,7 @@ pub struct SweepEngine {
     pool: WorkerPool,
     cache: Mutex<WorkspaceCache>,
     chain_groups: bool,
+    refactor_strategy: RefactorStrategy,
 }
 
 impl Default for SweepEngine {
@@ -515,7 +518,24 @@ impl SweepEngine {
             pool,
             cache: Mutex::new(WorkspaceCache::new()),
             chain_groups: true,
+            refactor_strategy: RefactorStrategy::Sequential,
         }
+    }
+
+    /// Sets the numeric-refactorisation strategy applied to every
+    /// workspace this engine checks out (default:
+    /// [`RefactorStrategy::Sequential`]).
+    ///
+    /// [`RefactorStrategy::Parallel`] pipelines the per-column refresh of
+    /// each large grid Jacobian across a pool — *intra-solve* parallelism,
+    /// complementary to the engine's own *inter-group* pool. Use it when
+    /// batches carry few topology groups but big systems; with many
+    /// concurrent groups, remember each group multiplies the strategy
+    /// pool's width.
+    #[must_use]
+    pub fn with_refactor_strategy(mut self, strategy: RefactorStrategy) -> Self {
+        self.refactor_strategy = strategy;
+        self
     }
 
     /// Enables or disables all cross-job reuse inside a topology group (on
@@ -545,6 +565,18 @@ impl SweepEngine {
             parked: cache.len(),
             patterns: cache.num_patterns(),
         }
+    }
+
+    /// Aggregated linear-solver counters across every workspace the
+    /// engine's cache has seen — refactorisations vs full factorisations,
+    /// restricted-pivoting exchanges vs full fallbacks, preconditioner
+    /// refreshes vs rebuilds. Take the snapshot between batches:
+    /// checked-out workspaces report when they park.
+    pub fn solver_stats(&self) -> WorkspaceStats {
+        self.cache
+            .lock()
+            .expect("workspace cache poisoned")
+            .solver_stats()
     }
 
     /// Drops every parked workspace (counters are kept).
@@ -623,6 +655,7 @@ impl SweepEngine {
                         &job.values,
                         &mut make,
                         &self.cache,
+                        &self.refactor_strategy,
                         Some(*key),
                         chain_seed.take(),
                     )
@@ -635,6 +668,7 @@ impl SweepEngine {
                         &job.values,
                         &mut make,
                         &local,
+                        &self.refactor_strategy,
                         Some(*key),
                         None,
                     )
@@ -728,6 +762,7 @@ impl SweepEngine {
                 &sweep.amplitudes,
                 &mut make,
                 &self.cache,
+                &self.refactor_strategy,
                 None,
                 None,
             );
@@ -784,6 +819,7 @@ fn sweep_chain<B: SweepBackend>(
     values: &[f64],
     make_circuit: &mut dyn FnMut(f64) -> Result<Circuit>,
     cache: &Mutex<WorkspaceCache>,
+    strategy: &RefactorStrategy,
     initial_key: Option<PatternFingerprint>,
     seed: Option<Vec<f64>>,
 ) -> (SweepResult<B::Solution>, Option<Vec<f64>>) {
@@ -796,6 +832,7 @@ fn sweep_chain<B: SweepBackend>(
         values,
         make_circuit,
         cache,
+        strategy,
         &mut state,
         initial_key,
         seed,
@@ -818,6 +855,7 @@ fn sweep_chain_inner<B: SweepBackend>(
     values: &[f64],
     make_circuit: &mut dyn FnMut(f64) -> Result<Circuit>,
     cache: &Mutex<WorkspaceCache>,
+    strategy: &RefactorStrategy,
     state: &mut Option<CheckedOut>,
     mut initial_key: Option<PatternFingerprint>,
     mut seed: Option<Vec<f64>>,
@@ -867,10 +905,11 @@ fn sweep_chain_inner<B: SweepBackend>(
                     key = Some(backend.fingerprint(&circuit)?);
                 }
             }
-            let workspace = match key {
+            let mut workspace = match key {
                 Some(k) => cache.lock().expect("workspace cache poisoned").checkout(k),
                 None => LinearSolverWorkspace::new(),
             };
+            workspace.set_refactor_strategy(strategy.clone());
             *state = Some(CheckedOut {
                 workspace,
                 key,
@@ -964,7 +1003,15 @@ where
         options: base_options,
     };
     let cache = Mutex::new(WorkspaceCache::new());
-    let (result, _) = sweep_chain(&backend, values, &mut make_circuit, &cache, None, None);
+    let (result, _) = sweep_chain(
+        &backend,
+        values,
+        &mut make_circuit,
+        &cache,
+        &RefactorStrategy::Sequential,
+        None,
+        None,
+    );
     result.map(|points| {
         points
             .into_iter()
@@ -1331,6 +1378,43 @@ mod tests {
         assert_eq!(pss[0].as_ref().expect("fd sweep").len(), 2);
         // HB and collocation patterns differ: two cache entries.
         assert_eq!(engine.cache_stats().patterns, 2);
+    }
+
+    #[test]
+    fn engine_surfaces_solver_stats_and_refactor_strategy() {
+        let (f1, fd) = (1e6, 10e3);
+        let jobs = vec![MpdeSweepJob::new(
+            "rc",
+            vec![0.1, 0.2, 0.3],
+            1.0 / f1,
+            1.0 / fd,
+            small_opts(),
+            rc_family(f1, fd, 1e3, 160e-12),
+        )];
+        // Intra-solve pipeline on a width-2 pool: correctness is testable
+        // on any host (threads run regardless of core count).
+        let engine = SweepEngine::with_pool(WorkerPool::new(1))
+            .with_refactor_strategy(RefactorStrategy::Parallel(WorkerPool::new(2)));
+        let results = engine.run_mpde_batch(&jobs);
+        assert_eq!(results[0].as_ref().expect("sweep").len(), 3);
+        let stats = engine.solver_stats();
+        assert!(stats.refactorizations >= 2, "{stats:?}");
+        assert_eq!(
+            stats.parallel_refactorizations, stats.refactorizations,
+            "the configured strategy must reach the checked-out workspaces: {stats:?}"
+        );
+        assert_eq!(stats.full_fallbacks, 0, "{stats:?}");
+        assert_eq!(stats.full_factorizations, 1, "{stats:?}");
+        // Sequential engine on the same batch: identical numerics, no
+        // pipeline counters.
+        let seq = SweepEngine::with_pool(WorkerPool::new(1));
+        let seq_results = seq.run_mpde_batch(&jobs);
+        let a = results[0].as_ref().expect("par");
+        let b = seq_results[0].as_ref().expect("seq");
+        for (pa, pb) in a.iter().zip(b) {
+            assert_eq!(pa.solution.solution.data, pb.solution.solution.data);
+        }
+        assert_eq!(seq.solver_stats().parallel_refactorizations, 0);
     }
 
     #[test]

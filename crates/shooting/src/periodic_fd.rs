@@ -411,6 +411,43 @@ mod tests {
     }
 
     #[test]
+    fn workspace_symbolic_survives_sharp_drive_jump() {
+        // A rectifier's Jacobian values swing exponentially with drive.
+        // One workspace carried across a 40× amplitude jump must keep the
+        // symbolic factorisation alive: one full factorisation total, no
+        // restricted-pivoting fallback, everything after the first
+        // iteration a numeric-only refresh.
+        let rectifier = |amp: f64| {
+            let mut b = CircuitBuilder::new();
+            let inp = b.node("in");
+            let out = b.node("out");
+            b.vsource("V1", inp, GROUND, Waveform::sine(amp, 1e6))
+                .expect("v");
+            b.diode("D1", inp, out, Default::default()).expect("d");
+            b.resistor("RL", out, GROUND, 10e3).expect("r");
+            b.capacitor("CL", out, GROUND, 1e-9).expect("c");
+            b.build().expect("build")
+        };
+        let opts = PeriodicFdOptions {
+            n_samples: 32,
+            scheme: DiffScheme::Bdf2,
+            ..Default::default()
+        };
+        let mut ws = LinearSolverWorkspace::new();
+        let low = periodic_fd_pss_with_workspace(&rectifier(0.05), 1e-6, None, opts, &mut ws)
+            .expect("low drive");
+        periodic_fd_pss_with_workspace(&rectifier(2.0), 1e-6, Some(&low.samples), opts, &mut ws)
+            .expect("high drive");
+        assert_eq!(
+            ws.stats.full_factorizations, 1,
+            "the jump must not discard the symbolic analysis: {:?}",
+            ws.stats
+        );
+        assert_eq!(ws.stats.full_fallbacks, 0, "{:?}", ws.stats);
+        assert!(ws.stats.refactorizations >= 2, "{:?}", ws.stats);
+    }
+
+    #[test]
     fn warm_start_reuses_solution() {
         let (ckt, _) = rc_lowpass(1e3, 1e-9, 1.0, 100e3);
         let opts = PeriodicFdOptions {

@@ -210,9 +210,10 @@ fn integrate_period(
             // Jacobian at the accepted point, factored for sensitivity use.
             // Every step shares one structure: slot maps and the symbolic
             // factorisation are built on the first step; later steps scatter
-            // in place and refactor numerically (falling back to a full
-            // factorisation if the step's values defeat the recorded pivot
-            // order).
+            // in place and refactor numerically. A step whose values kill a
+            // recorded pivot is repaired by an in-pattern row exchange when
+            // admissible (restricted pivoting), with a full factorisation
+            // only as the last resort.
             jac.clear();
             sys.residual_and_jacobian(&x_new, &mut res, &mut jac);
             if CscAssembly::assemble_cached(&mut cache.jac_assembly, &mut cache.jac_csc, &jac) {

@@ -120,8 +120,8 @@ pub mod collection {
     use super::TestRng;
     use std::ops::Range;
 
-    /// Number-of-elements specification for [`vec`]: an exact length or a
-    /// half-open range.
+    /// Number-of-elements specification for [`vec()`]: an exact length or
+    /// a half-open range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
