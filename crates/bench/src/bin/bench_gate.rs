@@ -1,21 +1,22 @@
 //! The CI bench-regression gate.
 //!
-//! Measures the refactor and batched-sweep scenarios in-process, writes
-//! the results as `BENCH_pr3.json`, and compares the machine-portable
-//! speedup *ratios* against the committed baseline JSON within a relative
-//! tolerance (see `docs/benching.md` for the schema and the rationale).
-//! Exit code 0 = every ratio within tolerance; 1 = regression.
+//! Measures the refactor, batched-sweep, and solution-store scenarios
+//! in-process, writes the results as `BENCH_pr4.json`, and compares the
+//! machine-portable speedup *ratios* against the committed baseline JSON
+//! within a relative tolerance (see `docs/benching.md` for the schema
+//! and the rationale). Exit code 0 = every ratio within tolerance; 1 =
+//! regression.
 //!
 //! ```text
 //! cargo run --release -p rfsim-bench --bin bench_gate -- \
-//!     --baseline BENCH_pr2.json --out BENCH_pr3.json --tolerance 0.15
+//!     --baseline BENCH_pr3.json --out BENCH_pr4.json --tolerance 0.15
 //! ```
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use rfsim_bench::gate::{
-    drift_scenario, evaluate, mpde_warm_vs_cold, refactor_vs_full, GateCheck, Json,
+    drift_scenario, evaluate, memo_roundtrip, mpde_warm_vs_cold, refactor_vs_full, GateCheck, Json,
 };
 
 struct Args {
@@ -27,8 +28,8 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        baseline: "BENCH_pr2.json".into(),
-        out: "BENCH_pr3.json".into(),
+        baseline: "BENCH_pr3.json".into(),
+        out: "BENCH_pr4.json".into(),
         tolerance: 0.15,
         reps: 7,
     };
@@ -73,13 +74,24 @@ fn main() -> ExitCode {
     let warm_speedup = cold_ns / warm_ns;
     println!("  mpde warm {warm_ns:.0} ns vs cold {cold_ns:.0} ns → {warm_speedup:.2}x");
 
+    let memo = memo_roundtrip(args.reps);
+    println!(
+        "  serve: fresh grid {:.0} ns vs memo hit {:.0} ns → {:.1}x, \
+         {} memo hits, bit-identical: {}",
+        memo.fresh_ns,
+        memo.memo_ns,
+        memo.speedup(),
+        memo.memo_hits,
+        memo.bit_identical,
+    );
+
     // ------------------------------------------------------------------
-    // Emit BENCH_pr3.json.
+    // Emit BENCH_pr4.json.
     // ------------------------------------------------------------------
     let json = format!(
         r#"{{
-  "pr": 3,
-  "title": "Resilient in-pattern refactorisation: restricted pivoting, in-place preconditioner refresh, parallel numeric refactor",
+  "pr": 4,
+  "title": "rfsim-serve: memoising simulation service (solution store, job queue, wire protocol) over the sweep engine",
   "machine_note": "emitted by `cargo run --release -p rfsim-bench --bin bench_gate`; absolute ns are machine-bound, the `ratios` section is what the CI gate compares (see docs/benching.md)",
   "benchmarks": [
     {{
@@ -105,6 +117,14 @@ fn main() -> ExitCode {
     {{
       "name": "mpde/solve_cold_workspace",
       "median_ns": {cold_ns:.1}
+    }},
+    {{
+      "name": "serve/grid_fresh_solve",
+      "median_ns": {fresh_ns:.1}
+    }},
+    {{
+      "name": "serve/grid_memo_hit",
+      "median_ns": {memo_ns:.1}
     }}
   ],
   "drift": {{
@@ -114,10 +134,15 @@ fn main() -> ExitCode {
     "hit_rate": {hit_rate:.4},
     "fallback_rate": {fallback_rate:.4}
   }},
+  "serve": {{
+    "memo_hits": {memo_hits},
+    "bit_identical_replay": {bit_identical}
+  }},
   "ratios": {{
     "refactor_vs_full_factor": {refactor_speedup:.3},
     "drift_restricted_vs_full_fallback": {drift_speedup:.3},
-    "mpde_warm_vs_cold_workspace": {warm_speedup:.3}
+    "mpde_warm_vs_cold_workspace": {warm_speedup:.3},
+    "memo_hit_vs_fresh_solve": {memo_speedup:.3}
   }}
 }}
 "#,
@@ -128,6 +153,11 @@ fn main() -> ExitCode {
         fallbacks = drift.full_fallbacks,
         hit_rate = drift.hit_rate(),
         fallback_rate = drift.fallback_rate(),
+        fresh_ns = memo.fresh_ns,
+        memo_ns = memo.memo_ns,
+        memo_hits = memo.memo_hits,
+        bit_identical = memo.bit_identical,
+        memo_speedup = memo.speedup(),
     );
     std::fs::File::create(&args.out)
         .and_then(|mut f| f.write_all(json.as_bytes()))
@@ -147,7 +177,7 @@ fn main() -> ExitCode {
 
     // BENCH_pr2.json predates the `ratios` section; derive its
     // refactor-adjacent ratios from the component costs it does carry, and
-    // fall back to `ratios.*` for any future baseline that has them.
+    // fall back to `ratios.*` for any newer baseline that has them.
     let baseline_warm_vs_cold = baseline
         .number_at("ratios.mpde_warm_vs_cold_workspace")
         .or_else(|| {
@@ -157,8 +187,9 @@ fn main() -> ExitCode {
         });
     let baseline_refactor = baseline.number_at("ratios.refactor_vs_full_factor");
     let baseline_drift = baseline.number_at("ratios.drift_restricted_vs_full_fallback");
+    let baseline_memo = baseline.number_at("ratios.memo_hit_vs_fresh_solve");
 
-    let checks = vec![
+    let mut checks = vec![
         GateCheck {
             name: "refactor_vs_full_factor".into(),
             measured: refactor_speedup,
@@ -177,7 +208,8 @@ fn main() -> ExitCode {
             name: "drift_in_pattern_hit_rate".into(),
             measured: drift.hit_rate(),
             baseline: None,
-            // Acceptance criterion: >= 90% of pivot stresses in-pattern.
+            // PR 3 acceptance criterion: >= 90% of pivot stresses
+            // in-pattern.
             floor: 0.9,
         },
         GateCheck {
@@ -186,7 +218,23 @@ fn main() -> ExitCode {
             baseline: baseline_warm_vs_cold,
             floor: 1.1,
         },
+        GateCheck {
+            name: "memo_hit_vs_fresh_solve".into(),
+            measured: memo.speedup(),
+            baseline: baseline_memo,
+            // PR 4 acceptance criterion: serving a previously solved grid
+            // from the solution store is >= 10x faster than re-solving.
+            floor: 10.0,
+        },
     ];
+    // Bit-identical replay is pass/fail, not a ratio: encode it as a
+    // 0/1 metric with a floor of 1.
+    checks.push(GateCheck {
+        name: "memo_replay_bit_identical".into(),
+        measured: if memo.bit_identical { 1.0 } else { 0.0 },
+        baseline: None,
+        floor: 1.0,
+    });
     println!(
         "bench_gate: comparing against {} (tolerance ±{:.0}%)",
         args.baseline,

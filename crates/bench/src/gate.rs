@@ -264,207 +264,77 @@ pub fn mpde_warm_vs_cold(reps: usize) -> (f64, f64) {
     (warm, cold)
 }
 
-// ---------------------------------------------------------------------------
-// Minimal JSON value reader (the container has no serde; BENCH_*.json is
-// machine-written, so a small strict parser suffices).
-// ---------------------------------------------------------------------------
-
-/// A parsed JSON value — just enough structure to read `BENCH_*.json`.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any JSON number (read as `f64`).
-    Number(f64),
-    /// A string.
-    String(String),
-    /// An array.
-    Array(Vec<Json>),
-    /// An object, insertion-ordered.
-    Object(Vec<(String, Json)>),
+/// Outcome of the repeated-batch memoisation scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoOutcome {
+    /// Median ns to serve the grid with the solution store cold (evicted
+    /// before every rep: full submit + solve + wait).
+    pub fresh_ns: f64,
+    /// Median ns to serve the identical grid from the solution store.
+    pub memo_ns: f64,
+    /// Memo-hit completions observed during the memo reps.
+    pub memo_hits: usize,
+    /// Whether every result — fresh re-solves and memo hits alike —
+    /// carried the bit-identical sample digest of the first solve.
+    pub bit_identical: bool,
 }
 
-impl Json {
-    /// Parses a JSON document.
-    ///
-    /// # Errors
-    ///
-    /// Returns a human-readable description of the first syntax error.
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing data at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    /// Member of an object by key.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// Follows a dotted path (`"headline.speedup"`) through nested
-    /// objects.
-    pub fn path(&self, dotted: &str) -> Option<&Json> {
-        dotted.split('.').try_fold(self, |v, key| v.get(key))
-    }
-
-    /// The number at a dotted path, if present.
-    pub fn number_at(&self, dotted: &str) -> Option<f64> {
-        match self.path(dotted) {
-            Some(Json::Number(x)) => Some(*x),
-            _ => None,
-        }
+impl MemoOutcome {
+    /// Store speedup: fresh solve time over memo-hit time.
+    pub fn speedup(&self) -> f64 {
+        self.fresh_ns / self.memo_ns
     }
 }
 
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
+/// The repeated-batch serving scenario (PR 4 acceptance criterion): a
+/// long-lived `rfsim-serve` service is asked for the same
+/// amplitude × tone-spacing MPDE grid over and over — the dashboard /
+/// regression-sweep traffic shape. Fresh reps evict the store first and
+/// pay the full solve; memo reps are served from the store and must be
+/// (a) ≥ 10x faster and (b) bit-identical to the fresh solves.
+pub fn memo_roundtrip(reps: usize) -> MemoOutcome {
+    use std::time::Duration;
+
+    use rfsim_serve::service::{ServeConfig, SimService};
+    use rfsim_serve::spec::JobSpec;
+
+    let service = SimService::start(ServeConfig {
+        threads: 1,
+        ..Default::default()
+    });
+    let mut spec = JobSpec::mpde("diode_clipper", 1e6, vec![0.1, 0.2], vec![10e3, 20e3]);
+    spec.n1 = 16;
+    spec.n2 = 8;
+    let wait = Duration::from_secs(600);
+    let run = |s: &SimService| {
+        let id = s.submit(&spec).expect("submit");
+        s.wait(id, wait).expect("serve")
+    };
+    let reference = run(&service).digest();
+    let mut bit_identical = true;
+    let fresh_ns = time_median_ns(reps, || {
+        service.evict(None);
+        bit_identical &= run(&service).digest() == reference;
+    });
+    // Re-prime, then measure pure store service time.
+    bit_identical &= run(&service).digest() == reference;
+    let hits_before = service.stats().counters.total().memo_hits;
+    let memo_ns = time_median_ns(reps, || {
+        bit_identical &= run(&service).digest() == reference;
+    });
+    let memo_hits = service.stats().counters.total().memo_hits - hits_before;
+    MemoOutcome {
+        fresh_ns,
+        memo_ns,
+        memo_hits,
+        bit_identical,
     }
 }
 
-fn expect_byte(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
-    if *pos < bytes.len() && bytes[*pos] == b {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected '{}' at byte {}", b as char, *pos))
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        Some(b'{') => {
-            *pos += 1;
-            let mut members = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Object(members));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let key = parse_string(bytes, pos)?;
-                skip_ws(bytes, pos);
-                expect_byte(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
-                members.push((key, value));
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Object(members));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Array(items));
-            }
-            loop {
-                items.push(parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Array(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
-                }
-            }
-        }
-        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
-        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
-        Some(_) => parse_number(bytes, pos),
-        None => Err("unexpected end of input".into()),
-    }
-}
-
-fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(value)
-    } else {
-        Err(format!("invalid literal at byte {}", *pos))
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
-        *pos += 1;
-    }
-    std::str::from_utf8(&bytes[start..*pos])
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .map(Json::Number)
-        .ok_or_else(|| format!("invalid number at byte {start}"))
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect_byte(bytes, pos, b'"')?;
-    // Accumulate raw bytes and validate once at the end, so multi-byte
-    // UTF-8 content passes through intact.
-    let mut out: Vec<u8> = Vec::new();
-    let mut char_buf = [0u8; 4];
-    while let Some(&b) = bytes.get(*pos) {
-        *pos += 1;
-        match b {
-            b'"' => {
-                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".to_string())
-            }
-            b'\\' => {
-                let esc = bytes.get(*pos).copied().ok_or("unterminated escape")?;
-                *pos += 1;
-                let unescaped = match esc {
-                    b'"' => '"',
-                    b'\\' => '\\',
-                    b'/' => '/',
-                    b'n' => '\n',
-                    b't' => '\t',
-                    b'r' => '\r',
-                    b'b' => '\u{8}',
-                    b'f' => '\u{c}',
-                    b'u' => {
-                        let hex = bytes
-                            .get(*pos..*pos + 4)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .and_then(|h| u32::from_str_radix(h, 16).ok())
-                            .ok_or("invalid \\u escape")?;
-                        *pos += 4;
-                        char::from_u32(hex).unwrap_or('\u{fffd}')
-                    }
-                    other => return Err(format!("unknown escape '\\{}'", other as char)),
-                };
-                out.extend_from_slice(unescaped.encode_utf8(&mut char_buf).as_bytes());
-            }
-            _ => out.push(b),
-        }
-    }
-    Err("unterminated string".into())
-}
+// The JSON reader/writer this gate originally carried now lives in
+// `rfsim_numerics::json`, where the serve wire protocol shares it;
+// re-exported here so gate callers keep working unchanged.
+pub use rfsim_numerics::json::Json;
 
 /// One gated ratio: the measured value against its committed baseline.
 #[derive(Debug, Clone)]
@@ -520,38 +390,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn json_parses_bench_schema() {
-        let doc = r#"{
-            "pr": 2,
-            "note": "a \"quoted\" machine — naïve UTF-8 survives",
-            "benchmarks": [
-                {"name": "x", "median_ns": 12.5},
-                {"name": "y", "median_ns": 2e3, "ok": true}
-            ],
-            "headline": {"speedup": 1.63, "nested": {"deep": -4}}
-        }"#;
-        let json = Json::parse(doc).expect("parse");
-        assert_eq!(
-            json.path("note"),
-            Some(&Json::String(
-                "a \"quoted\" machine — naïve UTF-8 survives".into()
-            ))
-        );
-        assert_eq!(json.number_at("pr"), Some(2.0));
-        assert_eq!(json.number_at("headline.speedup"), Some(1.63));
-        assert_eq!(json.number_at("headline.nested.deep"), Some(-4.0));
-        assert_eq!(json.number_at("headline.missing"), None);
-        match json.path("benchmarks") {
-            Some(Json::Array(items)) => {
-                assert_eq!(items.len(), 2);
-                assert_eq!(items[0].number_at("median_ns"), Some(12.5));
-                assert_eq!(items[1].number_at("median_ns"), Some(2000.0));
-                assert_eq!(items[1].get("ok"), Some(&Json::Bool(true)));
-            }
-            other => panic!("expected array, got {other:?}"),
-        }
-        assert!(Json::parse("{\"a\": 1,}").is_err());
-        assert!(Json::parse("[1, 2] trailing").is_err());
+    fn json_reexport_reads_bench_schema() {
+        // The parser moved to `rfsim_numerics::json` (which carries the
+        // UTF-8 regression test); this pins the gate-facing re-export.
+        let json = Json::parse(r#"{"ratios": {"x": 1.63}, "note": "naïve"}"#).expect("parse");
+        assert_eq!(json.number_at("ratios.x"), Some(1.63));
+        assert_eq!(json.path("note"), Some(&Json::String("naïve".into())));
     }
 
     #[test]
@@ -569,6 +413,16 @@ mod tests {
         // Floor applies even without a baseline.
         assert!(check(0.95, None, 0.9).passes(0.15));
         assert!(!check(0.85, None, 0.9).passes(0.15));
+    }
+
+    #[test]
+    fn memo_roundtrip_hits_and_replays_bit_identically() {
+        // One cheap reprise of the PR 4 acceptance criterion (the >= 10x
+        // floor itself is enforced by `bench_gate` in release mode).
+        let outcome = memo_roundtrip(1);
+        assert!(outcome.memo_hits >= 1, "{outcome:?}");
+        assert!(outcome.bit_identical, "{outcome:?}");
+        assert!(outcome.speedup() > 1.0, "{outcome:?}");
     }
 
     #[test]

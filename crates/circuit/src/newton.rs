@@ -208,6 +208,9 @@ pub struct WorkspaceStats {
     /// In-place numeric refreshes of a cached ILU(0)/block-Jacobi
     /// preconditioner over its existing pattern (no allocation).
     pub precond_refreshes: usize,
+    /// Preconditioner refreshes carried by the pooled block-parallel path
+    /// ([`RefactorStrategy::Parallel`]); a subset of `precond_refreshes`.
+    pub parallel_precond_refreshes: usize,
     /// Preconditioner (re)builds from scratch (first use, structural
     /// change, or recovery from a refresh breakdown).
     pub precond_rebuilds: usize,
@@ -229,6 +232,7 @@ impl WorkspaceStats {
             iterative_solves,
             direct_fallbacks,
             precond_refreshes,
+            parallel_precond_refreshes,
             precond_rebuilds,
         } = other;
         self.full_factorizations += full_factorizations;
@@ -241,6 +245,7 @@ impl WorkspaceStats {
         self.iterative_solves += iterative_solves;
         self.direct_fallbacks += direct_fallbacks;
         self.precond_refreshes += precond_refreshes;
+        self.parallel_precond_refreshes += parallel_precond_refreshes;
         self.precond_rebuilds += precond_rebuilds;
     }
 }
@@ -366,11 +371,25 @@ impl LinearSolverWorkspace {
         let csr = self.csr.as_ref().expect("assembled above");
         match &mut self.block_jacobi {
             Some(bj) if bj.block_size() == block_size && bj.matches(csr) => {
-                if let Err(e) = bj.refactor_in_place(csr) {
-                    self.block_jacobi = None;
-                    return Err(e.into());
+                // The blocks are embarrassingly parallel, so the refresh
+                // follows the workspace's refactor strategy the same way
+                // the direct LU path does (bit-identical either way).
+                let refreshed = match &self.refactor_strategy {
+                    RefactorStrategy::Sequential => bj.refactor_in_place(csr).map(|()| false),
+                    RefactorStrategy::Parallel(pool) => bj.refactor_in_place_parallel(csr, pool),
+                };
+                match refreshed {
+                    Err(e) => {
+                        self.block_jacobi = None;
+                        return Err(e.into());
+                    }
+                    Ok(pooled) => {
+                        self.stats.precond_refreshes += 1;
+                        if pooled {
+                            self.stats.parallel_precond_refreshes += 1;
+                        }
+                    }
                 }
-                self.stats.precond_refreshes += 1;
             }
             _ => {
                 self.block_jacobi = Some(BlockJacobiPrecond::new(csr, block_size)?);
@@ -582,6 +601,14 @@ impl WorkspaceCache {
             total.absorb(&ws.stats);
         }
         total
+    }
+
+    /// Folds externally accumulated counters into this cache's history —
+    /// how the sweep engine's determinism mode (which solves on private
+    /// throwaway caches) still reports its solver work through
+    /// [`WorkspaceCache::solver_stats`].
+    pub fn absorb_stats(&mut self, stats: &WorkspaceStats) {
+        self.absorbed.absorb(stats);
     }
 
     /// Drops all parked workspaces (counters are kept — their solver
@@ -1256,6 +1283,38 @@ mod tests {
         newton_solve_with_workspace(&Quadratic, &[3.0], &[], opts, &mut ws)
             .expect("different structure");
         assert_eq!(ws.stats.precond_rebuilds, 2);
+    }
+
+    #[test]
+    fn gmres_block_jacobi_parallel_refresh_matches_sequential() {
+        // block_size 1 on the 2-unknown system gives two independent
+        // blocks — enough for the pooled refresh to actually chunk.
+        let opts = NewtonOptions {
+            linear: LinearSolver::GmresBlockJacobi {
+                block_size: 1,
+                rtol: 1e-10,
+                restart: 20,
+                max_iters: 200,
+            },
+            ..Default::default()
+        };
+        let mut seq = LinearSolverWorkspace::new();
+        let (x_seq, _) = newton_solve_with_workspace(&Coupled, &[2.5, 0.1], &[], opts, &mut seq)
+            .expect("sequential");
+        newton_solve_with_workspace(&Coupled, &[2.0, 0.5], &[], opts, &mut seq).expect("seq 2");
+        let mut par =
+            LinearSolverWorkspace::with_strategy(RefactorStrategy::Parallel(WorkerPool::new(2)));
+        let (x_par, _) = newton_solve_with_workspace(&Coupled, &[2.5, 0.1], &[], opts, &mut par)
+            .expect("parallel");
+        newton_solve_with_workspace(&Coupled, &[2.0, 0.5], &[], opts, &mut par).expect("par 2");
+        assert_eq!(x_seq, x_par, "block-parallel refresh must be bit-identical");
+        assert!(par.stats.precond_refreshes >= 1, "{:?}", par.stats);
+        assert_eq!(
+            par.stats.parallel_precond_refreshes, par.stats.precond_refreshes,
+            "every refresh under the Parallel strategy rides the pool: {:?}",
+            par.stats
+        );
+        assert_eq!(seq.stats.parallel_precond_refreshes, 0);
     }
 
     #[test]

@@ -1,0 +1,485 @@
+//! Dependency-free JSON reading and writing.
+//!
+//! The build environment has no crates.io access, so the workspace carries
+//! its own small strict JSON implementation instead of serde. Two
+//! consumers share it: the bench-regression gate (reading machine-written
+//! `BENCH_*.json` baselines) and the `rfsim-serve` wire protocol
+//! (line-delimited JSON requests and responses over TCP). Both sides are
+//! machine-to-machine, so the parser is strict (no comments, no trailing
+//! commas) and the writer is canonical (no whitespace, shortest-roundtrip
+//! number formatting).
+//!
+//! Numbers are read and written as `f64`. The writer uses Rust's shortest
+//! round-trip `Display` for floats, so any finite value survives a
+//! write → parse cycle bit-identically — the property the serve layer's
+//! replay guarantee rests on. Non-finite numbers have no JSON spelling and
+//! are written as `null`.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (read as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, insertion-ordered.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Follows a dotted path (`"headline.speedup"`) through nested
+    /// objects.
+    pub fn path(&self, dotted: &str) -> Option<&Json> {
+        dotted.split('.').try_fold(self, |v, key| v.get(key))
+    }
+
+    /// The number at a dotted path, if present.
+    pub fn number_at(&self, dotted: &str) -> Option<f64> {
+        match self.path(dotted) {
+            Some(Json::Number(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string at a dotted path, if present.
+    pub fn string_at(&self, dotted: &str) -> Option<&str> {
+        match self.path(dotted) {
+            Some(Json::String(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean at a dotted path, if present.
+    pub fn bool_at(&self, dotted: &str) -> Option<bool> {
+        match self.path(dotted) {
+            Some(Json::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array at a dotted path, if present.
+    pub fn array_at(&self, dotted: &str) -> Option<&[Json]> {
+        match self.path(dotted) {
+            Some(Json::Array(items)) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// An object value from `(key, value)` pairs.
+    pub fn object(members: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Json {
+        Json::Object(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An array value.
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// A string value.
+    pub fn string(s: impl Into<String>) -> Json {
+        Json::String(s.into())
+    }
+
+    /// A number value. Non-finite floats (which JSON cannot spell) become
+    /// `null`.
+    pub fn number(x: f64) -> Json {
+        if x.is_finite() {
+            Json::Number(x)
+        } else {
+            Json::Null
+        }
+    }
+
+    /// Serialises this value as compact canonical JSON (no whitespace).
+    ///
+    /// Finite numbers use Rust's shortest round-trip float formatting and
+    /// therefore parse back to the identical `f64` bits; non-finite
+    /// numbers are written as `null`.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Number(x) => write_number(*x, out),
+            Json::String(s) => write_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::number(x)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Number(x as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::String(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::String(s)
+    }
+}
+
+fn write_number(x: f64, out: &mut String) {
+    if x.is_finite() {
+        // Plain Display is shortest-roundtrip and prints integral values
+        // without a trailing ".0".
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", b as char, *pos))
+    }
+}
+
+/// Nesting bound for the recursive parser. The parser faces untrusted
+/// network input through the serve wire protocol, where unbounded `[[[[…`
+/// recursion would overflow the connection thread's stack and abort the
+/// whole process; real payloads nest a handful of levels.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth >= MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", *pos));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect_byte(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Number)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(bytes, pos, b'"')?;
+    // Accumulate raw bytes and validate once at the end, so multi-byte
+    // UTF-8 content passes through intact.
+    let mut out: Vec<u8> = Vec::new();
+    let mut char_buf = [0u8; 4];
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => {
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".to_string())
+            }
+            b'\\' => {
+                let esc = bytes.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                let unescaped = match esc {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'/' => '/',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'b' => '\u{8}',
+                    b'f' => '\u{c}',
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("invalid \\u escape")?;
+                        *pos += 4;
+                        char::from_u32(hex).unwrap_or('\u{fffd}')
+                    }
+                    other => return Err(format!("unknown escape '\\{}'", other as char)),
+                };
+                out.extend_from_slice(unescaped.encode_utf8(&mut char_buf).as_bytes());
+            }
+            _ => out.push(b),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The UTF-8 regression test that rode with the parser from its first
+    // home in `rfsim_bench::gate`: multi-byte content must survive both
+    // escaped and raw forms.
+    #[test]
+    fn json_parses_bench_schema() {
+        let doc = r#"{
+            "pr": 2,
+            "note": "a \"quoted\" machine — naïve UTF-8 survives",
+            "benchmarks": [
+                {"name": "x", "median_ns": 12.5},
+                {"name": "y", "median_ns": 2e3, "ok": true}
+            ],
+            "headline": {"speedup": 1.63, "nested": {"deep": -4}}
+        }"#;
+        let json = Json::parse(doc).expect("parse");
+        assert_eq!(
+            json.path("note"),
+            Some(&Json::String(
+                "a \"quoted\" machine — naïve UTF-8 survives".into()
+            ))
+        );
+        assert_eq!(json.number_at("pr"), Some(2.0));
+        assert_eq!(json.number_at("headline.speedup"), Some(1.63));
+        assert_eq!(json.number_at("headline.nested.deep"), Some(-4.0));
+        assert_eq!(json.number_at("headline.missing"), None);
+        match json.path("benchmarks") {
+            Some(Json::Array(items)) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[0].number_at("median_ns"), Some(12.5));
+                assert_eq!(items[1].number_at("median_ns"), Some(2000.0));
+                assert_eq!(items[1].get("ok"), Some(&Json::Bool(true)));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert!(Json::parse("{\"a\": 1,}").is_err());
+        assert!(Json::parse("[1, 2] trailing").is_err());
+    }
+
+    #[test]
+    fn dump_roundtrips_structure_and_utf8() {
+        let value = Json::object([
+            ("naïve — utf8", Json::string("line\nbreak \"q\" \\ tab\t")),
+            (
+                "nums",
+                Json::array([Json::number(1.5), 3.0.into(), (-0.25).into()]),
+            ),
+            ("flag", Json::Bool(false)),
+            ("nothing", Json::Null),
+            ("ctrl", Json::string("\u{1}\u{8}\u{c}")),
+        ]);
+        let text = value.dump();
+        let back = Json::parse(&text).expect("reparse");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn dump_floats_roundtrip_bit_identically() {
+        // The serve layer replays stored solutions over the wire; every
+        // finite f64 must survive dump → parse with identical bits.
+        let cases = [
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            6.62607015e-34,
+            1.7976931348623157e308,
+            5e-324,
+            -12345.678901234567,
+            f64::MIN_POSITIVE,
+        ];
+        for &x in &cases {
+            let text = Json::Number(x).dump();
+            match Json::parse(&text).expect("parse") {
+                Json::Number(y) => {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{x:e} -> {text} -> {y:e}")
+                }
+                other => panic!("expected number, got {other:?}"),
+            }
+        }
+        assert_eq!(Json::number(f64::NAN), Json::Null);
+        assert_eq!(Json::number(f64::INFINITY).dump(), "null");
+    }
+
+    #[test]
+    fn hostile_nesting_is_rejected_not_overflowed() {
+        // The serve wire protocol feeds this parser raw network lines; a
+        // deep `[[[[…` must come back as an error, not a stack overflow.
+        let deep_ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&deep_ok).is_ok());
+        let hostile = "[".repeat(100_000);
+        let err = Json::parse(&hostile).expect_err("must be rejected");
+        assert!(err.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn accessor_helpers() {
+        let doc = Json::parse(r#"{"a": {"b": "str", "c": [1, true]}, "ok": true}"#).expect("parse");
+        assert_eq!(doc.string_at("a.b"), Some("str"));
+        assert_eq!(doc.bool_at("ok"), Some(true));
+        let items = doc.array_at("a.c").expect("array");
+        assert_eq!(items.len(), 2);
+        assert_eq!(doc.string_at("a.c"), None);
+        assert_eq!(doc.array_at("missing"), None);
+    }
+}

@@ -20,6 +20,8 @@
 //!   which support in-place numeric refresh over their cached patterns.
 //! * [`pool`] — the fixed-thread [`pool::WorkerPool`] shared by the sweep
 //!   engine and the parallel numeric refactorisation.
+//! * [`json`] — dependency-free strict JSON reader/writer shared by the
+//!   bench-regression gate and the `rfsim-serve` wire protocol.
 //! * [`fft`] — complex arithmetic, radix-2 and Bluestein FFTs, single-bin
 //!   DFT for harmonic extraction.
 //! * [`diff`] — periodic differentiation stencils (backward Euler, central,
@@ -51,6 +53,7 @@ pub mod dense;
 pub mod diff;
 pub mod fft;
 pub mod interp;
+pub mod json;
 pub mod krylov;
 pub mod pool;
 pub mod sparse;

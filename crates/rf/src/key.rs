@@ -1,0 +1,258 @@
+//! Quantised job keys for cross-batch solution memoisation.
+//!
+//! A sweep service that wants to serve a repeated request from a solution
+//! store needs a stable key for "the same job". Structure is already
+//! covered by [`PatternFingerprint`]; the *values* (amplitudes, tone
+//! spacings, grid dimensions) are `f64`s that may arrive from a wire
+//! protocol, a dashboard slider or a config file — textually different
+//! spellings of the same physical request. The [`Quantizer`] collapses
+//! values that agree to a configurable number of significant decimal
+//! digits onto one bucket, and the [`JobKeyBuilder`] folds the quantised
+//! parameters into a fingerprint-seeded FNV-1a hash.
+//!
+//! Quantisation is a *routing* choice, exactly like the fingerprints it
+//! composes with: two requests that land in the same bucket are served the
+//! same stored solution, so the digit count bounds how far a served answer
+//! can sit from the requested parameters (default: 12 significant digits,
+//! far below any physical tolerance in the paper's workloads, far above
+//! f64 noise from wire round-trips).
+
+use rfsim_numerics::sparse::PatternFingerprint;
+
+/// Buckets `f64` parameter values by significant decimal digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantizer {
+    sig_digits: u8,
+}
+
+impl Default for Quantizer {
+    fn default() -> Self {
+        Quantizer::new(Self::DEFAULT_SIG_DIGITS)
+    }
+}
+
+impl Quantizer {
+    /// Default significant-digit budget: tight enough that physically
+    /// distinct sweep parameters never merge, loose enough that a value's
+    /// shortest-round-trip wire spelling re-quantises onto itself.
+    pub const DEFAULT_SIG_DIGITS: u8 = 12;
+
+    /// A quantiser keeping `sig_digits` significant decimal digits
+    /// (clamped to `1..=17`).
+    pub fn new(sig_digits: u8) -> Self {
+        Quantizer {
+            sig_digits: sig_digits.clamp(1, 17),
+        }
+    }
+
+    /// The configured significant-digit count.
+    pub fn sig_digits(&self) -> u8 {
+        self.sig_digits
+    }
+
+    /// The canonical spelling of `v`'s bucket: scientific notation with
+    /// `sig_digits` significant digits, with `-0` folded onto `0` and
+    /// non-finite values spelled out. Two values quantise equal iff their
+    /// canonical spellings match.
+    pub fn canonical(&self, v: f64) -> String {
+        if !v.is_finite() {
+            return format!("{v}");
+        }
+        let v = if v == 0.0 { 0.0 } else { v };
+        format!("{:.*e}", usize::from(self.sig_digits) - 1, v)
+    }
+
+    /// The bucket of `v` as a hashable token.
+    pub fn bucket(&self, v: f64) -> u64 {
+        fnv1a_bytes(FNV_OFFSET, self.canonical(v).as_bytes())
+    }
+}
+
+/// The FNV-1a offset basis — the seed for [`fnv1a_bytes`] chains.
+pub const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// One FNV-1a absorption step: folds `bytes` into the running hash `h`
+/// (seed with [`FNV_OFFSET`]). Shared by the key builder and the serve
+/// layer's result digests so the workspace carries one hash definition.
+pub fn fnv1a_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A stable identity for a memoised sweep job: a Jacobian-structure
+/// fingerprint folded with quantised job parameters.
+///
+/// Like [`PatternFingerprint`], this is a routing key: a collision serves
+/// a stored solution for a different request, so consumers that cannot
+/// tolerate that (none of the current ones) must verify payload metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobKey(u64);
+
+impl JobKey {
+    /// The raw hash value (diagnostics, wire encoding).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for JobKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Accumulates a [`JobKey`] from a structure fingerprint and the job's
+/// parameters. Push order matters and is part of the key's contract.
+#[derive(Debug, Clone)]
+pub struct JobKeyBuilder {
+    h: u64,
+    quantizer: Quantizer,
+}
+
+impl JobKeyBuilder {
+    /// Starts a key from the job's Jacobian-structure fingerprint.
+    pub fn new(fingerprint: PatternFingerprint, quantizer: Quantizer) -> Self {
+        JobKeyBuilder {
+            h: fnv1a_bytes(FNV_OFFSET, &fingerprint.as_u64().to_le_bytes()),
+            quantizer,
+        }
+    }
+
+    /// Folds a raw integer token (grid dimension, backend discriminant).
+    #[must_use]
+    pub fn push_u64(mut self, v: u64) -> Self {
+        self.h = fnv1a_bytes(self.h, &v.to_le_bytes());
+        self
+    }
+
+    /// Folds a textual token (family name, backend label).
+    #[must_use]
+    pub fn push_str(mut self, s: &str) -> Self {
+        self.h = fnv1a_bytes(self.h, &(s.len() as u64).to_le_bytes());
+        self.h = fnv1a_bytes(self.h, s.as_bytes());
+        self
+    }
+
+    /// Folds one quantised `f64` parameter.
+    #[must_use]
+    pub fn push_f64(mut self, v: f64) -> Self {
+        let bucket = self.quantizer.bucket(v);
+        self.h = fnv1a_bytes(self.h, &bucket.to_le_bytes());
+        self
+    }
+
+    /// Folds a slice of quantised `f64` parameters (length included, so
+    /// `[a, b] ++ [c]` never collides with `[a] ++ [b, c]`).
+    #[must_use]
+    pub fn push_f64s(mut self, vs: &[f64]) -> Self {
+        self.h = fnv1a_bytes(self.h, &(vs.len() as u64).to_le_bytes());
+        for &v in vs {
+            self = self.push_f64(v);
+        }
+        self
+    }
+
+    /// The finished key.
+    pub fn finish(self) -> JobKey {
+        JobKey(self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsim_numerics::sparse::Triplets;
+
+    fn fp(n: usize) -> PatternFingerprint {
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 1.0);
+        }
+        t.pattern_fingerprint()
+    }
+
+    #[test]
+    fn quantizer_merges_wire_noise_and_splits_real_differences() {
+        let q = Quantizer::default();
+        // A shortest-round-trip spelling re-parses to the identical f64,
+        // so its bucket is trivially stable.
+        let v = 0.1234567890123456;
+        let rt: f64 = format!("{v}").parse().expect("roundtrip");
+        assert_eq!(q.bucket(v), q.bucket(rt));
+        // Noise beyond 12 significant digits merges…
+        assert_eq!(q.bucket(1.0), q.bucket(1.0 + 1e-13));
+        // …while differences a dashboard could ask for stay distinct.
+        assert_ne!(q.bucket(1.0), q.bucket(1.0 + 1e-9));
+        assert_ne!(q.bucket(10e3), q.bucket(20e3));
+        // Signed zero folds onto zero; sign otherwise matters.
+        assert_eq!(q.bucket(0.0), q.bucket(-0.0));
+        assert_ne!(q.bucket(0.5), q.bucket(-0.5));
+    }
+
+    #[test]
+    fn quantizer_digit_budget_is_adjustable() {
+        let coarse = Quantizer::new(3);
+        assert_eq!(coarse.bucket(1.0001), coarse.bucket(1.0002));
+        let fine = Quantizer::new(8);
+        assert_ne!(fine.bucket(1.0001), fine.bucket(1.0002));
+        // Clamped to a sane range.
+        assert_eq!(Quantizer::new(0).sig_digits(), 1);
+        assert_eq!(Quantizer::new(40).sig_digits(), 17);
+    }
+
+    #[test]
+    fn job_keys_depend_on_every_component() {
+        let q = Quantizer::default();
+        let base = |f: PatternFingerprint| {
+            JobKeyBuilder::new(f, q)
+                .push_str("rc_lowpass")
+                .push_u64(16)
+                .push_f64s(&[0.1, 0.2])
+                .finish()
+        };
+        assert_eq!(base(fp(3)), base(fp(3)));
+        assert_ne!(base(fp(3)), base(fp(4)));
+        let b = JobKeyBuilder::new(fp(3), q);
+        assert_ne!(
+            base(fp(3)),
+            b.clone()
+                .push_str("rc_lowpass")
+                .push_u64(32)
+                .push_f64s(&[0.1, 0.2])
+                .finish()
+        );
+        assert_ne!(
+            base(fp(3)),
+            b.clone()
+                .push_str("diode")
+                .push_u64(16)
+                .push_f64s(&[0.1, 0.2])
+                .finish()
+        );
+        assert_ne!(
+            base(fp(3)),
+            b.push_str("rc_lowpass")
+                .push_u64(16)
+                .push_f64s(&[0.1, 0.3])
+                .finish()
+        );
+    }
+
+    #[test]
+    fn slice_lengths_are_part_of_the_key() {
+        let q = Quantizer::default();
+        let k1 = JobKeyBuilder::new(fp(2), q)
+            .push_f64s(&[1.0, 2.0])
+            .push_f64s(&[3.0])
+            .finish();
+        let k2 = JobKeyBuilder::new(fp(2), q)
+            .push_f64s(&[1.0])
+            .push_f64s(&[2.0, 3.0])
+            .finish();
+        assert_ne!(k1, k2);
+    }
+}

@@ -10,10 +10,13 @@
 //!   and the batched multi-topology [`sweep::SweepEngine`]: a
 //!   fingerprint-keyed workspace cache with warm-start chaining per
 //!   topology group, executed on a hand-rolled worker pool.
+//! * [`key`] — quantised [`key::JobKey`]s for cross-batch solution
+//!   memoisation (the `rfsim-serve` solution store's keying layer).
 //! * [`pool`] — the fixed-thread [`pool::WorkerPool`] behind the engine.
 
 pub mod bits;
 pub mod eye;
+pub mod key;
 pub mod measure;
 pub mod pool;
 pub mod sweep;

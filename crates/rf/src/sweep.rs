@@ -522,6 +522,19 @@ impl SweepEngine {
         }
     }
 
+    /// Bounds the number of warmed workspaces the engine parks between
+    /// batches (default [`WorkspaceCache::DEFAULT_CAPACITY`]). Long-lived
+    /// services hosting many distinct topologies use this to cap factor
+    /// retention; a check-in beyond the bound drops the workspace, never a
+    /// result. A construction-time builder: it replaces the cache, so call
+    /// it before the first batch.
+    #[must_use]
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        *self.cache.lock().expect("workspace cache poisoned") =
+            WorkspaceCache::with_capacity(capacity);
+        self
+    }
+
     /// Sets the numeric-refactorisation strategy applied to every
     /// workspace this engine checks out (default:
     /// [`RefactorStrategy::Sequential`]).
@@ -662,8 +675,9 @@ impl SweepEngine {
                 } else {
                     // Determinism mode: a private workspace cache makes
                     // this job's numerics independent of its neighbours.
+                    // Its solver counters still roll up to the engine.
                     let local = Mutex::new(WorkspaceCache::new());
-                    sweep_chain(
+                    let out = sweep_chain(
                         &job.backend,
                         &job.values,
                         &mut make,
@@ -671,7 +685,16 @@ impl SweepEngine {
                         &self.refactor_strategy,
                         Some(*key),
                         None,
-                    )
+                    );
+                    let local_stats = local
+                        .lock()
+                        .expect("private workspace cache poisoned")
+                        .solver_stats();
+                    self.cache
+                        .lock()
+                        .expect("workspace cache poisoned")
+                        .absorb_stats(&local_stats);
+                    out
                 };
                 if self.chain_groups {
                     chain_seed = last;

@@ -1,0 +1,208 @@
+//! The `rfsim-client` CLI: drives a running `rfsim-serve` daemon.
+//!
+//! ```text
+//! rfsim-client --addr 127.0.0.1:4520 run --family rc_lowpass \
+//!     --backend mpde --f1 1e6 --amplitudes 0.1,0.2 --spacings 10e3,20e3 \
+//!     --n1 16 --n2 8 [--priority high] [--expect-memo] [--expect-solve]
+//! rfsim-client --addr … submit …      # same job flags, returns the id
+//! rfsim-client --addr … poll --job 7 [--wait-ms 500]
+//! rfsim-client --addr … stats [--assert-min-hits N]
+//! rfsim-client --addr … evict [--family rc_lowpass]
+//! rfsim-client --addr … shutdown
+//! ```
+//!
+//! `run` submits, waits, and prints one summary line ending in
+//! `digest=<hex> memo_hit=<bool>` — the smoke scripts compare digests
+//! across runs to assert bit-identical replay.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use rfsim_serve::client::ServeClient;
+use rfsim_serve::spec::{BackendKind, JobSpec, Priority};
+
+fn parse_list(text: &str) -> Vec<f64> {
+    text.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("bad number '{s}'")))
+        .collect()
+}
+
+struct JobFlags {
+    spec: JobSpec,
+    expect_memo: bool,
+    expect_solve: bool,
+    timeout: Duration,
+}
+
+fn parse_job_flags(it: &mut impl Iterator<Item = String>) -> JobFlags {
+    let mut flags = JobFlags {
+        spec: JobSpec::mpde("rc_lowpass", 1e6, vec![0.1], vec![10e3]),
+        expect_memo: false,
+        expect_solve: false,
+        timeout: Duration::from_secs(300),
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--family" => flags.spec.family = value("--family"),
+            "--backend" => {
+                let label = value("--backend");
+                flags.spec.backend = BackendKind::parse(&label)
+                    .unwrap_or_else(|| panic!("unknown backend '{label}'"));
+            }
+            "--f1" => flags.spec.f1 = value("--f1").parse().expect("f1"),
+            "--amplitudes" => flags.spec.amplitudes = parse_list(&value("--amplitudes")),
+            "--spacings" => flags.spec.spacings = parse_list(&value("--spacings")),
+            "--n1" => flags.spec.n1 = value("--n1").parse().expect("n1"),
+            "--n2" => flags.spec.n2 = value("--n2").parse().expect("n2"),
+            "--priority" => {
+                let label = value("--priority");
+                flags.spec.priority =
+                    Priority::parse(&label).unwrap_or_else(|| panic!("unknown priority '{label}'"));
+            }
+            "--timeout-s" => {
+                flags.timeout = Duration::from_secs(value("--timeout-s").parse().expect("timeout"))
+            }
+            "--expect-memo" => flags.expect_memo = true,
+            "--expect-solve" => flags.expect_solve = true,
+            other => panic!("unknown job flag {other}"),
+        }
+    }
+    flags
+}
+
+fn main() -> ExitCode {
+    let mut it = std::env::args().skip(1).peekable();
+    let mut addr = "127.0.0.1:4520".to_string();
+    if it.peek().map(String::as_str) == Some("--addr") {
+        it.next();
+        addr = it.next().expect("--addr needs a value");
+    }
+    let command = it.next().unwrap_or_else(|| {
+        eprintln!(
+            "usage: rfsim-client [--addr HOST:PORT] <run|submit|poll|stats|evict|shutdown> …"
+        );
+        std::process::exit(2);
+    });
+    let mut client =
+        ServeClient::connect(&*addr).unwrap_or_else(|e| panic!("connecting to {addr}: {e}"));
+
+    match command.as_str() {
+        "submit" => {
+            let flags = parse_job_flags(&mut it);
+            let id = client
+                .submit(&flags.spec)
+                .unwrap_or_else(|e| panic!("submit: {e}"));
+            println!("job_id={id}");
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let flags = parse_job_flags(&mut it);
+            let t0 = Instant::now();
+            let (id, outcome) = client
+                .run(&flags.spec, flags.timeout)
+                .unwrap_or_else(|e| panic!("run: {e}"));
+            let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let result = outcome.result.as_ref().expect("done outcome has a result");
+            let digest = outcome
+                .digest
+                .clone()
+                .unwrap_or_else(|| format!("{:016x}", result.digest()));
+            println!(
+                "job_id={id} points={} samples={} elapsed_ms={elapsed_ms:.1} \
+                 digest={digest} memo_hit={}",
+                result.points.len(),
+                result.num_samples(),
+                outcome.memo_hit,
+            );
+            if flags.expect_memo && !outcome.memo_hit {
+                eprintln!("FAIL: expected a memo hit, got a fresh solve");
+                return ExitCode::FAILURE;
+            }
+            if flags.expect_solve && outcome.memo_hit {
+                eprintln!("FAIL: expected a fresh solve, got a memo hit");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        "poll" => {
+            let mut job = None;
+            let mut wait_ms = 0u64;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--job" => job = Some(it.next().expect("--job id").parse().expect("job id")),
+                    "--wait-ms" => {
+                        wait_ms = it.next().expect("--wait-ms value").parse().expect("wait")
+                    }
+                    other => panic!("unknown poll flag {other}"),
+                }
+            }
+            let outcome = client
+                .poll(job.expect("poll needs --job"), wait_ms)
+                .unwrap_or_else(|e| panic!("poll: {e}"));
+            match (&outcome.status[..], &outcome.digest) {
+                ("done", Some(digest)) => {
+                    println!("status=done memo_hit={} digest={digest}", outcome.memo_hit)
+                }
+                _ => println!(
+                    "status={}{}",
+                    outcome.status,
+                    outcome
+                        .error
+                        .map(|e| format!(" error={e}"))
+                        .unwrap_or_default()
+                ),
+            }
+            ExitCode::SUCCESS
+        }
+        "stats" => {
+            let mut assert_min_hits = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--assert-min-hits" => {
+                        assert_min_hits =
+                            Some(it.next().expect("value").parse::<f64>().expect("count"))
+                    }
+                    other => panic!("unknown stats flag {other}"),
+                }
+            }
+            let stats = client.stats().unwrap_or_else(|e| panic!("stats: {e}"));
+            println!("{}", stats.dump());
+            if let Some(min) = assert_min_hits {
+                let hits = stats.number_at("store.hits").unwrap_or(0.0);
+                if hits < min {
+                    eprintln!("FAIL: store hits {hits} below required minimum {min}");
+                    return ExitCode::FAILURE;
+                }
+                println!("OK: store hits {hits} >= {min}");
+            }
+            ExitCode::SUCCESS
+        }
+        "evict" => {
+            let mut family = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--family" => family = Some(it.next().expect("--family name")),
+                    other => panic!("unknown evict flag {other}"),
+                }
+            }
+            let evicted = client
+                .evict(family.as_deref())
+                .unwrap_or_else(|e| panic!("evict: {e}"));
+            println!("evicted={evicted}");
+            ExitCode::SUCCESS
+        }
+        "shutdown" => {
+            client
+                .shutdown()
+                .unwrap_or_else(|e| panic!("shutdown: {e}"));
+            println!("shutdown acknowledged");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command '{other}' (run|submit|poll|stats|evict|shutdown)");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The `rfsim-serve` daemon: a memoising steady-state simulation service
+//! over TCP.
+//!
+//! ```text
+//! rfsim-serve [--addr 127.0.0.1:4520] [--store-capacity 256]
+//!             [--queue-capacity 1024] [--threads N] [--batch-max 16]
+//!             [--quant-digits 12] [--non-deterministic]
+//! ```
+//!
+//! Binds the address (port 0 picks an ephemeral port; the chosen address
+//! is printed), serves the line-delimited JSON protocol (see
+//! `docs/serving.md`), and exits on the `shutdown` verb.
+
+use rfsim_rf::key::Quantizer;
+use rfsim_rf::pool::WorkerPool;
+use rfsim_serve::service::{ServeConfig, SimService};
+use rfsim_serve::wire::WireServer;
+
+struct Args {
+    addr: String,
+    config: ServeConfig,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:4520".into(),
+        config: ServeConfig {
+            threads: WorkerPool::from_available_parallelism().threads(),
+            ..Default::default()
+        },
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--store-capacity" => {
+                args.config.store_capacity = value("--store-capacity").parse().expect("capacity")
+            }
+            "--queue-capacity" => {
+                args.config.queue_capacity = value("--queue-capacity").parse().expect("capacity")
+            }
+            "--threads" => args.config.threads = value("--threads").parse().expect("threads"),
+            "--batch-max" => args.config.batch_max = value("--batch-max").parse().expect("batch"),
+            "--quant-digits" => {
+                args.config.quantizer =
+                    Quantizer::new(value("--quant-digits").parse().expect("digits"))
+            }
+            "--non-deterministic" => args.config.deterministic = false,
+            "--help" | "-h" => {
+                println!(
+                    "rfsim-serve: memoising steady-state simulation daemon\n\
+                     flags: --addr HOST:PORT --store-capacity N --queue-capacity N \
+                     --threads N --batch-max N --quant-digits N --non-deterministic"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let service = SimService::start(args.config.clone());
+    let families = service.family_names().join(", ");
+    let server = WireServer::start(service, &*args.addr)
+        .unwrap_or_else(|e| panic!("binding {}: {e}", args.addr));
+    // The smoke scripts wait for this exact line before connecting.
+    println!("rfsim-serve listening on {}", server.local_addr());
+    println!(
+        "  families: {families}\n  store capacity: {}  queue capacity: {}  threads: {}  \
+         deterministic: {}",
+        args.config.store_capacity,
+        args.config.queue_capacity,
+        args.config.threads,
+        args.config.deterministic,
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.join();
+    println!("rfsim-serve: shutdown complete");
+}

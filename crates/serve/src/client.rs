@@ -1,0 +1,205 @@
+//! A blocking TCP client for the wire protocol — the library behind the
+//! `rfsim-client` CLI, the round-trip example, and the CI smoke job.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use rfsim_numerics::json::Json;
+
+use crate::error::{Result, ServeError};
+use crate::spec::{JobResult, JobSpec};
+use crate::wire::Request;
+
+/// The settled outcome of a poll.
+#[derive(Debug, Clone)]
+pub struct PollOutcome {
+    /// `queued` / `running` / `done` / `failed`.
+    pub status: String,
+    /// Present when `done`.
+    pub result: Option<JobResult>,
+    /// Whether a `done` result was served from the solution store.
+    pub memo_hit: bool,
+    /// The server-computed bit digest of a `done` result.
+    pub digest: Option<String>,
+    /// The failure message when `failed`.
+    pub error: Option<String>,
+}
+
+/// A connected protocol client (one request/response at a time).
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl std::fmt::Debug for ServeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeClient").finish_non_exhaustive()
+    }
+}
+
+impl ServeClient {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Socket connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        // Requests are single small lines; Nagle + delayed ACK would add
+        // ~40 ms per round trip otherwise.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, malformed responses, or an `ok: false` reply
+    /// (surfaced as [`ServeError::Protocol`] with the server's message).
+    pub fn call(&mut self, request: &Request) -> Result<Json> {
+        let mut line = request.dump();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ServeError::Protocol("server closed the connection".into()));
+        }
+        let response = Json::parse(line.trim_end()).map_err(ServeError::Protocol)?;
+        match response.bool_at("ok") {
+            Some(true) => Ok(response),
+            Some(false) => Err(ServeError::Protocol(
+                response
+                    .string_at("error")
+                    .unwrap_or("unspecified server error")
+                    .to_string(),
+            )),
+            None => Err(ServeError::Protocol(format!(
+                "response missing 'ok': {line}"
+            ))),
+        }
+    }
+
+    /// Submits a job; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Transport or server-side submit failures (validation,
+    /// backpressure).
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<u64> {
+        let response = self.call(&Request::Submit(spec.clone()))?;
+        response
+            .number_at("job_id")
+            .map(|id| id as u64)
+            .ok_or_else(|| ServeError::Protocol("submit response missing 'job_id'".into()))
+    }
+
+    /// Polls a job, long-polling server-side for up to `wait_ms`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unknown job id.
+    pub fn poll(&mut self, job_id: u64, wait_ms: u64) -> Result<PollOutcome> {
+        let response = self.call(&Request::Poll { job_id, wait_ms })?;
+        let status = response
+            .string_at("status")
+            .ok_or_else(|| ServeError::Protocol("poll response missing 'status'".into()))?
+            .to_string();
+        let result = match response.path("result") {
+            Some(json) => Some(JobResult::from_json(json)?),
+            None => None,
+        };
+        Ok(PollOutcome {
+            status,
+            result,
+            memo_hit: response.bool_at("memo_hit").unwrap_or(false),
+            digest: response.string_at("digest").map(str::to_string),
+            error: response.string_at("error").map(str::to_string),
+        })
+    }
+
+    /// Polls until the job settles (done or failed), up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, the job's failure message, or a timeout.
+    pub fn wait(&mut self, job_id: u64, timeout: Duration) -> Result<PollOutcome> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ServeError::Protocol(format!(
+                    "timed out waiting for job {job_id}"
+                )));
+            }
+            let chunk = remaining.min(Duration::from_millis(500)).as_millis() as u64;
+            let outcome = self.poll(job_id, chunk.max(1))?;
+            match outcome.status.as_str() {
+                "done" => return Ok(outcome),
+                "failed" => {
+                    return Err(ServeError::Protocol(format!(
+                        "job {job_id} failed: {}",
+                        outcome.error.as_deref().unwrap_or("unknown error")
+                    )))
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Submits and waits in one call.
+    ///
+    /// # Errors
+    ///
+    /// Any submit or wait failure.
+    pub fn run(&mut self, spec: &JobSpec, timeout: Duration) -> Result<(u64, PollOutcome)> {
+        let id = self.submit(spec)?;
+        let outcome = self.wait(id, timeout)?;
+        Ok((id, outcome))
+    }
+
+    /// Fetches the server's stats object.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn stats(&mut self) -> Result<Json> {
+        let response = self.call(&Request::Stats)?;
+        response
+            .path("stats")
+            .cloned()
+            .ok_or_else(|| ServeError::Protocol("stats response missing 'stats'".into()))
+    }
+
+    /// Evicts stored solutions; returns how many were dropped.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn evict(&mut self, family: Option<&str>) -> Result<usize> {
+        let response = self.call(&Request::Evict {
+            family: family.map(str::to_string),
+        })?;
+        response
+            .number_at("evicted")
+            .map(|n| n as usize)
+            .ok_or_else(|| ServeError::Protocol("evict response missing 'evicted'".into()))
+    }
+
+    /// Asks the daemon to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.call(&Request::Shutdown)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,62 @@
+//! Service-level error type.
+
+use rfsim_circuit::CircuitError;
+
+/// Everything that can go wrong between a wire request and a stored
+/// solution.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The requested circuit family is not registered.
+    UnknownFamily(String),
+    /// The job specification failed validation.
+    InvalidSpec(String),
+    /// The admission queue is at capacity — backpressure; retry later.
+    QueueFull {
+        /// The configured queue bound that was hit.
+        capacity: usize,
+    },
+    /// The service is shutting down and admits no new work.
+    Shutdown,
+    /// The referenced job id is unknown.
+    UnknownJob(u64),
+    /// A malformed wire request or response.
+    Protocol(String),
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// A circuit build or solve failed.
+    Circuit(CircuitError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownFamily(name) => write!(f, "unknown circuit family '{name}'"),
+            ServeError::InvalidSpec(why) => write!(f, "invalid job spec: {why}"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "job queue full (capacity {capacity}); retry later")
+            }
+            ServeError::Shutdown => write!(f, "service is shutting down"),
+            ServeError::UnknownJob(id) => write!(f, "unknown job id {id}"),
+            ServeError::Protocol(why) => write!(f, "protocol error: {why}"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Circuit(e) => write!(f, "circuit error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<CircuitError> for ServeError {
+    fn from(e: CircuitError) -> Self {
+        ServeError::Circuit(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

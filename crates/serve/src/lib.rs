@@ -1,0 +1,62 @@
+//! `rfsim-serve` — a memoising simulation service layer over the
+//! [`SweepEngine`](rfsim_rf::sweep::SweepEngine).
+//!
+//! The sweep engine keeps warm *workspaces* across batches but re-solves
+//! every point; dashboard and regression traffic, though, asks for the
+//! same amplitude × tone-spacing grids over and over (the sweep-tuned
+//! spectrum-analyzer shape). This crate adds the missing layer between
+//! "a fast engine" and "a service":
+//!
+//! * [`store`] — a bounded LRU **solution store** keyed by
+//!   `(structure fingerprint, quantised job parameters)`
+//!   ([`rfsim_rf::key`]). A hit returns the stored samples
+//!   byte-for-byte: replay is bit-identical by construction.
+//! * [`queue`] + [`service`] — a **priority admission queue** with
+//!   backpressure, in-flight request deduplication (concurrent identical
+//!   submits coalesce onto one solve), and a scheduler that batches
+//!   same-backend jobs into engine runs.
+//! * [`wire`] — a dependency-free **line-delimited JSON protocol** over
+//!   `std::net` with `submit` / `poll` / `stats` / `evict` / `shutdown`
+//!   verbs, plus the `rfsim-serve` daemon binary.
+//! * [`client`] — a blocking protocol client, plus the `rfsim-client`
+//!   CLI that drives grid requests end-to-end.
+//!
+//! See `docs/serving.md` for the protocol reference and the keying /
+//! eviction rules, and `examples/serve_roundtrip.rs` for a daemon +
+//! client round trip in one process.
+//!
+//! # Quick start (in-process)
+//!
+//! ```
+//! use std::time::Duration;
+//! use rfsim_serve::service::{ServeConfig, SimService};
+//! use rfsim_serve::spec::JobSpec;
+//!
+//! let service = SimService::start(ServeConfig {
+//!     threads: 1,
+//!     ..Default::default()
+//! });
+//! let spec = JobSpec::mpde("rc_lowpass", 1e6, vec![0.1, 0.2], vec![10e3]);
+//! let first = service.submit(&spec).expect("submit");
+//! let solved = service.wait(first, Duration::from_secs(60)).expect("solve");
+//! // The same request again is a memo hit: no solve, identical bytes.
+//! let again = service.submit(&spec).expect("submit");
+//! let replayed = service.wait(again, Duration::from_secs(60)).expect("replay");
+//! assert_eq!(solved.digest(), replayed.digest());
+//! assert_eq!(service.stats().counters.total().memo_hits, 1);
+//! ```
+
+pub mod client;
+pub mod error;
+pub mod queue;
+pub mod service;
+pub mod spec;
+pub mod store;
+pub mod wire;
+
+pub use client::ServeClient;
+pub use error::{Result, ServeError};
+pub use service::{JobId, JobStatus, ServeConfig, ServeStats, SimService};
+pub use spec::{BackendKind, FamilyRegistry, JobResult, JobSpec, Priority};
+pub use store::SolutionStore;
+pub use wire::WireServer;

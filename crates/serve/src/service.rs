@@ -1,0 +1,1004 @@
+//! The memoising simulation service: solution store + priority queue +
+//! scheduler over a long-lived [`SweepEngine`].
+//!
+//! # Life of a request
+//!
+//! 1. **submit** — the spec is validated and canonicalised, its
+//!    [`JobKey`] computed (one cheap circuit build + MNA structure probe),
+//!    and then, under one lock:
+//!    * a **store hit** completes the job instantly with the stored
+//!      [`Arc`]'d result (byte-for-byte what the original solve produced —
+//!      replay is bit-identical by construction);
+//!    * an **in-flight duplicate** (same key queued or solving) is
+//!      *coalesced*: the new job id joins the existing execution's waiter
+//!      list, so two concurrent identical submits cost one solve;
+//!    * otherwise the job is **admitted** to the bounded priority queue —
+//!      or rejected with [`ServeError::QueueFull`] backpressure.
+//! 2. **schedule** — a scheduler thread drains the queue in priority
+//!    order, batches consecutive same-backend jobs, and hands the batch to
+//!    the [`SweepEngine`], which groups jobs by Jacobian fingerprint and
+//!    runs the groups on its [`WorkerPool`].
+//! 3. **complete** — results are stored (LRU-evicting at capacity) and
+//!    every waiter is completed; `poll`/`wait` observe the transition.
+//!
+//! # Determinism
+//!
+//! With [`ServeConfig::deterministic`] (the default) the engine runs in
+//! its bit-reproducible mode ([`SweepEngine::chain_topology_groups`]
+//! off): every job solves on a private workspace with no cross-job
+//! seeding, so an identical spec re-solved on a fresh service reproduces
+//! the stored samples bit-for-bit — the property the memo-hit acceptance
+//! test pins. Turn it off to trade replay identity for cross-job
+//! warm-start throughput; the solution store works either way.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use rfsim_circuit::newton::WorkspaceStats;
+use rfsim_hb::Hb2Options;
+use rfsim_mpde::solver::MpdeOptions;
+use rfsim_numerics::json::Json;
+use rfsim_rf::key::{JobKey, Quantizer};
+use rfsim_rf::pool::WorkerPool;
+use rfsim_rf::sweep::{CacheSnapshot, Hb2SweepJob, MpdeSweepJob, PeriodicFdSweepJob, SweepEngine};
+use rfsim_shooting::PeriodicFdOptions;
+
+use crate::error::{Result, ServeError};
+use crate::queue::{JobQueue, QueuedJob};
+use crate::spec::{
+    BackendKind, FamilyRegistry, JobResult, JobSpec, PointParams, PointSolution, Priority,
+};
+use crate::store::{SolutionStore, StoreStats};
+
+/// Service construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Solutions retained by the LRU store.
+    pub store_capacity: usize,
+    /// Backpressure bound on waiting jobs.
+    pub queue_capacity: usize,
+    /// Worker threads of the underlying sweep engine.
+    pub threads: usize,
+    /// Warmed workspaces the engine parks between batches.
+    pub workspace_capacity: usize,
+    /// Jobs dispatched per scheduling round (one engine batch).
+    pub batch_max: usize,
+    /// Settled job records (done/failed) retained for polling. Oldest
+    /// records are dropped past this bound — `poll` then reports the id
+    /// as unknown — so a long-lived daemon's memory stays flat however
+    /// many requests it has served (results themselves are bounded
+    /// separately by `store_capacity`).
+    pub result_capacity: usize,
+    /// Bit-reproducible solves (see the module docs). Default on.
+    pub deterministic: bool,
+    /// Parameter quantisation for store keys.
+    pub quantizer: Quantizer,
+    /// Start with the scheduler paused (tests and manual embedders;
+    /// resume with [`SimService::resume`]).
+    pub paused: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            store_capacity: 256,
+            queue_capacity: 1024,
+            threads: WorkerPool::from_available_parallelism().threads(),
+            workspace_capacity: 64,
+            batch_max: 16,
+            result_capacity: 1024,
+            deterministic: true,
+            quantizer: Quantizer::default(),
+            paused: false,
+        }
+    }
+}
+
+/// A submitted job's handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone)]
+pub enum JobStatus {
+    /// Waiting in the admission queue (or coalesced onto a queued twin).
+    Queued,
+    /// Being solved by the engine (or coalesced onto a running twin).
+    Running,
+    /// Completed.
+    Done {
+        /// The solution (shared with the store and any coalesced twins).
+        result: Arc<JobResult>,
+        /// Whether this job was served from the solution store without a
+        /// solve.
+        memo_hit: bool,
+    },
+    /// Failed; the message is the solver or build error.
+    Failed(String),
+}
+
+impl JobStatus {
+    /// Wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done { .. } => "done",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Per-backend-queue service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueCounters {
+    /// Jobs admitted (including coalesced and memo-served ones).
+    pub submitted: usize,
+    /// Jobs completed instantly from the solution store.
+    pub memo_hits: usize,
+    /// Jobs coalesced onto an in-flight identical execution.
+    pub coalesced: usize,
+    /// Unique executions dispatched to the engine.
+    pub solves: usize,
+    /// Jobs completed successfully (memo hits included).
+    pub completed: usize,
+    /// Jobs failed.
+    pub failed: usize,
+    /// Submits rejected by queue backpressure.
+    pub rejected: usize,
+}
+
+/// All per-queue counters, indexed by [`BackendKind::index`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// One counter block per backend queue.
+    pub queues: [QueueCounters; 3],
+}
+
+impl ServeCounters {
+    /// The counter block for `kind`.
+    pub fn queue(&self, kind: BackendKind) -> QueueCounters {
+        self.queues[kind.index()]
+    }
+
+    fn queue_mut(&mut self, kind: BackendKind) -> &mut QueueCounters {
+        &mut self.queues[kind.index()]
+    }
+
+    /// Totals across the three queues.
+    pub fn total(&self) -> QueueCounters {
+        let mut t = QueueCounters::default();
+        for q in &self.queues {
+            t.submitted += q.submitted;
+            t.memo_hits += q.memo_hits;
+            t.coalesced += q.coalesced;
+            t.solves += q.solves;
+            t.completed += q.completed;
+            t.failed += q.failed;
+            t.rejected += q.rejected;
+        }
+        t
+    }
+}
+
+/// A point-in-time view of the whole service.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Solution-store counters.
+    pub store: StoreStats,
+    /// Solutions currently retained.
+    pub store_len: usize,
+    /// Store capacity.
+    pub store_capacity: usize,
+    /// Jobs waiting for dispatch.
+    pub queue_depth: usize,
+    /// Queue backpressure bound.
+    pub queue_capacity: usize,
+    /// Per-backend queue counters.
+    pub counters: ServeCounters,
+    /// The engine's workspace-cache counters.
+    pub engine_cache: CacheSnapshot,
+    /// Aggregated linear-solver counters.
+    pub solver: WorkspaceStats,
+}
+
+impl ServeStats {
+    /// Store hit rate over all lookups so far (0 when none).
+    pub fn store_hit_rate(&self) -> f64 {
+        let total = self.store.hits + self.store.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.store.hits as f64 / total as f64
+        }
+    }
+
+    /// Wire encoding (the `stats` verb's payload).
+    pub fn to_json(&self) -> Json {
+        let queue_json = |q: QueueCounters| {
+            Json::object([
+                ("submitted", Json::from(q.submitted)),
+                ("memo_hits", Json::from(q.memo_hits)),
+                ("coalesced", Json::from(q.coalesced)),
+                ("solves", Json::from(q.solves)),
+                ("completed", Json::from(q.completed)),
+                ("failed", Json::from(q.failed)),
+                ("rejected", Json::from(q.rejected)),
+            ])
+        };
+        Json::object([
+            (
+                "store",
+                Json::object([
+                    ("len", Json::from(self.store_len)),
+                    ("capacity", Json::from(self.store_capacity)),
+                    ("hits", Json::from(self.store.hits)),
+                    ("misses", Json::from(self.store.misses)),
+                    ("hit_rate", Json::number(self.store_hit_rate())),
+                    ("insertions", Json::from(self.store.insertions)),
+                    ("evictions", Json::from(self.store.evictions)),
+                    (
+                        "explicit_evictions",
+                        Json::from(self.store.explicit_evictions),
+                    ),
+                ]),
+            ),
+            (
+                "queue",
+                Json::object([
+                    ("depth", Json::from(self.queue_depth)),
+                    ("capacity", Json::from(self.queue_capacity)),
+                ]),
+            ),
+            (
+                "queues",
+                Json::object(
+                    BackendKind::ALL
+                        .iter()
+                        .map(|k| (k.label(), queue_json(self.counters.queue(*k)))),
+                ),
+            ),
+            (
+                "engine",
+                Json::object([
+                    ("workspace_hits", Json::from(self.engine_cache.hits)),
+                    ("workspace_misses", Json::from(self.engine_cache.misses)),
+                    ("workspaces_parked", Json::from(self.engine_cache.parked)),
+                    ("patterns", Json::from(self.engine_cache.patterns)),
+                    (
+                        "full_factorizations",
+                        Json::from(self.solver.full_factorizations),
+                    ),
+                    ("refactorizations", Json::from(self.solver.refactorizations)),
+                    (
+                        "precond_refreshes",
+                        Json::from(self.solver.precond_refreshes),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Scheduler-facing mutable state behind one mutex.
+struct SchedState {
+    queue: JobQueue,
+    /// Every live job id's lifecycle state. Settled entries (done or
+    /// failed) are bounded by [`ServeConfig::result_capacity`] via
+    /// `settled_order`; queued/running entries live until they settle.
+    jobs: HashMap<JobId, JobStatus>,
+    /// Settled job ids in settle order — the FIFO that enforces the
+    /// record bound.
+    settled_order: std::collections::VecDeque<JobId>,
+    /// In-flight executions: store key → job ids awaiting that execution.
+    /// Presence in this map is what submit coalesces onto.
+    waiters: HashMap<JobKey, Vec<JobId>>,
+    /// Keys currently being solved by the scheduler. Queue entries whose
+    /// key is here (or no longer in `waiters`) are stale duplicates from
+    /// priority escalation and are dropped on pop.
+    dispatched: std::collections::HashSet<JobKey>,
+    /// The best priority each *queued* (not yet dispatched) key holds —
+    /// lets a higher-priority coalescing submit escalate its twin.
+    queued_priority: HashMap<JobKey, Priority>,
+    counters: ServeCounters,
+    next_id: u64,
+    next_seq: u64,
+    paused: bool,
+    shutdown: bool,
+}
+
+impl SchedState {
+    /// Records a settled (done/failed) status for `id`, dropping the
+    /// oldest settled records past `capacity`.
+    fn settle(&mut self, id: JobId, status: JobStatus, capacity: usize) {
+        self.jobs.insert(id, status);
+        self.settled_order.push_back(id);
+        while self.settled_order.len() > capacity.max(1) {
+            if let Some(old) = self.settled_order.pop_front() {
+                self.jobs.remove(&old);
+            }
+        }
+    }
+}
+
+struct Inner {
+    config: ServeConfig,
+    engine: SweepEngine,
+    registry: Mutex<FamilyRegistry>,
+    store: Mutex<SolutionStore>,
+    state: Mutex<SchedState>,
+    /// Wakes the scheduler (new work, resume, shutdown).
+    work_cv: Condvar,
+    /// Wakes pollers (a job completed or failed).
+    done_cv: Condvar,
+}
+
+/// The memoising simulation service. See the module docs for the
+/// request lifecycle; construct with [`SimService::start`], stop with
+/// [`SimService::shutdown`] (also run on drop).
+pub struct SimService {
+    inner: Arc<Inner>,
+    scheduler: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for SimService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimService").finish_non_exhaustive()
+    }
+}
+
+impl SimService {
+    /// Starts a service with the built-in family catalogue.
+    pub fn start(config: ServeConfig) -> Arc<SimService> {
+        Self::start_with_registry(config, FamilyRegistry::builtin())
+    }
+
+    /// Starts a service hosting `registry`.
+    pub fn start_with_registry(config: ServeConfig, registry: FamilyRegistry) -> Arc<SimService> {
+        let engine = SweepEngine::with_pool(WorkerPool::new(config.threads))
+            .with_cache_capacity(config.workspace_capacity)
+            .chain_topology_groups(!config.deterministic);
+        let inner = Arc::new(Inner {
+            engine,
+            registry: Mutex::new(registry),
+            store: Mutex::new(SolutionStore::new(config.store_capacity)),
+            state: Mutex::new(SchedState {
+                queue: JobQueue::new(config.queue_capacity),
+                jobs: HashMap::new(),
+                settled_order: std::collections::VecDeque::new(),
+                waiters: HashMap::new(),
+                dispatched: std::collections::HashSet::new(),
+                queued_priority: HashMap::new(),
+                counters: ServeCounters::default(),
+                next_id: 1,
+                next_seq: 0,
+                paused: config.paused,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            config,
+        });
+        let sched_inner = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("rfsim-serve-scheduler".into())
+            .spawn(move || scheduler_loop(&sched_inner))
+            .expect("spawn scheduler thread");
+        Arc::new(SimService {
+            inner,
+            scheduler: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// The configuration this service was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner.config
+    }
+
+    /// Registers (or replaces) a hosted circuit family. Jobs already
+    /// submitted keep the builder they were keyed against; *new* submits
+    /// key against the replacement — a topology change re-keys them away
+    /// from the old entries automatically.
+    pub fn register_family(
+        &self,
+        name: impl Into<String>,
+        build: impl Fn(&PointParams) -> rfsim_circuit::Result<rfsim_circuit::Circuit>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        let name = name.into();
+        self.inner
+            .registry
+            .lock()
+            .expect("registry poisoned")
+            .register(name.clone(), build);
+        // The store key covers structure and job parameters, not element
+        // *values*: a same-topology re-registration (say, a retuned
+        // resistor) would otherwise keep serving the old builder's
+        // solutions. Replacing a family therefore always drops its
+        // stored entries.
+        self.inner
+            .store
+            .lock()
+            .expect("store poisoned")
+            .evict(Some(&name));
+    }
+
+    /// Hosted family names.
+    pub fn family_names(&self) -> Vec<String> {
+        self.inner
+            .registry
+            .lock()
+            .expect("registry poisoned")
+            .names()
+    }
+
+    /// Submits a job. Returns immediately: with a fresh id whose status
+    /// is already [`JobStatus::Done`] on a store hit, an id coalesced
+    /// onto an identical in-flight execution, or an id waiting in the
+    /// queue.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors, [`ServeError::UnknownFamily`],
+    /// [`ServeError::QueueFull`] backpressure, or
+    /// [`ServeError::Shutdown`].
+    pub fn submit(&self, spec: &JobSpec) -> Result<JobId> {
+        let canonical = spec.canonicalize()?;
+        let (key, builder) = {
+            let registry = self.inner.registry.lock().expect("registry poisoned");
+            (
+                canonical.key(&registry, self.inner.config.quantizer)?,
+                registry.builder(&canonical.family)?,
+            )
+        };
+        let kind = canonical.backend;
+        // One lock order everywhere: state before store.
+        let mut state = self.inner.state.lock().expect("state poisoned");
+        if state.shutdown {
+            return Err(ServeError::Shutdown);
+        }
+        let id = JobId(state.next_id);
+        let result_capacity = self.inner.config.result_capacity;
+        // Store hit: complete instantly.
+        let stored = self.inner.store.lock().expect("store poisoned").get(key);
+        if let Some(result) = stored {
+            state.next_id += 1;
+            state.settle(
+                id,
+                JobStatus::Done {
+                    result,
+                    memo_hit: true,
+                },
+                result_capacity,
+            );
+            let q = state.counters.queue_mut(kind);
+            q.submitted += 1;
+            q.memo_hits += 1;
+            q.completed += 1;
+            drop(state);
+            self.inner.done_cv.notify_all();
+            return Ok(id);
+        }
+        // In-flight twin: coalesce. The new id's status mirrors the
+        // phase the twin execution is in (queued until the scheduler
+        // picks the key up, running afterwards).
+        if let Some(waiting) = state.waiters.get_mut(&key) {
+            let twin = waiting.first().copied();
+            waiting.push(id);
+            state.next_id += 1;
+            let phase = twin
+                .and_then(|t| state.jobs.get(&t).cloned())
+                .unwrap_or(JobStatus::Queued);
+            state.jobs.insert(id, phase);
+            let q = state.counters.queue_mut(kind);
+            q.submitted += 1;
+            q.coalesced += 1;
+            // Priority escalation: a higher-priority submit must not wait
+            // at its queued twin's position. The heap cannot reprioritise
+            // in place, so push an escalated duplicate entry; the
+            // scheduler drops whichever entry for this key it sees after
+            // the first (stale-entry check on pop). Escalation is
+            // best-effort: a full queue just keeps the old position.
+            let new_priority = canonical.priority;
+            let queued_at = state.queued_priority.get(&key).copied();
+            if let Some(current) = queued_at {
+                if new_priority > current && !state.dispatched.contains(&key) {
+                    let seq = state.next_seq;
+                    // Supersedes the queued twin: costs no extra queue
+                    // slot (so it cannot be rejected); the old entry is
+                    // dropped as stale on pop.
+                    state
+                        .queue
+                        .push(
+                            QueuedJob {
+                                spec: canonical,
+                                key,
+                                builder,
+                                seq,
+                            },
+                            true,
+                        )
+                        .expect("superseding pushes bypass the capacity bound");
+                    state.next_seq += 1;
+                    state.queued_priority.insert(key, new_priority);
+                    drop(state);
+                    self.inner.work_cv.notify_one();
+                }
+            }
+            return Ok(id);
+        }
+        // Fresh execution: admit to the queue (backpressure may reject).
+        let seq = state.next_seq;
+        let priority = canonical.priority;
+        let push = state.queue.push(
+            QueuedJob {
+                spec: canonical,
+                key,
+                builder,
+                seq,
+            },
+            false,
+        );
+        if let Err(e) = push {
+            state.counters.queue_mut(kind).rejected += 1;
+            return Err(e);
+        }
+        state.next_seq += 1;
+        state.next_id += 1;
+        state.jobs.insert(id, JobStatus::Queued);
+        state.waiters.insert(key, vec![id]);
+        state.queued_priority.insert(key, priority);
+        let q = state.counters.queue_mut(kind);
+        q.submitted += 1;
+        drop(state);
+        self.inner.work_cv.notify_one();
+        Ok(id)
+    }
+
+    /// A snapshot of `id`'s status.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`].
+    pub fn poll(&self, id: JobId) -> Result<JobStatus> {
+        self.inner
+            .state
+            .lock()
+            .expect("state poisoned")
+            .jobs
+            .get(&id)
+            .cloned()
+            .ok_or(ServeError::UnknownJob(id.0))
+    }
+
+    /// Blocks until `id` completes or fails, up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`], or [`ServeError::Protocol`] describing
+    /// the timeout / failure.
+    pub fn wait(&self, id: JobId, timeout: Duration) -> Result<Arc<JobResult>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock().expect("state poisoned");
+        loop {
+            match state.jobs.get(&id) {
+                None => return Err(ServeError::UnknownJob(id.0)),
+                Some(JobStatus::Done { result, .. }) => return Ok(Arc::clone(result)),
+                Some(JobStatus::Failed(why)) => {
+                    return Err(ServeError::Protocol(format!("job {id} failed: {why}")))
+                }
+                Some(_) => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServeError::Protocol(format!(
+                    "timed out waiting for job {id}"
+                )));
+            }
+            let (next, _) = self
+                .inner
+                .done_cv
+                .wait_timeout(state, deadline - now)
+                .expect("state poisoned");
+            state = next;
+        }
+    }
+
+    /// Evicts stored solutions — all, or one family's — returning how
+    /// many were dropped.
+    pub fn evict(&self, family: Option<&str>) -> usize {
+        self.inner
+            .store
+            .lock()
+            .expect("store poisoned")
+            .evict(family)
+    }
+
+    /// A point-in-time stats snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let (store, store_len, store_capacity) = {
+            let store = self.inner.store.lock().expect("store poisoned");
+            (store.stats(), store.len(), store.capacity())
+        };
+        let (queue_depth, queue_capacity, counters) = {
+            let state = self.inner.state.lock().expect("state poisoned");
+            (state.queue.len(), state.queue.capacity(), state.counters)
+        };
+        ServeStats {
+            store,
+            store_len,
+            store_capacity,
+            queue_depth,
+            queue_capacity,
+            counters,
+            engine_cache: self.inner.engine.cache_stats(),
+            solver: self.inner.engine.solver_stats(),
+        }
+    }
+
+    /// Resumes a scheduler started paused ([`ServeConfig::paused`]).
+    pub fn resume(&self) {
+        self.inner.state.lock().expect("state poisoned").paused = false;
+        self.inner.work_cv.notify_all();
+    }
+
+    /// Stops admitting work, drains nothing further, and joins the
+    /// scheduler. Queued jobs fail with a shutdown message; completed
+    /// results stay pollable until the service is dropped.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.inner.state.lock().expect("state poisoned");
+            if state.shutdown {
+                return;
+            }
+            state.shutdown = true;
+            // Fail everything still waiting so pollers do not hang —
+            // except keys mid-solve: their queue entries are stale
+            // escalation duplicates, and the scheduler will still deliver
+            // the real result when the solve finishes.
+            let result_capacity = self.inner.config.result_capacity;
+            while let Some(job) = state.queue.pop() {
+                if state.dispatched.contains(&job.key) {
+                    continue;
+                }
+                if let Some(ids) = state.waiters.remove(&job.key) {
+                    for id in ids {
+                        state.settle(
+                            id,
+                            JobStatus::Failed("service shut down".into()),
+                            result_capacity,
+                        );
+                    }
+                }
+            }
+            state.queued_priority.clear();
+        }
+        self.inner.work_cv.notify_all();
+        self.inner.done_cv.notify_all();
+        if let Some(handle) = self
+            .scheduler
+            .lock()
+            .expect("scheduler handle poisoned")
+            .take()
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SimService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Marks every waiter of `key` with `status` (bounded by
+/// `result_capacity`) and retires the key's in-flight bookkeeping.
+fn complete_key(
+    state: &mut MutexGuard<'_, SchedState>,
+    key: JobKey,
+    kind: BackendKind,
+    status: &JobStatus,
+    result_capacity: usize,
+) {
+    state.dispatched.remove(&key);
+    if let Some(ids) = state.waiters.remove(&key) {
+        for id in ids {
+            state.settle(id, status.clone(), result_capacity);
+            let q = state.counters.queue_mut(kind);
+            match status {
+                JobStatus::Failed(_) => q.failed += 1,
+                _ => q.completed += 1,
+            }
+        }
+    }
+}
+
+/// The scheduler: drain → batch → solve → store → complete, forever.
+fn scheduler_loop(inner: &Arc<Inner>) {
+    loop {
+        // Phase 1: wait for work, drain a same-backend batch.
+        let batch: Vec<QueuedJob> = {
+            let mut state = inner.state.lock().expect("state poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if !state.paused && !state.queue.is_empty() {
+                    break;
+                }
+                state = inner.work_cv.wait(state).expect("state poisoned");
+            }
+            let mut batch: Vec<QueuedJob> = Vec::new();
+            let mut kind: Option<BackendKind> = None;
+            while batch.len() < inner.config.batch_max {
+                // Stale entries — keys already dispatched (priority-
+                // escalation duplicates) or already completed — are
+                // dropped without dispatching.
+                let stale = match state.queue.peek() {
+                    None => break,
+                    Some(head) => {
+                        if kind.is_some_and(|k| k != head.spec.backend) {
+                            break;
+                        }
+                        !state.waiters.contains_key(&head.key)
+                            || state.dispatched.contains(&head.key)
+                    }
+                };
+                let job = state.queue.pop().expect("peeked");
+                if stale {
+                    state.queue.note_stale_dropped();
+                    continue;
+                }
+                kind = Some(job.spec.backend);
+                state.dispatched.insert(job.key);
+                state.queued_priority.remove(&job.key);
+                // Every waiter of this key is now solving.
+                if let Some(ids) = state.waiters.get(&job.key) {
+                    for id in ids.clone() {
+                        state.jobs.insert(id, JobStatus::Running);
+                    }
+                }
+                state.counters.queue_mut(job.spec.backend).solves += 1;
+                batch.push(job);
+            }
+            batch
+        };
+        if batch.is_empty() {
+            // Everything drained was stale; go back to waiting.
+            continue;
+        }
+
+        // Phase 2: solve the batch (no service locks held — submits and
+        // polls proceed concurrently). A panicking solve (a bug, or a
+        // pathological-but-validated spec) must not kill the scheduler
+        // thread — it fails the batch instead.
+        let kind = batch[0].spec.backend;
+        let outcomes = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_batch(inner, kind, &batch)
+        }))
+        .unwrap_or_else(|panic| {
+            let why = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "solver panicked".into());
+            batch
+                .iter()
+                .map(|_| Err(ServeError::Protocol(format!("solve panicked: {why}"))))
+                .collect()
+        });
+
+        // Phase 3: store and complete.
+        let mut state = inner.state.lock().expect("state poisoned");
+        for (job, outcome) in batch.into_iter().zip(outcomes) {
+            let status = match outcome {
+                Ok(result) => {
+                    let result = Arc::new(result);
+                    inner.store.lock().expect("store poisoned").insert(
+                        job.key,
+                        job.spec.family.clone(),
+                        Arc::clone(&result),
+                    );
+                    JobStatus::Done {
+                        result,
+                        memo_hit: false,
+                    }
+                }
+                Err(e) => JobStatus::Failed(e.to_string()),
+            };
+            complete_key(
+                &mut state,
+                job.key,
+                kind,
+                &status,
+                inner.config.result_capacity,
+            );
+        }
+        drop(state);
+        inner.done_cv.notify_all();
+    }
+}
+
+/// Runs one same-backend batch through the engine and reassembles
+/// per-job results (row-major: spacing outer, amplitude inner).
+fn execute_batch(
+    inner: &Arc<Inner>,
+    kind: BackendKind,
+    batch: &[QueuedJob],
+) -> Vec<Result<JobResult>> {
+    // Flatten: one engine sub-job per (job, spacing row).
+    struct Row {
+        job_idx: usize,
+        spacing: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for (job_idx, job) in batch.iter().enumerate() {
+        if job.spec.spacings.is_empty() {
+            rows.push(Row {
+                job_idx,
+                spacing: 0.0,
+            });
+        } else {
+            for &fd in &job.spec.spacings {
+                rows.push(Row {
+                    job_idx,
+                    spacing: fd,
+                });
+            }
+        }
+    }
+    let make = |job: &QueuedJob, fd: f64, two_tone: bool| {
+        let builder = Arc::clone(&job.builder);
+        let f1 = job.spec.f1;
+        move |amplitude: f64| {
+            builder(&PointParams {
+                amplitude,
+                f1,
+                spacing: fd,
+                two_tone,
+            })
+        }
+    };
+    // `(amplitude, flattened samples)` per traced point of one row.
+    type RowPoints = Vec<(f64, Vec<f64>)>;
+    let row_results: Vec<rfsim_circuit::Result<RowPoints>> = match kind {
+        BackendKind::Mpde => {
+            let jobs: Vec<MpdeSweepJob> = rows
+                .iter()
+                .map(|row| {
+                    let job = &batch[row.job_idx];
+                    let options = MpdeOptions {
+                        n1: job.spec.n1,
+                        n2: job.spec.n2,
+                        ..Default::default()
+                    };
+                    MpdeSweepJob::new(
+                        format!("{}/fd={}", job.spec.family, row.spacing),
+                        job.spec.amplitudes.clone(),
+                        1.0 / job.spec.f1,
+                        1.0 / row.spacing,
+                        options,
+                        make(job, row.spacing, true),
+                    )
+                })
+                .collect();
+            inner
+                .engine
+                .run_mpde_batch(&jobs)
+                .into_iter()
+                .map(|r| {
+                    r.map(|points| {
+                        points
+                            .into_iter()
+                            .map(|p| (p.value, p.solution.solution.data))
+                            .collect()
+                    })
+                })
+                .collect()
+        }
+        BackendKind::Hb2 => {
+            let jobs: Vec<Hb2SweepJob> = rows
+                .iter()
+                .map(|row| {
+                    let job = &batch[row.job_idx];
+                    let options = Hb2Options {
+                        n1: job.spec.n1,
+                        n2: job.spec.n2,
+                        ..Default::default()
+                    };
+                    Hb2SweepJob::new(
+                        format!("{}/fd={}", job.spec.family, row.spacing),
+                        job.spec.amplitudes.clone(),
+                        1.0 / job.spec.f1,
+                        1.0 / row.spacing,
+                        options,
+                        make(job, row.spacing, true),
+                    )
+                })
+                .collect();
+            inner
+                .engine
+                .run_hb2_batch(&jobs)
+                .into_iter()
+                .map(|r| {
+                    r.map(|points| {
+                        points
+                            .into_iter()
+                            .map(|p| (p.value, p.solution.samples))
+                            .collect()
+                    })
+                })
+                .collect()
+        }
+        BackendKind::PeriodicFd => {
+            let jobs: Vec<PeriodicFdSweepJob> = rows
+                .iter()
+                .map(|row| {
+                    let job = &batch[row.job_idx];
+                    let options = PeriodicFdOptions {
+                        n_samples: job.spec.n1,
+                        ..Default::default()
+                    };
+                    PeriodicFdSweepJob::new(
+                        job.spec.family.clone(),
+                        job.spec.amplitudes.clone(),
+                        1.0 / job.spec.f1,
+                        options,
+                        make(job, 0.0, false),
+                    )
+                })
+                .collect();
+            inner
+                .engine
+                .run_periodic_fd_batch(&jobs)
+                .into_iter()
+                .map(|r| {
+                    r.map(|points| {
+                        points
+                            .into_iter()
+                            .map(|p| (p.value, p.solution.samples))
+                            .collect()
+                    })
+                })
+                .collect()
+        }
+    };
+    // Regroup rows into per-job results; a job fails on its first
+    // failing row.
+    let mut outcomes: Vec<Result<JobResult>> = batch
+        .iter()
+        .map(|_| Ok(JobResult { points: Vec::new() }))
+        .collect();
+    for (row, result) in rows.iter().zip(row_results) {
+        let slot = &mut outcomes[row.job_idx];
+        match result {
+            Err(e) => {
+                if slot.is_ok() {
+                    *slot = Err(e.into());
+                }
+            }
+            Ok(points) => {
+                if let Ok(job_result) = slot {
+                    for (amplitude, samples) in points {
+                        job_result.points.push(PointSolution {
+                            amplitude,
+                            spacing: row.spacing,
+                            samples,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    outcomes
+}

@@ -1,0 +1,412 @@
+//! The line-delimited JSON wire protocol and the TCP server.
+//!
+//! One request per line, one response per line, both compact JSON
+//! (`rfsim_numerics::json`). Every request carries a `verb`; every
+//! response carries `ok` plus either the verb's payload or an `error`
+//! string. The protocol is deliberately dependency-free and
+//! human-drivable (`nc 127.0.0.1 4520` works).
+//!
+//! | verb | request fields | response payload |
+//! |------|----------------|------------------|
+//! | `submit` | `job` (a [`JobSpec`]) | `job_id` |
+//! | `poll` | `job_id`, optional `wait_ms` | `status`, `memo_hit`, `result` when done |
+//! | `stats` | — | the [`ServeStats`](crate::service::ServeStats) object |
+//! | `evict` | optional `family` | `evicted` count |
+//! | `shutdown` | — | acknowledges, then stops the server |
+//!
+//! `poll` with `wait_ms` blocks server-side until the job settles or the
+//! budget elapses (a long-poll, so clients do not busy-spin); on timeout
+//! it reports the job's current phase with `ok: true`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rfsim_numerics::json::Json;
+
+use crate::error::{Result, ServeError};
+use crate::service::{JobId, JobStatus, SimService};
+use crate::spec::JobSpec;
+
+/// A decoded wire request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job.
+    Submit(JobSpec),
+    /// Poll a job, optionally long-polling for up to `wait_ms`.
+    Poll {
+        /// The job to poll.
+        job_id: u64,
+        /// Server-side wait budget (0 = immediate snapshot).
+        wait_ms: u64,
+    },
+    /// Service statistics.
+    Stats,
+    /// Evict stored solutions (all, or one family's).
+    Evict {
+        /// Restrict eviction to this family.
+        family: Option<String>,
+    },
+    /// Stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Decodes one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] naming what was malformed.
+    pub fn parse(line: &str) -> Result<Request> {
+        let json = Json::parse(line).map_err(ServeError::Protocol)?;
+        let verb = json
+            .string_at("verb")
+            .ok_or_else(|| ServeError::Protocol("request missing 'verb'".into()))?;
+        match verb {
+            "submit" => {
+                let job = json
+                    .path("job")
+                    .ok_or_else(|| ServeError::Protocol("submit missing 'job'".into()))?;
+                Ok(Request::Submit(JobSpec::from_json(job)?))
+            }
+            "poll" => Ok(Request::Poll {
+                job_id: json
+                    .number_at("job_id")
+                    .ok_or_else(|| ServeError::Protocol("poll missing 'job_id'".into()))?
+                    as u64,
+                wait_ms: json.number_at("wait_ms").unwrap_or(0.0) as u64,
+            }),
+            "stats" => Ok(Request::Stats),
+            "evict" => Ok(Request::Evict {
+                family: json.string_at("family").map(str::to_string),
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ServeError::Protocol(format!("unknown verb '{other}'"))),
+        }
+    }
+
+    /// Encodes this request as one wire line (no trailing newline).
+    pub fn dump(&self) -> String {
+        let json = match self {
+            Request::Submit(spec) => {
+                Json::object([("verb", Json::string("submit")), ("job", spec.to_json())])
+            }
+            Request::Poll { job_id, wait_ms } => Json::object([
+                ("verb", Json::string("poll")),
+                ("job_id", Json::from(*job_id as usize)),
+                ("wait_ms", Json::from(*wait_ms as usize)),
+            ]),
+            Request::Stats => Json::object([("verb", Json::string("stats"))]),
+            Request::Evict { family } => match family {
+                Some(name) => Json::object([
+                    ("verb", Json::string("evict")),
+                    ("family", Json::string(&**name)),
+                ]),
+                None => Json::object([("verb", Json::string("evict"))]),
+            },
+            Request::Shutdown => Json::object([("verb", Json::string("shutdown"))]),
+        };
+        json.dump()
+    }
+}
+
+/// An `ok: false` response with `error`.
+fn error_response(e: &ServeError) -> Json {
+    Json::object([
+        ("ok", Json::Bool(false)),
+        ("error", Json::string(e.to_string())),
+    ])
+}
+
+/// An `ok: true` response with extra payload members.
+fn ok_response(members: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    let mut all = vec![("ok".to_string(), Json::Bool(true))];
+    all.extend(members.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::Object(all)
+}
+
+/// Executes one request against the service, returning the response and
+/// whether the connection (and server) should shut down.
+pub fn handle(service: &SimService, request: &Request) -> (Json, bool) {
+    match request {
+        Request::Submit(spec) => match service.submit(spec) {
+            Ok(id) => (ok_response([("job_id", Json::from(id.0 as usize))]), false),
+            Err(e) => (error_response(&e), false),
+        },
+        Request::Poll { job_id, wait_ms } => {
+            let id = JobId(*job_id);
+            if *wait_ms > 0 {
+                // Long-poll: settle or time out, then report whatever
+                // phase the job is in (waiting errors are not protocol
+                // errors — the job simply is not done yet). The budget is
+                // capped server-side: an hour-long wait would pin this
+                // connection thread and stall daemon shutdown for the
+                // duration; clients needing longer simply re-poll.
+                const MAX_WAIT: Duration = Duration::from_millis(2000);
+                let wait = Duration::from_millis(*wait_ms).min(MAX_WAIT);
+                let _ = service.wait(id, wait);
+            }
+            match service.poll(id) {
+                Err(e) => (error_response(&e), false),
+                Ok(status) => {
+                    let mut members = vec![("status", Json::string(status.label()))];
+                    match &status {
+                        JobStatus::Done { result, memo_hit } => {
+                            members.push(("memo_hit", Json::Bool(*memo_hit)));
+                            members.push(("result", result.to_json()));
+                            members.push((
+                                "digest",
+                                Json::string(format!("{:016x}", result.digest())),
+                            ));
+                        }
+                        JobStatus::Failed(why) => {
+                            members.push(("error", Json::string(&**why)));
+                        }
+                        _ => {}
+                    }
+                    (ok_response(members), false)
+                }
+            }
+        }
+        Request::Stats => (ok_response([("stats", service.stats().to_json())]), false),
+        Request::Evict { family } => {
+            let evicted = service.evict(family.as_deref());
+            (ok_response([("evicted", Json::from(evicted))]), false)
+        }
+        Request::Shutdown => (ok_response([]), true),
+    }
+}
+
+/// A running TCP server over a [`SimService`].
+///
+/// Binds with [`WireServer::start`] (port 0 picks an ephemeral port —
+/// read it back from [`WireServer::local_addr`]), serves until a
+/// `shutdown` verb arrives or [`WireServer::stop`] is called, and joins
+/// its threads on [`WireServer::join`] / drop.
+pub struct WireServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WireServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireServer")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl WireServer {
+    /// Binds `addr` and starts serving `service`.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configure failures.
+    pub fn start(service: Arc<SimService>, addr: impl ToSocketAddrs) -> Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // Non-blocking accept with a short nap lets the loop observe the
+        // stop flag without a self-connect dance.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("rfsim-serve-accept".into())
+            .spawn(move || {
+                let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+                while !accept_stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let conn_service = Arc::clone(&service);
+                            let conn_stop = Arc::clone(&accept_stop);
+                            handlers.push(
+                                std::thread::Builder::new()
+                                    .name("rfsim-serve-conn".into())
+                                    .spawn(move || {
+                                        let _ = serve_connection(&conn_service, stream, &conn_stop);
+                                    })
+                                    .expect("spawn connection thread"),
+                            );
+                            handlers.retain(|h| !h.is_finished());
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for h in handlers {
+                    let _ = h.join();
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(WireServer {
+            local_addr,
+            stop,
+            accept_thread: Mutex::new(Some(accept_thread)),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port request).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether the server has been asked to stop.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Asks the accept loop to stop (open connections finish their
+    /// current request).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the accept loop (and its connections) exit.
+    pub fn join(&self) {
+        if let Some(handle) = self
+            .accept_thread
+            .lock()
+            .expect("accept handle poisoned")
+            .take()
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.stop();
+        self.join();
+    }
+}
+
+/// One connection: read request lines, write response lines, until EOF,
+/// a shutdown verb, or a stop request. Reads run under a short timeout so
+/// an idle connection still observes a server stop (otherwise a blocked
+/// `read` would pin [`WireServer::join`] forever).
+fn serve_connection(
+    service: &SimService,
+    stream: TcpStream,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    // A request line is a job spec — modest even for big grids. The line
+    // is assembled chunk-by-chunk (never letting one `read_line` call run
+    // unbounded on a newline-free stream) and capped, so a hostile or
+    // misconfigured peer cannot OOM a long-lived daemon.
+    const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        // Pull one buffered chunk, splitting it at the first newline.
+        let (consumed, complete) = {
+            let chunk = match reader.fill_buf() {
+                Ok(c) => c,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            if chunk.is_empty() {
+                return Ok(()); // EOF: client hung up.
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    line.extend_from_slice(&chunk[..nl]);
+                    (nl + 1, true)
+                }
+                None => {
+                    line.extend_from_slice(chunk);
+                    (chunk.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if line.len() > MAX_LINE_BYTES {
+            let refusal = error_response(&ServeError::Protocol(format!(
+                "request line exceeds {MAX_LINE_BYTES} bytes"
+            )));
+            let _ = writer.write_all(format!("{}\n", refusal.dump()).as_bytes());
+            return Ok(()); // drop the connection
+        }
+        if !complete {
+            continue;
+        }
+        let text = String::from_utf8_lossy(&line);
+        if !text.trim().is_empty() {
+            let (response, shutdown) = match Request::parse(text.trim()) {
+                Ok(request) => handle(service, &request),
+                Err(e) => (error_response(&e), false),
+            };
+            let mut out = response.dump();
+            out.push('\n');
+            writer.write_all(out.as_bytes())?;
+            writer.flush()?;
+            if shutdown {
+                stop.store(true, Ordering::SeqCst);
+                return Ok(());
+            }
+        }
+        line.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_roundtrip() {
+        let cases = [
+            Request::Submit(JobSpec::mpde("rc_lowpass", 1e6, vec![0.1, 0.2], vec![10e3])),
+            Request::Poll {
+                job_id: 7,
+                wait_ms: 250,
+            },
+            Request::Stats,
+            Request::Evict { family: None },
+            Request::Evict {
+                family: Some("rc_lowpass".into()),
+            },
+            Request::Shutdown,
+        ];
+        for request in cases {
+            let line = request.dump();
+            assert!(!line.contains('\n'), "one line per request: {line}");
+            assert_eq!(Request::parse(&line).expect("reparse"), request);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"verb":"warp"}"#,
+            r#"{"verb":"poll"}"#,
+            r#"{"verb":"submit"}"#,
+        ] {
+            assert!(
+                matches!(Request::parse(bad), Err(ServeError::Protocol(_))),
+                "{bad}"
+            );
+        }
+    }
+}

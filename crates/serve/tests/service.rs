@@ -1,0 +1,355 @@
+//! Service-level behaviour of the memoising layer: LRU eviction,
+//! in-flight deduplication, bit-identical memo hits, re-keying on
+//! topology change, backpressure, and the TCP wire round trip.
+
+use std::time::Duration;
+
+use rfsim_circuit::{CircuitBuilder, GROUND};
+use rfsim_serve::service::{JobStatus, ServeConfig, SimService};
+use rfsim_serve::spec::{BackendKind, JobSpec};
+use rfsim_serve::wire::WireServer;
+use rfsim_serve::{ServeClient, ServeError};
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn small_config() -> ServeConfig {
+    ServeConfig {
+        threads: 1,
+        ..Default::default()
+    }
+}
+
+fn spec(amplitude: f64) -> JobSpec {
+    let mut s = JobSpec::mpde("rc_lowpass", 1e6, vec![amplitude], vec![10e3]);
+    s.n1 = 8;
+    s.n2 = 4;
+    s
+}
+
+#[test]
+fn memo_hit_is_bit_identical_to_a_fresh_solve() {
+    let service = SimService::start(small_config());
+    let request = spec(0.1);
+    let first = service
+        .wait(service.submit(&request).expect("submit"), WAIT)
+        .expect("solve");
+    // Second identical submit: served from the store, same bytes, and
+    // literally the same allocation.
+    let id = service.submit(&request).expect("submit");
+    match service.poll(id).expect("poll") {
+        JobStatus::Done { result, memo_hit } => {
+            assert!(memo_hit, "second submit must be a memo hit");
+            assert_eq!(result.digest(), first.digest());
+            assert_eq!(result.points, first.points);
+        }
+        other => panic!("expected instant completion, got {other:?}"),
+    }
+    assert_eq!(service.stats().counters.queue(BackendKind::Mpde).solves, 1);
+    // A *fresh* service (deterministic mode) reproduces the stored bytes
+    // exactly — the replay guarantee is about the answer, not the cache.
+    let fresh = SimService::start(small_config());
+    let refreshed = fresh
+        .wait(fresh.submit(&request).expect("submit"), WAIT)
+        .expect("fresh solve");
+    assert_eq!(refreshed.digest(), first.digest());
+    for (a, b) in refreshed.points.iter().zip(&first.points) {
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn concurrent_identical_submits_coalesce_onto_one_solve() {
+    // Start paused so both submits land before the scheduler moves:
+    // the second MUST take the coalescing path, deterministically.
+    let service = SimService::start(ServeConfig {
+        paused: true,
+        ..small_config()
+    });
+    let request = spec(0.15);
+    let a = service.submit(&request).expect("submit a");
+    let b = service.submit(&request).expect("submit b");
+    assert_ne!(a, b, "each submit gets its own id");
+    {
+        let stats = service.stats();
+        let q = stats.counters.queue(BackendKind::Mpde);
+        assert_eq!(q.coalesced, 1, "second submit coalesces");
+        assert_eq!(stats.queue_depth, 1, "one queued execution for two ids");
+    }
+    service.resume();
+    let ra = service.wait(a, WAIT).expect("result a");
+    let rb = service.wait(b, WAIT).expect("result b");
+    assert!(
+        std::sync::Arc::ptr_eq(&ra, &rb),
+        "one solve, one allocation"
+    );
+    let q = service.stats().counters.queue(BackendKind::Mpde);
+    assert_eq!(q.solves, 1, "two concurrent identical submits → one solve");
+    assert_eq!(q.completed, 2, "…and both jobs complete");
+}
+
+#[test]
+fn lru_store_evicts_at_capacity_and_re_solves() {
+    let service = SimService::start(ServeConfig {
+        store_capacity: 2,
+        ..small_config()
+    });
+    // Three distinct jobs through a capacity-2 store.
+    for (i, a) in [0.1, 0.2, 0.3].iter().enumerate() {
+        service
+            .wait(service.submit(&spec(*a)).expect("submit"), WAIT)
+            .expect("solve");
+        assert!(service.stats().store_len <= 2, "bounded at step {i}");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.store_len, 2);
+    assert_eq!(stats.store.evictions, 1, "third insert evicted the LRU");
+    // The evicted (oldest) job re-solves; the resident ones memo-hit.
+    service
+        .wait(service.submit(&spec(0.1)).expect("submit"), WAIT)
+        .expect("re-solve");
+    let q = service.stats().counters.queue(BackendKind::Mpde);
+    assert_eq!(q.solves, 4, "evicted entry pays a fresh solve");
+    service
+        .wait(service.submit(&spec(0.3)).expect("submit"), WAIT)
+        .expect("memo");
+    let q = service.stats().counters.queue(BackendKind::Mpde);
+    assert_eq!(q.solves, 4, "resident entry is served from the store");
+    assert_eq!(q.memo_hits, 1);
+}
+
+#[test]
+fn topology_change_re_keys_the_family() {
+    let service = SimService::start(small_config());
+    // A custom family: plain RC.
+    service.register_family("custom", |p| {
+        let mut b = CircuitBuilder::new();
+        let inp = b.node("in");
+        let out = b.node("out");
+        b.vsource("VRF", inp, GROUND, p.source())?;
+        b.resistor("R1", inp, out, 1e3)?;
+        b.capacitor("C1", out, GROUND, 160e-12)?;
+        b.build()
+    });
+    let mut request = spec(0.1);
+    request.family = "custom".into();
+    let first = service
+        .wait(service.submit(&request).expect("submit"), WAIT)
+        .expect("solve");
+    // Same name, new topology (an extra node splits R1): the fingerprint
+    // part of the store key changes, so the identical spec re-solves
+    // rather than serving the stale entry.
+    service.register_family("custom", |p| {
+        let mut b = CircuitBuilder::new();
+        let inp = b.node("in");
+        let mid = b.node("mid");
+        let out = b.node("out");
+        b.vsource("VRF", inp, GROUND, p.source())?;
+        b.resistor("R1a", inp, mid, 0.5e3)?;
+        b.resistor("R1b", mid, out, 0.5e3)?;
+        b.capacitor("C1", out, GROUND, 160e-12)?;
+        b.build()
+    });
+    let second = service
+        .wait(service.submit(&request).expect("submit"), WAIT)
+        .expect("re-keyed solve");
+    let q = service.stats().counters.queue(BackendKind::Mpde);
+    assert_eq!(q.solves, 2, "topology change must force a fresh solve");
+    assert_eq!(q.memo_hits, 0);
+    assert_ne!(
+        first.points[0].samples.len(),
+        second.points[0].samples.len(),
+        "the new topology has more unknowns"
+    );
+    // Re-registration also evicts the family's stored entries (the key
+    // covers structure + parameters, not element values, so a
+    // same-topology retune would otherwise serve stale solutions); only
+    // the new build's entry remains.
+    assert_eq!(service.stats().store_len, 1);
+    // The already-returned result is untouched by the eviction.
+    assert_eq!(first.num_samples(), first.points[0].samples.len());
+}
+
+#[test]
+fn queue_backpressure_rejects_when_full() {
+    let service = SimService::start(ServeConfig {
+        queue_capacity: 1,
+        paused: true,
+        ..small_config()
+    });
+    let first = service.submit(&spec(0.1)).expect("first fills the queue");
+    // An identical submit coalesces (no queue slot needed)…
+    service.submit(&spec(0.1)).expect("duplicate coalesces");
+    // …but a distinct one needs a slot and bounces.
+    match service.submit(&spec(0.2)) {
+        Err(ServeError::QueueFull { capacity: 1 }) => {}
+        other => panic!("expected backpressure, got {other:?}"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.counters.queue(BackendKind::Mpde).rejected, 1);
+    service.resume();
+    service.wait(first, WAIT).expect("first drains");
+    // Once drained, the rejected job is admissible again.
+    service
+        .wait(service.submit(&spec(0.2)).expect("resubmit"), WAIT)
+        .expect("solve");
+}
+
+#[test]
+fn settled_job_records_are_bounded() {
+    // result_capacity bounds the poll-able history: a long-lived daemon
+    // must not grow per-request state without limit.
+    let service = SimService::start(ServeConfig {
+        result_capacity: 2,
+        ..small_config()
+    });
+    let first = service.submit(&spec(0.1)).expect("submit");
+    service.wait(first, WAIT).expect("solve");
+    // Memo-hit the same job three more times: each settles a new record,
+    // pushing the oldest out.
+    let mut last = first;
+    for _ in 0..3 {
+        last = service.submit(&spec(0.1)).expect("memo submit");
+    }
+    assert!(
+        matches!(service.poll(first), Err(ServeError::UnknownJob(_))),
+        "the oldest settled record must have been dropped"
+    );
+    // The newest records are still pollable, and the store still serves.
+    assert!(matches!(
+        service.poll(last).expect("poll"),
+        JobStatus::Done { memo_hit: true, .. }
+    ));
+    assert_eq!(service.stats().counters.queue(BackendKind::Mpde).solves, 1);
+}
+
+#[test]
+fn high_priority_coalesce_escalates_a_queued_twin() {
+    use rfsim_serve::spec::Priority;
+    let service = SimService::start(ServeConfig {
+        paused: true,
+        ..small_config()
+    });
+    // A Low-priority job queued behind nothing (scheduler paused)…
+    let mut low = spec(0.1);
+    low.priority = Priority::Low;
+    let a = service.submit(&low).expect("low submit");
+    let other = service.submit(&spec(0.2)).expect("normal submit");
+    // …then a High-priority identical request coalesces and escalates.
+    let mut high = spec(0.1);
+    high.priority = Priority::High;
+    let b = service.submit(&high).expect("high submit");
+    let q = service.stats().counters.queue(BackendKind::Mpde);
+    assert_eq!(q.coalesced, 1);
+    service.resume();
+    let ra = service.wait(a, WAIT).expect("low id");
+    let rb = service.wait(b, WAIT).expect("high id");
+    assert!(std::sync::Arc::ptr_eq(&ra, &rb));
+    service.wait(other, WAIT).expect("other");
+    let q = service.stats().counters.queue(BackendKind::Mpde);
+    // The escalated duplicate queue entry must NOT have double-solved:
+    // one solve per distinct key, the stale entry dropped on pop.
+    assert_eq!(q.solves, 2);
+    assert_eq!(q.completed, 3);
+}
+
+#[test]
+fn evict_clears_by_family_and_wholesale() {
+    let service = SimService::start(small_config());
+    let mut rc = spec(0.1);
+    rc.n1 = 8;
+    let mut stiff = spec(0.1);
+    stiff.family = "rc_stiff".into();
+    service
+        .wait(service.submit(&rc).expect("submit"), WAIT)
+        .expect("solve rc");
+    service
+        .wait(service.submit(&stiff).expect("submit"), WAIT)
+        .expect("solve stiff");
+    assert_eq!(service.stats().store_len, 2);
+    assert_eq!(service.evict(Some("rc_lowpass")), 1);
+    assert_eq!(service.stats().store_len, 1);
+    // The evicted family re-solves; the survivor still memo-hits.
+    service
+        .wait(service.submit(&rc).expect("submit"), WAIT)
+        .expect("re-solve");
+    service
+        .wait(service.submit(&stiff).expect("submit"), WAIT)
+        .expect("memo");
+    let q = service.stats().counters.queue(BackendKind::Mpde);
+    assert_eq!(q.solves, 3);
+    assert_eq!(q.memo_hits, 1);
+    assert_eq!(service.evict(None), 2);
+    assert_eq!(service.stats().store_len, 0);
+}
+
+#[test]
+fn hb2_and_periodic_fd_jobs_serve_and_memoise() {
+    let service = SimService::start(small_config());
+    let mut hb = spec(0.1);
+    hb.backend = BackendKind::Hb2;
+    hb.n1 = 8;
+    hb.n2 = 4;
+    let first = service
+        .wait(service.submit(&hb).expect("submit"), WAIT)
+        .expect("hb2 solve");
+    let again = service
+        .wait(service.submit(&hb).expect("submit"), WAIT)
+        .expect("hb2 memo");
+    assert_eq!(first.digest(), again.digest());
+    assert_eq!(
+        service.stats().counters.queue(BackendKind::Hb2).memo_hits,
+        1
+    );
+
+    let mut fd = spec(0.5);
+    fd.backend = BackendKind::PeriodicFd;
+    fd.f1 = 200e3;
+    fd.n1 = 32;
+    // Spacings/n2 are ignored by canonicalisation: different spellings
+    // of the same single-tone request share one store entry.
+    fd.spacings = vec![10e3];
+    fd.n2 = 8;
+    let a = service
+        .wait(service.submit(&fd).expect("submit"), WAIT)
+        .expect("fd solve");
+    fd.spacings = vec![123.0, 456.0];
+    fd.n2 = 2;
+    let b = service
+        .wait(service.submit(&fd).expect("submit"), WAIT)
+        .expect("fd memo");
+    assert_eq!(a.digest(), b.digest());
+    let q = service.stats().counters.queue(BackendKind::PeriodicFd);
+    assert_eq!(q.solves, 1);
+    assert_eq!(q.memo_hits, 1);
+}
+
+#[test]
+fn wire_roundtrip_over_loopback() {
+    let service = SimService::start(small_config());
+    let server = WireServer::start(service, "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let mut client = ServeClient::connect(addr).expect("connect");
+
+    let request = spec(0.12);
+    let (_, cold) = client.run(&request, WAIT).expect("cold run");
+    assert!(!cold.memo_hit);
+    let (_, warm) = client.run(&request, WAIT).expect("memo run");
+    assert!(warm.memo_hit, "second run over the wire memo-hits");
+    assert_eq!(
+        cold.digest, warm.digest,
+        "replayed samples must be bit-identical across the wire"
+    );
+    // A second, concurrent connection sees the same store.
+    let mut other = ServeClient::connect(addr).expect("connect 2");
+    let stats = other.stats().expect("stats");
+    assert!(stats.number_at("store.hits").unwrap_or(0.0) >= 1.0);
+    assert_eq!(stats.number_at("store.len"), Some(1.0));
+    assert_eq!(other.evict(None).expect("evict"), 1);
+    // Shutdown verb stops the accept loop.
+    client.shutdown().expect("shutdown");
+    server.join();
+    assert!(server.stopping());
+}

@@ -1,0 +1,80 @@
+//! Daemon + client round trip in one process: start the memoising
+//! simulation service on a loopback port, drive an amplitude ×
+//! tone-spacing grid through the wire protocol twice, and show the
+//! second pass served bit-identically from the solution store.
+//!
+//! ```text
+//! cargo run --release --example serve_roundtrip
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rfsim_serve::service::{ServeConfig, SimService};
+use rfsim_serve::spec::JobSpec;
+use rfsim_serve::wire::WireServer;
+use rfsim_serve::ServeClient;
+
+fn main() {
+    // The daemon side: a service on an ephemeral loopback port.
+    let service = SimService::start(ServeConfig::default());
+    let server = WireServer::start(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    println!(
+        "daemon listening on {addr} (families: {})",
+        service.family_names().join(", ")
+    );
+
+    // The client side: a 3 × 2 amplitude × tone-spacing MPDE grid.
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let spec = JobSpec::mpde("diode_clipper", 1e6, vec![0.1, 0.2, 0.4], vec![10e3, 20e3]);
+
+    let t0 = Instant::now();
+    let (id, cold) = client
+        .run(&spec, Duration::from_secs(300))
+        .expect("cold run");
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cold_result = cold.result.as_ref().expect("result");
+    println!(
+        "cold  solve: job {id}: {} points / {} samples in {cold_ms:.1} ms (memo_hit={})",
+        cold_result.points.len(),
+        cold_result.num_samples(),
+        cold.memo_hit,
+    );
+
+    let t1 = Instant::now();
+    let (id2, warm) = client
+        .run(&spec, Duration::from_secs(300))
+        .expect("memo run");
+    let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "memo  hit:   job {id2}: served in {warm_ms:.2} ms (memo_hit={}) — {:.0}x faster",
+        warm.memo_hit,
+        cold_ms / warm_ms.max(1e-6),
+    );
+    assert!(warm.memo_hit, "second identical request must hit the store");
+    assert_eq!(
+        cold.digest, warm.digest,
+        "replay must be bit-identical (digest {:?})",
+        cold.digest
+    );
+    println!(
+        "replay bit-identical: digest {}",
+        cold.digest.expect("digest")
+    );
+
+    let stats = client.stats().expect("stats");
+    println!(
+        "store: {} entries, {} hits / {} misses (hit rate {:.0}%)",
+        stats.number_at("store.len").unwrap_or(0.0),
+        stats.number_at("store.hits").unwrap_or(0.0),
+        stats.number_at("store.misses").unwrap_or(0.0),
+        100.0 * stats.number_at("store.hit_rate").unwrap_or(0.0),
+    );
+
+    let evicted = client.evict(None).expect("evict");
+    println!("evicted {evicted} stored solution(s)");
+    client.shutdown().expect("shutdown");
+    server.join();
+    println!("daemon stopped");
+}
