@@ -1,7 +1,8 @@
 //! The CI bench-regression gate.
 //!
-//! Measures the refactor, batched-sweep, and solution-store scenarios
-//! in-process, writes the results as `BENCH_pr4.json`, and compares the
+//! Measures the refactor, batched-sweep, solution-store, engine-memo and
+//! build-free-submit scenarios
+//! in-process, writes the results as `BENCH_pr5.json`, and compares the
 //! machine-portable speedup *ratios* against the committed baseline JSON
 //! within a relative tolerance (see `docs/benching.md` for the schema
 //! and the rationale). Exit code 0 = every ratio within tolerance; 1 =
@@ -9,14 +10,15 @@
 //!
 //! ```text
 //! cargo run --release -p rfsim-bench --bin bench_gate -- \
-//!     --baseline BENCH_pr3.json --out BENCH_pr4.json --tolerance 0.15
+//!     --baseline BENCH_pr4.json --out BENCH_pr5.json --tolerance 0.15
 //! ```
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use rfsim_bench::gate::{
-    drift_scenario, evaluate, memo_roundtrip, mpde_warm_vs_cold, refactor_vs_full, GateCheck, Json,
+    drift_scenario, engine_memo_scenario, evaluate, keyless_submit_scenario, memo_roundtrip,
+    mpde_warm_vs_cold, refactor_vs_full, GateCheck, Json,
 };
 
 struct Args {
@@ -28,8 +30,8 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        baseline: "BENCH_pr3.json".into(),
-        out: "BENCH_pr4.json".into(),
+        baseline: "BENCH_pr4.json".into(),
+        out: "BENCH_pr5.json".into(),
         tolerance: 0.15,
         reps: 7,
     };
@@ -85,13 +87,35 @@ fn main() -> ExitCode {
         memo.bit_identical,
     );
 
+    let engine_memo = engine_memo_scenario(args.reps);
+    println!(
+        "  engine: fresh batch {:.0} ns vs memo hit {:.0} ns → {:.1}x, \
+         {} memo hits, bit-identical: {}",
+        engine_memo.fresh_ns,
+        engine_memo.memo_ns,
+        engine_memo.speedup(),
+        engine_memo.memo_hits,
+        engine_memo.bit_identical,
+    );
+
+    let keyless = keyless_submit_scenario(args.reps);
+    println!(
+        "  keyless submit: memo submit {:.0} ns, {} builder calls during \
+         {} memo hits ({} fingerprint-cache hits) → build-free: {}",
+        keyless.memo_submit_ns,
+        keyless.builder_calls_during_memo,
+        keyless.memo_hits,
+        keyless.fp_cache_hits,
+        keyless.build_free(),
+    );
+
     // ------------------------------------------------------------------
-    // Emit BENCH_pr4.json.
+    // Emit BENCH_pr5.json.
     // ------------------------------------------------------------------
     let json = format!(
         r#"{{
-  "pr": 4,
-  "title": "rfsim-serve: memoising simulation service (solution store, job queue, wire protocol) over the sweep engine",
+  "pr": 5,
+  "title": "Engine-level solution memoisation and build-free serve keys (per-family fingerprint cache)",
   "machine_note": "emitted by `cargo run --release -p rfsim-bench --bin bench_gate`; absolute ns are machine-bound, the `ratios` section is what the CI gate compares (see docs/benching.md)",
   "benchmarks": [
     {{
@@ -125,6 +149,18 @@ fn main() -> ExitCode {
     {{
       "name": "serve/grid_memo_hit",
       "median_ns": {memo_ns:.1}
+    }},
+    {{
+      "name": "engine/batch_fresh_solve",
+      "median_ns": {engine_fresh_ns:.1}
+    }},
+    {{
+      "name": "engine/batch_memo_hit",
+      "median_ns": {engine_memo_ns:.1}
+    }},
+    {{
+      "name": "serve/memo_hit_submit",
+      "median_ns": {keyless_ns:.1}
     }}
   ],
   "drift": {{
@@ -136,13 +172,20 @@ fn main() -> ExitCode {
   }},
   "serve": {{
     "memo_hits": {memo_hits},
-    "bit_identical_replay": {bit_identical}
+    "bit_identical_replay": {bit_identical},
+    "keyless_builder_calls_during_memo": {keyless_builder_calls},
+    "keyless_fp_cache_hits": {keyless_fp_hits}
+  }},
+  "engine_memo": {{
+    "memo_hits": {engine_memo_hits},
+    "bit_identical_replay": {engine_bit_identical}
   }},
   "ratios": {{
     "refactor_vs_full_factor": {refactor_speedup:.3},
     "drift_restricted_vs_full_fallback": {drift_speedup:.3},
     "mpde_warm_vs_cold_workspace": {warm_speedup:.3},
-    "memo_hit_vs_fresh_solve": {memo_speedup:.3}
+    "memo_hit_vs_fresh_solve": {memo_speedup:.3},
+    "engine_memo_hit_vs_fresh_solve": {engine_memo_speedup:.3}
   }}
 }}
 "#,
@@ -158,6 +201,14 @@ fn main() -> ExitCode {
         memo_hits = memo.memo_hits,
         bit_identical = memo.bit_identical,
         memo_speedup = memo.speedup(),
+        engine_fresh_ns = engine_memo.fresh_ns,
+        engine_memo_ns = engine_memo.memo_ns,
+        engine_memo_hits = engine_memo.memo_hits,
+        engine_bit_identical = engine_memo.bit_identical,
+        engine_memo_speedup = engine_memo.speedup(),
+        keyless_ns = keyless.memo_submit_ns,
+        keyless_builder_calls = keyless.builder_calls_during_memo,
+        keyless_fp_hits = keyless.fp_cache_hits,
     );
     std::fs::File::create(&args.out)
         .and_then(|mut f| f.write_all(json.as_bytes()))
@@ -188,6 +239,7 @@ fn main() -> ExitCode {
     let baseline_refactor = baseline.number_at("ratios.refactor_vs_full_factor");
     let baseline_drift = baseline.number_at("ratios.drift_restricted_vs_full_fallback");
     let baseline_memo = baseline.number_at("ratios.memo_hit_vs_fresh_solve");
+    let baseline_engine_memo = baseline.number_at("ratios.engine_memo_hit_vs_fresh_solve");
 
     let mut checks = vec![
         GateCheck {
@@ -227,11 +279,35 @@ fn main() -> ExitCode {
             floor: 10.0,
         },
     ];
+    checks.push(GateCheck {
+        name: "engine_memo_hit_vs_fresh_solve".into(),
+        measured: engine_memo.speedup(),
+        baseline: baseline_engine_memo,
+        // PR 5 acceptance criterion: a repeated identical batch served
+        // from the engine's solution memo is >= 10x faster than
+        // re-solving it.
+        floor: 10.0,
+    });
     // Bit-identical replay is pass/fail, not a ratio: encode it as a
     // 0/1 metric with a floor of 1.
     checks.push(GateCheck {
         name: "memo_replay_bit_identical".into(),
         measured: if memo.bit_identical { 1.0 } else { 0.0 },
+        baseline: None,
+        floor: 1.0,
+    });
+    checks.push(GateCheck {
+        name: "engine_memo_replay_bit_identical".into(),
+        measured: if engine_memo.bit_identical { 1.0 } else { 0.0 },
+        baseline: None,
+        floor: 1.0,
+    });
+    // PR 5 acceptance criterion: memo-hit submits never invoke the
+    // family builder (their store key comes from the per-family
+    // fingerprint cache). Pass/fail, floored at 1.
+    checks.push(GateCheck {
+        name: "keyless_submit_build_free".into(),
+        measured: if keyless.build_free() { 1.0 } else { 0.0 },
         baseline: None,
         floor: 1.0,
     });

@@ -1,0 +1,321 @@
+//! Dependency-free Markdown link checker for the repo docs.
+//!
+//! The CI `docs` job (and a tier-1 test below) runs this over
+//! `README.md` and `docs/*.md`: every **relative** link must point at a
+//! file that exists, and every `#anchor` into a Markdown file must match
+//! one of that file's headings under GitHub's slug rules. External
+//! (`http(s)://`, `mailto:`) links are skipped — the point is that the
+//! *internal* documentation graph cannot rot silently, not that the
+//! internet is up.
+//!
+//! Parsing is deliberately small: inline `[text](target)` links and
+//! reference definitions (`[label]: target`) are scanned line by line,
+//! with fenced code blocks (``` … ```) excluded so protocol examples and
+//! shell transcripts cannot produce false positives.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One broken link: where it is and why it fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkIssue {
+    /// The Markdown file containing the link.
+    pub file: PathBuf,
+    /// 1-based line of the link.
+    pub line: usize,
+    /// The link target as written.
+    pub target: String,
+    /// What failed to resolve.
+    pub why: String,
+}
+
+impl fmt::Display for LinkIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: broken link '{}': {}",
+            self.file.display(),
+            self.line,
+            self.target,
+            self.why
+        )
+    }
+}
+
+/// GitHub's heading-to-anchor slug: lowercase, alphanumerics kept,
+/// spaces and hyphens become hyphens, everything else dropped.
+fn slugify(heading: &str) -> String {
+    let mut slug = String::with_capacity(heading.len());
+    for c in heading.trim().chars() {
+        if c.is_alphanumeric() || c == '_' {
+            slug.extend(c.to_lowercase());
+        } else if c == ' ' || c == '-' {
+            slug.push('-');
+        }
+        // Other punctuation (backticks, colons, parens, …) is dropped.
+    }
+    slug
+}
+
+/// The lines of `text` with fenced code blocks blanked out (line numbers
+/// preserved so issues point at the right place).
+fn without_code_fences(text: &str) -> Vec<&str> {
+    let mut in_fence = false;
+    text.lines()
+        .map(|line| {
+            let fence = line.trim_start().starts_with("```");
+            if fence {
+                in_fence = !in_fence;
+                ""
+            } else if in_fence {
+                ""
+            } else {
+                line
+            }
+        })
+        .collect()
+}
+
+/// The anchor slugs of every heading in `text`, GitHub-style. Duplicate
+/// headings get `-1`, `-2`, … suffixes like GitHub appends.
+pub fn heading_anchors(text: &str) -> Vec<String> {
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    let mut anchors = Vec::new();
+    for line in without_code_fences(text) {
+        let trimmed = line.trim_start();
+        let level = trimmed.chars().take_while(|&c| c == '#').count();
+        if (1..=6).contains(&level) && trimmed[level..].starts_with(' ') {
+            let slug = slugify(&trimmed[level..]);
+            match seen.iter_mut().find(|(s, _)| *s == slug) {
+                Some((_, n)) => {
+                    *n += 1;
+                    anchors.push(format!("{slug}-{n}"));
+                }
+                None => {
+                    seen.push((slug.clone(), 0));
+                    anchors.push(slug);
+                }
+            }
+        }
+    }
+    anchors
+}
+
+/// Extracts `(line, target)` pairs for every inline link and reference
+/// definition in `text`, code fences excluded.
+pub fn link_targets(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in without_code_fences(text).into_iter().enumerate() {
+        // Reference definitions: `[label]: target`.
+        let trimmed = line.trim_start();
+        if trimmed.starts_with('[') {
+            if let Some(close) = trimmed.find("]:") {
+                let target = trimmed[close + 2..].trim();
+                let target = target.split_whitespace().next().unwrap_or("");
+                if !target.is_empty() {
+                    out.push((idx + 1, target.to_string()));
+                    continue;
+                }
+            }
+        }
+        // Inline links: `[text](target)` (images included via `![`).
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while let Some(open) = line[i..].find("](") {
+            let start = i + open + 2;
+            let mut depth = 1usize;
+            let mut end = start;
+            while end < bytes.len() && depth > 0 {
+                match bytes[end] {
+                    b'(' => depth += 1,
+                    b')' => depth -= 1,
+                    _ => {}
+                }
+                end += 1;
+            }
+            if depth == 0 {
+                let target = line[start..end - 1].trim();
+                // Strip an optional `"title"` suffix.
+                let target = target.split_whitespace().next().unwrap_or(target);
+                if !target.is_empty() {
+                    out.push((idx + 1, target.to_string()));
+                }
+            }
+            i = end.max(start);
+        }
+    }
+    out
+}
+
+/// Whether a target is out of scope for the checker (external schemes and
+/// in-page autolinks the renderer owns).
+fn external(target: &str) -> bool {
+    target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('<')
+}
+
+/// Checks every relative link and anchor of the Markdown file at `path`.
+///
+/// # Errors
+///
+/// Returns `Err` with an I/O description when `path` itself is unreadable
+/// (a missing *linked* file is a [`LinkIssue`], not an error).
+pub fn check_file(path: &Path) -> std::result::Result<Vec<LinkIssue>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let dir = path.parent().unwrap_or(Path::new("."));
+    let mut issues = Vec::new();
+    for (line, target) in link_targets(&text) {
+        if external(&target) {
+            continue;
+        }
+        let issue = |why: String| LinkIssue {
+            file: path.to_path_buf(),
+            line,
+            target: target.clone(),
+            why,
+        };
+        let (file_part, anchor) = match target.split_once('#') {
+            Some((f, a)) => (f, Some(a)),
+            None => (target.as_str(), None),
+        };
+        // Resolve the linked file (empty = this file).
+        let linked = if file_part.is_empty() {
+            path.to_path_buf()
+        } else {
+            dir.join(file_part)
+        };
+        if !linked.exists() {
+            issues.push(issue(format!("file '{}' does not exist", linked.display())));
+            continue;
+        }
+        if let Some(anchor) = anchor {
+            // Anchors are only checkable in Markdown targets.
+            if linked.extension().and_then(|e| e.to_str()) == Some("md") {
+                let linked_text = if linked == path {
+                    text.clone()
+                } else {
+                    match std::fs::read_to_string(&linked) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            issues.push(issue(format!("reading '{}': {e}", linked.display())));
+                            continue;
+                        }
+                    }
+                };
+                if !heading_anchors(&linked_text).iter().any(|a| a == anchor) {
+                    issues.push(issue(format!(
+                        "anchor '#{anchor}' matches no heading in '{}'",
+                        linked.display()
+                    )));
+                }
+            }
+        }
+    }
+    Ok(issues)
+}
+
+/// Checks `README.md` and every `docs/*.md` under `root` — the CI `docs`
+/// job's scope. Returns all issues found.
+///
+/// # Errors
+///
+/// Propagates unreadable checked files (not unreadable link targets).
+pub fn check_repo_docs(root: &Path) -> std::result::Result<Vec<LinkIssue>, String> {
+    let mut files = vec![root.join("README.md")];
+    let docs = root.join("docs");
+    if docs.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&docs)
+            .map_err(|e| format!("reading {}: {e}", docs.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("md"))
+            .collect();
+        entries.sort();
+        files.extend(entries);
+    }
+    let mut issues = Vec::new();
+    for file in &files {
+        issues.extend(check_file(file)?);
+    }
+    Ok(issues)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_match_github_rules() {
+        assert_eq!(
+            slugify("Store keying and quantisation"),
+            "store-keying-and-quantisation"
+        );
+        assert_eq!(slugify("evict / shutdown"), "evict--shutdown");
+        assert_eq!(slugify("`bench_gate` rules!"), "bench_gate-rules");
+        assert_eq!(
+            slugify("Why ratios, not nanoseconds"),
+            "why-ratios-not-nanoseconds"
+        );
+    }
+
+    #[test]
+    fn headings_collect_with_duplicate_suffixes() {
+        let text = "# Top\nbody\n## Sub\n```\n# not a heading\n```\n## Sub\n";
+        assert_eq!(heading_anchors(text), vec!["top", "sub", "sub-1"]);
+    }
+
+    #[test]
+    fn links_parse_inline_reference_and_skip_fences() {
+        let text = "\
+See [a](one.md) and [b](two.md#sec \"title\").\n\
+```\n[not](parsed.md)\n```\n\
+[ref]: ../up.md\n\
+External [c](https://example.com) is skipped by the checker, not here.\n";
+        let targets: Vec<String> = link_targets(text).into_iter().map(|(_, t)| t).collect();
+        assert_eq!(
+            targets,
+            vec!["one.md", "two.md#sec", "../up.md", "https://example.com"]
+        );
+    }
+
+    #[test]
+    fn checker_flags_missing_files_and_anchors() {
+        let dir = std::env::temp_dir().join(format!(
+            "rfsim-doclinks-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let a = dir.join("a.md");
+        let b = dir.join("b.md");
+        std::fs::write(
+            &a,
+            "# A\nSee [b](b.md#real), [bad](b.md#fake), [gone](c.md),\nand [self](#a).\n",
+        )
+        .expect("write a");
+        std::fs::write(&b, "# B\n## Real\n").expect("write b");
+        let issues = check_file(&a).expect("check");
+        let whys: Vec<&str> = issues.iter().map(|i| i.target.as_str()).collect();
+        assert_eq!(whys, vec!["b.md#fake", "c.md"], "{issues:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repo_docs_have_no_broken_links() {
+        // Tier-1 enforcement of the CI `docs` job: README.md and docs/*.md
+        // must keep resolving.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let issues = check_repo_docs(&root).expect("readable docs");
+        assert!(
+            issues.is_empty(),
+            "broken doc links:\n{}",
+            issues
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

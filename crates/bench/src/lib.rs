@@ -7,6 +7,7 @@
 //! in `target/repro/`. The experiment-to-binary map is in `DESIGN.md` §4
 //! and measured results are recorded in `EXPERIMENTS.md`.
 
+pub mod doclinks;
 pub mod gate;
 pub mod output;
 pub mod paper;

@@ -214,6 +214,15 @@ pub struct WorkspaceStats {
     /// Preconditioner (re)builds from scratch (first use, structural
     /// change, or recovery from a refresh breakdown).
     pub precond_rebuilds: usize,
+    /// Whole sub-jobs served from the sweep engine's solution memo
+    /// without running Newton at all (see `rfsim_rf::sweep::SweepEngine`).
+    /// Counted here so the memo's effect rolls up through the same
+    /// [`WorkspaceCache::solver_stats`] channel as every other reuse
+    /// counter.
+    pub engine_memo_hits: usize,
+    /// Memo-eligible sub-jobs that missed the solution memo and paid a
+    /// full sweep (jobs without a memo token are not counted).
+    pub engine_memo_misses: usize,
 }
 
 impl WorkspaceStats {
@@ -234,6 +243,8 @@ impl WorkspaceStats {
             precond_refreshes,
             parallel_precond_refreshes,
             precond_rebuilds,
+            engine_memo_hits,
+            engine_memo_misses,
         } = other;
         self.full_factorizations += full_factorizations;
         self.refactorizations += refactorizations;
@@ -247,6 +258,8 @@ impl WorkspaceStats {
         self.precond_refreshes += precond_refreshes;
         self.parallel_precond_refreshes += parallel_precond_refreshes;
         self.precond_rebuilds += precond_rebuilds;
+        self.engine_memo_hits += engine_memo_hits;
+        self.engine_memo_misses += engine_memo_misses;
     }
 }
 

@@ -122,6 +122,17 @@ impl JobKeyBuilder {
         }
     }
 
+    /// Starts a key with no structure fingerprint — for identities that
+    /// *precede* a fingerprint, like the serve layer's per-family
+    /// fingerprint-cache slots (family name + quantised operating point
+    /// in, fingerprint out).
+    pub fn unseeded(quantizer: Quantizer) -> Self {
+        JobKeyBuilder {
+            h: FNV_OFFSET,
+            quantizer,
+        }
+    }
+
     /// Folds a raw integer token (grid dimension, backend discriminant).
     #[must_use]
     pub fn push_u64(mut self, v: u64) -> Self {

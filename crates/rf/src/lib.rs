@@ -11,12 +11,22 @@
 //!   fingerprint-keyed workspace cache with warm-start chaining per
 //!   topology group, executed on a hand-rolled worker pool.
 //! * [`key`] — quantised [`key::JobKey`]s for cross-batch solution
-//!   memoisation (the `rfsim-serve` solution store's keying layer).
+//!   memoisation: the identity shared by the engine's built-in solution
+//!   memo ([`sweep::SweepEngine::with_solution_memo`]) and the
+//!   `rfsim-serve` solution store.
+//! * [`lru`] — the bounded, tag-evictable [`lru::TaggedLru`] both of
+//!   those memo layers store their entries in.
 //! * [`pool`] — the fixed-thread [`pool::WorkerPool`] behind the engine.
+//!
+//! See `docs/architecture.md` for how this crate sits in the nine-crate
+//! stack and how the fingerprint → key → memo data flow composes.
+
+#![deny(missing_docs)]
 
 pub mod bits;
 pub mod eye;
 pub mod key;
+pub mod lru;
 pub mod measure;
 pub mod pool;
 pub mod sweep;

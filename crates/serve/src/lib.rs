@@ -45,6 +45,11 @@
 //! assert_eq!(solved.digest(), replayed.digest());
 //! assert_eq!(service.stats().counters.total().memo_hits, 1);
 //! ```
+//!
+//! See `docs/architecture.md` for where this crate sits in the stack and
+//! `docs/serving.md` for the protocol and keying/eviction rules.
+
+#![deny(missing_docs)]
 
 pub mod client;
 pub mod error;
@@ -56,7 +61,7 @@ pub mod wire;
 
 pub use client::ServeClient;
 pub use error::{Result, ServeError};
-pub use service::{JobId, JobStatus, ServeConfig, ServeStats, SimService};
+pub use service::{JobId, JobStatus, KeyingStats, ServeConfig, ServeStats, SimService};
 pub use spec::{BackendKind, FamilyRegistry, JobResult, JobSpec, Priority};
 pub use store::SolutionStore;
 pub use wire::WireServer;

@@ -24,6 +24,11 @@ pub struct QueuedJob {
     /// The family builder captured at submit time (so a later
     /// re-registration cannot change what this job solves).
     pub builder: Arc<FamilyFn>,
+    /// The family's builder generation at submit time. The scheduler
+    /// stores this job's result only if the generation still matches at
+    /// completion: a job solved by a superseded builder must not
+    /// repopulate the store under a key the replacement now owns.
+    pub generation: u64,
     /// Admission sequence number (FIFO within a priority).
     pub seq: u64,
 }
@@ -161,6 +166,7 @@ mod tests {
             builder: registry.builder(&spec.family).expect("builder"),
             spec,
             key,
+            generation: 0,
             seq,
         }
     }

@@ -4,8 +4,10 @@
 //! # Life of a request
 //!
 //! 1. **submit** — the spec is validated and canonicalised, its
-//!    [`JobKey`] computed (one cheap circuit build + MNA structure probe),
-//!    and then, under one lock:
+//!    [`JobKey`] computed — from the per-family fingerprint cache when
+//!    this `(family, quantised first point)` has been seen before (no
+//!    circuit build, no MNA probe), by building the probe circuit once
+//!    otherwise — and then, under one lock:
 //!    * a **store hit** completes the job instantly with the stored
 //!      [`Arc`]'d result (byte-for-byte what the original solve produced —
 //!      replay is bit-identical by construction);
@@ -39,7 +41,9 @@ use rfsim_circuit::newton::WorkspaceStats;
 use rfsim_hb::Hb2Options;
 use rfsim_mpde::solver::MpdeOptions;
 use rfsim_numerics::json::Json;
-use rfsim_rf::key::{JobKey, Quantizer};
+use rfsim_numerics::sparse::PatternFingerprint;
+use rfsim_rf::key::{JobKey, JobKeyBuilder, Quantizer};
+use rfsim_rf::lru::TaggedLru;
 use rfsim_rf::pool::WorkerPool;
 use rfsim_rf::sweep::{CacheSnapshot, Hb2SweepJob, MpdeSweepJob, PeriodicFdSweepJob, SweepEngine};
 use rfsim_shooting::PeriodicFdOptions;
@@ -203,6 +207,8 @@ pub struct ServeStats {
     pub queue_capacity: usize,
     /// Per-backend queue counters.
     pub counters: ServeCounters,
+    /// Per-family fingerprint-cache counters (build-free keying).
+    pub keying: KeyingStats,
     /// The engine's workspace-cache counters.
     pub engine_cache: CacheSnapshot,
     /// Aggregated linear-solver counters.
@@ -266,6 +272,15 @@ impl ServeStats {
                 ),
             ),
             (
+                "keying",
+                Json::object([
+                    ("fp_cache_hits", Json::from(self.keying.fp_cache_hits)),
+                    ("fp_cache_misses", Json::from(self.keying.fp_cache_misses)),
+                    ("invalidations", Json::from(self.keying.invalidations)),
+                    ("len", Json::from(self.keying.len)),
+                ]),
+            ),
+            (
                 "engine",
                 Json::object([
                     ("workspace_hits", Json::from(self.engine_cache.hits)),
@@ -285,6 +300,110 @@ impl ServeStats {
             ),
         ])
     }
+}
+
+/// The per-family fingerprint cache behind build-free store keys.
+///
+/// A fingerprint is a function of the circuit's *structure*, which for a
+/// registered family is a function of (builder, operating point) only —
+/// so once a `(family, quantised first point)` pair has been probed, every
+/// later submit for that pair computes its store key without building a
+/// circuit at all. Entries live in the shared [`TaggedLru`], tagged by
+/// family name; the slot identity folds the family and the quantised
+/// first point through [`JobKeyBuilder`]. The operating point is part of
+/// the identity because a family's topology may depend on it (an element
+/// switched in above a drive threshold): a fingerprint probed at one
+/// first amplitude must never be reused for a spec whose first point
+/// lands in a different quantisation bucket. Like every key in this
+/// stack the slot identity is a routing hash; a (vanishingly unlikely)
+/// collision mislabels only the fingerprint *component* of a store key,
+/// which the store key's explicit family and parameter folds keep from
+/// ever serving a wrong solution.
+///
+/// [`SimService::register_family`] drops the replaced family's entries —
+/// a new builder may produce a new topology at the same operating point —
+/// and bumps the family's *generation*, which the scheduler checks before
+/// storing results: a job solved by a superseded builder completes its
+/// waiters but must not repopulate the store under a key the new builder
+/// now owns.
+struct FingerprintCache {
+    entries: TaggedLru<PatternFingerprint>,
+    /// Builder generation per re-registered family (absent = 0).
+    generations: HashMap<String, u64>,
+    invalidations: usize,
+}
+
+impl FingerprintCache {
+    /// Default bound: generous for realistic family × operating-point
+    /// counts while capping worst-case retention.
+    const DEFAULT_CAPACITY: usize = 4096;
+
+    fn new(capacity: usize) -> Self {
+        FingerprintCache {
+            entries: TaggedLru::new(capacity.max(1)),
+            generations: HashMap::new(),
+            invalidations: 0,
+        }
+    }
+
+    /// The cache-slot identity of one `(family, first point)` pair.
+    fn slot(family: &str, point: &PointParams, quantizer: Quantizer) -> JobKey {
+        JobKeyBuilder::unseeded(quantizer)
+            .push_str(family)
+            .push_f64(point.amplitude)
+            .push_f64(point.f1)
+            .push_f64(point.spacing)
+            .push_u64(u64::from(point.two_tone))
+            .finish()
+    }
+
+    fn get(&mut self, slot: JobKey) -> Option<PatternFingerprint> {
+        self.entries.get(slot)
+    }
+
+    fn insert(&mut self, slot: JobKey, family: &str, fingerprint: PatternFingerprint) {
+        self.entries.insert(slot, family, fingerprint);
+    }
+
+    /// The current builder generation of `family`.
+    fn generation(&self, family: &str) -> u64 {
+        self.generations.get(family).copied().unwrap_or(0)
+    }
+
+    /// Retires `family`'s builder: drops its cached fingerprints and
+    /// bumps its generation, returning how many entries were dropped.
+    fn invalidate_family(&mut self, family: &str) -> usize {
+        *self.generations.entry(family.to_string()).or_insert(0) += 1;
+        let dropped = self.entries.evict(Some(family));
+        self.invalidations += dropped;
+        dropped
+    }
+
+    fn stats(&self) -> KeyingStats {
+        let lru = self.entries.stats();
+        KeyingStats {
+            fp_cache_hits: lru.hits,
+            fp_cache_misses: lru.misses,
+            invalidations: self.invalidations,
+            len: self.entries.len(),
+        }
+    }
+}
+
+/// Counters for the per-family fingerprint cache — how often store keys
+/// were computed without a circuit build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KeyingStats {
+    /// Submits whose store key came straight from the cache (no circuit
+    /// build, no MNA probe).
+    pub fp_cache_hits: usize,
+    /// Submits that paid the probe build: the first sighting of a
+    /// `(family, first point)` pair, or the first after invalidation.
+    pub fp_cache_misses: usize,
+    /// Entries dropped because their family was re-registered.
+    pub invalidations: usize,
+    /// Entries currently cached.
+    pub len: usize,
 }
 
 /// Scheduler-facing mutable state behind one mutex.
@@ -333,6 +452,10 @@ struct Inner {
     engine: SweepEngine,
     registry: Mutex<FamilyRegistry>,
     store: Mutex<SolutionStore>,
+    /// First-point fingerprints per (family, quantised operating point) —
+    /// what makes repeat submits (memo hits above all) build-free. Locked
+    /// after `registry`, never the other way round.
+    fp_cache: Mutex<FingerprintCache>,
     state: Mutex<SchedState>,
     /// Wakes the scheduler (new work, resume, shutdown).
     work_cv: Condvar,
@@ -362,13 +485,20 @@ impl SimService {
 
     /// Starts a service hosting `registry`.
     pub fn start_with_registry(config: ServeConfig, registry: FamilyRegistry) -> Arc<SimService> {
+        // The engine's own solution memo stays off: this service already
+        // memoises whole jobs in its store, with richer (per-family,
+        // explicit-evict) invalidation than the engine's token rules —
+        // two memo layers would just shadow each other's eviction
+        // decisions (and hollow out the fresh-solve bench baselines).
         let engine = SweepEngine::with_pool(WorkerPool::new(config.threads))
             .with_cache_capacity(config.workspace_capacity)
+            .with_solution_memo(0)
             .chain_topology_groups(!config.deterministic);
         let inner = Arc::new(Inner {
             engine,
             registry: Mutex::new(registry),
             store: Mutex::new(SolutionStore::new(config.store_capacity)),
+            fp_cache: Mutex::new(FingerprintCache::new(FingerprintCache::DEFAULT_CAPACITY)),
             state: Mutex::new(SchedState {
                 queue: JobQueue::new(config.queue_capacity),
                 jobs: HashMap::new(),
@@ -415,16 +545,27 @@ impl SimService {
             + 'static,
     ) {
         let name = name.into();
+        let mut registry = self.inner.registry.lock().expect("registry poisoned");
+        registry.register(name.clone(), build);
+        // The new builder may stamp a different topology at the same
+        // operating point, so its cached first-point fingerprints are
+        // stale the instant the swap happens. Invalidate under the
+        // registry lock: a concurrent submit resolves its fingerprint
+        // under that same lock, so it sees either (old builder, old
+        // cache) or (new builder, empty cache) — never a mix.
         self.inner
-            .registry
+            .fp_cache
             .lock()
-            .expect("registry poisoned")
-            .register(name.clone(), build);
+            .expect("fingerprint cache poisoned")
+            .invalidate_family(&name);
         // The store key covers structure and job parameters, not element
         // *values*: a same-topology re-registration (say, a retuned
         // resistor) would otherwise keep serving the old builder's
         // solutions. Replacing a family therefore always drops its
-        // stored entries.
+        // stored entries — still under the registry lock, so a submit
+        // keyed against the new builder can never race ahead and be
+        // served one of the old builder's solutions before the eviction
+        // lands.
         self.inner
             .store
             .lock()
@@ -453,11 +594,50 @@ impl SimService {
     /// [`ServeError::Shutdown`].
     pub fn submit(&self, spec: &JobSpec) -> Result<JobId> {
         let canonical = spec.canonicalize()?;
-        let (key, builder) = {
+        let quantizer = self.inner.config.quantizer;
+        // Resolve the first-point structure fingerprint: from the
+        // per-family cache when this (family, first point) has been
+        // probed before — no circuit build, no MNA probe — and by
+        // building the probe circuit exactly once otherwise. Both the
+        // resolve and the builder fetch happen under the registry lock,
+        // so a concurrent `register_family` cannot hand us a new builder
+        // with a stale cached fingerprint.
+        let (key, builder, generation) = {
             let registry = self.inner.registry.lock().expect("registry poisoned");
+            let builder = registry.builder(&canonical.family)?;
+            let slot =
+                FingerprintCache::slot(&canonical.family, &canonical.first_point(), quantizer);
+            let (cached, generation) = {
+                let mut fp_cache = self
+                    .inner
+                    .fp_cache
+                    .lock()
+                    .expect("fingerprint cache poisoned");
+                (fp_cache.get(slot), fp_cache.generation(&canonical.family))
+            };
+            let fingerprint = match cached {
+                Some(fp) => fp,
+                None => {
+                    // Probe with the fp_cache lock released: a family
+                    // builder is arbitrary user code, and `stats()` must
+                    // not stall behind it. The registry lock still
+                    // serialises against `register_family`, so the insert
+                    // below cannot cache a fingerprint the invalidation
+                    // already swept.
+                    let circuit = builder(&canonical.first_point())?;
+                    let fp = circuit.jacobian_fingerprint();
+                    self.inner
+                        .fp_cache
+                        .lock()
+                        .expect("fingerprint cache poisoned")
+                        .insert(slot, &canonical.family, fp);
+                    fp
+                }
+            };
             (
-                canonical.key(&registry, self.inner.config.quantizer)?,
-                registry.builder(&canonical.family)?,
+                canonical.key_with_fingerprint(fingerprint, quantizer),
+                builder,
+                generation,
             )
         };
         let kind = canonical.backend;
@@ -523,6 +703,7 @@ impl SimService {
                                 spec: canonical,
                                 key,
                                 builder,
+                                generation,
                                 seq,
                             },
                             true,
@@ -544,6 +725,7 @@ impl SimService {
                 spec: canonical,
                 key,
                 builder,
+                generation,
                 seq,
             },
             false,
@@ -640,6 +822,12 @@ impl SimService {
             queue_depth,
             queue_capacity,
             counters,
+            keying: self
+                .inner
+                .fp_cache
+                .lock()
+                .expect("fingerprint cache poisoned")
+                .stats(),
             engine_cache: self.inner.engine.cache_stats(),
             solver: self.inner.engine.solver_stats(),
         }
@@ -804,11 +992,26 @@ fn scheduler_loop(inner: &Arc<Inner>) {
             let status = match outcome {
                 Ok(result) => {
                     let result = Arc::new(result);
-                    inner.store.lock().expect("store poisoned").insert(
-                        job.key,
-                        job.spec.family.clone(),
-                        Arc::clone(&result),
-                    );
+                    // A job keyed against a builder that `register_family`
+                    // has since replaced still completes its waiters (they
+                    // asked under the old builder — that capture is the
+                    // contract), but its result must not repopulate the
+                    // store: a same-topology retune shares the old key,
+                    // and the eviction that ran at re-registration would
+                    // be silently undone.
+                    let generation_current = inner
+                        .fp_cache
+                        .lock()
+                        .expect("fingerprint cache poisoned")
+                        .generation(&job.spec.family)
+                        == job.generation;
+                    if generation_current {
+                        inner.store.lock().expect("store poisoned").insert(
+                            job.key,
+                            job.spec.family.clone(),
+                            Arc::clone(&result),
+                        );
+                    }
                     JobStatus::Done {
                         result,
                         memo_hit: false,

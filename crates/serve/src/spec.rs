@@ -211,6 +211,19 @@ impl JobSpec {
         Ok(canonical)
     }
 
+    /// The first operating point of this (canonical) spec — the point
+    /// whose circuit build defines the spec's structure fingerprint, and
+    /// therefore the identity the service's per-family fingerprint cache
+    /// is keyed on.
+    pub fn first_point(&self) -> PointParams {
+        PointParams {
+            amplitude: self.amplitudes[0],
+            f1: self.f1,
+            spacing: self.spacings.first().copied().unwrap_or(0.0),
+            two_tone: self.backend != BackendKind::PeriodicFd,
+        }
+    }
+
     /// The solution-store identity of this (canonical) spec: the
     /// first-point circuit's MNA-structure fingerprint folded with the
     /// quantised job parameters. Structure is probed at the *circuit*
@@ -219,19 +232,31 @@ impl JobSpec {
     /// are folded in explicitly (same reasoning as the sweep engine's
     /// probe memo).
     ///
+    /// This variant pays one circuit build to obtain the fingerprint; the
+    /// service's submit path avoids that via its per-family fingerprint
+    /// cache and [`JobSpec::key_with_fingerprint`].
+    ///
     /// # Errors
     ///
     /// Propagates the first-point circuit build failure.
     pub fn key(&self, registry: &FamilyRegistry, quantizer: Quantizer) -> Result<JobKey> {
-        let first = PointParams {
-            amplitude: self.amplitudes[0],
-            f1: self.f1,
-            spacing: self.spacings.first().copied().unwrap_or(0.0),
-            two_tone: self.backend != BackendKind::PeriodicFd,
-        };
-        let circuit = registry.build(&self.family, &first)?;
-        let fingerprint = circuit.jacobian_fingerprint();
-        Ok(JobKeyBuilder::new(fingerprint, quantizer)
+        let circuit = registry.build(&self.family, &self.first_point())?;
+        Ok(self.key_with_fingerprint(circuit.jacobian_fingerprint(), quantizer))
+    }
+
+    /// [`JobSpec::key`] with the first-point MNA fingerprint already in
+    /// hand — no circuit build, no registry access. The fingerprint must
+    /// be the one `registry.build(family, self.first_point())` would
+    /// produce *for the currently registered builder*; the service's
+    /// fingerprint cache guarantees that by keying on
+    /// `(family, quantised first point)` and invalidating on
+    /// re-registration.
+    pub fn key_with_fingerprint(
+        &self,
+        fingerprint: rfsim_numerics::sparse::PatternFingerprint,
+        quantizer: Quantizer,
+    ) -> JobKey {
+        JobKeyBuilder::new(fingerprint, quantizer)
             .push_str(&self.family)
             .push_str(self.backend.label())
             .push_u64(self.n1 as u64)
@@ -239,7 +264,7 @@ impl JobSpec {
             .push_f64(self.f1)
             .push_f64s(&self.amplitudes)
             .push_f64s(&self.spacings)
-            .finish())
+            .finish()
     }
 
     /// Wire encoding.

@@ -4,24 +4,17 @@
 //! quantised job parameters (see [`rfsim_rf::key`]) — and holding
 //! [`Arc`]s of completed [`JobResult`]s, so a hit is one hash probe and
 //! one refcount bump: the stored samples are handed back byte-for-byte,
-//! which is what makes replay *bit-identical by construction*. Capacity
-//! is enforced at insert by evicting the least-recently-used entry;
-//! recency is a monotone tick bumped on every hit.
+//! which is what makes replay *bit-identical by construction*. The
+//! recency and eviction rules are the shared [`TaggedLru`]'s — the same
+//! map the sweep engine's solution memo runs on — with entries tagged by
+//! family name for targeted eviction.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use rfsim_rf::key::JobKey;
+use rfsim_rf::lru::TaggedLru;
 
 use crate::spec::JobResult;
-
-/// One stored solution.
-#[derive(Debug)]
-struct Entry {
-    family: String,
-    result: Arc<JobResult>,
-    last_used: u64,
-}
 
 /// Counters describing the store's service history.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -41,26 +34,22 @@ pub struct StoreStats {
 /// A bounded LRU map from job identity to completed solution.
 #[derive(Debug)]
 pub struct SolutionStore {
-    entries: HashMap<JobKey, Entry>,
-    capacity: usize,
-    tick: u64,
-    stats: StoreStats,
+    entries: TaggedLru<Arc<JobResult>>,
+    explicit_evictions: usize,
 }
 
 impl SolutionStore {
     /// A store retaining at most `capacity` solutions (clamped to ≥ 1).
     pub fn new(capacity: usize) -> Self {
         SolutionStore {
-            entries: HashMap::new(),
-            capacity: capacity.max(1),
-            tick: 0,
-            stats: StoreStats::default(),
+            entries: TaggedLru::new(capacity.max(1)),
+            explicit_evictions: 0,
         }
     }
 
     /// Maximum retained solutions.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.entries.capacity()
     }
 
     /// Currently retained solutions.
@@ -75,62 +64,33 @@ impl SolutionStore {
 
     /// Service counters so far.
     pub fn stats(&self) -> StoreStats {
-        self.stats
+        let lru = self.entries.stats();
+        StoreStats {
+            hits: lru.hits,
+            misses: lru.misses,
+            insertions: lru.insertions,
+            evictions: lru.evictions,
+            explicit_evictions: self.explicit_evictions,
+        }
     }
 
     /// Looks up `key`, bumping its recency on a hit.
     pub fn get(&mut self, key: JobKey) -> Option<Arc<JobResult>> {
-        self.tick += 1;
-        match self.entries.get_mut(&key) {
-            Some(entry) => {
-                entry.last_used = self.tick;
-                self.stats.hits += 1;
-                Some(Arc::clone(&entry.result))
-            }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
-        }
+        self.entries.get(key)
     }
 
     /// Inserts a completed solution, evicting the least-recently-used
     /// entry if the store is at capacity (replacing an existing key never
     /// evicts). `family` tags the entry for targeted eviction.
     pub fn insert(&mut self, key: JobKey, family: impl Into<String>, result: Arc<JobResult>) {
-        self.tick += 1;
-        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
-            if let Some(oldest) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-            {
-                self.entries.remove(&oldest);
-                self.stats.evictions += 1;
-            }
-        }
-        self.stats.insertions += 1;
-        self.entries.insert(
-            key,
-            Entry {
-                family: family.into(),
-                result,
-                last_used: self.tick,
-            },
-        );
+        self.entries.insert(key, family, result);
     }
 
     /// Removes entries — all of them, or only one family's — returning
     /// how many were dropped.
     pub fn evict(&mut self, family: Option<&str>) -> usize {
-        let before = self.entries.len();
-        match family {
-            None => self.entries.clear(),
-            Some(name) => self.entries.retain(|_, e| e.family != name),
-        }
-        let dropped = before - self.entries.len();
-        self.stats.explicit_evictions += dropped;
+        let dropped = self.entries.evict(family);
+        self.explicit_evictions += dropped;
         dropped
     }
 }

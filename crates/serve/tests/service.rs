@@ -327,6 +327,201 @@ fn hb2_and_periodic_fd_jobs_serve_and_memoise() {
 }
 
 #[test]
+fn memo_hit_submits_are_build_free() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    // A counting family: every *closure invocation* (probe or sweep
+    // point) bumps the counter. Memo-hit submits must not bump it at all.
+    let builds = Arc::new(AtomicUsize::new(0));
+    let service = SimService::start(small_config());
+    let counter = Arc::clone(&builds);
+    service.register_family("counted", move |p| {
+        counter.fetch_add(1, Ordering::SeqCst);
+        let mut b = CircuitBuilder::new();
+        let inp = b.node("in");
+        let out = b.node("out");
+        b.vsource("VRF", inp, GROUND, p.source())?;
+        b.resistor("R1", inp, out, 1e3)?;
+        b.capacitor("C1", out, GROUND, 160e-12)?;
+        b.build()
+    });
+    let mut request = spec(0.1);
+    request.family = "counted".into();
+    service
+        .wait(service.submit(&request).expect("submit"), WAIT)
+        .expect("solve");
+    let after_solve = builds.load(Ordering::SeqCst);
+    assert!(after_solve >= 1, "the fresh solve builds circuits");
+    // Identical submit: fingerprint served from the per-family cache and
+    // the result from the store — the builder is never invoked.
+    let id = service.submit(&request).expect("memo submit");
+    assert!(matches!(
+        service.poll(id).expect("poll"),
+        JobStatus::Done { memo_hit: true, .. }
+    ));
+    assert_eq!(
+        builds.load(Ordering::SeqCst),
+        after_solve,
+        "a memo-hit submit must not invoke the family builder"
+    );
+    let keying = service.stats().keying;
+    assert_eq!(keying.fp_cache_hits, 1, "{keying:?}");
+    assert_eq!(keying.fp_cache_misses, 1, "{keying:?}");
+}
+
+#[test]
+fn fingerprint_cache_respects_topology_dependent_families() {
+    // A family whose *topology* depends on the operating point: above
+    // 0.25 V a feedthrough capacitor switches in. First points on either
+    // side of the threshold must never share a cached fingerprint.
+    let service = SimService::start(small_config());
+    service.register_family("switching", |p| {
+        let mut b = CircuitBuilder::new();
+        let inp = b.node("in");
+        let out = b.node("out");
+        b.vsource("VRF", inp, GROUND, p.source())?;
+        if p.amplitude > 0.25 {
+            let mid = b.node("mid");
+            b.resistor("R1a", inp, mid, 0.5e3)?;
+            b.resistor("R1b", mid, out, 0.5e3)?;
+        } else {
+            b.resistor("R1", inp, out, 1e3)?;
+        }
+        b.capacitor("C1", out, GROUND, 160e-12)?;
+        b.build()
+    });
+    let mut low = spec(0.1);
+    low.family = "switching".into();
+    let mut high = spec(0.3);
+    high.family = "switching".into();
+    let below = service
+        .wait(service.submit(&low).expect("submit low"), WAIT)
+        .expect("solve low");
+    // Different first amplitude → different cache slot → fresh probe:
+    // the 0.1 V fingerprint is not reused for the 0.3 V topology.
+    let above = service
+        .wait(service.submit(&high).expect("submit high"), WAIT)
+        .expect("solve high");
+    assert_ne!(
+        below.points[0].samples.len(),
+        above.points[0].samples.len(),
+        "the switched-in topology has more unknowns"
+    );
+    let q = service.stats().counters.queue(BackendKind::Mpde);
+    assert_eq!(q.solves, 2, "distinct operating points must both solve");
+    assert_eq!(q.memo_hits, 0);
+    // Each operating point now memo-hits its own entry, build-free.
+    let keying_before = service.stats().keying;
+    service
+        .wait(service.submit(&low).expect("resubmit"), WAIT)
+        .expect("memo low");
+    service
+        .wait(service.submit(&high).expect("resubmit"), WAIT)
+        .expect("memo high");
+    let stats = service.stats();
+    assert_eq!(stats.counters.queue(BackendKind::Mpde).memo_hits, 2);
+    assert_eq!(
+        stats.keying.fp_cache_hits,
+        keying_before.fp_cache_hits + 2,
+        "repeat submits key build-free"
+    );
+}
+
+#[test]
+fn register_family_invalidates_cached_fingerprints() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let service = SimService::start(small_config());
+    let v2_builds = Arc::new(AtomicUsize::new(0));
+    service.register_family("swapped", |p| {
+        let mut b = CircuitBuilder::new();
+        let inp = b.node("in");
+        let out = b.node("out");
+        b.vsource("VRF", inp, GROUND, p.source())?;
+        b.resistor("R1", inp, out, 1e3)?;
+        b.capacitor("C1", out, GROUND, 160e-12)?;
+        b.build()
+    });
+    let mut request = spec(0.1);
+    request.family = "swapped".into();
+    service
+        .wait(service.submit(&request).expect("submit"), WAIT)
+        .expect("solve v1");
+    // Replace the builder (same name, same topology, retuned values):
+    // the cached v1 fingerprint must be dropped, so the next submit
+    // re-probes through the *new* builder instead of keying blind.
+    let counter = Arc::clone(&v2_builds);
+    service.register_family("swapped", move |p| {
+        counter.fetch_add(1, Ordering::SeqCst);
+        let mut b = CircuitBuilder::new();
+        let inp = b.node("in");
+        let out = b.node("out");
+        b.vsource("VRF", inp, GROUND, p.source())?;
+        b.resistor("R1", inp, out, 2e3)?;
+        b.capacitor("C1", out, GROUND, 160e-12)?;
+        b.build()
+    });
+    assert!(service.stats().keying.invalidations >= 1);
+    service
+        .wait(service.submit(&request).expect("submit"), WAIT)
+        .expect("solve v2");
+    assert!(
+        v2_builds.load(Ordering::SeqCst) >= 1,
+        "the replacement builder must be probed, not the stale cache"
+    );
+    let q = service.stats().counters.queue(BackendKind::Mpde);
+    assert_eq!(q.solves, 2, "the retune re-solves (store was evicted)");
+}
+
+#[test]
+fn stale_builder_results_do_not_repopulate_the_store() {
+    // A job solved by a superseded builder completes its waiters but must
+    // not be stored: a same-topology retune shares the old store key, so
+    // storing it would silently undo register_family's eviction.
+    let service = SimService::start(ServeConfig {
+        paused: true,
+        ..small_config()
+    });
+    service.register_family("retuned", |p| {
+        let mut b = CircuitBuilder::new();
+        let inp = b.node("in");
+        let out = b.node("out");
+        b.vsource("VRF", inp, GROUND, p.source())?;
+        b.resistor("R1", inp, out, 1e3)?;
+        b.capacitor("C1", out, GROUND, 160e-12)?;
+        b.build()
+    });
+    let mut request = spec(0.1);
+    request.family = "retuned".into();
+    // Queued but not yet solving (scheduler paused)…
+    let id = service.submit(&request).expect("submit v1");
+    // …when the family is retuned (same topology, new resistance).
+    service.register_family("retuned", |p| {
+        let mut b = CircuitBuilder::new();
+        let inp = b.node("in");
+        let out = b.node("out");
+        b.vsource("VRF", inp, GROUND, p.source())?;
+        b.resistor("R1", inp, out, 2e3)?;
+        b.capacitor("C1", out, GROUND, 160e-12)?;
+        b.build()
+    });
+    service.resume();
+    // The in-flight job still delivers the v1 result it was asked for…
+    let v1 = service.wait(id, WAIT).expect("v1 result");
+    // …but the identical spec must now re-solve through the v2 builder,
+    // not be served the v1 result out of the store.
+    let v2 = service
+        .wait(service.submit(&request).expect("resubmit"), WAIT)
+        .expect("v2 result");
+    assert_ne!(v1.digest(), v2.digest(), "retune must change the solution");
+    let q = service.stats().counters.queue(BackendKind::Mpde);
+    assert_eq!(q.solves, 2, "the stale result must not serve as a memo");
+    assert_eq!(q.memo_hits, 0);
+}
+
+#[test]
 fn wire_roundtrip_over_loopback() {
     let service = SimService::start(small_config());
     let server = WireServer::start(service, "127.0.0.1:0").expect("bind");

@@ -15,8 +15,9 @@
 //! | [`shooting`] | `rfsim-shooting` | Newton/Krylov shooting, periodic FD collocation |
 //! | [`hb`] | `rfsim-hb` | single- and two-tone harmonic balance |
 //! | [`mpde`] | `rfsim-mpde` | **the paper's method**: sheared MPDE grids, FDTD Newton, continuation, envelope following |
-//! | [`rf`] | `rfsim-rf` | PRBS, conversion gain, distortion, eye/ISI |
+//! | [`rf`] | `rfsim-rf` | PRBS, conversion gain, distortion, eye/ISI, the batched [`rf::sweep::SweepEngine`] + solution memo |
 //! | [`circuits`] | `rfsim-circuits` | balanced LO-doubling mixer, unbalanced mixer, fixtures |
+//! | [`serve`] | `rfsim-serve` | the memoising simulation service: solution store, priority queue, wire protocol |
 //!
 //! # Solver architecture: factor once, refactor forever
 //!
@@ -86,4 +87,5 @@ pub use rfsim_hb as hb;
 pub use rfsim_mpde as mpde;
 pub use rfsim_numerics as numerics;
 pub use rfsim_rf as rf;
+pub use rfsim_serve as serve;
 pub use rfsim_shooting as shooting;
