@@ -1,8 +1,8 @@
 //! The CI bench-regression gate.
 //!
-//! Measures the refactor, batched-sweep, solution-store, engine-memo and
-//! build-free-submit scenarios
-//! in-process, writes the results as `BENCH_pr5.json`, and compares the
+//! Measures the refactor, batched-sweep, solution-store, engine-memo,
+//! build-free-submit and cancel-latency scenarios
+//! in-process, writes the results as `BENCH_pr6.json`, and compares the
 //! machine-portable speedup *ratios* against the committed baseline JSON
 //! within a relative tolerance (see `docs/benching.md` for the schema
 //! and the rationale). Exit code 0 = every ratio within tolerance; 1 =
@@ -10,15 +10,15 @@
 //!
 //! ```text
 //! cargo run --release -p rfsim-bench --bin bench_gate -- \
-//!     --baseline BENCH_pr4.json --out BENCH_pr5.json --tolerance 0.15
+//!     --baseline BENCH_pr5.json --out BENCH_pr6.json --tolerance 0.25
 //! ```
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use rfsim_bench::gate::{
-    drift_scenario, engine_memo_scenario, evaluate, keyless_submit_scenario, memo_roundtrip,
-    mpde_warm_vs_cold, refactor_vs_full, GateCheck, Json,
+    cancel_latency_scenario, drift_scenario, engine_memo_scenario, evaluate,
+    keyless_submit_scenario, memo_roundtrip, mpde_warm_vs_cold, refactor_vs_full, GateCheck, Json,
 };
 
 struct Args {
@@ -30,9 +30,14 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        baseline: "BENCH_pr4.json".into(),
-        out: "BENCH_pr5.json".into(),
-        tolerance: 0.15,
+        baseline: "BENCH_pr5.json".into(),
+        out: "BENCH_pr6.json".into(),
+        // Cross-machine reproducibility of the micro ratios is ~±20%
+        // (measured by re-running a pinned build against a baseline
+        // recorded on a different container), so a tighter band is
+        // flake, not detection. The hard floors carry the
+        // machine-portable guarantees.
+        tolerance: 0.25,
         reps: 7,
     };
     let mut it = std::env::args().skip(1);
@@ -109,13 +114,24 @@ fn main() -> ExitCode {
         keyless.build_free(),
     );
 
+    let cancel = cancel_latency_scenario(args.reps.min(3));
+    println!(
+        "  cancel: hung-job cancel settles in {:.1} ms (bound {:.0} ms, \
+         headroom {:.1}x), typed: {}, slot reclaimed: {}",
+        cancel.latency_ns / 1e6,
+        cancel.bound_ms,
+        cancel.headroom(),
+        cancel.typed,
+        cancel.reclaimed,
+    );
+
     // ------------------------------------------------------------------
-    // Emit BENCH_pr5.json.
+    // Emit BENCH_pr6.json.
     // ------------------------------------------------------------------
     let json = format!(
         r#"{{
-  "pr": 5,
-  "title": "Engine-level solution memoisation and build-free serve keys (per-family fingerprint cache)",
+  "pr": 6,
+  "title": "Solve control plane: budgets, cancellation, deadlines, retry, and fault injection",
   "machine_note": "emitted by `cargo run --release -p rfsim-bench --bin bench_gate`; absolute ns are machine-bound, the `ratios` section is what the CI gate compares (see docs/benching.md)",
   "benchmarks": [
     {{
@@ -161,6 +177,10 @@ fn main() -> ExitCode {
     {{
       "name": "serve/memo_hit_submit",
       "median_ns": {keyless_ns:.1}
+    }},
+    {{
+      "name": "serve/cancel_latency",
+      "median_ns": {cancel_ns:.1}
     }}
   ],
   "drift": {{
@@ -180,12 +200,18 @@ fn main() -> ExitCode {
     "memo_hits": {engine_memo_hits},
     "bit_identical_replay": {engine_bit_identical}
   }},
+  "control_plane": {{
+    "cancel_latency_bound_ms": {cancel_bound_ms:.0},
+    "cancel_typed_outcome": {cancel_typed},
+    "cancel_slot_reclaimed": {cancel_reclaimed}
+  }},
   "ratios": {{
     "refactor_vs_full_factor": {refactor_speedup:.3},
     "drift_restricted_vs_full_fallback": {drift_speedup:.3},
     "mpde_warm_vs_cold_workspace": {warm_speedup:.3},
     "memo_hit_vs_fresh_solve": {memo_speedup:.3},
-    "engine_memo_hit_vs_fresh_solve": {engine_memo_speedup:.3}
+    "engine_memo_hit_vs_fresh_solve": {engine_memo_speedup:.3},
+    "cancel_latency_headroom": {cancel_headroom:.3}
   }}
 }}
 "#,
@@ -209,6 +235,11 @@ fn main() -> ExitCode {
         keyless_ns = keyless.memo_submit_ns,
         keyless_builder_calls = keyless.builder_calls_during_memo,
         keyless_fp_hits = keyless.fp_cache_hits,
+        cancel_ns = cancel.latency_ns,
+        cancel_bound_ms = cancel.bound_ms,
+        cancel_typed = cancel.typed,
+        cancel_reclaimed = cancel.reclaimed,
+        cancel_headroom = cancel.headroom(),
     );
     std::fs::File::create(&args.out)
         .and_then(|mut f| f.write_all(json.as_bytes()))
@@ -253,8 +284,10 @@ fn main() -> ExitCode {
             name: "drift_restricted_vs_full_fallback".into(),
             measured: drift_speedup,
             baseline: baseline_drift,
-            // Restricted pivoting must never lose to full fallbacks.
-            floor: 1.0,
+            // Restricted pivoting must beat full fallbacks by a clear
+            // margin on any machine (observed >= 1.59 across
+            // containers), not merely break even.
+            floor: 1.3,
         },
         GateCheck {
             name: "drift_in_pattern_hit_rate".into(),
@@ -308,6 +341,29 @@ fn main() -> ExitCode {
     checks.push(GateCheck {
         name: "keyless_submit_build_free".into(),
         measured: if keyless.build_free() { 1.0 } else { 0.0 },
+        baseline: None,
+        floor: 1.0,
+    });
+    // PR 6 acceptance criteria. Headroom = bound / measured latency: a
+    // hung solve must settle its cancellation within the bound. The
+    // floor is the whole gate — headroom is dominated by scheduler
+    // timing noise, so comparing it against a committed baseline would
+    // only add flake (unlike the throughput ratios above).
+    checks.push(GateCheck {
+        name: "cancel_latency_headroom".into(),
+        measured: cancel.headroom(),
+        baseline: None,
+        floor: 1.0,
+    });
+    checks.push(GateCheck {
+        name: "cancel_typed_outcome".into(),
+        measured: if cancel.typed { 1.0 } else { 0.0 },
+        baseline: None,
+        floor: 1.0,
+    });
+    checks.push(GateCheck {
+        name: "cancel_slot_reclaimed".into(),
+        measured: if cancel.reclaimed { 1.0 } else { 0.0 },
         baseline: None,
         floor: 1.0,
     });

@@ -37,6 +37,27 @@ pub fn time_median_ns(reps: usize, mut f: impl FnMut()) -> f64 {
     median_ns(samples)
 }
 
+/// Times `reps` interleaved runs of the pair `(a, b)` and returns the
+/// median nanoseconds of each side. Alternating the sides within every
+/// rep makes both sample the same window of machine state (CPU
+/// frequency, cache pressure, co-tenant load), so the *ratio* of the two
+/// medians stays meaningful even when the machine drifts over the
+/// seconds a scenario takes — which back-to-back blocks of `a`-then-`b`
+/// are not robust against.
+pub fn time_paired_median_ns(reps: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    let mut sa = Vec::with_capacity(reps);
+    let mut sb = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        a();
+        sa.push(t0.elapsed().as_nanos() as f64);
+        let t1 = Instant::now();
+        b();
+        sb.push(t1.elapsed().as_nanos() as f64);
+    }
+    (median_ns(sa), median_ns(sb))
+}
+
 /// The scaled-mixer MPDE grid Jacobian used by the refactor benchmarks
 /// (assembled once at the DC operating point).
 pub fn mpde_jacobian(n1: usize, n2: usize) -> Triplets {
@@ -63,13 +84,15 @@ pub fn mpde_jacobian(n1: usize, n2: usize) -> Triplets {
 pub fn refactor_vs_full(reps: usize) -> (f64, f64) {
     let csc = mpde_jacobian(24, 16).to_csc();
     let mut lu = SparseLu::factor(&csc, LuOptions::default()).expect("factor");
-    let refactor = time_median_ns(reps, || {
-        lu.refactor_in_place(&csc).expect("refactor");
-    });
-    let full = time_median_ns(reps, || {
-        SparseLu::factor(&csc, LuOptions::default()).expect("factor");
-    });
-    (refactor, full)
+    time_paired_median_ns(
+        reps,
+        || {
+            lu.refactor_in_place(&csc).expect("refactor");
+        },
+        || {
+            SparseLu::factor(&csc, LuOptions::default()).expect("factor");
+        },
+    )
 }
 
 /// Outcome of the drifting-operating-point scenario.
@@ -203,14 +226,17 @@ pub fn drift_sequence(restricted: bool) -> (usize, usize) {
 /// in-pattern/fallback counts of the restricted runs.
 pub fn drift_scenario(reps: usize) -> DriftOutcome {
     let (mut repairs, mut fallbacks) = (0usize, 0usize);
-    let restricted_ns = time_median_ns(reps, || {
-        let (r, f) = drift_sequence(true);
-        repairs += r;
-        fallbacks += f;
-    });
-    let fallback_ns = time_median_ns(reps, || {
-        drift_sequence(false);
-    });
+    let (restricted_ns, fallback_ns) = time_paired_median_ns(
+        reps,
+        || {
+            let (r, f) = drift_sequence(true);
+            repairs += r;
+            fallbacks += f;
+        },
+        || {
+            drift_sequence(false);
+        },
+    );
     DriftOutcome {
         restricted_ns,
         fallback_ns,
@@ -231,17 +257,6 @@ pub fn mpde_warm_vs_cold(reps: usize) -> (f64, f64) {
         n2: 12,
         ..Default::default()
     };
-    let cold = time_median_ns(reps, || {
-        let mut ws = LinearSolverWorkspace::new();
-        solve_mpde_with_workspace(
-            &mixer.circuit,
-            mixer.params.t1_period(),
-            mixer.params.t2_period(),
-            opts.clone(),
-            &mut ws,
-        )
-        .expect("cold solve");
-    });
     let mut ws = LinearSolverWorkspace::new();
     solve_mpde_with_workspace(
         &mixer.circuit,
@@ -251,16 +266,30 @@ pub fn mpde_warm_vs_cold(reps: usize) -> (f64, f64) {
         &mut ws,
     )
     .expect("prime");
-    let warm = time_median_ns(reps, || {
-        solve_mpde_with_workspace(
-            &mixer.circuit,
-            mixer.params.t1_period(),
-            mixer.params.t2_period(),
-            opts.clone(),
-            &mut ws,
-        )
-        .expect("warm solve");
-    });
+    let (warm, cold) = time_paired_median_ns(
+        reps,
+        || {
+            solve_mpde_with_workspace(
+                &mixer.circuit,
+                mixer.params.t1_period(),
+                mixer.params.t2_period(),
+                opts.clone(),
+                &mut ws,
+            )
+            .expect("warm solve");
+        },
+        || {
+            let mut cold_ws = LinearSolverWorkspace::new();
+            solve_mpde_with_workspace(
+                &mixer.circuit,
+                mixer.params.t1_period(),
+                mixer.params.t2_period(),
+                opts.clone(),
+                &mut cold_ws,
+            )
+            .expect("cold solve");
+        },
+    );
     (warm, cold)
 }
 
@@ -521,6 +550,99 @@ pub fn keyless_submit_scenario(reps: usize) -> KeylessSubmitOutcome {
     }
 }
 
+/// Outcome of the cancel-latency scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct CancelOutcome {
+    /// Median ns from issuing `cancel` on a hung (fault-stalled)
+    /// *running* job to observing its settled cancellation.
+    pub latency_ns: f64,
+    /// The latency bound the gate holds the control plane to (ms).
+    pub bound_ms: f64,
+    /// Whether every follow-up job submitted after a cancel completed —
+    /// the cancelled solve's scheduler slot really came back.
+    pub reclaimed: bool,
+    /// Whether every cancelled job settled with the typed `Cancelled`
+    /// interruption (not a generic failure).
+    pub typed: bool,
+}
+
+impl CancelOutcome {
+    /// Headroom ratio: the bound over the measured latency. ≥ 1 means
+    /// cancellation lands within the bound; bigger is better.
+    pub fn headroom(&self) -> f64 {
+        self.bound_ms * 1e6 / self.latency_ns
+    }
+}
+
+/// The cancel-latency scenario (PR 6 acceptance criterion): a
+/// deliberately-hung job — a deterministic stall fault sleeping per
+/// residual evaluation, safety-bounded at 60 s — is cancelled while
+/// running, and the gate measures how long the control plane takes to
+/// settle it. Cancellation is cooperative (checked per residual
+/// evaluation / Krylov matvec), so the latency budget is a few poll
+/// intervals plus scheduler turnaround, far under [`CancelOutcome::
+/// bound_ms`]. Each rep then runs a real job through the freed slot to
+/// prove reclamation.
+pub fn cancel_latency_scenario(reps: usize) -> CancelOutcome {
+    use std::time::Duration;
+
+    use rfsim_circuit::fault::SolveFault;
+    use rfsim_numerics::InterruptReason;
+    use rfsim_serve::service::{JobStatus, ServeConfig, SimService};
+    use rfsim_serve::spec::JobSpec;
+
+    const BOUND_MS: f64 = 1000.0;
+    let service = SimService::start(ServeConfig {
+        threads: 1,
+        ..Default::default()
+    });
+    let spec = |amplitude: f64| {
+        let mut s = JobSpec::mpde("rc_lowpass", 1e6, vec![amplitude], vec![10e3]);
+        s.n1 = 8;
+        s.n2 = 4;
+        s
+    };
+    let wait = Duration::from_secs(600);
+    let mut latencies = Vec::with_capacity(reps);
+    let mut reclaimed = true;
+    let mut typed = true;
+    for rep in 0..reps {
+        service.inject_fault("rc_lowpass", SolveFault::stall(5, 60_000));
+        let id = service.submit(&spec(0.1)).expect("submit hung job");
+        // Wait for the hang to actually be on a worker.
+        loop {
+            match service.poll(id).expect("poll") {
+                JobStatus::Running => break,
+                JobStatus::Queued => std::thread::sleep(Duration::from_millis(1)),
+                other => panic!("hung job settled early: {other:?}"),
+            }
+        }
+        let t0 = Instant::now();
+        service.cancel(id).expect("cancel");
+        let settled = loop {
+            match service.poll(id).expect("poll") {
+                JobStatus::Failed { interrupted, .. } => break interrupted,
+                _ => std::thread::sleep(Duration::from_millis(1)),
+            }
+        };
+        latencies.push(t0.elapsed().as_nanos() as f64);
+        typed &= settled.map(|i| i.reason) == Some(InterruptReason::Cancelled);
+        // The slot must be usable again immediately: un-fault the family
+        // and run a fresh (never-memoised) job through it.
+        service.clear_fault("rc_lowpass");
+        let follow_up = spec(0.2 + 0.01 * rep as f64);
+        reclaimed &= service
+            .wait(service.submit(&follow_up).expect("submit"), wait)
+            .is_ok();
+    }
+    CancelOutcome {
+        latency_ns: median_ns(latencies),
+        bound_ms: BOUND_MS,
+        reclaimed,
+        typed,
+    }
+}
+
 // The JSON reader/writer this gate originally carried now lives in
 // `rfsim_numerics::json`, where the serve wire protocol shares it;
 // re-exported here so gate callers keep working unchanged.
@@ -632,6 +754,18 @@ mod tests {
         let outcome = keyless_submit_scenario(1);
         assert!(outcome.build_free(), "{outcome:?}");
         assert!(outcome.fp_cache_hits >= 1, "{outcome:?}");
+    }
+
+    #[test]
+    fn cancel_scenario_settles_typed_and_reclaims() {
+        // One cheap reprise of the PR 6 acceptance criterion (the
+        // latency bound itself is enforced by `bench_gate` in release
+        // mode): a hung fault-injected job cancels with the typed
+        // outcome and its slot serves a follow-up job.
+        let outcome = cancel_latency_scenario(1);
+        assert!(outcome.typed, "{outcome:?}");
+        assert!(outcome.reclaimed, "{outcome:?}");
+        assert!(outcome.latency_ns > 0.0, "{outcome:?}");
     }
 
     #[test]

@@ -7,10 +7,11 @@
 //! reports "using continuation reliably obtained solutions").
 
 use rfsim_numerics::sparse::Triplets;
+use rfsim_numerics::SolveBudget;
 
 use crate::circuit::{Circuit, UnknownKind};
 use crate::newton::{
-    newton_solve_with_workspace, LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem,
+    newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem,
 };
 use crate::{CircuitError, Result};
 
@@ -110,6 +111,25 @@ impl NewtonSystem for DcSystem<'_> {
 ///
 /// Returns [`CircuitError::ConvergenceFailure`] if every strategy fails.
 pub fn dc_operating_point(circuit: &Circuit, options: DcOptions) -> Result<DcResult> {
+    dc_operating_point_budgeted(circuit, options, &SolveBudget::unlimited())
+}
+
+/// [`dc_operating_point`] under a [`SolveBudget`].
+///
+/// The budget is threaded into every Newton solve on every rung of the
+/// ladder. A [`CircuitError::Interrupted`] outcome short-circuits the
+/// whole ladder: cancellation and deadlines are control-plane stops, so
+/// neither gmin stepping nor source stepping is tried after one.
+///
+/// # Errors
+///
+/// [`CircuitError::Interrupted`] when the budget stops a solve;
+/// [`CircuitError::ConvergenceFailure`] if every strategy fails.
+pub fn dc_operating_point_budgeted(
+    circuit: &Circuit,
+    options: DcOptions,
+    budget: &SolveBudget,
+) -> Result<DcResult> {
     let n = circuit.num_unknowns();
     let mut b = vec![0.0; n];
     circuit.eval_b(0.0, &mut b);
@@ -127,23 +147,25 @@ pub fn dc_operating_point(circuit: &Circuit, options: DcOptions) -> Result<DcRes
         gmin: options.gmin_final,
         lambda: 1.0,
     };
-    if let Ok((solution, stats)) =
-        newton_solve_with_workspace(&sys, &x0, &kinds, options.newton, &mut workspace)
-    {
-        return Ok(DcResult {
-            solution,
-            stats,
-            strategy: DcStrategy::Direct,
-        });
+    match newton_solve_budgeted(&sys, &x0, &kinds, options.newton, &mut workspace, budget) {
+        Ok((solution, stats)) => {
+            return Ok(DcResult {
+                solution,
+                stats,
+                strategy: DcStrategy::Direct,
+            })
+        }
+        Err(e) if e.is_interrupted() => return Err(e),
+        Err(_) => {}
     }
 
     // Rung 2: gmin stepping.
-    if let Some(result) = gmin_stepping(circuit, &b, &kinds, &options, &mut workspace) {
+    if let Some(result) = gmin_stepping(circuit, &b, &kinds, &options, &mut workspace, budget)? {
         return Ok(result);
     }
 
     // Rung 3: source stepping.
-    if let Some(result) = source_stepping(circuit, &b, &kinds, &options, &mut workspace) {
+    if let Some(result) = source_stepping(circuit, &b, &kinds, &options, &mut workspace, budget)? {
         return Ok(result);
     }
 
@@ -154,13 +176,16 @@ pub fn dc_operating_point(circuit: &Circuit, options: DcOptions) -> Result<DcRes
     })
 }
 
+/// `Ok(None)` means "this rung failed numerically, try the next";
+/// `Err` is reserved for interruptions, which abort the whole ladder.
 fn gmin_stepping(
     circuit: &Circuit,
     b: &[f64],
     kinds: &[UnknownKind],
     options: &DcOptions,
     workspace: &mut LinearSolverWorkspace,
-) -> Option<DcResult> {
+    budget: &SolveBudget,
+) -> Result<Option<DcResult>> {
     let mut x = vec![0.0; circuit.num_unknowns()];
     let mut gmin = options.gmin_start;
     let factor = 10f64.powf(1.0 / options.gmin_steps_per_decade.max(1) as f64);
@@ -171,9 +196,10 @@ fn gmin_stepping(
             gmin,
             lambda: 1.0,
         };
-        match newton_solve_with_workspace(&sys, &x, kinds, options.newton, workspace) {
+        match newton_solve_budgeted(&sys, &x, kinds, options.newton, workspace, budget) {
             Ok((sol, _)) => x = sol,
-            Err(_) => return None,
+            Err(e) if e.is_interrupted() => return Err(e),
+            Err(_) => return Ok(None),
         }
         if gmin <= options.gmin_final {
             break;
@@ -187,22 +213,27 @@ fn gmin_stepping(
         gmin: options.gmin_final,
         lambda: 1.0,
     };
-    let (solution, stats) =
-        newton_solve_with_workspace(&sys, &x, kinds, options.newton, workspace).ok()?;
-    Some(DcResult {
-        solution,
-        stats,
-        strategy: DcStrategy::GminStepping,
-    })
+    match newton_solve_budgeted(&sys, &x, kinds, options.newton, workspace, budget) {
+        Ok((solution, stats)) => Ok(Some(DcResult {
+            solution,
+            stats,
+            strategy: DcStrategy::GminStepping,
+        })),
+        Err(e) if e.is_interrupted() => Err(e),
+        Err(_) => Ok(None),
+    }
 }
 
+/// `Ok(None)` means "this rung failed numerically, try the next";
+/// `Err` is reserved for interruptions, which abort the whole ladder.
 fn source_stepping(
     circuit: &Circuit,
     b: &[f64],
     kinds: &[UnknownKind],
     options: &DcOptions,
     workspace: &mut LinearSolverWorkspace,
-) -> Option<DcResult> {
+    budget: &SolveBudget,
+) -> Result<Option<DcResult>> {
     let mut x = vec![0.0; circuit.num_unknowns()];
     let mut lambda: f64 = 0.0;
     let mut step: f64 = 0.1;
@@ -210,7 +241,7 @@ fn source_stepping(
     let mut last_stats = None;
     while lambda < 1.0 {
         if steps_used >= options.max_source_steps {
-            return None;
+            return Ok(None);
         }
         let target = (lambda + step).min(1.0);
         let sys = DcSystem {
@@ -219,27 +250,31 @@ fn source_stepping(
             gmin: options.gmin_final,
             lambda: target,
         };
-        match newton_solve_with_workspace(&sys, &x, kinds, options.newton, workspace) {
+        match newton_solve_budgeted(&sys, &x, kinds, options.newton, workspace, budget) {
             Ok((sol, stats)) => {
                 x = sol;
                 lambda = target;
                 last_stats = Some(stats);
                 step = (step * 1.5).min(0.25);
             }
+            Err(e) if e.is_interrupted() => return Err(e),
             Err(_) => {
+                // Numerical failure: halve the source step and retry.
                 step *= 0.5;
                 if step < 1e-6 {
-                    return None;
+                    return Ok(None);
                 }
             }
         }
         steps_used += 1;
     }
-    Some(DcResult {
+    Ok(Some(DcResult {
         solution: x,
-        stats: last_stats?,
+        stats: last_stats.ok_or_else(|| CircuitError::Structural {
+            context: "source stepping finished without a successful step".into(),
+        })?,
         strategy: DcStrategy::SourceStepping,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -323,6 +358,29 @@ mod tests {
         let op = dc_operating_point(&ckt, DcOptions::default()).expect("dc");
         let vf = op.solution[1];
         assert!(vf.abs() < 1e-3, "floating node pinned by gmin, got {vf}");
+    }
+
+    #[test]
+    fn cancelled_budget_short_circuits_ladder() {
+        // A pre-cancelled token must stop rung 1 immediately and skip the
+        // gmin/source-stepping rungs: interruption is a control-plane
+        // outcome, not a convergence failure to be retried.
+        let mut b = CircuitBuilder::new();
+        let inp = b.node("in");
+        let anode = b.node("a");
+        b.vsource("V1", inp, GROUND, Waveform::Dc(5.0)).expect("v");
+        b.resistor("R1", inp, anode, 1e3).expect("r");
+        b.diode("D1", anode, GROUND, DiodeParams::default())
+            .expect("d");
+        let ckt = b.build().expect("build");
+        let token = rfsim_numerics::CancelToken::new();
+        token.cancel();
+        let budget = rfsim_numerics::SolveBudget::unlimited().with_cancel(token);
+        let err = dc_operating_point_budgeted(&ckt, DcOptions::default(), &budget)
+            .expect_err("cancelled budget must interrupt");
+        let i = err.interrupted().expect("typed interruption");
+        assert_eq!(i.reason, rfsim_numerics::InterruptReason::Cancelled);
+        assert_eq!(i.iterations, 0, "pre-cancelled: no iterations spent");
     }
 
     #[test]

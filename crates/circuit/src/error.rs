@@ -1,8 +1,17 @@
 use std::fmt;
 
+use rfsim_numerics::SolveInterrupted;
+
 /// Errors produced while building or analysing circuits.
 #[derive(Debug, Clone)]
 pub enum CircuitError {
+    /// The solve was interrupted by its
+    /// [`SolveBudget`](rfsim_numerics::SolveBudget) — cancellation,
+    /// deadline, or stagnation guard. A control-plane outcome, not a
+    /// solver failure: callers with fallback ladders (gmin stepping,
+    /// continuation, step halving) must propagate it instead of
+    /// retrying.
+    Interrupted(SolveInterrupted),
     /// A device parameter was outside its valid range.
     InvalidParameter {
         /// Device name.
@@ -44,6 +53,7 @@ pub enum CircuitError {
 impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            CircuitError::Interrupted(i) => write!(f, "{i}"),
             CircuitError::InvalidParameter { device, context } => {
                 write!(f, "invalid parameter on device '{device}': {context}")
             }
@@ -79,9 +89,36 @@ impl std::error::Error for CircuitError {
     }
 }
 
+impl CircuitError {
+    /// The interruption payload, when this error is a budget outcome.
+    pub fn interrupted(&self) -> Option<&SolveInterrupted> {
+        match self {
+            CircuitError::Interrupted(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Whether this error is a budget interruption (and must be
+    /// propagated, never absorbed by a retry ladder).
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, CircuitError::Interrupted(_))
+    }
+}
+
 impl From<rfsim_numerics::NumericsError> for CircuitError {
     fn from(e: rfsim_numerics::NumericsError) -> Self {
-        CircuitError::Numerics(e)
+        // An interruption keeps its typed identity across the layer
+        // boundary instead of being buried inside a Numerics wrapper.
+        match e {
+            rfsim_numerics::NumericsError::Interrupted(i) => CircuitError::Interrupted(i),
+            other => CircuitError::Numerics(other),
+        }
+    }
+}
+
+impl From<SolveInterrupted> for CircuitError {
+    fn from(i: SolveInterrupted) -> Self {
+        CircuitError::Interrupted(i)
     }
 }
 

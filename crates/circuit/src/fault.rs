@@ -1,0 +1,279 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`SolveFault`] makes a solve misbehave *on command* — stall
+//! indefinitely, diverge, or panic — so the layers above (sweep engine,
+//! serve scheduler) can prove their control plane works: cooperative
+//! cancellation interrupts a hung solve, deadlines reclaim scheduler
+//! slots, retry ladders absorb transient failures, and a panicking
+//! solve fails one batch instead of a whole service.
+//!
+//! The faults are not mocks: [`SolveFault::run`] executes a genuine
+//! budgeted Newton solve ([`newton_solve_budgeted`]) over a tiny
+//! synthetic [`NewtonSystem`] engineered to exhibit the failure mode,
+//! so the exact production code paths — the iteration loop, the damping
+//! trials, the budget check points — are what the tests exercise.
+//!
+//! This module exists for tests and operational drills. Production job
+//! paths never construct faults; wiring one into a real workload only
+//! makes that workload fail, never corrupts a result.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rfsim_numerics::sparse::Triplets;
+use rfsim_numerics::SolveBudget;
+
+use crate::newton::{newton_solve_budgeted, NewtonOptions, NewtonSystem};
+use crate::Result;
+
+/// What the injected solve does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Every residual evaluation sleeps `poll_ms` and never converges:
+    /// a hung solve that burns wall-clock until its budget interrupts
+    /// it — or until the `max_ms` safety bound converts it into a
+    /// plain convergence failure, so a buggy harness can never deadlock
+    /// a test run forever.
+    Stall {
+        /// Sleep per residual evaluation (milliseconds).
+        poll_ms: u64,
+        /// Hard wall-clock bound on the stall (milliseconds).
+        max_ms: u64,
+    },
+    /// The residual has no root (`x² + 1`): Newton burns a small
+    /// iteration budget and fails with a convergence error — the
+    /// transient-failure shape retry ladders are tested against.
+    Diverge,
+    /// Panics on the first residual evaluation — exercises the
+    /// scheduler's `catch_unwind` isolation.
+    Panic,
+}
+
+/// A deterministic injected fault; see the module docs. Cheap to clone
+/// and attach per job — clones share the [`SolveFault::times`] firing
+/// counter, so a bounded fault fires its quota once across all holders.
+#[derive(Debug, Clone)]
+pub struct SolveFault {
+    mode: FaultMode,
+    /// Firings left; `None` fires on every run. Shared across clones.
+    remaining: Option<Arc<AtomicUsize>>,
+}
+
+impl SolveFault {
+    /// A stalling fault: hangs (sleeping `poll_ms` per residual
+    /// evaluation) until the budget interrupts it or `max_ms` elapses.
+    pub fn stall(poll_ms: u64, max_ms: u64) -> Self {
+        SolveFault {
+            mode: FaultMode::Stall { poll_ms, max_ms },
+            remaining: None,
+        }
+    }
+
+    /// A diverging fault: fails quickly with a convergence error.
+    pub fn diverge() -> Self {
+        SolveFault {
+            mode: FaultMode::Diverge,
+            remaining: None,
+        }
+    }
+
+    /// A panicking fault.
+    pub fn panicking() -> Self {
+        SolveFault {
+            mode: FaultMode::Panic,
+            remaining: None,
+        }
+    }
+
+    /// Bounds the fault to its first `n` runs; afterwards
+    /// [`SolveFault::run`] is a no-op success. This is the *transient*
+    /// failure shape retry ladders are tested against: fail `n` times,
+    /// then recover. The counter is shared across clones.
+    #[must_use]
+    pub fn times(mut self, n: usize) -> Self {
+        self.remaining = Some(Arc::new(AtomicUsize::new(n)));
+        self
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> FaultMode {
+        self.mode
+    }
+
+    /// Runs the injected solve under `budget`.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CircuitError::Interrupted`] when the budget stops a
+    /// stall, [`crate::CircuitError::ConvergenceFailure`] when the
+    /// fault runs to its own failure.
+    ///
+    /// # Panics
+    ///
+    /// By design, for [`FaultMode::Panic`].
+    pub fn run(&self, budget: &SolveBudget) -> Result<()> {
+        if let Some(remaining) = &self.remaining {
+            let fired = remaining
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+                .is_ok();
+            if !fired {
+                return Ok(());
+            }
+        }
+        match self.mode {
+            FaultMode::Stall { poll_ms, max_ms } => {
+                let system = StallSystem { poll_ms };
+                // Never converges; the iteration budget is sized so the
+                // safety bound trips at roughly `max_ms` even if the
+                // solve budget never fires. Each iteration costs at
+                // least one residual evaluation (`poll_ms` of sleep).
+                let options = NewtonOptions {
+                    max_iters: (max_ms / poll_ms.max(1)).max(1) as usize,
+                    ..Default::default()
+                };
+                newton_solve_budgeted(
+                    &system,
+                    &[0.0],
+                    &[],
+                    options,
+                    &mut crate::newton::LinearSolverWorkspace::new(),
+                    budget,
+                )
+                .map(|_| ())
+            }
+            FaultMode::Diverge => {
+                let system = DivergeSystem;
+                let options = NewtonOptions {
+                    max_iters: 8,
+                    ..Default::default()
+                };
+                newton_solve_budgeted(
+                    &system,
+                    &[1.0],
+                    &[],
+                    options,
+                    &mut crate::newton::LinearSolverWorkspace::new(),
+                    budget,
+                )
+                .map(|_| ())
+            }
+            FaultMode::Panic => panic!("injected fault: panic on solve"),
+        }
+    }
+}
+
+/// `F(x) = 1` with a unit Jacobian: the residual never drops, every
+/// damping trial fails, and each evaluation sleeps — a faithful model of
+/// a solve that is alive but going nowhere.
+struct StallSystem {
+    poll_ms: u64,
+}
+
+impl NewtonSystem for StallSystem {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn residual(&self, _x: &[f64], out: &mut [f64]) {
+        std::thread::sleep(Duration::from_millis(self.poll_ms));
+        out[0] = 1.0;
+    }
+
+    fn residual_and_jacobian(&self, x: &[f64], out: &mut [f64], jac: &mut Triplets) {
+        self.residual(x, out);
+        jac.push(0, 0, 1.0);
+    }
+}
+
+/// `F(x) = x² + 1`: no real root, so Newton can only fail.
+struct DivergeSystem;
+
+impl NewtonSystem for DivergeSystem {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn residual(&self, x: &[f64], out: &mut [f64]) {
+        out[0] = x[0] * x[0] + 1.0;
+    }
+
+    fn residual_and_jacobian(&self, x: &[f64], out: &mut [f64], jac: &mut Triplets) {
+        self.residual(x, out);
+        // Keep the Jacobian away from exact zero so the step is always
+        // well-defined; the residual still has no root.
+        jac.push(0, 0, if x[0].abs() < 1e-3 { 2e-3 } else { 2.0 * x[0] });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsim_numerics::{CancelToken, InterruptReason};
+    use std::time::Instant;
+
+    #[test]
+    fn stall_fault_is_interrupted_by_cancel() {
+        let token = CancelToken::new();
+        let budget = SolveBudget::unlimited().with_cancel(token.clone());
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel();
+        });
+        let t0 = Instant::now();
+        let err = SolveFault::stall(2, 30_000)
+            .run(&budget)
+            .expect_err("stall must not converge");
+        canceller.join().unwrap();
+        let i = err.interrupted().expect("typed interruption");
+        assert_eq!(i.reason, InterruptReason::Cancelled);
+        // Cancellation latency is bounded by one residual evaluation,
+        // not the 30 s safety bound.
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn stall_fault_expires_on_deadline() {
+        let budget = SolveBudget::unlimited().with_timeout(Duration::from_millis(20));
+        let err = SolveFault::stall(2, 30_000)
+            .run(&budget)
+            .expect_err("stall must not converge");
+        assert_eq!(
+            err.interrupted().expect("typed interruption").reason,
+            InterruptReason::DeadlineExpired
+        );
+    }
+
+    #[test]
+    fn stall_fault_safety_bound_fails_without_budget() {
+        let err = SolveFault::stall(1, 30)
+            .run(&SolveBudget::unlimited())
+            .expect_err("stall must not converge");
+        assert!(err.interrupted().is_none(), "no budget fired: {err}");
+    }
+
+    #[test]
+    fn diverge_fault_fails_fast() {
+        let err = SolveFault::diverge()
+            .run(&SolveBudget::unlimited())
+            .expect_err("diverge must fail");
+        assert!(err.interrupted().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn panic_fault_panics() {
+        let _ = SolveFault::panicking().run(&SolveBudget::unlimited());
+    }
+
+    #[test]
+    fn bounded_fault_recovers_after_quota() {
+        let fault = SolveFault::diverge().times(2);
+        let twin = fault.clone();
+        assert!(fault.run(&SolveBudget::unlimited()).is_err());
+        // Clones share the counter: the twin consumes the second firing.
+        assert!(twin.run(&SolveBudget::unlimited()).is_err());
+        assert!(fault.run(&SolveBudget::unlimited()).is_ok(), "quota spent");
+        assert!(twin.run(&SolveBudget::unlimited()).is_ok());
+    }
+}

@@ -37,6 +37,7 @@ pub mod builder;
 pub mod circuit;
 pub mod dcop;
 pub mod devices;
+pub mod fault;
 pub mod newton;
 pub mod stamp;
 pub mod transient;

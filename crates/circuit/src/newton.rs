@@ -19,13 +19,15 @@
 //! also persists *across* Newton solves; [`newton_solve`] is the
 //! convenience wrapper that scopes the workspace to a single solve.
 
-use rfsim_numerics::krylov::{gmres, BlockJacobiPrecond, GmresOptions, Ilu0};
+use rfsim_numerics::krylov::{gmres_budgeted, BlockJacobiPrecond, GmresOptions, Ilu0};
 use rfsim_numerics::pool::WorkerPool;
 use rfsim_numerics::sparse::{
     CscAssembly, CscMatrix, CsrAssembly, CsrMatrix, PatternFingerprint, Triplets,
 };
 use rfsim_numerics::sparse_lu::{LuOptions, SparseLu};
 use rfsim_numerics::vector::{norm2, wrms_ratio};
+use rfsim_numerics::NumericsError;
+use rfsim_numerics::SolveBudget;
 
 use crate::circuit::UnknownKind;
 use crate::{CircuitError, Result};
@@ -104,6 +106,7 @@ impl LinearSolver {
         ws: &mut LinearSolverWorkspace,
         jac: &Triplets,
         rhs: &[f64],
+        budget: &SolveBudget,
     ) -> Result<Vec<f64>> {
         match self {
             LinearSolver::Direct => ws.solve_direct(jac, rhs),
@@ -123,7 +126,14 @@ impl LinearSolver {
                     Ok(()) => {
                         let csr = ws.csr.as_ref().expect("assembled by ilu_ready");
                         let ilu = ws.ilu.as_ref().expect("refreshed by ilu_ready");
-                        gmres(csr, ilu, rhs, &x0, opts).ok()
+                        // An interruption is a control-plane stop, not an
+                        // iteration breakdown: it must propagate, never
+                        // trigger the direct fallback.
+                        match gmres_budgeted(csr, ilu, rhs, &x0, opts, budget) {
+                            Ok(pair) => Some(pair),
+                            Err(NumericsError::Interrupted(i)) => return Err(i.into()),
+                            Err(_) => None,
+                        }
                     }
                     Err(_) => None,
                 };
@@ -158,7 +168,11 @@ impl LinearSolver {
                             .block_jacobi
                             .as_ref()
                             .expect("refreshed by block_jacobi_ready");
-                        gmres(csr, pre, rhs, &x0, opts).ok()
+                        match gmres_budgeted(csr, pre, rhs, &x0, opts, budget) {
+                            Ok(pair) => Some(pair),
+                            Err(NumericsError::Interrupted(i)) => return Err(i.into()),
+                            Err(_) => None,
+                        }
                     }
                     Err(_) => None,
                 };
@@ -749,6 +763,47 @@ pub fn newton_solve_with_workspace<S: NewtonSystem>(
     options: NewtonOptions,
     workspace: &mut LinearSolverWorkspace,
 ) -> Result<(Vec<f64>, NewtonStats)> {
+    newton_solve_budgeted(
+        system,
+        x0,
+        kinds,
+        options,
+        workspace,
+        &SolveBudget::unlimited(),
+    )
+}
+
+/// [`newton_solve_with_workspace`] under a [`SolveBudget`] — the solve
+/// control plane's entry into the Newton core.
+///
+/// The budget is polled cooperatively: at the top of every iteration, at
+/// every damping (line-search) trial, and — through
+/// [`rfsim_numerics::krylov::gmres_budgeted`] — inside the Krylov inner
+/// loops of the iterative linear solvers, so cancellation latency is
+/// bounded by one residual evaluation or one matvec, not one full solve.
+/// The budget's stagnation guard watches the *accepted* residual per
+/// iteration (best-residual plateau), catching both flat plateaus and
+/// oscillating iterates long before `max_iters` burns down; it never
+/// fires once the residual is below `options.residual_tol`, where the
+/// built-in stagnation-acceptance rule takes over.
+///
+/// Interruption is a clean exit: the workspace keeps its cached
+/// structure and factors and checks back into any [`WorkspaceCache`]
+/// fully reusable.
+///
+/// # Errors
+///
+/// [`CircuitError::Interrupted`] when the budget fires, plus everything
+/// [`newton_solve`] returns.
+pub fn newton_solve_budgeted<S: NewtonSystem>(
+    system: &S,
+    x0: &[f64],
+    kinds: &[UnknownKind],
+    options: NewtonOptions,
+    workspace: &mut LinearSolverWorkspace,
+    budget: &SolveBudget,
+) -> Result<(Vec<f64>, NewtonStats)> {
+    let mut meter = budget.meter();
     let n = system.dim();
     let mut x = x0.to_vec();
     let mut residual = vec![0.0; n];
@@ -768,6 +823,7 @@ pub fn newton_solve_with_workspace<S: NewtonSystem>(
     let mut res_norm = norm2(&residual);
 
     for iter in 1..=options.max_iters {
+        meter.check()?;
         let fresh = !(chord_enabled && chord_left > 0 && workspace.has_factors());
         if fresh {
             jac.clear();
@@ -784,7 +840,13 @@ pub fn newton_solve_with_workspace<S: NewtonSystem>(
         // Newton step: J·dx = −F.
         let neg_f: Vec<f64> = residual.iter().map(|v| -v).collect();
         let mut dx = if fresh {
-            options.linear.solve_with(workspace, &jac, &neg_f)?
+            match options.linear.solve_with(workspace, &jac, &neg_f, budget) {
+                Ok(dx) => dx,
+                // Re-stamp an inner-loop interruption with outer
+                // (Newton-level) iteration context before reporting.
+                Err(CircuitError::Interrupted(i)) => return Err(meter.interrupt(i.reason).into()),
+                Err(e) => return Err(e),
+            }
         } else {
             workspace
                 .solve_cached(&neg_f)
@@ -825,6 +887,10 @@ pub fn newton_solve_with_workspace<S: NewtonSystem>(
             }
             alpha *= 0.5;
             damped = true;
+            // Damping trials each cost a residual evaluation — on big
+            // grid systems that is where a hung solve spends its time,
+            // so cancellation is polled per trial.
+            meter.check()?;
         }
         if !accepted {
             if !fresh {
@@ -878,6 +944,16 @@ pub fn newton_solve_with_workspace<S: NewtonSystem>(
             }
             // A chord step looks converged: confirm with a fresh Jacobian.
             chord_left = 0;
+        }
+        if let Err(i) = meter.note_iteration(res_norm) {
+            // At the noise floor the built-in stagnation-acceptance rule
+            // above owns the plateau; the guard only kills solves that
+            // plateau *above* tolerance.
+            if i.reason != rfsim_numerics::InterruptReason::Stagnated
+                || res_norm > options.residual_tol
+            {
+                return Err(i.into());
+            }
         }
     }
     Err(CircuitError::ConvergenceFailure {
@@ -1377,5 +1453,113 @@ mod tests {
         assert!(ratio_i > 1.0);
         let ratio_v = weighted_update_ratio(&[1e-6], &[0.0], &[UnknownKind::NodeVoltage], &opts);
         assert!(ratio_v <= 1.0);
+    }
+
+    /// `F(x) = 1` with a unit Jacobian: a perfectly flat residual
+    /// plateau far above tolerance. No step helps, no damping trial
+    /// helps — only the stagnation guard can end it early.
+    struct Plateau;
+
+    impl NewtonSystem for Plateau {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn residual(&self, _x: &[f64], out: &mut [f64]) {
+            out[0] = 1.0;
+        }
+        fn residual_and_jacobian(&self, x: &[f64], out: &mut [f64], jac: &mut Triplets) {
+            self.residual(x, out);
+            jac.push(0, 0, 1.0);
+        }
+    }
+
+    /// A residual that *oscillates* with the iterate instead of sitting
+    /// flat: the reported Jacobian flips sign across x = 0.5, so Newton
+    /// bounces between the two lobes, the per-iteration residual wobbles
+    /// between ~1.0 and ~1.1, and the *best* residual never improves —
+    /// the failure shape the guard's best-residual window exists for.
+    struct Oscillator;
+
+    impl NewtonSystem for Oscillator {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn residual(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = 1.0 + 0.1 * x[0] * x[0];
+        }
+        fn residual_and_jacobian(&self, x: &[f64], out: &mut [f64], jac: &mut Triplets) {
+            self.residual(x, out);
+            jac.push(0, 0, if x[0] < 0.5 { -1.0 } else { 1.1 });
+        }
+    }
+
+    #[test]
+    fn stagnation_guard_ends_residual_plateau_early() {
+        let options = NewtonOptions {
+            max_iters: 500,
+            ..Default::default()
+        };
+        let budget = rfsim_numerics::SolveBudget::unlimited().with_stagnation_guard(4, 1e-2);
+        let err = newton_solve_budgeted(
+            &Plateau,
+            &[0.0],
+            &[],
+            options,
+            &mut LinearSolverWorkspace::new(),
+            &budget,
+        )
+        .expect_err("a flat plateau above tolerance must be interrupted");
+        let i = err.interrupted().expect("typed interruption");
+        assert_eq!(i.reason, rfsim_numerics::InterruptReason::Stagnated);
+        assert!(
+            i.iterations < 50,
+            "guard must fire long before max_iters: {} iterations",
+            i.iterations
+        );
+        assert!((i.best_residual - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stagnation_guard_ends_oscillating_iterates_early() {
+        let options = NewtonOptions {
+            max_iters: 500,
+            ..Default::default()
+        };
+        let budget = rfsim_numerics::SolveBudget::unlimited().with_stagnation_guard(4, 1e-2);
+        let err = newton_solve_budgeted(
+            &Oscillator,
+            &[0.0],
+            &[],
+            options,
+            &mut LinearSolverWorkspace::new(),
+            &budget,
+        )
+        .expect_err("an oscillating iterate must be interrupted");
+        let i = err.interrupted().expect("typed interruption");
+        assert_eq!(i.reason, rfsim_numerics::InterruptReason::Stagnated);
+        assert!(
+            i.iterations < 50,
+            "guard must fire long before max_iters: {} iterations",
+            i.iterations
+        );
+        assert!(i.best_residual >= 1.0, "the residual never improved");
+    }
+
+    #[test]
+    fn stagnation_guard_never_kills_a_converging_solve() {
+        // The same tight guard on a healthy quadratic: convergence wins,
+        // and the sub-tolerance plateau exemption keeps the guard quiet
+        // at the noise floor.
+        let budget = rfsim_numerics::SolveBudget::unlimited().with_stagnation_guard(4, 1e-2);
+        let (x, _) = newton_solve_budgeted(
+            &Quadratic,
+            &[3.0],
+            &[],
+            NewtonOptions::default(),
+            &mut LinearSolverWorkspace::new(),
+            &budget,
+        )
+        .expect("healthy solves pass through the guard");
+        assert!((x[0] - 2.0).abs() < 1e-9);
     }
 }

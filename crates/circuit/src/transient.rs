@@ -8,12 +8,11 @@
 //! small multitime grid.
 
 use rfsim_numerics::sparse::Triplets;
+use rfsim_numerics::SolveBudget;
 
 use crate::circuit::Circuit;
-use crate::dcop::{dc_operating_point, DcOptions};
-use crate::newton::{
-    newton_solve_with_workspace, LinearSolverWorkspace, NewtonOptions, NewtonSystem,
-};
+use crate::dcop::{dc_operating_point_budgeted, DcOptions};
+use crate::newton::{newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions, NewtonSystem};
 use crate::{CircuitError, Result};
 
 /// Implicit integration scheme.
@@ -188,14 +187,31 @@ impl NewtonSystem for StepSystem<'_> {
 /// Propagates DC and Newton failures; fails if the controller cannot make
 /// progress at `dt_min`.
 pub fn transient(circuit: &Circuit, options: TransientOptions) -> Result<TransientResult> {
-    let op = dc_operating_point(
+    transient_budgeted(circuit, options, &SolveBudget::unlimited())
+}
+
+/// [`transient`] under a [`SolveBudget`]: the budget covers the initial
+/// DC solve and every timestep's Newton solve. An interruption aborts the
+/// run instead of triggering the step-halving retry.
+///
+/// # Errors
+///
+/// [`CircuitError::Interrupted`] when the budget stops a solve, plus
+/// everything [`transient`] returns.
+pub fn transient_budgeted(
+    circuit: &Circuit,
+    options: TransientOptions,
+    budget: &SolveBudget,
+) -> Result<TransientResult> {
+    let op = dc_operating_point_budgeted(
         circuit,
         DcOptions {
             newton: options.newton,
             ..Default::default()
         },
+        budget,
     )?;
-    transient_from(circuit, op.solution, options)
+    transient_from_budgeted(circuit, op.solution, options, budget)
 }
 
 /// Runs a transient analysis from a given initial state.
@@ -207,6 +223,20 @@ pub fn transient_from(
     circuit: &Circuit,
     initial_state: Vec<f64>,
     options: TransientOptions,
+) -> Result<TransientResult> {
+    transient_from_budgeted(circuit, initial_state, options, &SolveBudget::unlimited())
+}
+
+/// [`transient_from`] under a [`SolveBudget`].
+///
+/// # Errors
+///
+/// See [`transient_budgeted`].
+pub fn transient_from_budgeted(
+    circuit: &Circuit,
+    initial_state: Vec<f64>,
+    options: TransientOptions,
+    budget: &SolveBudget,
 ) -> Result<TransientResult> {
     let n = circuit.num_unknowns();
     if initial_state.len() != n {
@@ -324,8 +354,14 @@ pub fn transient_from(
             None => x.clone(),
         };
 
-        match newton_solve_with_workspace(&sys, &prediction, &kinds, options.newton, &mut workspace)
-        {
+        match newton_solve_budgeted(
+            &sys,
+            &prediction,
+            &kinds,
+            options.newton,
+            &mut workspace,
+            budget,
+        ) {
             Ok((x_new, stats)) => {
                 result.newton_iterations += stats.iterations;
                 // LTE estimate: deviation from the predictor in weighted units.
@@ -370,7 +406,9 @@ pub fn transient_from(
                 result.states.extend_from_slice(&x);
             }
             Err(e) => {
-                if dt <= options.dt_min * 1.0001 {
+                // A budget interruption is a control-plane stop: halving
+                // dt would just re-run the interrupted solve.
+                if e.is_interrupted() || dt <= options.dt_min * 1.0001 {
                     return Err(e);
                 }
                 result.rejected_steps += 1;
@@ -556,6 +594,17 @@ mod tests {
     fn initial_state_mismatch_rejected() {
         let (ckt, _) = rc_circuit(1e3, 1e-9, Waveform::Dc(1.0));
         assert!(transient_from(&ckt, vec![0.0; 1], TransientOptions::default()).is_err());
+    }
+
+    #[test]
+    fn cancelled_budget_stops_run_without_step_halving() {
+        let (ckt, _) = rc_circuit(1e3, 1e-9, Waveform::Dc(1.0));
+        let token = rfsim_numerics::CancelToken::new();
+        token.cancel();
+        let budget = rfsim_numerics::SolveBudget::unlimited().with_cancel(token);
+        let err = transient_budgeted(&ckt, TransientOptions::default(), &budget)
+            .expect_err("cancelled budget must interrupt");
+        assert!(err.is_interrupted(), "typed interruption, got: {err}");
     }
 
     #[test]

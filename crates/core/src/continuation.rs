@@ -7,8 +7,9 @@
 //! replicated DC operating point) to the full bivariate excitation
 //! (`λ = 1`), with adaptive step control and warm-started Newton solves.
 
-use rfsim_circuit::newton::{newton_solve_with_workspace, LinearSolverWorkspace, NewtonOptions};
+use rfsim_circuit::newton::{newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions};
 use rfsim_circuit::{CircuitError, Result};
+use rfsim_numerics::SolveBudget;
 
 use crate::fdtd::MpdeSystem;
 
@@ -88,6 +89,26 @@ pub fn continuation_solve_with_workspace(
     options: ContinuationOptions,
     workspace: &mut LinearSolverWorkspace,
 ) -> Result<(Vec<f64>, ContinuationStats)> {
+    continuation_solve_budgeted(system, x0, options, workspace, &SolveBudget::unlimited())
+}
+
+/// [`continuation_solve_with_workspace`] under a [`SolveBudget`].
+///
+/// The budget covers every Newton solve along the homotopy. An
+/// interruption aborts the whole continuation — λ-step halving is for
+/// convergence failures, not control-plane stops.
+///
+/// # Errors
+///
+/// [`CircuitError::Interrupted`] when the budget stops a solve, plus
+/// everything [`continuation_solve`] returns.
+pub fn continuation_solve_budgeted(
+    system: &mut MpdeSystem<'_>,
+    x0: &[f64],
+    options: ContinuationOptions,
+    workspace: &mut LinearSolverWorkspace,
+    budget: &SolveBudget,
+) -> Result<(Vec<f64>, ContinuationStats)> {
     let kinds = system.kinds().to_vec();
     let mut stats = ContinuationStats {
         accepted_steps: 0,
@@ -97,7 +118,7 @@ pub fn continuation_solve_with_workspace(
 
     // λ = 0 anchor.
     system.set_lambda(0.0);
-    let (mut x, s0) = newton_solve_with_workspace(system, x0, &kinds, options.newton, workspace)?;
+    let (mut x, s0) = newton_solve_budgeted(system, x0, &kinds, options.newton, workspace, budget)?;
     stats.newton_iterations += s0.iterations;
 
     let mut lambda: f64 = 0.0;
@@ -113,7 +134,7 @@ pub fn continuation_solve_with_workspace(
         }
         let target = (lambda + step).min(1.0);
         system.set_lambda(target);
-        match newton_solve_with_workspace(system, &x, &kinds, options.newton, workspace) {
+        match newton_solve_budgeted(system, &x, &kinds, options.newton, workspace, budget) {
             Ok((x_new, s)) => {
                 stats.newton_iterations += s.iterations;
                 stats.accepted_steps += 1;
@@ -123,6 +144,10 @@ pub fn continuation_solve_with_workspace(
                 if s.iterations <= 8 {
                     step = (step * 1.7).min(options.step_max);
                 }
+            }
+            Err(e) if e.is_interrupted() => {
+                system.set_lambda(1.0);
+                return Err(e);
             }
             Err(_) => {
                 stats.rejected_steps += 1;

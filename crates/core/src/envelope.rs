@@ -10,11 +10,12 @@
 //! a high-quality initial guess.
 
 use rfsim_circuit::newton::{
-    newton_solve_with_workspace, LinearSolverWorkspace, NewtonOptions, NewtonSystem,
+    newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions, NewtonSystem,
 };
 use rfsim_circuit::{Circuit, Result, UnknownKind};
 use rfsim_numerics::diff::DiffScheme;
 use rfsim_numerics::sparse::Triplets;
+use rfsim_numerics::SolveBudget;
 
 use crate::grid::{MultitimeGrid, MultitimeSolution};
 
@@ -154,6 +155,22 @@ pub fn envelope_follow(
     grid: MultitimeGrid,
     options: EnvelopeOptions,
 ) -> Result<MultitimeSolution> {
+    envelope_follow_budgeted(circuit, grid, options, &SolveBudget::unlimited())
+}
+
+/// [`envelope_follow`] under a [`SolveBudget`]: the budget covers the DC
+/// seed and every per-row Newton solve of every sweep.
+///
+/// # Errors
+///
+/// [`rfsim_circuit::CircuitError::Interrupted`] when the budget stops a
+/// solve, plus everything [`envelope_follow`] returns.
+pub fn envelope_follow_budgeted(
+    circuit: &Circuit,
+    grid: MultitimeGrid,
+    options: EnvelopeOptions,
+    budget: &SolveBudget,
+) -> Result<MultitimeSolution> {
     let n = circuit.num_unknowns();
     let (n1, n2) = grid.shape();
     let h2 = grid.h2();
@@ -175,7 +192,7 @@ pub fn envelope_follow(
     }
 
     // Quasi-static initial row (no slow derivative) at j = 0.
-    let dc = rfsim_circuit::dcop::dc_operating_point(circuit, Default::default())?;
+    let dc = rfsim_circuit::dcop::dc_operating_point_budgeted(circuit, Default::default(), budget)?;
     let mut row_guess = Vec::with_capacity(n1 * n);
     for _ in 0..n1 {
         row_guess.extend_from_slice(&dc.solution);
@@ -192,8 +209,14 @@ pub fn envelope_follow(
     // All row systems share one Jacobian structure (inv_h2 only scales
     // values): one workspace serves the whole sweep.
     let mut workspace = LinearSolverWorkspace::new();
-    let (mut row, _) =
-        newton_solve_with_workspace(&sys0, &row_guess, &kinds, options.newton, &mut workspace)?;
+    let (mut row, _) = newton_solve_budgeted(
+        &sys0,
+        &row_guess,
+        &kinds,
+        options.newton,
+        &mut workspace,
+        budget,
+    )?;
 
     let mut data = vec![0.0; n1 * n2 * n];
     let mut q_prev = row_charge(circuit, &row, n1);
@@ -211,12 +234,13 @@ pub fn envelope_follow(
                     q_prev: q_prev.clone(),
                     b_row: b_rows[j].clone(),
                 };
-                let (new_row, _) = newton_solve_with_workspace(
+                let (new_row, _) = newton_solve_budgeted(
                     &sys,
                     &row,
                     &kinds,
                     options.newton,
                     &mut workspace,
+                    budget,
                 )?;
                 row = new_row;
                 q_prev = row_charge(circuit, &row, n1);

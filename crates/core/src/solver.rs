@@ -7,14 +7,15 @@
 //! envelope-following sweeps.
 
 use rfsim_circuit::newton::{
-    newton_solve_with_workspace, LinearSolverWorkspace, NewtonOptions, NewtonSystem,
+    newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions, NewtonSystem,
 };
 use rfsim_circuit::{Circuit, Result};
 use rfsim_numerics::diff::DiffScheme;
 use rfsim_numerics::sparse::{PatternFingerprint, Triplets};
+use rfsim_numerics::SolveBudget;
 
-use crate::continuation::{continuation_solve_with_workspace, ContinuationOptions};
-use crate::envelope::{envelope_follow, EnvelopeOptions};
+use crate::continuation::{continuation_solve_budgeted, ContinuationOptions};
+use crate::envelope::{envelope_follow_budgeted, EnvelopeOptions};
 use crate::fdtd::MpdeSystem;
 use crate::grid::{MultitimeGrid, MultitimeSolution};
 
@@ -179,6 +180,36 @@ pub fn solve_mpde_with_workspace(
     options: MpdeOptions,
     workspace: &mut LinearSolverWorkspace,
 ) -> Result<MpdeSolution> {
+    solve_mpde_budgeted(
+        circuit,
+        t1_period,
+        t2_period,
+        options,
+        workspace,
+        &SolveBudget::unlimited(),
+    )
+}
+
+/// [`solve_mpde_with_workspace`] under a [`SolveBudget`].
+///
+/// The budget covers the initial-guess construction (DC solve or envelope
+/// sweeps), the global Newton solve and the continuation fallback. An
+/// interrupted Newton attempt aborts the call instead of falling back to
+/// continuation: cancellation is a control-plane stop, not a convergence
+/// failure.
+///
+/// # Errors
+///
+/// [`rfsim_circuit::CircuitError::Interrupted`] when the budget stops a
+/// solve, plus everything [`solve_mpde`] returns.
+pub fn solve_mpde_budgeted(
+    circuit: &Circuit,
+    t1_period: f64,
+    t2_period: f64,
+    options: MpdeOptions,
+    workspace: &mut LinearSolverWorkspace,
+    budget: &SolveBudget,
+) -> Result<MpdeSolution> {
     let grid = MultitimeGrid::new(options.n1, options.n2, t1_period, t2_period);
     let n = circuit.num_unknowns();
     let mut system = MpdeSystem::new(circuit, grid, options.scheme1, options.scheme2)?;
@@ -186,7 +217,11 @@ pub fn solve_mpde_with_workspace(
 
     let x0: Vec<f64> = match &options.initial_guess {
         InitialGuess::DcReplicate => {
-            let op = rfsim_circuit::dcop::dc_operating_point(circuit, Default::default())?;
+            let op = rfsim_circuit::dcop::dc_operating_point_budgeted(
+                circuit,
+                Default::default(),
+                budget,
+            )?;
             let mut v = Vec::with_capacity(grid.num_points() * n);
             for _ in 0..grid.num_points() {
                 v.extend_from_slice(&op.solution);
@@ -194,7 +229,7 @@ pub fn solve_mpde_with_workspace(
             v
         }
         InitialGuess::EnvelopeFollowing { sweeps } => {
-            let env = envelope_follow(
+            let env = envelope_follow_budgeted(
                 circuit,
                 grid,
                 EnvelopeOptions {
@@ -202,13 +237,14 @@ pub fn solve_mpde_with_workspace(
                     sweeps: *sweeps,
                     newton: options.newton,
                 },
+                budget,
             )?;
             env.data
         }
         InitialGuess::Samples(s) => s.clone(),
     };
 
-    match newton_solve_with_workspace(&system, &x0, &kinds, options.newton, workspace) {
+    match newton_solve_budgeted(&system, &x0, &kinds, options.newton, workspace, budget) {
         Ok((data, stats)) => Ok(MpdeSolution {
             grid,
             solution: MultitimeSolution::new(grid, n, data),
@@ -221,14 +257,15 @@ pub fn solve_mpde_with_workspace(
             },
         }),
         Err(newton_err) => {
-            if !options.continuation_fallback {
+            if newton_err.is_interrupted() || !options.continuation_fallback {
                 return Err(newton_err);
             }
-            let (data, cstats) = continuation_solve_with_workspace(
+            let (data, cstats) = continuation_solve_budgeted(
                 &mut system,
                 &x0,
                 options.continuation,
                 workspace,
+                budget,
             )?;
             Ok(MpdeSolution {
                 grid,

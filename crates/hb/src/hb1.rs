@@ -6,7 +6,9 @@
 //! harmonic-balance solution expressed in collocated form. The Jacobian is
 //! block-dense in the time index — the classic HB trait.
 
-use rfsim_circuit::newton::{newton_solve, NewtonOptions, NewtonStats, NewtonSystem};
+use rfsim_circuit::newton::{
+    newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem,
+};
 use rfsim_circuit::{Circuit, Result, UnknownKind};
 use rfsim_numerics::diff::spectral_weights;
 use rfsim_numerics::sparse::Triplets;
@@ -156,6 +158,29 @@ pub fn hb1_pss(
     initial_guess: Option<&[f64]>,
     options: Hb1Options,
 ) -> Result<Hb1Result> {
+    hb1_pss_budgeted(
+        circuit,
+        period,
+        initial_guess,
+        options,
+        &rfsim_numerics::SolveBudget::unlimited(),
+    )
+}
+
+/// [`hb1_pss`] under a [`SolveBudget`](rfsim_numerics::SolveBudget): the
+/// budget covers the DC seed and the spectral Newton solve.
+///
+/// # Errors
+///
+/// [`rfsim_circuit::CircuitError::Interrupted`] when the budget stops a
+/// solve, plus everything [`hb1_pss`] returns.
+pub fn hb1_pss_budgeted(
+    circuit: &Circuit,
+    period: f64,
+    initial_guess: Option<&[f64]>,
+    options: Hb1Options,
+    budget: &rfsim_numerics::SolveBudget,
+) -> Result<Hb1Result> {
     let n = circuit.num_unknowns();
     let ns = options.n_samples.max(4);
     let times: Vec<f64> = (0..ns).map(|i| period * i as f64 / ns as f64).collect();
@@ -174,7 +199,11 @@ pub fn hb1_pss(
     let x0: Vec<f64> = match initial_guess {
         Some(g) => g.to_vec(),
         None => {
-            let op = rfsim_circuit::dcop::dc_operating_point(circuit, Default::default())?;
+            let op = rfsim_circuit::dcop::dc_operating_point_budgeted(
+                circuit,
+                Default::default(),
+                budget,
+            )?;
             let mut v = Vec::with_capacity(ns * n);
             for _ in 0..ns {
                 v.extend_from_slice(&op.solution);
@@ -186,7 +215,14 @@ pub fn hb1_pss(
     for _ in 0..ns {
         kinds.extend_from_slice(circuit.unknown_kinds());
     }
-    let (samples, stats) = newton_solve(&sys, &x0, &kinds, options.newton)?;
+    let (samples, stats) = newton_solve_budgeted(
+        &sys,
+        &x0,
+        &kinds,
+        options.newton,
+        &mut LinearSolverWorkspace::new(),
+        budget,
+    )?;
     Ok(Hb1Result {
         times,
         samples,

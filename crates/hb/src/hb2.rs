@@ -9,7 +9,7 @@
 //! slow coefficient decay (the paper's §1 argument against HB).
 
 use rfsim_circuit::newton::{
-    newton_solve_with_workspace, LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem,
+    newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem,
 };
 use rfsim_circuit::{Circuit, Result, UnknownKind};
 use rfsim_numerics::diff::spectral_weights;
@@ -274,6 +274,34 @@ pub fn hb2_solve_with_workspace(
     options: Hb2Options,
     workspace: &mut LinearSolverWorkspace,
 ) -> Result<Hb2Result> {
+    hb2_solve_budgeted(
+        circuit,
+        period1,
+        period2,
+        initial_guess,
+        options,
+        workspace,
+        &rfsim_numerics::SolveBudget::unlimited(),
+    )
+}
+
+/// [`hb2_solve_with_workspace`] under a
+/// [`SolveBudget`](rfsim_numerics::SolveBudget): the budget covers the DC
+/// seed and the two-tone spectral Newton solve.
+///
+/// # Errors
+///
+/// [`rfsim_circuit::CircuitError::Interrupted`] when the budget stops a
+/// solve, plus everything [`hb2_solve`] returns.
+pub fn hb2_solve_budgeted(
+    circuit: &Circuit,
+    period1: f64,
+    period2: f64,
+    initial_guess: Option<&[f64]>,
+    options: Hb2Options,
+    workspace: &mut LinearSolverWorkspace,
+    budget: &rfsim_numerics::SolveBudget,
+) -> Result<Hb2Result> {
     let n = circuit.num_unknowns();
     let (n1, n2) = (options.n1.max(4), options.n2.max(4));
     let mut b_cache = vec![0.0; n1 * n2 * n];
@@ -298,7 +326,11 @@ pub fn hb2_solve_with_workspace(
     let x0: Vec<f64> = match initial_guess {
         Some(g) => g.to_vec(),
         None => {
-            let op = rfsim_circuit::dcop::dc_operating_point(circuit, Default::default())?;
+            let op = rfsim_circuit::dcop::dc_operating_point_budgeted(
+                circuit,
+                Default::default(),
+                budget,
+            )?;
             let mut v = Vec::with_capacity(n1 * n2 * n);
             for _ in 0..n1 * n2 {
                 v.extend_from_slice(&op.solution);
@@ -311,7 +343,7 @@ pub fn hb2_solve_with_workspace(
         kinds.extend_from_slice(circuit.unknown_kinds());
     }
     let (samples, stats) =
-        newton_solve_with_workspace(&sys, &x0, &kinds, options.newton, workspace)?;
+        newton_solve_budgeted(&sys, &x0, &kinds, options.newton, workspace, budget)?;
     Ok(Hb2Result {
         period1,
         period2,

@@ -1,0 +1,455 @@
+//! The solve control plane: cooperative cancellation, wall-clock
+//! deadlines and stagnation guards shared by every iterative solver in
+//! the workspace.
+//!
+//! A [`SolveBudget`] is an immutable bundle of limits a caller attaches
+//! to a solve: an optional [`CancelToken`] (flip it from any thread and
+//! every solver sharing it stops at its next check point), an optional
+//! deadline, an optional stagnation guard (give up early when the best
+//! residual stops improving), and an optional progress callback. The
+//! solvers — Newton's iteration and damping loops, the GMRES/BiCGStab
+//! inner loops, and everything stacked on them — poll the budget at
+//! loop boundaries, so interruption is *cooperative*: a solve is never
+//! torn down mid-factorisation, its workspace is never poisoned, and an
+//! interrupted call returns a typed [`SolveInterrupted`] describing how
+//! far it got, never a panic.
+//!
+//! Budgets are cheap to clone and [`SolveBudget::child`] fans one out
+//! across concurrent sub-solves: children share the parent's cancel flag
+//! and deadline, so one cancel stops a whole batch promptly.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cancellation flag. Cloning yields a handle to the *same*
+/// flag: cancel any clone and every solve budgeted on it interrupts at
+/// its next check point.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Why a solve was interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptReason {
+    /// The budget's [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The budget's wall-clock deadline passed.
+    DeadlineExpired,
+    /// The stagnation guard fired: the best residual stopped improving
+    /// for a full window of iterations.
+    Stagnated,
+}
+
+impl InterruptReason {
+    /// Stable lowercase label (wire protocols, logs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            InterruptReason::Cancelled => "cancelled",
+            InterruptReason::DeadlineExpired => "deadline_expired",
+            InterruptReason::Stagnated => "stagnated",
+        }
+    }
+}
+
+impl fmt::Display for InterruptReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The typed outcome of an interrupted solve: what stopped it and how
+/// far it had come. Carried inside
+/// [`NumericsError::Interrupted`](crate::NumericsError::Interrupted)
+/// (and the circuit layer's mirror variant) so callers can distinguish
+/// "told to stop" from "failed to converge".
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveInterrupted {
+    /// What fired.
+    pub reason: InterruptReason,
+    /// Iterations completed before the interruption.
+    pub iterations: usize,
+    /// Best residual norm seen (infinite if none was computed yet).
+    pub best_residual: f64,
+    /// Wall-clock time spent in the solve.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for SolveInterrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "solve interrupted ({}) after {} iterations, best residual {:.3e}, {:.1} ms",
+            self.reason,
+            self.iterations,
+            self.best_residual,
+            self.elapsed.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// A progress snapshot handed to [`SolveBudget::with_progress`]
+/// callbacks once per outer (Newton) iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveProgress {
+    /// Outer iterations completed so far.
+    pub iteration: usize,
+    /// Residual norm of the latest iteration.
+    pub residual: f64,
+    /// Best residual norm seen so far.
+    pub best_residual: f64,
+    /// Wall-clock time since the solve started.
+    pub elapsed: Duration,
+}
+
+type ProgressFn = dyn Fn(&SolveProgress) + Send + Sync;
+
+/// Limits on one solve (or one fanned-out batch of solves): cancel
+/// token, deadline, stagnation guard, progress callback — all optional,
+/// all off in [`SolveBudget::unlimited`]. See the module docs.
+#[derive(Clone, Default)]
+pub struct SolveBudget {
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+    /// 0 disables the guard.
+    stagnation_window: usize,
+    stagnation_rel_improvement: f64,
+    progress: Option<Arc<ProgressFn>>,
+}
+
+impl fmt::Debug for SolveBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolveBudget")
+            .field("cancel", &self.cancel.is_some())
+            .field("deadline", &self.deadline)
+            .field("stagnation_window", &self.stagnation_window)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl SolveBudget {
+    /// A budget with every limit off — the default every non-budgeted
+    /// entry point delegates with. Checking it is (nearly) free.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline `timeout` from now.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// The deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Arms the stagnation guard: interrupt with
+    /// [`InterruptReason::Stagnated`] when `window` consecutive outer
+    /// iterations fail to improve the best residual by at least the
+    /// relative factor `min_rel_improvement` (e.g. `1e-2` = 1% better).
+    /// Catches both flat plateaus and oscillating iterates, whose best
+    /// residual plateaus even as the current residual bounces.
+    #[must_use]
+    pub fn with_stagnation_guard(mut self, window: usize, min_rel_improvement: f64) -> Self {
+        self.stagnation_window = window;
+        self.stagnation_rel_improvement = min_rel_improvement.max(0.0);
+        self
+    }
+
+    /// Registers a progress callback, invoked once per outer iteration
+    /// of a budgeted Newton solve. Keep it cheap: it runs on the solver
+    /// thread.
+    #[must_use]
+    pub fn with_progress(mut self, f: impl Fn(&SolveProgress) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Arc::new(f));
+        self
+    }
+
+    /// A child budget for one sub-solve of a fanned-out batch: shares
+    /// the parent's cancel flag, deadline and guard configuration, so
+    /// cancelling the parent stops every child promptly.
+    #[must_use]
+    pub fn child(&self) -> Self {
+        self.clone()
+    }
+
+    /// Whether every limit is off (checks are then skipped wholesale).
+    pub fn is_unlimited(&self) -> bool {
+        self.cancel.is_none()
+            && self.deadline.is_none()
+            && self.stagnation_window == 0
+            && self.progress.is_none()
+    }
+
+    /// The stateless cancel/deadline check used by inner (Krylov) loops,
+    /// which track their own iteration counts: `Some` describes the
+    /// interruption, `None` means keep going. Stagnation is *not*
+    /// checked here — that is outer-iteration state owned by a
+    /// [`BudgetMeter`].
+    pub fn interruption(
+        &self,
+        start: Instant,
+        iterations: usize,
+        best_residual: f64,
+    ) -> Option<SolveInterrupted> {
+        let reason = if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            InterruptReason::Cancelled
+        } else if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            InterruptReason::DeadlineExpired
+        } else {
+            return None;
+        };
+        Some(SolveInterrupted {
+            reason,
+            iterations,
+            best_residual,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Starts the per-solve clock and iteration meter.
+    pub fn meter(&self) -> BudgetMeter {
+        BudgetMeter {
+            budget: self.clone(),
+            start: Instant::now(),
+            iterations: 0,
+            best_residual: f64::INFINITY,
+            since_improvement: 0,
+        }
+    }
+}
+
+/// Per-solve mutable state over a [`SolveBudget`]: the wall clock, the
+/// outer-iteration count, the best residual, and the stagnation window.
+/// One meter per outer (Newton) solve; inner loops use the stateless
+/// [`SolveBudget::interruption`] instead.
+#[derive(Debug, Clone)]
+pub struct BudgetMeter {
+    budget: SolveBudget,
+    start: Instant,
+    iterations: usize,
+    best_residual: f64,
+    since_improvement: usize,
+}
+
+impl BudgetMeter {
+    /// Cheap cancel/deadline check for loop tops and damping
+    /// (line-search) trials.
+    ///
+    /// # Errors
+    ///
+    /// The interruption, if the token was cancelled or the deadline
+    /// passed.
+    pub fn check(&self) -> Result<(), SolveInterrupted> {
+        if self.budget.is_unlimited() {
+            return Ok(());
+        }
+        match self
+            .budget
+            .interruption(self.start, self.iterations, self.best_residual)
+        {
+            Some(i) => Err(i),
+            None => Ok(()),
+        }
+    }
+
+    /// Records one completed outer iteration ending at `residual`:
+    /// updates the best residual and stagnation window, emits progress,
+    /// then checks every limit.
+    ///
+    /// # Errors
+    ///
+    /// The interruption, if cancelled, past deadline, or stagnated.
+    pub fn note_iteration(&mut self, residual: f64) -> Result<(), SolveInterrupted> {
+        self.iterations += 1;
+        let required = self.best_residual * (1.0 - self.budget.stagnation_rel_improvement);
+        if residual < required || !self.best_residual.is_finite() {
+            self.since_improvement = 0;
+        } else {
+            self.since_improvement += 1;
+        }
+        if residual < self.best_residual {
+            self.best_residual = residual;
+        }
+        if self.budget.is_unlimited() {
+            return Ok(());
+        }
+        if let Some(progress) = &self.budget.progress {
+            progress(&SolveProgress {
+                iteration: self.iterations,
+                residual,
+                best_residual: self.best_residual,
+                elapsed: self.start.elapsed(),
+            });
+        }
+        if self.budget.stagnation_window > 0
+            && self.since_improvement >= self.budget.stagnation_window
+        {
+            return Err(self.interrupt(InterruptReason::Stagnated));
+        }
+        self.check()
+    }
+
+    /// Builds the typed outcome for `reason` from the meter's current
+    /// state — used by solvers that detect an interruption out-of-band
+    /// (e.g. one bubbled up from an inner linear solve) and want to
+    /// report it with outer-iteration context.
+    pub fn interrupt(&self, reason: InterruptReason) -> SolveInterrupted {
+        SolveInterrupted {
+            reason,
+            iterations: self.iterations,
+            best_residual: self.best_residual,
+            elapsed: self.start.elapsed(),
+        }
+    }
+
+    /// Outer iterations recorded so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Best residual recorded so far (infinite before the first
+    /// [`BudgetMeter::note_iteration`]).
+    pub fn best_residual(&self) -> f64 {
+        self.best_residual
+    }
+
+    /// Wall-clock time since the meter started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_interrupts() {
+        let budget = SolveBudget::unlimited();
+        assert!(budget.is_unlimited());
+        let mut meter = budget.meter();
+        for i in 0..10_000 {
+            assert!(meter.check().is_ok());
+            assert!(meter.note_iteration(1.0 + i as f64).is_ok());
+        }
+        assert_eq!(meter.iterations(), 10_000);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones_and_children() {
+        let token = CancelToken::new();
+        let budget = SolveBudget::unlimited().with_cancel(token.clone());
+        let child = budget.child();
+        let meter = child.meter();
+        assert!(meter.check().is_ok());
+        token.cancel();
+        let err = meter.check().expect_err("cancelled");
+        assert_eq!(err.reason, InterruptReason::Cancelled);
+        assert!(budget.cancel_token().expect("token kept").is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let budget = SolveBudget::unlimited().with_timeout(Duration::from_millis(0));
+        let meter = budget.meter();
+        std::thread::sleep(Duration::from_millis(2));
+        let err = meter.check().expect_err("expired");
+        assert_eq!(err.reason, InterruptReason::DeadlineExpired);
+        assert!(err.elapsed >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn stagnation_guard_fires_on_plateau() {
+        let budget = SolveBudget::unlimited().with_stagnation_guard(3, 1e-2);
+        let mut meter = budget.meter();
+        // First sighting establishes the best residual.
+        meter.note_iteration(1.0).expect("fresh");
+        meter.note_iteration(0.999).expect("1 flat");
+        meter.note_iteration(1.001).expect("2 flat");
+        let err = meter.note_iteration(0.9999).expect_err("3 flat");
+        assert_eq!(err.reason, InterruptReason::Stagnated);
+        assert_eq!(err.iterations, 4);
+        assert!((err.best_residual - 0.999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stagnation_window_resets_on_improvement() {
+        let budget = SolveBudget::unlimited().with_stagnation_guard(3, 1e-2);
+        let mut meter = budget.meter();
+        let mut r = 1.0;
+        for _ in 0..20 {
+            // Steady 5% improvement per iteration never stagnates.
+            meter.note_iteration(r).expect("improving");
+            r *= 0.95;
+        }
+        assert_eq!(meter.iterations(), 20);
+    }
+
+    #[test]
+    fn progress_callback_sees_every_iteration() {
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let budget = SolveBudget::unlimited()
+            .with_progress(move |p| sink.lock().unwrap().push((p.iteration, p.residual)));
+        let mut meter = budget.meter();
+        meter.note_iteration(2.0).unwrap();
+        meter.note_iteration(1.0).unwrap();
+        assert_eq!(*seen.lock().unwrap(), vec![(1, 2.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn interrupted_display_is_informative() {
+        let i = SolveInterrupted {
+            reason: InterruptReason::DeadlineExpired,
+            iterations: 12,
+            best_residual: 3.4e-2,
+            elapsed: Duration::from_millis(250),
+        };
+        let s = i.to_string();
+        assert!(s.contains("deadline_expired"));
+        assert!(s.contains("12"));
+    }
+}

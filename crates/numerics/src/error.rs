@@ -1,8 +1,14 @@
 use std::fmt;
 
+use crate::budget::SolveInterrupted;
+
 /// Errors produced by the numerical kernels.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NumericsError {
+    /// The solve was interrupted by its [`crate::budget::SolveBudget`]
+    /// (cancellation, deadline, or stagnation guard) — a control-plane
+    /// outcome, not a numerical failure.
+    Interrupted(SolveInterrupted),
     /// A (near-)zero pivot was encountered during factorisation.
     SingularMatrix {
         /// Index of the offending pivot column/row.
@@ -34,6 +40,7 @@ pub enum NumericsError {
 impl fmt::Display for NumericsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            NumericsError::Interrupted(i) => write!(f, "{i}"),
             NumericsError::SingularMatrix { index, pivot } => {
                 write!(f, "singular matrix: pivot {pivot:.3e} at index {index}")
             }
@@ -53,6 +60,22 @@ impl fmt::Display for NumericsError {
                 write!(f, "invalid argument: {context}")
             }
         }
+    }
+}
+
+impl NumericsError {
+    /// The interruption payload, when this error is a budget outcome.
+    pub fn interrupted(&self) -> Option<&SolveInterrupted> {
+        match self {
+            NumericsError::Interrupted(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveInterrupted> for NumericsError {
+    fn from(i: SolveInterrupted) -> Self {
+        NumericsError::Interrupted(i)
     }
 }
 

@@ -1,7 +1,10 @@
 //! BiCGStab: a short-recurrence alternative to GMRES for nonsymmetric
 //! systems, useful when restart memory is a concern.
 
+use std::time::Instant;
+
 use super::{LinearOperator, Preconditioner};
+use crate::budget::SolveBudget;
 use crate::vector::{dot, norm2};
 use crate::{NumericsError, Result};
 
@@ -39,7 +42,28 @@ pub fn bicgstab<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
     x0: &[f64],
     options: BiCgStabOptions,
 ) -> Result<(Vec<f64>, usize)> {
+    bicgstab_budgeted(a, m, b, x0, options, &SolveBudget::unlimited())
+}
+
+/// [`bicgstab`] under a [`SolveBudget`]: the cancel token and deadline
+/// are polled at the top of every iteration (each iteration is two
+/// matvecs), so a batch cancel stops the inner loop promptly.
+///
+/// # Errors
+///
+/// [`NumericsError::Interrupted`] on cancellation or deadline expiry,
+/// plus everything [`bicgstab`] returns.
+pub fn bicgstab_budgeted<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
+    a: &A,
+    m: &M,
+    b: &[f64],
+    x0: &[f64],
+    options: BiCgStabOptions,
+    budget: &SolveBudget,
+) -> Result<(Vec<f64>, usize)> {
     let n = a.dim();
+    let limited = !budget.is_unlimited();
+    let start = Instant::now();
     if b.len() != n || x0.len() != n {
         return Err(NumericsError::DimensionMismatch {
             context: format!("bicgstab: dim {} vs b {} / x0 {}", n, b.len(), x0.len()),
@@ -70,6 +94,11 @@ pub fn bicgstab<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
     }
 
     for iter in 1..=options.max_iters {
+        if limited {
+            if let Some(i) = budget.interruption(start, iter - 1, rnorm) {
+                return Err(NumericsError::Interrupted(i));
+            }
+        }
         let rho_new = dot(&r_hat, &r);
         if rho_new.abs() < 1e-300 {
             return Err(NumericsError::NotConverged {

@@ -1,6 +1,9 @@
 //! Restarted GMRES with right preconditioning.
 
+use std::time::Instant;
+
 use super::{LinearOperator, Preconditioner};
+use crate::budget::SolveBudget;
 use crate::vector::{axpy, norm2};
 use crate::{NumericsError, Result};
 
@@ -54,7 +57,30 @@ pub fn gmres<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
     x0: &[f64],
     options: GmresOptions,
 ) -> Result<(Vec<f64>, GmresStats)> {
+    gmres_budgeted(a, m, b, x0, options, &SolveBudget::unlimited())
+}
+
+/// [`gmres`] under a [`SolveBudget`]: the cancel token and deadline are
+/// polled at every restart boundary and inside the Arnoldi inner loop
+/// (once per matvec), so a batch cancel stops a long Krylov solve
+/// promptly. Stagnation guards are an outer-(Newton-)loop concern and
+/// are not applied here.
+///
+/// # Errors
+///
+/// [`NumericsError::Interrupted`] on cancellation or deadline expiry,
+/// plus everything [`gmres`] returns.
+pub fn gmres_budgeted<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
+    a: &A,
+    m: &M,
+    b: &[f64],
+    x0: &[f64],
+    options: GmresOptions,
+    budget: &SolveBudget,
+) -> Result<(Vec<f64>, GmresStats)> {
     let n = a.dim();
+    let limited = !budget.is_unlimited();
+    let start = Instant::now();
     if b.len() != n || x0.len() != n {
         return Err(NumericsError::DimensionMismatch {
             context: format!("gmres: dim {} vs b {} / x0 {}", n, b.len(), x0.len()),
@@ -79,6 +105,11 @@ pub fn gmres<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
     residual_norm = norm2(&r);
 
     while residual_norm > target {
+        if limited {
+            if let Some(i) = budget.interruption(start, total_matvecs, residual_norm) {
+                return Err(NumericsError::Interrupted(i));
+            }
+        }
         if total_matvecs >= options.max_iters {
             return Err(NumericsError::NotConverged {
                 iterations: total_matvecs,
@@ -101,6 +132,11 @@ pub fn gmres<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
         for j in 0..restart {
             if total_matvecs >= options.max_iters {
                 break;
+            }
+            if limited {
+                if let Some(i) = budget.interruption(start, total_matvecs, residual_norm) {
+                    return Err(NumericsError::Interrupted(i));
+                }
             }
             // w = A·M⁻¹·v_j
             m.apply(&basis[j], &mut scratch);
@@ -301,6 +337,29 @@ mod tests {
         match gmres(&a, &IdentityPrecond, &b, &vec![0.0; a.rows()], opts) {
             Err(NumericsError::NotConverged { iterations, .. }) => assert!(iterations <= 4),
             other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_inner_loop() {
+        use crate::budget::{CancelToken, InterruptReason, SolveBudget};
+        let a = grid_matrix(8, 8);
+        let b = vec![1.0; a.rows()];
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = SolveBudget::unlimited().with_cancel(token);
+        match gmres_budgeted(
+            &a,
+            &IdentityPrecond,
+            &b,
+            &vec![0.0; a.rows()],
+            GmresOptions::default(),
+            &budget,
+        ) {
+            Err(NumericsError::Interrupted(i)) => {
+                assert_eq!(i.reason, InterruptReason::Cancelled);
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
         }
     }
 

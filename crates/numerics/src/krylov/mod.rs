@@ -9,8 +9,8 @@ mod bicgstab;
 mod gmres;
 mod precond;
 
-pub use bicgstab::{bicgstab, BiCgStabOptions};
-pub use gmres::{gmres, GmresOptions, GmresStats};
+pub use bicgstab::{bicgstab, bicgstab_budgeted, BiCgStabOptions};
+pub use gmres::{gmres, gmres_budgeted, GmresOptions, GmresStats};
 pub use precond::{BlockJacobiPrecond, IdentityPrecond, Ilu0, JacobiPrecond, Preconditioner};
 
 use crate::sparse::CsrMatrix;

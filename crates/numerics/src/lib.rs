@@ -3,6 +3,10 @@
 //! This crate supplies every numerical primitive the RF steady-state engine
 //! needs, built from scratch (no external linear-algebra or FFT crates):
 //!
+//! * [`budget`] — the solve control plane: [`budget::SolveBudget`]
+//!   bundles a cooperative [`budget::CancelToken`], a wall-clock
+//!   deadline, a stagnation guard and a progress callback, polled by
+//!   every iterative solver below.
 //! * [`dense`] — dense matrices with LU (partial pivoting) solves.
 //! * [`sparse`] — triplet/CSR/CSC sparse matrices, plus the
 //!   [`sparse::CscAssembly`]/[`sparse::CsrAssembly`] pattern caches that
@@ -49,6 +53,7 @@
 //! # }
 //! ```
 
+pub mod budget;
 pub mod dense;
 pub mod diff;
 pub mod fft;
@@ -62,6 +67,9 @@ pub mod vector;
 
 mod error;
 
+pub use budget::{
+    BudgetMeter, CancelToken, InterruptReason, SolveBudget, SolveInterrupted, SolveProgress,
+};
 pub use error::NumericsError;
 
 /// Convenience result alias used throughout the crate.

@@ -67,20 +67,22 @@
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
+use rfsim_circuit::fault::SolveFault;
 use rfsim_circuit::newton::{
     LinearSolverWorkspace, NewtonOptions, RefactorStrategy, WorkspaceCache, WorkspaceStats,
 };
 use rfsim_circuit::{Circuit, Result};
-use rfsim_hb::hb2::{hb2_jacobian_fingerprint, hb2_solve_with_workspace, Hb2Options, Hb2Result};
+use rfsim_hb::hb2::{hb2_jacobian_fingerprint, hb2_solve_budgeted, Hb2Options, Hb2Result};
 use rfsim_mpde::solver::{
-    mpde_jacobian_fingerprint, solve_mpde_with_workspace, InitialGuess, MpdeOptions,
+    mpde_jacobian_fingerprint, solve_mpde_budgeted, InitialGuess, MpdeOptions,
 };
 use rfsim_mpde::MpdeSolution;
 use rfsim_numerics::sparse::PatternFingerprint;
+use rfsim_numerics::SolveBudget;
 use rfsim_shooting::{
-    periodic_fd_jacobian_fingerprint, periodic_fd_pss_with_workspace, PeriodicFdOptions,
-    PeriodicFdResult,
+    periodic_fd_jacobian_fingerprint, periodic_fd_pss_budgeted, PeriodicFdOptions, PeriodicFdResult,
 };
 
 use crate::key::{fnv1a_bytes, JobKey, JobKeyBuilder, Quantizer, FNV_OFFSET};
@@ -135,16 +137,21 @@ pub trait SweepBackend {
     /// solution can seed the next solve.
     fn dim(&self, circuit: &Circuit) -> usize;
 
-    /// One steady-state solve, warm-started from `guess` when given.
+    /// One steady-state solve, warm-started from `guess` when given and
+    /// running under `budget` (pass [`SolveBudget::unlimited`] for an
+    /// unconstrained solve).
     ///
     /// # Errors
     ///
-    /// Propagates solver convergence and structural failures.
+    /// Propagates solver convergence and structural failures;
+    /// [`rfsim_circuit::CircuitError::Interrupted`] when the budget stops
+    /// the solve.
     fn solve(
         &self,
         circuit: &Circuit,
         guess: Option<&[f64]>,
         workspace: &mut LinearSolverWorkspace,
+        budget: &SolveBudget,
     ) -> Result<Self::Solution>;
 
     /// The flattened samples of `solution` (the next point's warm start).
@@ -224,12 +231,20 @@ impl SweepBackend for MpdeBackend {
         circuit: &Circuit,
         guess: Option<&[f64]>,
         workspace: &mut LinearSolverWorkspace,
+        budget: &SolveBudget,
     ) -> Result<MpdeSolution> {
         let mut options = self.options.clone();
         if let Some(g) = guess {
             options.initial_guess = InitialGuess::Samples(g.to_vec());
         }
-        solve_mpde_with_workspace(circuit, self.t1_period, self.t2_period, options, workspace)
+        solve_mpde_budgeted(
+            circuit,
+            self.t1_period,
+            self.t2_period,
+            options,
+            workspace,
+            budget,
+        )
     }
 
     fn samples<'a>(&self, solution: &'a MpdeSolution) -> &'a [f64] {
@@ -282,14 +297,16 @@ impl SweepBackend for Hb2Backend {
         circuit: &Circuit,
         guess: Option<&[f64]>,
         workspace: &mut LinearSolverWorkspace,
+        budget: &SolveBudget,
     ) -> Result<Hb2Result> {
-        hb2_solve_with_workspace(
+        hb2_solve_budgeted(
             circuit,
             self.period1,
             self.period2,
             guess,
             self.options,
             workspace,
+            budget,
         )
     }
 
@@ -337,8 +354,9 @@ impl SweepBackend for PeriodicFdBackend {
         circuit: &Circuit,
         guess: Option<&[f64]>,
         workspace: &mut LinearSolverWorkspace,
+        budget: &SolveBudget,
     ) -> Result<PeriodicFdResult> {
-        periodic_fd_pss_with_workspace(circuit, self.period, guess, self.options, workspace)
+        periodic_fd_pss_budgeted(circuit, self.period, guess, self.options, workspace, budget)
     }
 
     fn samples<'a>(&self, solution: &'a PeriodicFdResult) -> &'a [f64] {
@@ -375,6 +393,8 @@ pub struct SweepJob<B> {
     pub backend: B,
     make_circuit: CircuitFamily,
     memo_token: Option<String>,
+    budget: Option<SolveBudget>,
+    fault: Option<SolveFault>,
 }
 
 impl<B> std::fmt::Debug for SweepJob<B> {
@@ -383,6 +403,8 @@ impl<B> std::fmt::Debug for SweepJob<B> {
             .field("label", &self.label)
             .field("points", &self.values.len())
             .field("memo_token", &self.memo_token)
+            .field("budget", &self.budget)
+            .field("fault", &self.fault)
             .finish()
     }
 }
@@ -404,6 +426,38 @@ impl<B> SweepJob<B> {
     /// The memo identity set by [`SweepJob::with_memo_token`], if any.
     pub fn memo_token(&self) -> Option<&str> {
         self.memo_token.as_deref()
+    }
+
+    /// Runs this job under its own [`SolveBudget`] instead of the batch
+    /// budget. The budget covers every point of the sweep: the chain
+    /// fail-fasts between points and every Newton/Krylov iteration inside
+    /// a point polls it, so a cancel or an expired deadline surfaces as
+    /// [`rfsim_circuit::CircuitError::Interrupted`] in this job's result
+    /// slot without touching its batch neighbours.
+    #[must_use]
+    pub fn with_budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The per-job budget set by [`SweepJob::with_budget`], if any.
+    pub fn budget(&self) -> Option<&SolveBudget> {
+        self.budget.as_ref()
+    }
+
+    /// Injects a deterministic [`SolveFault`] ahead of every point's solve
+    /// — test/drill instrumentation for the control plane (see
+    /// [`rfsim_circuit::fault`]). A faulted job only ever fails or hangs
+    /// *itself*; it cannot corrupt results.
+    #[must_use]
+    pub fn with_fault(mut self, fault: SolveFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// The injected fault set by [`SweepJob::with_fault`], if any.
+    pub fn fault(&self) -> Option<&SolveFault> {
+        self.fault.as_ref()
     }
 }
 
@@ -438,6 +492,8 @@ impl SweepJob<MpdeBackend> {
             },
             make_circuit: Box::new(make_circuit),
             memo_token: None,
+            budget: None,
+            fault: None,
         }
     }
 }
@@ -462,6 +518,8 @@ impl SweepJob<Hb2Backend> {
             },
             make_circuit: Box::new(make_circuit),
             memo_token: None,
+            budget: None,
+            fault: None,
         }
     }
 }
@@ -482,6 +540,8 @@ impl SweepJob<PeriodicFdBackend> {
             backend: PeriodicFdBackend { period, options },
             make_circuit: Box::new(make_circuit),
             memo_token: None,
+            budget: None,
+            fault: None,
         }
     }
 }
@@ -505,6 +565,7 @@ pub struct MpdeGridSweep {
     /// MPDE options shared by all points.
     pub options: MpdeOptions,
     make_circuit: Box<dyn Fn(f64, f64) -> Result<Circuit> + Send + Sync>,
+    memo_token: Option<String>,
 }
 
 impl MpdeGridSweep {
@@ -525,7 +586,26 @@ impl MpdeGridSweep {
             t1_period,
             options,
             make_circuit: Box::new(make_circuit),
+            memo_token: None,
         }
+    }
+
+    /// Opts this grid into the engine's solution memo under `token` — one
+    /// token covers the whole grid, because each row's memo key also folds
+    /// in the row's `t2_period = 1/fd`, which distinguishes rows of the
+    /// same family. The same sharing contract as
+    /// [`SweepJob::with_memo_token`] applies: two grids may share a token
+    /// **iff** `make_circuit` builds value-identical circuits for equal
+    /// `(amplitude, fd)` coordinates.
+    #[must_use]
+    pub fn with_memo_token(mut self, token: impl Into<String>) -> Self {
+        self.memo_token = Some(token.into());
+        self
+    }
+
+    /// The memo identity set by [`MpdeGridSweep::with_memo_token`], if any.
+    pub fn memo_token(&self) -> Option<&str> {
+        self.memo_token.as_deref()
     }
 }
 
@@ -535,6 +615,7 @@ impl std::fmt::Debug for MpdeGridSweep {
             .field("label", &self.label)
             .field("amplitudes", &self.amplitudes.len())
             .field("spacings", &self.spacings.len())
+            .field("memo_token", &self.memo_token)
             .finish()
     }
 }
@@ -936,6 +1017,25 @@ impl SweepEngine {
         B: SweepBackend + Sync,
         B::Solution: Clone + Send + Sync + 'static,
     {
+        self.run_batch_with_budget(jobs, &SolveBudget::unlimited())
+    }
+
+    /// [`SweepEngine::run_batch`] under a batch-wide [`SolveBudget`]. The
+    /// budget fans out to a [`SolveBudget::child`] per sub-job, so one
+    /// batch cancel (or deadline) stops every worker promptly: each job
+    /// slot whose solve was cut short carries
+    /// [`rfsim_circuit::CircuitError::Interrupted`], while already-settled
+    /// slots keep their results. A job with its own
+    /// [`SweepJob::with_budget`] runs under that budget instead.
+    pub fn run_batch_with_budget<B>(
+        &self,
+        jobs: &[SweepJob<B>],
+        budget: &SolveBudget,
+    ) -> Vec<SweepResult<B::Solution>>
+    where
+        B: SweepBackend + Sync,
+        B::Solution: Clone + Send + Sync + 'static,
+    {
         // Probe fingerprints in parallel: one circuit build per job, but —
         // since same-topology batches are the engine's bread and butter —
         // the expensive backend Jacobian-structure assembly is memoised by
@@ -1029,6 +1129,10 @@ impl SweepEngine {
                     }
                 }
                 let mut make = |v: f64| (job.make_circuit)(v);
+                // Per-job budget: the job's own if set, else a child of
+                // the batch budget — so cancelling the batch reaches every
+                // job, and a per-job deadline never leaks to neighbours.
+                let job_budget = job.budget.clone().unwrap_or_else(|| budget.child());
                 let (result, last) = if self.chain_groups {
                     sweep_chain(
                         &job.backend,
@@ -1038,6 +1142,8 @@ impl SweepEngine {
                         &self.refactor_strategy,
                         Some(*key),
                         chain_seed.take(),
+                        &job_budget,
+                        job.fault.as_ref(),
                     )
                 } else {
                     // Determinism mode: a private workspace cache makes
@@ -1052,6 +1158,8 @@ impl SweepEngine {
                         &self.refactor_strategy,
                         Some(*key),
                         None,
+                        &job_budget,
+                        job.fault.as_ref(),
                     );
                     let local_stats = local
                         .lock()
@@ -1146,6 +1254,24 @@ impl SweepEngine {
     ///
     /// The first failing row's error, by spacing order.
     pub fn run_mpde_grid(&self, sweep: &MpdeGridSweep) -> Result<Vec<MpdeGridPoint>> {
+        self.run_mpde_grid_with_budget(sweep, &SolveBudget::unlimited())
+    }
+
+    /// [`SweepEngine::run_mpde_grid`] under a grid-wide [`SolveBudget`]:
+    /// each row runs under its own [`SolveBudget::child`], so one cancel
+    /// stops every row promptly and the first interrupted row's error
+    /// surfaces (rows keep their parallel schedule either way).
+    ///
+    /// # Errors
+    ///
+    /// The first failing row's error, by spacing order;
+    /// [`rfsim_circuit::CircuitError::Interrupted`] when the budget stops
+    /// the grid.
+    pub fn run_mpde_grid_with_budget(
+        &self,
+        sweep: &MpdeGridSweep,
+        budget: &SolveBudget,
+    ) -> Result<Vec<MpdeGridPoint>> {
         let rows = self.pool.run(sweep.spacings.len(), |r| {
             let fd = sweep.spacings[r];
             let backend = MpdeBackend {
@@ -1153,16 +1279,82 @@ impl SweepEngine {
                 t2_period: 1.0 / fd,
                 options: sweep.options.clone(),
             };
+            // Tokened grids memoise per row: the row's backend parameters
+            // (including `t2_period = 1/fd`) fold into the key, so one
+            // token distinguishes every row of the family. Mirrors
+            // `run_batch`'s tokened-job path — grid traffic used to bypass
+            // the memo entirely.
+            let memo_key = sweep.memo_token.as_ref().and_then(|token| {
+                let enabled = self.memo.lock().expect("solution memo poisoned").enabled();
+                if !enabled {
+                    return None;
+                }
+                let backend_tag =
+                    fnv1a_bytes(FNV_OFFSET, std::any::type_name::<MpdeBackend>().as_bytes());
+                let fp = (sweep.make_circuit)(sweep.amplitudes.first().copied()?, fd)
+                    .and_then(|circuit| {
+                        let dc = circuit.jacobian_fingerprint();
+                        let probe = (
+                            fnv1a_bytes(backend_tag, &dc.as_u64().to_le_bytes()),
+                            backend.dim(&circuit),
+                        );
+                        let memoised = self
+                            .probe_cache
+                            .lock()
+                            .expect("probe cache poisoned")
+                            .get(&probe)
+                            .copied();
+                        if let Some(key) = memoised {
+                            return Ok(key);
+                        }
+                        let key = backend.fingerprint(&circuit)?;
+                        let mut cache = self.probe_cache.lock().expect("probe cache poisoned");
+                        if cache.len() >= Self::PROBE_CACHE_CAPACITY {
+                            cache.clear();
+                        }
+                        cache.insert(probe, key);
+                        Ok(key)
+                    })
+                    .ok()?;
+                Some((
+                    backend
+                        .fold_memo_key(JobKeyBuilder::new(fp, self.quantizer).push_str(token))
+                        .push_f64s(&sweep.amplitudes)
+                        .finish(),
+                    fp,
+                ))
+            });
+            if let Some((k, _)) = memo_key {
+                let stored = self.memo.lock().expect("solution memo poisoned").get(k);
+                if let Some(points) =
+                    stored.and_then(|v| v.downcast::<Vec<(f64, MpdeSolution)>>().ok())
+                {
+                    self.record_memo_event(true);
+                    return Ok(points.as_ref().clone());
+                }
+                self.record_memo_event(false);
+            }
             let mut make = |a: f64| (sweep.make_circuit)(a, fd);
+            let row_budget = budget.child();
             let (result, _) = sweep_chain(
                 &backend,
                 &sweep.amplitudes,
                 &mut make,
                 &self.cache,
                 &self.refactor_strategy,
+                memo_key.map(|(_, fp)| fp),
                 None,
+                &row_budget,
                 None,
             );
+            if let (Some((k, _)), Some(token), Ok(points)) = (memo_key, &sweep.memo_token, &result)
+            {
+                self.memo.lock().expect("solution memo poisoned").insert(
+                    k,
+                    token.clone(),
+                    Arc::new(points.clone()),
+                );
+            }
             result
         });
         let mut out = Vec::with_capacity(sweep.spacings.len() * sweep.amplitudes.len());
@@ -1211,6 +1403,7 @@ fn park(cache: &Mutex<WorkspaceCache>, c: CheckedOut) {
 /// in a topology group starts its sweep at its own first value, which a
 /// neighbouring family's first-point solution approximates far better
 /// than its last).
+#[allow(clippy::too_many_arguments)]
 fn sweep_chain<B: SweepBackend>(
     backend: &B,
     values: &[f64],
@@ -1219,6 +1412,8 @@ fn sweep_chain<B: SweepBackend>(
     strategy: &RefactorStrategy,
     initial_key: Option<PatternFingerprint>,
     seed: Option<Vec<f64>>,
+    budget: &SolveBudget,
+    fault: Option<&SolveFault>,
 ) -> (SweepResult<B::Solution>, Option<Vec<f64>>) {
     let mut out = Vec::with_capacity(values.len());
     let mut prev: Option<Vec<f64>> = None;
@@ -1236,7 +1431,11 @@ fn sweep_chain<B: SweepBackend>(
         &mut prev,
         &mut first,
         &mut out,
+        budget,
+        fault,
     );
+    // Interrupted or not, the workspace checks back in reusable: the chain
+    // owns it only between points, and the solvers unwind cleanly.
     if let Some(c) = state.take() {
         park(cache, c);
     }
@@ -1259,7 +1458,10 @@ fn sweep_chain_inner<B: SweepBackend>(
     prev: &mut Option<Vec<f64>>,
     first: &mut Option<Vec<f64>>,
     out: &mut Vec<(f64, B::Solution)>,
+    budget: &SolveBudget,
+    fault: Option<&SolveFault>,
 ) -> Result<()> {
+    let started = Instant::now();
     // Topologies this chain has already keyed (DC pattern → cache key), so
     // a sweep alternating between structures probes each one once, not at
     // every switch.
@@ -1269,6 +1471,19 @@ fn sweep_chain_inner<B: SweepBackend>(
     // not the trusted same-structure warm start.
     let mut prev_is_hint = false;
     for &value in values {
+        // Fail fast between points: the solvers poll the budget inside
+        // each point, so this check only closes the gap where a cancel
+        // lands between one point finishing and the next starting. The
+        // "iterations" slot reports completed sweep points, and there is
+        // no single residual for a chain.
+        if !budget.is_unlimited() {
+            if let Some(i) = budget.interruption(started, out.len(), f64::INFINITY) {
+                return Err(i.into());
+            }
+        }
+        if let Some(f) = fault {
+            f.run(budget)?;
+        }
         let circuit = make_circuit(value)?;
         // Cheap per-point probe: the circuit-level MNA pattern. Any
         // backend-level structure change implies a change here (the grid
@@ -1333,15 +1548,17 @@ fn sweep_chain_inner<B: SweepBackend>(
             guess = None;
             hinted = false;
         }
-        let solution = match backend.solve(&circuit, guess.as_deref(), &mut checked.workspace) {
-            Ok(s) => s,
-            Err(_) if hinted => {
-                // A cross-job seed or cross-topology carry-over is a hint,
-                // not a contract: retry from the job's own initial guess.
-                backend.solve(&circuit, None, &mut checked.workspace)?
-            }
-            Err(e) => return Err(e),
-        };
+        let solution =
+            match backend.solve(&circuit, guess.as_deref(), &mut checked.workspace, budget) {
+                Ok(s) => s,
+                Err(e) if hinted && !e.is_interrupted() => {
+                    // A cross-job seed or cross-topology carry-over is a hint,
+                    // not a contract: retry from the job's own initial guess.
+                    // An interruption is a control-plane stop, never retried.
+                    backend.solve(&circuit, None, &mut checked.workspace, budget)?
+                }
+                Err(e) => return Err(e),
+            };
         // A workspace taken without a probe reveals its key after warming;
         // record it so later re-keys (and the final check-in) route right.
         // A Krylov-configured workspace cannot self-report (it never builds
@@ -1407,6 +1624,8 @@ where
         &cache,
         &RefactorStrategy::Sequential,
         None,
+        None,
+        &SolveBudget::unlimited(),
         None,
     );
     result.map(|points| {
@@ -2003,5 +2222,133 @@ mod tests {
             };
             assert!((peak(p1) / peak(p0) - 2.0).abs() < 0.05);
         }
+    }
+
+    fn small_grid(f1: f64) -> MpdeGridSweep {
+        MpdeGridSweep::new(
+            "rc-grid",
+            vec![0.1, 0.2],
+            vec![10e3, 20e3],
+            1.0 / f1,
+            MpdeOptions {
+                n1: 8,
+                n2: 4,
+                ..Default::default()
+            },
+            move |a, fd| rc_family(f1, fd, 1e3, 160e-12)(a),
+        )
+    }
+
+    #[test]
+    fn grid_sweep_memoises_rows_under_one_token() {
+        let f1 = 1e6;
+        let sweep = small_grid(f1).with_memo_token("rc_grid/1k");
+        let engine = SweepEngine::with_pool(WorkerPool::new(2));
+        let first = engine.run_mpde_grid(&sweep).expect("grid");
+        let after_first = engine.solver_stats();
+        assert_eq!(after_first.engine_memo_hits, 0);
+        assert_eq!(after_first.engine_memo_misses, 2, "one miss per row");
+        assert_eq!(engine.memo_stats().insertions, 2);
+
+        let again = engine.run_mpde_grid(&sweep).expect("grid repeat");
+        assert_eq!(engine.memo_stats().hits, 2, "each row served from memo");
+        // No Newton ran on the repeat: the factorisation counters held.
+        let after_again = engine.solver_stats();
+        assert_eq!(
+            after_again.refactorizations + after_again.full_factorizations,
+            after_first.refactorizations + after_first.full_factorizations,
+        );
+        for (a, b) in first.iter().zip(&again) {
+            assert_eq!(a.solution.solution.data, b.solution.solution.data);
+        }
+
+        // Rows share the token but not the key: the 20 kHz row's
+        // t2_period folds into its identity, so an untokened grid or a
+        // different family never aliases it. Eviction by the single
+        // token clears both rows.
+        assert_eq!(engine.evict_memo(Some("rc_grid/1k")), 2);
+        assert_eq!(engine.memo_stats().len, 0);
+    }
+
+    #[test]
+    fn batch_cancel_fans_out_to_every_job_and_leaves_engine_reusable() {
+        let (f1, fd) = (1e6, 10e3);
+        let jobs: Vec<MpdeSweepJob> = [1e3, 2e3]
+            .iter()
+            .map(|&r| {
+                MpdeSweepJob::new(
+                    format!("r{r}"),
+                    vec![0.1, 0.2],
+                    1.0 / f1,
+                    1.0 / fd,
+                    small_opts(),
+                    rc_family(f1, fd, r, 160e-12),
+                )
+            })
+            .collect();
+        let engine = SweepEngine::with_pool(WorkerPool::new(2));
+        let token = rfsim_numerics::CancelToken::new();
+        token.cancel();
+        let budget = SolveBudget::unlimited().with_cancel(token);
+        let results = engine.run_batch_with_budget(&jobs, &budget);
+        for r in &results {
+            let e = r.as_ref().expect_err("cancelled batch");
+            let i = e.interrupted().expect("typed interruption");
+            assert_eq!(i.reason, rfsim_numerics::InterruptReason::Cancelled);
+        }
+        // The cancel poisoned nothing: the same engine solves the same
+        // batch cleanly afterwards.
+        let retry = engine.run_batch(&jobs);
+        assert!(retry.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn per_job_budget_and_fault_fail_only_their_job() {
+        let (f1, fd) = (1e6, 10e3);
+        let job = |r: f64| {
+            MpdeSweepJob::new(
+                format!("r{r}"),
+                vec![0.1, 0.2],
+                1.0 / f1,
+                1.0 / fd,
+                small_opts(),
+                rc_family(f1, fd, r, 160e-12),
+            )
+        };
+        // A cancelled per-job budget interrupts its job; a diverge fault
+        // fails its job numerically; the healthy neighbour is untouched.
+        let cancelled = rfsim_numerics::CancelToken::new();
+        cancelled.cancel();
+        let jobs = vec![
+            job(1e3).with_budget(SolveBudget::unlimited().with_cancel(cancelled)),
+            job(2e3),
+            job(3e3).with_fault(rfsim_circuit::fault::SolveFault::diverge()),
+        ];
+        let engine = SweepEngine::with_pool(WorkerPool::new(2));
+        let results = engine.run_batch_with_budget(&jobs, &SolveBudget::unlimited());
+        let interrupted = results[0].as_ref().expect_err("cancelled job");
+        assert!(interrupted.is_interrupted());
+        assert!(results[1].is_ok(), "healthy neighbour survives");
+        let faulted = results[2].as_ref().expect_err("faulted job");
+        assert!(
+            !faulted.is_interrupted(),
+            "a diverge fault is a numerical failure, not an interruption: {faulted}"
+        );
+    }
+
+    #[test]
+    fn grid_cancel_surfaces_interruption() {
+        let f1 = 1e6;
+        let sweep = small_grid(f1);
+        let engine = SweepEngine::with_pool(WorkerPool::new(2));
+        let token = rfsim_numerics::CancelToken::new();
+        token.cancel();
+        let budget = SolveBudget::unlimited().with_cancel(token);
+        let err = engine
+            .run_mpde_grid_with_budget(&sweep, &budget)
+            .expect_err("cancelled grid");
+        assert!(err.is_interrupted(), "{err}");
+        // And the engine still serves the grid afterwards.
+        assert_eq!(engine.run_mpde_grid(&sweep).expect("retry").len(), 4);
     }
 }

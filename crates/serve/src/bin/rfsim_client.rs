@@ -3,9 +3,11 @@
 //! ```text
 //! rfsim-client --addr 127.0.0.1:4520 run --family rc_lowpass \
 //!     --backend mpde --f1 1e6 --amplitudes 0.1,0.2 --spacings 10e3,20e3 \
-//!     --n1 16 --n2 8 [--priority high] [--expect-memo] [--expect-solve]
+//!     --n1 16 --n2 8 [--priority high] [--deadline-ms 5000] \
+//!     [--expect-memo] [--expect-solve]
 //! rfsim-client --addr … submit …      # same job flags, returns the id
 //! rfsim-client --addr … poll --job 7 [--wait-ms 500]
+//! rfsim-client --addr … cancel --job 7
 //! rfsim-client --addr … stats [--assert-min-hits N]
 //! rfsim-client --addr … evict [--family rc_lowpass]
 //! rfsim-client --addr … shutdown
@@ -64,6 +66,9 @@ fn parse_job_flags(it: &mut impl Iterator<Item = String>) -> JobFlags {
             "--timeout-s" => {
                 flags.timeout = Duration::from_secs(value("--timeout-s").parse().expect("timeout"))
             }
+            "--deadline-ms" => {
+                flags.spec.deadline_ms = Some(value("--deadline-ms").parse().expect("deadline"))
+            }
             "--expect-memo" => flags.expect_memo = true,
             "--expect-solve" => flags.expect_solve = true,
             other => panic!("unknown job flag {other}"),
@@ -81,7 +86,7 @@ fn main() -> ExitCode {
     }
     let command = it.next().unwrap_or_else(|| {
         eprintln!(
-            "usage: rfsim-client [--addr HOST:PORT] <run|submit|poll|stats|evict|shutdown> …"
+            "usage: rfsim-client [--addr HOST:PORT] <run|submit|poll|cancel|stats|evict|shutdown> …"
         );
         std::process::exit(2);
     });
@@ -146,14 +151,39 @@ fn main() -> ExitCode {
                     println!("status=done memo_hit={} digest={digest}", outcome.memo_hit)
                 }
                 _ => println!(
-                    "status={}{}",
+                    "status={}{}{}",
                     outcome.status,
                     outcome
                         .error
                         .map(|e| format!(" error={e}"))
+                        .unwrap_or_default(),
+                    outcome
+                        .interrupt_reason
+                        .map(|r| format!(" interrupted={r}"))
                         .unwrap_or_default()
                 ),
             }
+            ExitCode::SUCCESS
+        }
+        "cancel" => {
+            let mut job = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--job" => job = Some(it.next().expect("--job id").parse().expect("job id")),
+                    // A bare positional id works too: `cancel 7`.
+                    other => {
+                        job = Some(
+                            other
+                                .parse()
+                                .unwrap_or_else(|_| panic!("unknown cancel flag {other}")),
+                        )
+                    }
+                }
+            }
+            let status = client
+                .cancel(job.expect("cancel needs a job id"))
+                .unwrap_or_else(|e| panic!("cancel: {e}"));
+            println!("status={status}");
             ExitCode::SUCCESS
         }
         "stats" => {

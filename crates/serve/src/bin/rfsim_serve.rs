@@ -5,6 +5,8 @@
 //! rfsim-serve [--addr 127.0.0.1:4520] [--store-capacity 256]
 //!             [--queue-capacity 1024] [--threads N] [--batch-max 16]
 //!             [--quant-digits 12] [--non-deterministic]
+//!             [--default-deadline-ms MS] [--retry-max N]
+//!             [--retry-backoff-ms MS]
 //! ```
 //!
 //! Binds the address (port 0 picks an ephemeral port; the chosen address
@@ -47,11 +49,20 @@ fn parse_args() -> Args {
                     Quantizer::new(value("--quant-digits").parse().expect("digits"))
             }
             "--non-deterministic" => args.config.deterministic = false,
+            "--default-deadline-ms" => {
+                args.config.default_deadline_ms =
+                    Some(value("--default-deadline-ms").parse().expect("deadline"))
+            }
+            "--retry-max" => args.config.retry_max = value("--retry-max").parse().expect("retries"),
+            "--retry-backoff-ms" => {
+                args.config.retry_backoff_ms = value("--retry-backoff-ms").parse().expect("backoff")
+            }
             "--help" | "-h" => {
                 println!(
                     "rfsim-serve: memoising steady-state simulation daemon\n\
                      flags: --addr HOST:PORT --store-capacity N --queue-capacity N \
-                     --threads N --batch-max N --quant-digits N --non-deterministic"
+                     --threads N --batch-max N --quant-digits N --non-deterministic \
+                     --default-deadline-ms MS --retry-max N --retry-backoff-ms MS"
                 );
                 std::process::exit(0);
             }

@@ -24,6 +24,10 @@ pub struct PollOutcome {
     pub digest: Option<String>,
     /// The failure message when `failed`.
     pub error: Option<String>,
+    /// The typed interruption reason (`cancelled` / `deadline_expired` /
+    /// `stagnated`) when a `failed` job was stopped by its budget rather
+    /// than by a solver error.
+    pub interrupt_reason: Option<String>,
 }
 
 /// A connected protocol client (one request/response at a time).
@@ -122,6 +126,7 @@ impl ServeClient {
             memo_hit: response.bool_at("memo_hit").unwrap_or(false),
             digest: response.string_at("digest").map(str::to_string),
             error: response.string_at("error").map(str::to_string),
+            interrupt_reason: response.string_at("interrupted.reason").map(str::to_string),
         })
     }
 
@@ -144,10 +149,15 @@ impl ServeClient {
             match outcome.status.as_str() {
                 "done" => return Ok(outcome),
                 "failed" => {
+                    let reason = outcome
+                        .interrupt_reason
+                        .as_deref()
+                        .map(|r| format!(" [{r}]"))
+                        .unwrap_or_default();
                     return Err(ServeError::Protocol(format!(
-                        "job {job_id} failed: {}",
+                        "job {job_id} failed: {}{reason}",
                         outcome.error.as_deref().unwrap_or("unknown error")
-                    )))
+                    )));
                 }
                 _ => continue,
             }
@@ -163,6 +173,22 @@ impl ServeClient {
         let id = self.submit(spec)?;
         let outcome = self.wait(id, timeout)?;
         Ok((id, outcome))
+    }
+
+    /// Cancels a job; returns the job's status label after the cancel
+    /// took effect (`failed` for a queued job completed on the spot,
+    /// `running` while a mid-solve interruption propagates, or the
+    /// settled label of an already-finished job — cancel is idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unknown job id.
+    pub fn cancel(&mut self, job_id: u64) -> Result<String> {
+        let response = self.call(&Request::Cancel { job_id })?;
+        response
+            .string_at("status")
+            .map(str::to_string)
+            .ok_or_else(|| ServeError::Protocol("cancel response missing 'status'".into()))
     }
 
     /// Fetches the server's stats object.

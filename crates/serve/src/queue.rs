@@ -31,6 +31,9 @@ pub struct QueuedJob {
     pub generation: u64,
     /// Admission sequence number (FIFO within a priority).
     pub seq: u64,
+    /// Completed dispatch attempts (0 until the first transient failure
+    /// sends the job back for retry).
+    pub attempts: usize,
 }
 
 impl std::fmt::Debug for QueuedJob {
@@ -145,6 +148,23 @@ impl JobQueue {
         self.stale = self.stale.saturating_sub(1);
     }
 
+    /// Records that an entry still *in* the heap went stale out-of-band
+    /// (its key was completed without a pop — a cancel before dispatch):
+    /// the live count excludes it immediately, freeing its backpressure
+    /// slot, and the scheduler pays the debt back with
+    /// [`JobQueue::note_stale_dropped`] when it pops and discards it.
+    pub fn note_stale_enqueued(&mut self) {
+        self.stale += 1;
+    }
+
+    /// Re-admits a job the scheduler already owns (a retry after a
+    /// transient failure): bypasses the capacity bound — the job's
+    /// waiters were admitted under it and never released their claim —
+    /// without the stale-entry accounting of a superseding push.
+    pub fn requeue(&mut self, job: QueuedJob) {
+        self.heap.push(job);
+    }
+
     /// A look at what [`JobQueue::pop`] would return.
     pub fn peek(&self) -> Option<&QueuedJob> {
         self.heap.peek()
@@ -168,6 +188,7 @@ mod tests {
             key,
             generation: 0,
             seq,
+            attempts: 0,
         }
     }
 

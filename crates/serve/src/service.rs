@@ -37,11 +37,13 @@ use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use rfsim_circuit::fault::SolveFault;
 use rfsim_circuit::newton::WorkspaceStats;
 use rfsim_hb::Hb2Options;
 use rfsim_mpde::solver::MpdeOptions;
 use rfsim_numerics::json::Json;
 use rfsim_numerics::sparse::PatternFingerprint;
+use rfsim_numerics::{CancelToken, InterruptReason, SolveBudget, SolveInterrupted};
 use rfsim_rf::key::{JobKey, JobKeyBuilder, Quantizer};
 use rfsim_rf::lru::TaggedLru;
 use rfsim_rf::pool::WorkerPool;
@@ -81,6 +83,19 @@ pub struct ServeConfig {
     /// Start with the scheduler paused (tests and manual embedders;
     /// resume with [`SimService::resume`]).
     pub paused: bool,
+    /// Wall-clock deadline (milliseconds, from dispatch) applied to jobs
+    /// that carry no [`JobSpec::deadline_ms`] of their own. This is the
+    /// scheduler-slot reclamation bound: a hung solve is interrupted
+    /// when it expires instead of pinning an engine worker forever.
+    /// `None` (the default) leaves such jobs unbounded.
+    pub default_deadline_ms: Option<u64>,
+    /// Automatic re-dispatches after a *transient* solve failure (a
+    /// solver error that is neither a budget interruption nor a panic).
+    /// `0` (the default) fails the job on its first error.
+    pub retry_max: usize,
+    /// Backoff before retry attempt `k`: `retry_backoff_ms << (k-1)`
+    /// milliseconds (exponential, first retry waits one unit).
+    pub retry_backoff_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +110,9 @@ impl Default for ServeConfig {
             deterministic: true,
             quantizer: Quantizer::default(),
             paused: false,
+            default_deadline_ms: None,
+            retry_max: 0,
+            retry_backoff_ms: 50,
         }
     }
 }
@@ -125,7 +143,14 @@ pub enum JobStatus {
         memo_hit: bool,
     },
     /// Failed; the message is the solver or build error.
-    Failed(String),
+    Failed {
+        /// Human-readable failure description.
+        message: String,
+        /// Present when the failure was a typed budget interruption
+        /// (cancel, deadline, stagnation) rather than a numerical or
+        /// structural error.
+        interrupted: Option<InterruptSummary>,
+    },
 }
 
 impl JobStatus {
@@ -135,7 +160,49 @@ impl JobStatus {
             JobStatus::Queued => "queued",
             JobStatus::Running => "running",
             JobStatus::Done { .. } => "done",
-            JobStatus::Failed(_) => "failed",
+            JobStatus::Failed { .. } => "failed",
+        }
+    }
+
+    /// A plain (non-interrupted) failure.
+    pub fn failed(message: impl Into<String>) -> JobStatus {
+        JobStatus::Failed {
+            message: message.into(),
+            interrupted: None,
+        }
+    }
+}
+
+/// The control-plane outcome of an interrupted job: what a
+/// [`SolveInterrupted`] looked like at the moment the budget stopped the
+/// solve, flattened to wire-friendly fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterruptSummary {
+    /// Why the solve stopped.
+    pub reason: InterruptReason,
+    /// Outer iterations completed before the stop.
+    pub iterations: usize,
+    /// Best residual reached (infinite when no iteration finished).
+    pub best_residual: f64,
+    /// Wall-clock spent in the solve (milliseconds).
+    pub elapsed_ms: u64,
+}
+
+impl InterruptSummary {
+    /// Wire label of the reason (`cancelled` / `deadline_expired` /
+    /// `stagnated`).
+    pub fn label(&self) -> &'static str {
+        self.reason.label()
+    }
+}
+
+impl From<&SolveInterrupted> for InterruptSummary {
+    fn from(i: &SolveInterrupted) -> Self {
+        InterruptSummary {
+            reason: i.reason,
+            iterations: i.iterations,
+            best_residual: i.best_residual,
+            elapsed_ms: i.elapsed.as_millis() as u64,
         }
     }
 }
@@ -151,6 +218,9 @@ pub struct QueueCounters {
     pub coalesced: usize,
     /// Unique executions dispatched to the engine.
     pub solves: usize,
+    /// Re-dispatches after a transient solve failure (each retry of each
+    /// execution counts once).
+    pub retried: usize,
     /// Jobs completed successfully (memo hits included).
     pub completed: usize,
     /// Jobs failed.
@@ -184,6 +254,7 @@ impl ServeCounters {
             t.memo_hits += q.memo_hits;
             t.coalesced += q.coalesced;
             t.solves += q.solves;
+            t.retried += q.retried;
             t.completed += q.completed;
             t.failed += q.failed;
             t.rejected += q.rejected;
@@ -234,6 +305,7 @@ impl ServeStats {
                 ("memo_hits", Json::from(q.memo_hits)),
                 ("coalesced", Json::from(q.coalesced)),
                 ("solves", Json::from(q.solves)),
+                ("retried", Json::from(q.retried)),
                 ("completed", Json::from(q.completed)),
                 ("failed", Json::from(q.failed)),
                 ("rejected", Json::from(q.rejected)),
@@ -426,6 +498,17 @@ struct SchedState {
     /// The best priority each *queued* (not yet dispatched) key holds —
     /// lets a higher-priority coalescing submit escalate its twin.
     queued_priority: HashMap<JobKey, Priority>,
+    /// Each in-flight execution's cancel token (created at admit, fired
+    /// by [`SimService::cancel`]) plus the backend whose counters a
+    /// before-dispatch cancellation must charge.
+    cancels: HashMap<JobKey, (CancelToken, BackendKind)>,
+    /// Live job id → execution key, so `cancel(id)` can find the
+    /// execution a coalesced id rides on. Entries drop when the id
+    /// settles.
+    job_keys: HashMap<JobId, JobKey>,
+    /// Executions parked for a retry backoff: `(due, job)`. Not in the
+    /// heap — the scheduler promotes due entries back into the queue.
+    deferred: Vec<(Instant, QueuedJob)>,
     counters: ServeCounters,
     next_id: u64,
     next_seq: u64,
@@ -437,6 +520,7 @@ impl SchedState {
     /// Records a settled (done/failed) status for `id`, dropping the
     /// oldest settled records past `capacity`.
     fn settle(&mut self, id: JobId, status: JobStatus, capacity: usize) {
+        self.job_keys.remove(&id);
         self.jobs.insert(id, status);
         self.settled_order.push_back(id);
         while self.settled_order.len() > capacity.max(1) {
@@ -456,6 +540,9 @@ struct Inner {
     /// what makes repeat submits (memo hits above all) build-free. Locked
     /// after `registry`, never the other way round.
     fp_cache: Mutex<FingerprintCache>,
+    /// Injected faults by family name (tests and operational drills);
+    /// attached to every row of a matching job at dispatch.
+    faults: Mutex<HashMap<String, SolveFault>>,
     state: Mutex<SchedState>,
     /// Wakes the scheduler (new work, resume, shutdown).
     work_cv: Condvar,
@@ -499,6 +586,7 @@ impl SimService {
             registry: Mutex::new(registry),
             store: Mutex::new(SolutionStore::new(config.store_capacity)),
             fp_cache: Mutex::new(FingerprintCache::new(FingerprintCache::DEFAULT_CAPACITY)),
+            faults: Mutex::new(HashMap::new()),
             state: Mutex::new(SchedState {
                 queue: JobQueue::new(config.queue_capacity),
                 jobs: HashMap::new(),
@@ -506,6 +594,9 @@ impl SimService {
                 waiters: HashMap::new(),
                 dispatched: std::collections::HashSet::new(),
                 queued_priority: HashMap::new(),
+                cancels: HashMap::new(),
+                job_keys: HashMap::new(),
+                deferred: Vec::new(),
                 counters: ServeCounters::default(),
                 next_id: 1,
                 next_seq: 0,
@@ -679,6 +770,7 @@ impl SimService {
                 .and_then(|t| state.jobs.get(&t).cloned())
                 .unwrap_or(JobStatus::Queued);
             state.jobs.insert(id, phase);
+            state.job_keys.insert(id, key);
             let q = state.counters.queue_mut(kind);
             q.submitted += 1;
             q.coalesced += 1;
@@ -705,6 +797,7 @@ impl SimService {
                                 builder,
                                 generation,
                                 seq,
+                                attempts: 0,
                             },
                             true,
                         )
@@ -727,6 +820,7 @@ impl SimService {
                 builder,
                 generation,
                 seq,
+                attempts: 0,
             },
             false,
         );
@@ -737,8 +831,13 @@ impl SimService {
         state.next_seq += 1;
         state.next_id += 1;
         state.jobs.insert(id, JobStatus::Queued);
+        state.job_keys.insert(id, key);
         state.waiters.insert(key, vec![id]);
         state.queued_priority.insert(key, priority);
+        // Every fresh execution gets a cancel token at admit, so a
+        // cancel landing while the job is still queued (or mid-solve)
+        // always has a handle to fire.
+        state.cancels.insert(key, (CancelToken::new(), kind));
         let q = state.counters.queue_mut(kind);
         q.submitted += 1;
         drop(state);
@@ -775,8 +874,17 @@ impl SimService {
             match state.jobs.get(&id) {
                 None => return Err(ServeError::UnknownJob(id.0)),
                 Some(JobStatus::Done { result, .. }) => return Ok(Arc::clone(result)),
-                Some(JobStatus::Failed(why)) => {
-                    return Err(ServeError::Protocol(format!("job {id} failed: {why}")))
+                Some(JobStatus::Failed {
+                    message,
+                    interrupted,
+                }) => {
+                    let reason = interrupted
+                        .as_ref()
+                        .map(|i| format!(" [{}]", i.label()))
+                        .unwrap_or_default();
+                    return Err(ServeError::Protocol(format!(
+                        "job {id} failed: {message}{reason}"
+                    )));
                 }
                 Some(_) => {}
             }
@@ -793,6 +901,100 @@ impl SimService {
                 .expect("state poisoned");
             state = next;
         }
+    }
+
+    /// Cancels a job (and, necessarily, every job coalesced onto the
+    /// same execution — they share one solve). Idempotent: a settled job
+    /// just returns its settled status.
+    ///
+    /// * **Queued** (or parked for a retry backoff): every waiter
+    ///   completes immediately with a `cancelled` failure; the heap
+    ///   entry is dropped as stale when the scheduler reaches it.
+    /// * **Running**: the execution's [`CancelToken`] is fired; the
+    ///   solve observes it at its next budget check and the scheduler
+    ///   settles every waiter with the typed interruption. The returned
+    ///   status is still [`JobStatus::Running`] — `poll`/`wait` observe
+    ///   the settlement.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`].
+    pub fn cancel(&self, id: JobId) -> Result<JobStatus> {
+        let mut state = self.inner.state.lock().expect("state poisoned");
+        let status = state
+            .jobs
+            .get(&id)
+            .cloned()
+            .ok_or(ServeError::UnknownJob(id.0))?;
+        if matches!(status, JobStatus::Done { .. } | JobStatus::Failed { .. }) {
+            return Ok(status);
+        }
+        let key = match state.job_keys.get(&id).copied() {
+            Some(key) => key,
+            None => return Ok(status),
+        };
+        if state.dispatched.contains(&key) {
+            if let Some((token, _)) = state.cancels.get(&key) {
+                token.cancel();
+            }
+            return Ok(JobStatus::Running);
+        }
+        // Not yet dispatched: complete all coalesced waiters right now —
+        // no solve to wait out.
+        let kind = match state.cancels.get(&key) {
+            Some((_, kind)) => *kind,
+            None => return Ok(status),
+        };
+        let was_deferred = state.deferred.iter().any(|(_, job)| job.key == key);
+        state.deferred.retain(|(_, job)| job.key != key);
+        if !was_deferred {
+            // The key's live heap entry is now stale; account for it so
+            // the backpressure bound frees the slot immediately instead
+            // of when the scheduler happens to pop it.
+            state.queue.note_stale_enqueued();
+        }
+        state.queued_priority.remove(&key);
+        let cancelled = JobStatus::Failed {
+            message: "cancelled before dispatch".into(),
+            interrupted: Some(InterruptSummary {
+                reason: InterruptReason::Cancelled,
+                iterations: 0,
+                best_residual: f64::INFINITY,
+                elapsed_ms: 0,
+            }),
+        };
+        complete_key(
+            &mut state,
+            key,
+            kind,
+            &cancelled,
+            self.inner.config.result_capacity,
+        );
+        drop(state);
+        self.inner.done_cv.notify_all();
+        Ok(cancelled)
+    }
+
+    /// Installs a deterministic [`SolveFault`] on every subsequent solve
+    /// of `family` (tests and operational drills — see
+    /// [`rfsim_circuit::fault`]). Replaces any fault already installed
+    /// for the family.
+    pub fn inject_fault(&self, family: impl Into<String>, fault: SolveFault) {
+        self.inner
+            .faults
+            .lock()
+            .expect("faults poisoned")
+            .insert(family.into(), fault);
+    }
+
+    /// Removes an injected fault, returning whether one was installed.
+    pub fn clear_fault(&self, family: &str) -> bool {
+        self.inner
+            .faults
+            .lock()
+            .expect("faults poisoned")
+            .remove(family)
+            .is_some()
     }
 
     /// Evicts stored solutions — all, or one family's — returning how
@@ -858,13 +1060,20 @@ impl SimService {
                 if state.dispatched.contains(&job.key) {
                     continue;
                 }
+                state.cancels.remove(&job.key);
                 if let Some(ids) = state.waiters.remove(&job.key) {
                     for id in ids {
-                        state.settle(
-                            id,
-                            JobStatus::Failed("service shut down".into()),
-                            result_capacity,
-                        );
+                        state.settle(id, JobStatus::failed("service shut down"), result_capacity);
+                    }
+                }
+            }
+            // Retry-parked executions are waiting jobs too.
+            let deferred = std::mem::take(&mut state.deferred);
+            for (_, job) in deferred {
+                state.cancels.remove(&job.key);
+                if let Some(ids) = state.waiters.remove(&job.key) {
+                    for id in ids {
+                        state.settle(id, JobStatus::failed("service shut down"), result_capacity);
                     }
                 }
             }
@@ -899,12 +1108,13 @@ fn complete_key(
     result_capacity: usize,
 ) {
     state.dispatched.remove(&key);
+    state.cancels.remove(&key);
     if let Some(ids) = state.waiters.remove(&key) {
         for id in ids {
             state.settle(id, status.clone(), result_capacity);
             let q = state.counters.queue_mut(kind);
             match status {
-                JobStatus::Failed(_) => q.failed += 1,
+                JobStatus::Failed { .. } => q.failed += 1,
                 _ => q.completed += 1,
             }
         }
@@ -915,18 +1125,46 @@ fn complete_key(
 fn scheduler_loop(inner: &Arc<Inner>) {
     loop {
         // Phase 1: wait for work, drain a same-backend batch.
-        let batch: Vec<QueuedJob> = {
+        let (batch, tokens): (Vec<QueuedJob>, Vec<CancelToken>) = {
             let mut state = inner.state.lock().expect("state poisoned");
             loop {
                 if state.shutdown {
                     return;
                 }
+                // Promote retry-parked executions whose backoff elapsed.
+                let now = Instant::now();
+                let mut i = 0;
+                while i < state.deferred.len() {
+                    if state.deferred[i].0 <= now {
+                        let (_, job) = state.deferred.swap_remove(i);
+                        state.queued_priority.insert(job.key, job.spec.priority);
+                        state.queue.requeue(job);
+                    } else {
+                        i += 1;
+                    }
+                }
                 if !state.paused && !state.queue.is_empty() {
                     break;
                 }
-                state = inner.work_cv.wait(state).expect("state poisoned");
+                // With retries parked, sleep only until the earliest one
+                // is due; otherwise wait for a submit/resume/shutdown.
+                let next_due = state.deferred.iter().map(|(due, _)| *due).min();
+                state = match next_due {
+                    Some(due) => {
+                        let wait = due
+                            .saturating_duration_since(Instant::now())
+                            .max(Duration::from_millis(1));
+                        inner
+                            .work_cv
+                            .wait_timeout(state, wait)
+                            .expect("state poisoned")
+                            .0
+                    }
+                    None => inner.work_cv.wait(state).expect("state poisoned"),
+                };
             }
             let mut batch: Vec<QueuedJob> = Vec::new();
+            let mut tokens: Vec<CancelToken> = Vec::new();
             let mut kind: Option<BackendKind> = None;
             while batch.len() < inner.config.batch_max {
                 // Stale entries — keys already dispatched (priority-
@@ -957,9 +1195,16 @@ fn scheduler_loop(inner: &Arc<Inner>) {
                     }
                 }
                 state.counters.queue_mut(job.spec.backend).solves += 1;
+                tokens.push(
+                    state
+                        .cancels
+                        .get(&job.key)
+                        .map(|(token, _)| token.clone())
+                        .unwrap_or_default(),
+                );
                 batch.push(job);
             }
-            batch
+            (batch, tokens)
         };
         if batch.is_empty() {
             // Everything drained was stale; go back to waiting.
@@ -972,7 +1217,7 @@ fn scheduler_loop(inner: &Arc<Inner>) {
         // thread — it fails the batch instead.
         let kind = batch[0].spec.backend;
         let outcomes = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_batch(inner, kind, &batch)
+            execute_batch(inner, kind, &batch, &tokens)
         }))
         .unwrap_or_else(|panic| {
             let why = panic
@@ -1017,7 +1262,47 @@ fn scheduler_loop(inner: &Arc<Inner>) {
                         memo_hit: false,
                     }
                 }
-                Err(e) => JobStatus::Failed(e.to_string()),
+                Err(e) => {
+                    let interrupted = match &e {
+                        ServeError::Circuit(ce) => ce.interrupted().map(InterruptSummary::from),
+                        _ => None,
+                    };
+                    // A *transient* failure — a solver error that is
+                    // neither a budget interruption (the control plane
+                    // asked for the stop) nor a panic (ServeError::
+                    // Protocol; a bug, not weather) — may earn a retry.
+                    let transient = interrupted.is_none() && matches!(e, ServeError::Circuit(_));
+                    if transient
+                        && job.attempts < inner.config.retry_max
+                        && state.waiters.contains_key(&job.key)
+                    {
+                        // Hand the execution back: waiters revert to
+                        // Queued, the job parks for an exponential
+                        // backoff, and the deferred-promotion pass
+                        // re-admits it when due.
+                        state.dispatched.remove(&job.key);
+                        if let Some(ids) = state.waiters.get(&job.key) {
+                            for id in ids.clone() {
+                                state.jobs.insert(id, JobStatus::Queued);
+                            }
+                        }
+                        state.counters.queue_mut(kind).retried += 1;
+                        let mut job = job;
+                        job.attempts += 1;
+                        let backoff = inner
+                            .config
+                            .retry_backoff_ms
+                            .saturating_mul(1u64 << (job.attempts - 1).min(16));
+                        state
+                            .deferred
+                            .push((Instant::now() + Duration::from_millis(backoff), job));
+                        continue;
+                    }
+                    JobStatus::Failed {
+                        message: e.to_string(),
+                        interrupted,
+                    }
+                }
             };
             complete_key(
                 &mut state,
@@ -1034,11 +1319,33 @@ fn scheduler_loop(inner: &Arc<Inner>) {
 
 /// Runs one same-backend batch through the engine and reassembles
 /// per-job results (row-major: spacing outer, amplitude inner).
+///
+/// `tokens` pairs each batch entry with its cancel token; every row of a
+/// job solves under a child of one per-job [`SolveBudget`] carrying that
+/// token plus the job's deadline ([`JobSpec::deadline_ms`], falling back
+/// to [`ServeConfig::default_deadline_ms`]), so one `cancel` — or one
+/// expired deadline — stops all of the job's rows without touching batch
+/// neighbours.
 fn execute_batch(
     inner: &Arc<Inner>,
     kind: BackendKind,
     batch: &[QueuedJob],
+    tokens: &[CancelToken],
 ) -> Vec<Result<JobResult>> {
+    let budgets: Vec<SolveBudget> = batch
+        .iter()
+        .zip(tokens)
+        .map(|(job, token)| {
+            let mut budget = SolveBudget::unlimited().with_cancel(token.clone());
+            if let Some(ms) = job.spec.deadline_ms.or(inner.config.default_deadline_ms) {
+                budget = budget.with_timeout(Duration::from_millis(ms));
+            }
+            budget
+        })
+        .collect();
+    // Snapshot injected faults once per batch; a fault installed
+    // mid-batch applies from the next dispatch on.
+    let faults: HashMap<String, SolveFault> = inner.faults.lock().expect("faults poisoned").clone();
     // Flatten: one engine sub-job per (job, spacing row).
     struct Row {
         job_idx: usize,
@@ -1085,7 +1392,7 @@ fn execute_batch(
                         n2: job.spec.n2,
                         ..Default::default()
                     };
-                    MpdeSweepJob::new(
+                    let mut sweep = MpdeSweepJob::new(
                         format!("{}/fd={}", job.spec.family, row.spacing),
                         job.spec.amplitudes.clone(),
                         1.0 / job.spec.f1,
@@ -1093,6 +1400,11 @@ fn execute_batch(
                         options,
                         make(job, row.spacing, true),
                     )
+                    .with_budget(budgets[row.job_idx].child());
+                    if let Some(fault) = faults.get(&job.spec.family) {
+                        sweep = sweep.with_fault(fault.clone());
+                    }
+                    sweep
                 })
                 .collect();
             inner
@@ -1119,7 +1431,7 @@ fn execute_batch(
                         n2: job.spec.n2,
                         ..Default::default()
                     };
-                    Hb2SweepJob::new(
+                    let mut sweep = Hb2SweepJob::new(
                         format!("{}/fd={}", job.spec.family, row.spacing),
                         job.spec.amplitudes.clone(),
                         1.0 / job.spec.f1,
@@ -1127,6 +1439,11 @@ fn execute_batch(
                         options,
                         make(job, row.spacing, true),
                     )
+                    .with_budget(budgets[row.job_idx].child());
+                    if let Some(fault) = faults.get(&job.spec.family) {
+                        sweep = sweep.with_fault(fault.clone());
+                    }
+                    sweep
                 })
                 .collect();
             inner
@@ -1152,13 +1469,18 @@ fn execute_batch(
                         n_samples: job.spec.n1,
                         ..Default::default()
                     };
-                    PeriodicFdSweepJob::new(
+                    let mut sweep = PeriodicFdSweepJob::new(
                         job.spec.family.clone(),
                         job.spec.amplitudes.clone(),
                         1.0 / job.spec.f1,
                         options,
                         make(job, 0.0, false),
                     )
+                    .with_budget(budgets[row.job_idx].child());
+                    if let Some(fault) = faults.get(&job.spec.family) {
+                        sweep = sweep.with_fault(fault.clone());
+                    }
+                    sweep
                 })
                 .collect();
             inner

@@ -116,6 +116,13 @@ pub struct JobSpec {
     pub n2: usize,
     /// Scheduling priority.
     pub priority: Priority,
+    /// Per-job wall-clock deadline (milliseconds), measured from
+    /// dispatch. `None` falls back to the service's
+    /// `ServeConfig::default_deadline_ms`. Deadlines are *scheduling*
+    /// policy, not solution identity: they are excluded from the job's
+    /// store key, so a deadline-carrying replay of a stored request is
+    /// still a memo hit.
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -135,6 +142,7 @@ impl JobSpec {
             n1: 16,
             n2: 8,
             priority: Priority::Normal,
+            deadline_ms: None,
         }
     }
 
@@ -269,7 +277,7 @@ impl JobSpec {
 
     /// Wire encoding.
     pub fn to_json(&self) -> Json {
-        Json::object([
+        let mut members = vec![
             ("family", Json::string(&*self.family)),
             ("backend", Json::string(self.backend.label())),
             ("f1", Json::number(self.f1)),
@@ -284,7 +292,11 @@ impl JobSpec {
             ("n1", Json::from(self.n1)),
             ("n2", Json::from(self.n2)),
             ("priority", Json::string(self.priority.label())),
-        ])
+        ];
+        if let Some(ms) = self.deadline_ms {
+            members.push(("deadline_ms", Json::from(ms as usize)));
+        }
+        Json::object(members)
     }
 
     /// Wire decoding.
@@ -348,6 +360,7 @@ impl JobSpec {
             n1: number("n1")? as usize,
             n2: json.number_at("n2").unwrap_or(0.0) as usize,
             priority,
+            deadline_ms: json.number_at("deadline_ms").map(|ms| ms.max(0.0) as u64),
         })
     }
 }
@@ -601,6 +614,18 @@ mod tests {
         let s = spec();
         let back = JobSpec::from_json(&s.to_json()).expect("decode");
         assert_eq!(back, s);
+        // A deadline rides the wire but stays out of the store key.
+        let mut dl = spec();
+        dl.deadline_ms = Some(1500);
+        let back = JobSpec::from_json(&dl.to_json()).expect("decode");
+        assert_eq!(back, dl);
+        let registry = FamilyRegistry::builtin();
+        let q = Quantizer::default();
+        assert_eq!(
+            dl.key(&registry, q).expect("key"),
+            spec().key(&registry, q).expect("key"),
+            "deadline_ms is scheduling policy, not solution identity"
+        );
         // Missing fields are named.
         let err = JobSpec::from_json(&Json::parse(r#"{"backend":"mpde"}"#).expect("json"))
             .expect_err("missing f1");

@@ -9,7 +9,8 @@
 //! | verb | request fields | response payload |
 //! |------|----------------|------------------|
 //! | `submit` | `job` (a [`JobSpec`]) | `job_id` |
-//! | `poll` | `job_id`, optional `wait_ms` | `status`, `memo_hit`, `result` when done |
+//! | `poll` | `job_id`, optional `wait_ms` | `status`, `memo_hit`, `result` when done; `error` (+ `interrupted`) when failed |
+//! | `cancel` | `job_id` | `status` after the cancel took effect |
 //! | `stats` | — | the [`ServeStats`](crate::service::ServeStats) object |
 //! | `evict` | optional `family` | `evicted` count |
 //! | `shutdown` | — | acknowledges, then stops the server |
@@ -41,6 +42,12 @@ pub enum Request {
         job_id: u64,
         /// Server-side wait budget (0 = immediate snapshot).
         wait_ms: u64,
+    },
+    /// Cancel a job (idempotent; see
+    /// [`SimService::cancel`](crate::service::SimService::cancel)).
+    Cancel {
+        /// The job to cancel.
+        job_id: u64,
     },
     /// Service statistics.
     Stats,
@@ -78,6 +85,12 @@ impl Request {
                     as u64,
                 wait_ms: json.number_at("wait_ms").unwrap_or(0.0) as u64,
             }),
+            "cancel" => Ok(Request::Cancel {
+                job_id: json
+                    .number_at("job_id")
+                    .ok_or_else(|| ServeError::Protocol("cancel missing 'job_id'".into()))?
+                    as u64,
+            }),
             "stats" => Ok(Request::Stats),
             "evict" => Ok(Request::Evict {
                 family: json.string_at("family").map(str::to_string),
@@ -97,6 +110,10 @@ impl Request {
                 ("verb", Json::string("poll")),
                 ("job_id", Json::from(*job_id as usize)),
                 ("wait_ms", Json::from(*wait_ms as usize)),
+            ]),
+            Request::Cancel { job_id } => Json::object([
+                ("verb", Json::string("cancel")),
+                ("job_id", Json::from(*job_id as usize)),
             ]),
             Request::Stats => Json::object([("verb", Json::string("stats"))]),
             Request::Evict { family } => match family {
@@ -118,6 +135,22 @@ fn error_response(e: &ServeError) -> Json {
         ("ok", Json::Bool(false)),
         ("error", Json::string(e.to_string())),
     ])
+}
+
+/// The `interrupted` payload of a failed poll: why the control plane
+/// stopped the solve, and where the solve was when it stopped.
+/// `best_residual` is emitted only when finite (JSON has no Infinity;
+/// its absence means no iteration ever completed).
+fn interrupt_json(summary: &crate::service::InterruptSummary) -> Json {
+    let mut members = vec![
+        ("reason", Json::string(summary.label())),
+        ("iterations", Json::from(summary.iterations)),
+        ("elapsed_ms", Json::from(summary.elapsed_ms as usize)),
+    ];
+    if summary.best_residual.is_finite() {
+        members.push(("best_residual", Json::number(summary.best_residual)));
+    }
+    Json::object(members)
 }
 
 /// An `ok: true` response with extra payload members.
@@ -161,8 +194,14 @@ pub fn handle(service: &SimService, request: &Request) -> (Json, bool) {
                                 Json::string(format!("{:016x}", result.digest())),
                             ));
                         }
-                        JobStatus::Failed(why) => {
-                            members.push(("error", Json::string(&**why)));
+                        JobStatus::Failed {
+                            message,
+                            interrupted,
+                        } => {
+                            members.push(("error", Json::string(&**message)));
+                            if let Some(summary) = interrupted {
+                                members.push(("interrupted", interrupt_json(summary)));
+                            }
                         }
                         _ => {}
                     }
@@ -170,6 +209,13 @@ pub fn handle(service: &SimService, request: &Request) -> (Json, bool) {
                 }
             }
         }
+        Request::Cancel { job_id } => match service.cancel(JobId(*job_id)) {
+            Ok(status) => (
+                ok_response([("status", Json::string(status.label()))]),
+                false,
+            ),
+            Err(e) => (error_response(&e), false),
+        },
         Request::Stats => (ok_response([("stats", service.stats().to_json())]), false),
         Request::Evict { family } => {
             let evicted = service.evict(family.as_deref());
@@ -380,6 +426,7 @@ mod tests {
                 job_id: 7,
                 wait_ms: 250,
             },
+            Request::Cancel { job_id: 7 },
             Request::Stats,
             Request::Evict { family: None },
             Request::Evict {
@@ -401,6 +448,7 @@ mod tests {
             "{}",
             r#"{"verb":"warp"}"#,
             r#"{"verb":"poll"}"#,
+            r#"{"verb":"cancel"}"#,
             r#"{"verb":"submit"}"#,
         ] {
             assert!(

@@ -1,0 +1,274 @@
+//! Control-plane robustness: cancellation over the wire, deadline-based
+//! scheduler-slot reclamation, retry-with-backoff for transient solve
+//! failures, and panic isolation — all driven by deterministic injected
+//! faults ([`rfsim_circuit::fault`]), so every scenario is a real hung /
+//! failing solve going through the production dispatch path, not a mock.
+
+use std::time::{Duration, Instant};
+
+use rfsim_circuit::fault::SolveFault;
+use rfsim_numerics::InterruptReason;
+use rfsim_serve::service::{JobStatus, ServeConfig, SimService};
+use rfsim_serve::spec::{BackendKind, JobSpec};
+use rfsim_serve::wire::WireServer;
+use rfsim_serve::ServeClient;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn small_config() -> ServeConfig {
+    ServeConfig {
+        threads: 1,
+        ..Default::default()
+    }
+}
+
+fn spec(amplitude: f64) -> JobSpec {
+    let mut s = JobSpec::mpde("rc_lowpass", 1e6, vec![amplitude], vec![10e3]);
+    s.n1 = 8;
+    s.n2 = 4;
+    s
+}
+
+/// Polls `id` over the wire until its status matches `want` (bounded).
+fn poll_until(client: &mut ServeClient, id: u64, want: &str) -> rfsim_serve::client::PollOutcome {
+    let deadline = Instant::now() + WAIT;
+    loop {
+        let outcome = client.poll(id, 50).expect("poll");
+        if outcome.status == want {
+            return outcome;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {id} stuck in '{}' waiting for '{want}'",
+            outcome.status
+        );
+    }
+}
+
+/// No leaked engine workspaces: everything a solve checked out — hung,
+/// cancelled, failed, or finished — made it back to the parked pool.
+fn assert_zero_leaked_workspaces(service: &SimService) {
+    let cache = service.stats().engine_cache;
+    assert_eq!(
+        cache.parked, cache.misses,
+        "every created workspace must be parked again: {cache:?}"
+    );
+}
+
+/// The acceptance scenario: a deliberately-hung (fault-injected) job is
+/// cancelled over the wire, its scheduler slot is reused by a follow-up
+/// job, and no workspace leaks.
+#[test]
+fn hung_job_cancelled_over_wire_frees_its_slot() {
+    let service = SimService::start(small_config());
+    // Every rc_lowpass solve now hangs: sleeps per residual evaluation,
+    // never converges, safety-bounded at 60 s.
+    service.inject_fault("rc_lowpass", SolveFault::stall(5, 60_000));
+    let server = WireServer::start(service.clone(), "127.0.0.1:0").expect("bind");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    let id = client.submit(&spec(0.1)).expect("submit");
+    poll_until(&mut client, id, "running");
+    // Cancel the hung solve over the wire. It is mid-solve, so the token
+    // fires and the settlement arrives via poll.
+    let status = client.cancel(id).expect("cancel");
+    assert_eq!(status, "running", "a mid-solve cancel settles async");
+    let outcome = poll_until(&mut client, id, "failed");
+    assert_eq!(
+        outcome.interrupt_reason.as_deref(),
+        Some("cancelled"),
+        "typed interruption on the wire: {outcome:?}"
+    );
+    // Cancel is idempotent: a settled job reports its settled status.
+    assert_eq!(client.cancel(id).expect("re-cancel"), "failed");
+
+    // The slot is free again: un-fault the family and run a real job
+    // through the same scheduler and the same (single-thread) engine.
+    assert!(service.clear_fault("rc_lowpass"), "fault was installed");
+    let (_, follow_up) = client.run(&spec(0.2), WAIT).expect("follow-up job");
+    assert_eq!(follow_up.status, "done");
+
+    let q = service.stats().counters.queue(BackendKind::Mpde);
+    assert_eq!(q.failed, 1);
+    assert_eq!(q.completed, 1);
+    assert_zero_leaked_workspaces(&service);
+    drop(client);
+    server.stop();
+    server.join();
+}
+
+/// Cancelling a still-queued job settles it — and every submit coalesced
+/// onto the same execution — immediately, with the typed cancellation
+/// outcome, and frees the queue slot without waiting for the scheduler.
+#[test]
+fn cancel_before_dispatch_settles_every_coalesced_waiter() {
+    let service = SimService::start(ServeConfig {
+        paused: true,
+        ..small_config()
+    });
+    let request = spec(0.15);
+    let a = service.submit(&request).expect("submit a");
+    let b = service.submit(&request).expect("submit b");
+    assert_eq!(
+        service.stats().counters.queue(BackendKind::Mpde).coalesced,
+        1
+    );
+
+    // Cancelling either id cancels the shared execution; both waiters
+    // get the cancellation outcome.
+    let settled = service.cancel(b).expect("cancel");
+    assert_eq!(settled.label(), "failed");
+    for id in [a, b] {
+        match service.poll(id).expect("poll") {
+            JobStatus::Failed { interrupted, .. } => {
+                let i = interrupted.expect("typed cancellation outcome");
+                assert_eq!(i.reason, InterruptReason::Cancelled);
+                assert_eq!(i.iterations, 0, "never dispatched");
+            }
+            other => panic!("expected cancelled failure for {id}, got {other:?}"),
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(stats.queue_depth, 0, "the queue slot is free immediately");
+    assert_eq!(stats.counters.queue(BackendKind::Mpde).failed, 2);
+
+    // The stale heap entry does not confuse the scheduler: resume and
+    // run a fresh job end to end.
+    service.resume();
+    let done = service
+        .wait(service.submit(&spec(0.25)).expect("submit"), WAIT)
+        .expect("fresh job after cancel");
+    assert!(!done.points.is_empty());
+    assert_zero_leaked_workspaces(&service);
+}
+
+/// With a default deadline configured, hung jobs expire instead of
+/// pinning engine workers forever — the slots come back and later jobs
+/// run normally.
+#[test]
+fn default_deadline_reclaims_slots_under_load() {
+    let service = SimService::start(ServeConfig {
+        default_deadline_ms: Some(300),
+        ..small_config()
+    });
+    service.inject_fault("rc_lowpass", SolveFault::stall(5, 60_000));
+    // Two distinct hung executions dispatched as one single-threaded
+    // batch: both must expire, in order, on the one worker.
+    let ids = [
+        service.submit(&spec(0.1)).expect("submit"),
+        service.submit(&spec(0.2)).expect("submit"),
+    ];
+    for id in ids {
+        let err = service.wait(id, WAIT).expect_err("deadline must fire");
+        let why = err.to_string();
+        assert!(
+            why.contains("deadline_expired"),
+            "expected deadline expiry, got: {why}"
+        );
+        match service.poll(id).expect("poll") {
+            JobStatus::Failed { interrupted, .. } => {
+                assert_eq!(
+                    interrupted.expect("typed interruption").reason,
+                    InterruptReason::DeadlineExpired
+                );
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+    // Both slots reclaimed: a real job still fits under the default
+    // deadline and completes.
+    service.clear_fault("rc_lowpass");
+    let mut fast = spec(0.3);
+    fast.deadline_ms = Some(60_000); // per-job override beats the default
+    let done = service
+        .wait(service.submit(&fast).expect("submit"), WAIT)
+        .expect("job after reclamation");
+    assert!(!done.points.is_empty());
+    assert_zero_leaked_workspaces(&service);
+}
+
+/// A transient solver failure (diverges once, then recovers) is retried
+/// with backoff and ultimately succeeds; the retry is counted.
+#[test]
+fn transient_failure_is_retried_and_recovers() {
+    let service = SimService::start(ServeConfig {
+        retry_max: 2,
+        retry_backoff_ms: 10,
+        ..small_config()
+    });
+    service.inject_fault("rc_lowpass", SolveFault::diverge().times(1));
+    let done = service
+        .wait(service.submit(&spec(0.1)).expect("submit"), WAIT)
+        .expect("retry must recover the job");
+    assert!(!done.points.is_empty());
+    let q = service.stats().counters.queue(BackendKind::Mpde);
+    assert_eq!(q.retried, 1, "exactly one re-dispatch");
+    assert_eq!(q.failed, 0);
+    assert_eq!(q.completed, 1);
+    assert_zero_leaked_workspaces(&service);
+}
+
+/// Retries are bounded: a fault outlasting `retry_max` fails the job
+/// with the final error, after exactly `retry_max` re-dispatches.
+#[test]
+fn retries_exhaust_and_fail() {
+    let service = SimService::start(ServeConfig {
+        retry_max: 2,
+        retry_backoff_ms: 5,
+        ..small_config()
+    });
+    service.inject_fault("rc_lowpass", SolveFault::diverge());
+    let id = service.submit(&spec(0.1)).expect("submit");
+    service.wait(id, WAIT).expect_err("must fail");
+    match service.poll(id).expect("poll") {
+        JobStatus::Failed { interrupted, .. } => {
+            assert!(interrupted.is_none(), "a divergence is not an interruption");
+        }
+        other => panic!("expected failure, got {other:?}"),
+    }
+    assert_eq!(service.stats().counters.queue(BackendKind::Mpde).retried, 2);
+    assert_zero_leaked_workspaces(&service);
+}
+
+/// A panicking solve is isolated by the scheduler and is *not* treated
+/// as transient: no retries, immediate failure, scheduler stays alive.
+#[test]
+fn panics_fail_immediately_without_retry() {
+    let service = SimService::start(ServeConfig {
+        retry_max: 3,
+        retry_backoff_ms: 5,
+        ..small_config()
+    });
+    service.inject_fault("rc_lowpass", SolveFault::panicking());
+    let id = service.submit(&spec(0.1)).expect("submit");
+    let err = service.wait(id, WAIT).expect_err("panic fails the job");
+    assert!(err.to_string().contains("panicked"), "{err}");
+    assert_eq!(service.stats().counters.queue(BackendKind::Mpde).retried, 0);
+
+    // The scheduler survived: clear the fault and solve for real.
+    service.clear_fault("rc_lowpass");
+    let done = service
+        .wait(service.submit(&spec(0.2)).expect("submit"), WAIT)
+        .expect("job after panic");
+    assert!(!done.points.is_empty());
+}
+
+/// A cancel for a job that already finished changes nothing and returns
+/// the settled status (wire-level idempotency contract).
+#[test]
+fn cancel_after_completion_is_a_no_op() {
+    let service = SimService::start(small_config());
+    let id = service.submit(&spec(0.1)).expect("submit");
+    let result = service.wait(id, WAIT).expect("solve");
+    match service.cancel(id).expect("cancel") {
+        JobStatus::Done { result: kept, .. } => {
+            assert_eq!(kept.digest(), result.digest());
+        }
+        other => panic!("expected the settled Done status, got {other:?}"),
+    }
+    // And the result is still pollable, untouched.
+    match service.poll(id).expect("poll") {
+        JobStatus::Done { result: kept, .. } => assert_eq!(kept.digest(), result.digest()),
+        other => panic!("poll after no-op cancel: {other:?}"),
+    }
+}

@@ -12,7 +12,7 @@
 //! a second (difference-frequency) axis.
 
 use rfsim_circuit::newton::{
-    newton_solve_with_workspace, LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem,
+    newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem,
 };
 use rfsim_circuit::{Circuit, Result, UnknownKind};
 use rfsim_numerics::diff::DiffScheme;
@@ -218,6 +218,32 @@ pub fn periodic_fd_pss_with_workspace(
     options: PeriodicFdOptions,
     workspace: &mut LinearSolverWorkspace,
 ) -> Result<PeriodicFdResult> {
+    periodic_fd_pss_budgeted(
+        circuit,
+        period,
+        initial_guess,
+        options,
+        workspace,
+        &rfsim_numerics::SolveBudget::unlimited(),
+    )
+}
+
+/// [`periodic_fd_pss_with_workspace`] under a
+/// [`SolveBudget`](rfsim_numerics::SolveBudget): the budget covers the DC
+/// seed and the global collocation Newton solve.
+///
+/// # Errors
+///
+/// [`rfsim_circuit::CircuitError::Interrupted`] when the budget stops a
+/// solve, plus everything [`periodic_fd_pss`] returns.
+pub fn periodic_fd_pss_budgeted(
+    circuit: &Circuit,
+    period: f64,
+    initial_guess: Option<&[f64]>,
+    options: PeriodicFdOptions,
+    workspace: &mut LinearSolverWorkspace,
+    budget: &rfsim_numerics::SolveBudget,
+) -> Result<PeriodicFdResult> {
     let n = circuit.num_unknowns();
     let ns = options.n_samples.max(options.scheme.min_points());
     let times: Vec<f64> = (0..ns).map(|i| period * i as f64 / ns as f64).collect();
@@ -241,7 +267,11 @@ pub fn periodic_fd_pss_with_workspace(
     let x0: Vec<f64> = match initial_guess {
         Some(g) => g.to_vec(),
         None => {
-            let op = rfsim_circuit::dcop::dc_operating_point(circuit, Default::default())?;
+            let op = rfsim_circuit::dcop::dc_operating_point_budgeted(
+                circuit,
+                Default::default(),
+                budget,
+            )?;
             let mut x0 = Vec::with_capacity(ns * n);
             for _ in 0..ns {
                 x0.extend_from_slice(&op.solution);
@@ -257,7 +287,7 @@ pub fn periodic_fd_pss_with_workspace(
     let kinds: Vec<UnknownKind> = kinds;
 
     let (samples, stats) =
-        newton_solve_with_workspace(&sys, &x0, &kinds, options.newton, workspace)?;
+        newton_solve_budgeted(&sys, &x0, &kinds, options.newton, workspace, budget)?;
     Ok(PeriodicFdResult {
         times,
         samples,

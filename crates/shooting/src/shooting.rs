@@ -11,16 +11,17 @@
 //! needs `~10·f_LO/fd` time steps (≈300 000 for the paper's mixer), which
 //! is what the sheared-MPDE method's 1200-point grid replaces.
 
-use rfsim_circuit::dcop::dc_operating_point;
+use rfsim_circuit::dcop::dc_operating_point_budgeted;
 use rfsim_circuit::newton::{
-    newton_solve_with_workspace, LinearSolverWorkspace, NewtonOptions, NewtonSystem,
+    newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions, NewtonSystem,
 };
 use rfsim_circuit::{Circuit, CircuitError, Result, UnknownKind};
 use rfsim_numerics::dense::DenseMatrix;
-use rfsim_numerics::krylov::{gmres, FnOperator, GmresOptions, IdentityPrecond};
+use rfsim_numerics::krylov::{gmres_budgeted, FnOperator, GmresOptions, IdentityPrecond};
 use rfsim_numerics::sparse::{CscAssembly, CscMatrix, CsrAssembly, CsrMatrix, Triplets};
 use rfsim_numerics::sparse_lu::{LuOptions, SparseLu, SymbolicLu};
 use rfsim_numerics::vector::wrms_ratio;
+use rfsim_numerics::SolveBudget;
 use std::sync::Arc;
 
 /// How the shooting update equation `(M − I)·δ = −r` is solved.
@@ -174,6 +175,7 @@ fn integrate_period(
     keep_ops: bool,
     workspace: &mut LinearSolverWorkspace,
     cache: &mut SensitivityCache,
+    budget: &SolveBudget,
 ) -> Result<PeriodSweep> {
     let n = circuit.num_unknowns();
     let h = period / steps as f64;
@@ -203,7 +205,7 @@ fn integrate_period(
             q_prev_over_h: &q_prev_over_h,
             b_new: &b_new,
         };
-        let (x_new, stats) = newton_solve_with_workspace(&sys, &x, kinds, newton, workspace)?;
+        let (x_new, stats) = newton_solve_budgeted(&sys, &x, kinds, newton, workspace, budget)?;
         inner_iterations += stats.iterations;
 
         if keep_ops {
@@ -287,11 +289,35 @@ pub fn shooting_pss(
     initial_guess: Option<&[f64]>,
     options: ShootingOptions,
 ) -> Result<ShootingResult> {
+    shooting_pss_budgeted(
+        circuit,
+        period,
+        initial_guess,
+        options,
+        &SolveBudget::unlimited(),
+    )
+}
+
+/// [`shooting_pss`] under a [`SolveBudget`]: the budget covers the DC
+/// seed, every inner per-step Newton solve of every outer iteration, and
+/// the matrix-free GMRES update.
+///
+/// # Errors
+///
+/// [`CircuitError::Interrupted`] when the budget stops a solve, plus
+/// everything [`shooting_pss`] returns.
+pub fn shooting_pss_budgeted(
+    circuit: &Circuit,
+    period: f64,
+    initial_guess: Option<&[f64]>,
+    options: ShootingOptions,
+    budget: &SolveBudget,
+) -> Result<ShootingResult> {
     let n = circuit.num_unknowns();
     let kinds = circuit.unknown_kinds().to_vec();
     let mut x0: Vec<f64> = match initial_guess {
         Some(g) => g.to_vec(),
-        None => dc_operating_point(circuit, Default::default())?.solution,
+        None => dc_operating_point_budgeted(circuit, Default::default(), budget)?.solution,
     };
     let mut total_steps = 0;
     let mut inner_newton = 0;
@@ -311,6 +337,7 @@ pub fn shooting_pss(
             true,
             &mut workspace,
             &mut sensitivity_cache,
+            budget,
         )?;
         total_steps += options.steps_per_period;
         inner_newton += sweep.inner_iterations;
@@ -357,7 +384,7 @@ pub fn shooting_pss(
                         y[i] = v[i] - mv[i];
                     }
                 });
-                let (delta, _) = gmres(
+                let (delta, _) = gmres_budgeted(
                     &op,
                     &IdentityPrecond,
                     &r,
@@ -368,6 +395,7 @@ pub fn shooting_pss(
                         max_iters: 10 * n + 50,
                         ..Default::default()
                     },
+                    budget,
                 )
                 .map_err(CircuitError::from)?;
                 delta
