@@ -643,6 +643,149 @@ pub fn cancel_latency_scenario(reps: usize) -> CancelOutcome {
     }
 }
 
+/// Outcome of the recovery-ladder scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct LadderOutcome {
+    /// Diverge-fault solves that settled with the typed `Diverged`
+    /// outcome (not a generic convergence failure, not an interruption).
+    pub diverged_typed: usize,
+    /// Progress snapshots carrying a non-finite residual — a NaN iterate
+    /// the Newton loop committed and reported. The headline PR 7 bug;
+    /// must stay zero.
+    pub nan_iterates_committed: usize,
+    /// Newton iterations the typed divergence consumed (depth of the
+    /// deepest progress snapshot; the pre-fix loop burned the whole
+    /// ceiling committing NaN iterates).
+    pub iterations_to_diverge: usize,
+    /// The iteration ceiling of the diverge-fault solve.
+    pub max_iters: usize,
+    /// Ladder runs whose diverging first rung was rescued by the retry
+    /// rung (typed climb, not error-swallowing).
+    pub ladder_rescues: usize,
+    /// Ladder runs attempted.
+    pub ladder_runs: usize,
+}
+
+impl LadderOutcome {
+    /// Fast-fail headroom: the iteration ceiling over the iterations the
+    /// typed divergence actually consumed. The pre-fix step committed
+    /// non-finite iterates and ground to the ceiling (headroom ~1); the
+    /// fixed step detects the non-finite damping trials on the spot.
+    pub fn fast_fail_headroom(&self) -> f64 {
+        self.max_iters as f64 / self.iterations_to_diverge.max(1) as f64
+    }
+}
+
+/// The recovery-ladder scenario (PR 7 acceptance criterion): a
+/// deterministic diverge fault — finite residual only at the seed, so
+/// every damping trial of the first Newton step is non-finite — must
+/// settle with the *typed* [`rfsim_circuit::CircuitError::Diverged`]
+/// outcome in far fewer iterations than the ceiling, committing zero
+/// NaN iterates along the way (watched via the budget's progress
+/// snapshots). A two-rung [`rfsim_circuit::driver::NewtonDriver`]
+/// ladder over the same shape
+/// then proves the climb: the plain rung diverges, the retry rung
+/// rescues the solve, and the outcome records which rung won.
+pub fn recovery_ladder_scenario(reps: usize) -> LadderOutcome {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    use rfsim_circuit::driver::{NewtonDriver, Rung, RungExec, RungKind};
+    use rfsim_circuit::fault::SolveFault;
+    use rfsim_circuit::newton::NewtonOptions;
+    use rfsim_circuit::CircuitError;
+    use rfsim_numerics::SolveBudget;
+
+    /// Finite residual only at the seed: the first step diverges.
+    struct NanRidge;
+    impl NewtonSystem for NanRidge {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn residual(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = if x[0] == 1.0 { 1.0 } else { f64::NAN };
+        }
+        fn residual_and_jacobian(&self, x: &[f64], out: &mut [f64], jac: &mut Triplets) {
+            self.residual(x, out);
+            jac.push(0, 0, 1.0);
+        }
+    }
+
+    /// `F(x) = x − ½`: one Newton step from the fresh seed converges.
+    struct Anchored;
+    impl NewtonSystem for Anchored {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn residual(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = x[0] - 0.5;
+        }
+        fn residual_and_jacobian(&self, x: &[f64], out: &mut [f64], jac: &mut Triplets) {
+            self.residual(x, out);
+            jac.push(0, 0, 1.0);
+        }
+    }
+
+    // The diverge fault's pinned iteration ceiling (see
+    // `SolveFault::run`): what the pre-fix loop would have burned.
+    const FAULT_MAX_ITERS: usize = 8;
+    let nan_snapshots = Arc::new(AtomicUsize::new(0));
+    let deepest = Arc::new(AtomicUsize::new(0));
+    let (nan_c, deep_c) = (Arc::clone(&nan_snapshots), Arc::clone(&deepest));
+    let budget = SolveBudget::unlimited().observed(move |p| {
+        if !p.residual.is_finite() || !p.best_residual.is_finite() {
+            nan_c.fetch_add(1, Ordering::Relaxed);
+        }
+        deep_c.fetch_max(p.iteration, Ordering::Relaxed);
+    });
+
+    let mut diverged_typed = 0;
+    for _ in 0..reps {
+        let err = SolveFault::diverge()
+            .run(&budget)
+            .expect_err("the diverge fault must fail");
+        if matches!(err, CircuitError::Diverged { .. }) {
+            diverged_typed += 1;
+        }
+    }
+    let iterations_to_diverge = deepest.load(Ordering::Relaxed);
+
+    let mut ladder_rescues = 0;
+    let mut workspace = LinearSolverWorkspace::new();
+    for _ in 0..reps {
+        let outcome = NewtonDriver::new(NewtonOptions {
+            max_iters: FAULT_MAX_ITERS,
+            ..Default::default()
+        })
+        .solve_ladder(
+            "bench recovery ladder",
+            &mut workspace,
+            &budget,
+            vec![
+                Rung::new(RungKind::Plain, |exec: &mut RungExec<'_>| {
+                    exec.newton(&NanRidge, &[1.0], &[]).map(|(x, _)| x)
+                }),
+                Rung::new(RungKind::RetryUnseeded, |exec: &mut RungExec<'_>| {
+                    exec.newton(&Anchored, &[0.0], &[]).map(|(x, _)| x)
+                }),
+            ],
+        )
+        .expect("the retry rung rescues the solve");
+        if outcome.rung == RungKind::RetryUnseeded && outcome.rungs_attempted == 2 {
+            ladder_rescues += 1;
+        }
+    }
+
+    LadderOutcome {
+        diverged_typed,
+        nan_iterates_committed: nan_snapshots.load(Ordering::Relaxed),
+        iterations_to_diverge,
+        max_iters: FAULT_MAX_ITERS,
+        ladder_rescues,
+        ladder_runs: reps,
+    }
+}
+
 // The JSON reader/writer this gate originally carried now lives in
 // `rfsim_numerics::json`, where the serve wire protocol shares it;
 // re-exported here so gate callers keep working unchanged.
@@ -766,6 +909,18 @@ mod tests {
         assert!(outcome.typed, "{outcome:?}");
         assert!(outcome.reclaimed, "{outcome:?}");
         assert!(outcome.latency_ns > 0.0, "{outcome:?}");
+    }
+
+    #[test]
+    fn recovery_ladder_fails_typed_rescues_and_commits_no_nan() {
+        // One cheap reprise of the PR 7 acceptance criteria (the gate
+        // floors run in release via `bench_gate`): typed divergence,
+        // zero committed NaN iterates, and a real rung climb.
+        let outcome = recovery_ladder_scenario(1);
+        assert_eq!(outcome.diverged_typed, 1, "{outcome:?}");
+        assert_eq!(outcome.nan_iterates_committed, 0, "{outcome:?}");
+        assert_eq!(outcome.ladder_rescues, 1, "{outcome:?}");
+        assert!(outcome.fast_fail_headroom() >= 2.0, "{outcome:?}");
     }
 
     #[test]

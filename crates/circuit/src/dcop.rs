@@ -10,9 +10,8 @@ use rfsim_numerics::sparse::Triplets;
 use rfsim_numerics::SolveBudget;
 
 use crate::circuit::{Circuit, UnknownKind};
-use crate::newton::{
-    newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem,
-};
+use crate::driver::{NewtonDriver, NewtonProfile, Rung, RungExec, RungKind};
+use crate::newton::{LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem};
 use crate::{CircuitError, Result};
 
 /// Options for [`dc_operating_point`].
@@ -33,13 +32,7 @@ pub struct DcOptions {
 impl Default for DcOptions {
     fn default() -> Self {
         DcOptions {
-            // Junction exponentials converge one thermal voltage per Newton
-            // iteration until the quadratic regime: give DC a deep budget
-            // (iterations are cheap at circuit size).
-            newton: NewtonOptions {
-                max_iters: 500,
-                ..Default::default()
-            },
+            newton: NewtonProfile::Dc.options(),
             gmin_start: 1e-2,
             gmin_final: 1e-12,
             gmin_steps_per_decade: 1,
@@ -116,15 +109,17 @@ pub fn dc_operating_point(circuit: &Circuit, options: DcOptions) -> Result<DcRes
 
 /// [`dc_operating_point`] under a [`SolveBudget`].
 ///
-/// The budget is threaded into every Newton solve on every rung of the
-/// ladder. A [`CircuitError::Interrupted`] outcome short-circuits the
-/// whole ladder: cancellation and deadlines are control-plane stops, so
-/// neither gmin stepping nor source stepping is tried after one.
+/// The ladder is declared on a [`NewtonDriver`]: plain Newton → gmin
+/// stepping → source stepping, each rung under a stage-labelled budget
+/// child. A [`CircuitError::Interrupted`] outcome short-circuits the
+/// whole ladder (the driver never retries a control-plane stop), as does
+/// any structural error; recoverable failures — divergence, iteration
+/// exhaustion, singular kernels — feed the next rung.
 ///
 /// # Errors
 ///
-/// [`CircuitError::Interrupted`] when the budget stops a solve;
-/// [`CircuitError::ConvergenceFailure`] if every strategy fails.
+/// [`CircuitError::Interrupted`] when the budget stops a solve; the last
+/// rung's typed error if every strategy fails.
 pub fn dc_operating_point_budgeted(
     circuit: &Circuit,
     options: DcOptions,
@@ -139,53 +134,55 @@ pub fn dc_operating_point_budgeted(
     // the ladder (gmin and λ scale values, never structure), so one
     // workspace carries the symbolic factorisation through all of them.
     let mut workspace = LinearSolverWorkspace::new();
-
-    // Rung 1: plain Newton with the residual gmin.
-    let sys = DcSystem {
-        circuit,
-        b: b.clone(),
-        gmin: options.gmin_final,
-        lambda: 1.0,
+    let driver = NewtonDriver::new(options.newton);
+    let b_ref = &b;
+    let kinds_ref = &kinds;
+    let opts_ref = &options;
+    let outcome = driver.solve_ladder(
+        "dc operating point",
+        &mut workspace,
+        budget,
+        vec![
+            Rung::new(RungKind::Plain, |exec: &mut RungExec<'_>| {
+                let sys = DcSystem {
+                    circuit,
+                    b: b_ref.clone(),
+                    gmin: opts_ref.gmin_final,
+                    lambda: 1.0,
+                };
+                exec.newton(&sys, &x0, kinds_ref)
+            }),
+            Rung::new(RungKind::GminStepping, |exec: &mut RungExec<'_>| {
+                gmin_stepping(circuit, b_ref, kinds_ref, opts_ref, exec)
+            }),
+            Rung::new(RungKind::SourceStepping, |exec: &mut RungExec<'_>| {
+                source_stepping(circuit, b_ref, kinds_ref, opts_ref, exec)
+            }),
+        ],
+    )?;
+    let strategy = match outcome.rung {
+        RungKind::GminStepping => DcStrategy::GminStepping,
+        RungKind::SourceStepping => DcStrategy::SourceStepping,
+        _ => DcStrategy::Direct,
     };
-    match newton_solve_budgeted(&sys, &x0, &kinds, options.newton, &mut workspace, budget) {
-        Ok((solution, stats)) => {
-            return Ok(DcResult {
-                solution,
-                stats,
-                strategy: DcStrategy::Direct,
-            })
-        }
-        Err(e) if e.is_interrupted() => return Err(e),
-        Err(_) => {}
-    }
-
-    // Rung 2: gmin stepping.
-    if let Some(result) = gmin_stepping(circuit, &b, &kinds, &options, &mut workspace, budget)? {
-        return Ok(result);
-    }
-
-    // Rung 3: source stepping.
-    if let Some(result) = source_stepping(circuit, &b, &kinds, &options, &mut workspace, budget)? {
-        return Ok(result);
-    }
-
-    Err(CircuitError::ConvergenceFailure {
-        analysis: "dc operating point".into(),
-        iterations: options.newton.max_iters,
-        residual: f64::NAN,
+    let (solution, stats) = outcome.value;
+    Ok(DcResult {
+        solution,
+        stats,
+        strategy,
     })
 }
 
-/// `Ok(None)` means "this rung failed numerically, try the next";
-/// `Err` is reserved for interruptions, which abort the whole ladder.
+/// The gmin-stepping rung: ramp a shunt conductance down decade by
+/// decade, then polish at the residual gmin. Any sub-solve error
+/// propagates — the driver classifies it (recoverable → next rung).
 fn gmin_stepping(
     circuit: &Circuit,
     b: &[f64],
     kinds: &[UnknownKind],
     options: &DcOptions,
-    workspace: &mut LinearSolverWorkspace,
-    budget: &SolveBudget,
-) -> Result<Option<DcResult>> {
+    exec: &mut RungExec<'_>,
+) -> Result<(Vec<f64>, NewtonStats)> {
     let mut x = vec![0.0; circuit.num_unknowns()];
     let mut gmin = options.gmin_start;
     let factor = 10f64.powf(1.0 / options.gmin_steps_per_decade.max(1) as f64);
@@ -196,11 +193,7 @@ fn gmin_stepping(
             gmin,
             lambda: 1.0,
         };
-        match newton_solve_budgeted(&sys, &x, kinds, options.newton, workspace, budget) {
-            Ok((sol, _)) => x = sol,
-            Err(e) if e.is_interrupted() => return Err(e),
-            Err(_) => return Ok(None),
-        }
+        x = exec.newton(&sys, &x, kinds)?.0;
         if gmin <= options.gmin_final {
             break;
         }
@@ -213,27 +206,24 @@ fn gmin_stepping(
         gmin: options.gmin_final,
         lambda: 1.0,
     };
-    match newton_solve_budgeted(&sys, &x, kinds, options.newton, workspace, budget) {
-        Ok((solution, stats)) => Ok(Some(DcResult {
-            solution,
-            stats,
-            strategy: DcStrategy::GminStepping,
-        })),
-        Err(e) if e.is_interrupted() => Err(e),
-        Err(_) => Ok(None),
-    }
+    exec.newton(&sys, &x, kinds)
 }
 
-/// `Ok(None)` means "this rung failed numerically, try the next";
-/// `Err` is reserved for interruptions, which abort the whole ladder.
+/// The source-stepping rung: ramp the excitation λ from 0 to 1, halving
+/// the step on recoverable failures (step-level retries stay inside the
+/// rung; only running out of step budget fails it).
 fn source_stepping(
     circuit: &Circuit,
     b: &[f64],
     kinds: &[UnknownKind],
     options: &DcOptions,
-    workspace: &mut LinearSolverWorkspace,
-    budget: &SolveBudget,
-) -> Result<Option<DcResult>> {
+    exec: &mut RungExec<'_>,
+) -> Result<(Vec<f64>, NewtonStats)> {
+    let give_up = |steps_used: usize| CircuitError::ConvergenceFailure {
+        analysis: "dc operating point (source stepping)".into(),
+        iterations: steps_used,
+        residual: f64::NAN,
+    };
     let mut x = vec![0.0; circuit.num_unknowns()];
     let mut lambda: f64 = 0.0;
     let mut step: f64 = 0.1;
@@ -241,7 +231,7 @@ fn source_stepping(
     let mut last_stats = None;
     while lambda < 1.0 {
         if steps_used >= options.max_source_steps {
-            return Ok(None);
+            return Err(give_up(steps_used));
         }
         let target = (lambda + step).min(1.0);
         let sys = DcSystem {
@@ -250,31 +240,28 @@ fn source_stepping(
             gmin: options.gmin_final,
             lambda: target,
         };
-        match newton_solve_budgeted(&sys, &x, kinds, options.newton, workspace, budget) {
+        match exec.newton(&sys, &x, kinds) {
             Ok((sol, stats)) => {
                 x = sol;
                 lambda = target;
                 last_stats = Some(stats);
                 step = (step * 1.5).min(0.25);
             }
-            Err(e) if e.is_interrupted() => return Err(e),
-            Err(_) => {
+            Err(e) if e.is_recoverable() => {
                 // Numerical failure: halve the source step and retry.
                 step *= 0.5;
                 if step < 1e-6 {
-                    return Ok(None);
+                    return Err(give_up(steps_used));
                 }
             }
+            Err(e) => return Err(e),
         }
         steps_used += 1;
     }
-    Ok(Some(DcResult {
-        solution: x,
-        stats: last_stats.ok_or_else(|| CircuitError::Structural {
-            context: "source stepping finished without a successful step".into(),
-        })?,
-        strategy: DcStrategy::SourceStepping,
-    }))
+    let stats = last_stats.ok_or_else(|| CircuitError::Structural {
+        context: "source stepping finished without a successful step".into(),
+    })?;
+    Ok((x, stats))
 }
 
 #[cfg(test)]

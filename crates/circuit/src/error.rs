@@ -35,6 +35,23 @@ pub enum CircuitError {
         /// Final residual norm.
         residual: f64,
     },
+    /// The Newton iteration *diverged*: every damping trial produced a
+    /// non-finite residual, so no step — however small — stays on the
+    /// residual surface. Unlike [`CircuitError::ConvergenceFailure`]
+    /// (which burns `max_iters` making finite-but-insufficient
+    /// progress), divergence is detected the moment it happens and is
+    /// the typed signal a recovery ladder
+    /// ([`NewtonDriver`](crate::driver::NewtonDriver)) uses to move to
+    /// its next rung instead of committing a NaN iterate.
+    Diverged {
+        /// Which analysis diverged.
+        analysis: String,
+        /// Iterations completed before divergence.
+        iterations: usize,
+        /// Best (finite) residual norm seen before divergence, infinite
+        /// if the very first residual was already non-finite.
+        best_residual: f64,
+    },
     /// A source lacks the bivariate (multi-time) description required by an
     /// MPDE analysis.
     MissingBivariateSource {
@@ -69,6 +86,16 @@ impl fmt::Display for CircuitError {
                 "{analysis} failed to converge after {iterations} iterations \
                  (residual {residual:.3e})"
             ),
+            CircuitError::Diverged {
+                analysis,
+                iterations,
+                best_residual,
+            } => write!(
+                f,
+                "{analysis} diverged after {iterations} iterations: every damping \
+                 trial produced a non-finite residual (best finite residual \
+                 {best_residual:.3e})"
+            ),
             CircuitError::MissingBivariateSource { device } => write!(
                 f,
                 "source '{device}' has no bivariate (multi-time) waveform; \
@@ -102,6 +129,23 @@ impl CircuitError {
     /// propagated, never absorbed by a retry ladder).
     pub fn is_interrupted(&self) -> bool {
         matches!(self, CircuitError::Interrupted(_))
+    }
+
+    /// Whether a recovery ladder may absorb this error and try its next
+    /// rung. Solver outcomes — divergence, running out of iterations, a
+    /// singular or otherwise failed numerical kernel — are recoverable:
+    /// a different rung (gmin stepping, continuation, an unseeded
+    /// retry) can legitimately succeed where this one failed.
+    /// Interruptions (the control plane asked for the stop) and
+    /// structural / parameter / naming errors (every rung would fail
+    /// identically) are not.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            CircuitError::Diverged { .. }
+                | CircuitError::ConvergenceFailure { .. }
+                | CircuitError::Numerics(_)
+        )
     }
 }
 
@@ -145,6 +189,29 @@ mod tests {
         assert!(e.to_string().contains("singular"));
         use std::error::Error;
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn recoverability_splits_solver_outcomes_from_structural_faults() {
+        let diverged = CircuitError::Diverged {
+            analysis: "dc operating point".into(),
+            iterations: 3,
+            best_residual: f64::INFINITY,
+        };
+        assert!(diverged.is_recoverable());
+        assert!(!diverged.is_interrupted());
+        assert!(diverged.to_string().contains("diverged after 3"));
+        let structural = CircuitError::Structural {
+            context: "floating node".into(),
+        };
+        assert!(!structural.is_recoverable());
+        let interrupted = CircuitError::Interrupted(SolveInterrupted {
+            reason: rfsim_numerics::InterruptReason::Cancelled,
+            iterations: 1,
+            best_residual: 1.0,
+            elapsed: std::time::Duration::from_millis(1),
+        });
+        assert!(!interrupted.is_recoverable());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! solve fails one batch instead of a whole service.
 //!
 //! The faults are not mocks: [`SolveFault::run`] executes a genuine
-//! budgeted Newton solve ([`newton_solve_budgeted`]) over a tiny
+//! budgeted Newton solve (through the [`NewtonDriver`]) over a tiny
 //! synthetic [`NewtonSystem`] engineered to exhibit the failure mode,
 //! so the exact production code paths — the iteration loop, the damping
 //! trials, the budget check points — are what the tests exercise.
@@ -24,7 +24,8 @@ use std::time::Duration;
 use rfsim_numerics::sparse::Triplets;
 use rfsim_numerics::SolveBudget;
 
-use crate::newton::{newton_solve_budgeted, NewtonOptions, NewtonSystem};
+use crate::driver::NewtonDriver;
+use crate::newton::{NewtonOptions, NewtonSystem};
 use crate::Result;
 
 /// What the injected solve does.
@@ -106,8 +107,9 @@ impl SolveFault {
     /// # Errors
     ///
     /// [`crate::CircuitError::Interrupted`] when the budget stops a
-    /// stall, [`crate::CircuitError::ConvergenceFailure`] when the
-    /// fault runs to its own failure.
+    /// stall, [`crate::CircuitError::ConvergenceFailure`] when a stall
+    /// runs to its safety bound, [`crate::CircuitError::Diverged`] when
+    /// the diverge fault fires.
     ///
     /// # Panics
     ///
@@ -132,15 +134,15 @@ impl SolveFault {
                     max_iters: (max_ms / poll_ms.max(1)).max(1) as usize,
                     ..Default::default()
                 };
-                newton_solve_budgeted(
-                    &system,
-                    &[0.0],
-                    &[],
-                    options,
-                    &mut crate::newton::LinearSolverWorkspace::new(),
-                    budget,
-                )
-                .map(|_| ())
+                NewtonDriver::new(options)
+                    .solve(
+                        &system,
+                        &[0.0],
+                        &[],
+                        &mut crate::newton::LinearSolverWorkspace::new(),
+                        budget,
+                    )
+                    .map(|_| ())
             }
             FaultMode::Diverge => {
                 let system = DivergeSystem;
@@ -148,15 +150,15 @@ impl SolveFault {
                     max_iters: 8,
                     ..Default::default()
                 };
-                newton_solve_budgeted(
-                    &system,
-                    &[1.0],
-                    &[],
-                    options,
-                    &mut crate::newton::LinearSolverWorkspace::new(),
-                    budget,
-                )
-                .map(|_| ())
+                NewtonDriver::new(options)
+                    .solve(
+                        &system,
+                        &[1.0],
+                        &[],
+                        &mut crate::newton::LinearSolverWorkspace::new(),
+                        budget,
+                    )
+                    .map(|_| ())
             }
             FaultMode::Panic => panic!("injected fault: panic on solve"),
         }
@@ -186,7 +188,12 @@ impl NewtonSystem for StallSystem {
     }
 }
 
-/// `F(x) = x² + 1`: no real root, so Newton can only fail.
+/// Finite residual only at the seed point: the first Newton step's
+/// damping trials are all non-finite, so the solve returns the typed
+/// [`crate::CircuitError::Diverged`] immediately. The fault models
+/// *divergence* (the recovery ladder's rung signal), not mere iteration
+/// exhaustion — drills assert the typed outcome survives all the way to
+/// a wire poll.
 struct DivergeSystem;
 
 impl NewtonSystem for DivergeSystem {
@@ -195,14 +202,12 @@ impl NewtonSystem for DivergeSystem {
     }
 
     fn residual(&self, x: &[f64], out: &mut [f64]) {
-        out[0] = x[0] * x[0] + 1.0;
+        out[0] = if x[0] == 1.0 { 1.0 } else { f64::NAN };
     }
 
     fn residual_and_jacobian(&self, x: &[f64], out: &mut [f64], jac: &mut Triplets) {
         self.residual(x, out);
-        // Keep the Jacobian away from exact zero so the step is always
-        // well-defined; the residual still has no root.
-        jac.push(0, 0, if x[0].abs() < 1e-3 { 2e-3 } else { 2.0 * x[0] });
+        jac.push(0, 0, 1.0);
     }
 }
 
@@ -253,11 +258,15 @@ mod tests {
     }
 
     #[test]
-    fn diverge_fault_fails_fast() {
+    fn diverge_fault_fails_fast_with_the_typed_outcome() {
         let err = SolveFault::diverge()
             .run(&SolveBudget::unlimited())
             .expect_err("diverge must fail");
         assert!(err.interrupted().is_none());
+        assert!(
+            matches!(err, crate::CircuitError::Diverged { .. }),
+            "the diverge fault reports typed divergence, got {err:?}"
+        );
     }
 
     #[test]

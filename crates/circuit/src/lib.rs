@@ -37,6 +37,7 @@ pub mod builder;
 pub mod circuit;
 pub mod dcop;
 pub mod devices;
+pub mod driver;
 pub mod fault;
 pub mod newton;
 pub mod stamp;
@@ -49,6 +50,7 @@ mod node;
 pub use builder::CircuitBuilder;
 pub use circuit::{Circuit, UnknownKind};
 pub use devices::{DiodeParams, MosPolarity, MosfetParams};
+pub use driver::{DriverOutcome, NewtonDriver, NewtonProfile, Rung, RungExec, RungKind};
 pub use error::CircuitError;
 pub use node::{NodeId, GROUND};
 pub use stamp::StampContext;

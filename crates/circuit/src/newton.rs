@@ -237,6 +237,14 @@ pub struct WorkspaceStats {
     /// Memo-eligible sub-jobs that missed the solution memo and paid a
     /// full sweep (jobs without a memo token are not counted).
     pub engine_memo_misses: usize,
+    /// Recovery-ladder rungs attempted by a
+    /// [`NewtonDriver`](crate::driver::NewtonDriver) solve (a one-rung
+    /// solve that converges first try counts 1).
+    pub rung_attempts: usize,
+    /// Rungs that produced the accepted solution (one per successful
+    /// driver solve; `rung_attempts − rung_successes` is the recovery
+    /// work the ladder absorbed).
+    pub rung_successes: usize,
 }
 
 impl WorkspaceStats {
@@ -259,6 +267,8 @@ impl WorkspaceStats {
             precond_rebuilds,
             engine_memo_hits,
             engine_memo_misses,
+            rung_attempts,
+            rung_successes,
         } = other;
         self.full_factorizations += full_factorizations;
         self.refactorizations += refactorizations;
@@ -274,6 +284,8 @@ impl WorkspaceStats {
         self.precond_rebuilds += precond_rebuilds;
         self.engine_memo_hits += engine_memo_hits;
         self.engine_memo_misses += engine_memo_misses;
+        self.rung_attempts += rung_attempts;
+        self.rung_successes += rung_successes;
     }
 }
 
@@ -733,6 +745,9 @@ pub struct NewtonStats {
 ///
 /// * [`CircuitError::ConvergenceFailure`] if the iteration budget is
 ///   exhausted.
+/// * [`CircuitError::Diverged`] if every damping trial of some step
+///   produces a non-finite residual — the iterate is left untouched and
+///   the error returns immediately, never after `max_iters` of NaN.
 /// * [`CircuitError::Numerics`] if the Jacobian is singular.
 pub fn newton_solve<S: NewtonSystem>(
     system: &S,
@@ -848,9 +863,12 @@ pub fn newton_solve_budgeted<S: NewtonSystem>(
                 Err(e) => return Err(e),
             }
         } else {
-            workspace
-                .solve_cached(&neg_f)
-                .expect("chord step requires existing factors")
+            // The fresh-step decision above checked `has_factors()`, but a
+            // missing factorisation here must degrade to a typed error,
+            // not a panic: a rung transition or interrupt handler that
+            // cleared the workspace between iterations would otherwise
+            // take the whole scheduler thread down with it.
+            chord_solve(workspace, &neg_f)?
         };
         // Voltage-update limiting (junction limiting): clamp per component
         // so one over-eager exponential cannot poison the whole step.
@@ -899,9 +917,26 @@ pub fn newton_solve_budgeted<S: NewtonSystem>(
                 chord_left = 0;
                 continue;
             }
-            // No improving step found: take the least-bad finite trial to
-            // keep moving (Newton sometimes must climb a residual ridge).
-            alpha = best.map(|(a, _)| a).unwrap_or(options.min_damping);
+            // No improving step found: take the least-bad *finite* trial
+            // to keep moving (Newton sometimes must climb a residual
+            // ridge). If every trial residual was non-finite there is no
+            // such trial — committing one anyway would overwrite `x` with
+            // a NaN/Inf iterate that the stagnation counter cannot see
+            // (`NaN >= anything` is false, so it resets every iteration)
+            // and the solve would burn the rest of `max_iters` at NaN.
+            // That is divergence: report it as the typed ladder signal.
+            let Some((best_alpha, _)) = best else {
+                return Err(CircuitError::Diverged {
+                    analysis: "newton".into(),
+                    iterations: iter,
+                    best_residual: if res_norm.is_finite() {
+                        res_norm.min(meter.best_residual())
+                    } else {
+                        meter.best_residual()
+                    },
+                });
+            };
+            alpha = best_alpha;
             for i in 0..n {
                 trial[i] = x[i] + alpha * dx[i];
             }
@@ -963,13 +998,44 @@ pub fn newton_solve_budgeted<S: NewtonSystem>(
     })
 }
 
+/// A chord (modified-Newton) linear solve through the workspace's cached
+/// factors, as a typed error rather than a panic when the factors are
+/// gone. Unreachable in today's single-threaded iteration (the fresh-step
+/// decision pre-checks [`LinearSolverWorkspace::has_factors`]), but the
+/// failure mode must stay an error: the serve scheduler treats a panic as
+/// a bug, not weather.
+fn chord_solve(workspace: &mut LinearSolverWorkspace, neg_f: &[f64]) -> Result<Vec<f64>> {
+    workspace
+        .solve_cached(neg_f)
+        .ok_or_else(|| CircuitError::Structural {
+            context: "chord step requested but the workspace holds no cached factors \
+                      (cleared between the reuse decision and the solve)"
+                .into(),
+        })
+}
+
 /// Weighted update ratio with per-kind absolute tolerances.
+///
+/// Contract: `kinds` is either empty — every unknown is then judged
+/// against the *voltage* tolerance `abstol_v`, which is only correct for
+/// systems with no branch-current unknowns (scalar test systems, pure
+/// nodal reductions) — or it names every unknown. All production
+/// backends thread real kinds (`Circuit::unknown_kinds` et al.); the
+/// empty-slice path exists for kind-less callers that own that
+/// trade-off.
 fn weighted_update_ratio(
     dx: &[f64],
     x: &[f64],
     kinds: &[UnknownKind],
     options: &NewtonOptions,
 ) -> f64 {
+    debug_assert!(
+        kinds.is_empty() || kinds.len() == dx.len(),
+        "kinds must be empty (all-voltage tolerances) or cover every unknown \
+         ({} kinds for {} unknowns)",
+        kinds.len(),
+        dx.len()
+    );
     if kinds.is_empty() {
         return wrms_ratio(dx, x, options.reltol, options.abstol_v);
     }
@@ -1067,6 +1133,77 @@ mod tests {
             newton_solve(&Quadratic, &[100.0], &[], opts),
             Err(CircuitError::ConvergenceFailure { .. })
         ));
+    }
+
+    /// Finite residual only at the starting point: every damping trial,
+    /// however small the step, lands on NaN. The old fallback committed
+    /// the `min_damping` trial anyway, poisoning `x` and burning
+    /// `max_iters` at NaN (the stagnation counter cannot fire on NaN).
+    struct NaNRidge;
+
+    impl NewtonSystem for NaNRidge {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn residual(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = if x[0] == 0.0 { 1.0 } else { f64::NAN };
+        }
+        fn residual_and_jacobian(&self, x: &[f64], out: &mut [f64], jac: &mut Triplets) {
+            self.residual(x, out);
+            jac.push(0, 0, 1.0);
+        }
+    }
+
+    #[test]
+    fn non_finite_damping_trials_return_typed_divergence() {
+        let err = newton_solve(&NaNRidge, &[0.0], &[], NewtonOptions::default())
+            .expect_err("no finite step exists");
+        match err {
+            CircuitError::Diverged {
+                analysis,
+                iterations,
+                best_residual,
+            } => {
+                assert_eq!(analysis, "newton");
+                // Detected the moment the line search exhausts — far
+                // inside the iteration budget, not after max_iters of NaN.
+                assert_eq!(iterations, 1);
+                assert!(
+                    iterations < NewtonOptions::default().max_iters,
+                    "divergence must not burn the whole budget"
+                );
+                // No finite residual was ever accepted.
+                assert!(best_residual.is_infinite() || best_residual == 1.0);
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn divergence_does_not_commit_nan_iterate() {
+        // Run through the workspace wrapper too, and assert the error is
+        // recoverable (ladder fuel), not an interruption.
+        let mut ws = LinearSolverWorkspace::new();
+        let err =
+            newton_solve_with_workspace(&NaNRidge, &[0.0], &[], NewtonOptions::default(), &mut ws)
+                .expect_err("diverges");
+        assert!(err.is_recoverable());
+        assert!(!err.is_interrupted());
+    }
+
+    #[test]
+    fn chord_solve_without_factors_is_a_typed_error() {
+        let mut ws = LinearSolverWorkspace::new();
+        assert!(!ws.has_factors());
+        let err = chord_solve(&mut ws, &[1.0]).expect_err("no factors cached");
+        assert!(
+            matches!(err, CircuitError::Structural { .. }),
+            "got {err:?}"
+        );
+        assert!(
+            !err.is_recoverable(),
+            "a cleared workspace is a bug, not weather"
+        );
     }
 
     #[test]

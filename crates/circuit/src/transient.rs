@@ -12,7 +12,8 @@ use rfsim_numerics::SolveBudget;
 
 use crate::circuit::Circuit;
 use crate::dcop::{dc_operating_point_budgeted, DcOptions};
-use crate::newton::{newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions, NewtonSystem};
+use crate::driver::NewtonDriver;
+use crate::newton::{LinearSolverWorkspace, NewtonOptions, NewtonSystem};
 use crate::{CircuitError, Result};
 
 /// Implicit integration scheme.
@@ -354,11 +355,13 @@ pub fn transient_from_budgeted(
             None => x.clone(),
         };
 
-        match newton_solve_budgeted(
+        // Per-timestep recovery is dt halving (below), not a rung
+        // ladder; the driver still owns the solve so rung accounting and
+        // progress staging stay uniform across backends.
+        match NewtonDriver::new(options.newton).solve(
             &sys,
             &prediction,
             &kinds,
-            options.newton,
             &mut workspace,
             budget,
         ) {

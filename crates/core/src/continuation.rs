@@ -7,7 +7,8 @@
 //! replicated DC operating point) to the full bivariate excitation
 //! (`λ = 1`), with adaptive step control and warm-started Newton solves.
 
-use rfsim_circuit::newton::{newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions};
+use rfsim_circuit::driver::{NewtonDriver, NewtonProfile, Rung, RungExec, RungKind};
+use rfsim_circuit::newton::{LinearSolverWorkspace, NewtonOptions};
 use rfsim_circuit::{CircuitError, Result};
 use rfsim_numerics::SolveBudget;
 
@@ -35,10 +36,7 @@ impl Default for ContinuationOptions {
             step_min: 1e-4,
             step_max: 0.5,
             max_steps: 200,
-            newton: NewtonOptions {
-                max_iters: 60,
-                ..Default::default()
-            },
+            newton: NewtonProfile::ContinuationStep.options(),
         }
     }
 }
@@ -109,6 +107,40 @@ pub fn continuation_solve_budgeted(
     workspace: &mut LinearSolverWorkspace,
     budget: &SolveBudget,
 ) -> Result<(Vec<f64>, ContinuationStats)> {
+    // A one-rung ladder: standalone continuation still goes through the
+    // driver so its iterations are staged ("continuation") and its rung
+    // is counted. As the fallback rung of the MPDE solve the body runs
+    // directly inside that ladder's exec (`continuation_solve_rung`),
+    // avoiding nested rung accounting.
+    let driver = NewtonDriver::new(options.newton);
+    let outcome = driver.solve_ladder(
+        "mpde continuation",
+        workspace,
+        budget,
+        vec![Rung::new(
+            RungKind::Continuation,
+            move |exec: &mut RungExec<'_>| continuation_solve_rung(system, x0, options, exec),
+        )],
+    )?;
+    Ok(outcome.value)
+}
+
+/// The continuation body, running as one rung of a
+/// [`NewtonDriver`] ladder: every Newton solve goes through `exec` (and
+/// so the ladder's staged budget and shared workspace) with the
+/// continuation's own inner-step options. λ-step halving absorbs
+/// *recoverable* sub-solve failures; interruptions and structural errors
+/// propagate.
+///
+/// # Errors
+///
+/// See [`continuation_solve`].
+pub fn continuation_solve_rung(
+    system: &mut MpdeSystem<'_>,
+    x0: &[f64],
+    options: ContinuationOptions,
+    exec: &mut RungExec<'_>,
+) -> Result<(Vec<f64>, ContinuationStats)> {
     let kinds = system.kinds().to_vec();
     let mut stats = ContinuationStats {
         accepted_steps: 0,
@@ -118,7 +150,7 @@ pub fn continuation_solve_budgeted(
 
     // λ = 0 anchor.
     system.set_lambda(0.0);
-    let (mut x, s0) = newton_solve_budgeted(system, x0, &kinds, options.newton, workspace, budget)?;
+    let (mut x, s0) = exec.newton_with(options.newton, system, x0, &kinds)?;
     stats.newton_iterations += s0.iterations;
 
     let mut lambda: f64 = 0.0;
@@ -134,7 +166,7 @@ pub fn continuation_solve_budgeted(
         }
         let target = (lambda + step).min(1.0);
         system.set_lambda(target);
-        match newton_solve_budgeted(system, &x, &kinds, options.newton, workspace, budget) {
+        match exec.newton_with(options.newton, system, &x, &kinds) {
             Ok((x_new, s)) => {
                 stats.newton_iterations += s.iterations;
                 stats.accepted_steps += 1;
@@ -145,11 +177,7 @@ pub fn continuation_solve_budgeted(
                     step = (step * 1.7).min(options.step_max);
                 }
             }
-            Err(e) if e.is_interrupted() => {
-                system.set_lambda(1.0);
-                return Err(e);
-            }
-            Err(_) => {
+            Err(e) if e.is_recoverable() => {
                 stats.rejected_steps += 1;
                 step *= 0.5;
                 if step < options.step_min {
@@ -160,6 +188,10 @@ pub fn continuation_solve_budgeted(
                         residual: f64::NAN,
                     });
                 }
+            }
+            Err(e) => {
+                system.set_lambda(1.0);
+                return Err(e);
             }
         }
     }

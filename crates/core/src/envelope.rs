@@ -9,9 +9,8 @@
 //! (dissipative) circuits. The global-Newton solver uses a sweep or two as
 //! a high-quality initial guess.
 
-use rfsim_circuit::newton::{
-    newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions, NewtonSystem,
-};
+use rfsim_circuit::driver::{NewtonDriver, NewtonProfile};
+use rfsim_circuit::newton::{LinearSolverWorkspace, NewtonOptions, NewtonSystem};
 use rfsim_circuit::{Circuit, Result, UnknownKind};
 use rfsim_numerics::diff::DiffScheme;
 use rfsim_numerics::sparse::Triplets;
@@ -36,10 +35,9 @@ impl Default for EnvelopeOptions {
         EnvelopeOptions {
             scheme1: DiffScheme::default(),
             sweeps: 2,
-            newton: NewtonOptions {
-                max_iters: 200,
-                ..Default::default()
-            },
+            // Each row is a 1-D periodic boundary-value problem — the
+            // steady-state profile's deeper budget.
+            newton: NewtonProfile::SteadyState.options(),
         }
     }
 }
@@ -209,14 +207,8 @@ pub fn envelope_follow_budgeted(
     // All row systems share one Jacobian structure (inv_h2 only scales
     // values): one workspace serves the whole sweep.
     let mut workspace = LinearSolverWorkspace::new();
-    let (mut row, _) = newton_solve_budgeted(
-        &sys0,
-        &row_guess,
-        &kinds,
-        options.newton,
-        &mut workspace,
-        budget,
-    )?;
+    let driver = NewtonDriver::new(options.newton);
+    let (mut row, _) = driver.solve(&sys0, &row_guess, &kinds, &mut workspace, budget)?;
 
     let mut data = vec![0.0; n1 * n2 * n];
     let mut q_prev = row_charge(circuit, &row, n1);
@@ -234,14 +226,7 @@ pub fn envelope_follow_budgeted(
                     q_prev: q_prev.clone(),
                     b_row: b_rows[j].clone(),
                 };
-                let (new_row, _) = newton_solve_budgeted(
-                    &sys,
-                    &row,
-                    &kinds,
-                    options.newton,
-                    &mut workspace,
-                    budget,
-                )?;
+                let (new_row, _) = driver.solve(&sys, &row, &kinds, &mut workspace, budget)?;
                 row = new_row;
                 q_prev = row_charge(circuit, &row, n1);
             }

@@ -6,15 +6,16 @@
 //! "good starting guess" can be the replicated DC operating point or a few
 //! envelope-following sweeps.
 
-use rfsim_circuit::newton::{
-    newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions, NewtonSystem,
-};
+use std::cell::RefCell;
+
+use rfsim_circuit::driver::{NewtonDriver, NewtonProfile, Rung, RungExec, RungKind};
+use rfsim_circuit::newton::{LinearSolverWorkspace, NewtonOptions, NewtonSystem};
 use rfsim_circuit::{Circuit, Result};
 use rfsim_numerics::diff::DiffScheme;
 use rfsim_numerics::sparse::{PatternFingerprint, Triplets};
 use rfsim_numerics::SolveBudget;
 
-use crate::continuation::{continuation_solve_budgeted, ContinuationOptions};
+use crate::continuation::{continuation_solve_rung, ContinuationOptions};
 use crate::envelope::{envelope_follow_budgeted, EnvelopeOptions};
 use crate::fdtd::MpdeSystem;
 use crate::grid::{MultitimeGrid, MultitimeSolution};
@@ -62,12 +63,9 @@ impl Default for MpdeOptions {
             n2: 30,
             scheme1: DiffScheme::BackwardEuler,
             scheme2: DiffScheme::BackwardEuler,
-            newton: NewtonOptions {
-                max_iters: 100,
-                // Chord steps amortise the large grid factorisations.
-                jacobian_reuse: 2,
-                ..Default::default()
-            },
+            // Chord (modified-Newton) reuse amortises the large grid
+            // factorisations — the driver's Grid profile.
+            newton: NewtonProfile::Grid.options(),
             initial_guess: InitialGuess::DcReplicate,
             continuation_fallback: true,
             continuation: ContinuationOptions::default(),
@@ -212,8 +210,12 @@ pub fn solve_mpde_budgeted(
 ) -> Result<MpdeSolution> {
     let grid = MultitimeGrid::new(options.n1, options.n2, t1_period, t2_period);
     let n = circuit.num_unknowns();
-    let mut system = MpdeSystem::new(circuit, grid, options.scheme1, options.scheme2)?;
+    let system = MpdeSystem::new(circuit, grid, options.scheme1, options.scheme2)?;
     let kinds = system.kinds().to_vec();
+    let dim = system.dim();
+    // Both rung closures need the system — the continuation rung mutably
+    // (it ramps λ) — so it lives in a RefCell shared by the ladder.
+    let system = RefCell::new(system);
 
     let x0: Vec<f64> = match &options.initial_guess {
         InitialGuess::DcReplicate => {
@@ -244,42 +246,52 @@ pub fn solve_mpde_budgeted(
         InitialGuess::Samples(s) => s.clone(),
     };
 
-    match newton_solve_budgeted(&system, &x0, &kinds, options.newton, workspace, budget) {
-        Ok((data, stats)) => Ok(MpdeSolution {
-            grid,
-            solution: MultitimeSolution::new(grid, n, data),
-            stats: MpdeStats {
-                newton_iterations: stats.iterations,
-                total_newton_iterations: stats.iterations,
-                continuation_steps: 0,
-                strategy: MpdeStrategy::Newton,
-                system_size: system.dim(),
-            },
-        }),
-        Err(newton_err) => {
-            if newton_err.is_interrupted() || !options.continuation_fallback {
-                return Err(newton_err);
-            }
-            let (data, cstats) = continuation_solve_budgeted(
-                &mut system,
-                &x0,
-                options.continuation,
-                workspace,
-                budget,
-            )?;
-            Ok(MpdeSolution {
-                grid,
-                solution: MultitimeSolution::new(grid, n, data),
-                stats: MpdeStats {
-                    newton_iterations: 0,
-                    total_newton_iterations: cstats.newton_iterations,
-                    continuation_steps: cstats.accepted_steps,
-                    strategy: MpdeStrategy::Continuation,
-                    system_size: system.dim(),
+    // The paper's two-rung ladder: global Newton from the seed, then
+    // source-ramping continuation. The driver classifies the failure —
+    // interruptions and structural errors abort without falling back.
+    let mut rungs: Vec<Rung<'_, (Vec<f64>, MpdeStats)>> =
+        vec![Rung::new(RungKind::Plain, |exec: &mut RungExec<'_>| {
+            let sys = system.borrow();
+            let (data, stats) = exec.newton(&*sys, &x0, &kinds)?;
+            Ok((
+                data,
+                MpdeStats {
+                    newton_iterations: stats.iterations,
+                    total_newton_iterations: stats.iterations,
+                    continuation_steps: 0,
+                    strategy: MpdeStrategy::Newton,
+                    system_size: dim,
                 },
-            })
-        }
+            ))
+        })];
+    if options.continuation_fallback {
+        rungs.push(Rung::new(
+            RungKind::Continuation,
+            |exec: &mut RungExec<'_>| {
+                let mut sys = system.borrow_mut();
+                let (data, cstats) =
+                    continuation_solve_rung(&mut sys, &x0, options.continuation, exec)?;
+                Ok((
+                    data,
+                    MpdeStats {
+                        newton_iterations: 0,
+                        total_newton_iterations: cstats.newton_iterations,
+                        continuation_steps: cstats.accepted_steps,
+                        strategy: MpdeStrategy::Continuation,
+                        system_size: dim,
+                    },
+                ))
+            },
+        ));
     }
+    let outcome =
+        NewtonDriver::new(options.newton).solve_ladder("mpde", workspace, budget, rungs)?;
+    let (data, stats) = outcome.value;
+    Ok(MpdeSolution {
+        grid,
+        solution: MultitimeSolution::new(grid, n, data),
+        stats,
+    })
 }
 
 #[cfg(test)]

@@ -6,9 +6,8 @@
 //! harmonic-balance solution expressed in collocated form. The Jacobian is
 //! block-dense in the time index — the classic HB trait.
 
-use rfsim_circuit::newton::{
-    newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem,
-};
+use rfsim_circuit::driver::{NewtonDriver, NewtonProfile};
+use rfsim_circuit::newton::{LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem};
 use rfsim_circuit::{Circuit, Result, UnknownKind};
 use rfsim_numerics::diff::spectral_weights;
 use rfsim_numerics::sparse::Triplets;
@@ -26,10 +25,8 @@ impl Default for Hb1Options {
     fn default() -> Self {
         Hb1Options {
             n_samples: 32,
-            newton: NewtonOptions {
-                max_iters: 200,
-                ..Default::default()
-            },
+            // Global spectral-collocation solve — the steady-state profile.
+            newton: NewtonProfile::SteadyState.options(),
         }
     }
 }
@@ -215,11 +212,10 @@ pub fn hb1_pss_budgeted(
     for _ in 0..ns {
         kinds.extend_from_slice(circuit.unknown_kinds());
     }
-    let (samples, stats) = newton_solve_budgeted(
+    let (samples, stats) = NewtonDriver::new(options.newton).solve(
         &sys,
         &x0,
         &kinds,
-        options.newton,
         &mut LinearSolverWorkspace::new(),
         budget,
     )?;

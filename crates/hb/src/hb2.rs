@@ -8,9 +8,8 @@
 //! converge spectrally; switching waveforms suffer Gibbs oscillation and
 //! slow coefficient decay (the paper's §1 argument against HB).
 
-use rfsim_circuit::newton::{
-    newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem,
-};
+use rfsim_circuit::driver::{NewtonDriver, NewtonProfile};
+use rfsim_circuit::newton::{LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem};
 use rfsim_circuit::{Circuit, Result, UnknownKind};
 use rfsim_numerics::diff::spectral_weights;
 use rfsim_numerics::sparse::Triplets;
@@ -31,10 +30,8 @@ impl Default for Hb2Options {
         Hb2Options {
             n1: 16,
             n2: 8,
-            newton: NewtonOptions {
-                max_iters: 200,
-                ..Default::default()
-            },
+            // Global two-axis collocation solve — the steady-state profile.
+            newton: NewtonProfile::SteadyState.options(),
         }
     }
 }
@@ -343,7 +340,7 @@ pub fn hb2_solve_budgeted(
         kinds.extend_from_slice(circuit.unknown_kinds());
     }
     let (samples, stats) =
-        newton_solve_budgeted(&sys, &x0, &kinds, options.newton, workspace, budget)?;
+        NewtonDriver::new(options.newton).solve(&sys, &x0, &kinds, workspace, budget)?;
     Ok(Hb2Result {
         period1,
         period2,

@@ -119,6 +119,9 @@ pub struct SolveProgress {
     pub best_residual: f64,
     /// Wall-clock time since the solve started.
     pub elapsed: Duration,
+    /// The stage label the solve is running under
+    /// ([`SolveBudget::with_stage`]) — e.g. a recovery-ladder rung name.
+    pub stage: Option<&'static str>,
 }
 
 type ProgressFn = dyn Fn(&SolveProgress) + Send + Sync;
@@ -134,6 +137,7 @@ pub struct SolveBudget {
     stagnation_window: usize,
     stagnation_rel_improvement: f64,
     progress: Option<Arc<ProgressFn>>,
+    stage: Option<&'static str>,
 }
 
 impl fmt::Debug for SolveBudget {
@@ -200,11 +204,44 @@ impl SolveBudget {
 
     /// Registers a progress callback, invoked once per outer iteration
     /// of a budgeted Newton solve. Keep it cheap: it runs on the solver
-    /// thread.
+    /// thread. Replaces any callback already installed; to *add* an
+    /// observer without dropping the existing one, use
+    /// [`SolveBudget::observed`].
     #[must_use]
     pub fn with_progress(mut self, f: impl Fn(&SolveProgress) + Send + Sync + 'static) -> Self {
         self.progress = Some(Arc::new(f));
         self
+    }
+
+    /// Adds a progress observer *in addition to* any callback already
+    /// installed (both run, existing first). Lets a service layer watch
+    /// a solve without severing a caller's own progress plumbing.
+    #[must_use]
+    pub fn observed(mut self, f: impl Fn(&SolveProgress) + Send + Sync + 'static) -> Self {
+        self.progress = Some(match self.progress.take() {
+            Some(prev) => Arc::new(move |p: &SolveProgress| {
+                prev(p);
+                f(p);
+            }),
+            None => Arc::new(f),
+        });
+        self
+    }
+
+    /// Labels the stage this budget's solves run under — a recovery-
+    /// ladder rung name, a continuation phase. The label rides along on
+    /// every [`SolveProgress`] snapshot so one progress callback can
+    /// distinguish which rung is reporting. Children inherit it until
+    /// re-labelled.
+    #[must_use]
+    pub fn with_stage(mut self, stage: &'static str) -> Self {
+        self.stage = Some(stage);
+        self
+    }
+
+    /// The stage label, if any.
+    pub fn stage(&self) -> Option<&'static str> {
+        self.stage
     }
 
     /// A child budget for one sub-solve of a fanned-out batch: shares
@@ -322,6 +359,7 @@ impl BudgetMeter {
                 residual,
                 best_residual: self.best_residual,
                 elapsed: self.start.elapsed(),
+                stage: self.budget.stage,
             });
         }
         if self.budget.stagnation_window > 0
@@ -438,6 +476,40 @@ mod tests {
         meter.note_iteration(2.0).unwrap();
         meter.note_iteration(1.0).unwrap();
         assert_eq!(*seen.lock().unwrap(), vec![(1, 2.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn observed_chains_instead_of_replacing() {
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let (first, second) = (Arc::clone(&seen), Arc::clone(&seen));
+        let budget = SolveBudget::unlimited()
+            .with_progress(move |p| first.lock().unwrap().push(("a", p.iteration)))
+            .observed(move |p| second.lock().unwrap().push(("b", p.iteration)));
+        let mut meter = budget.meter();
+        meter.note_iteration(1.0).unwrap();
+        assert_eq!(*seen.lock().unwrap(), vec![("a", 1), ("b", 1)]);
+    }
+
+    #[test]
+    fn stage_label_rides_on_progress_and_survives_children() {
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let budget = SolveBudget::unlimited()
+            .with_progress(move |p| sink.lock().unwrap().push(p.stage))
+            .with_stage("gmin_stepping");
+        assert_eq!(budget.stage(), Some("gmin_stepping"));
+        let child = budget.child();
+        let mut meter = child.meter();
+        meter.note_iteration(1.0).unwrap();
+        // Re-labelling a child does not disturb the parent.
+        let relabelled = budget.child().with_stage("source_stepping");
+        let mut meter = relabelled.meter();
+        meter.note_iteration(0.5).unwrap();
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![Some("gmin_stepping"), Some("source_stepping")]
+        );
+        assert_eq!(budget.stage(), Some("gmin_stepping"));
     }
 
     #[test]

@@ -54,7 +54,20 @@ pub fn norm2(x: &[f64]) -> f64 {
 /// Max-magnitude norm `‖x‖∞`.
 #[inline]
 pub fn norm_inf(x: &[f64]) -> f64 {
-    x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    // NaN must propagate: `f64::max` *ignores* NaN operands, so a plain
+    // max-fold reports an all-NaN vector as ‖x‖∞ = 0 — which upstream
+    // convergence tests read as "converged". A Newton line search once
+    // accepted a NaN iterate as residual-zero through exactly this hole.
+    x.iter().fold(0.0_f64, |m, &v| {
+        let a = v.abs();
+        // Both operands checked: `max` would also discard an accumulated
+        // NaN the moment a finite entry followed it.
+        if m.is_nan() || a.is_nan() {
+            f64::NAN
+        } else {
+            m.max(a)
+        }
+    })
 }
 
 /// Index and value of the entry with the largest magnitude, or `None` for an
@@ -134,6 +147,18 @@ mod tests {
     #[test]
     fn norm2_empty_is_zero() {
         assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn norms_propagate_nan_instead_of_reporting_zero() {
+        // `f64::max` ignores NaN: an all-NaN vector used to report
+        // ‖x‖∞ = 0 (and so ‖x‖₂ = 0), reading as perfect convergence.
+        assert!(norm_inf(&[f64::NAN]).is_nan());
+        assert!(norm_inf(&[f64::NAN, 1.0]).is_nan());
+        assert!(norm_inf(&[1.0, f64::NAN]).is_nan());
+        assert!(norm2(&[f64::NAN]).is_nan());
+        assert!(norm2(&[3.0, f64::NAN, 4.0]).is_nan());
+        assert!(norm_inf(&[f64::INFINITY]).is_infinite());
     }
 
     #[test]

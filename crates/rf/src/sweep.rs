@@ -69,6 +69,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use rfsim_circuit::driver::{NewtonDriver, Rung, RungExec, RungKind};
 use rfsim_circuit::fault::SolveFault;
 use rfsim_circuit::newton::{
     LinearSolverWorkspace, NewtonOptions, RefactorStrategy, WorkspaceCache, WorkspaceStats,
@@ -1548,17 +1549,28 @@ fn sweep_chain_inner<B: SweepBackend>(
             guess = None;
             hinted = false;
         }
-        let solution =
-            match backend.solve(&circuit, guess.as_deref(), &mut checked.workspace, budget) {
-                Ok(s) => s,
-                Err(e) if hinted && !e.is_interrupted() => {
-                    // A cross-job seed or cross-topology carry-over is a hint,
-                    // not a contract: retry from the job's own initial guess.
-                    // An interruption is a control-plane stop, never retried.
-                    backend.solve(&circuit, None, &mut checked.workspace, budget)?
-                }
-                Err(e) => return Err(e),
-            };
+        // The sweep point's recovery ladder: the (possibly seeded) solve,
+        // plus — when the warm start was only a hint (a cross-job seed or
+        // cross-topology carry-over, not a contract) — a retry from the
+        // job's own initial guess. The driver classifies the failure:
+        // interruptions and structural errors are never retried.
+        let mut rungs: Vec<Rung<'_, B::Solution>> =
+            vec![Rung::new(RungKind::Plain, |exec: &mut RungExec<'_>| {
+                let (ws, b) = exec.parts();
+                backend.solve(&circuit, guess.as_deref(), ws, b)
+            })];
+        if hinted {
+            rungs.push(Rung::new(
+                RungKind::RetryUnseeded,
+                |exec: &mut RungExec<'_>| {
+                    let (ws, b) = exec.parts();
+                    backend.solve(&circuit, None, ws, b)
+                },
+            ));
+        }
+        let solution = NewtonDriver::default()
+            .solve_ladder("sweep point", &mut checked.workspace, budget, rungs)?
+            .value;
         // A workspace taken without a probe reveals its key after warming;
         // record it so later re-keys (and the final check-in) route right.
         // A Krylov-configured workspace cannot self-report (it never builds

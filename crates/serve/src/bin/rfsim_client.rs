@@ -6,7 +6,7 @@
 //!     --n1 16 --n2 8 [--priority high] [--deadline-ms 5000] \
 //!     [--expect-memo] [--expect-solve]
 //! rfsim-client --addr … submit …      # same job flags, returns the id
-//! rfsim-client --addr … poll --job 7 [--wait-ms 500]
+//! rfsim-client --addr … poll --job 7 [--wait-ms 500] [--progress]
 //! rfsim-client --addr … cancel --job 7
 //! rfsim-client --addr … stats [--assert-min-hits N]
 //! rfsim-client --addr … evict [--family rc_lowpass]
@@ -134,12 +134,14 @@ fn main() -> ExitCode {
         "poll" => {
             let mut job = None;
             let mut wait_ms = 0u64;
+            let mut show_progress = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--job" => job = Some(it.next().expect("--job id").parse().expect("job id")),
                     "--wait-ms" => {
                         wait_ms = it.next().expect("--wait-ms value").parse().expect("wait")
                     }
+                    "--progress" => show_progress = true,
                     other => panic!("unknown poll flag {other}"),
                 }
             }
@@ -151,7 +153,7 @@ fn main() -> ExitCode {
                     println!("status=done memo_hit={} digest={digest}", outcome.memo_hit)
                 }
                 _ => println!(
-                    "status={}{}{}",
+                    "status={}{}{}{}",
                     outcome.status,
                     outcome
                         .error
@@ -160,6 +162,18 @@ fn main() -> ExitCode {
                     outcome
                         .interrupt_reason
                         .map(|r| format!(" interrupted={r}"))
+                        .unwrap_or_default(),
+                    outcome
+                        .progress
+                        .filter(|_| show_progress)
+                        .map(|p| format!(
+                            " rung={} iteration={}{}",
+                            p.rung,
+                            p.iteration,
+                            p.best_residual
+                                .map(|r| format!(" best_residual={r:.3e}"))
+                                .unwrap_or_default()
+                        ))
                         .unwrap_or_default()
                 ),
             }

@@ -28,6 +28,21 @@ pub struct PollOutcome {
     /// `stagnated`) when a `failed` job was stopped by its budget rather
     /// than by a solver error.
     pub interrupt_reason: Option<String>,
+    /// Mid-solve progress of a `running` job (absent until the first
+    /// Newton iteration reports, and once the job settles).
+    pub progress: Option<PollProgress>,
+}
+
+/// A running job's mid-solve snapshot from the wire `progress` object.
+#[derive(Debug, Clone)]
+pub struct PollProgress {
+    /// Active recovery-ladder rung label.
+    pub rung: String,
+    /// Newton iterations completed inside the active rung.
+    pub iteration: usize,
+    /// Best residual so far (absent before any iteration completes —
+    /// the wire omits non-finite values).
+    pub best_residual: Option<f64>,
 }
 
 /// A connected protocol client (one request/response at a time).
@@ -120,6 +135,13 @@ impl ServeClient {
             Some(json) => Some(JobResult::from_json(json)?),
             None => None,
         };
+        let progress = response
+            .string_at("progress.rung")
+            .map(|rung| PollProgress {
+                rung: rung.to_string(),
+                iteration: response.number_at("progress.iteration").unwrap_or(0.0) as usize,
+                best_residual: response.number_at("progress.best_residual"),
+            });
         Ok(PollOutcome {
             status,
             result,
@@ -127,6 +149,7 @@ impl ServeClient {
             digest: response.string_at("digest").map(str::to_string),
             error: response.string_at("error").map(str::to_string),
             interrupt_reason: response.string_at("interrupted.reason").map(str::to_string),
+            progress,
         })
     }
 

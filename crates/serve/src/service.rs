@@ -173,6 +173,47 @@ impl JobStatus {
     }
 }
 
+/// A mid-solve snapshot of a running job: which recovery-ladder rung is
+/// active, how deep its Newton iteration is, and the best residual seen.
+/// Published by the per-job budget's progress observer (the
+/// `NewtonDriver` stages every rung's budget child with the rung label),
+/// refreshed on every Newton iteration of every row of the job, and
+/// dropped when the job settles. Scheduling observability only — never
+/// part of a store key or a result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobProgress {
+    /// Active recovery-ladder rung label (`plain`, `gmin_stepping`,
+    /// `source_stepping`, `continuation`, `retry_unseeded`).
+    pub rung: &'static str,
+    /// Newton iterations completed inside the active rung.
+    pub iteration: usize,
+    /// Best residual norm seen so far in the active rung.
+    pub best_residual: f64,
+}
+
+/// Shared slot the solve thread writes progress into and `poll` reads
+/// from — one per in-flight execution, alongside its cancel token.
+type ProgressSlot = Arc<Mutex<Option<JobProgress>>>;
+
+/// Per-execution control handles: the cancel token fired by
+/// [`SimService::cancel`], the backend whose counters a pre-dispatch
+/// cancellation must charge, and the progress slot `poll` snapshots.
+struct JobControl {
+    token: CancelToken,
+    kind: BackendKind,
+    progress: ProgressSlot,
+}
+
+impl JobControl {
+    fn new(kind: BackendKind) -> Self {
+        JobControl {
+            token: CancelToken::new(),
+            kind,
+            progress: Arc::new(Mutex::new(None)),
+        }
+    }
+}
+
 /// The control-plane outcome of an interrupted job: what a
 /// [`SolveInterrupted`] looked like at the moment the budget stopped the
 /// solve, flattened to wire-friendly fields.
@@ -368,6 +409,8 @@ impl ServeStats {
                         "precond_refreshes",
                         Json::from(self.solver.precond_refreshes),
                     ),
+                    ("rung_attempts", Json::from(self.solver.rung_attempts)),
+                    ("rung_successes", Json::from(self.solver.rung_successes)),
                 ]),
             ),
         ])
@@ -498,10 +541,9 @@ struct SchedState {
     /// The best priority each *queued* (not yet dispatched) key holds —
     /// lets a higher-priority coalescing submit escalate its twin.
     queued_priority: HashMap<JobKey, Priority>,
-    /// Each in-flight execution's cancel token (created at admit, fired
-    /// by [`SimService::cancel`]) plus the backend whose counters a
-    /// before-dispatch cancellation must charge.
-    cancels: HashMap<JobKey, (CancelToken, BackendKind)>,
+    /// Each in-flight execution's control handles (created at admit):
+    /// cancel token, backend kind, progress slot.
+    cancels: HashMap<JobKey, JobControl>,
     /// Live job id → execution key, so `cancel(id)` can find the
     /// execution a coalesced id rides on. Entries drop when the id
     /// settles.
@@ -837,7 +879,7 @@ impl SimService {
         // Every fresh execution gets a cancel token at admit, so a
         // cancel landing while the job is still queued (or mid-solve)
         // always has a handle to fire.
-        state.cancels.insert(key, (CancelToken::new(), kind));
+        state.cancels.insert(key, JobControl::new(kind));
         let q = state.counters.queue_mut(kind);
         q.submitted += 1;
         drop(state);
@@ -859,6 +901,26 @@ impl SimService {
             .get(&id)
             .cloned()
             .ok_or(ServeError::UnknownJob(id.0))
+    }
+
+    /// The latest mid-solve [`JobProgress`] snapshot of a *running* job
+    /// (`None` while queued, before the first Newton iteration reports,
+    /// or once the job settles). Pure observability — reading it never
+    /// perturbs the solve.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`].
+    pub fn progress(&self, id: JobId) -> Result<Option<JobProgress>> {
+        let state = self.inner.state.lock().expect("state poisoned");
+        if !state.jobs.contains_key(&id) {
+            return Err(ServeError::UnknownJob(id.0));
+        }
+        Ok(state
+            .job_keys
+            .get(&id)
+            .and_then(|key| state.cancels.get(key))
+            .and_then(|control| *control.progress.lock().expect("progress slot poisoned")))
     }
 
     /// Blocks until `id` completes or fails, up to `timeout`.
@@ -934,15 +996,15 @@ impl SimService {
             None => return Ok(status),
         };
         if state.dispatched.contains(&key) {
-            if let Some((token, _)) = state.cancels.get(&key) {
-                token.cancel();
+            if let Some(control) = state.cancels.get(&key) {
+                control.token.cancel();
             }
             return Ok(JobStatus::Running);
         }
         // Not yet dispatched: complete all coalesced waiters right now —
         // no solve to wait out.
         let kind = match state.cancels.get(&key) {
-            Some((_, kind)) => *kind,
+            Some(control) => control.kind,
             None => return Ok(status),
         };
         let was_deferred = state.deferred.iter().any(|(_, job)| job.key == key);
@@ -1125,7 +1187,7 @@ fn complete_key(
 fn scheduler_loop(inner: &Arc<Inner>) {
     loop {
         // Phase 1: wait for work, drain a same-backend batch.
-        let (batch, tokens): (Vec<QueuedJob>, Vec<CancelToken>) = {
+        let (batch, tokens): (Vec<QueuedJob>, Vec<(CancelToken, ProgressSlot)>) = {
             let mut state = inner.state.lock().expect("state poisoned");
             loop {
                 if state.shutdown {
@@ -1164,7 +1226,7 @@ fn scheduler_loop(inner: &Arc<Inner>) {
                 };
             }
             let mut batch: Vec<QueuedJob> = Vec::new();
-            let mut tokens: Vec<CancelToken> = Vec::new();
+            let mut tokens: Vec<(CancelToken, ProgressSlot)> = Vec::new();
             let mut kind: Option<BackendKind> = None;
             while batch.len() < inner.config.batch_max {
                 // Stale entries — keys already dispatched (priority-
@@ -1199,8 +1261,8 @@ fn scheduler_loop(inner: &Arc<Inner>) {
                     state
                         .cancels
                         .get(&job.key)
-                        .map(|(token, _)| token.clone())
-                        .unwrap_or_default(),
+                        .map(|c| (c.token.clone(), Arc::clone(&c.progress)))
+                        .unwrap_or_else(|| (CancelToken::default(), Arc::default())),
                 );
                 batch.push(job);
             }
@@ -1330,13 +1392,25 @@ fn execute_batch(
     inner: &Arc<Inner>,
     kind: BackendKind,
     batch: &[QueuedJob],
-    tokens: &[CancelToken],
+    tokens: &[(CancelToken, ProgressSlot)],
 ) -> Vec<Result<JobResult>> {
     let budgets: Vec<SolveBudget> = batch
         .iter()
         .zip(tokens)
-        .map(|(job, token)| {
-            let mut budget = SolveBudget::unlimited().with_cancel(token.clone());
+        .map(|(job, (token, slot))| {
+            let slot = Arc::clone(slot);
+            let mut budget = SolveBudget::unlimited()
+                .with_cancel(token.clone())
+                // Publish mid-solve progress: the NewtonDriver stages
+                // every rung's budget child with the rung label, so each
+                // iteration snapshot names its ladder rung for `poll`.
+                .observed(move |p| {
+                    *slot.lock().expect("progress slot poisoned") = Some(JobProgress {
+                        rung: p.stage.unwrap_or("plain"),
+                        iteration: p.iteration,
+                        best_residual: p.best_residual,
+                    });
+                });
             if let Some(ms) = job.spec.deadline_ms.or(inner.config.default_deadline_ms) {
                 budget = budget.with_timeout(Duration::from_millis(ms));
             }

@@ -9,7 +9,7 @@
 //! | verb | request fields | response payload |
 //! |------|----------------|------------------|
 //! | `submit` | `job` (a [`JobSpec`]) | `job_id` |
-//! | `poll` | `job_id`, optional `wait_ms` | `status`, `memo_hit`, `result` when done; `error` (+ `interrupted`) when failed |
+//! | `poll` | `job_id`, optional `wait_ms` | `status`, `memo_hit`, `result` when done; `error` (+ `interrupted`) when failed; `progress` (`rung`, `iteration`, `best_residual`) while running |
 //! | `cancel` | `job_id` | `status` after the cancel took effect |
 //! | `stats` | — | the [`ServeStats`](crate::service::ServeStats) object |
 //! | `evict` | optional `family` | `evicted` count |
@@ -203,7 +203,23 @@ pub fn handle(service: &SimService, request: &Request) -> (Json, bool) {
                                 members.push(("interrupted", interrupt_json(summary)));
                             }
                         }
-                        _ => {}
+                        JobStatus::Running => {
+                            // Mid-solve observability: the active
+                            // recovery-ladder rung, its Newton iteration
+                            // depth, and the best residual so far. Absent
+                            // until the first iteration reports.
+                            if let Ok(Some(p)) = service.progress(id) {
+                                let mut prog = vec![
+                                    ("rung", Json::string(p.rung)),
+                                    ("iteration", Json::from(p.iteration)),
+                                ];
+                                if p.best_residual.is_finite() {
+                                    prog.push(("best_residual", Json::number(p.best_residual)));
+                                }
+                                members.push(("progress", Json::object(prog)));
+                            }
+                        }
+                        JobStatus::Queued => {}
                     }
                     (ok_response(members), false)
                 }

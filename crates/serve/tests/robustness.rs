@@ -253,6 +253,82 @@ fn panics_fail_immediately_without_retry() {
     assert!(!done.points.is_empty());
 }
 
+/// A running job's poll carries a `progress` object naming the active
+/// recovery-ladder rung, its Newton iteration depth and the best
+/// residual — published by the per-job budget's observer from the
+/// NewtonDriver's staged rungs, all the way out over the wire.
+#[test]
+fn running_job_reports_rung_progress_over_wire() {
+    let service = SimService::start(small_config());
+    // A stalling solve iterates forever without converging: plenty of
+    // time to observe mid-solve snapshots.
+    service.inject_fault("rc_lowpass", SolveFault::stall(2, 60_000));
+    let server = WireServer::start(service.clone(), "127.0.0.1:0").expect("bind");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    let id = client.submit(&spec(0.1)).expect("submit");
+    let deadline = Instant::now() + WAIT;
+    let progress = loop {
+        let outcome = client.poll(id, 50).expect("poll");
+        assert!(
+            outcome.status == "queued" || outcome.status == "running",
+            "the stalled job must not settle on its own: {outcome:?}"
+        );
+        if outcome.status == "running" {
+            if let Some(p) = outcome.progress {
+                break p;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no progress snapshot arrived while running"
+        );
+    };
+    assert_eq!(progress.rung, "plain", "the fault solves on the first rung");
+    assert!(progress.iteration >= 1, "snapshot: {progress:?}");
+    let best = progress.best_residual.expect("a finite best residual");
+    assert!(best.is_finite() && best > 0.0, "snapshot: {progress:?}");
+
+    // Settle the hung job; its progress snapshot dies with it.
+    client.cancel(id).expect("cancel");
+    let settled = poll_until(&mut client, id, "failed");
+    assert!(
+        settled.progress.is_none(),
+        "settled jobs report no progress"
+    );
+    drop(client);
+    server.stop();
+    server.join();
+}
+
+/// The diverge fault's *typed* outcome — `Diverged`, produced by the
+/// Newton driver when every damping trial is non-finite — survives all
+/// the way to a wire poll as the failure message, and is never confused
+/// with a budget interruption.
+#[test]
+fn diverge_fault_typed_outcome_reaches_wire_poll() {
+    let service = SimService::start(small_config());
+    service.inject_fault("rc_lowpass", SolveFault::diverge());
+    let server = WireServer::start(service.clone(), "127.0.0.1:0").expect("bind");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    let id = client.submit(&spec(0.1)).expect("submit");
+    let outcome = poll_until(&mut client, id, "failed");
+    let error = outcome.error.as_deref().expect("failure message");
+    assert!(
+        error.contains("diverged"),
+        "typed divergence on the wire: {outcome:?}"
+    );
+    assert!(
+        outcome.interrupt_reason.is_none(),
+        "a divergence is not an interruption: {outcome:?}"
+    );
+    assert_zero_leaked_workspaces(&service);
+    drop(client);
+    server.stop();
+    server.join();
+}
+
 /// A cancel for a job that already finished changes nothing and returns
 /// the settled status (wire-level idempotency contract).
 #[test]

@@ -11,9 +11,8 @@
 //! solver — the MPDE engine in `rfsim-mpde` extends the same structure with
 //! a second (difference-frequency) axis.
 
-use rfsim_circuit::newton::{
-    newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem,
-};
+use rfsim_circuit::driver::{NewtonDriver, NewtonProfile};
+use rfsim_circuit::newton::{LinearSolverWorkspace, NewtonOptions, NewtonStats, NewtonSystem};
 use rfsim_circuit::{Circuit, Result, UnknownKind};
 use rfsim_numerics::diff::DiffScheme;
 use rfsim_numerics::sparse::Triplets;
@@ -34,10 +33,8 @@ impl Default for PeriodicFdOptions {
         PeriodicFdOptions {
             n_samples: 64,
             scheme: DiffScheme::default(),
-            newton: NewtonOptions {
-                max_iters: 200,
-                ..Default::default()
-            },
+            // Global collocation solve — the steady-state profile.
+            newton: NewtonProfile::SteadyState.options(),
         }
     }
 }
@@ -287,7 +284,7 @@ pub fn periodic_fd_pss_budgeted(
     let kinds: Vec<UnknownKind> = kinds;
 
     let (samples, stats) =
-        newton_solve_budgeted(&sys, &x0, &kinds, options.newton, workspace, budget)?;
+        NewtonDriver::new(options.newton).solve(&sys, &x0, &kinds, workspace, budget)?;
     Ok(PeriodicFdResult {
         times,
         samples,

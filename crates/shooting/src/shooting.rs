@@ -12,9 +12,8 @@
 //! is what the sheared-MPDE method's 1200-point grid replaces.
 
 use rfsim_circuit::dcop::dc_operating_point_budgeted;
-use rfsim_circuit::newton::{
-    newton_solve_budgeted, LinearSolverWorkspace, NewtonOptions, NewtonSystem,
-};
+use rfsim_circuit::driver::NewtonDriver;
+use rfsim_circuit::newton::{LinearSolverWorkspace, NewtonOptions, NewtonSystem};
 use rfsim_circuit::{Circuit, CircuitError, Result, UnknownKind};
 use rfsim_numerics::dense::DenseMatrix;
 use rfsim_numerics::krylov::{gmres_budgeted, FnOperator, GmresOptions, IdentityPrecond};
@@ -205,7 +204,7 @@ fn integrate_period(
             q_prev_over_h: &q_prev_over_h,
             b_new: &b_new,
         };
-        let (x_new, stats) = newton_solve_budgeted(&sys, &x, kinds, newton, workspace, budget)?;
+        let (x_new, stats) = NewtonDriver::new(newton).solve(&sys, &x, kinds, workspace, budget)?;
         inner_iterations += stats.iterations;
 
         if keep_ops {
