@@ -1,16 +1,16 @@
 //! The CI bench-regression gate.
 //!
 //! Measures the refactor, batched-sweep, solution-store, engine-memo,
-//! build-free-submit, cancel-latency and recovery-ladder scenarios
-//! in-process, writes the results as `BENCH_pr7.json`, and compares the
-//! machine-portable speedup *ratios* against the committed baseline JSON
-//! within a relative tolerance (see `docs/benching.md` for the schema
-//! and the rationale). Exit code 0 = every ratio within tolerance; 1 =
-//! regression.
+//! build-free-submit, cancel-latency, recovery-ladder and
+//! sharded-throughput scenarios in-process, writes the results as
+//! `BENCH_pr8.json`, and compares the machine-portable speedup *ratios*
+//! against the committed baseline JSON within a relative tolerance (see
+//! `docs/benching.md` for the schema and the rationale). Exit code 0 =
+//! every ratio within tolerance; 1 = regression.
 //!
 //! ```text
 //! cargo run --release -p rfsim-bench --bin bench_gate -- \
-//!     --baseline BENCH_pr6.json --out BENCH_pr7.json --tolerance 0.25
+//!     --baseline BENCH_pr7.json --out BENCH_pr8.json --tolerance 0.25
 //! ```
 
 use std::io::Write;
@@ -19,7 +19,7 @@ use std::process::ExitCode;
 use rfsim_bench::gate::{
     cancel_latency_scenario, drift_scenario, engine_memo_scenario, evaluate,
     keyless_submit_scenario, memo_roundtrip, mpde_warm_vs_cold, recovery_ladder_scenario,
-    refactor_vs_full, GateCheck, Json,
+    refactor_vs_full, sharded_throughput_scenario, GateCheck, Json,
 };
 
 struct Args {
@@ -31,8 +31,8 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        baseline: "BENCH_pr6.json".into(),
-        out: "BENCH_pr7.json".into(),
+        baseline: "BENCH_pr7.json".into(),
+        out: "BENCH_pr8.json".into(),
         // Cross-machine reproducibility of the micro ratios is ~±20%
         // (measured by re-running a pinned build against a baseline
         // recorded on a different container), so a tighter band is
@@ -140,13 +140,29 @@ fn main() -> ExitCode {
         ladder.ladder_runs,
     );
 
+    let sharded = sharded_throughput_scenario(args.reps, 3);
+    println!(
+        "  sharded: {} clients vs a hung family ({} ms deadline) — single scheduler \
+         {:.0} ns vs {}-shard pool {:.0} ns → {:.2}x, healthy slots on {} shards, \
+         hung job isolated: {}, bit-identical: {}",
+        sharded.clients,
+        sharded.hung_deadline_ms,
+        sharded.single_ns,
+        sharded.shards,
+        sharded.sharded_ns,
+        sharded.speedup(),
+        sharded.fast_shards,
+        sharded.hung_isolated,
+        sharded.bit_identical,
+    );
+
     // ------------------------------------------------------------------
-    // Emit BENCH_pr7.json.
+    // Emit BENCH_pr8.json.
     // ------------------------------------------------------------------
     let json = format!(
         r#"{{
-  "pr": 7,
-  "title": "NaN-commit Newton fix and the unified observable recovery ladder (NewtonDriver)",
+  "pr": 8,
+  "title": "Sharded multi-engine serve tier with a non-blocking front-end",
   "machine_note": "emitted by `cargo run --release -p rfsim-bench --bin bench_gate`; absolute ns are machine-bound, the `ratios` section is what the CI gate compares (see docs/benching.md)",
   "benchmarks": [
     {{
@@ -196,6 +212,14 @@ fn main() -> ExitCode {
     {{
       "name": "serve/cancel_latency",
       "median_ns": {cancel_ns:.1}
+    }},
+    {{
+      "name": "serve/hung_family_single_scheduler",
+      "median_ns": {sharded_single_ns:.1}
+    }},
+    {{
+      "name": "serve/hung_family_shard_pool",
+      "median_ns": {sharded_pool_ns:.1}
     }}
   ],
   "drift": {{
@@ -228,6 +252,14 @@ fn main() -> ExitCode {
     "ladder_rescues": {ladder_rescues},
     "ladder_runs": {ladder_runs}
   }},
+  "sharded": {{
+    "shards": {sharded_shards},
+    "clients": {sharded_clients},
+    "hung_deadline_ms": {sharded_deadline_ms},
+    "fast_shards": {sharded_fast_shards},
+    "hung_isolated": {sharded_isolated},
+    "bit_identical_across_pools": {sharded_bit_identical}
+  }},
   "ratios": {{
     "refactor_vs_full_factor": {refactor_speedup:.3},
     "drift_restricted_vs_full_fallback": {drift_speedup:.3},
@@ -235,7 +267,8 @@ fn main() -> ExitCode {
     "memo_hit_vs_fresh_solve": {memo_speedup:.3},
     "engine_memo_hit_vs_fresh_solve": {engine_memo_speedup:.3},
     "cancel_latency_headroom": {cancel_headroom:.3},
-    "diverge_fast_fail_headroom": {ladder_headroom:.3}
+    "diverge_fast_fail_headroom": {ladder_headroom:.3},
+    "sharded_throughput": {sharded_speedup:.3}
   }}
 }}
 "#,
@@ -271,6 +304,15 @@ fn main() -> ExitCode {
         ladder_rescues = ladder.ladder_rescues,
         ladder_runs = ladder.ladder_runs,
         ladder_headroom = ladder.fast_fail_headroom(),
+        sharded_single_ns = sharded.single_ns,
+        sharded_pool_ns = sharded.sharded_ns,
+        sharded_shards = sharded.shards,
+        sharded_clients = sharded.clients,
+        sharded_deadline_ms = sharded.hung_deadline_ms,
+        sharded_fast_shards = sharded.fast_shards,
+        sharded_isolated = sharded.hung_isolated,
+        sharded_bit_identical = sharded.bit_identical,
+        sharded_speedup = sharded.speedup(),
     );
     std::fs::File::create(&args.out)
         .and_then(|mut f| f.write_all(json.as_bytes()))
@@ -441,6 +483,33 @@ fn main() -> ExitCode {
         measured: ladder.fast_fail_headroom(),
         baseline: baseline.number_at("ratios.diverge_fast_fail_headroom"),
         floor: 2.0,
+    });
+    // PR 8 acceptance criteria. With one family hung, the shard pool
+    // must serve the healthy clients at least as fast as the single
+    // scheduler — floor-gated only (the measured value is dominated by
+    // the hung job's deadline over the healthy work's machine-bound
+    // solve time, so a baseline comparison would add flake)…
+    checks.push(GateCheck {
+        name: "sharded_throughput".into(),
+        measured: sharded.speedup(),
+        baseline: None,
+        floor: 1.0,
+    });
+    // …with the hung job observed still pending on the pool after the
+    // healthy work completed (the isolation property itself)…
+    checks.push(GateCheck {
+        name: "sharded_hung_isolated".into(),
+        measured: if sharded.hung_isolated { 1.0 } else { 0.0 },
+        baseline: None,
+        floor: 1.0,
+    });
+    // …with bit-identical solutions to the single-scheduler service —
+    // sharding must never change results.
+    checks.push(GateCheck {
+        name: "sharded_bit_identical".into(),
+        measured: if sharded.bit_identical { 1.0 } else { 0.0 },
+        baseline: None,
+        floor: 1.0,
     });
     println!(
         "bench_gate: comparing against {} (tolerance ±{:.0}%)",

@@ -173,6 +173,36 @@ impl JobKeyBuilder {
     }
 }
 
+/// Rendezvous (highest-random-weight) routing of a key onto one of
+/// `shards` slots.
+///
+/// Every `(key, shard)` pair gets a deterministic FNV-1a weight and the
+/// key lands on the shard with the highest weight. Unlike `key % shards`,
+/// re-sharding moves a *minimal* key range: growing from `n` to `n + 1`
+/// shards relocates only the keys whose new shard's weight beats their
+/// old maximum — an expected `1 / (n + 1)` fraction — and every relocated
+/// key moves *to* the new shard; keys between surviving shards never
+/// reshuffle. The serve tier routes on this so each shard's caches stay
+/// hot and private across deployments that resize the pool.
+///
+/// `shards == 0` is treated as 1 (a pool always has at least one shard).
+/// Ties (vanishingly unlikely with 64-bit weights) break toward the lower
+/// shard index, deterministically.
+pub fn rendezvous_route(key: JobKey, shards: usize) -> usize {
+    let shards = shards.max(1);
+    let seed = fnv1a_bytes(FNV_OFFSET, &key.as_u64().to_le_bytes());
+    let mut best = 0usize;
+    let mut best_weight = 0u64;
+    for shard in 0..shards {
+        let weight = fnv1a_bytes(seed, &(shard as u64).to_le_bytes());
+        if shard == 0 || weight > best_weight {
+            best = shard;
+            best_weight = weight;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +281,56 @@ mod tests {
                 .push_f64s(&[0.1, 0.3])
                 .finish()
         );
+    }
+
+    #[test]
+    fn rendezvous_routing_is_deterministic_and_covers_all_shards() {
+        let q = Quantizer::default();
+        let key_of = |i: u64| JobKeyBuilder::unseeded(q).push_u64(i).finish();
+        let shards = 4;
+        let mut seen = vec![0usize; shards];
+        for i in 0..4096 {
+            let k = key_of(i);
+            let route = rendezvous_route(k, shards);
+            assert_eq!(route, rendezvous_route(k, shards), "stable per key");
+            assert!(route < shards);
+            seen[route] += 1;
+        }
+        // FNV weights spread uniformly enough that no shard starves.
+        for (shard, count) in seen.iter().enumerate() {
+            assert!(*count > 4096 / shards / 4, "shard {shard} got {count}");
+        }
+        // Degenerate pool sizes collapse sanely.
+        assert_eq!(rendezvous_route(key_of(7), 0), 0);
+        assert_eq!(rendezvous_route(key_of(7), 1), 0);
+    }
+
+    #[test]
+    fn rendezvous_resharding_moves_a_minimal_key_range() {
+        let q = Quantizer::default();
+        let keys: Vec<JobKey> = (0..4096u64)
+            .map(|i| JobKeyBuilder::unseeded(q).push_u64(i).finish())
+            .collect();
+        for n in 1..8usize {
+            let mut moved = 0usize;
+            for &k in &keys {
+                let before = rendezvous_route(k, n);
+                let after = rendezvous_route(k, n + 1);
+                if before != after {
+                    // Every relocated key lands on the new shard only.
+                    assert_eq!(after, n, "key may only move to the added shard");
+                    moved += 1;
+                }
+            }
+            // Expected movement is |keys| / (n + 1); allow 2x headroom.
+            let expected = keys.len() / (n + 1);
+            assert!(
+                moved <= expected * 2,
+                "grow {n}->{} moved {moved} keys (expected ~{expected})",
+                n + 1
+            );
+            assert!(moved > 0, "growth must rebalance something");
+        }
     }
 
     #[test]

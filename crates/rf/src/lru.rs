@@ -94,6 +94,15 @@ impl<V: Clone> TaggedLru<V> {
         }
     }
 
+    /// Looks up `key` without touching the hit/miss counters or the LRU
+    /// order. For opportunistic probes that are re-issued as a counting
+    /// [`TaggedLru::get`] when they do not short-circuit — the serve
+    /// tier's registry-free submit fast path — so one logical lookup is
+    /// never counted twice.
+    pub fn peek(&self, key: JobKey) -> Option<V> {
+        self.entries.get(&key).map(|e| e.value.clone())
+    }
+
     /// Inserts a value under `key`, evicting the least-recently-used
     /// entry if the map is at capacity (replacing an existing key never
     /// evicts). `tag` marks the entry for targeted eviction. A

@@ -8,7 +8,7 @@
 //! rfsim-client --addr … submit …      # same job flags, returns the id
 //! rfsim-client --addr … poll --job 7 [--wait-ms 500] [--progress]
 //! rfsim-client --addr … cancel --job 7
-//! rfsim-client --addr … stats [--assert-min-hits N]
+//! rfsim-client --addr … stats [--assert-min-hits N] [--per-shard]
 //! rfsim-client --addr … evict [--family rc_lowpass]
 //! rfsim-client --addr … shutdown
 //! ```
@@ -202,17 +202,62 @@ fn main() -> ExitCode {
         }
         "stats" => {
             let mut assert_min_hits = None;
+            let mut per_shard = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--assert-min-hits" => {
                         assert_min_hits =
                             Some(it.next().expect("value").parse::<f64>().expect("count"))
                     }
+                    "--per-shard" => per_shard = true,
                     other => panic!("unknown stats flag {other}"),
                 }
             }
             let stats = client.stats().unwrap_or_else(|e| panic!("stats: {e}"));
             println!("{}", stats.dump());
+            if per_shard {
+                let shards = stats.array_at("shards").unwrap_or_default();
+                println!("shard_count={}", shards.len());
+                for shard in shards {
+                    let n = |path: &str| shard.number_at(path).unwrap_or(0.0);
+                    let mut totals = [0.0f64; 5]; // submitted, memo_hits, retried, cancelled, completed
+                    if let Some(queues) = shard.path("queues") {
+                        for backend in ["mpde", "hb2", "periodic_fd"] {
+                            totals[0] += queues
+                                .number_at(&format!("{backend}.submitted"))
+                                .unwrap_or(0.0);
+                            totals[1] += queues
+                                .number_at(&format!("{backend}.memo_hits"))
+                                .unwrap_or(0.0);
+                            totals[2] += queues
+                                .number_at(&format!("{backend}.retried"))
+                                .unwrap_or(0.0);
+                            totals[3] += queues
+                                .number_at(&format!("{backend}.cancelled"))
+                                .unwrap_or(0.0);
+                            totals[4] += queues
+                                .number_at(&format!("{backend}.completed"))
+                                .unwrap_or(0.0);
+                        }
+                    }
+                    println!(
+                        "shard={} store_len={} store_hit_rate={:.3} queue_depth={} \
+                         submitted={} memo_hits={} completed={} retried={} cancelled={} \
+                         rungs={}/{}",
+                        n("shard"),
+                        n("store.len"),
+                        n("store.hit_rate"),
+                        n("queue.depth"),
+                        totals[0],
+                        totals[1],
+                        totals[4],
+                        totals[2],
+                        totals[3],
+                        n("engine.rung_successes"),
+                        n("engine.rung_attempts"),
+                    );
+                }
+            }
             if let Some(min) = assert_min_hits {
                 let hits = stats.number_at("store.hits").unwrap_or(0.0);
                 if hits < min {

@@ -17,6 +17,13 @@ pub enum ServeError {
     },
     /// The service is shutting down and admits no new work.
     Shutdown,
+    /// Per-client admission control: this connection already has its
+    /// maximum number of unsettled jobs in flight. Poll (or cancel) some
+    /// of them before submitting more; other clients are unaffected.
+    Throttled {
+        /// The per-connection in-flight bound that was hit.
+        max_inflight: usize,
+    },
     /// The referenced job id is unknown.
     UnknownJob(u64),
     /// A malformed wire request or response.
@@ -36,6 +43,10 @@ impl std::fmt::Display for ServeError {
                 write!(f, "job queue full (capacity {capacity}); retry later")
             }
             ServeError::Shutdown => write!(f, "service is shutting down"),
+            ServeError::Throttled { max_inflight } => write!(
+                f,
+                "client in-flight cap reached ({max_inflight} unsettled jobs); poll or cancel before submitting more"
+            ),
             ServeError::UnknownJob(id) => write!(f, "unknown job id {id}"),
             ServeError::Protocol(why) => write!(f, "protocol error: {why}"),
             ServeError::Io(e) => write!(f, "i/o error: {e}"),

@@ -14,16 +14,22 @@
 //! * [`queue`] + [`service`] — a **priority admission queue** with
 //!   backpressure, in-flight request deduplication (concurrent identical
 //!   submits coalesce onto one solve), and a scheduler that batches
-//!   same-backend jobs into engine runs.
+//!   same-backend jobs into engine runs. The service runs as a **shard
+//!   pool**: N independent engine+store+scheduler shards, jobs routed by
+//!   rendezvous hashing over the structure-fingerprint slot
+//!   ([`rfsim_rf::key::rendezvous_route`]), so shards share no hot lock.
 //! * [`wire`] — a dependency-free **line-delimited JSON protocol** over
 //!   `std::net` with `submit` / `poll` / `stats` / `evict` / `shutdown`
-//!   verbs, plus the `rfsim-serve` daemon binary.
+//!   verbs, served by a **non-blocking front-end** (bounded worker pool
+//!   multiplexing nonblocking sockets, parked long-polls, per-connection
+//!   admission control), plus the `rfsim-serve` daemon binary.
 //! * [`client`] — a blocking protocol client, plus the `rfsim-client`
 //!   CLI that drives grid requests end-to-end.
 //!
 //! See `docs/serving.md` for the protocol reference and the keying /
-//! eviction rules, and `examples/serve_roundtrip.rs` for a daemon +
-//! client round trip in one process.
+//! eviction rules, `docs/scaling.md` for shard sizing, routing math, and
+//! the stats field reference, and `examples/serve_roundtrip.rs` for a
+//! daemon + client round trip in one process.
 //!
 //! # Quick start (in-process)
 //!
@@ -61,7 +67,7 @@ pub mod wire;
 
 pub use client::ServeClient;
 pub use error::{Result, ServeError};
-pub use service::{JobId, JobStatus, KeyingStats, ServeConfig, ServeStats, SimService};
+pub use service::{JobId, JobStatus, KeyingStats, ServeConfig, ServeStats, ShardStats, SimService};
 pub use spec::{BackendKind, FamilyRegistry, JobResult, JobSpec, Priority};
 pub use store::SolutionStore;
-pub use wire::WireServer;
+pub use wire::{FrontEndConfig, WireServer};

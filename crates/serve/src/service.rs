@@ -32,6 +32,26 @@
 //! the stored samples bit-for-bit — the property the memo-hit acceptance
 //! test pins. Turn it off to trade replay identity for cross-job
 //! warm-start throughput; the solution store works either way.
+//!
+//! # Sharding
+//!
+//! With [`ServeConfig::shards`] > 1 the service is a pool of independent
+//! shards. Each shard owns its *own* scheduler thread, [`SweepEngine`]
+//! (workspace cache included), solution store, fingerprint cache and
+//! scheduler state — there is no cross-shard lock on the hot path; only
+//! the family registry and the fault table are shared (both cold).
+//! Submits route by rendezvous hashing
+//! ([`rfsim_rf::key::rendezvous_route`]) over the *routing slot* — the
+//! `(family, quantised first point)` identity of the fingerprint-cache
+//! entry — which is computable before any lock is taken or any circuit
+//! is built. Routing on the slot rather than the full store key means
+//! every spec that shares a fingerprint-cache entry lands on the shard
+//! that owns that entry, so per-shard caches stay hot and private: the
+//! same spec always routes to the same shard, and no solution is ever
+//! stored on two shards. Job ids are allocated in strides (shard `s` of
+//! `n` issues `s+1`, `s+1+n`, …), so `poll`/`wait`/`cancel` decode the
+//! owning shard from the id alone. `stats` reports both the aggregate
+//! view and one [`ShardStats`] per shard.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -44,7 +64,7 @@ use rfsim_mpde::solver::MpdeOptions;
 use rfsim_numerics::json::Json;
 use rfsim_numerics::sparse::PatternFingerprint;
 use rfsim_numerics::{CancelToken, InterruptReason, SolveBudget, SolveInterrupted};
-use rfsim_rf::key::{JobKey, JobKeyBuilder, Quantizer};
+use rfsim_rf::key::{rendezvous_route, JobKey, JobKeyBuilder, Quantizer};
 use rfsim_rf::lru::TaggedLru;
 use rfsim_rf::pool::WorkerPool;
 use rfsim_rf::sweep::{CacheSnapshot, Hb2SweepJob, MpdeSweepJob, PeriodicFdSweepJob, SweepEngine};
@@ -96,6 +116,12 @@ pub struct ServeConfig {
     /// Backoff before retry attempt `k`: `retry_backoff_ms << (k-1)`
     /// milliseconds (exponential, first retry waits one unit).
     pub retry_backoff_ms: u64,
+    /// Independent engine shards (clamped ≥ 1). Each shard owns its own
+    /// scheduler thread, engine (with `threads` workers *each*), store
+    /// and caches; submits route by rendezvous hashing over the
+    /// `(family, quantised first point)` slot. See the module docs'
+    /// sharding section and `docs/scaling.md` for sizing guidance.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -113,6 +139,7 @@ impl Default for ServeConfig {
             default_deadline_ms: None,
             retry_max: 0,
             retry_backoff_ms: 50,
+            shards: 1,
         }
     }
 }
@@ -266,8 +293,27 @@ pub struct QueueCounters {
     pub completed: usize,
     /// Jobs failed.
     pub failed: usize,
+    /// Jobs failed *by cancellation* specifically (a subset of
+    /// `failed`): the budget's typed `cancelled` interruption, whether
+    /// it landed before dispatch or mid-solve.
+    pub cancelled: usize,
     /// Submits rejected by queue backpressure.
     pub rejected: usize,
+}
+
+impl QueueCounters {
+    /// Adds `other`'s counts into `self` (cross-shard aggregation).
+    fn absorb(&mut self, other: &QueueCounters) {
+        self.submitted += other.submitted;
+        self.memo_hits += other.memo_hits;
+        self.coalesced += other.coalesced;
+        self.solves += other.solves;
+        self.retried += other.retried;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.cancelled += other.cancelled;
+        self.rejected += other.rejected;
+    }
 }
 
 /// All per-queue counters, indexed by [`BackendKind::index`].
@@ -291,22 +337,26 @@ impl ServeCounters {
     pub fn total(&self) -> QueueCounters {
         let mut t = QueueCounters::default();
         for q in &self.queues {
-            t.submitted += q.submitted;
-            t.memo_hits += q.memo_hits;
-            t.coalesced += q.coalesced;
-            t.solves += q.solves;
-            t.retried += q.retried;
-            t.completed += q.completed;
-            t.failed += q.failed;
-            t.rejected += q.rejected;
+            t.absorb(q);
         }
         t
     }
+
+    /// Adds `other`'s queues into `self` (cross-shard aggregation).
+    fn absorb(&mut self, other: &ServeCounters) {
+        for (mine, theirs) in self.queues.iter_mut().zip(&other.queues) {
+            mine.absorb(theirs);
+        }
+    }
 }
 
-/// A point-in-time view of the whole service.
+/// A point-in-time view of one shard: its store, queue, counters,
+/// keying cache, and engine. The same shape as the aggregate
+/// [`ServeStats`] sections, plus the shard index.
 #[derive(Debug, Clone)]
-pub struct ServeStats {
+pub struct ShardStats {
+    /// The shard's index in the pool (`0..shards`).
+    pub shard: usize,
     /// Solution-store counters.
     pub store: StoreStats,
     /// Solutions currently retained.
@@ -321,100 +371,185 @@ pub struct ServeStats {
     pub counters: ServeCounters,
     /// Per-family fingerprint-cache counters (build-free keying).
     pub keying: KeyingStats,
-    /// The engine's workspace-cache counters.
+    /// The shard engine's workspace-cache counters.
+    pub engine_cache: CacheSnapshot,
+    /// The shard engine's linear-solver counters.
+    pub solver: WorkspaceStats,
+}
+
+impl ShardStats {
+    /// Store hit rate over all lookups so far (0 when none).
+    pub fn store_hit_rate(&self) -> f64 {
+        store_hit_rate(&self.store)
+    }
+
+    /// Wire encoding: the aggregate sections plus `shard`.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![("shard".to_string(), Json::from(self.shard))];
+        members.extend(stats_sections(
+            &self.store,
+            self.store_len,
+            self.store_capacity,
+            self.queue_depth,
+            self.queue_capacity,
+            &self.counters,
+            &self.keying,
+            &self.engine_cache,
+            &self.solver,
+        ));
+        Json::Object(members)
+    }
+}
+
+/// A point-in-time view of the whole service: every field aggregates
+/// across shards; `shards` holds the per-shard breakdown.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Solution-store counters (summed across shards).
+    pub store: StoreStats,
+    /// Solutions currently retained (all shards).
+    pub store_len: usize,
+    /// Store capacity (summed across shards).
+    pub store_capacity: usize,
+    /// Jobs waiting for dispatch (all shards).
+    pub queue_depth: usize,
+    /// Queue backpressure bound (summed across shards).
+    pub queue_capacity: usize,
+    /// Per-backend queue counters (summed across shards).
+    pub counters: ServeCounters,
+    /// Per-family fingerprint-cache counters (build-free keying).
+    pub keying: KeyingStats,
+    /// Workspace-cache counters (summed across shard engines).
     pub engine_cache: CacheSnapshot,
     /// Aggregated linear-solver counters.
     pub solver: WorkspaceStats,
+    /// The per-shard breakdown the aggregates above are summed from.
+    pub shards: Vec<ShardStats>,
 }
 
 impl ServeStats {
     /// Store hit rate over all lookups so far (0 when none).
     pub fn store_hit_rate(&self) -> f64 {
-        let total = self.store.hits + self.store.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.store.hits as f64 / total as f64
-        }
+        store_hit_rate(&self.store)
     }
 
-    /// Wire encoding (the `stats` verb's payload).
+    /// Wire encoding (the `stats` verb's payload): the aggregate
+    /// sections, plus `shard_count` and a `shards` array of per-shard
+    /// views in the same shape.
     pub fn to_json(&self) -> Json {
-        let queue_json = |q: QueueCounters| {
-            Json::object([
-                ("submitted", Json::from(q.submitted)),
-                ("memo_hits", Json::from(q.memo_hits)),
-                ("coalesced", Json::from(q.coalesced)),
-                ("solves", Json::from(q.solves)),
-                ("retried", Json::from(q.retried)),
-                ("completed", Json::from(q.completed)),
-                ("failed", Json::from(q.failed)),
-                ("rejected", Json::from(q.rejected)),
-            ])
-        };
-        Json::object([
-            (
-                "store",
-                Json::object([
-                    ("len", Json::from(self.store_len)),
-                    ("capacity", Json::from(self.store_capacity)),
-                    ("hits", Json::from(self.store.hits)),
-                    ("misses", Json::from(self.store.misses)),
-                    ("hit_rate", Json::number(self.store_hit_rate())),
-                    ("insertions", Json::from(self.store.insertions)),
-                    ("evictions", Json::from(self.store.evictions)),
-                    (
-                        "explicit_evictions",
-                        Json::from(self.store.explicit_evictions),
-                    ),
-                ]),
-            ),
-            (
-                "queue",
-                Json::object([
-                    ("depth", Json::from(self.queue_depth)),
-                    ("capacity", Json::from(self.queue_capacity)),
-                ]),
-            ),
-            (
-                "queues",
-                Json::object(
-                    BackendKind::ALL
-                        .iter()
-                        .map(|k| (k.label(), queue_json(self.counters.queue(*k)))),
-                ),
-            ),
-            (
-                "keying",
-                Json::object([
-                    ("fp_cache_hits", Json::from(self.keying.fp_cache_hits)),
-                    ("fp_cache_misses", Json::from(self.keying.fp_cache_misses)),
-                    ("invalidations", Json::from(self.keying.invalidations)),
-                    ("len", Json::from(self.keying.len)),
-                ]),
-            ),
-            (
-                "engine",
-                Json::object([
-                    ("workspace_hits", Json::from(self.engine_cache.hits)),
-                    ("workspace_misses", Json::from(self.engine_cache.misses)),
-                    ("workspaces_parked", Json::from(self.engine_cache.parked)),
-                    ("patterns", Json::from(self.engine_cache.patterns)),
-                    (
-                        "full_factorizations",
-                        Json::from(self.solver.full_factorizations),
-                    ),
-                    ("refactorizations", Json::from(self.solver.refactorizations)),
-                    (
-                        "precond_refreshes",
-                        Json::from(self.solver.precond_refreshes),
-                    ),
-                    ("rung_attempts", Json::from(self.solver.rung_attempts)),
-                    ("rung_successes", Json::from(self.solver.rung_successes)),
-                ]),
-            ),
-        ])
+        let mut members: Vec<(String, Json)> = stats_sections(
+            &self.store,
+            self.store_len,
+            self.store_capacity,
+            self.queue_depth,
+            self.queue_capacity,
+            &self.counters,
+            &self.keying,
+            &self.engine_cache,
+            &self.solver,
+        );
+        members.push(("shard_count".to_string(), Json::from(self.shards.len())));
+        members.push((
+            "shards".to_string(),
+            Json::array(self.shards.iter().map(ShardStats::to_json)),
+        ));
+        Json::Object(members)
     }
+}
+
+fn store_hit_rate(store: &StoreStats) -> f64 {
+    let total = store.hits + store.misses;
+    if total == 0 {
+        0.0
+    } else {
+        store.hits as f64 / total as f64
+    }
+}
+
+/// The shared section encoding of [`ServeStats`] and [`ShardStats`]:
+/// one shape for the aggregate and every per-shard view, so wire
+/// consumers parse both with the same paths.
+#[allow(clippy::too_many_arguments)]
+fn stats_sections(
+    store: &StoreStats,
+    store_len: usize,
+    store_capacity: usize,
+    queue_depth: usize,
+    queue_capacity: usize,
+    counters: &ServeCounters,
+    keying: &KeyingStats,
+    engine_cache: &CacheSnapshot,
+    solver: &WorkspaceStats,
+) -> Vec<(String, Json)> {
+    let queue_json = |q: QueueCounters| {
+        Json::object([
+            ("submitted", Json::from(q.submitted)),
+            ("memo_hits", Json::from(q.memo_hits)),
+            ("coalesced", Json::from(q.coalesced)),
+            ("solves", Json::from(q.solves)),
+            ("retried", Json::from(q.retried)),
+            ("completed", Json::from(q.completed)),
+            ("failed", Json::from(q.failed)),
+            ("cancelled", Json::from(q.cancelled)),
+            ("rejected", Json::from(q.rejected)),
+        ])
+    };
+    vec![
+        (
+            "store".to_string(),
+            Json::object([
+                ("len", Json::from(store_len)),
+                ("capacity", Json::from(store_capacity)),
+                ("hits", Json::from(store.hits)),
+                ("misses", Json::from(store.misses)),
+                ("hit_rate", Json::number(store_hit_rate(store))),
+                ("insertions", Json::from(store.insertions)),
+                ("evictions", Json::from(store.evictions)),
+                ("explicit_evictions", Json::from(store.explicit_evictions)),
+            ]),
+        ),
+        (
+            "queue".to_string(),
+            Json::object([
+                ("depth", Json::from(queue_depth)),
+                ("capacity", Json::from(queue_capacity)),
+            ]),
+        ),
+        (
+            "queues".to_string(),
+            Json::object(
+                BackendKind::ALL
+                    .iter()
+                    .map(|k| (k.label(), queue_json(counters.queue(*k)))),
+            ),
+        ),
+        (
+            "keying".to_string(),
+            Json::object([
+                ("fp_cache_hits", Json::from(keying.fp_cache_hits)),
+                ("fp_cache_misses", Json::from(keying.fp_cache_misses)),
+                ("invalidations", Json::from(keying.invalidations)),
+                ("len", Json::from(keying.len)),
+            ]),
+        ),
+        (
+            "engine".to_string(),
+            Json::object([
+                ("workspace_hits", Json::from(engine_cache.hits)),
+                ("workspace_misses", Json::from(engine_cache.misses)),
+                ("workspaces_parked", Json::from(engine_cache.parked)),
+                ("patterns", Json::from(engine_cache.patterns)),
+                (
+                    "full_factorizations",
+                    Json::from(solver.full_factorizations),
+                ),
+                ("refactorizations", Json::from(solver.refactorizations)),
+                ("precond_refreshes", Json::from(solver.precond_refreshes)),
+                ("rung_attempts", Json::from(solver.rung_attempts)),
+                ("rung_successes", Json::from(solver.rung_successes)),
+            ]),
+        ),
+    ]
 }
 
 /// The per-family fingerprint cache behind build-free store keys.
@@ -446,6 +581,10 @@ struct FingerprintCache {
     /// Builder generation per re-registered family (absent = 0).
     generations: HashMap<String, u64>,
     invalidations: usize,
+    /// Hits served by the registry-free submit fast path (a
+    /// [`FingerprintCache::peek`] that short-circuited on a store hit) —
+    /// counted here because the peek itself is stat-neutral.
+    fast_hits: usize,
 }
 
 impl FingerprintCache {
@@ -458,6 +597,7 @@ impl FingerprintCache {
             entries: TaggedLru::new(capacity.max(1)),
             generations: HashMap::new(),
             invalidations: 0,
+            fast_hits: 0,
         }
     }
 
@@ -474,6 +614,20 @@ impl FingerprintCache {
 
     fn get(&mut self, slot: JobKey) -> Option<PatternFingerprint> {
         self.entries.get(slot)
+    }
+
+    /// A stat-neutral, recency-neutral lookup for the registry-free
+    /// submit fast path. The caller must either settle the submit
+    /// entirely off this value (then record [`Self::note_fast_hit`]) or
+    /// fall through to a counting [`Self::get`] under the registry lock
+    /// — never both, so each submit counts exactly one keying event.
+    fn peek(&self, slot: JobKey) -> Option<PatternFingerprint> {
+        self.entries.peek(slot)
+    }
+
+    /// Counts one fast-path keying hit (see [`Self::peek`]).
+    fn note_fast_hit(&mut self) {
+        self.fast_hits += 1;
     }
 
     fn insert(&mut self, slot: JobKey, family: &str, fingerprint: PatternFingerprint) {
@@ -497,7 +651,7 @@ impl FingerprintCache {
     fn stats(&self) -> KeyingStats {
         let lru = self.entries.stats();
         KeyingStats {
-            fp_cache_hits: lru.hits,
+            fp_cache_hits: lru.hits + self.fast_hits,
             fp_cache_misses: lru.misses,
             invalidations: self.invalidations,
             len: self.entries.len(),
@@ -573,18 +727,34 @@ impl SchedState {
     }
 }
 
+/// State shared by every shard: the family registry (builders) and the
+/// fault-injection table. Both are off the hot path — repeat submits
+/// resolve their keys from the per-shard fingerprint cache without
+/// touching either.
+struct Shared {
+    registry: Mutex<FamilyRegistry>,
+    /// Injected faults by family name (tests and operational drills);
+    /// attached to every row of a matching job at dispatch.
+    faults: Mutex<HashMap<String, SolveFault>>,
+}
+
+/// One shard: a scheduler thread's whole world. Everything here is
+/// private to the shard except `shared`; two shards never contend on a
+/// lock while serving routed traffic.
 struct Inner {
     config: ServeConfig,
+    /// This shard's index in the pool (`0..stride`).
+    index: usize,
+    /// The pool size; job ids are allocated in strides of it so the
+    /// owning shard is decodable from the id alone.
+    stride: u64,
+    shared: Arc<Shared>,
     engine: SweepEngine,
-    registry: Mutex<FamilyRegistry>,
     store: Mutex<SolutionStore>,
     /// First-point fingerprints per (family, quantised operating point) —
     /// what makes repeat submits (memo hits above all) build-free. Locked
     /// after `registry`, never the other way round.
     fp_cache: Mutex<FingerprintCache>,
-    /// Injected faults by family name (tests and operational drills);
-    /// attached to every row of a matching job at dispatch.
-    faults: Mutex<HashMap<String, SolveFault>>,
     state: Mutex<SchedState>,
     /// Wakes the scheduler (new work, resume, shutdown).
     work_cv: Condvar,
@@ -592,17 +762,22 @@ struct Inner {
     done_cv: Condvar,
 }
 
-/// The memoising simulation service. See the module docs for the
+/// The memoising simulation service: a pool of one or more shards (see
+/// the module docs' sharding section). See the module docs for the
 /// request lifecycle; construct with [`SimService::start`], stop with
 /// [`SimService::shutdown`] (also run on drop).
 pub struct SimService {
-    inner: Arc<Inner>,
-    scheduler: Mutex<Option<std::thread::JoinHandle<()>>>,
+    shards: Vec<Arc<Inner>>,
+    shared: Arc<Shared>,
+    config: ServeConfig,
+    schedulers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for SimService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimService").finish_non_exhaustive()
+        f.debug_struct("SimService")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
     }
 }
 
@@ -614,55 +789,89 @@ impl SimService {
 
     /// Starts a service hosting `registry`.
     pub fn start_with_registry(config: ServeConfig, registry: FamilyRegistry) -> Arc<SimService> {
-        // The engine's own solution memo stays off: this service already
-        // memoises whole jobs in its store, with richer (per-family,
-        // explicit-evict) invalidation than the engine's token rules —
-        // two memo layers would just shadow each other's eviction
-        // decisions (and hollow out the fresh-solve bench baselines).
-        let engine = SweepEngine::with_pool(WorkerPool::new(config.threads))
-            .with_cache_capacity(config.workspace_capacity)
-            .with_solution_memo(0)
-            .chain_topology_groups(!config.deterministic);
-        let inner = Arc::new(Inner {
-            engine,
+        let shard_count = config.shards.max(1);
+        let shared = Arc::new(Shared {
             registry: Mutex::new(registry),
-            store: Mutex::new(SolutionStore::new(config.store_capacity)),
-            fp_cache: Mutex::new(FingerprintCache::new(FingerprintCache::DEFAULT_CAPACITY)),
             faults: Mutex::new(HashMap::new()),
-            state: Mutex::new(SchedState {
-                queue: JobQueue::new(config.queue_capacity),
-                jobs: HashMap::new(),
-                settled_order: std::collections::VecDeque::new(),
-                waiters: HashMap::new(),
-                dispatched: std::collections::HashSet::new(),
-                queued_priority: HashMap::new(),
-                cancels: HashMap::new(),
-                job_keys: HashMap::new(),
-                deferred: Vec::new(),
-                counters: ServeCounters::default(),
-                next_id: 1,
-                next_seq: 0,
-                paused: config.paused,
-                shutdown: false,
-            }),
-            work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
-            config,
         });
-        let sched_inner = Arc::clone(&inner);
-        let handle = std::thread::Builder::new()
-            .name("rfsim-serve-scheduler".into())
-            .spawn(move || scheduler_loop(&sched_inner))
-            .expect("spawn scheduler thread");
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut schedulers = Vec::with_capacity(shard_count);
+        for index in 0..shard_count {
+            // The engine's own solution memo stays off: this service
+            // already memoises whole jobs in its store, with richer
+            // (per-family, explicit-evict) invalidation than the engine's
+            // token rules — two memo layers would just shadow each
+            // other's eviction decisions (and hollow out the fresh-solve
+            // bench baselines).
+            let engine = SweepEngine::with_pool(WorkerPool::new(config.threads))
+                .with_cache_capacity(config.workspace_capacity)
+                .with_solution_memo(0)
+                .chain_topology_groups(!config.deterministic);
+            let inner = Arc::new(Inner {
+                engine,
+                index,
+                stride: shard_count as u64,
+                shared: Arc::clone(&shared),
+                store: Mutex::new(SolutionStore::new(config.store_capacity)),
+                fp_cache: Mutex::new(FingerprintCache::new(FingerprintCache::DEFAULT_CAPACITY)),
+                state: Mutex::new(SchedState {
+                    queue: JobQueue::new(config.queue_capacity),
+                    jobs: HashMap::new(),
+                    settled_order: std::collections::VecDeque::new(),
+                    waiters: HashMap::new(),
+                    dispatched: std::collections::HashSet::new(),
+                    queued_priority: HashMap::new(),
+                    cancels: HashMap::new(),
+                    job_keys: HashMap::new(),
+                    deferred: Vec::new(),
+                    counters: ServeCounters::default(),
+                    // Stride allocation: shard `s` issues ids s+1,
+                    // s+1+n, s+1+2n, … — unique across the pool, and
+                    // `(id - 1) % n` recovers the owning shard.
+                    next_id: index as u64 + 1,
+                    next_seq: 0,
+                    paused: config.paused,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+                config: config.clone(),
+            });
+            let sched_inner = Arc::clone(&inner);
+            schedulers.push(
+                std::thread::Builder::new()
+                    .name(format!("rfsim-serve-scheduler-{index}"))
+                    .spawn(move || scheduler_loop(&sched_inner))
+                    .expect("spawn scheduler thread"),
+            );
+            shards.push(inner);
+        }
         Arc::new(SimService {
-            inner,
-            scheduler: Mutex::new(Some(handle)),
+            shards,
+            shared,
+            config,
+            schedulers: Mutex::new(schedulers),
         })
     }
 
     /// The configuration this service was started with.
     pub fn config(&self) -> &ServeConfig {
-        &self.inner.config
+        &self.config
+    }
+
+    /// The number of shards in the pool.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns job `id` — decodable from the id alone
+    /// because ids are allocated in shard strides.
+    fn shard_of(&self, id: JobId) -> Result<&Arc<Inner>> {
+        if id.0 == 0 {
+            return Err(ServeError::UnknownJob(id.0));
+        }
+        let index = ((id.0 - 1) % self.shards.len() as u64) as usize;
+        Ok(&self.shards[index])
     }
 
     /// Registers (or replaces) a hosted circuit family. Jobs already
@@ -678,19 +887,17 @@ impl SimService {
             + 'static,
     ) {
         let name = name.into();
-        let mut registry = self.inner.registry.lock().expect("registry poisoned");
+        let mut registry = self.shared.registry.lock().expect("registry poisoned");
         registry.register(name.clone(), build);
         // The new builder may stamp a different topology at the same
         // operating point, so its cached first-point fingerprints are
         // stale the instant the swap happens. Invalidate under the
         // registry lock: a concurrent submit resolves its fingerprint
         // under that same lock, so it sees either (old builder, old
-        // cache) or (new builder, empty cache) — never a mix.
-        self.inner
-            .fp_cache
-            .lock()
-            .expect("fingerprint cache poisoned")
-            .invalidate_family(&name);
+        // cache) or (new builder, empty cache) — never a mix. Every
+        // shard is swept: a family's specs route to whichever shards
+        // their first points land on.
+        //
         // The store key covers structure and job parameters, not element
         // *values*: a same-topology re-registration (say, a retuned
         // resistor) would otherwise keep serving the old builder's
@@ -698,17 +905,26 @@ impl SimService {
         // stored entries — still under the registry lock, so a submit
         // keyed against the new builder can never race ahead and be
         // served one of the old builder's solutions before the eviction
-        // lands.
-        self.inner
-            .store
-            .lock()
-            .expect("store poisoned")
-            .evict(Some(&name));
+        // lands (the registry-free fast path only ever *reads* the
+        // store, so it observes the eviction or linearises before the
+        // replacement).
+        for shard in &self.shards {
+            shard
+                .fp_cache
+                .lock()
+                .expect("fingerprint cache poisoned")
+                .invalidate_family(&name);
+            shard
+                .store
+                .lock()
+                .expect("store poisoned")
+                .evict(Some(&name));
+        }
     }
 
     /// Hosted family names.
     pub fn family_names(&self) -> Vec<String> {
-        self.inner
+        self.shared
             .registry
             .lock()
             .expect("registry poisoned")
@@ -727,7 +943,72 @@ impl SimService {
     /// [`ServeError::Shutdown`].
     pub fn submit(&self, spec: &JobSpec) -> Result<JobId> {
         let canonical = spec.canonicalize()?;
-        let quantizer = self.inner.config.quantizer;
+        let quantizer = self.config.quantizer;
+        let slot = FingerprintCache::slot(&canonical.family, &canonical.first_point(), quantizer);
+        // Routing happens on the slot, not the store key: the slot is
+        // computable with no lock and no build, and every spec sharing a
+        // fingerprint-cache entry lands on the shard owning that entry.
+        let inner = &self.shards[rendezvous_route(slot, self.shards.len())];
+        // Registry-free fast path: when the first-point fingerprint is
+        // already cached on this shard, the store key is computable
+        // without the shared registry lock — and a store hit settles the
+        // submit touching only this shard's locks. Repeat traffic (the
+        // memo-hit regime the tier is sized for) therefore never
+        // serialises across shards. The peek is stat-neutral; the hit is
+        // counted only when the fast path actually serves the submit,
+        // and a fall-through re-resolves (and counts) under the registry
+        // lock as before.
+        if let Some(fingerprint) = {
+            let fp_cache = inner.fp_cache.lock().expect("fingerprint cache poisoned");
+            fp_cache.peek(slot)
+        } {
+            let key = canonical.key_with_fingerprint(fingerprint, quantizer);
+            let kind = canonical.backend;
+            // One lock order everywhere: state before store.
+            let mut state = inner.state.lock().expect("state poisoned");
+            if state.shutdown {
+                return Err(ServeError::Shutdown);
+            }
+            // Peek first so a fall-through counts no store event; the
+            // counting `get` (which also refreshes recency) runs only
+            // when the hit is actually served.
+            let stored = {
+                let mut store = inner.store.lock().expect("store poisoned");
+                if store.peek(key).is_some() {
+                    store.get(key)
+                } else {
+                    None
+                }
+            };
+            if let Some(result) = stored {
+                let id = JobId(state.next_id);
+                state.next_id += inner.stride;
+                state.settle(
+                    id,
+                    JobStatus::Done {
+                        result,
+                        memo_hit: true,
+                    },
+                    inner.config.result_capacity,
+                );
+                let q = state.counters.queue_mut(kind);
+                q.submitted += 1;
+                q.memo_hits += 1;
+                q.completed += 1;
+                drop(state);
+                inner
+                    .fp_cache
+                    .lock()
+                    .expect("fingerprint cache poisoned")
+                    .note_fast_hit();
+                inner.done_cv.notify_all();
+                return Ok(id);
+            }
+            // Not a memo hit: admission needs the builder, whose fetch
+            // must be atomic with the fingerprint/generation read (a
+            // concurrent re-registration invalidates under the registry
+            // lock). Fall through to the locked resolve.
+        }
         // Resolve the first-point structure fingerprint: from the
         // per-family cache when this (family, first point) has been
         // probed before — no circuit build, no MNA probe — and by
@@ -736,16 +1017,10 @@ impl SimService {
         // so a concurrent `register_family` cannot hand us a new builder
         // with a stale cached fingerprint.
         let (key, builder, generation) = {
-            let registry = self.inner.registry.lock().expect("registry poisoned");
+            let registry = self.shared.registry.lock().expect("registry poisoned");
             let builder = registry.builder(&canonical.family)?;
-            let slot =
-                FingerprintCache::slot(&canonical.family, &canonical.first_point(), quantizer);
             let (cached, generation) = {
-                let mut fp_cache = self
-                    .inner
-                    .fp_cache
-                    .lock()
-                    .expect("fingerprint cache poisoned");
+                let mut fp_cache = inner.fp_cache.lock().expect("fingerprint cache poisoned");
                 (fp_cache.get(slot), fp_cache.generation(&canonical.family))
             };
             let fingerprint = match cached {
@@ -759,7 +1034,7 @@ impl SimService {
                     // already swept.
                     let circuit = builder(&canonical.first_point())?;
                     let fp = circuit.jacobian_fingerprint();
-                    self.inner
+                    inner
                         .fp_cache
                         .lock()
                         .expect("fingerprint cache poisoned")
@@ -775,16 +1050,16 @@ impl SimService {
         };
         let kind = canonical.backend;
         // One lock order everywhere: state before store.
-        let mut state = self.inner.state.lock().expect("state poisoned");
+        let mut state = inner.state.lock().expect("state poisoned");
         if state.shutdown {
             return Err(ServeError::Shutdown);
         }
         let id = JobId(state.next_id);
-        let result_capacity = self.inner.config.result_capacity;
+        let result_capacity = inner.config.result_capacity;
         // Store hit: complete instantly.
-        let stored = self.inner.store.lock().expect("store poisoned").get(key);
+        let stored = inner.store.lock().expect("store poisoned").get(key);
         if let Some(result) = stored {
-            state.next_id += 1;
+            state.next_id += inner.stride;
             state.settle(
                 id,
                 JobStatus::Done {
@@ -798,7 +1073,7 @@ impl SimService {
             q.memo_hits += 1;
             q.completed += 1;
             drop(state);
-            self.inner.done_cv.notify_all();
+            inner.done_cv.notify_all();
             return Ok(id);
         }
         // In-flight twin: coalesce. The new id's status mirrors the
@@ -807,7 +1082,7 @@ impl SimService {
         if let Some(waiting) = state.waiters.get_mut(&key) {
             let twin = waiting.first().copied();
             waiting.push(id);
-            state.next_id += 1;
+            state.next_id += inner.stride;
             let phase = twin
                 .and_then(|t| state.jobs.get(&t).cloned())
                 .unwrap_or(JobStatus::Queued);
@@ -847,7 +1122,7 @@ impl SimService {
                     state.next_seq += 1;
                     state.queued_priority.insert(key, new_priority);
                     drop(state);
-                    self.inner.work_cv.notify_one();
+                    inner.work_cv.notify_one();
                 }
             }
             return Ok(id);
@@ -871,7 +1146,7 @@ impl SimService {
             return Err(e);
         }
         state.next_seq += 1;
-        state.next_id += 1;
+        state.next_id += inner.stride;
         state.jobs.insert(id, JobStatus::Queued);
         state.job_keys.insert(id, key);
         state.waiters.insert(key, vec![id]);
@@ -883,7 +1158,7 @@ impl SimService {
         let q = state.counters.queue_mut(kind);
         q.submitted += 1;
         drop(state);
-        self.inner.work_cv.notify_one();
+        inner.work_cv.notify_one();
         Ok(id)
     }
 
@@ -893,7 +1168,7 @@ impl SimService {
     ///
     /// [`ServeError::UnknownJob`].
     pub fn poll(&self, id: JobId) -> Result<JobStatus> {
-        self.inner
+        self.shard_of(id)?
             .state
             .lock()
             .expect("state poisoned")
@@ -912,7 +1187,7 @@ impl SimService {
     ///
     /// [`ServeError::UnknownJob`].
     pub fn progress(&self, id: JobId) -> Result<Option<JobProgress>> {
-        let state = self.inner.state.lock().expect("state poisoned");
+        let state = self.shard_of(id)?.state.lock().expect("state poisoned");
         if !state.jobs.contains_key(&id) {
             return Err(ServeError::UnknownJob(id.0));
         }
@@ -931,7 +1206,8 @@ impl SimService {
     /// the timeout / failure.
     pub fn wait(&self, id: JobId, timeout: Duration) -> Result<Arc<JobResult>> {
         let deadline = Instant::now() + timeout;
-        let mut state = self.inner.state.lock().expect("state poisoned");
+        let inner = self.shard_of(id)?;
+        let mut state = inner.state.lock().expect("state poisoned");
         loop {
             match state.jobs.get(&id) {
                 None => return Err(ServeError::UnknownJob(id.0)),
@@ -956,8 +1232,7 @@ impl SimService {
                     "timed out waiting for job {id}"
                 )));
             }
-            let (next, _) = self
-                .inner
+            let (next, _) = inner
                 .done_cv
                 .wait_timeout(state, deadline - now)
                 .expect("state poisoned");
@@ -982,7 +1257,8 @@ impl SimService {
     ///
     /// [`ServeError::UnknownJob`].
     pub fn cancel(&self, id: JobId) -> Result<JobStatus> {
-        let mut state = self.inner.state.lock().expect("state poisoned");
+        let inner = self.shard_of(id)?;
+        let mut state = inner.state.lock().expect("state poisoned");
         let status = state
             .jobs
             .get(&id)
@@ -1030,10 +1306,10 @@ impl SimService {
             key,
             kind,
             &cancelled,
-            self.inner.config.result_capacity,
+            inner.config.result_capacity,
         );
         drop(state);
-        self.inner.done_cv.notify_all();
+        inner.done_cv.notify_all();
         Ok(cancelled)
     }
 
@@ -1042,7 +1318,7 @@ impl SimService {
     /// [`rfsim_circuit::fault`]). Replaces any fault already installed
     /// for the family.
     pub fn inject_fault(&self, family: impl Into<String>, fault: SolveFault) {
-        self.inner
+        self.shared
             .faults
             .lock()
             .expect("faults poisoned")
@@ -1051,7 +1327,7 @@ impl SimService {
 
     /// Removes an injected fault, returning whether one was installed.
     pub fn clear_fault(&self, family: &str) -> bool {
-        self.inner
+        self.shared
             .faults
             .lock()
             .expect("faults poisoned")
@@ -1059,65 +1335,112 @@ impl SimService {
             .is_some()
     }
 
-    /// Evicts stored solutions — all, or one family's — returning how
-    /// many were dropped.
+    /// Evicts stored solutions — all, or one family's, across every
+    /// shard — returning how many were dropped.
     pub fn evict(&self, family: Option<&str>) -> usize {
-        self.inner
-            .store
-            .lock()
-            .expect("store poisoned")
-            .evict(family)
+        self.shards
+            .iter()
+            .map(|shard| shard.store.lock().expect("store poisoned").evict(family))
+            .sum()
     }
 
-    /// A point-in-time stats snapshot.
+    /// A point-in-time stats snapshot: the aggregate view plus one
+    /// [`ShardStats`] per shard.
     pub fn stats(&self) -> ServeStats {
-        let (store, store_len, store_capacity) = {
-            let store = self.inner.store.lock().expect("store poisoned");
-            (store.stats(), store.len(), store.capacity())
+        let shards: Vec<ShardStats> = self
+            .shards
+            .iter()
+            .map(|inner| {
+                let (store, store_len, store_capacity) = {
+                    let store = inner.store.lock().expect("store poisoned");
+                    (store.stats(), store.len(), store.capacity())
+                };
+                let (queue_depth, queue_capacity, counters) = {
+                    let state = inner.state.lock().expect("state poisoned");
+                    (state.queue.len(), state.queue.capacity(), state.counters)
+                };
+                ShardStats {
+                    shard: inner.index,
+                    store,
+                    store_len,
+                    store_capacity,
+                    queue_depth,
+                    queue_capacity,
+                    counters,
+                    keying: inner
+                        .fp_cache
+                        .lock()
+                        .expect("fingerprint cache poisoned")
+                        .stats(),
+                    engine_cache: inner.engine.cache_stats(),
+                    solver: inner.engine.solver_stats(),
+                }
+            })
+            .collect();
+        let mut agg = ServeStats {
+            store: StoreStats::default(),
+            store_len: 0,
+            store_capacity: 0,
+            queue_depth: 0,
+            queue_capacity: 0,
+            counters: ServeCounters::default(),
+            keying: KeyingStats::default(),
+            engine_cache: CacheSnapshot {
+                hits: 0,
+                misses: 0,
+                parked: 0,
+                patterns: 0,
+            },
+            solver: WorkspaceStats::default(),
+            shards,
         };
-        let (queue_depth, queue_capacity, counters) = {
-            let state = self.inner.state.lock().expect("state poisoned");
-            (state.queue.len(), state.queue.capacity(), state.counters)
-        };
-        ServeStats {
-            store,
-            store_len,
-            store_capacity,
-            queue_depth,
-            queue_capacity,
-            counters,
-            keying: self
-                .inner
-                .fp_cache
-                .lock()
-                .expect("fingerprint cache poisoned")
-                .stats(),
-            engine_cache: self.inner.engine.cache_stats(),
-            solver: self.inner.engine.solver_stats(),
+        for s in &agg.shards {
+            agg.store.hits += s.store.hits;
+            agg.store.misses += s.store.misses;
+            agg.store.insertions += s.store.insertions;
+            agg.store.evictions += s.store.evictions;
+            agg.store.explicit_evictions += s.store.explicit_evictions;
+            agg.store_len += s.store_len;
+            agg.store_capacity += s.store_capacity;
+            agg.queue_depth += s.queue_depth;
+            agg.queue_capacity += s.queue_capacity;
+            agg.counters.absorb(&s.counters);
+            agg.keying.fp_cache_hits += s.keying.fp_cache_hits;
+            agg.keying.fp_cache_misses += s.keying.fp_cache_misses;
+            agg.keying.invalidations += s.keying.invalidations;
+            agg.keying.len += s.keying.len;
+            agg.engine_cache.hits += s.engine_cache.hits;
+            agg.engine_cache.misses += s.engine_cache.misses;
+            agg.engine_cache.parked += s.engine_cache.parked;
+            agg.engine_cache.patterns += s.engine_cache.patterns;
+            agg.solver.absorb(&s.solver);
+        }
+        agg
+    }
+
+    /// Resumes schedulers started paused ([`ServeConfig::paused`]).
+    pub fn resume(&self) {
+        for inner in &self.shards {
+            inner.state.lock().expect("state poisoned").paused = false;
+            inner.work_cv.notify_all();
         }
     }
 
-    /// Resumes a scheduler started paused ([`ServeConfig::paused`]).
-    pub fn resume(&self) {
-        self.inner.state.lock().expect("state poisoned").paused = false;
-        self.inner.work_cv.notify_all();
-    }
-
-    /// Stops admitting work, drains nothing further, and joins the
-    /// scheduler. Queued jobs fail with a shutdown message; completed
-    /// results stay pollable until the service is dropped.
+    /// Stops admitting work, drains nothing further, and joins every
+    /// shard's scheduler. Queued jobs fail with a shutdown message;
+    /// completed results stay pollable until the service is dropped.
     pub fn shutdown(&self) {
-        {
-            let mut state = self.inner.state.lock().expect("state poisoned");
+        for inner in &self.shards {
+            let mut state = inner.state.lock().expect("state poisoned");
             if state.shutdown {
-                return;
+                continue;
             }
             state.shutdown = true;
             // Fail everything still waiting so pollers do not hang —
             // except keys mid-solve: their queue entries are stale
             // escalation duplicates, and the scheduler will still deliver
             // the real result when the solve finishes.
-            let result_capacity = self.inner.config.result_capacity;
+            let result_capacity = inner.config.result_capacity;
             while let Some(job) = state.queue.pop() {
                 if state.dispatched.contains(&job.key) {
                     continue;
@@ -1140,15 +1463,13 @@ impl SimService {
                 }
             }
             state.queued_priority.clear();
+            drop(state);
+            inner.work_cv.notify_all();
+            inner.done_cv.notify_all();
         }
-        self.inner.work_cv.notify_all();
-        self.inner.done_cv.notify_all();
-        if let Some(handle) = self
-            .scheduler
-            .lock()
-            .expect("scheduler handle poisoned")
-            .take()
-        {
+        let handles =
+            std::mem::take(&mut *self.schedulers.lock().expect("scheduler handles poisoned"));
+        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -1176,7 +1497,15 @@ fn complete_key(
             state.settle(id, status.clone(), result_capacity);
             let q = state.counters.queue_mut(kind);
             match status {
-                JobStatus::Failed { .. } => q.failed += 1,
+                JobStatus::Failed { interrupted, .. } => {
+                    q.failed += 1;
+                    if interrupted
+                        .as_ref()
+                        .is_some_and(|i| matches!(i.reason, InterruptReason::Cancelled))
+                    {
+                        q.cancelled += 1;
+                    }
+                }
                 _ => q.completed += 1,
             }
         }
@@ -1418,8 +1747,10 @@ fn execute_batch(
         })
         .collect();
     // Snapshot injected faults once per batch; a fault installed
-    // mid-batch applies from the next dispatch on.
-    let faults: HashMap<String, SolveFault> = inner.faults.lock().expect("faults poisoned").clone();
+    // mid-batch applies from the next dispatch on (shared across shards
+    // — a drill targets a family wherever its jobs route).
+    let faults: HashMap<String, SolveFault> =
+        inner.shared.faults.lock().expect("faults poisoned").clone();
     // Flatten: one engine sub-job per (job, spacing row).
     struct Row {
         job_idx: usize,

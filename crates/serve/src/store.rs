@@ -79,6 +79,14 @@ impl SolutionStore {
         self.entries.get(key)
     }
 
+    /// A stat-neutral, recency-neutral lookup. The service's submit fast
+    /// path probes with this and re-issues a counting [`Self::get`] only
+    /// when it will actually serve the hit, so each submit counts exactly
+    /// one store event however many code paths inspect the store.
+    pub fn peek(&self, key: JobKey) -> Option<Arc<JobResult>> {
+        self.entries.peek(key)
+    }
+
     /// Inserts a completed solution, evicting the least-recently-used
     /// entry if the store is at capacity (replacing an existing key never
     /// evicts). `family` tags the entry for targeted eviction.

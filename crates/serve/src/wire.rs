@@ -18,12 +18,36 @@
 //! `poll` with `wait_ms` blocks server-side until the job settles or the
 //! budget elapses (a long-poll, so clients do not busy-spin); on timeout
 //! it reports the job's current phase with `ok: true`.
+//!
+//! # The front-end
+//!
+//! [`WireServer`] multiplexes every connection over a small bounded pool
+//! of worker threads ([`FrontEndConfig::workers`]) instead of spawning a
+//! thread per connection: an accept thread parks new non-blocking
+//! sockets in a shared ready-queue, and each worker repeatedly takes a
+//! connection, makes whatever progress its socket allows (flush pending
+//! response bytes, read request bytes, execute at most one request), and
+//! puts it back. A long-poll does **not** pin a worker: the connection
+//! is *parked* with its `(job_id, deadline)` and answered by whichever
+//! worker next observes the job settled (or the deadline passed), so a
+//! thousand idle pollers cost queue slots, not threads.
+//!
+//! Admission control is per-connection: each connection may hold at most
+//! [`FrontEndConfig::max_inflight`] unsettled jobs; a submit past the cap
+//! is refused with a `Throttled` error (settled ids are pruned lazily
+//! first, so memo-hit traffic is never throttled). One flooding client
+//! therefore exhausts its own cap, not the shared admission queue.
+//!
+//! The `stats` payload served over the wire carries one extra `frontend`
+//! section (connections, requests, throttles, parked long-polls) on top
+//! of [`ServeStats::to_json`](crate::service::ServeStats::to_json).
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::{HashSet, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rfsim_numerics::json::Json;
 
@@ -160,6 +184,51 @@ fn ok_response(members: impl IntoIterator<Item = (&'static str, Json)>) -> Json 
     Json::Object(all)
 }
 
+/// The full `poll` response for `id`'s current status — shared by the
+/// immediate path in [`handle`] and the front-end's parked long-polls.
+fn poll_payload(service: &SimService, id: JobId) -> Json {
+    match service.poll(id) {
+        Err(e) => error_response(&e),
+        Ok(status) => {
+            let mut members = vec![("status", Json::string(status.label()))];
+            match &status {
+                JobStatus::Done { result, memo_hit } => {
+                    members.push(("memo_hit", Json::Bool(*memo_hit)));
+                    members.push(("result", result.to_json()));
+                    members.push(("digest", Json::string(format!("{:016x}", result.digest()))));
+                }
+                JobStatus::Failed {
+                    message,
+                    interrupted,
+                } => {
+                    members.push(("error", Json::string(&**message)));
+                    if let Some(summary) = interrupted {
+                        members.push(("interrupted", interrupt_json(summary)));
+                    }
+                }
+                JobStatus::Running => {
+                    // Mid-solve observability: the active recovery-ladder
+                    // rung, its Newton iteration depth, and the best
+                    // residual so far. Absent until the first iteration
+                    // reports.
+                    if let Ok(Some(p)) = service.progress(id) {
+                        let mut prog = vec![
+                            ("rung", Json::string(p.rung)),
+                            ("iteration", Json::from(p.iteration)),
+                        ];
+                        if p.best_residual.is_finite() {
+                            prog.push(("best_residual", Json::number(p.best_residual)));
+                        }
+                        members.push(("progress", Json::object(prog)));
+                    }
+                }
+                JobStatus::Queued => {}
+            }
+            ok_response(members)
+        }
+    }
+}
+
 /// Executes one request against the service, returning the response and
 /// whether the connection (and server) should shut down.
 pub fn handle(service: &SimService, request: &Request) -> (Json, bool) {
@@ -181,49 +250,7 @@ pub fn handle(service: &SimService, request: &Request) -> (Json, bool) {
                 let wait = Duration::from_millis(*wait_ms).min(MAX_WAIT);
                 let _ = service.wait(id, wait);
             }
-            match service.poll(id) {
-                Err(e) => (error_response(&e), false),
-                Ok(status) => {
-                    let mut members = vec![("status", Json::string(status.label()))];
-                    match &status {
-                        JobStatus::Done { result, memo_hit } => {
-                            members.push(("memo_hit", Json::Bool(*memo_hit)));
-                            members.push(("result", result.to_json()));
-                            members.push((
-                                "digest",
-                                Json::string(format!("{:016x}", result.digest())),
-                            ));
-                        }
-                        JobStatus::Failed {
-                            message,
-                            interrupted,
-                        } => {
-                            members.push(("error", Json::string(&**message)));
-                            if let Some(summary) = interrupted {
-                                members.push(("interrupted", interrupt_json(summary)));
-                            }
-                        }
-                        JobStatus::Running => {
-                            // Mid-solve observability: the active
-                            // recovery-ladder rung, its Newton iteration
-                            // depth, and the best residual so far. Absent
-                            // until the first iteration reports.
-                            if let Ok(Some(p)) = service.progress(id) {
-                                let mut prog = vec![
-                                    ("rung", Json::string(p.rung)),
-                                    ("iteration", Json::from(p.iteration)),
-                                ];
-                                if p.best_residual.is_finite() {
-                                    prog.push(("best_residual", Json::number(p.best_residual)));
-                                }
-                                members.push(("progress", Json::object(prog)));
-                            }
-                        }
-                        JobStatus::Queued => {}
-                    }
-                    (ok_response(members), false)
-                }
-            }
+            (poll_payload(service, id), false)
         }
         Request::Cancel { job_id } => match service.cancel(JobId(*job_id)) {
             Ok(status) => (
@@ -241,7 +268,364 @@ pub fn handle(service: &SimService, request: &Request) -> (Json, bool) {
     }
 }
 
-/// A running TCP server over a [`SimService`].
+/// Front-end sizing knobs (see the module docs' front-end section and
+/// `docs/scaling.md`).
+#[derive(Debug, Clone, Copy)]
+pub struct FrontEndConfig {
+    /// Worker threads multiplexing all connections (clamped ≥ 1).
+    pub workers: usize,
+    /// Per-connection cap on unsettled jobs (admission control; clamped
+    /// ≥ 1). Settled ids are pruned lazily, so memo-hit traffic — which
+    /// settles at submit — is never throttled.
+    pub max_inflight: usize,
+}
+
+impl Default for FrontEndConfig {
+    fn default() -> Self {
+        FrontEndConfig {
+            workers: 4,
+            max_inflight: 256,
+        }
+    }
+}
+
+/// Front-end counters, shared by the accept thread and every worker.
+#[derive(Default)]
+struct FrontendCounters {
+    accepted: AtomicUsize,
+    active: AtomicUsize,
+    requests: AtomicUsize,
+    throttled: AtomicUsize,
+    parks: AtomicUsize,
+}
+
+/// One multiplexed connection's whole state between worker visits.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet consumed as request lines.
+    inbuf: Vec<u8>,
+    /// Response bytes not yet accepted by the socket.
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// A parked long-poll: `(job_id, deadline)`. While set, the
+    /// connection answers this poll before reading further requests.
+    pending: Option<(u64, Instant)>,
+    /// Jobs submitted on this connection, pruned lazily once settled —
+    /// the admission-control working set.
+    owned: HashSet<u64>,
+    /// Close once `outbuf` drains (shutdown verb, oversized line).
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            pending: None,
+            owned: HashSet::new(),
+            closing: false,
+        }
+    }
+
+    fn queue_response(&mut self, response: &Json) {
+        self.outbuf.extend_from_slice(response.dump().as_bytes());
+        self.outbuf.push(b'\n');
+    }
+
+    /// Writes as much of `outbuf` as the socket accepts right now.
+    fn flush(&mut self) -> std::io::Result<bool> {
+        let mut progressed = false;
+        while self.outpos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.outpos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "peer stopped accepting bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.outpos += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.outpos >= self.outbuf.len() {
+            self.outbuf.clear();
+            self.outpos = 0;
+        }
+        Ok(progressed)
+    }
+}
+
+/// What `process` decided to do with one parsed request.
+enum Processed {
+    Respond(Json),
+    /// The connection was parked on a long-poll (`Conn::pending` set).
+    Park,
+    /// Respond, then close the connection and stop the server.
+    Shutdown(Json),
+}
+
+/// A request line is a job spec — modest even for big grids. Lines are
+/// assembled chunk-by-chunk and capped, so a hostile or misconfigured
+/// peer cannot OOM a long-lived daemon.
+const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// The server-side long-poll budget. An unbounded wait would pin the
+/// parked connection across a daemon shutdown; clients needing longer
+/// simply re-poll.
+const MAX_WAIT: Duration = Duration::from_millis(2000);
+
+/// Executes one parsed request for `conn`. The submit and long-poll
+/// verbs go through front-end policy (admission control, parking);
+/// everything else defers to [`handle`].
+fn process(
+    service: &SimService,
+    conn: &mut Conn,
+    request: &Request,
+    config: &FrontEndConfig,
+    counters: &FrontendCounters,
+) -> Processed {
+    match request {
+        Request::Submit(spec) => {
+            let cap = config.max_inflight.max(1);
+            if conn.owned.len() >= cap {
+                // Lazy pruning: drop ids that have settled (or aged out
+                // of the bounded result window) since we last looked.
+                conn.owned.retain(|&id| {
+                    matches!(
+                        service.poll(JobId(id)),
+                        Ok(JobStatus::Queued | JobStatus::Running)
+                    )
+                });
+            }
+            if conn.owned.len() >= cap {
+                counters.throttled.fetch_add(1, Ordering::Relaxed);
+                return Processed::Respond(error_response(&ServeError::Throttled {
+                    max_inflight: cap,
+                }));
+            }
+            match service.submit(spec) {
+                Ok(id) => {
+                    conn.owned.insert(id.0);
+                    Processed::Respond(ok_response([("job_id", Json::from(id.0 as usize))]))
+                }
+                Err(e) => Processed::Respond(error_response(&e)),
+            }
+        }
+        Request::Poll { job_id, wait_ms } if *wait_ms > 0 => {
+            // Long-poll: park the connection instead of pinning a worker
+            // in a blocking wait. Whichever worker next visits the
+            // connection after the job settles (or the deadline passes)
+            // sends the response.
+            match service.poll(JobId(*job_id)) {
+                Ok(JobStatus::Queued | JobStatus::Running) => {
+                    let wait = Duration::from_millis(*wait_ms).min(MAX_WAIT);
+                    conn.pending = Some((*job_id, Instant::now() + wait));
+                    counters.parks.fetch_add(1, Ordering::Relaxed);
+                    Processed::Park
+                }
+                _ => Processed::Respond(poll_payload(service, JobId(*job_id))),
+            }
+        }
+        Request::Stats => {
+            let mut stats = service.stats().to_json();
+            if let Json::Object(members) = &mut stats {
+                members.push((
+                    "frontend".to_string(),
+                    Json::object([
+                        ("workers", Json::from(config.workers.max(1))),
+                        ("max_inflight", Json::from(config.max_inflight.max(1))),
+                        (
+                            "connections_accepted",
+                            Json::from(counters.accepted.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "connections_active",
+                            Json::from(counters.active.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "requests",
+                            Json::from(counters.requests.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "throttled",
+                            Json::from(counters.throttled.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "long_poll_parks",
+                            Json::from(counters.parks.load(Ordering::Relaxed)),
+                        ),
+                    ]),
+                ));
+            }
+            Processed::Respond(ok_response([("stats", stats)]))
+        }
+        Request::Shutdown => Processed::Shutdown(ok_response([])),
+        other => {
+            let (response, _) = handle(service, other);
+            Processed::Respond(response)
+        }
+    }
+}
+
+/// One worker visit to one connection: flush pending response bytes,
+/// answer a parked long-poll if its job settled or its deadline passed,
+/// read available request bytes, execute at most one request. Returns
+/// `(progressed, close)`.
+fn step(
+    service: &SimService,
+    conn: &mut Conn,
+    config: &FrontEndConfig,
+    counters: &FrontendCounters,
+    stop: &AtomicBool,
+) -> (bool, bool) {
+    let mut progressed = match conn.flush() {
+        Ok(p) => p,
+        Err(_) => return (true, true),
+    };
+    if !conn.outbuf.is_empty() {
+        // Write-backlogged: don't read ahead of a response the peer has
+        // not accepted yet.
+        return (progressed, false);
+    }
+    if conn.closing {
+        return (true, true);
+    }
+    // A parked long-poll answers before further requests are read — the
+    // protocol is one response per request, in order.
+    if let Some((job_id, deadline)) = conn.pending {
+        let settled = !matches!(
+            service.poll(JobId(job_id)),
+            Ok(JobStatus::Queued | JobStatus::Running)
+        );
+        if settled || Instant::now() >= deadline {
+            conn.pending = None;
+            let response = poll_payload(service, JobId(job_id));
+            conn.queue_response(&response);
+            if conn.flush().is_err() {
+                return (true, true);
+            }
+            return (true, false);
+        }
+        return (progressed, false);
+    }
+    // Read only when no complete line is already buffered, so a
+    // pipelining client drains one request per visit without growing
+    // `inbuf` unboundedly.
+    if !conn.inbuf.contains(&b'\n') {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => return (true, true), // EOF: client hung up.
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&buf[..n]);
+                    progressed = true;
+                    if conn.inbuf.contains(&b'\n') {
+                        break;
+                    }
+                    if conn.inbuf.len() > MAX_LINE_BYTES {
+                        let refusal = error_response(&ServeError::Protocol(format!(
+                            "request line exceeds {MAX_LINE_BYTES} bytes"
+                        )));
+                        conn.queue_response(&refusal);
+                        conn.closing = true;
+                        let _ = conn.flush();
+                        return (true, conn.outbuf.is_empty());
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return (true, true),
+            }
+        }
+    }
+    let Some(nl) = conn.inbuf.iter().position(|&b| b == b'\n') else {
+        return (progressed, false);
+    };
+    let line: Vec<u8> = conn.inbuf.drain(..=nl).collect();
+    let text = String::from_utf8_lossy(&line);
+    let trimmed = text.trim();
+    if !trimmed.is_empty() {
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        match Request::parse(trimmed) {
+            Err(e) => conn.queue_response(&error_response(&e)),
+            Ok(request) => match process(service, conn, &request, config, counters) {
+                Processed::Respond(response) => conn.queue_response(&response),
+                Processed::Park => {}
+                Processed::Shutdown(response) => {
+                    conn.queue_response(&response);
+                    conn.closing = true;
+                    stop.store(true, Ordering::SeqCst);
+                }
+            },
+        }
+        if conn.flush().is_err() {
+            return (true, true);
+        }
+    }
+    if conn.closing && conn.outbuf.is_empty() {
+        return (true, true);
+    }
+    (true, false)
+}
+
+/// One front-end worker: take a ready connection, make progress, put it
+/// back. Sleeps briefly when nothing progressed so idle connections cost
+/// microseconds per second, not a spinning core.
+fn worker_loop(
+    service: &Arc<SimService>,
+    ready: &Mutex<VecDeque<Conn>>,
+    config: &FrontEndConfig,
+    counters: &FrontendCounters,
+    stop: &AtomicBool,
+) {
+    loop {
+        let conn = ready.lock().expect("ready queue poisoned").pop_front();
+        match conn {
+            None => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Some(mut conn) => {
+                if stop.load(Ordering::SeqCst) && !conn.closing {
+                    // Server stopping: one courtesy flush, then close.
+                    let _ = conn.flush();
+                    counters.active.fetch_sub(1, Ordering::Relaxed);
+                    continue;
+                }
+                let (progressed, close) = step(service, &mut conn, config, counters, stop);
+                if close {
+                    counters.active.fetch_sub(1, Ordering::Relaxed);
+                } else {
+                    ready.lock().expect("ready queue poisoned").push_back(conn);
+                    if !progressed {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A running TCP server over a [`SimService`]: a non-blocking accept
+/// thread plus a bounded worker pool multiplexing every connection (see
+/// the module docs' front-end section).
 ///
 /// Binds with [`WireServer::start`] (port 0 picks an ephemeral port —
 /// read it back from [`WireServer::local_addr`]), serves until a
@@ -250,7 +634,7 @@ pub fn handle(service: &SimService, request: &Request) -> (Json, bool) {
 pub struct WireServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for WireServer {
@@ -262,53 +646,82 @@ impl std::fmt::Debug for WireServer {
 }
 
 impl WireServer {
-    /// Binds `addr` and starts serving `service`.
+    /// Binds `addr` and starts serving `service` with the default
+    /// [`FrontEndConfig`].
     ///
     /// # Errors
     ///
     /// Socket bind/configure failures.
     pub fn start(service: Arc<SimService>, addr: impl ToSocketAddrs) -> Result<WireServer> {
+        Self::start_with(service, addr, FrontEndConfig::default())
+    }
+
+    /// Binds `addr` and starts serving `service` with explicit front-end
+    /// sizing.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configure failures.
+    pub fn start_with(
+        service: Arc<SimService>,
+        addr: impl ToSocketAddrs,
+        config: FrontEndConfig,
+    ) -> Result<WireServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         // Non-blocking accept with a short nap lets the loop observe the
         // stop flag without a self-connect dance.
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
+        let ready: Arc<Mutex<VecDeque<Conn>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let counters: Arc<FrontendCounters> = Arc::new(FrontendCounters::default());
+        let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
         let accept_stop = Arc::clone(&stop);
-        let accept_thread = std::thread::Builder::new()
-            .name("rfsim-serve-accept".into())
-            .spawn(move || {
-                let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-                while !accept_stop.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            let conn_service = Arc::clone(&service);
-                            let conn_stop = Arc::clone(&accept_stop);
-                            handlers.push(
-                                std::thread::Builder::new()
-                                    .name("rfsim-serve-conn".into())
-                                    .spawn(move || {
-                                        let _ = serve_connection(&conn_service, stream, &conn_stop);
-                                    })
-                                    .expect("spawn connection thread"),
-                            );
-                            handlers.retain(|h| !h.is_finished());
+        let accept_ready = Arc::clone(&ready);
+        let accept_counters = Arc::clone(&counters);
+        threads.push(
+            std::thread::Builder::new()
+                .name("rfsim-serve-accept".into())
+                .spawn(move || {
+                    while !accept_stop.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                if stream.set_nonblocking(true).is_err() {
+                                    continue;
+                                }
+                                let _ = stream.set_nodelay(true);
+                                accept_counters.accepted.fetch_add(1, Ordering::Relaxed);
+                                accept_counters.active.fetch_add(1, Ordering::Relaxed);
+                                accept_ready
+                                    .lock()
+                                    .expect("ready queue poisoned")
+                                    .push_back(Conn::new(stream));
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => break,
                         }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(10));
-                        }
-                        Err(_) => break,
                     }
-                }
-                for h in handlers {
-                    let _ = h.join();
-                }
-            })
-            .expect("spawn accept thread");
+                })
+                .expect("spawn accept thread"),
+        );
+        for index in 0..config.workers.max(1) {
+            let service = Arc::clone(&service);
+            let ready = Arc::clone(&ready);
+            let counters = Arc::clone(&counters);
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rfsim-serve-worker-{index}"))
+                    .spawn(move || worker_loop(&service, &ready, &config, &counters, &stop))
+                    .expect("spawn front-end worker"),
+            );
+        }
         Ok(WireServer {
             local_addr,
             stop,
-            accept_thread: Mutex::new(Some(accept_thread)),
+            threads: Mutex::new(threads),
         })
     }
 
@@ -322,20 +735,16 @@ impl WireServer {
         self.stop.load(Ordering::SeqCst)
     }
 
-    /// Asks the accept loop to stop (open connections finish their
-    /// current request).
+    /// Asks the accept loop and workers to stop (open connections get
+    /// one final flush, then close).
     pub fn stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
     }
 
-    /// Blocks until the accept loop (and its connections) exit.
+    /// Blocks until the accept thread and every worker exit.
     pub fn join(&self) {
-        if let Some(handle) = self
-            .accept_thread
-            .lock()
-            .expect("accept handle poisoned")
-            .take()
-        {
+        let handles = std::mem::take(&mut *self.threads.lock().expect("threads poisoned"));
+        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -345,88 +754,6 @@ impl Drop for WireServer {
     fn drop(&mut self) {
         self.stop();
         self.join();
-    }
-}
-
-/// One connection: read request lines, write response lines, until EOF,
-/// a shutdown verb, or a stop request. Reads run under a short timeout so
-/// an idle connection still observes a server stop (otherwise a blocked
-/// `read` would pin [`WireServer::join`] forever).
-fn serve_connection(
-    service: &SimService,
-    stream: TcpStream,
-    stop: &AtomicBool,
-) -> std::io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    // A request line is a job spec — modest even for big grids. The line
-    // is assembled chunk-by-chunk (never letting one `read_line` call run
-    // unbounded on a newline-free stream) and capped, so a hostile or
-    // misconfigured peer cannot OOM a long-lived daemon.
-    const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        // Pull one buffered chunk, splitting it at the first newline.
-        let (consumed, complete) = {
-            let chunk = match reader.fill_buf() {
-                Ok(c) => c,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    continue;
-                }
-                Err(e) => return Err(e),
-            };
-            if chunk.is_empty() {
-                return Ok(()); // EOF: client hung up.
-            }
-            match chunk.iter().position(|&b| b == b'\n') {
-                Some(nl) => {
-                    line.extend_from_slice(&chunk[..nl]);
-                    (nl + 1, true)
-                }
-                None => {
-                    line.extend_from_slice(chunk);
-                    (chunk.len(), false)
-                }
-            }
-        };
-        reader.consume(consumed);
-        if line.len() > MAX_LINE_BYTES {
-            let refusal = error_response(&ServeError::Protocol(format!(
-                "request line exceeds {MAX_LINE_BYTES} bytes"
-            )));
-            let _ = writer.write_all(format!("{}\n", refusal.dump()).as_bytes());
-            return Ok(()); // drop the connection
-        }
-        if !complete {
-            continue;
-        }
-        let text = String::from_utf8_lossy(&line);
-        if !text.trim().is_empty() {
-            let (response, shutdown) = match Request::parse(text.trim()) {
-                Ok(request) => handle(service, &request),
-                Err(e) => (error_response(&e), false),
-            };
-            let mut out = response.dump();
-            out.push('\n');
-            writer.write_all(out.as_bytes())?;
-            writer.flush()?;
-            if shutdown {
-                stop.store(true, Ordering::SeqCst);
-                return Ok(());
-            }
-        }
-        line.clear();
     }
 }
 

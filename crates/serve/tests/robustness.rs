@@ -329,6 +329,95 @@ fn diverge_fault_typed_outcome_reaches_wire_poll() {
     server.join();
 }
 
+/// The control plane is shard-transparent: on a 2-shard pool a hung job
+/// is cancelled over the wire exactly as on a single scheduler — the
+/// cancel routes to the owning shard by job id, the typed outcome comes
+/// back, and the other shard keeps solving throughout.
+#[test]
+fn sharded_cancel_over_wire_matches_single_shard_semantics() {
+    let service = SimService::start(ServeConfig {
+        shards: 2,
+        ..small_config()
+    });
+    service.inject_fault("rc_lowpass", SolveFault::stall(5, 60_000));
+    let server = WireServer::start(service.clone(), "127.0.0.1:0").expect("bind");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    let id = client.submit(&spec(0.1)).expect("submit");
+    poll_until(&mut client, id, "running");
+    client.cancel(id).expect("cancel");
+    let outcome = poll_until(&mut client, id, "failed");
+    assert_eq!(outcome.interrupt_reason.as_deref(), Some("cancelled"));
+
+    // The cancellation is attributed to exactly one shard's counters —
+    // the one that owns the id — and surfaces in the new `cancelled`
+    // field of both the per-shard and the aggregate views.
+    let stats = service.stats();
+    let cancelled_per_shard: Vec<usize> = stats
+        .shards
+        .iter()
+        .map(|s| s.counters.queue(BackendKind::Mpde).cancelled)
+        .collect();
+    assert_eq!(cancelled_per_shard.iter().sum::<usize>(), 1);
+    assert_eq!(stats.counters.queue(BackendKind::Mpde).cancelled, 1);
+
+    // Both shards still take and finish real work after the cancel.
+    service.clear_fault("rc_lowpass");
+    for amplitude in [0.2, 0.3, 0.4, 0.5] {
+        let (_, outcome) = client.run(&spec(amplitude), WAIT).expect("follow-up");
+        assert_eq!(outcome.status, "done");
+    }
+    assert_zero_leaked_workspaces(&service);
+    drop(client);
+    server.stop();
+    server.join();
+}
+
+/// Deadlines and retries behave identically per shard: hung jobs expire
+/// on whichever shard owns them, and a transient failure retries and
+/// recovers without crossing shards.
+#[test]
+fn sharded_deadline_and_retry_are_unchanged() {
+    let service = SimService::start(ServeConfig {
+        shards: 4,
+        default_deadline_ms: Some(300),
+        retry_max: 2,
+        retry_backoff_ms: 10,
+        ..small_config()
+    });
+    // Hung jobs on several shards: all must expire independently.
+    service.inject_fault("rc_lowpass", SolveFault::stall(5, 60_000));
+    let hung = [
+        service.submit(&spec(0.1)).expect("submit"),
+        service.submit(&spec(0.2)).expect("submit"),
+        service.submit(&spec(0.3)).expect("submit"),
+    ];
+    for id in hung {
+        let err = service.wait(id, WAIT).expect_err("deadline must fire");
+        assert!(err.to_string().contains("deadline_expired"), "{err}");
+    }
+    service.clear_fault("rc_lowpass");
+
+    // A transient diverge-once fault is retried and recovers, exactly as
+    // on one shard; the retry is counted on the owning shard only.
+    service.inject_fault("rc_lowpass", SolveFault::diverge().times(1));
+    let mut patient = spec(0.4);
+    patient.deadline_ms = Some(60_000);
+    let done = service
+        .wait(service.submit(&patient).expect("submit"), WAIT)
+        .expect("retry must recover");
+    assert!(!done.points.is_empty());
+    let stats = service.stats();
+    assert_eq!(stats.counters.queue(BackendKind::Mpde).retried, 1);
+    let retried_shards = stats
+        .shards
+        .iter()
+        .filter(|s| s.counters.queue(BackendKind::Mpde).retried > 0)
+        .count();
+    assert_eq!(retried_shards, 1, "one shard owns the retried job");
+    assert_zero_leaked_workspaces(&service);
+}
+
 /// A cancel for a job that already finished changes nothing and returns
 /// the settled status (wire-level idempotency contract).
 #[test]
