@@ -309,6 +309,10 @@ impl NewtonDriver {
                 workspace,
                 budget: budget.child().with_stage(rung.kind.label()),
             };
+            // Announce the rung before running it, so progress observers
+            // (poll snapshots, job timelines) see the transition even if
+            // the rung errors out before completing one Newton iteration.
+            exec.budget.announce_stage();
             match (rung.run)(&mut exec) {
                 Ok(value) => {
                     workspace.stats.rung_successes += 1;

@@ -244,6 +244,23 @@ impl SolveBudget {
         self.stage
     }
 
+    /// Emits one zero-iteration progress snapshot carrying the current
+    /// stage label — a *stage announcement*. Recovery drivers call this
+    /// on rung entry so observers (timelines, `poll` progress) see the
+    /// transition even when the rung fails before completing a single
+    /// iteration. No-op without a progress callback.
+    pub fn announce_stage(&self) {
+        if let Some(progress) = &self.progress {
+            progress(&SolveProgress {
+                iteration: 0,
+                residual: f64::INFINITY,
+                best_residual: f64::INFINITY,
+                elapsed: Duration::ZERO,
+                stage: self.stage,
+            });
+        }
+    }
+
     /// A child budget for one sub-solve of a fanned-out batch: shares
     /// the parent's cancel flag, deadline and guard configuration, so
     /// cancelling the parent stops every child promptly.
@@ -510,6 +527,19 @@ mod tests {
             vec![Some("gmin_stepping"), Some("source_stepping")]
         );
         assert_eq!(budget.stage(), Some("gmin_stepping"));
+    }
+
+    #[test]
+    fn announce_stage_emits_a_zero_iteration_snapshot() {
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let budget = SolveBudget::unlimited()
+            .with_progress(move |p| sink.lock().unwrap().push((p.iteration, p.stage)))
+            .with_stage("gmin_stepping");
+        budget.announce_stage();
+        // Without a callback it is a no-op, not a panic.
+        SolveBudget::unlimited().announce_stage();
+        assert_eq!(*seen.lock().unwrap(), vec![(0, Some("gmin_stepping"))]);
     }
 
     #[test]

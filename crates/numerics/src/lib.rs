@@ -24,6 +24,10 @@
 //!   which support in-place numeric refresh over their cached patterns.
 //! * [`pool`] — the fixed-thread [`pool::WorkerPool`] shared by the sweep
 //!   engine and the parallel numeric refactorisation.
+//! * [`telemetry`] — fixed-allocation observability primitives: the
+//!   log-bucketed [`telemetry::LatencyHistogram`] and the bounded
+//!   per-job lifecycle [`telemetry::Timeline`], fed by the budget's
+//!   progress-callback chain.
 //! * [`json`] — dependency-free strict JSON reader/writer shared by the
 //!   bench-regression gate and the `rfsim-serve` wire protocol.
 //! * [`fft`] — complex arithmetic, radix-2 and Bluestein FFTs, single-bin
@@ -63,6 +67,7 @@ pub mod krylov;
 pub mod pool;
 pub mod sparse;
 pub mod sparse_lu;
+pub mod telemetry;
 pub mod vector;
 
 mod error;
@@ -71,6 +76,9 @@ pub use budget::{
     BudgetMeter, CancelToken, InterruptReason, SolveBudget, SolveInterrupted, SolveProgress,
 };
 pub use error::NumericsError;
+pub use telemetry::{
+    HistogramSummary, LatencyHistogram, Timeline, TimelineEvent, TimelineEventKind,
+};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, NumericsError>;

@@ -9,6 +9,8 @@
 //! rfsim-client --addr … poll --job 7 [--wait-ms 500] [--progress]
 //! rfsim-client --addr … cancel --job 7
 //! rfsim-client --addr … stats [--assert-min-hits N] [--per-shard]
+//! rfsim-client --addr … metrics [--json] [--require name1,name2,…]
+//! rfsim-client --addr … trace --job 7
 //! rfsim-client --addr … evict [--family rc_lowpass]
 //! rfsim-client --addr … shutdown
 //! ```
@@ -86,7 +88,8 @@ fn main() -> ExitCode {
     }
     let command = it.next().unwrap_or_else(|| {
         eprintln!(
-            "usage: rfsim-client [--addr HOST:PORT] <run|submit|poll|cancel|stats|evict|shutdown> …"
+            "usage: rfsim-client [--addr HOST:PORT] \
+             <run|submit|poll|cancel|stats|metrics|trace|evict|shutdown> …"
         );
         std::process::exit(2);
     });
@@ -268,6 +271,101 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "metrics" => {
+            let mut json = false;
+            let mut require: Vec<String> = Vec::new();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--json" => json = true,
+                    "--require" => require.extend(
+                        it.next()
+                            .expect("--require names")
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string),
+                    ),
+                    other => panic!("unknown metrics flag {other}"),
+                }
+            }
+            if json {
+                let stats = client
+                    .metrics_json()
+                    .unwrap_or_else(|e| panic!("metrics: {e}"));
+                println!("{}", stats.dump());
+                return ExitCode::SUCCESS;
+            }
+            let text = client.metrics().unwrap_or_else(|e| panic!("metrics: {e}"));
+            // Validate the exposition shape before printing: every
+            // non-comment line is `name{labels} value`.
+            for line in text.lines() {
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let Some((series, value)) = line.rsplit_once(' ') else {
+                    eprintln!("FAIL: malformed sample line: {line}");
+                    return ExitCode::FAILURE;
+                };
+                if value.parse::<f64>().is_err() || series.is_empty() {
+                    eprintln!("FAIL: malformed sample line: {line}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            print!("{text}");
+            for name in &require {
+                let found = text.lines().any(|line| {
+                    line.split(['{', ' ']).next() == Some(name.as_str()) && !line.starts_with('#')
+                });
+                if !found {
+                    eprintln!("FAIL: required series '{name}' missing from exposition");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if !require.is_empty() {
+                println!("OK: all {} required series present", require.len());
+            }
+            ExitCode::SUCCESS
+        }
+        "trace" => {
+            let mut job = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--job" => job = Some(it.next().expect("--job id").parse().expect("job id")),
+                    // A bare positional id works too: `trace 7`.
+                    other => {
+                        job = Some(
+                            other
+                                .parse()
+                                .unwrap_or_else(|_| panic!("unknown trace flag {other}")),
+                        )
+                    }
+                }
+            }
+            let trace = client
+                .trace(job.expect("trace needs a job id"))
+                .unwrap_or_else(|e| panic!("trace: {e}"));
+            println!(
+                "job={} settled={} events={} dropped={}",
+                trace.number_at("job_id").unwrap_or(0.0),
+                trace.bool_at("settled").unwrap_or(false),
+                trace.array_at("events").map(|e| e.len()).unwrap_or(0),
+                trace.number_at("dropped").unwrap_or(0.0),
+            );
+            for event in trace.array_at("events").unwrap_or_default() {
+                let label = event.string_at("event").unwrap_or("?");
+                let t_ms = event.number_at("t_ms").unwrap_or(0.0);
+                let mut extras = String::new();
+                if let rfsim_numerics::json::Json::Object(members) = event {
+                    for (key, value) in members {
+                        if key == "event" || key == "t_ms" {
+                            continue;
+                        }
+                        extras.push_str(&format!(" {key}={}", value.dump()));
+                    }
+                }
+                println!("  +{t_ms:.3}ms {label}{extras}");
+            }
+            ExitCode::SUCCESS
+        }
         "evict" => {
             let mut family = None;
             while let Some(flag) = it.next() {
@@ -290,7 +388,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         other => {
-            eprintln!("unknown command '{other}' (run|submit|poll|stats|evict|shutdown)");
+            eprintln!(
+                "unknown command '{other}' (run|submit|poll|cancel|stats|metrics|trace|evict|shutdown)"
+            );
             ExitCode::FAILURE
         }
     }

@@ -7,7 +7,8 @@
 //!             [--batch-max 16] [--quant-digits 12] [--non-deterministic]
 //!             [--default-deadline-ms MS] [--retry-max N]
 //!             [--retry-backoff-ms MS] [--frontend-workers N]
-//!             [--max-inflight N]
+//!             [--max-inflight N] [--slow-log-ms MS] [--no-telemetry]
+//!             [--trace-capacity N]
 //! ```
 //!
 //! Binds the address (port 0 picks an ephemeral port; the chosen address
@@ -75,13 +76,21 @@ fn parse_args() -> Args {
             "--max-inflight" => {
                 args.frontend.max_inflight = value("--max-inflight").parse().expect("cap")
             }
+            "--slow-log-ms" => {
+                args.config.slow_log_ms = Some(value("--slow-log-ms").parse().expect("threshold"))
+            }
+            "--no-telemetry" => args.config.telemetry = false,
+            "--trace-capacity" => {
+                args.config.trace_capacity = value("--trace-capacity").parse().expect("capacity")
+            }
             "--help" | "-h" => {
                 println!(
                     "rfsim-serve: memoising steady-state simulation daemon\n\
                      flags: --addr HOST:PORT --store-capacity N --queue-capacity N \
                      --shards N --threads N --batch-max N --quant-digits N \
                      --non-deterministic --default-deadline-ms MS --retry-max N \
-                     --retry-backoff-ms MS --frontend-workers N --max-inflight N"
+                     --retry-backoff-ms MS --frontend-workers N --max-inflight N \
+                     --slow-log-ms MS --no-telemetry --trace-capacity N"
                 );
                 std::process::exit(0);
             }

@@ -227,6 +227,49 @@ impl ServeClient {
             .ok_or_else(|| ServeError::Protocol("stats response missing 'stats'".into()))
     }
 
+    /// Fetches the Prometheus-style metrics exposition text.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn metrics(&mut self) -> Result<String> {
+        let response = self.call(&Request::Metrics { json: false })?;
+        response
+            .string_at("metrics")
+            .map(str::to_string)
+            .ok_or_else(|| ServeError::Protocol("metrics response missing 'metrics'".into()))
+    }
+
+    /// Fetches the metrics snapshot as the stats JSON object (the
+    /// `metrics` verb with `format: "json"`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn metrics_json(&mut self) -> Result<Json> {
+        let response = self.call(&Request::Metrics { json: true })?;
+        response
+            .path("stats")
+            .cloned()
+            .ok_or_else(|| ServeError::Protocol("metrics response missing 'stats'".into()))
+    }
+
+    /// Fetches a job's lifecycle timeline (the `trace` verb): settled
+    /// traces come from the server's bounded retention window, running
+    /// jobs yield their partial timeline.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, an unknown/aged-out job id, or a server with
+    /// telemetry disabled.
+    pub fn trace(&mut self, job_id: u64) -> Result<Json> {
+        let response = self.call(&Request::Trace { job_id })?;
+        response
+            .path("trace")
+            .cloned()
+            .ok_or_else(|| ServeError::Protocol("trace response missing 'trace'".into()))
+    }
+
     /// Evicts stored solutions; returns how many were dropped.
     ///
     /// # Errors

@@ -19,17 +19,24 @@
 //!   rendezvous hashing over the structure-fingerprint slot
 //!   ([`rfsim_rf::key::rendezvous_route`]), so shards share no hot lock.
 //! * [`wire`] — a dependency-free **line-delimited JSON protocol** over
-//!   `std::net` with `submit` / `poll` / `stats` / `evict` / `shutdown`
-//!   verbs, served by a **non-blocking front-end** (bounded worker pool
-//!   multiplexing nonblocking sockets, parked long-polls, per-connection
-//!   admission control), plus the `rfsim-serve` daemon binary.
+//!   `std::net` with `submit` / `poll` / `cancel` / `stats` /
+//!   `metrics` / `trace` / `evict` / `shutdown` verbs, served by a
+//!   **non-blocking front-end** (bounded worker pool multiplexing
+//!   nonblocking sockets, parked long-polls, per-connection admission
+//!   control), plus the `rfsim-serve` daemon binary.
+//! * [`metrics`] + the per-job telemetry inside [`service`] — per-shard
+//!   **latency histograms** (queue wait / solve / end-to-end) exposed
+//!   as a Prometheus-style text exposition, bounded per-job lifecycle
+//!   **timelines** behind the `trace` verb, and an opt-in slow-job log.
 //! * [`client`] — a blocking protocol client, plus the `rfsim-client`
 //!   CLI that drives grid requests end-to-end.
 //!
 //! See `docs/serving.md` for the protocol reference and the keying /
 //! eviction rules, `docs/scaling.md` for shard sizing, routing math, and
-//! the stats field reference, and `examples/serve_roundtrip.rs` for a
-//! daemon + client round trip in one process.
+//! the stats field reference, `docs/observability.md` for the telemetry
+//! plane (exposition series, timeline events, the slow-job log), and
+//! `examples/serve_roundtrip.rs` for a daemon + client round trip in one
+//! process.
 //!
 //! # Quick start (in-process)
 //!
@@ -59,6 +66,7 @@
 
 pub mod client;
 pub mod error;
+pub mod metrics;
 pub mod queue;
 pub mod service;
 pub mod spec;
@@ -67,7 +75,10 @@ pub mod wire;
 
 pub use client::ServeClient;
 pub use error::{Result, ServeError};
-pub use service::{JobId, JobStatus, KeyingStats, ServeConfig, ServeStats, ShardStats, SimService};
+pub use service::{
+    JobId, JobStatus, KeyingStats, LatencySnapshot, ServeConfig, ServeStats, ShardStats,
+    SimService, TraceView,
+};
 pub use spec::{BackendKind, FamilyRegistry, JobResult, JobSpec, Priority};
 pub use store::SolutionStore;
 pub use wire::{FrontEndConfig, WireServer};

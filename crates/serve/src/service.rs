@@ -63,6 +63,7 @@ use rfsim_hb::Hb2Options;
 use rfsim_mpde::solver::MpdeOptions;
 use rfsim_numerics::json::Json;
 use rfsim_numerics::sparse::PatternFingerprint;
+use rfsim_numerics::telemetry::{LatencyHistogram, Timeline, TimelineEvent, TimelineEventKind};
 use rfsim_numerics::{CancelToken, InterruptReason, SolveBudget, SolveInterrupted};
 use rfsim_rf::key::{rendezvous_route, JobKey, JobKeyBuilder, Quantizer};
 use rfsim_rf::lru::TaggedLru;
@@ -122,6 +123,20 @@ pub struct ServeConfig {
     /// `(family, quantised first point)` slot. See the module docs'
     /// sharding section and `docs/scaling.md` for sizing guidance.
     pub shards: usize,
+    /// Per-job lifecycle telemetry: queue-wait / solve / end-to-end
+    /// latency histograms per shard, plus a bounded [`Timeline`] of
+    /// typed events per job ([`SimService::trace`], the `trace` wire
+    /// verb). Default on; when off, jobs carry no timeline, no
+    /// histogram is touched, and the solve hot path pays only the
+    /// budget's existing off-branch. See `docs/observability.md`.
+    pub telemetry: bool,
+    /// Emit a one-line timeline to stderr for every job whose
+    /// end-to-end latency reaches this many milliseconds (requires
+    /// `telemetry`). `None` (the default) logs nothing.
+    pub slow_log_ms: Option<u64>,
+    /// Settled-job timelines retained per shard for the `trace` verb
+    /// (FIFO past the bound, like `result_capacity` for results).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -140,6 +155,9 @@ impl Default for ServeConfig {
             retry_max: 0,
             retry_backoff_ms: 50,
             shards: 1,
+            telemetry: true,
+            slow_log_ms: None,
+            trace_capacity: 256,
         }
     }
 }
@@ -224,21 +242,330 @@ type ProgressSlot = Arc<Mutex<Option<JobProgress>>>;
 
 /// Per-execution control handles: the cancel token fired by
 /// [`SimService::cancel`], the backend whose counters a pre-dispatch
-/// cancellation must charge, and the progress slot `poll` snapshots.
+/// cancellation must charge, the progress slot `poll` snapshots, and
+/// (with telemetry on) the job's lifecycle timeline plus the instants
+/// the latency histograms are computed from.
 struct JobControl {
     token: CancelToken,
     kind: BackendKind,
     progress: ProgressSlot,
+    /// When the execution was admitted (timeline origin).
+    admitted_at: Instant,
+    /// When the scheduler first handed the execution to the engine
+    /// (`None` until dispatch; queue wait = `dispatched_at -
+    /// admitted_at`, solve time = settle − `dispatched_at`).
+    dispatched_at: Option<Instant>,
+    /// The job's lifecycle timeline (`None` with telemetry off). The
+    /// mutex is uncontended in practice: the solve thread appends
+    /// milestones, everyone else touches it only at dispatch/settle
+    /// under the state lock.
+    trace: Option<Arc<Mutex<Timeline>>>,
+    /// The family name, for the slow-job log line.
+    family: String,
 }
 
 impl JobControl {
-    fn new(kind: BackendKind) -> Self {
+    fn new(
+        kind: BackendKind,
+        family: String,
+        trace: Option<Arc<Mutex<Timeline>>>,
+        admitted_at: Instant,
+    ) -> Self {
         JobControl {
             token: CancelToken::new(),
             kind,
             progress: Arc::new(Mutex::new(None)),
+            admitted_at,
+            dispatched_at: None,
+            trace,
+            family,
         }
     }
+}
+
+/// The settle-outcome label of a [`JobStatus`] for timeline events:
+/// `hit`, `solved`, `failed`, `cancelled`, `deadline_expired` or
+/// `stagnated`.
+fn settle_outcome(status: &JobStatus) -> &'static str {
+    match status {
+        JobStatus::Done { memo_hit: true, .. } => "hit",
+        JobStatus::Done { .. } => "solved",
+        JobStatus::Failed {
+            interrupted: Some(i),
+            ..
+        } => i.reason.label(),
+        JobStatus::Failed { .. } => "failed",
+        // Settle is only ever recorded for settled statuses.
+        _ => "failed",
+    }
+}
+
+/// Records memo-hit telemetry for an id settled at submit: the (tiny)
+/// end-to-end latency plus a two-event `admitted → settled{hit}` trace.
+fn note_memo_hit(inner: &Inner, id: JobId, t0: Instant) {
+    if !inner.telemetry.enabled {
+        return;
+    }
+    inner.telemetry.record_e2e(t0.elapsed());
+    let mut timeline = Timeline::new(4);
+    timeline.record(TimelineEventKind::Admitted);
+    timeline.record(TimelineEventKind::Settled { outcome: "hit" });
+    inner.telemetry.retain_trace(id.0, Arc::new(timeline));
+}
+
+/// Per-dispatch handles the scheduler hands to `execute_batch`: cancel
+/// token, shared progress slot, and (telemetry on) the job's timeline.
+type DispatchHandles = (CancelToken, ProgressSlot, Option<Arc<Mutex<Timeline>>>);
+
+/// Per-shard latency telemetry plus the bounded settled-trace store.
+/// All recording is a no-op when [`ServeConfig::telemetry`] is off.
+struct ShardTelemetry {
+    enabled: bool,
+    queue_wait: Mutex<LatencyHistogram>,
+    solve: Mutex<LatencyHistogram>,
+    e2e: Mutex<LatencyHistogram>,
+    traces: Mutex<TraceStore>,
+}
+
+/// Settled timelines keyed by job id, FIFO-bounded like the result
+/// window. Coalesced waiters share one [`Arc`]'d timeline.
+struct TraceStore {
+    capacity: usize,
+    map: HashMap<u64, Arc<Timeline>>,
+    order: std::collections::VecDeque<u64>,
+}
+
+impl TraceStore {
+    fn insert(&mut self, id: u64, trace: Arc<Timeline>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(id, trace).is_none() {
+            self.order.push_back(id);
+        }
+        while self.order.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+    }
+}
+
+impl ShardTelemetry {
+    /// Events retained per job timeline: enough for admit → dispatch →
+    /// a full recovery ladder with power-of-two milestones → settle.
+    const TIMELINE_EVENTS: usize = 64;
+
+    fn new(config: &ServeConfig) -> Self {
+        ShardTelemetry {
+            enabled: config.telemetry,
+            queue_wait: Mutex::new(LatencyHistogram::new()),
+            solve: Mutex::new(LatencyHistogram::new()),
+            e2e: Mutex::new(LatencyHistogram::new()),
+            traces: Mutex::new(TraceStore {
+                capacity: config.trace_capacity,
+                map: HashMap::new(),
+                order: std::collections::VecDeque::new(),
+            }),
+        }
+    }
+
+    /// A fresh per-job timeline, or `None` with telemetry off.
+    fn new_timeline(&self) -> Option<Arc<Mutex<Timeline>>> {
+        self.enabled
+            .then(|| Arc::new(Mutex::new(Timeline::new(Self::TIMELINE_EVENTS))))
+    }
+
+    fn record_queue_wait(&self, elapsed: Duration) {
+        if self.enabled {
+            self.queue_wait
+                .lock()
+                .expect("telemetry poisoned")
+                .record(elapsed);
+        }
+    }
+
+    fn record_solve(&self, elapsed: Duration) {
+        if self.enabled {
+            self.solve
+                .lock()
+                .expect("telemetry poisoned")
+                .record(elapsed);
+        }
+    }
+
+    fn record_e2e(&self, elapsed: Duration) {
+        if self.enabled {
+            self.e2e.lock().expect("telemetry poisoned").record(elapsed);
+        }
+    }
+
+    fn retain_trace(&self, id: u64, trace: Arc<Timeline>) {
+        if self.enabled {
+            self.traces
+                .lock()
+                .expect("telemetry poisoned")
+                .insert(id, trace);
+        }
+    }
+
+    fn trace(&self, id: u64) -> Option<Arc<Timeline>> {
+        self.traces
+            .lock()
+            .expect("telemetry poisoned")
+            .map
+            .get(&id)
+            .cloned()
+    }
+
+    fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            queue_wait: self.queue_wait.lock().expect("telemetry poisoned").clone(),
+            solve: self.solve.lock().expect("telemetry poisoned").clone(),
+            e2e: self.e2e.lock().expect("telemetry poisoned").clone(),
+        }
+    }
+}
+
+/// A point-in-time copy of one scope's latency histograms (one shard,
+/// or the cross-shard aggregate). Part of [`ShardStats`]/[`ServeStats`];
+/// the full histograms ride along (not just summaries) so the `metrics`
+/// exposition can emit counts and sums losslessly.
+#[derive(Debug, Clone)]
+pub struct LatencySnapshot {
+    /// Admission → first dispatch.
+    pub queue_wait: LatencyHistogram,
+    /// First dispatch → settle (per execution, coalesced waiters
+    /// counted once).
+    pub solve: LatencyHistogram,
+    /// Admission → settle, per job id (memo hits included).
+    pub e2e: LatencyHistogram,
+}
+
+impl Default for LatencySnapshot {
+    fn default() -> Self {
+        LatencySnapshot {
+            queue_wait: LatencyHistogram::new(),
+            solve: LatencyHistogram::new(),
+            e2e: LatencyHistogram::new(),
+        }
+    }
+}
+
+impl LatencySnapshot {
+    /// Merges `other` into `self` (cross-shard aggregation).
+    fn absorb(&mut self, other: &LatencySnapshot) {
+        self.queue_wait.absorb(&other.queue_wait);
+        self.solve.absorb(&other.solve);
+        self.e2e.absorb(&other.e2e);
+    }
+
+    /// The `latency` stats section: one summary object per histogram.
+    pub fn to_json(&self) -> Json {
+        let summary_json = |h: &LatencyHistogram| {
+            let s = h.summary();
+            Json::object([
+                ("count", Json::from(s.count as usize)),
+                ("mean_ms", Json::number(s.mean_ms)),
+                ("p50_ms", Json::number(s.p50_ms)),
+                ("p90_ms", Json::number(s.p90_ms)),
+                ("p99_ms", Json::number(s.p99_ms)),
+                ("max_ms", Json::number(s.max_ms)),
+            ])
+        };
+        Json::object([
+            ("queue_wait", summary_json(&self.queue_wait)),
+            ("solve", summary_json(&self.solve)),
+            ("e2e", summary_json(&self.e2e)),
+        ])
+    }
+}
+
+/// An ordered view of one job's lifecycle timeline — what
+/// [`SimService::trace`] (and the `trace` wire verb) returns.
+#[derive(Debug, Clone)]
+pub struct TraceView {
+    /// The job the timeline belongs to.
+    pub job_id: u64,
+    /// Whether the job has settled (a live job yields a partial trace).
+    pub settled: bool,
+    /// The events, in record order; `at_ns` offsets are from admission.
+    pub events: Vec<TimelineEvent>,
+    /// Events dropped at the timeline's capacity bound.
+    pub dropped: usize,
+}
+
+impl TraceView {
+    /// Wire encoding (the `trace` verb's payload).
+    pub fn to_json(&self) -> Json {
+        let event_json = |e: &TimelineEvent| {
+            let mut members = vec![
+                ("t_ms", Json::number(e.at_ns as f64 / 1e6)),
+                ("event", Json::string(e.kind.label())),
+            ];
+            match e.kind {
+                TimelineEventKind::Rung { label } => {
+                    members.push(("rung", Json::string(label)));
+                }
+                TimelineEventKind::Iteration {
+                    rung,
+                    iteration,
+                    residual,
+                } => {
+                    members.push(("rung", Json::string(rung)));
+                    members.push(("iteration", Json::from(iteration)));
+                    if residual.is_finite() {
+                        members.push(("residual", Json::number(residual)));
+                    }
+                }
+                TimelineEventKind::Retry {
+                    attempt,
+                    backoff_ms,
+                } => {
+                    members.push(("attempt", Json::from(attempt)));
+                    members.push(("backoff_ms", Json::from(backoff_ms as usize)));
+                }
+                TimelineEventKind::Settled { outcome } => {
+                    members.push(("outcome", Json::string(outcome)));
+                }
+                _ => {}
+            }
+            Json::object(members)
+        };
+        Json::object([
+            ("job_id", Json::from(self.job_id as usize)),
+            ("settled", Json::Bool(self.settled)),
+            ("events", Json::array(self.events.iter().map(event_json))),
+            ("dropped", Json::from(self.dropped)),
+        ])
+    }
+}
+
+/// One compact line per timeline for the slow-job log:
+/// `admitted+0.0ms queued+0.0ms … settled(solved)+812.4ms`.
+fn format_timeline(timeline: &Timeline) -> String {
+    let mut parts: Vec<String> = timeline
+        .events()
+        .iter()
+        .map(|e| {
+            let t_ms = e.at_ns as f64 / 1e6;
+            match e.kind {
+                TimelineEventKind::Rung { label } => format!("rung({label})+{t_ms:.1}ms"),
+                TimelineEventKind::Iteration {
+                    iteration, rung, ..
+                } => format!("iter({rung}:{iteration})+{t_ms:.1}ms"),
+                TimelineEventKind::Retry { attempt, .. } => format!("retry({attempt})+{t_ms:.1}ms"),
+                TimelineEventKind::Settled { outcome } => {
+                    format!("settled({outcome})+{t_ms:.1}ms")
+                }
+                ref kind => format!("{}+{t_ms:.1}ms", kind.label()),
+            }
+        })
+        .collect();
+    if timeline.dropped() > 0 {
+        parts.push(format!("(+{} dropped)", timeline.dropped()));
+    }
+    parts.join(" ")
 }
 
 /// The control-plane outcome of an interrupted job: what a
@@ -375,6 +702,9 @@ pub struct ShardStats {
     pub engine_cache: CacheSnapshot,
     /// The shard engine's linear-solver counters.
     pub solver: WorkspaceStats,
+    /// Queue-wait / solve / end-to-end latency histograms (empty with
+    /// telemetry off).
+    pub latency: LatencySnapshot,
 }
 
 impl ShardStats {
@@ -396,6 +726,7 @@ impl ShardStats {
             &self.keying,
             &self.engine_cache,
             &self.solver,
+            &self.latency,
         ));
         Json::Object(members)
     }
@@ -423,6 +754,14 @@ pub struct ServeStats {
     pub engine_cache: CacheSnapshot,
     /// Aggregated linear-solver counters.
     pub solver: WorkspaceStats,
+    /// Latency histograms merged across shards.
+    pub latency: LatencySnapshot,
+    /// Milliseconds since the service started. A scraper that sees this
+    /// decrease between polls is looking at a restarted daemon.
+    pub uptime_ms: u64,
+    /// Snapshot sequence number (1, 2, 3, … within one service
+    /// lifetime); resets on restart, like `uptime_ms`.
+    pub stats_generation: u64,
     /// The per-shard breakdown the aggregates above are summed from.
     pub shards: Vec<ShardStats>,
 }
@@ -447,7 +786,13 @@ impl ServeStats {
             &self.keying,
             &self.engine_cache,
             &self.solver,
+            &self.latency,
         );
+        members.push(("uptime_ms".to_string(), Json::from(self.uptime_ms as usize)));
+        members.push((
+            "stats_generation".to_string(),
+            Json::from(self.stats_generation as usize),
+        ));
         members.push(("shard_count".to_string(), Json::from(self.shards.len())));
         members.push((
             "shards".to_string(),
@@ -480,6 +825,7 @@ fn stats_sections(
     keying: &KeyingStats,
     engine_cache: &CacheSnapshot,
     solver: &WorkspaceStats,
+    latency: &LatencySnapshot,
 ) -> Vec<(String, Json)> {
     let queue_json = |q: QueueCounters| {
         Json::object([
@@ -549,6 +895,7 @@ fn stats_sections(
                 ("rung_successes", Json::from(solver.rung_successes)),
             ]),
         ),
+        ("latency".to_string(), latency.to_json()),
     ]
 }
 
@@ -705,6 +1052,11 @@ struct SchedState {
     /// Executions parked for a retry backoff: `(due, job)`. Not in the
     /// heap — the scheduler promotes due entries back into the queue.
     deferred: Vec<(Instant, QueuedJob)>,
+    /// Each live job id's admission instant (telemetry only; empty with
+    /// telemetry off). Entries drop when the id settles — the e2e
+    /// histogram is recorded from the removed instant, so coalesced
+    /// waiters each count their own true end-to-end latency.
+    admitted: HashMap<JobId, Instant>,
     counters: ServeCounters,
     next_id: u64,
     next_seq: u64,
@@ -714,8 +1066,10 @@ struct SchedState {
 
 impl SchedState {
     /// Records a settled (done/failed) status for `id`, dropping the
-    /// oldest settled records past `capacity`.
-    fn settle(&mut self, id: JobId, status: JobStatus, capacity: usize) {
+    /// oldest settled records past `capacity`. Returns the id's
+    /// admission instant (when telemetry recorded one) so the caller
+    /// can charge the e2e histogram.
+    fn settle(&mut self, id: JobId, status: JobStatus, capacity: usize) -> Option<Instant> {
         self.job_keys.remove(&id);
         self.jobs.insert(id, status);
         self.settled_order.push_back(id);
@@ -724,6 +1078,7 @@ impl SchedState {
                 self.jobs.remove(&old);
             }
         }
+        self.admitted.remove(&id)
     }
 }
 
@@ -760,6 +1115,9 @@ struct Inner {
     work_cv: Condvar,
     /// Wakes pollers (a job completed or failed).
     done_cv: Condvar,
+    /// Latency histograms + settled-trace retention (no-ops when
+    /// telemetry is off).
+    telemetry: ShardTelemetry,
 }
 
 /// The memoising simulation service: a pool of one or more shards (see
@@ -771,6 +1129,12 @@ pub struct SimService {
     shared: Arc<Shared>,
     config: ServeConfig,
     schedulers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// When the service started — `uptime_ms` in [`ServeStats`].
+    started: Instant,
+    /// Bumped on every [`SimService::stats`] snapshot. Monotone within
+    /// one service lifetime, so a scraper that sees it (or `uptime_ms`)
+    /// go backwards knows the daemon restarted between polls.
+    stats_generation: std::sync::atomic::AtomicU64,
 }
 
 impl std::fmt::Debug for SimService {
@@ -824,6 +1188,7 @@ impl SimService {
                     cancels: HashMap::new(),
                     job_keys: HashMap::new(),
                     deferred: Vec::new(),
+                    admitted: HashMap::new(),
                     counters: ServeCounters::default(),
                     // Stride allocation: shard `s` issues ids s+1,
                     // s+1+n, s+1+2n, … — unique across the pool, and
@@ -835,6 +1200,7 @@ impl SimService {
                 }),
                 work_cv: Condvar::new(),
                 done_cv: Condvar::new(),
+                telemetry: ShardTelemetry::new(&config),
                 config: config.clone(),
             });
             let sched_inner = Arc::clone(&inner);
@@ -851,6 +1217,8 @@ impl SimService {
             shared,
             config,
             schedulers: Mutex::new(schedulers),
+            started: Instant::now(),
+            stats_generation: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -942,6 +1310,7 @@ impl SimService {
     /// [`ServeError::QueueFull`] backpressure, or
     /// [`ServeError::Shutdown`].
     pub fn submit(&self, spec: &JobSpec) -> Result<JobId> {
+        let t0 = Instant::now();
         let canonical = spec.canonicalize()?;
         let quantizer = self.config.quantizer;
         let slot = FingerprintCache::slot(&canonical.family, &canonical.first_point(), quantizer);
@@ -1001,6 +1370,7 @@ impl SimService {
                     .lock()
                     .expect("fingerprint cache poisoned")
                     .note_fast_hit();
+                note_memo_hit(inner, id, t0);
                 inner.done_cv.notify_all();
                 return Ok(id);
             }
@@ -1073,6 +1443,7 @@ impl SimService {
             q.memo_hits += 1;
             q.completed += 1;
             drop(state);
+            note_memo_hit(inner, id, t0);
             inner.done_cv.notify_all();
             return Ok(id);
         }
@@ -1088,6 +1459,9 @@ impl SimService {
                 .unwrap_or(JobStatus::Queued);
             state.jobs.insert(id, phase);
             state.job_keys.insert(id, key);
+            if inner.telemetry.enabled {
+                state.admitted.insert(id, t0);
+            }
             let q = state.counters.queue_mut(kind);
             q.submitted += 1;
             q.coalesced += 1;
@@ -1130,6 +1504,7 @@ impl SimService {
         // Fresh execution: admit to the queue (backpressure may reject).
         let seq = state.next_seq;
         let priority = canonical.priority;
+        let family = canonical.family.clone();
         let push = state.queue.push(
             QueuedJob {
                 spec: canonical,
@@ -1154,7 +1529,18 @@ impl SimService {
         // Every fresh execution gets a cancel token at admit, so a
         // cancel landing while the job is still queued (or mid-solve)
         // always has a handle to fire.
-        state.cancels.insert(key, JobControl::new(kind));
+        let trace = inner.telemetry.new_timeline();
+        if let Some(trace) = &trace {
+            let mut timeline = trace.lock().expect("timeline poisoned");
+            timeline.record(TimelineEventKind::Admitted);
+            timeline.record(TimelineEventKind::Queued);
+        }
+        if inner.telemetry.enabled {
+            state.admitted.insert(id, t0);
+        }
+        state
+            .cancels
+            .insert(key, JobControl::new(kind, family, trace, t0));
         let q = state.counters.queue_mut(kind);
         q.submitted += 1;
         drop(state);
@@ -1301,13 +1687,7 @@ impl SimService {
                 elapsed_ms: 0,
             }),
         };
-        complete_key(
-            &mut state,
-            key,
-            kind,
-            &cancelled,
-            inner.config.result_capacity,
-        );
+        complete_key(inner, &mut state, key, kind, &cancelled);
         drop(state);
         inner.done_cv.notify_all();
         Ok(cancelled)
@@ -1374,6 +1754,7 @@ impl SimService {
                         .stats(),
                     engine_cache: inner.engine.cache_stats(),
                     solver: inner.engine.solver_stats(),
+                    latency: inner.telemetry.snapshot(),
                 }
             })
             .collect();
@@ -1392,6 +1773,12 @@ impl SimService {
                 patterns: 0,
             },
             solver: WorkspaceStats::default(),
+            latency: LatencySnapshot::default(),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            stats_generation: self
+                .stats_generation
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                + 1,
             shards,
         };
         for s in &agg.shards {
@@ -1414,8 +1801,53 @@ impl SimService {
             agg.engine_cache.parked += s.engine_cache.parked;
             agg.engine_cache.patterns += s.engine_cache.patterns;
             agg.solver.absorb(&s.solver);
+            agg.latency.absorb(&s.latency);
         }
         agg
+    }
+
+    /// The lifecycle timeline of job `id`: the retained trace of a
+    /// settled job, or a live partial trace when the job is still in
+    /// flight.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] when telemetry is disabled, and
+    /// [`ServeError::UnknownJob`] when the id was never seen or its
+    /// settled trace aged out of the bounded retention window.
+    pub fn trace(&self, id: JobId) -> Result<TraceView> {
+        if !self.config.telemetry {
+            return Err(ServeError::Protocol(
+                "telemetry is disabled on this service".into(),
+            ));
+        }
+        let inner = self.shard_of(id)?;
+        if let Some(timeline) = inner.telemetry.trace(id.0) {
+            return Ok(TraceView {
+                job_id: id.0,
+                settled: timeline.is_settled(),
+                events: timeline.events().to_vec(),
+                dropped: timeline.dropped(),
+            });
+        }
+        // No settled trace retained: a live in-flight job still yields
+        // its partial timeline.
+        let state = inner.state.lock().expect("state poisoned");
+        let live = state
+            .job_keys
+            .get(&id)
+            .and_then(|key| state.cancels.get(key))
+            .and_then(|control| control.trace.as_ref())
+            .map(|trace| trace.lock().expect("timeline poisoned").clone());
+        match live {
+            Some(timeline) => Ok(TraceView {
+                job_id: id.0,
+                settled: timeline.is_settled(),
+                events: timeline.events().to_vec(),
+                dropped: timeline.dropped(),
+            }),
+            None => Err(ServeError::UnknownJob(id.0)),
+        }
     }
 
     /// Resumes schedulers started paused ([`ServeConfig::paused`]).
@@ -1481,20 +1913,47 @@ impl Drop for SimService {
     }
 }
 
-/// Marks every waiter of `key` with `status` (bounded by
-/// `result_capacity`) and retires the key's in-flight bookkeeping.
+/// Marks every waiter of `key` with `status` (bounded by the config's
+/// result capacity), retires the key's in-flight bookkeeping, and (with
+/// telemetry on) settles the execution's timeline, records its solve and
+/// per-waiter end-to-end latencies, retains the trace under every waiter
+/// id, and emits the slow-job log line when the execution ran past
+/// [`ServeConfig::slow_log_ms`].
 fn complete_key(
+    inner: &Inner,
     state: &mut MutexGuard<'_, SchedState>,
     key: JobKey,
     kind: BackendKind,
     status: &JobStatus,
-    result_capacity: usize,
 ) {
+    let result_capacity = inner.config.result_capacity;
     state.dispatched.remove(&key);
-    state.cancels.remove(&key);
+    let control = state.cancels.remove(&key);
+    let now = Instant::now();
+    // Settle the timeline and snapshot it for retention: the live
+    // Arc<Mutex<_>> dies with the control entry, the settled copy is
+    // what `trace` serves.
+    let trace: Option<Arc<Timeline>> = control
+        .as_ref()
+        .and_then(|control| control.trace.as_ref())
+        .map(|trace| {
+            let mut timeline = trace.lock().expect("timeline poisoned");
+            timeline.record(TimelineEventKind::Settled {
+                outcome: settle_outcome(status),
+            });
+            Arc::new(timeline.clone())
+        });
+    if let Some(dispatched) = control.as_ref().and_then(|control| control.dispatched_at) {
+        inner.telemetry.record_solve(now.duration_since(dispatched));
+    }
     if let Some(ids) = state.waiters.remove(&key) {
         for id in ids {
-            state.settle(id, status.clone(), result_capacity);
+            if let Some(t0) = state.settle(id, status.clone(), result_capacity) {
+                inner.telemetry.record_e2e(now.duration_since(t0));
+            }
+            if let Some(trace) = &trace {
+                inner.telemetry.retain_trace(id.0, Arc::clone(trace));
+            }
             let q = state.counters.queue_mut(kind);
             match status {
                 JobStatus::Failed { interrupted, .. } => {
@@ -1510,13 +1969,28 @@ fn complete_key(
             }
         }
     }
+    if let (Some(threshold_ms), Some(control), Some(trace)) =
+        (inner.config.slow_log_ms, control.as_ref(), trace.as_ref())
+    {
+        let e2e_ms = now.duration_since(control.admitted_at).as_millis() as u64;
+        if e2e_ms >= threshold_ms {
+            eprintln!(
+                "rfsim-serve: slow job family={} shard={} e2e_ms={} outcome={}: {}",
+                control.family,
+                inner.index,
+                e2e_ms,
+                settle_outcome(status),
+                format_timeline(trace),
+            );
+        }
+    }
 }
 
 /// The scheduler: drain → batch → solve → store → complete, forever.
 fn scheduler_loop(inner: &Arc<Inner>) {
     loop {
         // Phase 1: wait for work, drain a same-backend batch.
-        let (batch, tokens): (Vec<QueuedJob>, Vec<(CancelToken, ProgressSlot)>) = {
+        let (batch, tokens): (Vec<QueuedJob>, Vec<DispatchHandles>) = {
             let mut state = inner.state.lock().expect("state poisoned");
             loop {
                 if state.shutdown {
@@ -1555,7 +2029,7 @@ fn scheduler_loop(inner: &Arc<Inner>) {
                 };
             }
             let mut batch: Vec<QueuedJob> = Vec::new();
-            let mut tokens: Vec<(CancelToken, ProgressSlot)> = Vec::new();
+            let mut tokens: Vec<DispatchHandles> = Vec::new();
             let mut kind: Option<BackendKind> = None;
             while batch.len() < inner.config.batch_max {
                 // Stale entries — keys already dispatched (priority-
@@ -1586,13 +2060,32 @@ fn scheduler_loop(inner: &Arc<Inner>) {
                     }
                 }
                 state.counters.queue_mut(job.spec.backend).solves += 1;
-                tokens.push(
-                    state
-                        .cancels
-                        .get(&job.key)
-                        .map(|c| (c.token.clone(), Arc::clone(&c.progress)))
-                        .unwrap_or_else(|| (CancelToken::default(), Arc::default())),
-                );
+                let now = Instant::now();
+                let handles = match state.cancels.get_mut(&job.key) {
+                    Some(control) => {
+                        // Queue wait is admission → *first* dispatch; a
+                        // retry re-dispatch shows up as solve time.
+                        if control.dispatched_at.is_none() {
+                            inner
+                                .telemetry
+                                .record_queue_wait(now.duration_since(control.admitted_at));
+                            control.dispatched_at = Some(now);
+                        }
+                        if let Some(trace) = &control.trace {
+                            trace
+                                .lock()
+                                .expect("timeline poisoned")
+                                .record(TimelineEventKind::Dispatched);
+                        }
+                        (
+                            control.token.clone(),
+                            Arc::clone(&control.progress),
+                            control.trace.clone(),
+                        )
+                    }
+                    None => (CancelToken::default(), Arc::default(), None),
+                };
+                tokens.push(handles);
                 batch.push(job);
             }
             (batch, tokens)
@@ -1684,6 +2177,16 @@ fn scheduler_loop(inner: &Arc<Inner>) {
                             .config
                             .retry_backoff_ms
                             .saturating_mul(1u64 << (job.attempts - 1).min(16));
+                        if let Some(trace) =
+                            state.cancels.get(&job.key).and_then(|c| c.trace.as_ref())
+                        {
+                            let mut timeline = trace.lock().expect("timeline poisoned");
+                            timeline.record(TimelineEventKind::Retry {
+                                attempt: job.attempts,
+                                backoff_ms: backoff,
+                            });
+                            timeline.record(TimelineEventKind::Queued);
+                        }
                         state
                             .deferred
                             .push((Instant::now() + Duration::from_millis(backoff), job));
@@ -1695,13 +2198,7 @@ fn scheduler_loop(inner: &Arc<Inner>) {
                     }
                 }
             };
-            complete_key(
-                &mut state,
-                job.key,
-                kind,
-                &status,
-                inner.config.result_capacity,
-            );
+            complete_key(inner, &mut state, job.key, kind, &status);
         }
         drop(state);
         inner.done_cv.notify_all();
@@ -1721,24 +2218,36 @@ fn execute_batch(
     inner: &Arc<Inner>,
     kind: BackendKind,
     batch: &[QueuedJob],
-    tokens: &[(CancelToken, ProgressSlot)],
+    tokens: &[DispatchHandles],
 ) -> Vec<Result<JobResult>> {
     let budgets: Vec<SolveBudget> = batch
         .iter()
         .zip(tokens)
-        .map(|(job, (token, slot))| {
+        .map(|(job, (token, slot, trace))| {
             let slot = Arc::clone(slot);
+            let trace = trace.clone();
             let mut budget = SolveBudget::unlimited()
                 .with_cancel(token.clone())
                 // Publish mid-solve progress: the NewtonDriver stages
                 // every rung's budget child with the rung label, so each
                 // iteration snapshot names its ladder rung for `poll`.
+                // Iteration 0 is the driver's rung announcement — a
+                // timeline transition, not a poll-visible iteration.
                 .observed(move |p| {
-                    *slot.lock().expect("progress slot poisoned") = Some(JobProgress {
-                        rung: p.stage.unwrap_or("plain"),
-                        iteration: p.iteration,
-                        best_residual: p.best_residual,
-                    });
+                    if p.iteration > 0 {
+                        *slot.lock().expect("progress slot poisoned") = Some(JobProgress {
+                            rung: p.stage.unwrap_or("plain"),
+                            iteration: p.iteration,
+                            best_residual: p.best_residual,
+                        });
+                    }
+                    if let Some(trace) = &trace {
+                        trace.lock().expect("timeline poisoned").note_progress(
+                            p.stage,
+                            p.iteration,
+                            p.residual,
+                        );
+                    }
                 });
             if let Some(ms) = job.spec.deadline_ms.or(inner.config.default_deadline_ms) {
                 budget = budget.with_timeout(Duration::from_millis(ms));

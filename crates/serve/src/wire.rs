@@ -12,6 +12,8 @@
 //! | `poll` | `job_id`, optional `wait_ms` | `status`, `memo_hit`, `result` when done; `error` (+ `interrupted`) when failed; `progress` (`rung`, `iteration`, `best_residual`) while running |
 //! | `cancel` | `job_id` | `status` after the cancel took effect |
 //! | `stats` | — | the [`ServeStats`](crate::service::ServeStats) object |
+//! | `metrics` | optional `format` (`"json"`) | `metrics`: Prometheus-style exposition text ([`crate::metrics`]); with `format: "json"`, `stats` as for the `stats` verb |
+//! | `trace` | `job_id` | `trace`: the job's ordered lifecycle timeline ([`TraceView`](crate::service::TraceView)) |
 //! | `evict` | optional `family` | `evicted` count |
 //! | `shutdown` | — | acknowledges, then stops the server |
 //!
@@ -50,8 +52,10 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rfsim_numerics::json::Json;
+use rfsim_numerics::telemetry::LatencyHistogram;
 
 use crate::error::{Result, ServeError};
+use crate::metrics;
 use crate::service::{JobId, JobStatus, SimService};
 use crate::spec::JobSpec;
 
@@ -75,6 +79,17 @@ pub enum Request {
     },
     /// Service statistics.
     Stats,
+    /// Telemetry exposition: Prometheus-style text, or the stats object
+    /// with `json: true`.
+    Metrics {
+        /// Return the stats JSON object instead of exposition text.
+        json: bool,
+    },
+    /// A job's lifecycle timeline.
+    Trace {
+        /// The job to trace.
+        job_id: u64,
+    },
     /// Evict stored solutions (all, or one family's).
     Evict {
         /// Restrict eviction to this family.
@@ -84,7 +99,33 @@ pub enum Request {
     Shutdown,
 }
 
+/// Every wire verb, in the order the per-verb request histograms index
+/// them (the `verb` label of `rfsim_frontend_request_ms`).
+const VERBS: [&str; 8] = [
+    "submit", "poll", "cancel", "stats", "metrics", "trace", "evict", "shutdown",
+];
+
 impl Request {
+    /// This request's verb name (the `verb` label on the front-end's
+    /// per-verb request histograms).
+    pub fn verb(&self) -> &'static str {
+        VERBS[self.verb_index()]
+    }
+
+    /// This request's index into [`VERBS`].
+    fn verb_index(&self) -> usize {
+        match self {
+            Request::Submit(_) => 0,
+            Request::Poll { .. } => 1,
+            Request::Cancel { .. } => 2,
+            Request::Stats => 3,
+            Request::Metrics { .. } => 4,
+            Request::Trace { .. } => 5,
+            Request::Evict { .. } => 6,
+            Request::Shutdown => 7,
+        }
+    }
+
     /// Decodes one request line.
     ///
     /// # Errors
@@ -116,6 +157,19 @@ impl Request {
                     as u64,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => match json.string_at("format") {
+                None | Some("text") | Some("prometheus") => Ok(Request::Metrics { json: false }),
+                Some("json") => Ok(Request::Metrics { json: true }),
+                Some(other) => Err(ServeError::Protocol(format!(
+                    "unknown metrics format '{other}'"
+                ))),
+            },
+            "trace" => Ok(Request::Trace {
+                job_id: json
+                    .number_at("job_id")
+                    .ok_or_else(|| ServeError::Protocol("trace missing 'job_id'".into()))?
+                    as u64,
+            }),
             "evict" => Ok(Request::Evict {
                 family: json.string_at("family").map(str::to_string),
             }),
@@ -140,6 +194,15 @@ impl Request {
                 ("job_id", Json::from(*job_id as usize)),
             ]),
             Request::Stats => Json::object([("verb", Json::string("stats"))]),
+            Request::Metrics { json: false } => Json::object([("verb", Json::string("metrics"))]),
+            Request::Metrics { json: true } => Json::object([
+                ("verb", Json::string("metrics")),
+                ("format", Json::string("json")),
+            ]),
+            Request::Trace { job_id } => Json::object([
+                ("verb", Json::string("trace")),
+                ("job_id", Json::from(*job_id as usize)),
+            ]),
             Request::Evict { family } => match family {
                 Some(name) => Json::object([
                     ("verb", Json::string("evict")),
@@ -260,6 +323,21 @@ pub fn handle(service: &SimService, request: &Request) -> (Json, bool) {
             Err(e) => (error_response(&e), false),
         },
         Request::Stats => (ok_response([("stats", service.stats().to_json())]), false),
+        Request::Metrics { json } => {
+            let stats = service.stats();
+            if *json {
+                (ok_response([("stats", stats.to_json())]), false)
+            } else {
+                (
+                    ok_response([("metrics", Json::string(metrics::exposition(&stats)))]),
+                    false,
+                )
+            }
+        }
+        Request::Trace { job_id } => match service.trace(JobId(*job_id)) {
+            Ok(view) => (ok_response([("trace", view.to_json())]), false),
+            Err(e) => (error_response(&e), false),
+        },
         Request::Evict { family } => {
             let evicted = service.evict(family.as_deref());
             (ok_response([("evicted", Json::from(evicted))]), false)
@@ -297,6 +375,27 @@ struct FrontendCounters {
     requests: AtomicUsize,
     throttled: AtomicUsize,
     parks: AtomicUsize,
+    /// Long-polls parked *right now* (a gauge: incremented at park,
+    /// decremented at answer or connection close).
+    parked: AtomicUsize,
+    /// Parked long-polls answered because their job settled or their
+    /// deadline passed.
+    wakeups: AtomicUsize,
+    /// Per-verb wire-handling latency (the time [`process`] spent
+    /// executing one request, indexed by [`VERBS`]). Parked long-polls
+    /// record their park-visit handling time — the cost of handling,
+    /// not the wait. Exposition-only: served as
+    /// `rfsim_frontend_request_ms` by the `metrics` verb.
+    request_ms: Mutex<[LatencyHistogram; VERBS.len()]>,
+}
+
+impl FrontendCounters {
+    /// Records one request's handling time under its verb's histogram.
+    fn record_request(&self, verb_index: usize, elapsed: Duration) {
+        if let Ok(mut histograms) = self.request_ms.lock() {
+            histograms[verb_index].record(elapsed);
+        }
+    }
 }
 
 /// One multiplexed connection's whole state between worker visits.
@@ -429,6 +528,7 @@ fn process(
                     let wait = Duration::from_millis(*wait_ms).min(MAX_WAIT);
                     conn.pending = Some((*job_id, Instant::now() + wait));
                     counters.parks.fetch_add(1, Ordering::Relaxed);
+                    counters.parked.fetch_add(1, Ordering::Relaxed);
                     Processed::Park
                 }
                 _ => Processed::Respond(poll_payload(service, JobId(*job_id))),
@@ -437,35 +537,23 @@ fn process(
         Request::Stats => {
             let mut stats = service.stats().to_json();
             if let Json::Object(members) = &mut stats {
-                members.push((
-                    "frontend".to_string(),
-                    Json::object([
-                        ("workers", Json::from(config.workers.max(1))),
-                        ("max_inflight", Json::from(config.max_inflight.max(1))),
-                        (
-                            "connections_accepted",
-                            Json::from(counters.accepted.load(Ordering::Relaxed)),
-                        ),
-                        (
-                            "connections_active",
-                            Json::from(counters.active.load(Ordering::Relaxed)),
-                        ),
-                        (
-                            "requests",
-                            Json::from(counters.requests.load(Ordering::Relaxed)),
-                        ),
-                        (
-                            "throttled",
-                            Json::from(counters.throttled.load(Ordering::Relaxed)),
-                        ),
-                        (
-                            "long_poll_parks",
-                            Json::from(counters.parks.load(Ordering::Relaxed)),
-                        ),
-                    ]),
-                ));
+                members.push(("frontend".to_string(), frontend_json(config, counters)));
             }
             Processed::Respond(ok_response([("stats", stats)]))
+        }
+        Request::Metrics { json } => {
+            let stats = service.stats();
+            if *json {
+                let mut stats_json = stats.to_json();
+                if let Json::Object(members) = &mut stats_json {
+                    members.push(("frontend".to_string(), frontend_json(config, counters)));
+                }
+                Processed::Respond(ok_response([("stats", stats_json)]))
+            } else {
+                let mut text = metrics::exposition(&stats);
+                text.push_str(&frontend_exposition(config, counters));
+                Processed::Respond(ok_response([("metrics", Json::string(text))]))
+            }
         }
         Request::Shutdown => Processed::Shutdown(ok_response([])),
         other => {
@@ -473,6 +561,109 @@ fn process(
             Processed::Respond(response)
         }
     }
+}
+
+/// The wire `stats` payload's `frontend` section (documented in
+/// `docs/scaling.md` and pinned by the stats contract test).
+fn frontend_json(config: &FrontEndConfig, counters: &FrontendCounters) -> Json {
+    Json::object([
+        ("workers", Json::from(config.workers.max(1))),
+        ("max_inflight", Json::from(config.max_inflight.max(1))),
+        (
+            "connections_accepted",
+            Json::from(counters.accepted.load(Ordering::Relaxed)),
+        ),
+        (
+            "connections_active",
+            Json::from(counters.active.load(Ordering::Relaxed)),
+        ),
+        (
+            "requests",
+            Json::from(counters.requests.load(Ordering::Relaxed)),
+        ),
+        (
+            "throttled",
+            Json::from(counters.throttled.load(Ordering::Relaxed)),
+        ),
+        (
+            "long_poll_parks",
+            Json::from(counters.parks.load(Ordering::Relaxed)),
+        ),
+        (
+            "parked",
+            Json::from(counters.parked.load(Ordering::Relaxed)),
+        ),
+        (
+            "wakeups",
+            Json::from(counters.wakeups.load(Ordering::Relaxed)),
+        ),
+    ])
+}
+
+/// The front-end's own Prometheus-style series, appended after the
+/// service exposition ([`metrics::exposition`]) by the `metrics` verb.
+fn frontend_exposition(config: &FrontEndConfig, counters: &FrontendCounters) -> String {
+    let mut out = String::new();
+    for (name, kind, value) in [
+        ("rfsim_frontend_workers", "gauge", config.workers.max(1)),
+        (
+            "rfsim_frontend_max_inflight",
+            "gauge",
+            config.max_inflight.max(1),
+        ),
+        (
+            "rfsim_frontend_connections_accepted_total",
+            "counter",
+            counters.accepted.load(Ordering::Relaxed),
+        ),
+        (
+            "rfsim_frontend_connections_active",
+            "gauge",
+            counters.active.load(Ordering::Relaxed),
+        ),
+        (
+            "rfsim_frontend_requests_total",
+            "counter",
+            counters.requests.load(Ordering::Relaxed),
+        ),
+        (
+            "rfsim_frontend_throttled_total",
+            "counter",
+            counters.throttled.load(Ordering::Relaxed),
+        ),
+        (
+            "rfsim_frontend_long_poll_parks_total",
+            "counter",
+            counters.parks.load(Ordering::Relaxed),
+        ),
+        (
+            "rfsim_frontend_parked",
+            "gauge",
+            counters.parked.load(Ordering::Relaxed),
+        ),
+        (
+            "rfsim_frontend_wakeups_total",
+            "counter",
+            counters.wakeups.load(Ordering::Relaxed),
+        ),
+    ] {
+        metrics::type_line(&mut out, name, kind);
+        metrics::sample(&mut out, name, &[], value as f64);
+    }
+    // Per-verb wire-handling latency, one summary block per verb.
+    metrics::type_line(&mut out, "rfsim_frontend_request_ms", "summary");
+    if let Ok(histograms) = counters.request_ms.lock() {
+        for (verb, histogram) in VERBS.iter().zip(histograms.iter()) {
+            metrics::summary_labelled(
+                &mut out,
+                "rfsim_frontend_request_ms",
+                "verb",
+                verb,
+                histogram,
+            );
+        }
+    }
+    out
 }
 
 /// One worker visit to one connection: flush pending response bytes,
@@ -507,6 +698,8 @@ fn step(
         );
         if settled || Instant::now() >= deadline {
             conn.pending = None;
+            counters.parked.fetch_sub(1, Ordering::Relaxed);
+            counters.wakeups.fetch_add(1, Ordering::Relaxed);
             let response = poll_payload(service, JobId(job_id));
             conn.queue_response(&response);
             if conn.flush().is_err() {
@@ -563,15 +756,20 @@ fn step(
         counters.requests.fetch_add(1, Ordering::Relaxed);
         match Request::parse(trimmed) {
             Err(e) => conn.queue_response(&error_response(&e)),
-            Ok(request) => match process(service, conn, &request, config, counters) {
-                Processed::Respond(response) => conn.queue_response(&response),
-                Processed::Park => {}
-                Processed::Shutdown(response) => {
-                    conn.queue_response(&response);
-                    conn.closing = true;
-                    stop.store(true, Ordering::SeqCst);
+            Ok(request) => {
+                let started = Instant::now();
+                let outcome = process(service, conn, &request, config, counters);
+                counters.record_request(request.verb_index(), started.elapsed());
+                match outcome {
+                    Processed::Respond(response) => conn.queue_response(&response),
+                    Processed::Park => {}
+                    Processed::Shutdown(response) => {
+                        conn.queue_response(&response);
+                        conn.closing = true;
+                        stop.store(true, Ordering::SeqCst);
+                    }
                 }
-            },
+            }
         }
         if conn.flush().is_err() {
             return (true, true);
@@ -606,11 +804,19 @@ fn worker_loop(
                 if stop.load(Ordering::SeqCst) && !conn.closing {
                     // Server stopping: one courtesy flush, then close.
                     let _ = conn.flush();
+                    if conn.pending.is_some() {
+                        counters.parked.fetch_sub(1, Ordering::Relaxed);
+                    }
                     counters.active.fetch_sub(1, Ordering::Relaxed);
                     continue;
                 }
                 let (progressed, close) = step(service, &mut conn, config, counters, stop);
                 if close {
+                    // A connection dropped while parked leaves no gauge
+                    // residue.
+                    if conn.pending.is_some() {
+                        counters.parked.fetch_sub(1, Ordering::Relaxed);
+                    }
                     counters.active.fetch_sub(1, Ordering::Relaxed);
                 } else {
                     ready.lock().expect("ready queue poisoned").push_back(conn);
@@ -771,6 +977,9 @@ mod tests {
             },
             Request::Cancel { job_id: 7 },
             Request::Stats,
+            Request::Metrics { json: false },
+            Request::Metrics { json: true },
+            Request::Trace { job_id: 7 },
             Request::Evict { family: None },
             Request::Evict {
                 family: Some("rc_lowpass".into()),
@@ -793,6 +1002,8 @@ mod tests {
             r#"{"verb":"poll"}"#,
             r#"{"verb":"cancel"}"#,
             r#"{"verb":"submit"}"#,
+            r#"{"verb":"trace"}"#,
+            r#"{"verb":"metrics","format":"xml"}"#,
         ] {
             assert!(
                 matches!(Request::parse(bad), Err(ServeError::Protocol(_))),

@@ -437,3 +437,158 @@ fn cancel_after_completion_is_a_no_op() {
         other => panic!("poll after no-op cancel: {other:?}"),
     }
 }
+
+// ---------------------------------------------------------------------
+// Timeline telemetry: the control-plane paths above, replayed with the
+// trace surface asserted — event ordering, outcome labels, and offsets.
+// ---------------------------------------------------------------------
+
+/// The labels of a trace's events, in recorded order, with offsets
+/// asserted nondecreasing along the way.
+fn trace_labels(service: &SimService, id: rfsim_serve::JobId) -> Vec<&'static str> {
+    let view = service.trace(id).expect("trace");
+    let mut last = 0u64;
+    for event in &view.events {
+        assert!(
+            event.at_ns >= last,
+            "timeline offsets must be nondecreasing: {:?}",
+            view.events
+        );
+        last = event.at_ns;
+    }
+    view.events.iter().map(|e| e.kind.label()).collect()
+}
+
+/// A job cancelled before dispatch settles with a timeline that never
+/// saw the engine: admitted → queued → settled(cancelled), and no
+/// `dispatched` event.
+#[test]
+fn cancel_before_dispatch_timeline_has_no_dispatch_event() {
+    use rfsim_numerics::telemetry::TimelineEventKind;
+    let service = SimService::start(ServeConfig {
+        paused: true,
+        ..small_config()
+    });
+    let id = service.submit(&spec(0.1)).expect("submit");
+    match service.cancel(id).expect("cancel") {
+        JobStatus::Failed { interrupted, .. } => {
+            assert!(interrupted.is_some_and(|i| matches!(i.reason, InterruptReason::Cancelled)));
+        }
+        other => panic!("queued cancel must settle failed, got {other:?}"),
+    }
+    assert_eq!(
+        trace_labels(&service, id),
+        vec!["admitted", "queued", "settled"]
+    );
+    let view = service.trace(id).expect("trace");
+    assert!(view.settled);
+    assert!(matches!(
+        view.events.last().map(|e| e.kind),
+        Some(TimelineEventKind::Settled {
+            outcome: "cancelled"
+        })
+    ));
+    service.resume();
+}
+
+/// A transiently-failing job's timeline records the retry hand-back —
+/// dispatched, retry(attempt=1), re-queued, re-dispatched — and still
+/// settles solved.
+#[test]
+fn retry_timeline_records_the_backoff_loop() {
+    use rfsim_numerics::telemetry::TimelineEventKind;
+    let service = SimService::start(ServeConfig {
+        retry_max: 2,
+        retry_backoff_ms: 5,
+        ..small_config()
+    });
+    service.inject_fault("rc_lowpass", SolveFault::diverge().times(1));
+    let id = service.submit(&spec(0.1)).expect("submit");
+    service.wait(id, WAIT).expect("retry must recover");
+    let labels = trace_labels(&service, id);
+    let position = |want: &str| {
+        labels
+            .iter()
+            .position(|l| *l == want)
+            .unwrap_or_else(|| panic!("no '{want}' event in {labels:?}"))
+    };
+    let retry = position("retry");
+    assert!(position("dispatched") < retry, "{labels:?}");
+    // The hand-back re-queues and re-dispatches after the retry mark.
+    assert!(
+        labels.iter().skip(retry).any(|l| *l == "dispatched"),
+        "{labels:?}"
+    );
+    assert_eq!(labels.last(), Some(&"settled"));
+    let view = service.trace(id).expect("trace");
+    let retry_event = view
+        .events
+        .iter()
+        .find_map(|e| match e.kind {
+            TimelineEventKind::Retry {
+                attempt,
+                backoff_ms,
+            } => Some((attempt, backoff_ms)),
+            _ => None,
+        })
+        .expect("typed retry event");
+    assert_eq!(retry_event, (1, 5));
+    assert!(matches!(
+        view.events.last().map(|e| e.kind),
+        Some(TimelineEventKind::Settled { outcome: "solved" })
+    ));
+}
+
+/// A hung job stopped by its deadline settles a timeline that reached
+/// the engine (dispatched) and ends settled(deadline_expired).
+#[test]
+fn deadline_timeline_settles_as_deadline_expired() {
+    use rfsim_numerics::telemetry::TimelineEventKind;
+    let service = SimService::start(ServeConfig {
+        default_deadline_ms: Some(200),
+        ..small_config()
+    });
+    service.inject_fault("rc_lowpass", SolveFault::stall(5, 60_000));
+    let id = service.submit(&spec(0.1)).expect("submit");
+    let err = service.wait(id, WAIT).expect_err("deadline must fire");
+    assert!(err.to_string().contains("deadline_expired"), "{err}");
+    let labels = trace_labels(&service, id);
+    assert!(labels.contains(&"dispatched"), "{labels:?}");
+    let view = service.trace(id).expect("trace");
+    assert!(matches!(
+        view.events.last().map(|e| e.kind),
+        Some(TimelineEventKind::Settled {
+            outcome: "deadline_expired"
+        })
+    ));
+    assert_zero_leaked_workspaces(&service);
+}
+
+/// Coalesced waiters share one execution's timeline; a memo hit settled
+/// at submit retains the two-event admitted → settled(hit) trace; and
+/// with telemetry off the trace surface reports a typed refusal.
+#[test]
+fn trace_retention_covers_coalesce_memo_and_disabled_paths() {
+    let service = SimService::start(ServeConfig {
+        paused: true,
+        ..small_config()
+    });
+    let first = service.submit(&spec(0.1)).expect("submit");
+    let twin = service.submit(&spec(0.1)).expect("coalesced submit");
+    service.resume();
+    service.wait(first, WAIT).expect("solve");
+    service.wait(twin, WAIT).expect("coalesced result");
+    assert_eq!(trace_labels(&service, first), trace_labels(&service, twin));
+    let hit = service.submit(&spec(0.1)).expect("memo hit");
+    service.wait(hit, WAIT).expect("stored result");
+    assert_eq!(trace_labels(&service, hit), vec!["admitted", "settled"]);
+
+    let dark = SimService::start(ServeConfig {
+        telemetry: false,
+        ..small_config()
+    });
+    let id = dark.submit(&spec(0.1)).expect("submit");
+    dark.wait(id, WAIT).expect("solve");
+    let err = dark.trace(id).expect_err("telemetry off refuses traces");
+    assert!(err.to_string().contains("telemetry"), "{err}");
+}

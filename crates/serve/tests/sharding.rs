@@ -268,8 +268,26 @@ fn wire_stats_expose_every_documented_field() {
         "engine.precond_refreshes",
         "engine.rung_attempts",
         "engine.rung_successes",
+        "latency.queue_wait.count",
+        "latency.queue_wait.mean_ms",
+        "latency.queue_wait.p50_ms",
+        "latency.queue_wait.p90_ms",
+        "latency.queue_wait.p99_ms",
+        "latency.queue_wait.max_ms",
+        "latency.solve.count",
+        "latency.solve.mean_ms",
+        "latency.solve.p50_ms",
+        "latency.solve.p90_ms",
+        "latency.solve.p99_ms",
+        "latency.solve.max_ms",
+        "latency.e2e.count",
+        "latency.e2e.mean_ms",
+        "latency.e2e.p50_ms",
+        "latency.e2e.p90_ms",
+        "latency.e2e.p99_ms",
+        "latency.e2e.max_ms",
     ];
-    const TOP_FIELDS: &[&str] = &["shard_count"];
+    const TOP_FIELDS: &[&str] = &["shard_count", "uptime_ms", "stats_generation"];
     const FRONTEND_FIELDS: &[&str] = &[
         "frontend.workers",
         "frontend.max_inflight",
@@ -278,6 +296,8 @@ fn wire_stats_expose_every_documented_field() {
         "frontend.requests",
         "frontend.throttled",
         "frontend.long_poll_parks",
+        "frontend.parked",
+        "frontend.wakeups",
     ];
     for path in SECTION_FIELDS
         .iter()
@@ -311,6 +331,79 @@ fn wire_stats_expose_every_documented_field() {
         .map(|s| s.number_at("queues.mpde.memo_hits").unwrap_or(0.0))
         .sum();
     assert_eq!(per_shard_hits, 1.0);
+    // The solve and the memo hit both landed in the latency histograms.
+    assert_eq!(stats.number_at("latency.solve.count"), Some(1.0));
+    assert_eq!(stats.number_at("latency.e2e.count"), Some(2.0));
+    // Snapshots are orderable: the generation is strictly monotonic.
+    let generation = stats.number_at("stats_generation").expect("generation");
+    let again = client.stats().expect("stats again");
+    assert!(
+        again.number_at("stats_generation").expect("generation") > generation,
+        "stats_generation must increase per snapshot"
+    );
+    assert!(again.number_at("uptime_ms").expect("uptime") >= stats.number_at("uptime_ms").unwrap());
+    drop(client);
+    server.stop();
+    server.join();
+}
+
+/// Every `rfsim_*` series named in `docs/observability.md`'s series
+/// reference appears in a live `metrics` scrape, and every series the
+/// daemon emits is documented — the exposition and the doc cannot drift
+/// apart in either direction.
+#[test]
+fn metrics_exposition_matches_documented_series() {
+    let service = SimService::start(config(2));
+    let server = WireServer::start(service.clone(), "127.0.0.1:0").expect("bind");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    client.run(&spec(0.1), WAIT).expect("solve");
+
+    let text = client.metrics().expect("metrics");
+    let doc = include_str!("../../../docs/observability.md");
+    // The documented names: backtick-quoted `rfsim_*` tokens in the
+    // series-reference table rows.
+    let mut documented: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    for line in doc.lines().filter(|l| l.starts_with("| `rfsim_")) {
+        let name = line
+            .trim_start_matches("| `")
+            .split('`')
+            .next()
+            .expect("series name");
+        documented.insert(name);
+    }
+    assert!(
+        documented.len() > 30,
+        "the doc table should be rich, found {}",
+        documented.len()
+    );
+
+    // Every emitted series is documented (summaries document the base
+    // name; `_sum`/`_count` are implicit).
+    let mut emitted: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    for line in text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let (series, value) = line.rsplit_once(' ').expect("name value");
+        assert!(value.parse::<f64>().is_ok(), "numeric sample: {line}");
+        let name = series.split('{').next().expect("series name");
+        let base = name
+            .strip_suffix("_sum")
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        assert!(
+            documented.contains(base),
+            "emitted series '{name}' is not documented in docs/observability.md"
+        );
+        emitted.insert(base);
+    }
+    // And every documented series is emitted.
+    for name in &documented {
+        assert!(
+            emitted.contains(name),
+            "documented series '{name}' missing from a live scrape"
+        );
+    }
     drop(client);
     server.stop();
     server.join();
