@@ -19,8 +19,9 @@ use std::process::ExitCode;
 
 use rfsim_bench::gate::{
     cancel_latency_scenario, drift_scenario, engine_memo_scenario, evaluate,
-    keyless_submit_scenario, memo_roundtrip, mpde_warm_vs_cold, recovery_ladder_scenario,
-    refactor_vs_full, sharded_throughput_scenario, telemetry_overhead_scenario, GateCheck, Json,
+    keyless_submit_scenario, memo_roundtrip, mpde_warm_vs_cold, netlist_submit_scenario,
+    recovery_ladder_scenario, refactor_vs_full, sharded_throughput_scenario,
+    telemetry_overhead_scenario, GateCheck, Json,
 };
 
 struct Args {
@@ -32,8 +33,8 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        baseline: "BENCH_pr8.json".into(),
-        out: "BENCH_pr9.json".into(),
+        baseline: "BENCH_pr9.json".into(),
+        out: "BENCH_pr10.json".into(),
         // Cross-machine reproducibility of the micro ratios is ~±20%
         // (measured by re-running a pinned build against a baseline
         // recorded on a different container), so a tighter band is
@@ -92,6 +93,17 @@ fn main() -> ExitCode {
         memo.speedup(),
         memo.memo_hits,
         memo.bit_identical,
+    );
+
+    let netlist = netlist_submit_scenario(args.reps);
+    println!(
+        "  netlist: cold submit {:.0} ns vs memo hit {:.0} ns → {:.1}x, \
+         {} memo hits, bit-identical: {}",
+        netlist.fresh_ns,
+        netlist.memo_ns,
+        netlist.speedup(),
+        netlist.memo_hits,
+        netlist.bit_identical,
     );
 
     let engine_memo = engine_memo_scenario(args.reps);
@@ -419,6 +431,21 @@ fn main() -> ExitCode {
             floor: 10.0,
         },
     ];
+    checks.push(GateCheck {
+        name: "netlist_submit_memo_vs_fresh".into(),
+        measured: netlist.speedup(),
+        baseline: None,
+        // PR 10 acceptance criterion: resubmitting an identical netlist
+        // is served from the store >= 10x faster than the cold
+        // parse + register + solve path.
+        floor: 10.0,
+    });
+    checks.push(GateCheck {
+        name: "netlist_submit_replay_bit_identical".into(),
+        measured: if netlist.bit_identical { 1.0 } else { 0.0 },
+        baseline: None,
+        floor: 1.0,
+    });
     checks.push(GateCheck {
         name: "engine_memo_hit_vs_fresh_solve".into(),
         measured: engine_memo.speedup(),

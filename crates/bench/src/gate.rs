@@ -360,6 +360,83 @@ pub fn memo_roundtrip(reps: usize) -> MemoOutcome {
     }
 }
 
+/// Outcome of the netlist-submission serving scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct NetlistSubmitOutcome {
+    /// Median ns for a cold netlist submit: evicted store *and*
+    /// unhosted family, so each rep pays parse + canonical hash +
+    /// register + probe + full solve.
+    pub fresh_ns: f64,
+    /// Median ns to serve the identical netlist text from the store
+    /// (parse + hash + memo hit, no solve).
+    pub memo_ns: f64,
+    /// Memo-hit completions observed during the memo reps.
+    pub memo_hits: usize,
+    /// Whether every rep — cold re-solves and memo hits alike — carried
+    /// the bit-identical sample digest of the first solve.
+    pub bit_identical: bool,
+}
+
+impl NetlistSubmitOutcome {
+    /// Store speedup: cold netlist submit time over memo-hit time.
+    pub fn speedup(&self) -> f64 {
+        self.fresh_ns / self.memo_ns
+    }
+}
+
+/// The netlist front-door scenario (PR 10 acceptance criterion): the
+/// same `.rfn` text is submitted to a long-lived service over and over.
+/// The first submit of each cold rep registers the content-addressed
+/// dynamic family and solves; memo reps resubmit the identical text and
+/// must be served from the solution store — (a) ≥ 10x faster than the
+/// cold path and (b) bit-identical. This pins the whole text → hash →
+/// family → store pipeline, including `evict` fully unhosting dynamic
+/// families (a cold rep after evict must re-register, not memo-hit).
+pub fn netlist_submit_scenario(reps: usize) -> NetlistSubmitOutcome {
+    use std::time::Duration;
+
+    use rfsim_serve::service::{ServeConfig, SimService};
+    use rfsim_serve::spec::Priority;
+
+    const NETLIST: &str = "V V1 in gnd drive\nR R1 in out 1k\nC C1 out gnd 160p\n\
+                           .sweep amplitudes=0.1,0.2 spacings=10k,20k\n\
+                           .analysis mpde f1=1M n1=16 n2=8\n";
+
+    let service = SimService::start(ServeConfig {
+        threads: 1,
+        ..Default::default()
+    });
+    let wait = Duration::from_secs(600);
+    let run = |s: &SimService| {
+        let sub = s
+            .submit_netlist(NETLIST, Priority::Normal, None)
+            .expect("netlist submit");
+        s.wait(sub.job_id, wait).expect("serve")
+    };
+    let reference = run(&service).digest();
+    let mut bit_identical = true;
+    let fresh_ns = time_median_ns(reps, || {
+        // Evict wholesale: drops the stored grid, retires the family's
+        // fingerprints, and unhosts the dynamic registration — the next
+        // submit re-registers from its own text.
+        service.evict(None);
+        bit_identical &= run(&service).digest() == reference;
+    });
+    // Re-prime, then measure pure parse + hash + store service time.
+    bit_identical &= run(&service).digest() == reference;
+    let hits_before = service.stats().counters.total().memo_hits;
+    let memo_ns = time_median_ns(reps, || {
+        bit_identical &= run(&service).digest() == reference;
+    });
+    let memo_hits = service.stats().counters.total().memo_hits - hits_before;
+    NetlistSubmitOutcome {
+        fresh_ns,
+        memo_ns,
+        memo_hits,
+        bit_identical,
+    }
+}
+
 /// Outcome of the engine-level repeated-batch memoisation scenario.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineMemoOutcome {

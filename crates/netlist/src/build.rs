@@ -1,0 +1,226 @@
+//! From AST to [`Circuit`]: the bridge the registry consumes.
+//!
+//! [`Netlist::build_circuit`] replays the device statements through the
+//! same [`CircuitBuilder`] the hard-coded fixture families use, so a
+//! parsed netlist produces bit-for-bit the circuit a Rust builder would.
+//! The `drive`-marked source is substituted from a [`DrivePoint`] — the
+//! mirror of the serve tier's `PointParams` drive (a sheared carrier for
+//! two-tone backends, a plain sinusoid for periodic collocation) — which
+//! is what turns one netlist into a sweepable operating-point *family*.
+
+use std::sync::Arc;
+
+use rfsim_circuit::{
+    BiWaveform, Circuit, CircuitBuilder, CircuitError, DiodeParams, Envelope, SourceSpec, Waveform,
+};
+
+use crate::ast::{DeviceKind, Netlist, Source};
+
+/// One steady-state operating point: the parameters the serve tier's
+/// `PointParams` carries, duplicated here so the netlist crate stays
+/// below the serve layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrivePoint {
+    /// Drive amplitude.
+    pub amplitude: f64,
+    /// Carrier frequency `f1` (Hz).
+    pub f1: f64,
+    /// Tone spacing `fd` (Hz); unused when `two_tone` is false.
+    pub spacing: f64,
+    /// Whether the backend needs a bivariate (two-tone) drive.
+    pub two_tone: bool,
+}
+
+impl DrivePoint {
+    /// The substituted drive source: a unit-envelope sheared carrier for
+    /// two-tone backends, a plain sinusoid otherwise — the exact
+    /// substitution `PointParams::source` performs serve-side.
+    #[must_use]
+    pub fn source_spec(&self) -> SourceSpec {
+        if self.two_tone {
+            BiWaveform::ShearedCarrier {
+                amplitude: self.amplitude,
+                k: 1,
+                f1: self.f1,
+                fd: self.spacing,
+                phase: 0.0,
+                envelope: Envelope::Unit,
+            }
+            .into()
+        } else {
+            Waveform::sine(self.amplitude, self.f1).into()
+        }
+    }
+}
+
+fn source_spec(source: &Source, drive: Option<&DrivePoint>) -> Result<SourceSpec, CircuitError> {
+    Ok(match source {
+        Source::Dc(v) => Waveform::Dc(*v).into(),
+        Source::Sine {
+            amplitude,
+            freq,
+            phase,
+            offset,
+        } => Waveform::Sine {
+            amplitude: *amplitude,
+            freq: *freq,
+            phase: *phase,
+            offset: *offset,
+        }
+        .into(),
+        Source::Pulse {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => Waveform::Pulse {
+            v1: *v1,
+            v2: *v2,
+            delay: *delay,
+            rise: *rise,
+            fall: *fall,
+            width: *width,
+            period: *period,
+        }
+        .into(),
+        Source::Pwl(points) => Waveform::Pwl(Arc::new(points.clone())).into(),
+        Source::Tone {
+            amplitude,
+            k,
+            f1,
+            fd,
+            phase,
+            bits,
+            edge,
+        } => BiWaveform::ShearedCarrier {
+            amplitude: *amplitude,
+            k: *k,
+            f1: *f1,
+            fd: *fd,
+            phase: *phase,
+            envelope: if bits.is_empty() {
+                Envelope::Unit
+            } else {
+                Envelope::bits(bits.clone(), *edge)
+            },
+        }
+        .into(),
+        Source::Lo { amplitude, freq } => {
+            BiWaveform::Axis1(Waveform::cosine(*amplitude, *freq)).into()
+        }
+        Source::Drive => match drive {
+            Some(point) => point.source_spec(),
+            None => {
+                return Err(CircuitError::Structural {
+                    context: "netlist has a 'drive' source but no operating point was supplied"
+                        .into(),
+                })
+            }
+        },
+    })
+}
+
+impl Netlist {
+    /// Builds the circuit, substituting `drive` for the `drive`-marked
+    /// source (pass `None` for netlists without one).
+    ///
+    /// # Errors
+    ///
+    /// The builder's validation errors (element ranges, duplicate
+    /// names), or a structural error when a `drive` source is present
+    /// but no operating point was supplied.
+    pub fn build_circuit(&self, drive: Option<&DrivePoint>) -> Result<Circuit, CircuitError> {
+        let mut b = CircuitBuilder::new();
+        for name in &self.nodes {
+            b.node(name);
+        }
+        for device in &self.devices {
+            let name = device.name.as_str();
+            match &device.kind {
+                DeviceKind::Resistor { a, b: n2, ohms } => {
+                    let (a, n2) = (b.node(a), b.node(n2));
+                    b.resistor(name, a, n2, *ohms)?;
+                }
+                DeviceKind::Capacitor { a, b: n2, farads } => {
+                    let (a, n2) = (b.node(a), b.node(n2));
+                    b.capacitor(name, a, n2, *farads)?;
+                }
+                DeviceKind::Inductor { a, b: n2, henries } => {
+                    let (a, n2) = (b.node(a), b.node(n2));
+                    b.inductor(name, a, n2, *henries)?;
+                }
+                DeviceKind::Diode {
+                    anode,
+                    cathode,
+                    is,
+                    n,
+                    cj0,
+                    tt,
+                } => {
+                    let (anode, cathode) = (b.node(anode), b.node(cathode));
+                    b.diode(
+                        name,
+                        anode,
+                        cathode,
+                        DiodeParams {
+                            is: *is,
+                            n: *n,
+                            cj0: *cj0,
+                            tt: *tt,
+                            ..DiodeParams::default()
+                        },
+                    )?;
+                }
+                DeviceKind::VSource { p, n, source } => {
+                    let spec = source_spec(source, drive)?;
+                    let (p, n) = (b.node(p), b.node(n));
+                    b.vsource(name, p, n, spec)?;
+                }
+                DeviceKind::ISource { p, n, source } => {
+                    let spec = source_spec(source, drive)?;
+                    let (p, n) = (b.node(p), b.node(n));
+                    b.isource(name, p, n, spec)?;
+                }
+                DeviceKind::Multiplier {
+                    p,
+                    n,
+                    xp,
+                    xn,
+                    yp,
+                    yn,
+                    gain,
+                } => {
+                    let (p, n) = (b.node(p), b.node(n));
+                    let (xp, xn) = (b.node(xp), b.node(xn));
+                    let (yp, yn) = (b.node(yp), b.node(yn));
+                    b.multiplier(name, p, n, xp, xn, yp, yn, *gain)?;
+                }
+                DeviceKind::Vccs { p, n, cp, cn, gm } => {
+                    let (p, n) = (b.node(p), b.node(n));
+                    let (cp, cn) = (b.node(cp), b.node(cn));
+                    b.vccs(name, p, n, cp, cn, *gm)?;
+                }
+                DeviceKind::Vcvs { p, n, cp, cn, gain } => {
+                    let (p, n) = (b.node(p), b.node(n));
+                    let (cp, cn) = (b.node(cp), b.node(cn));
+                    b.vcvs(name, p, n, cp, cn, *gain)?;
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// The out-node's unknown index in `circuit`, resolved via
+    /// [`Netlist::out_node`] (`None` when the netlist has no non-ground
+    /// nodes or the out node carries no unknown).
+    #[must_use]
+    pub fn out_unknown(&self, circuit: &Circuit) -> Option<usize> {
+        let name = self.out_node()?;
+        circuit
+            .node_by_name(&name)
+            .and_then(|node| circuit.unknown_index_of_node(node))
+    }
+}

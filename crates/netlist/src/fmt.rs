@@ -1,0 +1,242 @@
+//! The canonical `.rfn` formatter.
+//!
+//! One normal form: title, node declarations (one `.node` line), devices
+//! in source order, `.sweep`, `.analysis` — every parameter printed
+//! explicitly, floats in Rust's shortest-roundtrip `Display` form (the
+//! same convention the wire protocol's JSON encoder uses). Because the
+//! AST stores resolved values and the parser resolves defaults the same
+//! way, `parse(canonical(x)) == x` for every valid netlist, and the
+//! canonical text's hash is a stable identity for memoisation.
+
+use std::fmt::Write;
+
+use crate::ast::{Analysis, DeviceKind, Netlist, Source};
+
+/// Shortest-roundtrip float form (Rust `Display`, e.g. `0.001`, `1e-9`).
+fn num(x: f64) -> String {
+    format!("{x}")
+}
+
+fn list(values: &[f64]) -> String {
+    values.iter().map(|&v| num(v)).collect::<Vec<_>>().join(",")
+}
+
+fn push_source(out: &mut String, source: &Source) {
+    match source {
+        Source::Dc(v) => {
+            let _ = write!(out, "dc {}", num(*v));
+        }
+        Source::Sine {
+            amplitude,
+            freq,
+            phase,
+            offset,
+        } => {
+            let _ = write!(
+                out,
+                "sine amp={} freq={} phase={} offset={}",
+                num(*amplitude),
+                num(*freq),
+                num(*phase),
+                num(*offset)
+            );
+        }
+        Source::Pulse {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => {
+            let _ = write!(
+                out,
+                "pulse v1={} v2={} delay={} rise={} fall={} width={} period={}",
+                num(*v1),
+                num(*v2),
+                num(*delay),
+                num(*rise),
+                num(*fall),
+                num(*width),
+                num(*period)
+            );
+        }
+        Source::Pwl(points) => {
+            let _ = write!(out, "pwl");
+            for (t, v) in points {
+                let _ = write!(out, " {}:{}", num(*t), num(*v));
+            }
+        }
+        Source::Tone {
+            amplitude,
+            k,
+            f1,
+            fd,
+            phase,
+            bits,
+            edge,
+        } => {
+            let _ = write!(
+                out,
+                "tone amp={} k={k} f1={} fd={} phase={}",
+                num(*amplitude),
+                num(*f1),
+                num(*fd),
+                num(*phase)
+            );
+            if !bits.is_empty() {
+                let pattern: String = bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+                let _ = write!(out, " bits={pattern} edge={}", num(*edge));
+            }
+        }
+        Source::Lo { amplitude, freq } => {
+            let _ = write!(out, "lo amp={} freq={}", num(*amplitude), num(*freq));
+        }
+        Source::Drive => out.push_str("drive"),
+    }
+}
+
+/// Formats `netlist` into its canonical text.
+#[must_use]
+pub fn canonical(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    if let Some(title) = &netlist.title {
+        let _ = writeln!(out, ".title {title}");
+    }
+    if !netlist.nodes.is_empty() {
+        let _ = writeln!(out, ".node {}", netlist.nodes.join(" "));
+    }
+    for device in &netlist.devices {
+        let name = &device.name;
+        match &device.kind {
+            DeviceKind::Resistor { a, b, ohms } => {
+                let _ = writeln!(out, "R {name} {a} {b} {}", num(*ohms));
+            }
+            DeviceKind::Capacitor { a, b, farads } => {
+                let _ = writeln!(out, "C {name} {a} {b} {}", num(*farads));
+            }
+            DeviceKind::Inductor { a, b, henries } => {
+                let _ = writeln!(out, "L {name} {a} {b} {}", num(*henries));
+            }
+            DeviceKind::Diode {
+                anode,
+                cathode,
+                is,
+                n,
+                cj0,
+                tt,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "D {name} {anode} {cathode} is={} n={} cj0={} tt={}",
+                    num(*is),
+                    num(*n),
+                    num(*cj0),
+                    num(*tt)
+                );
+            }
+            DeviceKind::VSource { p, n, source } => {
+                let _ = write!(out, "V {name} {p} {n} ");
+                push_source(&mut out, source);
+                out.push('\n');
+            }
+            DeviceKind::ISource { p, n, source } => {
+                let _ = write!(out, "I {name} {p} {n} ");
+                push_source(&mut out, source);
+                out.push('\n');
+            }
+            DeviceKind::Multiplier {
+                p,
+                n,
+                xp,
+                xn,
+                yp,
+                yn,
+                gain,
+            } => {
+                let _ = writeln!(out, "MUL {name} {p} {n} {xp} {xn} {yp} {yn} {}", num(*gain));
+            }
+            DeviceKind::Vccs { p, n, cp, cn, gm } => {
+                let _ = writeln!(out, "VCCS {name} {p} {n} {cp} {cn} {}", num(*gm));
+            }
+            DeviceKind::Vcvs { p, n, cp, cn, gain } => {
+                let _ = writeln!(out, "VCVS {name} {p} {n} {cp} {cn} {}", num(*gain));
+            }
+        }
+    }
+    if let Some(sweep) = &netlist.sweep {
+        let _ = write!(out, ".sweep amplitudes={}", list(&sweep.amplitudes));
+        if !sweep.spacings.is_empty() {
+            let _ = write!(out, " spacings={}", list(&sweep.spacings));
+        }
+        out.push('\n');
+    }
+    let opt_out = |out_node: &Option<String>| match out_node {
+        Some(name) => format!(" out={name}"),
+        None => String::new(),
+    };
+    match &netlist.analysis {
+        Analysis::Dcop => out.push_str(".analysis dcop\n"),
+        Analysis::Transient { t_stop, dt, out: o } => {
+            let _ = writeln!(
+                out,
+                ".analysis transient tstop={} dt={}{}",
+                num(*t_stop),
+                num(*dt),
+                opt_out(o)
+            );
+        }
+        Analysis::Mpde { f1, n1, n2, out: o } => {
+            let _ = writeln!(
+                out,
+                ".analysis mpde f1={} n1={n1} n2={n2}{}",
+                num(*f1),
+                opt_out(o)
+            );
+        }
+        Analysis::Hb2 { f1, n1, n2, out: o } => {
+            let _ = writeln!(
+                out,
+                ".analysis hb2 f1={} n1={n1} n2={n2}{}",
+                num(*f1),
+                opt_out(o)
+            );
+        }
+        Analysis::PeriodicFd { f1, n1, out: o } => {
+            let _ = writeln!(
+                out,
+                ".analysis periodic_fd f1={} n1={n1}{}",
+                num(*f1),
+                opt_out(o)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Netlist;
+
+    #[test]
+    fn canonical_is_a_fixed_point_and_normalises_spellings() {
+        let a = "\
+# comment-laden spelling
+V V1 in 0 sine amp=1 freq=1000k   # suffixed
+R R1 in out 1k
+.analysis   transient tstop=1m
+";
+        let b = "\
+V V1 in gnd sine amp=1 freq=1M phase=0 offset=0
+R R1 in out 1000
+.analysis transient tstop=0.001 dt=0.000005
+";
+        let na = Netlist::parse(a).expect("a");
+        let nb = Netlist::parse(b).expect("b");
+        assert_eq!(na.canonical(), nb.canonical());
+        assert_eq!(na.content_hash(), nb.content_hash());
+        let canon = na.canonical();
+        assert_eq!(Netlist::parse(&canon).expect("reparse").canonical(), canon);
+    }
+}

@@ -1,0 +1,417 @@
+//! Deterministic structured fuzzing helpers.
+//!
+//! Dependency-free building blocks shared by the proptest round-trip
+//! suite and the CI `fuzz-smoke` binary: a seedable xorshift generator,
+//! a byte-level mutator for corpus files, and a structured random-netlist
+//! generator that exercises every statement kind the parser accepts.
+//! Everything here is a pure function of its seed, so a CI failure
+//! reproduces locally from the printed seed alone.
+
+use crate::ast::{Analysis, Device, DeviceKind, Netlist, Source, Sweep};
+
+/// A tiny xorshift64* PRNG — deterministic, seedable, dependency-free.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from `seed` (0 is remapped; all seeds valid).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15 | 1,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// True with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+}
+
+/// Bytes a mutation likes to insert: structure-bearing characters that
+/// push the parser into interesting states faster than uniform noise.
+const INTERESTING: &[u8] = b"=.,:#*\"\\{}[]() \t\n\r-+eE018kMxnu\x00\xff\xc3\xa9";
+
+/// Applies 1..=`max_edits` random byte edits (replace/insert/delete) to
+/// `input`. The result is arbitrary bytes — feed it through
+/// `String::from_utf8_lossy` exactly like the wire front-end does.
+#[must_use]
+pub fn mutate(rng: &mut XorShift64, input: &[u8], max_edits: usize) -> Vec<u8> {
+    let mut bytes = input.to_vec();
+    let edits = 1 + rng.below(max_edits.max(1));
+    for _ in 0..edits {
+        let pick = |rng: &mut XorShift64| {
+            if rng.chance(0.5) {
+                INTERESTING[rng.below(INTERESTING.len())]
+            } else {
+                (rng.next_u64() & 0xff) as u8
+            }
+        };
+        match rng.below(3) {
+            0 if !bytes.is_empty() => {
+                let at = rng.below(bytes.len());
+                bytes[at] = pick(rng);
+            }
+            1 => {
+                let at = rng.below(bytes.len() + 1);
+                let b = pick(rng);
+                bytes.insert(at, b);
+            }
+            _ if !bytes.is_empty() => {
+                let at = rng.below(bytes.len());
+                bytes.remove(at);
+            }
+            _ => {}
+        }
+    }
+    bytes
+}
+
+fn nice_number(rng: &mut XorShift64) -> f64 {
+    // A mix of round magnitudes and raw mantissas: Display round-trips
+    // every finite f64, so odd decimals are fair game for the formatter.
+    const POOL: [f64; 12] = [
+        0.0, 1.0, -1.0, 0.5, 2.5, 1e3, 1e-9, 160e-12, 3.3, -0.25, 7.25e-4, 1e6,
+    ];
+    if rng.chance(0.7) {
+        POOL[rng.below(POOL.len())]
+    } else {
+        (rng.unit() * 2.0 - 1.0) * 10f64.powi(rng.below(13) as i32 - 6)
+    }
+}
+
+fn positive_number(rng: &mut XorShift64) -> f64 {
+    let x = nice_number(rng).abs();
+    if x > 0.0 {
+        x
+    } else {
+        1.0
+    }
+}
+
+fn node_name(rng: &mut XorShift64, nodes: &[String]) -> String {
+    if rng.chance(0.2) {
+        "gnd".to_string()
+    } else {
+        nodes[rng.below(nodes.len())].clone()
+    }
+}
+
+fn random_source(rng: &mut XorShift64, two_tone: bool) -> Source {
+    let choice = rng.below(if two_tone { 3 } else { 5 });
+    match (two_tone, choice) {
+        (_, 0) => Source::Dc(nice_number(rng)),
+        (true, 1) => Source::Tone {
+            amplitude: nice_number(rng),
+            k: 1 + rng.below(3) as u32,
+            f1: positive_number(rng),
+            fd: positive_number(rng),
+            phase: nice_number(rng),
+            bits: if rng.chance(0.4) {
+                (0..2 + rng.below(6)).map(|_| rng.chance(0.5)).collect()
+            } else {
+                Vec::new()
+            },
+            edge: 0.0,
+        },
+        (true, _) => Source::Lo {
+            amplitude: nice_number(rng),
+            freq: positive_number(rng),
+        },
+        (false, 1) => Source::Sine {
+            amplitude: nice_number(rng),
+            freq: positive_number(rng),
+            phase: nice_number(rng),
+            offset: nice_number(rng),
+        },
+        (false, 2) => {
+            let period = positive_number(rng);
+            Source::Pulse {
+                v1: nice_number(rng),
+                v2: nice_number(rng),
+                delay: positive_number(rng) * 0.1,
+                rise: period / 100.0,
+                fall: period / 100.0,
+                width: period / 2.0,
+                period,
+            }
+        }
+        (false, 3) => {
+            let mut t = 0.0;
+            let points = (0..2 + rng.below(5))
+                .map(|_| {
+                    t += positive_number(rng).min(1.0);
+                    (t, nice_number(rng))
+                })
+                .collect();
+            Source::Pwl(points)
+        }
+        _ => Source::Lo {
+            amplitude: nice_number(rng),
+            freq: positive_number(rng),
+        },
+    }
+}
+
+/// Generates a structurally valid random netlist: every device kind,
+/// every source kind, every analysis directive reachable. The result
+/// always satisfies the parser's file-level rules, so
+/// `parse(canonical(x)) == x` must hold for it.
+#[must_use]
+pub fn random_netlist(rng: &mut XorShift64) -> Netlist {
+    let analysis_pick = rng.below(5);
+    let steady = analysis_pick >= 2;
+    let two_tone = analysis_pick == 2 || analysis_pick == 3;
+
+    let node_count = 2 + rng.below(4);
+    let nodes: Vec<String> = (0..node_count).map(|i| format!("n{i}")).collect();
+
+    let mut devices = Vec::new();
+    let mut serial = 0usize;
+    let fresh = |prefix: &str, serial: &mut usize| {
+        *serial += 1;
+        format!("{prefix}{serial}")
+    };
+
+    // Steady-state netlists carry exactly one drive source.
+    if steady {
+        devices.push(Device {
+            name: fresh("V", &mut serial),
+            kind: DeviceKind::VSource {
+                p: nodes[0].clone(),
+                n: "gnd".to_string(),
+                source: Source::Drive,
+            },
+        });
+    } else {
+        devices.push(Device {
+            name: fresh("V", &mut serial),
+            kind: DeviceKind::VSource {
+                p: nodes[0].clone(),
+                n: "gnd".to_string(),
+                source: random_source(rng, false),
+            },
+        });
+    }
+
+    let extra = 1 + rng.below(5);
+    for _ in 0..extra {
+        let a = node_name(rng, &nodes);
+        let b = node_name(rng, &nodes);
+        let kind = match rng.below(8) {
+            0 => DeviceKind::Resistor {
+                a,
+                b,
+                ohms: positive_number(rng),
+            },
+            1 => DeviceKind::Capacitor {
+                a,
+                b,
+                farads: positive_number(rng) * 1e-9,
+            },
+            2 => DeviceKind::Inductor {
+                a,
+                b,
+                henries: positive_number(rng) * 1e-6,
+            },
+            3 => DeviceKind::Diode {
+                anode: a,
+                cathode: b,
+                is: 1e-14,
+                n: 1.0 + rng.unit(),
+                cj0: 0.0,
+                tt: 0.0,
+            },
+            4 => DeviceKind::ISource {
+                p: a,
+                n: b,
+                source: random_source(rng, two_tone),
+            },
+            5 => DeviceKind::Multiplier {
+                p: a,
+                n: b,
+                xp: node_name(rng, &nodes),
+                xn: node_name(rng, &nodes),
+                yp: node_name(rng, &nodes),
+                yn: node_name(rng, &nodes),
+                gain: nice_number(rng),
+            },
+            6 => DeviceKind::Vccs {
+                p: a,
+                n: b,
+                cp: node_name(rng, &nodes),
+                cn: node_name(rng, &nodes),
+                gm: nice_number(rng),
+            },
+            _ => DeviceKind::Vcvs {
+                p: a,
+                n: b,
+                cp: node_name(rng, &nodes),
+                cn: node_name(rng, &nodes),
+                gain: nice_number(rng),
+            },
+        };
+        devices.push(Device {
+            name: fresh("X", &mut serial),
+            kind,
+        });
+    }
+
+    // `out=` must name an existing node; nodes[0] is always used by the
+    // first source, whether or not the `.node` declaration is kept.
+    let out = if rng.chance(0.5) {
+        Some(nodes[0].clone())
+    } else {
+        None
+    };
+    let analysis = match analysis_pick {
+        0 => Analysis::Dcop,
+        1 => {
+            let t_stop = positive_number(rng).max(1e-9);
+            Analysis::Transient {
+                t_stop,
+                dt: t_stop / (10.0 + rng.below(190) as f64),
+                out,
+            }
+        }
+        2 => Analysis::Mpde {
+            f1: positive_number(rng),
+            n1: 2 + rng.below(31),
+            n2: 2 + rng.below(15),
+            out,
+        },
+        3 => Analysis::Hb2 {
+            f1: positive_number(rng),
+            n1: 2 + rng.below(31),
+            n2: 2 + rng.below(15),
+            out,
+        },
+        _ => Analysis::PeriodicFd {
+            f1: positive_number(rng),
+            n1: 2 + rng.below(63),
+            out,
+        },
+    };
+
+    let sweep = if steady {
+        Some(Sweep {
+            amplitudes: (0..1 + rng.below(4))
+                .map(|_| positive_number(rng))
+                .collect(),
+            spacings: if two_tone {
+                (0..1 + rng.below(3))
+                    .map(|_| positive_number(rng))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+        })
+    } else {
+        None
+    };
+
+    Netlist {
+        title: if rng.chance(0.4) {
+            Some(format!("generated case {}", rng.below(1_000_000)))
+        } else {
+            None
+        },
+        nodes: if rng.chance(0.5) { nodes } else { Vec::new() },
+        devices,
+        sweep,
+        analysis,
+    }
+}
+
+/// Generates random token soup from the parser's own vocabulary — valid
+/// keywords in invalid arrangements, reaching deeper error paths than
+/// byte noise.
+#[must_use]
+pub fn random_token_soup(rng: &mut XorShift64) -> String {
+    const TOKENS: &[&str] = &[
+        "R",
+        "C",
+        "L",
+        "D",
+        "V",
+        "I",
+        "MUL",
+        "VCCS",
+        "VCVS",
+        ".title",
+        ".node",
+        ".sweep",
+        ".analysis",
+        "dc",
+        "sine",
+        "pulse",
+        "pwl",
+        "tone",
+        "lo",
+        "drive",
+        "dcop",
+        "transient",
+        "mpde",
+        "hb2",
+        "periodic_fd",
+        "amp=1",
+        "freq=1k",
+        "f1=1e6",
+        "fd=",
+        "n1=4",
+        "n2=-1",
+        "tstop=1m",
+        "out=out",
+        "amplitudes=1,2",
+        "spacings=0",
+        "bits=1011",
+        "edge=2",
+        "in",
+        "out",
+        "gnd",
+        "0",
+        "1k",
+        "1e999",
+        "nan",
+        "-",
+        "=",
+        "#",
+        ":",
+        "0:1",
+        "x:y",
+        "999999999999999999",
+    ];
+    let mut text = String::new();
+    let lines = rng.below(12);
+    for _ in 0..=lines {
+        let toks = rng.below(8);
+        for _ in 0..=toks {
+            text.push_str(TOKENS[rng.below(TOKENS.len())]);
+            text.push(if rng.chance(0.9) { ' ' } else { '\t' });
+        }
+        text.push('\n');
+    }
+    text
+}

@@ -1,0 +1,63 @@
+//! The `.rfn` netlist text format — the front door for user circuits.
+//!
+//! Every workload the serve tier hosted before this crate was a hard-coded
+//! Rust fixture family. `.rfn` is the line-oriented text format that opens
+//! that registry: device statements (R/L/C, diodes, the multiplier mixer,
+//! controlled sources), node declarations, source/tone specs, and the
+//! analysis directives the engines already run (DC operating point,
+//! transient, MPDE, two-tone HB, periodic collocation, sweep grids).
+//!
+//! Three guarantees shape the design:
+//!
+//! 1. **Dependency-free, hostile-input safe.** The hand-rolled parser
+//!    ([`Netlist::parse`]) allocates proportionally to bounded input, caps
+//!    every count (lines, devices, nodes, PWL points, sweep values), and
+//!    returns a typed [`NetlistError`] with a line number for every
+//!    rejection — never a panic. The fuzz harness ([`fuzz`]) hammers
+//!    exactly this contract.
+//! 2. **Canonical text.** [`Netlist::canonical`] formats the AST into one
+//!    normal form such that `parse(canonical(x)) == x` for every valid
+//!    netlist. Floats print in Rust's shortest-roundtrip form (the same
+//!    convention as the wire protocol's JSON encoder), so canonical text
+//!    is a *bit-exact* identity: its FNV-1a hash ([`Netlist::content_hash`])
+//!    names the netlist's dynamic serve family
+//!    ([`Netlist::family_name`]), and textually different spellings of the
+//!    same netlist (comments, whitespace, engineering suffixes, statement
+//!    order) memoise together.
+//! 3. **Same builders the registry consumes.** [`Netlist::build_circuit`]
+//!    produces the identical [`rfsim_circuit::Circuit`] a fixture builder
+//!    would, with the `drive`-marked source substituted from a
+//!    [`DrivePoint`] operating point — the exact substitution the serve
+//!    tier's `PointParams` performs, which is what makes a parsed netlist
+//!    a sweepable *family* rather than a single circuit.
+//!
+//! See `docs/netlist.md` for the statement-by-statement format reference
+//! (pinned to this crate by a contract test in both directions).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ast;
+pub mod build;
+pub mod fmt;
+pub mod fuzz;
+pub mod parse;
+
+pub use ast::{Analysis, Device, DeviceKind, Netlist, Source, Sweep};
+pub use build::DrivePoint;
+pub use parse::NetlistError;
+
+/// FNV-1a 64-bit offset basis (matches `rfsim_rf::key::FNV_OFFSET`).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a 64-bit running hash.
+#[must_use]
+pub fn fnv1a_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}

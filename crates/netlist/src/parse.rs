@@ -1,0 +1,979 @@
+//! The hand-rolled `.rfn` parser.
+//!
+//! Line-oriented: `#` starts a comment anywhere, a leading `*` comments a
+//! whole line (SPICE habit), blank lines are ignored, statements never
+//! span lines. Every count is capped and every rejection is a typed
+//! [`NetlistError`] with a line number — this parser fronts untrusted wire
+//! input, so it must never panic and never allocate unboundedly (the fuzz
+//! harness in [`crate::fuzz`] enforces exactly that).
+//!
+//! Optional parameters are resolved to their defaults here, so the AST
+//! compares by meaning and the canonical formatter can print everything
+//! explicitly (see [`crate::ast`]).
+
+use std::collections::HashSet;
+
+use crate::ast::{Analysis, Device, DeviceKind, Netlist, Source, Sweep};
+
+/// Device statement keywords, in documentation order.
+pub const DEVICE_KEYWORDS: [&str; 9] = ["R", "C", "L", "D", "V", "I", "MUL", "VCCS", "VCVS"];
+/// Dot-directive keywords.
+pub const DIRECTIVE_KEYWORDS: [&str; 4] = [".title", ".node", ".sweep", ".analysis"];
+/// Source keywords (the token after a V/I source's nodes).
+pub const SOURCE_KEYWORDS: [&str; 7] = ["dc", "sine", "pulse", "pwl", "tone", "lo", "drive"];
+/// Analysis keywords (the token after `.analysis`).
+pub const ANALYSIS_KEYWORDS: [&str; 5] = ["dcop", "transient", "mpde", "hb2", "periodic_fd"];
+
+/// Largest accepted input (bytes). Wire submissions are untrusted.
+pub const MAX_INPUT_BYTES: usize = 1 << 20;
+/// Largest accepted single line (bytes).
+pub const MAX_LINE_BYTES: usize = 4096;
+/// Largest accepted device count.
+pub const MAX_DEVICES: usize = 4096;
+/// Largest accepted distinct non-ground node count.
+pub const MAX_NODES: usize = 4096;
+/// Largest accepted device/node name (bytes).
+pub const MAX_NAME_BYTES: usize = 64;
+/// Largest accepted PWL breakpoint list.
+pub const MAX_PWL_POINTS: usize = 1024;
+/// Largest accepted bit-envelope pattern.
+pub const MAX_BITS: usize = 4096;
+/// Largest accepted amplitude/spacing sweep list (matches the serve
+/// tier's `JobSpec::MAX_SWEEP_VALUES`).
+pub const MAX_SWEEP_VALUES: usize = 4096;
+/// Largest accepted grid axis (matches `JobSpec::MAX_AXIS_POINTS`).
+pub const MAX_AXIS_POINTS: usize = 4096;
+/// Largest accepted `n1 × n2` grid (matches `JobSpec::MAX_GRID_POINTS`).
+pub const MAX_GRID_POINTS: usize = 262_144;
+/// Largest accepted `tstop / dt` transient step count.
+pub const MAX_TRANSIENT_STEPS: f64 = 2e6;
+
+/// A typed parse/validation failure: the offending line (0 for
+/// whole-file rules) and the first violated rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistError {
+    /// 1-based line number; 0 for file-level rules (e.g. a missing
+    /// `.analysis`).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, NetlistError> {
+    Err(NetlistError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parses a token as a finite `f64`, accepting engineering suffixes
+/// `f p n u m k M G T` (`M` is mega — unlike SPICE — and suffixes are
+/// case-sensitive). Plain forms (`0.5`, `1e-9`) pass through.
+///
+/// # Errors
+///
+/// A message (no line number) when the token is not a finite number.
+pub fn parse_number(token: &str) -> Result<f64, String> {
+    let (mantissa, multiplier) = match token.as_bytes().last() {
+        Some(b'f') => (&token[..token.len() - 1], 1e-15),
+        Some(b'p') => (&token[..token.len() - 1], 1e-12),
+        Some(b'n') => (&token[..token.len() - 1], 1e-9),
+        Some(b'u') => (&token[..token.len() - 1], 1e-6),
+        Some(b'm') => (&token[..token.len() - 1], 1e-3),
+        Some(b'k') => (&token[..token.len() - 1], 1e3),
+        Some(b'M') => (&token[..token.len() - 1], 1e6),
+        Some(b'G') => (&token[..token.len() - 1], 1e9),
+        Some(b'T') => (&token[..token.len() - 1], 1e12),
+        _ => (token, 1.0),
+    };
+    if mantissa.is_empty() {
+        return Err(format!("'{token}' is not a number"));
+    }
+    // "nan"/"inf" parse as f64 but fail the finiteness gate below, which
+    // also catches overflowing forms like `1e999` or `1e308k`.
+    let value: f64 = mantissa
+        .parse()
+        .map_err(|_| format!("'{token}' is not a number"))?;
+    let scaled = value * multiplier;
+    if !scaled.is_finite() {
+        return Err(format!("'{token}' is not a finite number"));
+    }
+    Ok(scaled)
+}
+
+/// Whether `name` is a legal device/node name: ASCII alphanumerics and
+/// `_`, 1..=[`MAX_NAME_BYTES`] bytes.
+#[must_use]
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_NAME_BYTES
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+fn is_ground(name: &str) -> bool {
+    name == "0" || name == "gnd"
+}
+
+/// Stores a terminal token, normalising the `0` ground alias to `gnd`
+/// so both spellings produce one canonical AST (and one content hash).
+fn node_token(token: &str) -> String {
+    if token == "0" {
+        "gnd".to_string()
+    } else {
+        token.to_string()
+    }
+}
+
+/// `key=value` parameter list with required/optional accessors and an
+/// unknown-key check.
+struct Params<'a> {
+    line: usize,
+    entries: Vec<(&'a str, &'a str)>,
+    used: Vec<bool>,
+}
+
+impl<'a> Params<'a> {
+    fn new(line: usize, tokens: &[&'a str]) -> Result<Self, NetlistError> {
+        let mut entries: Vec<(&'a str, &'a str)> = Vec::with_capacity(tokens.len());
+        for token in tokens {
+            let Some((key, value)) = token.split_once('=') else {
+                return err(line, format!("expected key=value, got '{token}'"));
+            };
+            if key.is_empty() || value.is_empty() {
+                return err(line, format!("expected key=value, got '{token}'"));
+            }
+            if entries.iter().any(|(k, _)| *k == key) {
+                return err(line, format!("duplicate parameter '{key}'"));
+            }
+            entries.push((key, value));
+        }
+        let used = vec![false; entries.len()];
+        Ok(Params {
+            line,
+            entries,
+            used,
+        })
+    }
+
+    fn take(&mut self, key: &str) -> Option<&'a str> {
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if *k == key && !self.used[i] {
+                self.used[i] = true;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn number(&mut self, key: &str) -> Result<f64, NetlistError> {
+        match self.take(key) {
+            Some(v) => parse_number(v).or_else(|m| err(self.line, m)),
+            None => err(self.line, format!("missing required parameter '{key}='")),
+        }
+    }
+
+    fn number_or(&mut self, key: &str, default: f64) -> Result<f64, NetlistError> {
+        match self.take(key) {
+            Some(v) => parse_number(v).or_else(|m| err(self.line, m)),
+            None => Ok(default),
+        }
+    }
+
+    fn integer_or(&mut self, key: &str, default: usize, max: usize) -> Result<usize, NetlistError> {
+        let x = self.number_or(key, default as f64)?;
+        if x < 0.0 || x.fract() != 0.0 || x > max as f64 {
+            return err(
+                self.line,
+                format!("'{key}=' must be an integer in 0..={max}, got {x}"),
+            );
+        }
+        Ok(x as usize)
+    }
+
+    fn numbers(&mut self, key: &str) -> Result<Option<Vec<f64>>, NetlistError> {
+        let Some(raw) = self.take(key) else {
+            return Ok(None);
+        };
+        let mut values = Vec::new();
+        for item in raw.split(',') {
+            if values.len() >= MAX_SWEEP_VALUES {
+                return err(
+                    self.line,
+                    format!("'{key}=' lists at most {MAX_SWEEP_VALUES} values"),
+                );
+            }
+            values.push(parse_number(item).or_else(|m| err(self.line, m))?);
+        }
+        Ok(Some(values))
+    }
+
+    fn finish(self) -> Result<(), NetlistError> {
+        for (i, (key, _)) in self.entries.iter().enumerate() {
+            if !self.used[i] {
+                return err(self.line, format!("unknown parameter '{key}='"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parser state threaded through the line loop.
+#[derive(Default)]
+struct ParseState {
+    title: Option<String>,
+    nodes: Vec<String>,
+    declared: HashSet<String>,
+    devices: Vec<Device>,
+    device_names: HashSet<String>,
+    node_set: HashSet<String>,
+    sweep: Option<Sweep>,
+    analysis: Option<Analysis>,
+    drive_line: Option<usize>,
+}
+
+impl ParseState {
+    fn note_node(&mut self, line: usize, name: &str) -> Result<(), NetlistError> {
+        if is_ground(name) {
+            return Ok(());
+        }
+        if !valid_name(name) {
+            return err(line, format!("invalid node name '{name}'"));
+        }
+        if self.node_set.insert(name.to_string()) && self.node_set.len() > MAX_NODES {
+            return err(line, format!("too many nodes (max {MAX_NODES})"));
+        }
+        Ok(())
+    }
+
+    fn push_device(&mut self, line: usize, device: Device) -> Result<(), NetlistError> {
+        if !valid_name(&device.name) {
+            return err(line, format!("invalid device name '{}'", device.name));
+        }
+        if !self.device_names.insert(device.name.clone()) {
+            return err(line, format!("duplicate device name '{}'", device.name));
+        }
+        if self.devices.len() >= MAX_DEVICES {
+            return err(line, format!("too many devices (max {MAX_DEVICES})"));
+        }
+        for terminal in device.kind.terminals() {
+            self.note_node(line, terminal)?;
+        }
+        if matches!(device.kind.source(), Some(Source::Drive)) {
+            if self.drive_line.is_some() {
+                return err(line, "only one source may be marked 'drive'");
+            }
+            self.drive_line = Some(line);
+        }
+        self.devices.push(device);
+        Ok(())
+    }
+}
+
+/// Parses `.rfn` text into a validated [`Netlist`].
+///
+/// # Errors
+///
+/// A [`NetlistError`] naming the first offending line and rule.
+pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
+    if text.len() > MAX_INPUT_BYTES {
+        return err(0, format!("netlist larger than {MAX_INPUT_BYTES} bytes"));
+    }
+    let mut st = ParseState::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.len() > MAX_LINE_BYTES {
+            return err(line, format!("line longer than {MAX_LINE_BYTES} bytes"));
+        }
+        let body = match raw.find('#') {
+            Some(cut) => &raw[..cut],
+            None => raw,
+        };
+        let body = body.trim();
+        if body.is_empty() || body.starts_with('*') {
+            continue;
+        }
+        let tokens: Vec<&str> = body.split_whitespace().collect();
+        let keyword = tokens[0];
+        match keyword {
+            ".title" => {
+                if st.title.is_some() {
+                    return err(line, "duplicate .title");
+                }
+                let rest = body[".title".len()..].trim();
+                if rest.is_empty() {
+                    return err(line, ".title needs text");
+                }
+                if rest.len() > 200 || rest.bytes().any(|b| b.is_ascii_control()) {
+                    return err(line, ".title must be printable and at most 200 bytes");
+                }
+                st.title = Some(rest.to_string());
+            }
+            ".node" => {
+                if tokens.len() < 2 {
+                    return err(line, ".node needs at least one node name");
+                }
+                for name in &tokens[1..] {
+                    if is_ground(name) {
+                        return err(line, "ground ('0'/'gnd') is implicit, not declarable");
+                    }
+                    if st.declared.contains(*name) {
+                        return err(line, format!("node '{name}' declared twice"));
+                    }
+                    st.note_node(line, name)?;
+                    st.declared.insert((*name).to_string());
+                    st.nodes.push((*name).to_string());
+                }
+            }
+            ".sweep" => {
+                if st.sweep.is_some() {
+                    return err(line, "duplicate .sweep");
+                }
+                let mut params = Params::new(line, &tokens[1..])?;
+                let amplitudes = params
+                    .numbers("amplitudes")?
+                    .ok_or(())
+                    .or_else(|()| err(line, "missing required parameter 'amplitudes='"))?;
+                let spacings = params.numbers("spacings")?.unwrap_or_default();
+                params.finish()?;
+                if amplitudes.is_empty() {
+                    return err(line, "'amplitudes=' must list at least one value");
+                }
+                if spacings.iter().any(|fd| *fd <= 0.0) {
+                    return err(line, "'spacings=' values must be positive");
+                }
+                st.sweep = Some(Sweep {
+                    amplitudes,
+                    spacings,
+                });
+            }
+            ".analysis" => {
+                if st.analysis.is_some() {
+                    return err(line, "duplicate .analysis");
+                }
+                if tokens.len() < 2 {
+                    return err(
+                        line,
+                        format!(".analysis needs a kind ({})", ANALYSIS_KEYWORDS.join("|")),
+                    );
+                }
+                st.analysis = Some(parse_analysis(line, tokens[1], &tokens[2..])?);
+            }
+            _ if keyword.starts_with('.') => {
+                return err(line, format!("unknown directive '{keyword}'"));
+            }
+            _ => {
+                let device = parse_device(line, keyword, &tokens[1..])?;
+                st.push_device(line, device)?;
+            }
+        }
+    }
+    finish(st)
+}
+
+fn parse_analysis(line: usize, kind: &str, rest: &[&str]) -> Result<Analysis, NetlistError> {
+    let mut params = Params::new(line, rest)?;
+    let analysis = match kind {
+        "dcop" => Analysis::Dcop,
+        "transient" => {
+            let t_stop = params.number("tstop")?;
+            if t_stop <= 0.0 {
+                return err(line, "'tstop=' must be positive");
+            }
+            let dt = params.number_or("dt", t_stop / 200.0)?;
+            if dt <= 0.0 || dt > t_stop {
+                return err(line, "'dt=' must be positive and at most tstop");
+            }
+            if t_stop / dt > MAX_TRANSIENT_STEPS {
+                return err(
+                    line,
+                    format!("tstop/dt exceeds {MAX_TRANSIENT_STEPS} transient steps"),
+                );
+            }
+            Analysis::Transient {
+                t_stop,
+                dt,
+                out: take_out(&mut params)?,
+            }
+        }
+        "mpde" | "hb2" => {
+            let f1 = params.number("f1")?;
+            if f1 <= 0.0 {
+                return err(line, "'f1=' must be positive");
+            }
+            let n1 = params.integer_or("n1", 16, MAX_AXIS_POINTS)?;
+            let n2 = params.integer_or("n2", 8, MAX_AXIS_POINTS)?;
+            if n1 < 2 || n2 < 2 {
+                return err(line, "'n1='/'n2=' must be at least 2");
+            }
+            if n1 * n2 > MAX_GRID_POINTS {
+                return err(line, format!("n1*n2 exceeds {MAX_GRID_POINTS} grid points"));
+            }
+            let out = take_out(&mut params)?;
+            if kind == "mpde" {
+                Analysis::Mpde { f1, n1, n2, out }
+            } else {
+                Analysis::Hb2 { f1, n1, n2, out }
+            }
+        }
+        "periodic_fd" => {
+            let f1 = params.number("f1")?;
+            if f1 <= 0.0 {
+                return err(line, "'f1=' must be positive");
+            }
+            let n1 = params.integer_or("n1", 64, MAX_AXIS_POINTS)?;
+            if n1 < 2 {
+                return err(line, "'n1=' must be at least 2");
+            }
+            Analysis::PeriodicFd {
+                f1,
+                n1,
+                out: take_out(&mut params)?,
+            }
+        }
+        _ => {
+            return err(
+                line,
+                format!(
+                    "unknown analysis '{kind}' ({})",
+                    ANALYSIS_KEYWORDS.join("|")
+                ),
+            )
+        }
+    };
+    params.finish()?;
+    Ok(analysis)
+}
+
+fn take_out(params: &mut Params<'_>) -> Result<Option<String>, NetlistError> {
+    match params.take("out") {
+        None => Ok(None),
+        Some(name) => {
+            if !valid_name(name) || is_ground(name) {
+                return err(params.line, format!("invalid output node '{name}'"));
+            }
+            Ok(Some(name.to_string()))
+        }
+    }
+}
+
+fn parse_device(line: usize, keyword: &str, rest: &[&str]) -> Result<Device, NetlistError> {
+    let arity = |want: usize, what: &str| -> Result<(), NetlistError> {
+        if rest.len() != want {
+            return err(line, format!("{keyword} expects '{keyword} {what}'"));
+        }
+        Ok(())
+    };
+    match keyword {
+        "R" | "C" | "L" => {
+            arity(4, "name a b value")?;
+            let value = parse_number(rest[3]).or_else(|m| err(line, m))?;
+            let (a, b) = (node_token(rest[1]), node_token(rest[2]));
+            let kind = match keyword {
+                "R" => DeviceKind::Resistor { a, b, ohms: value },
+                "C" => DeviceKind::Capacitor {
+                    a,
+                    b,
+                    farads: value,
+                },
+                _ => DeviceKind::Inductor {
+                    a,
+                    b,
+                    henries: value,
+                },
+            };
+            Ok(Device {
+                name: rest[0].to_string(),
+                kind,
+            })
+        }
+        "D" => {
+            if rest.len() < 3 {
+                return err(
+                    line,
+                    "D expects 'D name anode cathode [is=] [n=] [cj0=] [tt=]'",
+                );
+            }
+            let mut params = Params::new(line, &rest[3..])?;
+            let kind = DeviceKind::Diode {
+                anode: node_token(rest[1]),
+                cathode: node_token(rest[2]),
+                is: params.number_or("is", 1e-14)?,
+                n: params.number_or("n", 1.0)?,
+                cj0: params.number_or("cj0", 0.0)?,
+                tt: params.number_or("tt", 0.0)?,
+            };
+            params.finish()?;
+            Ok(Device {
+                name: rest[0].to_string(),
+                kind,
+            })
+        }
+        "V" | "I" => {
+            if rest.len() < 4 {
+                return err(
+                    line,
+                    format!(
+                        "{keyword} expects '{keyword} name p n <source>' with a source ({})",
+                        SOURCE_KEYWORDS.join("|")
+                    ),
+                );
+            }
+            let source = parse_source(line, &rest[3..])?;
+            let (p, n) = (node_token(rest[1]), node_token(rest[2]));
+            let kind = if keyword == "V" {
+                DeviceKind::VSource { p, n, source }
+            } else {
+                DeviceKind::ISource { p, n, source }
+            };
+            Ok(Device {
+                name: rest[0].to_string(),
+                kind,
+            })
+        }
+        "MUL" => {
+            arity(8, "name p n xp xn yp yn gain")?;
+            Ok(Device {
+                name: rest[0].to_string(),
+                kind: DeviceKind::Multiplier {
+                    p: node_token(rest[1]),
+                    n: node_token(rest[2]),
+                    xp: node_token(rest[3]),
+                    xn: node_token(rest[4]),
+                    yp: node_token(rest[5]),
+                    yn: node_token(rest[6]),
+                    gain: parse_number(rest[7]).or_else(|m| err(line, m))?,
+                },
+            })
+        }
+        "VCCS" | "VCVS" => {
+            arity(6, "name p n cp cn value")?;
+            let value = parse_number(rest[5]).or_else(|m| err(line, m))?;
+            let (p, n) = (node_token(rest[1]), node_token(rest[2]));
+            let (cp, cn) = (node_token(rest[3]), node_token(rest[4]));
+            let kind = if keyword == "VCCS" {
+                DeviceKind::Vccs {
+                    p,
+                    n,
+                    cp,
+                    cn,
+                    gm: value,
+                }
+            } else {
+                DeviceKind::Vcvs {
+                    p,
+                    n,
+                    cp,
+                    cn,
+                    gain: value,
+                }
+            };
+            Ok(Device {
+                name: rest[0].to_string(),
+                kind,
+            })
+        }
+        _ => err(
+            line,
+            format!(
+                "unknown statement '{keyword}' (devices: {}; directives: {})",
+                DEVICE_KEYWORDS.join("|"),
+                DIRECTIVE_KEYWORDS.join("|")
+            ),
+        ),
+    }
+}
+
+fn parse_source(line: usize, tokens: &[&str]) -> Result<Source, NetlistError> {
+    let keyword = tokens[0];
+    let rest = &tokens[1..];
+    match keyword {
+        "dc" => {
+            if rest.len() != 1 {
+                return err(line, "dc expects exactly one value");
+            }
+            Ok(Source::Dc(parse_number(rest[0]).or_else(|m| err(line, m))?))
+        }
+        "sine" => {
+            let mut params = Params::new(line, rest)?;
+            let amplitude = params.number("amp")?;
+            let freq = params.number("freq")?;
+            if freq <= 0.0 {
+                return err(line, "'freq=' must be positive");
+            }
+            let source = Source::Sine {
+                amplitude,
+                freq,
+                phase: params.number_or("phase", 0.0)?,
+                offset: params.number_or("offset", 0.0)?,
+            };
+            params.finish()?;
+            Ok(source)
+        }
+        "pulse" => {
+            let mut params = Params::new(line, rest)?;
+            let v1 = params.number("v1")?;
+            let v2 = params.number("v2")?;
+            let period = params.number("period")?;
+            if period <= 0.0 {
+                return err(line, "'period=' must be positive");
+            }
+            let source = Source::Pulse {
+                v1,
+                v2,
+                delay: params.number_or("delay", 0.0)?,
+                rise: params.number_or("rise", period / 100.0)?,
+                fall: params.number_or("fall", period / 100.0)?,
+                width: params.number_or("width", period / 2.0)?,
+                period,
+            };
+            params.finish()?;
+            if let Source::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                ..
+            } = source
+            {
+                if delay < 0.0 || rise < 0.0 || fall < 0.0 || width < 0.0 {
+                    return err(line, "pulse timings must be non-negative");
+                }
+            }
+            Ok(source)
+        }
+        "pwl" => {
+            if rest.len() < 2 {
+                return err(line, "pwl expects at least two t:v breakpoints");
+            }
+            if rest.len() > MAX_PWL_POINTS {
+                return err(line, format!("pwl lists at most {MAX_PWL_POINTS} points"));
+            }
+            let mut points = Vec::with_capacity(rest.len());
+            let mut last_t = f64::NEG_INFINITY;
+            for token in rest {
+                let Some((t, v)) = token.split_once(':') else {
+                    return err(line, format!("pwl breakpoint '{token}' is not t:v"));
+                };
+                let t = parse_number(t).or_else(|m| err(line, m))?;
+                let v = parse_number(v).or_else(|m| err(line, m))?;
+                if t < last_t {
+                    return err(line, "pwl times must be non-decreasing");
+                }
+                last_t = t;
+                points.push((t, v));
+            }
+            Ok(Source::Pwl(points))
+        }
+        "tone" => {
+            let mut params = Params::new(line, rest)?;
+            let amplitude = params.number("amp")?;
+            let f1 = params.number("f1")?;
+            let fd = params.number("fd")?;
+            if f1 <= 0.0 || fd <= 0.0 {
+                return err(line, "'f1='/'fd=' must be positive");
+            }
+            let k = params.integer_or("k", 1, 64)?;
+            if k == 0 {
+                return err(line, "'k=' must be at least 1");
+            }
+            let phase = params.number_or("phase", 0.0)?;
+            let bits = match params.take("bits") {
+                None => Vec::new(),
+                Some(pattern) => {
+                    if pattern.is_empty() || pattern.len() > MAX_BITS {
+                        return err(
+                            line,
+                            format!("'bits=' must be 1..={MAX_BITS} binary digits"),
+                        );
+                    }
+                    let mut bits = Vec::with_capacity(pattern.len());
+                    for c in pattern.chars() {
+                        match c {
+                            '0' => bits.push(false),
+                            '1' => bits.push(true),
+                            _ => return err(line, "'bits=' must contain only 0 and 1"),
+                        }
+                    }
+                    bits
+                }
+            };
+            let edge = match params.take("edge") {
+                None => {
+                    if bits.is_empty() {
+                        0.0
+                    } else {
+                        0.05
+                    }
+                }
+                Some(v) => {
+                    if bits.is_empty() {
+                        return err(line, "'edge=' requires 'bits='");
+                    }
+                    let edge = parse_number(v).or_else(|m| err(line, m))?;
+                    if !(0.0..=0.5).contains(&edge) {
+                        return err(line, "'edge=' must be in 0..=0.5");
+                    }
+                    edge
+                }
+            };
+            params.finish()?;
+            Ok(Source::Tone {
+                amplitude,
+                k: k as u32,
+                f1,
+                fd,
+                phase,
+                bits,
+                edge,
+            })
+        }
+        "lo" => {
+            let mut params = Params::new(line, rest)?;
+            let amplitude = params.number("amp")?;
+            let freq = params.number("freq")?;
+            if freq <= 0.0 {
+                return err(line, "'freq=' must be positive");
+            }
+            params.finish()?;
+            Ok(Source::Lo { amplitude, freq })
+        }
+        "drive" => {
+            if !rest.is_empty() {
+                return err(line, "drive takes no parameters");
+            }
+            Ok(Source::Drive)
+        }
+        _ => err(
+            line,
+            format!("unknown source '{keyword}' ({})", SOURCE_KEYWORDS.join("|")),
+        ),
+    }
+}
+
+fn finish(st: ParseState) -> Result<Netlist, NetlistError> {
+    let Some(analysis) = st.analysis else {
+        return err(0, "missing .analysis directive");
+    };
+    if st.devices.is_empty() {
+        return err(0, "netlist has no devices");
+    }
+    if let Some(out) = analysis.out() {
+        if !st.node_set.contains(out) {
+            return err(0, format!("output node '{out}' does not exist"));
+        }
+    }
+    if analysis.is_steady_state() {
+        let drives = st
+            .devices
+            .iter()
+            .filter(|d| matches!(d.kind.source(), Some(Source::Drive)))
+            .count();
+        if drives != 1 {
+            return err(
+                0,
+                format!(
+                    "a {} analysis needs exactly one source marked 'drive'",
+                    analysis.keyword()
+                ),
+            );
+        }
+        let Some(sweep) = &st.sweep else {
+            return err(
+                0,
+                format!(
+                    "a {} analysis needs a .sweep with amplitudes",
+                    analysis.keyword()
+                ),
+            );
+        };
+        if analysis.is_two_tone() {
+            if sweep.spacings.is_empty() {
+                return err(
+                    0,
+                    format!(
+                        "a {} analysis needs .sweep spacings (tone spacings fd)",
+                        analysis.keyword()
+                    ),
+                );
+            }
+            for device in &st.devices {
+                if let Some(source) = device.kind.source() {
+                    if !source.is_bivariate_capable() {
+                        return err(
+                            0,
+                            format!(
+                                "source '{}' on device '{}' is single-time; {} needs dc, tone, \
+                                 lo, or drive sources",
+                                source.keyword(),
+                                device.name,
+                                analysis.keyword()
+                            ),
+                        );
+                    }
+                }
+            }
+        } else if !sweep.spacings.is_empty() {
+            return err(0, ".sweep spacings only apply to two-tone analyses");
+        }
+    } else {
+        if st.drive_line.is_some() {
+            return err(
+                st.drive_line.unwrap_or(0),
+                "a 'drive' source requires a steady-state analysis (mpde|hb2|periodic_fd)",
+            );
+        }
+        if st.sweep.is_some() {
+            return err(0, ".sweep only applies to steady-state analyses");
+        }
+    }
+    Ok(Netlist {
+        title: st.title,
+        nodes: st.nodes,
+        devices: st.devices,
+        sweep: st.sweep,
+        analysis,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RC: &str = "\
+.title rc lowpass
+.node in out
+V V1 in gnd sine amp=1 freq=1M phase=0 offset=0
+R R1 in out 1k
+C C1 out gnd 160p
+.analysis transient tstop=2u dt=10n
+";
+
+    #[test]
+    fn parses_the_basic_rc() {
+        let netlist = parse(RC).expect("parse");
+        assert_eq!(netlist.title.as_deref(), Some("rc lowpass"));
+        assert_eq!(netlist.nodes, vec!["in".to_string(), "out".to_string()]);
+        assert_eq!(netlist.devices.len(), 3);
+        assert!(matches!(netlist.analysis, Analysis::Transient { .. }));
+        match &netlist.devices[1].kind {
+            DeviceKind::Resistor { ohms, .. } => assert_eq!(*ohms, 1e3),
+            other => panic!("expected resistor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engineering_suffixes_resolve() {
+        assert_eq!(parse_number("1k").unwrap(), 1e3);
+        assert_eq!(parse_number("160p").unwrap(), 160e-12);
+        assert_eq!(parse_number("2.5M").unwrap(), 2.5e6);
+        assert_eq!(parse_number("1e-9").unwrap(), 1e-9);
+        assert_eq!(parse_number("-3m").unwrap(), -3e-3);
+        assert!(parse_number("nan").is_err());
+        assert!(parse_number("inf").is_err());
+        assert!(parse_number("1e999").is_err());
+        assert!(parse_number("k").is_err());
+        assert!(parse_number("").is_err());
+        assert!(parse_number("1kk").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = ".analysis dcop\nR R1 in out 1k\nR R1 in out 2k\n";
+        let e = parse(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicate device name"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n* spice-style comment\n\nR R1 in gnd 1k # trailing\n.analysis dcop\n";
+        let netlist = parse(text).expect("parse");
+        assert_eq!(netlist.devices.len(), 1);
+    }
+
+    #[test]
+    fn nan_parameters_are_refused() {
+        // "nan" loses its trailing byte to the nano suffix and fails the
+        // mantissa parse; "1e999" parses but fails the finiteness gate.
+        let e = parse("V V1 in gnd dc nan\n.analysis dcop\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("is not a number"), "{e}");
+        let e = parse("V V1 in gnd dc 1e999\n.analysis dcop\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("not a finite number"), "{e}");
+    }
+
+    #[test]
+    fn huge_node_counts_are_refused() {
+        let mut text = String::new();
+        for chunk in 0..(MAX_NODES / 64 + 2) {
+            text.push_str(".node");
+            for i in 0..64 {
+                text.push_str(&format!(" huge{}_{}", chunk, i));
+            }
+            text.push('\n');
+        }
+        text.push_str("R R1 huge0_0 gnd 1k\n.analysis dcop\n");
+        let e = parse(&text).unwrap_err();
+        assert!(e.message.contains("too many nodes"), "{e}");
+    }
+
+    #[test]
+    fn steady_state_rules_are_enforced() {
+        // Steady state without a drive source.
+        let e = parse("R R1 in gnd 1k\n.sweep amplitudes=1\n.analysis periodic_fd f1=1M\n")
+            .unwrap_err();
+        assert!(
+            e.message.contains("exactly one source marked 'drive'"),
+            "{e}"
+        );
+        // Drive without a steady-state analysis.
+        let e = parse("V V1 in gnd drive\n.analysis dcop\n").unwrap_err();
+        assert!(
+            e.message.contains("requires a steady-state analysis"),
+            "{e}"
+        );
+        // Two-tone without spacings.
+        let e =
+            parse("V V1 in gnd drive\n.sweep amplitudes=1\n.analysis mpde f1=1M\n").unwrap_err();
+        assert!(e.message.contains("spacings"), "{e}");
+        // Single-time source under a two-tone analysis.
+        let e = parse(
+            "V V1 in gnd drive\nV V2 a gnd sine amp=1 freq=1k\n\
+             .sweep amplitudes=1 spacings=1k\n.analysis mpde f1=1M\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("single-time"), "{e}");
+    }
+
+    #[test]
+    fn unknown_statements_and_directives_are_refused() {
+        assert!(parse("Q Q1 a b c\n.analysis dcop\n").is_err());
+        assert!(parse(".fnord\n.analysis dcop\n").is_err());
+        assert!(parse("R R1 in gnd 1k\n").is_err()); // missing .analysis
+        assert!(parse(".analysis dcop\n").is_err()); // no devices
+    }
+
+    #[test]
+    fn oversized_inputs_are_refused() {
+        let text = "#".repeat(MAX_INPUT_BYTES + 1);
+        assert!(parse(&text).is_err());
+        let long_line = format!(
+            "R R1 in gnd {}\n.analysis dcop\n",
+            "1".repeat(MAX_LINE_BYTES)
+        );
+        assert!(parse(&long_line).is_err());
+    }
+}

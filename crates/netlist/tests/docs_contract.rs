@@ -1,0 +1,79 @@
+//! Documentation contract: `docs/netlist.md` and the parser's public
+//! keyword tables must agree *in both directions*.
+//!
+//! The doc's statement tables spell each keyword as an inline-code
+//! cell at the start of a table row (`| `keyword` | … |`). This test
+//! extracts those and checks set equality against the crate's
+//! `DEVICE_KEYWORDS` / `DIRECTIVE_KEYWORDS` / `SOURCE_KEYWORDS` /
+//! `ANALYSIS_KEYWORDS`. Add a statement to the parser without
+//! documenting it — or document one that doesn't exist — and this
+//! fails.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use rfsim_netlist::parse::{
+    ANALYSIS_KEYWORDS, DEVICE_KEYWORDS, DIRECTIVE_KEYWORDS, SOURCE_KEYWORDS,
+};
+
+fn doc_text() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/netlist.md");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("docs/netlist.md must exist ({}): {e}", path.display()))
+}
+
+/// First-column inline-code cells of every markdown table row:
+/// `| `R` | … |` → `R`.
+fn documented_keywords(doc: &str) -> BTreeSet<String> {
+    let mut found = BTreeSet::new();
+    for line in doc.lines() {
+        let Some(rest) = line.strip_prefix("| `") else {
+            continue;
+        };
+        if let Some(end) = rest.find('`') {
+            found.insert(rest[..end].to_string());
+        }
+    }
+    found
+}
+
+#[test]
+fn every_parser_keyword_is_documented_and_vice_versa() {
+    let doc = doc_text();
+    let documented = documented_keywords(&doc);
+
+    let parser: BTreeSet<String> = DEVICE_KEYWORDS
+        .iter()
+        .chain(&DIRECTIVE_KEYWORDS)
+        .chain(&SOURCE_KEYWORDS)
+        .chain(&ANALYSIS_KEYWORDS)
+        .map(|s| (*s).to_string())
+        .collect();
+
+    let undocumented: Vec<&String> = parser.difference(&documented).collect();
+    assert!(
+        undocumented.is_empty(),
+        "parser keywords missing from docs/netlist.md tables: {undocumented:?}"
+    );
+    let phantom: Vec<&String> = documented.difference(&parser).collect();
+    assert!(
+        phantom.is_empty(),
+        "docs/netlist.md documents keywords the parser does not accept: {phantom:?}"
+    );
+}
+
+#[test]
+fn the_docs_quickstart_netlist_paths_exist() {
+    // The doc's quickstart drives real corpus files; keep them honest.
+    let doc = doc_text();
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for token in doc.split_whitespace() {
+        let token = token.trim_end_matches(['\\', ')', ',', '.']);
+        if token.starts_with("test_cases/") && token.ends_with(".rfn") {
+            assert!(
+                repo.join(token).exists(),
+                "docs/netlist.md references missing corpus file {token}"
+            );
+        }
+    }
+}

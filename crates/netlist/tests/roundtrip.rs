@@ -1,0 +1,75 @@
+//! Property suite: canonical round-trip and parser-never-panics.
+//!
+//! The generators live in `rfsim_netlist::fuzz` (shared with the CI
+//! `fuzz-smoke` binary) and are pure functions of their seed, so any
+//! failure reproduces from the printed case number.
+
+use proptest::prelude::*;
+use rfsim_netlist::fuzz::{mutate, random_netlist, random_token_soup, XorShift64};
+use rfsim_netlist::Netlist;
+
+/// Inline seeds for the mutation property: one netlist per analysis
+/// directive, small enough to mutate thousands of times per test run.
+const SEEDS: [&str; 5] = [
+    "V V1 in gnd dc 1\nR R1 in out 1k\nR R2 out gnd 2k\n.analysis dcop\n",
+    "V V1 in gnd sine amp=1 freq=1M phase=0 offset=0\nR R1 in out 1k\nC C1 out gnd 160p\n\
+     .analysis transient tstop=2u dt=10n\n",
+    "V V1 in gnd drive\nR R1 in out 1k\nC C1 out gnd 160p\n.sweep amplitudes=0.5,1 spacings=1k\n\
+     .analysis mpde f1=1M n1=8 n2=4\n",
+    "V V1 in gnd drive\nR R1 in out 1k\nD D1 out gnd is=1e-14 n=1 cj0=0 tt=0\n\
+     C C1 out gnd 1n\n.sweep amplitudes=1 spacings=1k\n.analysis hb2 f1=1M n1=8 n2=4\n",
+    "V V1 in gnd drive\nR R1 in out 1k\nC C1 out gnd 1n\n.sweep amplitudes=1\n\
+     .analysis periodic_fd f1=1M n1=16\n",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn canonical_round_trips(seed in 0u64..u64::MAX) {
+        let mut rng = XorShift64::new(seed);
+        let netlist = random_netlist(&mut rng);
+        let text = netlist.canonical();
+        let reparsed = match Netlist::parse(&text) {
+            Ok(n) => n,
+            Err(e) => panic!("canonical text must parse, got '{e}' for:\n{text}"),
+        };
+        prop_assert_eq!(&netlist, &reparsed, "round trip changed the AST for:\n{}", text);
+        // Canonical form is a fixed point of parse∘canonical.
+        prop_assert_eq!(reparsed.canonical(), text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_byte_mutations(seed in 0u64..u64::MAX) {
+        let mut rng = XorShift64::new(seed);
+        let base = SEEDS[rng.below(SEEDS.len())];
+        for _ in 0..16 {
+            let mutated = mutate(&mut rng, base.as_bytes(), 8);
+            let text = String::from_utf8_lossy(&mutated);
+            // Ok or typed Err — never a panic, and errors always Display.
+            if let Err(e) = Netlist::parse(&text) {
+                let _ = e.to_string();
+            }
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(seed in 0u64..u64::MAX) {
+        let mut rng = XorShift64::new(seed);
+        for _ in 0..8 {
+            let text = random_token_soup(&mut rng);
+            if let Err(e) = Netlist::parse(&text) {
+                let _ = e.to_string();
+            }
+        }
+    }
+}
+
+#[test]
+fn the_mutation_seeds_themselves_parse() {
+    for seed in SEEDS {
+        let netlist = Netlist::parse(seed).expect("seed parses");
+        let canon = netlist.canonical();
+        assert_eq!(Netlist::parse(&canon).expect("canonical parses"), netlist);
+    }
+}

@@ -6,6 +6,8 @@
 //!     --n1 16 --n2 8 [--priority high] [--deadline-ms 5000] \
 //!     [--expect-memo] [--expect-solve]
 //! rfsim-client --addr … submit …      # same job flags, returns the id
+//! rfsim-client --addr … submit-netlist --file x.rfn [--priority high] \
+//!     [--deadline-ms 5000] [--no-wait] [--expect-memo] [--expect-solve]
 //! rfsim-client --addr … poll --job 7 [--wait-ms 500] [--progress]
 //! rfsim-client --addr … cancel --job 7
 //! rfsim-client --addr … stats [--assert-min-hits N] [--per-shard]
@@ -89,7 +91,7 @@ fn main() -> ExitCode {
     let command = it.next().unwrap_or_else(|| {
         eprintln!(
             "usage: rfsim-client [--addr HOST:PORT] \
-             <run|submit|poll|cancel|stats|metrics|trace|evict|shutdown> …"
+             <run|submit|submit-netlist|poll|cancel|stats|metrics|trace|evict|shutdown> …"
         );
         std::process::exit(2);
     });
@@ -103,6 +105,86 @@ fn main() -> ExitCode {
                 .submit(&flags.spec)
                 .unwrap_or_else(|e| panic!("submit: {e}"));
             println!("job_id={id}");
+            ExitCode::SUCCESS
+        }
+        "submit-netlist" => {
+            let mut file = None;
+            let mut priority = Priority::Normal;
+            let mut deadline_ms = None;
+            let mut wait = true;
+            let mut timeout = Duration::from_secs(300);
+            let mut expect_memo = false;
+            let mut expect_solve = false;
+            while let Some(flag) = it.next() {
+                let mut value =
+                    |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+                match flag.as_str() {
+                    "--file" => file = Some(value("--file")),
+                    "--priority" => {
+                        let label = value("--priority");
+                        priority = Priority::parse(&label)
+                            .unwrap_or_else(|| panic!("unknown priority '{label}'"));
+                    }
+                    "--deadline-ms" => {
+                        deadline_ms = Some(value("--deadline-ms").parse().expect("deadline"))
+                    }
+                    "--timeout-s" => {
+                        timeout =
+                            Duration::from_secs(value("--timeout-s").parse().expect("timeout"))
+                    }
+                    "--no-wait" => wait = false,
+                    "--expect-memo" => expect_memo = true,
+                    "--expect-solve" => expect_solve = true,
+                    other => panic!("unknown submit-netlist flag {other}"),
+                }
+            }
+            let file = file.unwrap_or_else(|| panic!("submit-netlist needs --file"));
+            let text =
+                std::fs::read_to_string(&file).unwrap_or_else(|e| panic!("reading {file}: {e}"));
+            let t0 = Instant::now();
+            let (id, family) = match client.submit_netlist(&text, priority, deadline_ms) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    eprintln!("refused: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if !wait {
+                println!("job_id={id} family={family}");
+                return ExitCode::SUCCESS;
+            }
+            let outcome = client
+                .wait(id, timeout)
+                .unwrap_or_else(|e| panic!("wait: {e}"));
+            let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+            if outcome.status != "done" {
+                eprintln!(
+                    "FAIL: job {id} {} ({})",
+                    outcome.status,
+                    outcome.error.as_deref().unwrap_or("no error reported")
+                );
+                return ExitCode::FAILURE;
+            }
+            let result = outcome.result.as_ref().expect("done outcome has a result");
+            let digest = outcome
+                .digest
+                .clone()
+                .unwrap_or_else(|| format!("{:016x}", result.digest()));
+            println!(
+                "job_id={id} family={family} points={} samples={} elapsed_ms={elapsed_ms:.1} \
+                 digest={digest} memo_hit={}",
+                result.points.len(),
+                result.num_samples(),
+                outcome.memo_hit,
+            );
+            if expect_memo && !outcome.memo_hit {
+                eprintln!("FAIL: expected a memo hit, got a fresh solve");
+                return ExitCode::FAILURE;
+            }
+            if expect_solve && outcome.memo_hit {
+                eprintln!("FAIL: expected a fresh solve, got a memo hit");
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
         "run" => {
@@ -389,7 +471,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown command '{other}' (run|submit|poll|cancel|stats|metrics|trace|evict|shutdown)"
+                "unknown command '{other}' (run|submit|submit-netlist|poll|cancel|stats|metrics|trace|evict|shutdown)"
             );
             ExitCode::FAILURE
         }

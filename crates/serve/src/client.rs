@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 use rfsim_numerics::json::Json;
 
 use crate::error::{Result, ServeError};
-use crate::spec::{JobResult, JobSpec};
+use crate::spec::{JobResult, JobSpec, Priority};
 use crate::wire::Request;
 
 /// The settled outcome of a poll.
@@ -118,6 +118,37 @@ impl ServeClient {
             .number_at("job_id")
             .map(|id| id as u64)
             .ok_or_else(|| ServeError::Protocol("submit response missing 'job_id'".into()))
+    }
+
+    /// Submits a `.rfn` netlist; returns the job id and the
+    /// content-addressed family name the daemon keyed it against.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or the server's typed refusal (parse errors
+    /// arrive as `netlist error: line N: ...`).
+    pub fn submit_netlist(
+        &mut self,
+        netlist: &str,
+        priority: Priority,
+        deadline_ms: Option<u64>,
+    ) -> Result<(u64, String)> {
+        let response = self.call(&Request::SubmitNetlist {
+            netlist: netlist.to_string(),
+            priority,
+            deadline_ms,
+        })?;
+        let job_id = response
+            .number_at("job_id")
+            .map(|id| id as u64)
+            .ok_or_else(|| {
+                ServeError::Protocol("submit_netlist response missing 'job_id'".into())
+            })?;
+        let family = response
+            .string_at("family")
+            .ok_or_else(|| ServeError::Protocol("submit_netlist response missing 'family'".into()))?
+            .to_string();
+        Ok((job_id, family))
     }
 
     /// Polls a job, long-polling server-side for up to `wait_ms`.

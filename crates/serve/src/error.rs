@@ -1,6 +1,7 @@
 //! Service-level error type.
 
 use rfsim_circuit::CircuitError;
+use rfsim_netlist::NetlistError;
 
 /// Everything that can go wrong between a wire request and a stored
 /// solution.
@@ -32,6 +33,10 @@ pub enum ServeError {
     Io(std::io::Error),
     /// A circuit build or solve failed.
     Circuit(CircuitError),
+    /// A submitted netlist failed to parse or validate. The payload is
+    /// line-numbered; the wire maps this to a typed refusal, never a
+    /// scheduler fault.
+    Netlist(NetlistError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -51,6 +56,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Protocol(why) => write!(f, "protocol error: {why}"),
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
             ServeError::Circuit(e) => write!(f, "circuit error: {e}"),
+            ServeError::Netlist(e) => write!(f, "netlist error: {e}"),
         }
     }
 }
@@ -66,6 +72,12 @@ impl From<std::io::Error> for ServeError {
 impl From<CircuitError> for ServeError {
     fn from(e: CircuitError) -> Self {
         ServeError::Circuit(e)
+    }
+}
+
+impl From<NetlistError> for ServeError {
+    fn from(e: NetlistError) -> Self {
+        ServeError::Netlist(e)
     }
 }
 

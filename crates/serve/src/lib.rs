@@ -76,8 +76,8 @@ pub mod wire;
 pub use client::ServeClient;
 pub use error::{Result, ServeError};
 pub use service::{
-    JobId, JobStatus, KeyingStats, LatencySnapshot, ServeConfig, ServeStats, ShardStats,
-    SimService, TraceView,
+    JobId, JobStatus, KeyingStats, LatencySnapshot, NetlistSubmission, ServeConfig, ServeStats,
+    ShardStats, SimService, TraceView,
 };
 pub use spec::{BackendKind, FamilyRegistry, JobResult, JobSpec, Priority};
 pub use store::SolutionStore;

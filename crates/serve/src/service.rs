@@ -53,7 +53,7 @@
 //! owning shard from the id alone. `stats` reports both the aggregate
 //! view and one [`ShardStats`] per shard.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -61,6 +61,7 @@ use rfsim_circuit::fault::SolveFault;
 use rfsim_circuit::newton::WorkspaceStats;
 use rfsim_hb::Hb2Options;
 use rfsim_mpde::solver::MpdeOptions;
+use rfsim_netlist::{Analysis, DrivePoint, Netlist};
 use rfsim_numerics::json::Json;
 use rfsim_numerics::sparse::PatternFingerprint;
 use rfsim_numerics::telemetry::{LatencyHistogram, Timeline, TimelineEvent, TimelineEventKind};
@@ -170,6 +171,20 @@ impl std::fmt::Display for JobId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.0)
     }
+}
+
+/// What [`SimService::submit_netlist`] produced: the admitted job, the
+/// content-addressed family it keyed against, and whether this submit
+/// registered the family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistSubmission {
+    /// The submitted job's id.
+    pub job_id: JobId,
+    /// The content-addressed dynamic family name (`netlist:<16 hex>`).
+    pub family: String,
+    /// Whether this submit registered the family (false = the same
+    /// canonical text is already hosted).
+    pub registered: bool,
 }
 
 /// Where a job is in its lifecycle.
@@ -1091,6 +1106,10 @@ struct Shared {
     /// Injected faults by family name (tests and operational drills);
     /// attached to every row of a matching job at dispatch.
     faults: Mutex<HashMap<String, SolveFault>>,
+    /// Families registered dynamically from wire-submitted netlists:
+    /// content-addressed name → canonical text. Bounded by
+    /// [`SimService::MAX_DYNAMIC_FAMILIES`]; locked after `registry`.
+    dynamic: Mutex<BTreeMap<String, String>>,
 }
 
 /// One shard: a scheduler thread's whole world. Everything here is
@@ -1157,6 +1176,7 @@ impl SimService {
         let shared = Arc::new(Shared {
             registry: Mutex::new(registry),
             faults: Mutex::new(HashMap::new()),
+            dynamic: Mutex::new(BTreeMap::new()),
         });
         let mut shards = Vec::with_capacity(shard_count);
         let mut schedulers = Vec::with_capacity(shard_count);
@@ -1548,6 +1568,126 @@ impl SimService {
         Ok(id)
     }
 
+    /// Hard cap on families registered dynamically from wire-submitted
+    /// netlists. Content addressing dedupes repeat submits of the same
+    /// text, so this bounds *distinct* topologies, not traffic; evicting
+    /// a netlist family frees its slot.
+    pub const MAX_DYNAMIC_FAMILIES: usize = 256;
+
+    /// Parses `text` as a `.rfn` netlist, registers it as a
+    /// content-addressed dynamic family (`netlist:<16 hex>`) if absent,
+    /// and submits the steady-state job its `.analysis` and `.sweep`
+    /// directives describe.
+    ///
+    /// Registration is *idempotent by content*: the family name is the
+    /// hash of the canonical text, so resubmitting the same netlist (in
+    /// any spelling) reuses the existing registration — and therefore
+    /// hits the solution store — instead of re-registering, which would
+    /// evict the family's stored solutions
+    /// ([`SimService::register_family`]'s replacement semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Netlist`] for parse/validation failures,
+    /// [`ServeError::InvalidSpec`] for non-steady-state analyses and the
+    /// dynamic-family cap, plus everything [`SimService::submit`]
+    /// returns.
+    pub fn submit_netlist(
+        &self,
+        text: &str,
+        priority: Priority,
+        deadline_ms: Option<u64>,
+    ) -> Result<NetlistSubmission> {
+        let netlist = Netlist::parse(text)?;
+        let backend = match &netlist.analysis {
+            Analysis::Mpde { .. } => BackendKind::Mpde,
+            Analysis::Hb2 { .. } => BackendKind::Hb2,
+            Analysis::PeriodicFd { .. } => BackendKind::PeriodicFd,
+            other => {
+                return Err(ServeError::InvalidSpec(format!(
+                    "netlist analysis '{}' is not servable over the wire; \
+                     use a steady-state directive (mpde|hb2|periodic_fd)",
+                    other.keyword()
+                )))
+            }
+        };
+        let (f1, n1, n2) = match &netlist.analysis {
+            Analysis::Mpde { f1, n1, n2, .. } | Analysis::Hb2 { f1, n1, n2, .. } => (*f1, *n1, *n2),
+            Analysis::PeriodicFd { f1, n1, .. } => (*f1, *n1, 0),
+            _ => unreachable!("matched above"),
+        };
+        // The parser guarantees steady-state netlists carry a sweep.
+        let (amplitudes, spacings) = match &netlist.sweep {
+            Some(sweep) => (sweep.amplitudes.clone(), sweep.spacings.clone()),
+            None => (Vec::new(), Vec::new()),
+        };
+        let family = netlist.family_name();
+        let spec = JobSpec {
+            family: family.clone(),
+            backend,
+            f1,
+            amplitudes,
+            spacings,
+            n1,
+            n2,
+            priority,
+            deadline_ms,
+        };
+        // Register-if-absent under the registry lock — deliberately NOT
+        // `register_family`, whose replacement semantics would evict the
+        // family's store entries and destroy the repeat-submit memo hit.
+        // An existing entry under this name is the same circuit by
+        // construction (the name is a content hash).
+        let registered = {
+            let mut registry = self.shared.registry.lock().expect("registry poisoned");
+            if registry.builder(&family).is_ok() {
+                false
+            } else {
+                let mut dynamic = self
+                    .shared
+                    .dynamic
+                    .lock()
+                    .expect("dynamic families poisoned");
+                if dynamic.len() >= Self::MAX_DYNAMIC_FAMILIES {
+                    return Err(ServeError::InvalidSpec(format!(
+                        "dynamic family capacity reached ({} netlist topologies); \
+                         evict one before submitting new ones",
+                        Self::MAX_DYNAMIC_FAMILIES
+                    )));
+                }
+                dynamic.insert(family.clone(), netlist.canonical());
+                let build = Arc::new(netlist);
+                registry.register(family.clone(), move |p: &PointParams| {
+                    build.build_circuit(Some(&DrivePoint {
+                        amplitude: p.amplitude,
+                        f1: p.f1,
+                        spacing: p.spacing,
+                        two_tone: p.two_tone,
+                    }))
+                });
+                true
+            }
+        };
+        let job_id = self.submit(&spec)?;
+        Ok(NetlistSubmission {
+            job_id,
+            family,
+            registered,
+        })
+    }
+
+    /// Canonical texts of the dynamically registered netlist families,
+    /// keyed by family name.
+    pub fn dynamic_families(&self) -> Vec<(String, String)> {
+        self.shared
+            .dynamic
+            .lock()
+            .expect("dynamic families poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
     /// A snapshot of `id`'s status.
     ///
     /// # Errors
@@ -1717,11 +1857,49 @@ impl SimService {
 
     /// Evicts stored solutions — all, or one family's, across every
     /// shard — returning how many were dropped.
+    ///
+    /// Eviction mirrors [`SimService::register_family`]'s invalidation
+    /// exactly, under the registry lock: stored solutions *and* cached
+    /// first-point fingerprints are dropped, and the affected builder
+    /// generations are retired so an in-flight solve of an evicted
+    /// family cannot repopulate the store behind the operator's back.
+    /// (An earlier version evicted only the store, leaving a
+    /// netlist-registered family's fingerprints — and their build-free
+    /// fast path — alive after the operator flushed it.)
+    ///
+    /// Families registered dynamically from wire-submitted netlists are
+    /// additionally *unhosted*: their registration exists only because
+    /// some submit carried the text, and the next identical submit
+    /// re-registers from its own text — so evicting one frees its
+    /// [`SimService::MAX_DYNAMIC_FAMILIES`] slot. Built-in and
+    /// programmatically registered families stay registered.
     pub fn evict(&self, family: Option<&str>) -> usize {
-        self.shards
-            .iter()
-            .map(|shard| shard.store.lock().expect("store poisoned").evict(family))
-            .sum()
+        let mut registry = self.shared.registry.lock().expect("registry poisoned");
+        let mut dynamic = self
+            .shared
+            .dynamic
+            .lock()
+            .expect("dynamic families poisoned");
+        let targets: Vec<String> = match family {
+            Some(name) => vec![name.to_string()],
+            None => registry.names(),
+        };
+        for name in &targets {
+            if dynamic.remove(name).is_some() {
+                registry.remove(name);
+            }
+        }
+        let mut dropped = 0;
+        for shard in &self.shards {
+            {
+                let mut fp_cache = shard.fp_cache.lock().expect("fingerprint cache poisoned");
+                for name in &targets {
+                    fp_cache.invalidate_family(name);
+                }
+            }
+            dropped += shard.store.lock().expect("store poisoned").evict(family);
+        }
+        dropped
     }
 
     /// A point-in-time stats snapshot: the aggregate view plus one

@@ -505,6 +505,12 @@ impl FamilyRegistry {
         Ok(self.builder(name)?(point)?)
     }
 
+    /// Unregisters a family, returning whether it was hosted. In-flight
+    /// jobs keep the [`Arc`]'d builder they captured at submit time.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.families.remove(name).is_some()
+    }
+
     /// Registered family names, sorted.
     pub fn names(&self) -> Vec<String> {
         self.families.keys().cloned().collect()

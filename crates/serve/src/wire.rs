@@ -57,13 +57,23 @@ use rfsim_numerics::telemetry::LatencyHistogram;
 use crate::error::{Result, ServeError};
 use crate::metrics;
 use crate::service::{JobId, JobStatus, SimService};
-use crate::spec::JobSpec;
+use crate::spec::{JobSpec, Priority};
 
 /// A decoded wire request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Submit a job.
     Submit(JobSpec),
+    /// Submit a `.rfn` netlist: parse, register its content-addressed
+    /// family if absent, and run the job its directives describe.
+    SubmitNetlist {
+        /// The netlist text (`\n`-separated statements).
+        netlist: String,
+        /// Scheduling priority.
+        priority: Priority,
+        /// Optional per-job deadline (milliseconds from dispatch).
+        deadline_ms: Option<u64>,
+    },
     /// Poll a job, optionally long-polling for up to `wait_ms`.
     Poll {
         /// The job to poll.
@@ -101,8 +111,16 @@ pub enum Request {
 
 /// Every wire verb, in the order the per-verb request histograms index
 /// them (the `verb` label of `rfsim_frontend_request_ms`).
-const VERBS: [&str; 8] = [
-    "submit", "poll", "cancel", "stats", "metrics", "trace", "evict", "shutdown",
+const VERBS: [&str; 9] = [
+    "submit",
+    "submit_netlist",
+    "poll",
+    "cancel",
+    "stats",
+    "metrics",
+    "trace",
+    "evict",
+    "shutdown",
 ];
 
 impl Request {
@@ -116,13 +134,14 @@ impl Request {
     fn verb_index(&self) -> usize {
         match self {
             Request::Submit(_) => 0,
-            Request::Poll { .. } => 1,
-            Request::Cancel { .. } => 2,
-            Request::Stats => 3,
-            Request::Metrics { .. } => 4,
-            Request::Trace { .. } => 5,
-            Request::Evict { .. } => 6,
-            Request::Shutdown => 7,
+            Request::SubmitNetlist { .. } => 1,
+            Request::Poll { .. } => 2,
+            Request::Cancel { .. } => 3,
+            Request::Stats => 4,
+            Request::Metrics { .. } => 5,
+            Request::Trace { .. } => 6,
+            Request::Evict { .. } => 7,
+            Request::Shutdown => 8,
         }
     }
 
@@ -142,6 +161,26 @@ impl Request {
                     .path("job")
                     .ok_or_else(|| ServeError::Protocol("submit missing 'job'".into()))?;
                 Ok(Request::Submit(JobSpec::from_json(job)?))
+            }
+            "submit_netlist" => {
+                let netlist = json
+                    .string_at("netlist")
+                    .ok_or_else(|| ServeError::Protocol("submit_netlist missing 'netlist'".into()))?
+                    .to_string();
+                let priority = match json.string_at("priority") {
+                    None => Priority::Normal,
+                    Some(label) => Priority::parse(label).ok_or_else(|| {
+                        ServeError::Protocol(format!(
+                            "unknown priority '{label}' (low|normal|high)"
+                        ))
+                    })?,
+                };
+                let deadline_ms = json.number_at("deadline_ms").map(|ms| ms as u64);
+                Ok(Request::SubmitNetlist {
+                    netlist,
+                    priority,
+                    deadline_ms,
+                })
             }
             "poll" => Ok(Request::Poll {
                 job_id: json
@@ -183,6 +222,21 @@ impl Request {
         let json = match self {
             Request::Submit(spec) => {
                 Json::object([("verb", Json::string("submit")), ("job", spec.to_json())])
+            }
+            Request::SubmitNetlist {
+                netlist,
+                priority,
+                deadline_ms,
+            } => {
+                let mut members = vec![
+                    ("verb", Json::string("submit_netlist")),
+                    ("netlist", Json::string(&**netlist)),
+                    ("priority", Json::string(priority.label())),
+                ];
+                if let Some(ms) = deadline_ms {
+                    members.push(("deadline_ms", Json::from(*ms as usize)));
+                }
+                Json::object(members)
             }
             Request::Poll { job_id, wait_ms } => Json::object([
                 ("verb", Json::string("poll")),
@@ -298,6 +352,21 @@ pub fn handle(service: &SimService, request: &Request) -> (Json, bool) {
     match request {
         Request::Submit(spec) => match service.submit(spec) {
             Ok(id) => (ok_response([("job_id", Json::from(id.0 as usize))]), false),
+            Err(e) => (error_response(&e), false),
+        },
+        Request::SubmitNetlist {
+            netlist,
+            priority,
+            deadline_ms,
+        } => match service.submit_netlist(netlist, *priority, *deadline_ms) {
+            Ok(sub) => (
+                ok_response([
+                    ("job_id", Json::from(sub.job_id.0 as usize)),
+                    ("family", Json::string(&*sub.family)),
+                    ("registered", Json::Bool(sub.registered)),
+                ]),
+                false,
+            ),
             Err(e) => (error_response(&e), false),
         },
         Request::Poll { job_id, wait_ms } => {
@@ -492,7 +561,7 @@ fn process(
     counters: &FrontendCounters,
 ) -> Processed {
     match request {
-        Request::Submit(spec) => {
+        Request::Submit(_) | Request::SubmitNetlist { .. } => {
             let cap = config.max_inflight.max(1);
             if conn.owned.len() >= cap {
                 // Lazy pruning: drop ids that have settled (or aged out
@@ -510,13 +579,13 @@ fn process(
                     max_inflight: cap,
                 }));
             }
-            match service.submit(spec) {
-                Ok(id) => {
-                    conn.owned.insert(id.0);
-                    Processed::Respond(ok_response([("job_id", Json::from(id.0 as usize))]))
-                }
-                Err(e) => Processed::Respond(error_response(&e)),
+            // Both submit shapes share `handle`'s response; the owned
+            // set tracks whichever id it minted.
+            let (response, _) = handle(service, request);
+            if let Some(id) = response.number_at("job_id") {
+                conn.owned.insert(id as u64);
             }
+            Processed::Respond(response)
         }
         Request::Poll { job_id, wait_ms } if *wait_ms > 0 => {
             // Long-poll: park the connection instead of pinning a worker
@@ -971,6 +1040,19 @@ mod tests {
     fn request_lines_roundtrip() {
         let cases = [
             Request::Submit(JobSpec::mpde("rc_lowpass", 1e6, vec![0.1, 0.2], vec![10e3])),
+            Request::SubmitNetlist {
+                netlist: "V V1 in gnd drive\nR R1 in out 1k\n\
+                          .sweep amplitudes=1 spacings=1k\n\
+                          .analysis mpde f1=1M n1=8 n2=4\n"
+                    .into(),
+                priority: Priority::High,
+                deadline_ms: Some(5000),
+            },
+            Request::SubmitNetlist {
+                netlist: String::new(),
+                priority: Priority::Normal,
+                deadline_ms: None,
+            },
             Request::Poll {
                 job_id: 7,
                 wait_ms: 250,
@@ -1004,6 +1086,9 @@ mod tests {
             r#"{"verb":"submit"}"#,
             r#"{"verb":"trace"}"#,
             r#"{"verb":"metrics","format":"xml"}"#,
+            r#"{"verb":"submit_netlist"}"#,
+            r#"{"verb":"submit_netlist","netlist":42}"#,
+            r#"{"verb":"submit_netlist","netlist":"","priority":"urgent"}"#,
         ] {
             assert!(
                 matches!(Request::parse(bad), Err(ServeError::Protocol(_))),

@@ -1,0 +1,217 @@
+//! The `rfsim` CLI: parse a `.rfn` netlist, run its analysis directive,
+//! print solve statistics, and write waveform/spectrum CSVs.
+//!
+//! ```text
+//! rfsim run <file.rfn> [--out-dir DIR] [--no-files]
+//! rfsim check <file.rfn>
+//! rfsim fmt <file.rfn>
+//! ```
+//!
+//! Exit codes: 0 success, 1 solve failure, 2 usage or netlist error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rfsim::runner::{run_netlist, RunReport, Series};
+use rfsim_netlist::Netlist;
+
+const USAGE: &str = "\
+rfsim — netlist front end for the RF steady-state engines
+
+USAGE:
+    rfsim run <file.rfn> [--out-dir DIR] [--no-files]
+        Parse the netlist, run its .analysis directive, print solve
+        statistics, and write <stem>.waveform.csv / <stem>.spectrum.csv.
+    rfsim check <file.rfn>
+        Parse and validate only; print a summary.
+    rfsim fmt <file.rfn>
+        Print the canonical form (the text whose hash names the family).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match command {
+        "run" => cmd_run(rest),
+        "check" => cmd_check(rest),
+        "fmt" => cmd_fmt(rest),
+        "-h" | "--help" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown command '{other}'\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Reads and parses the netlist at `path`, reporting errors with the
+/// file name prefixed.
+fn load(path: &str) -> Result<Netlist, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Netlist::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_fmt(rest: &[String]) -> ExitCode {
+    let [path] = rest else {
+        eprintln!("usage: rfsim fmt <file.rfn>");
+        return ExitCode::from(2);
+    };
+    match load(path) {
+        Ok(netlist) => {
+            print!("{}", netlist.canonical());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_check(rest: &[String]) -> ExitCode {
+    let [path] = rest else {
+        eprintln!("usage: rfsim check <file.rfn>");
+        return ExitCode::from(2);
+    };
+    match load(path) {
+        Ok(netlist) => {
+            println!("ok       {path}");
+            println!("family   {}", netlist.family_name());
+            println!("analysis {}", netlist.analysis.keyword());
+            println!("devices  {}", netlist.devices.len());
+            println!("nodes    {}", netlist.node_names().len());
+            if let Some(sweep) = &netlist.sweep {
+                println!(
+                    "sweep    {} amplitudes × {} spacings",
+                    sweep.amplitudes.len(),
+                    sweep.spacings.len().max(1)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_run(rest: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut write_files = true;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out-dir" => match it.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --out-dir needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-files" => write_files = false,
+            other if path.is_none() && !other.starts_with('-') => path = Some(other),
+            other => {
+                eprintln!("error: unexpected argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: rfsim run <file.rfn> [--out-dir DIR] [--no-files]");
+        return ExitCode::from(2);
+    };
+    let netlist = match load(path) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run_netlist(&netlist) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_report(path, &report);
+    if write_files {
+        if let Err(e) = write_series_files(path, out_dir.as_deref(), &report) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_report(path: &str, report: &RunReport) {
+    println!("netlist    {path}");
+    println!("family     {}", report.family);
+    println!("analysis   {}", report.analysis);
+    println!("points     {}", report.result.points.len());
+    println!("samples    {}", report.result.num_samples());
+    println!("system     {} unknowns", report.system_size);
+    println!("newton     {} iterations", report.newton_iterations);
+    println!("digest     {:016x}", report.digest);
+    println!("elapsed    {:.6} s", report.elapsed_s);
+    println!("throughput {:.2} solves/sec", report.solves_per_sec());
+}
+
+fn write_csv(path: &Path, header: &str, series: &Series) -> Result<(), String> {
+    let mut text = String::with_capacity(series.len() * 32 + header.len() + 1);
+    text.push_str(header);
+    text.push('\n');
+    for (x, y) in series {
+        text.push_str(&format!("{x},{y}\n"));
+    }
+    std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn write_series_files(
+    input: &str,
+    out_dir: Option<&Path>,
+    report: &RunReport,
+) -> Result<(), String> {
+    let input = Path::new(input);
+    let stem = input
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "rfsim".to_string());
+    let dir = match out_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            dir.to_path_buf()
+        }
+        None => input.parent().unwrap_or(Path::new(".")).to_path_buf(),
+    };
+    if !report.waveform.is_empty() {
+        let path = dir.join(format!("{stem}.waveform.csv"));
+        write_csv(&path, "time,value", &report.waveform)?;
+        println!(
+            "wrote      {} ({} rows)",
+            path.display(),
+            report.waveform.len()
+        );
+    }
+    if !report.spectrum.is_empty() {
+        let path = dir.join(format!("{stem}.spectrum.csv"));
+        write_csv(&path, "frequency,magnitude", &report.spectrum)?;
+        println!(
+            "wrote      {} ({} rows)",
+            path.display(),
+            report.spectrum.len()
+        );
+    }
+    Ok(())
+}

@@ -81,10 +81,13 @@
 //! # }
 //! ```
 
+pub mod runner;
+
 pub use rfsim_circuit as circuit;
 pub use rfsim_circuits as circuits;
 pub use rfsim_hb as hb;
 pub use rfsim_mpde as mpde;
+pub use rfsim_netlist as netlist;
 pub use rfsim_numerics as numerics;
 pub use rfsim_rf as rf;
 pub use rfsim_serve as serve;
